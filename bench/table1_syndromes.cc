@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces paper Table 1: all possible data-retention error
+ * patterns, their error syndromes, and decode outcomes for the example
+ * codeword of Equation 3 (charge states [D D C D | D C C]) under the
+ * (7,4,3) Hamming code of Equation 1.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "ecc/decoder.hh"
+#include "ecc/linear_code.hh"
+#include "gf2/bitvec.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+using namespace beer;
+using ecc::LinearCode;
+using gf2::BitVec;
+
+namespace
+{
+
+std::string
+bitsWithBar(const BitVec &bits, std::size_t k)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        out += bits.get(i) ? '1' : '0';
+        if (i + 1 == k)
+            out += '|';
+    }
+    out += ']';
+    return out;
+}
+
+/** Render a syndrome as the H-column combination that produced it. */
+std::string
+syndromeName(const BitVec &error, std::size_t k)
+{
+    std::string out;
+    for (std::size_t i : error.support()) {
+        if (!out.empty())
+            out += " + ";
+        out += "H*," + std::to_string(i);
+    }
+    (void)k;
+    return out.empty() ? "0" : out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("Paper Table 1: error patterns, syndromes, and "
+                  "outcomes for the Equation-3 codeword");
+    cli.addFlag("csv", "emit CSV instead of an aligned table");
+    cli.parse(argc, argv);
+
+    const LinearCode code = ecc::paperExampleCode();
+
+    // Equation 3's charge states: [D D C D | D C C]. Only CHARGED
+    // cells can experience data-retention errors.
+    const std::vector<std::size_t> charged = {2, 5, 6};
+
+    std::printf("Codeword charge states (Equation 3): "
+                "[D D C D | D C C]\n");
+    std::printf("CHARGED cells: positions 2 (data), 5, 6 (parity)\n\n");
+
+    util::Table table({"Pre-Correction Error Pattern", "Error Syndrome",
+                       "Syndrome Bits", "Post-Correction Outcome"});
+
+    for (std::size_t subset = 0; subset < (1u << charged.size());
+         ++subset) {
+        BitVec error(code.n());
+        for (std::size_t i = 0; i < charged.size(); ++i)
+            if ((subset >> i) & 1)
+                error.set(charged[i], true);
+
+        const BitVec syndrome = code.syndrome(error);
+
+        std::string outcome;
+        if (error.isZero()) {
+            outcome = "No error";
+        } else if (error.popcount() == 1) {
+            outcome = "Correctable";
+        } else {
+            outcome = "Uncorrectable";
+            const std::size_t pos = code.findColumn(syndrome);
+            if (pos < code.k())
+                outcome += " (miscorrects data bit " +
+                           std::to_string(pos) + ")";
+            else if (pos < code.n())
+                outcome += " (flips parity bit " +
+                           std::to_string(pos - code.k()) + ")";
+        }
+
+        table.addRowOf(bitsWithBar(error, code.k()),
+                       syndromeName(error, code.k()),
+                       syndrome.toString(), outcome);
+    }
+
+    if (cli.getBool("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

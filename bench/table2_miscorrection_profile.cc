@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Table 2: the miscorrection profile of the (7,4,3)
+ * Hamming code of Equation 1 under the 1-CHARGED test patterns.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "beer/profile.hh"
+#include "ecc/linear_code.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+using namespace beer;
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("Paper Table 2: miscorrection profile of the "
+                  "Equation-1 (7,4,3) Hamming code");
+    cli.addFlag("csv", "emit CSV instead of an aligned table");
+    cli.parse(argc, argv);
+
+    const ecc::LinearCode code = ecc::paperExampleCode();
+    const auto patterns = chargedPatterns(code.k(), 1);
+    const auto profile = exhaustiveProfile(code, patterns);
+
+    util::Table table({"1-CHARGED Pattern ID", "1-CHARGED Pattern",
+                       "Possible Miscorrections"});
+
+    // The paper lists patterns top-down from ID 3 to 0.
+    for (std::size_t idx = profile.patterns.size(); idx-- > 0;) {
+        const auto &entry = profile.patterns[idx];
+        std::string pattern(code.k(), 'D');
+        std::string miscorrections;
+        pattern[entry.pattern[0]] = 'C';
+
+        std::string cells = "[";
+        for (std::size_t bit = 0; bit < code.k(); ++bit) {
+            if (bit == entry.pattern[0])
+                cells += '?';
+            else
+                cells += entry.miscorrectable.get(bit) ? '1' : '-';
+            if (bit + 1 < code.k())
+                cells += ' ';
+        }
+        cells += ']';
+
+        std::string pat = "[";
+        for (std::size_t bit = 0; bit < code.k(); ++bit) {
+            pat += pattern[bit];
+            if (bit + 1 < code.k())
+                pat += ' ';
+        }
+        pat += ']';
+
+        table.addRowOf(idx, pat, cells);
+    }
+
+    std::printf("ECC function: Equation 1, H =\n%s\n",
+                code.toString().c_str());
+    if (cli.getBool("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * BEEP (Section 7.1): locate raw error-prone cells — including cells
+ * in the inaccessible parity bits — using the ECC function recovered
+ * by BEER.
+ *
+ * A simulated ECC word is given a handful of weak cells that fail
+ * probabilistically whenever charged. BEEP crafts SAT-guided test
+ * patterns so that each suspected failure produces an observable
+ * miscorrection, then inverts the parity-check matrix (paper
+ * Equation 4) to pinpoint the raw error locations.
+ */
+
+#include <cstdio>
+
+#include "beep/beep.hh"
+#include "ecc/hamming.hh"
+#include "util/rng.hh"
+
+int
+main()
+{
+    using namespace beer;
+    using namespace beer::beep;
+
+    util::Rng rng(7);
+
+    // The (63,57) SEC Hamming code "recovered by BEER" earlier.
+    const ecc::LinearCode code = ecc::randomSecCode(57, rng);
+    std::printf("Known ECC function (via BEER): (%zu,%zu) SEC "
+                "Hamming code\n",
+                code.n(), code.k());
+
+    // A word with five weak cells; two of them sit in the parity
+    // region that no external interface can read.
+    const std::vector<std::size_t> weak = {5, 33, 51, 58, 61};
+    std::printf("Planted weak cells (ground truth): ");
+    for (std::size_t cell : weak)
+        std::printf("%zu%s ", cell,
+                    cell >= code.k() ? " (parity!)" : "");
+    std::printf("\n  per-trial failure probability: 0.75\n\n");
+
+    SimulatedWord word(code, weak, /*fail_prob=*/0.75, /*seed=*/99);
+
+    BeepConfig config;
+    config.passes = 2;
+    config.readsPerPattern = 8;
+    config.seed = 1234;
+    Profiler profiler(code, config);
+
+    const BeepResult result = profiler.profile(word);
+
+    std::printf("BEEP tested %zu patterns (%zu reads, %zu "
+                "informative)\n",
+                result.patternsTested, result.reads,
+                result.informativeReads);
+    std::printf("Identified error-prone cells: ");
+    for (std::size_t cell : result.errorCells)
+        std::printf("%zu%s ", cell,
+                    cell >= code.k() ? " (parity!)" : "");
+    std::printf("\n");
+
+    const bool exact = result.errorCells ==
+                       std::vector<std::size_t>(weak.begin(), weak.end());
+    std::printf("Bit-exact recovery: %s\n", exact ? "YES" : "partial");
+    return exact ? 0 : 1;
+}

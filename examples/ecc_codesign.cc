@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Use case of Section 7.2.1: co-designing a secondary error-mitigation
+ * mechanism (e.g. rank-level ECC) with a known on-die ECC function.
+ *
+ * Once BEER reveals the on-die ECC function, a system architect can
+ * compute the post-correction error distribution the memory controller
+ * will actually see, instead of assuming uniform errors. This example
+ * compares two chips with different (but same-type) on-die ECC
+ * functions, computes each one's post-correction per-bit error
+ * probabilities under uniform raw errors, and shows which data bits a
+ * rank-level ECC should protect asymmetrically.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "ecc/hamming.hh"
+#include "sim/word_sim.hh"
+#include "util/rng.hh"
+
+int
+main()
+{
+    using namespace beer;
+
+    util::Rng rng(31);
+    const std::size_t k = 32;
+    const double rber = 1e-4;
+    const std::uint64_t words = 200000000;
+
+    std::printf("Two chips, same code type ((%zu,%zu) SEC Hamming), "
+                "different secret functions.\n",
+                k + ecc::parityBitsForDataBits(k), k);
+    std::printf("Uniform raw errors at RBER %g; %llu words each.\n\n",
+                rber, (unsigned long long)words);
+
+    for (int chip_id = 0; chip_id < 2; ++chip_id) {
+        // The function a third party would obtain by running BEER on
+        // the chip.
+        const ecc::LinearCode code = ecc::randomSecCode(k, rng);
+
+        const auto stats = sim::simulateUniformErrors(
+            code, gf2::BitVec::ones(k), rber, words, rng);
+
+        // Rank the data bits by post-correction error count.
+        std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+        std::uint64_t total = 0;
+        for (std::size_t bit = 0; bit < k; ++bit) {
+            ranked.push_back({stats.postCorrectionErrors[bit], bit});
+            total += stats.postCorrectionErrors[bit];
+        }
+        std::sort(ranked.rbegin(), ranked.rend());
+
+        std::printf("Chip %d (function recovered via BEER):\n",
+                    chip_id);
+        std::printf("  post-correction errors observed: %llu\n",
+                    (unsigned long long)total);
+        std::printf("  most error-prone data bits (for asymmetric "
+                    "rank-level protection):\n");
+        for (int i = 0; i < 5; ++i) {
+            std::printf("    bit %2zu: %5.2f%% of post-correction "
+                        "errors (flat would be %.2f%%)\n",
+                        ranked[(std::size_t)i].second,
+                        total ? 100.0 * (double)ranked[(std::size_t)i]
+                                            .first /
+                                    (double)total
+                              : 0.0,
+                        100.0 / (double)k);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("The two rankings differ because the functions differ "
+                "— exactly why a\nsecondary ECC designed for one chip "
+                "can be mis-tuned for another, and why\nknowing the "
+                "function (via BEER) matters (paper Section 7.2.1).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+#include "beep/eval.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "ecc/hamming.hh"
+#include "util/logging.hh"
+
+namespace beer::beep
+{
+
+EvalResult
+evaluateBeep(const EvalPoint &point, std::size_t num_words,
+             const BeepConfig &base_config, util::Rng &rng)
+{
+    // Full-length codeword: n = 2^p - 1, k = n - p.
+    const std::size_t n = point.codewordLength;
+    std::size_t p = 0;
+    while (((std::size_t)1 << (p + 1)) - 1 <= n)
+        ++p;
+    BEER_ASSERT(((std::size_t)1 << p) - 1 == n);
+    const std::size_t k = n - p;
+    BEER_ASSERT(point.numErrors <= n);
+
+    EvalResult result;
+    for (std::size_t w = 0; w < num_words; ++w) {
+        const ecc::LinearCode code = ecc::randomSecCode(k, rng);
+
+        // Plant numErrors distinct cells uniformly over the codeword.
+        std::vector<std::size_t> cells(n);
+        for (std::size_t i = 0; i < n; ++i)
+            cells[i] = i;
+        for (std::size_t i = 0; i < point.numErrors; ++i) {
+            const std::size_t j =
+                i + (std::size_t)rng.below(cells.size() - i);
+            std::swap(cells[i], cells[j]);
+        }
+        cells.resize(point.numErrors);
+        std::sort(cells.begin(), cells.end());
+
+        SimulatedWord word(code, cells, point.failProb, rng.next());
+
+        BeepConfig config = base_config;
+        config.passes = point.passes;
+        config.seed = rng.next();
+        Profiler profiler(code, config);
+        const BeepResult beep = profiler.profile(word);
+
+        result.words += 1;
+        result.totalPlanted += cells.size();
+        result.totalIdentified += beep.errorCells.size();
+        if (beep.errorCells == cells)
+            result.successes += 1;
+    }
+    return result;
+}
+
+} // namespace beer::beep

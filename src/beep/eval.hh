@@ -1,0 +1,62 @@
+/**
+ * @file
+ * BEEP success-rate evaluation harness (paper Figures 8 and 9).
+ *
+ * Monte-Carlo evaluation matching Section 7.1.4: for each
+ * configuration, simulate words with N planted error-prone cells
+ * (per-bit failure probability P[error]) and measure how often BEEP
+ * identifies the full set of planted cells.
+ */
+
+#ifndef BEER_BEEP_EVAL_HH
+#define BEER_BEEP_EVAL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "beep/beep.hh"
+#include "util/rng.hh"
+
+namespace beer::beep
+{
+
+/** One evaluation configuration (one bar of Figure 8/9). */
+struct EvalPoint
+{
+    /** Codeword length n; must be of full-length form 2^p - 1. */
+    std::size_t codewordLength = 63;
+    /** Errors injected per codeword. */
+    std::size_t numErrors = 3;
+    /** Per-trial failure probability of each injected cell. */
+    double failProb = 1.0;
+    /** BEEP passes. */
+    std::size_t passes = 1;
+};
+
+/** Aggregate outcome over the evaluated words. */
+struct EvalResult
+{
+    std::size_t words = 0;
+    std::size_t successes = 0;
+    /** Identified-cell count summed over words (diagnostics). */
+    std::size_t totalIdentified = 0;
+    /** Planted-cell count summed over words. */
+    std::size_t totalPlanted = 0;
+
+    double successRate() const
+    {
+        return words ? (double)successes / (double)words : 0.0;
+    }
+};
+
+/**
+ * Evaluate BEEP on @p num_words random codes/words at @p point.
+ * Success for a word means the identified set equals the planted set
+ * exactly (bit-exact recovery, including parity positions).
+ */
+EvalResult evaluateBeep(const EvalPoint &point, std::size_t num_words,
+                        const BeepConfig &base_config, util::Rng &rng);
+
+} // namespace beer::beep
+
+#endif // BEER_BEEP_EVAL_HH

@@ -1,0 +1,46 @@
+#include "beep/word_under_test.hh"
+
+#include <algorithm>
+
+#include "ecc/decoder.hh"
+#include "util/logging.hh"
+
+namespace beer::beep
+{
+
+using gf2::BitVec;
+
+SimulatedWord::SimulatedWord(const ecc::LinearCode &code,
+                             std::vector<std::size_t> error_cells,
+                             double fail_prob, std::uint64_t seed,
+                             FaultModel fault)
+    : code_(code),
+      errorCells_(std::move(error_cells)),
+      failProb_(fail_prob),
+      rng_(seed),
+      fault_(fault)
+{
+    std::sort(errorCells_.begin(), errorCells_.end());
+    for (std::size_t cell : errorCells_)
+        BEER_ASSERT(cell < code_.n());
+}
+
+BitVec
+SimulatedWord::test(const BitVec &dataword)
+{
+    BitVec codeword = code_.encode(dataword);
+    // All true-cells: a stored '1' is CHARGED and may decay to '0';
+    // a stuck-at-DISCHARGED cell reads '0' unconditionally.
+    for (std::size_t cell : errorCells_) {
+        if (!codeword.get(cell))
+            continue;
+        const bool fails = fault_ == FaultModel::StuckAtDischarged
+                               ? true
+                               : rng_.bernoulli(failProb_);
+        if (fails)
+            codeword.set(cell, false);
+    }
+    return ecc::decode(code_, codeword).dataword;
+}
+
+} // namespace beer::beep

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The single-ECC-word test interface BEEP drives, plus the simulated
+ * implementation used for evaluation.
+ *
+ * BEEP's unit of work is one ECC word: program a dataword, pause
+ * refresh, read the post-correction dataword back. SimulatedWord is
+ * the stand-in for a real word with unknown error-prone cells: a set
+ * of planted cells each fails (CHARGED -> DISCHARGED) independently
+ * with a configurable probability on every trial, matching the paper's
+ * Figures 8-9 methodology (N injected errors per codeword with per-bit
+ * error probability P[error]).
+ */
+
+#ifndef BEER_BEEP_WORD_UNDER_TEST_HH
+#define BEER_BEEP_WORD_UNDER_TEST_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ecc/linear_code.hh"
+#include "gf2/bitvec.hh"
+#include "util/rng.hh"
+
+namespace beer::beep
+{
+
+/** One ECC word reachable only through write/pause/read cycles. */
+class WordUnderTest
+{
+  public:
+    virtual ~WordUnderTest() = default;
+
+    /**
+     * Run one full test cycle: program @p dataword, pause refresh long
+     * enough for error-prone cells to fail, and read back through the
+     * on-die ECC decoder.
+     *
+     * @return the post-correction dataword
+     */
+    virtual gf2::BitVec test(const gf2::BitVec &dataword) = 0;
+};
+
+/**
+ * Fault behaviour of a planted weak cell (paper Section 7.1.5
+ * discusses extending BEEP beyond retention errors).
+ */
+enum class FaultModel
+{
+    /** CHARGED cell decays with the configured probability. */
+    Retention,
+    /**
+     * Cell always reads back the DISCHARGED value. Externally this is
+     * indistinguishable from a Retention cell with failure
+     * probability 1.0 — the ambiguity the paper calls out ("data-
+     * retention errors and stuck-at-DISCHARGED errors" are "nearly
+     * indistinguishable"); tests/test_beep.cc asserts it.
+     */
+    StuckAtDischarged,
+};
+
+/** Simulated word with planted error-prone cells (all true-cells). */
+class SimulatedWord : public WordUnderTest
+{
+  public:
+    /**
+     * @param code          ground-truth ECC function (used to encode/
+     *                      decode inside the simulated chip)
+     * @param error_cells   codeword positions of error-prone cells
+     * @param fail_prob     per-trial failure probability of a CHARGED
+     *                      error-prone cell (Retention model)
+     * @param seed          RNG seed
+     * @param fault         fault behaviour of the planted cells
+     */
+    SimulatedWord(const ecc::LinearCode &code,
+                  std::vector<std::size_t> error_cells, double fail_prob,
+                  std::uint64_t seed,
+                  FaultModel fault = FaultModel::Retention);
+
+    gf2::BitVec test(const gf2::BitVec &dataword) override;
+
+    const std::vector<std::size_t> &errorCells() const
+    {
+        return errorCells_;
+    }
+
+  private:
+    const ecc::LinearCode &code_;
+    std::vector<std::size_t> errorCells_;
+    double failProb_;
+    util::Rng rng_;
+    FaultModel fault_;
+};
+
+} // namespace beer::beep
+
+#endif // BEER_BEEP_WORD_UNDER_TEST_HH

@@ -1,0 +1,64 @@
+#include "beer/baseline.hh"
+
+#include "gf2/matrix.hh"
+#include "util/logging.hh"
+
+namespace beer
+{
+
+using gf2::BitVec;
+using gf2::Matrix;
+
+InjectionRecovery
+recoverBySyndromeInjection(std::size_t n, std::size_t k,
+                           const SyndromeOracle &oracle)
+{
+    BEER_ASSERT(n > k && k >= 1);
+    const std::size_t p = n - k;
+
+    // Each 1-hot injection reveals one column of H (Equation 2).
+    Matrix h(p, n);
+    std::size_t probes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        BitVec error(n);
+        error.set(i, true);
+        const BitVec syndrome = oracle(error);
+        ++probes;
+        BEER_ASSERT(syndrome.size() == p);
+        h.setCol(i, syndrome);
+    }
+
+    // Normalize to standard form [P | I]: the parity columns of a
+    // systematic code are unit vectors, but the syndrome register's
+    // bit order may differ from the parity-bit order; permute rows so
+    // that probing parity bit c yields unit vector e_c.
+    const Matrix parity_part = h.colRange(k, p);
+    Matrix p_matrix(p, k);
+    std::vector<bool> used(p, false);
+    for (std::size_t c = 0; c < p; ++c) {
+        const BitVec col = parity_part.col(c);
+        if (col.popcount() != 1)
+            util::fatal("recoverBySyndromeInjection: oracle is not a "
+                        "systematic standard-form code");
+        const std::size_t old_row = col.firstSet();
+        if (used[old_row])
+            util::fatal("recoverBySyndromeInjection: duplicate parity "
+                        "column");
+        used[old_row] = true;
+        for (std::size_t j = 0; j < k; ++j)
+            p_matrix.set(c, j, h.get(old_row, j));
+    }
+
+    InjectionRecovery out{ecc::LinearCode(std::move(p_matrix)), probes};
+    return out;
+}
+
+SyndromeOracle
+makeOracle(const ecc::LinearCode &code)
+{
+    return [&code](const BitVec &error_pattern) {
+        return code.syndrome(error_pattern);
+    };
+}
+
+} // namespace beer

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Baseline ECC-function recovery by direct error injection (paper
+ * Section 4.1, the approach of Cojocar et al. for rank-level ECC).
+ *
+ * When the tester can (a) inject errors into arbitrary codeword bits
+ * (e.g. on the DDR bus) and (b) observe the resulting error syndrome,
+ * the parity-check matrix falls out column by column: injecting e_i
+ * into any codeword yields syndrome H*_i (paper Equation 2).
+ *
+ * On-die ECC permits neither capability — parity bits are not
+ * addressable and syndromes are invisible — which is exactly the gap
+ * BEER closes. This module implements the baseline so the bench can
+ * compare the two regimes' requirements and probe counts.
+ */
+
+#ifndef BEER_BEER_BASELINE_HH
+#define BEER_BEER_BASELINE_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "ecc/linear_code.hh"
+#include "gf2/bitvec.hh"
+
+namespace beer
+{
+
+/**
+ * Oracle abstraction for the §4.1 testing setup: inject an error
+ * pattern into a stored codeword and obtain the decoder's syndrome.
+ * For rank-level ECC this is realized on real systems via the memory
+ * controller's error reporting (machine-check registers).
+ */
+using SyndromeOracle =
+    std::function<gf2::BitVec(const gf2::BitVec &error_pattern)>;
+
+/** Result of a baseline recovery run. */
+struct InjectionRecovery
+{
+    ecc::LinearCode code;
+    /** Oracle probes used (== n for the direct method). */
+    std::size_t probes = 0;
+};
+
+/**
+ * Recover the full (n, k) parity-check matrix by probing all n 1-hot
+ * error patterns. Requires only that the oracle implements a linear
+ * code's syndrome function.
+ */
+InjectionRecovery recoverBySyndromeInjection(std::size_t n,
+                                             std::size_t k,
+                                             const SyndromeOracle &oracle);
+
+/** Build a syndrome oracle from a known code (for tests/benches). */
+SyndromeOracle makeOracle(const ecc::LinearCode &code);
+
+} // namespace beer
+
+#endif // BEER_BEER_BASELINE_HH

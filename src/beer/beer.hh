@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Umbrella header and end-to-end BEER pipeline.
+ *
+ * recoverEccFunction() performs the full methodology of the paper
+ * against a (simulated) DRAM chip: measure the miscorrection profile
+ * with the 1-CHARGED patterns, solve, and — if the code is shortened
+ * and the solution is not yet unique — extend the measurement with the
+ * 2-CHARGED patterns and re-solve (Section 4.2.4).
+ */
+
+#ifndef BEER_BEER_BEER_HH
+#define BEER_BEER_BEER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "beer/discovery.hh"
+#include "beer/measure.hh"
+#include "beer/patterns.hh"
+#include "beer/profile.hh"
+#include "beer/solver.hh"
+#include "dram/chip.hh"
+
+namespace beer
+{
+
+/** Options for the end-to-end recovery pipeline. */
+struct RecoveryOptions
+{
+    MeasureConfig measure = MeasureConfig::paperDefault();
+    BeerSolverConfig solver;
+    /**
+     * Add 2-CHARGED patterns when the 1-CHARGED profile does not
+     * identify a unique function (needed for shortened codes).
+     */
+    bool escalateToTwoCharged = true;
+};
+
+/** Everything the pipeline produced, for reporting and validation. */
+struct RecoveryReport
+{
+    ProfileCounts counts;
+    MiscorrectionProfile profile;
+    BeerSolveResult solve;
+    /** True iff the 2-CHARGED escalation ran. */
+    bool usedTwoCharged = false;
+
+    bool succeeded() const { return solve.unique(); }
+    const ecc::LinearCode &recoveredCode() const
+    {
+        return solve.solutions.front();
+    }
+};
+
+/**
+ * Run BEER end-to-end against @p chip through its external interface.
+ */
+RecoveryReport recoverEccFunction(dram::Chip &chip,
+                                  const RecoveryOptions &options = {});
+
+} // namespace beer
+
+#endif // BEER_BEER_BEER_HH

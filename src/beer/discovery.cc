@@ -1,0 +1,146 @@
+#include "beer/discovery.hh"
+
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace beer
+{
+
+using dram::CellType;
+using dram::Chip;
+
+std::vector<std::size_t>
+CellTypeSurvey::trueRows() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t r = 0; r < rowTypes.size(); ++r)
+        if (rowTypes[r] == CellType::True)
+            out.push_back(r);
+    return out;
+}
+
+namespace
+{
+
+/** Count post-correction bit errors per row under @p fill. */
+std::vector<std::uint64_t>
+errorsPerRow(Chip &chip, std::uint8_t fill, double pause, double temp_c)
+{
+    const auto &map = chip.addressMap();
+    std::vector<std::uint64_t> errors(map.rows, 0);
+
+    chip.fill(fill);
+    chip.pauseRefresh(pause, temp_c);
+    for (std::size_t addr = 0; addr < chip.numBytes(); ++addr) {
+        const std::uint8_t got = chip.readByte(addr);
+        if (got == fill)
+            continue;
+        const std::size_t row = addr / map.bytesPerRow;
+        errors[row] +=
+            (std::uint64_t)__builtin_popcount((unsigned)(got ^ fill));
+    }
+    return errors;
+}
+
+} // anonymous namespace
+
+CellTypeSurvey
+discoverCellTypes(Chip &chip, double pause, double temp_c)
+{
+    CellTypeSurvey survey;
+    // All-ones data charges true-cells only; all-zeros charges
+    // anti-cells only. Whichever fill decays identifies the encoding.
+    survey.onesErrors = errorsPerRow(chip, 0xFF, pause, temp_c);
+    survey.zerosErrors = errorsPerRow(chip, 0x00, pause, temp_c);
+
+    const std::size_t rows = survey.onesErrors.size();
+    survey.rowTypes.resize(rows, CellType::True);
+    for (std::size_t r = 0; r < rows; ++r) {
+        // Ties (no errors either way) default to true-cell; callers
+        // should use a pause long enough that every row shows errors
+        // under exactly one fill.
+        survey.rowTypes[r] = survey.zerosErrors[r] > survey.onesErrors[r]
+                                 ? CellType::Anti
+                                 : CellType::True;
+    }
+    return survey;
+}
+
+WordLayoutSurvey
+discoverWordLayout(Chip &chip, const CellTypeSurvey &types, double pause,
+                   double temp_c, std::size_t repeats)
+{
+    const auto &map = chip.addressMap();
+    const std::size_t row_bytes = map.bytesPerRow;
+
+    WordLayoutSurvey survey;
+    survey.coOccurrence.assign(row_bytes,
+                               std::vector<std::uint64_t>(row_bytes, 0));
+
+    // Only true-cell rows can be programmed fully DISCHARGED: writing
+    // 0x00 zeroes the data *and* the parity (P*0 = 0). Anti-cell rows
+    // always leave some parity cells CHARGED (parity is not directly
+    // controllable), which would create background miscorrections
+    // unrelated to the probe. The paper likewise performs its layout
+    // analyses on true-cell regions; the word layout is uniform across
+    // the chip.
+    const std::vector<std::size_t> rows = types.trueRows();
+    if (rows.empty())
+        util::fatal("discoverWordLayout: no true-cell rows available");
+
+    for (std::size_t probe = 0; probe < row_bytes; ++probe) {
+        for (std::size_t rep = 0; rep < repeats; ++rep) {
+            // Program: probe byte CHARGED, everything else DISCHARGED.
+            for (std::size_t row : rows) {
+                for (std::size_t b = 0; b < row_bytes; ++b) {
+                    const std::size_t addr = row * row_bytes + b;
+                    chip.writeByte(addr, b == probe ? 0xFF : 0x00);
+                }
+            }
+            chip.pauseRefresh(pause, temp_c);
+
+            // Any error at a byte offset other than the probe is a
+            // miscorrection, which can only land inside the probe's
+            // own ECC word.
+            for (std::size_t row : rows) {
+                for (std::size_t b = 0; b < row_bytes; ++b) {
+                    const std::size_t addr = row * row_bytes + b;
+                    const std::uint8_t expected =
+                        b == probe ? 0xFF : 0x00;
+                    if (chip.readByte(addr) != expected && b != probe)
+                        ++survey.coOccurrence[probe][b];
+                }
+            }
+        }
+    }
+
+    // Cluster byte offsets: union-find over observed co-occurrences.
+    std::vector<std::size_t> parent(row_bytes);
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (std::size_t a = 0; a < row_bytes; ++a)
+        for (std::size_t b = 0; b < row_bytes; ++b)
+            if (survey.coOccurrence[a][b] > 0)
+                parent[find(a)] = find(b);
+
+    survey.laneOfByteOffset.assign(row_bytes, SIZE_MAX);
+    for (std::size_t b = 0; b < row_bytes; ++b) {
+        const std::size_t root = find(b);
+        if (survey.laneOfByteOffset[root] == SIZE_MAX) {
+            survey.laneOfByteOffset[root] = survey.wordGroups.size();
+            survey.wordGroups.emplace_back();
+        }
+        survey.laneOfByteOffset[b] = survey.laneOfByteOffset[root];
+        survey.wordGroups[survey.laneOfByteOffset[b]].push_back(b);
+    }
+    return survey;
+}
+
+} // namespace beer

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Pre-BEER reverse-engineering steps (paper Sections 5.1.1-5.1.2).
+ *
+ * Before measuring miscorrection profiles, BEER must determine, through
+ * the chip's external interface alone:
+ *
+ *  1. the CHARGED/DISCHARGED encoding of each cell (true- vs anti-cell
+ *     rows), by writing all-0s / all-1s and observing which rows decay
+ *     under a long refresh pause;
+ *  2. the layout of ECC datawords in the address space, by charging one
+ *     byte at a time and observing which other byte positions exhibit
+ *     miscorrections — miscorrections never cross an ECC word, so
+ *     co-occurrence clusters byte offsets into words.
+ */
+
+#ifndef BEER_BEER_DISCOVERY_HH
+#define BEER_BEER_DISCOVERY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dram/chip.hh"
+#include "dram/types.hh"
+
+namespace beer
+{
+
+/** Result of the true-/anti-cell survey. */
+struct CellTypeSurvey
+{
+    /** Inferred encoding per row. */
+    std::vector<dram::CellType> rowTypes;
+    /** Errors observed per row under the all-ones fill. */
+    std::vector<std::uint64_t> onesErrors;
+    /** Errors observed per row under the all-zeros fill. */
+    std::vector<std::uint64_t> zerosErrors;
+
+    /** Indices of rows inferred as true-cell rows. */
+    std::vector<std::size_t> trueRows() const;
+};
+
+/**
+ * Determine each row's cell encoding by inducing retention errors
+ * under complementary data fills.
+ *
+ * @param chip    chip under test (contents are destroyed)
+ * @param pause   refresh-pause long enough for a clearly nonzero BER
+ * @param temp_c  test temperature
+ */
+CellTypeSurvey discoverCellTypes(dram::Chip &chip, double pause,
+                                 double temp_c);
+
+/** Result of the dataword-layout survey. */
+struct WordLayoutSurvey
+{
+    /** Row-local byte offsets grouped by inferred ECC word. */
+    std::vector<std::vector<std::size_t>> wordGroups;
+    /**
+     * Inferred word lane of each row-local byte offset (index into
+     * wordGroups).
+     */
+    std::vector<std::size_t> laneOfByteOffset;
+    /** Co-occurrence counts between byte offsets (diagnostics). */
+    std::vector<std::vector<std::uint64_t>> coOccurrence;
+};
+
+/**
+ * Determine which byte offsets within a row belong to the same ECC
+ * word by observing miscorrection co-occurrence.
+ *
+ * @param chip     chip under test (contents are destroyed)
+ * @param types    row-type survey from discoverCellTypes()
+ * @param pause    refresh-pause long enough to cause uncorrectable
+ *                 errors (multi-bit per word)
+ * @param temp_c   test temperature
+ * @param repeats  pause/read iterations per probed byte offset
+ */
+WordLayoutSurvey discoverWordLayout(dram::Chip &chip,
+                                    const CellTypeSurvey &types,
+                                    double pause, double temp_c,
+                                    std::size_t repeats = 4);
+
+} // namespace beer
+
+#endif // BEER_BEER_DISCOVERY_HH

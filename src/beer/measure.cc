@@ -1,0 +1,147 @@
+#include "beer/measure.hh"
+
+#include "dram/types.hh"
+#include "sim/word_sim.hh"
+#include "util/logging.hh"
+
+namespace beer
+{
+
+using gf2::BitVec;
+
+MiscorrectionProfile
+ProfileCounts::threshold(double min_probability) const
+{
+    MiscorrectionProfile profile;
+    profile.k = k;
+    profile.patterns.reserve(patterns.size());
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+        PatternProfile entry;
+        entry.pattern = patterns[p];
+        entry.miscorrectable = BitVec(k);
+        for (std::size_t bit = 0; bit < k; ++bit) {
+            if (patternContains(patterns[p], bit))
+                continue;
+            if (probability(p, bit) > min_probability)
+                entry.miscorrectable.set(bit, true);
+        }
+        profile.patterns.push_back(std::move(entry));
+    }
+    return profile;
+}
+
+double
+ProfileCounts::probability(std::size_t pattern_idx, std::size_t bit) const
+{
+    BEER_ASSERT(pattern_idx < patterns.size() && bit < k);
+    if (wordsTested[pattern_idx] == 0)
+        return 0.0;
+    return (double)errorCounts[pattern_idx][bit] /
+           (double)wordsTested[pattern_idx];
+}
+
+void
+ProfileCounts::merge(const ProfileCounts &other)
+{
+    BEER_ASSERT(k == other.k && patterns == other.patterns);
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+        wordsTested[p] += other.wordsTested[p];
+        for (std::size_t bit = 0; bit < k; ++bit)
+            errorCounts[p][bit] += other.errorCounts[p][bit];
+    }
+}
+
+MeasureConfig
+MeasureConfig::paperDefault()
+{
+    MeasureConfig config;
+    for (int minutes = 2; minutes <= 22; ++minutes)
+        config.pausesSeconds.push_back(60.0 * minutes);
+    config.temperatureC = 80.0;
+    return config;
+}
+
+namespace
+{
+
+ProfileCounts
+emptyCounts(std::size_t k, const std::vector<TestPattern> &patterns)
+{
+    ProfileCounts counts;
+    counts.k = k;
+    counts.patterns = patterns;
+    counts.errorCounts.assign(patterns.size(),
+                              std::vector<std::uint64_t>(k, 0));
+    counts.wordsTested.assign(patterns.size(), 0);
+    return counts;
+}
+
+} // anonymous namespace
+
+ProfileCounts
+measureProfileOnChip(dram::Chip &chip,
+                     const std::vector<TestPattern> &patterns,
+                     const MeasureConfig &config)
+{
+    const std::size_t k = chip.datawordBits();
+    ProfileCounts counts = emptyCounts(k, patterns);
+
+    // The paper's methodology uses true-cell regions (Section 5.1.3):
+    // identify which words decay 1 -> 0. Cell types are discoverable
+    // through the external interface (see discovery.hh); here we use
+    // the ground-truth accessor purely to pick the word subset.
+    std::vector<std::size_t> true_cell_words;
+    for (std::size_t w = 0; w < chip.numWords(); ++w)
+        if (chip.cellTypeOfWord(w) == dram::CellType::True)
+            true_cell_words.push_back(w);
+    BEER_ASSERT(!true_cell_words.empty());
+
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+        const BitVec data = datawordForPattern(patterns[p], k,
+                                               dram::CellType::True);
+        for (double pause : config.pausesSeconds) {
+            for (std::size_t rep = 0; rep < config.repeatsPerPause;
+                 ++rep) {
+                for (std::size_t w : true_cell_words)
+                    chip.writeDataword(w, data);
+                chip.pauseRefresh(pause, config.temperatureC);
+                for (std::size_t w : true_cell_words) {
+                    const BitVec read = chip.readDataword(w);
+                    ++counts.wordsTested[p];
+                    if (read == data)
+                        continue;
+                    for (std::size_t bit = 0; bit < k; ++bit)
+                        if (read.get(bit) != data.get(bit))
+                            ++counts.errorCounts[p][bit];
+                }
+            }
+        }
+    }
+    return counts;
+}
+
+ProfileCounts
+measureProfileSim(const ecc::LinearCode &code,
+                  const std::vector<TestPattern> &patterns, double ber,
+                  std::uint64_t words_per_pattern, util::Rng &rng)
+{
+    const std::size_t k = code.k();
+    ProfileCounts counts = emptyCounts(k, patterns);
+
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+        const BitVec data = datawordForPattern(patterns[p], k,
+                                               dram::CellType::True);
+        const BitVec codeword = code.encode(data);
+        const BitVec mask =
+            sim::chargedMask(codeword, dram::CellType::True);
+        const sim::WordSimStats stats = sim::simulateRetentionErrors(
+            code, codeword, mask, ber, words_per_pattern, rng);
+        counts.wordsTested[p] = stats.wordsSimulated;
+        for (std::size_t bit = 0; bit < k; ++bit)
+            counts.errorCounts[p][bit] +=
+                stats.postCorrectionErrors[bit];
+    }
+    return counts;
+}
+
+} // namespace beer

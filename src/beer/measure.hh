@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Experimental miscorrection-profile measurement (paper Steps 1-2).
+ *
+ * Runs BEER's testing loop — program a test pattern, lengthen the
+ * refresh window, read back, count post-correction errors per bit —
+ * either against a simulated dram::Chip (the end-to-end path, including
+ * transient-noise pollution) or through the fast word simulator (the
+ * EINSim path used for the large correctness sweeps). A threshold
+ * filter (Section 5.2, Figure 4) converts raw counts into the binary
+ * miscorrection profile consumed by the solver.
+ */
+
+#ifndef BEER_BEER_MEASURE_HH
+#define BEER_BEER_MEASURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "beer/patterns.hh"
+#include "beer/profile.hh"
+#include "dram/chip.hh"
+#include "ecc/linear_code.hh"
+#include "util/rng.hh"
+
+namespace beer
+{
+
+/** Raw per-(pattern, bit) observation counts before thresholding. */
+struct ProfileCounts
+{
+    std::size_t k = 0;
+    std::vector<TestPattern> patterns;
+    /** errorCounts[p][bit]: observed post-correction errors. */
+    std::vector<std::vector<std::uint64_t>> errorCounts;
+    /** Words observed per pattern (denominator for probabilities). */
+    std::vector<std::uint64_t> wordsTested;
+
+    /**
+     * Apply the threshold filter: bit j is miscorrectable under
+     * pattern i iff errorCounts[i][j] / wordsTested[i] >
+     * @p min_probability, excluding charged positions.
+     */
+    MiscorrectionProfile threshold(double min_probability) const;
+
+    /** Observed error probability for (pattern, bit). */
+    double probability(std::size_t pattern_idx, std::size_t bit) const;
+
+    void merge(const ProfileCounts &other);
+};
+
+/** Configuration of a refresh-window sweep. */
+struct MeasureConfig
+{
+    /** Refresh-pause durations to test, seconds. */
+    std::vector<double> pausesSeconds;
+    /** Ambient temperature during testing. */
+    double temperatureC = 80.0;
+    /** Read-back repeats per (pattern, pause). */
+    std::size_t repeatsPerPause = 1;
+    /** Threshold for ProfileCounts::threshold (relative frequency). */
+    double thresholdProbability = 1e-3;
+
+    /** Paper-like default: 2..22 minutes in 1-minute steps at 80C. */
+    static MeasureConfig paperDefault();
+};
+
+/**
+ * Measure profile counts on a simulated chip through its external
+ * interface only (write datawords, pause refresh, read datawords).
+ *
+ * Only words in true-cell rows are used, matching the paper's
+ * methodology. Every word of the chip is programmed with the same
+ * pattern per experiment; each (pause, repeat) contributes one
+ * observation per word.
+ */
+ProfileCounts measureProfileOnChip(dram::Chip &chip,
+                                   const std::vector<TestPattern> &patterns,
+                                   const MeasureConfig &config);
+
+/**
+ * Fast-path measurement through the word simulator: statistically
+ * equivalent to testing @p words_per_pattern words of a chip whose
+ * secret ECC function is @p code, at charged-cell bit error rate
+ * @p ber. Used for the large simulation sweeps (Section 6.1).
+ */
+ProfileCounts measureProfileSim(const ecc::LinearCode &code,
+                                const std::vector<TestPattern> &patterns,
+                                double ber,
+                                std::uint64_t words_per_pattern,
+                                util::Rng &rng);
+
+} // namespace beer
+
+#endif // BEER_BEER_MEASURE_HH

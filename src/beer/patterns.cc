@@ -1,0 +1,73 @@
+#include "beer/patterns.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace beer
+{
+
+std::vector<TestPattern>
+chargedPatterns(std::size_t k, std::size_t charged_count)
+{
+    BEER_ASSERT(charged_count >= 1 && charged_count <= k);
+    std::vector<TestPattern> out;
+
+    // Iterate all ascending index tuples of length charged_count.
+    TestPattern current(charged_count);
+    for (std::size_t i = 0; i < charged_count; ++i)
+        current[i] = i;
+    while (true) {
+        out.push_back(current);
+        // Advance to the next combination.
+        std::size_t pos = charged_count;
+        while (pos > 0) {
+            --pos;
+            if (current[pos] + (charged_count - pos) < k) {
+                ++current[pos];
+                for (std::size_t i = pos + 1; i < charged_count; ++i)
+                    current[i] = current[i - 1] + 1;
+                break;
+            }
+            if (pos == 0)
+                return out;
+        }
+    }
+}
+
+std::vector<TestPattern>
+chargedPatternUnion(std::size_t k,
+                    const std::vector<std::size_t> &charged_counts)
+{
+    std::vector<TestPattern> out;
+    for (std::size_t count : charged_counts) {
+        auto patterns = chargedPatterns(k, count);
+        out.insert(out.end(), patterns.begin(), patterns.end());
+    }
+    return out;
+}
+
+gf2::BitVec
+datawordForPattern(const TestPattern &pattern, std::size_t k,
+                   dram::CellType cell_type)
+{
+    using dram::CellType;
+    // Start with every data cell DISCHARGED, then charge the pattern's
+    // positions. For true-cells DISCHARGED = 0; for anti-cells = 1.
+    gf2::BitVec data(k);
+    if (cell_type == CellType::Anti)
+        data = gf2::BitVec::ones(k);
+    for (std::size_t bit : pattern) {
+        BEER_ASSERT(bit < k);
+        data.set(bit, cell_type == CellType::True);
+    }
+    return data;
+}
+
+bool
+patternContains(const TestPattern &pattern, std::size_t bit)
+{
+    return std::binary_search(pattern.begin(), pattern.end(), bit);
+}
+
+} // namespace beer

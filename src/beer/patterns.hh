@@ -1,0 +1,52 @@
+/**
+ * @file
+ * BEER test patterns.
+ *
+ * A test pattern is the set of data-bit positions programmed to the
+ * CHARGED state (all other data bits DISCHARGED). The x-CHARGED pattern
+ * classes of the paper (Section 4.2.3) are the weight-x subsets of the
+ * k data bits: 1-CHARGED patterns suffice for full-length codes, and
+ * the {1,2}-CHARGED union uniquely identifies shortened codes.
+ */
+
+#ifndef BEER_BEER_PATTERNS_HH
+#define BEER_BEER_PATTERNS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dram/types.hh"
+#include "gf2/bitvec.hh"
+
+namespace beer
+{
+
+/** Charged data-bit positions of one test pattern, sorted ascending. */
+using TestPattern = std::vector<std::size_t>;
+
+/** All weight-@p charged_count patterns over @p k data bits. */
+std::vector<TestPattern> chargedPatterns(std::size_t k,
+                                         std::size_t charged_count);
+
+/**
+ * The union of x-CHARGED pattern classes for each x in
+ * @p charged_counts, e.g. {1,2} for the paper's {1,2}-CHARGED
+ * configuration.
+ */
+std::vector<TestPattern>
+chargedPatternUnion(std::size_t k,
+                    const std::vector<std::size_t> &charged_counts);
+
+/**
+ * Dataword (value domain) that programs @p pattern's cells CHARGED and
+ * all other data cells DISCHARGED in cells of type @p cell_type.
+ */
+gf2::BitVec datawordForPattern(const TestPattern &pattern, std::size_t k,
+                               dram::CellType cell_type);
+
+/** True iff @p bit is one of @p pattern's charged positions. */
+bool patternContains(const TestPattern &pattern, std::size_t bit);
+
+} // namespace beer
+
+#endif // BEER_BEER_PATTERNS_HH

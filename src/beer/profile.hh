@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Miscorrection profiles (paper Section 5.1.3).
+ *
+ * For every test pattern, the profile records which DISCHARGED data
+ * bits can exhibit a miscorrection. Positions that were programmed
+ * CHARGED are ambiguous ('?' in the paper's Table 2): an observed error
+ * there may be an uncorrected retention error rather than a
+ * miscorrection, so they carry no information and are excluded.
+ *
+ * The exhaustive generator uses the standard-form support predicate
+ * derived in DESIGN.md Section 3: under pattern S, a miscorrection at
+ * data bit j (not in S) is possible iff some T subset of S satisfies
+ *     supp(H_j xor (xor of H_i for i in T)) subset-of supp(xor of H_i
+ *     for i in S),
+ * and complements T xor S yield the same condition, so only 2^(|S|-1)
+ * subsets need checking. This is exactly the set of miscorrections an
+ * infinite-sample retention experiment would observe.
+ */
+
+#ifndef BEER_BEER_PROFILE_HH
+#define BEER_BEER_PROFILE_HH
+
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "beer/patterns.hh"
+#include "ecc/linear_code.hh"
+#include "gf2/bitvec.hh"
+
+namespace beer
+{
+
+/** Miscorrection observations for one test pattern. */
+struct PatternProfile
+{
+    TestPattern pattern;
+    /**
+     * Bit j set iff a miscorrection is possible (or was observed) at
+     * data bit j. Bits at the pattern's charged positions are always
+     * clear; they are ambiguous and carry no information.
+     */
+    gf2::BitVec miscorrectable;
+
+    bool operator==(const PatternProfile &other) const = default;
+};
+
+/** The full miscorrection profile over a set of test patterns. */
+struct MiscorrectionProfile
+{
+    std::size_t k = 0;
+    std::vector<PatternProfile> patterns;
+
+    bool operator==(const MiscorrectionProfile &other) const = default;
+
+    /** Table-2-style rendering ('C'/'D' pattern, 1/-/? per bit). */
+    std::string toString() const;
+};
+
+/**
+ * Whether a miscorrection at data bit @p bit is possible when the data
+ * cells in @p pattern are CHARGED in a chip using @p code (true-cells).
+ * @p bit must not be one of the pattern's charged positions.
+ */
+bool miscorrectionPossible(const ecc::LinearCode &code,
+                           const TestPattern &pattern, std::size_t bit);
+
+/**
+ * Ground-truth (infinite-sample) profile of @p code under
+ * @p patterns.
+ */
+MiscorrectionProfile exhaustiveProfile(
+    const ecc::LinearCode &code,
+    const std::vector<TestPattern> &patterns);
+
+/**
+ * Brute-force reference implementation of miscorrectionPossible() that
+ * enumerates every error pattern over the charged cells. Exponential in
+ * the charged-cell count; used by tests to validate the predicate.
+ */
+bool miscorrectionPossibleBruteForce(const ecc::LinearCode &code,
+                                     const TestPattern &pattern,
+                                     std::size_t bit);
+
+/**
+ * Serialize a profile to the text format consumed by tools/beer_solve
+ * (one header line "k <bits>", then one "<charged-csv> <bitmap>" line
+ * per pattern; '#' starts a comment).
+ */
+std::string serializeProfile(const MiscorrectionProfile &profile);
+
+/**
+ * Parse the tools/beer_solve text format; fatal on malformed input
+ * with a line-numbered message.
+ */
+MiscorrectionProfile parseProfile(std::istream &in);
+
+} // namespace beer
+
+#endif // BEER_BEER_PROFILE_HH

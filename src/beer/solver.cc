@@ -1,0 +1,310 @@
+#include "beer/solver.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "ecc/code_equiv.hh"
+#include "ecc/hamming.hh"
+#include "gf2/matrix.hh"
+#include "sat/encoder.hh"
+#include "util/logging.hh"
+
+namespace beer
+{
+
+using ecc::LinearCode;
+using gf2::BitVec;
+using gf2::Matrix;
+using sat::Encoder;
+using sat::Lit;
+using sat::Solver;
+
+namespace
+{
+
+/** SAT variables for the unknown P matrix, row-major. */
+struct PVars
+{
+    std::size_t p; // parity bits (rows)
+    std::size_t k; // data bits (columns)
+    std::vector<Lit> lits;
+
+    Lit at(std::size_t r, std::size_t c) const { return lits[r * k + c]; }
+
+    std::vector<Lit>
+    column(std::size_t c) const
+    {
+        std::vector<Lit> out(p);
+        for (std::size_t r = 0; r < p; ++r)
+            out[r] = at(r, c);
+        return out;
+    }
+
+    std::vector<Lit>
+    rowLits(std::size_t r) const
+    {
+        std::vector<Lit> out(k);
+        for (std::size_t c = 0; c < k; ++c)
+            out[c] = at(r, c);
+        return out;
+    }
+};
+
+PVars
+makePVars(Encoder &enc, std::size_t p, std::size_t k)
+{
+    PVars vars;
+    vars.p = p;
+    vars.k = k;
+    vars.lits.reserve(p * k);
+    for (std::size_t i = 0; i < p * k; ++i)
+        vars.lits.push_back(enc.fresh());
+    return vars;
+}
+
+/** Constraint 1: every data column has weight >= 2 (nonzero and not a
+ *  unit vector, i.e. distinct from all parity columns). */
+void
+encodeColumnWeights(Encoder &enc, const PVars &vars)
+{
+    for (std::size_t c = 0; c < vars.k; ++c) {
+        const std::vector<Lit> col = vars.column(c);
+        enc.require(col); // at least one bit set
+        for (std::size_t r = 0; r < vars.p; ++r) {
+            // If bit r is set, some other bit must be set too.
+            std::vector<Lit> clause;
+            clause.reserve(vars.p);
+            clause.push_back(~col[r]);
+            for (std::size_t r2 = 0; r2 < vars.p; ++r2)
+                if (r2 != r)
+                    clause.push_back(col[r2]);
+            enc.require(clause);
+        }
+    }
+}
+
+/** Constraint 1 (continued): data columns pairwise distinct. */
+void
+encodeDistinctColumns(Encoder &enc, const PVars &vars)
+{
+    for (std::size_t a = 0; a < vars.k; ++a) {
+        for (std::size_t b = a + 1; b < vars.k; ++b) {
+            std::vector<Lit> diffs;
+            diffs.reserve(vars.p);
+            for (std::size_t r = 0; r < vars.p; ++r)
+                diffs.push_back(enc.mkXor(vars.at(r, a), vars.at(r, b)));
+            enc.require(diffs); // some row differs
+        }
+    }
+}
+
+/**
+ * XOR of pattern columns per row: U_r = xor_{i in S} P[r][i].
+ * For |S| == 1 these are the column literals themselves.
+ */
+std::vector<Lit>
+encodeChargedParity(Encoder &enc, const PVars &vars,
+                    const TestPattern &pattern)
+{
+    std::vector<Lit> u(vars.p);
+    for (std::size_t r = 0; r < vars.p; ++r) {
+        std::vector<Lit> terms;
+        terms.reserve(pattern.size());
+        for (std::size_t i : pattern)
+            terms.push_back(vars.at(r, i));
+        u[r] = enc.mkXor(terms);
+    }
+    return u;
+}
+
+/**
+ * Literal equivalent to "a miscorrection at bit j is possible under
+ * this pattern": OR over the reduced subsets T of AND over rows of
+ * (v_r -> U_r), with v = column j xor the columns in T.
+ */
+Lit
+encodeMiscorrectionPossible(Encoder &enc, const PVars &vars,
+                            const TestPattern &pattern, std::size_t j,
+                            const std::vector<Lit> &u)
+{
+    const std::size_t reduced = pattern.size() - 1;
+    std::vector<Lit> conditions;
+    conditions.reserve((std::size_t)1 << reduced);
+    for (std::size_t subset = 0; subset < ((std::size_t)1 << reduced);
+         ++subset) {
+        std::vector<Lit> implications;
+        implications.reserve(vars.p);
+        for (std::size_t r = 0; r < vars.p; ++r) {
+            std::vector<Lit> terms;
+            terms.push_back(vars.at(r, j));
+            for (std::size_t i = 0; i < reduced; ++i)
+                if ((subset >> i) & 1)
+                    terms.push_back(vars.at(r, pattern[i + 1]));
+            const Lit v = enc.mkXor(terms);
+            implications.push_back(enc.mkOr(~v, u[r]));
+        }
+        conditions.push_back(enc.mkAnd(implications));
+    }
+    return enc.mkOr(conditions);
+}
+
+/** Constraint 3: the observed profile. */
+void
+encodeProfile(Encoder &enc, const PVars &vars,
+              const MiscorrectionProfile &profile)
+{
+    for (const PatternProfile &entry : profile.patterns) {
+        const TestPattern &pattern = entry.pattern;
+        BEER_ASSERT(!pattern.empty());
+
+        if (pattern.size() == 1) {
+            // Specialized 1-CHARGED encoding: possible(c, j) reduces to
+            // supp(col_j) subset-of supp(col_c): pure 2-CNF positives,
+            // one small Tseitin OR for negatives.
+            const std::size_t c = pattern[0];
+            for (std::size_t j = 0; j < vars.k; ++j) {
+                if (j == c)
+                    continue;
+                if (entry.miscorrectable.get(j)) {
+                    for (std::size_t r = 0; r < vars.p; ++r)
+                        enc.require(
+                            {~vars.at(r, j), vars.at(r, c)});
+                } else {
+                    std::vector<Lit> violations;
+                    violations.reserve(vars.p);
+                    for (std::size_t r = 0; r < vars.p; ++r)
+                        violations.push_back(enc.mkAnd(
+                            vars.at(r, j), ~vars.at(r, c)));
+                    enc.require(violations);
+                }
+            }
+            continue;
+        }
+
+        const std::vector<Lit> u =
+            encodeChargedParity(enc, vars, pattern);
+        for (std::size_t j = 0; j < vars.k; ++j) {
+            if (patternContains(pattern, j))
+                continue;
+            const Lit possible =
+                encodeMiscorrectionPossible(enc, vars, pattern, j, u);
+            enc.require(entry.miscorrectable.get(j) ? possible
+                                                    : ~possible);
+        }
+    }
+}
+
+/** Symmetry breaking: rows of P in ascending lexicographic order. */
+void
+encodeRowOrder(Encoder &enc, const PVars &vars)
+{
+    for (std::size_t r = 0; r + 1 < vars.p; ++r)
+        enc.requireLexLeq(vars.rowLits(r), vars.rowLits(r + 1));
+}
+
+Matrix
+extractModel(const Solver &solver, const PVars &vars)
+{
+    Matrix out(vars.p, vars.k);
+    for (std::size_t r = 0; r < vars.p; ++r)
+        for (std::size_t c = 0; c < vars.k; ++c)
+            out.set(r, c, solver.modelValue(vars.at(r, c).var()));
+    return out;
+}
+
+/** Forbid the exact assignment of the P variables just found. */
+void
+addBlockingClause(Solver &solver, const PVars &vars, const Matrix &model)
+{
+    std::vector<Lit> clause;
+    clause.reserve(vars.p * vars.k);
+    for (std::size_t r = 0; r < vars.p; ++r)
+        for (std::size_t c = 0; c < vars.k; ++c) {
+            const Lit l = vars.at(r, c);
+            clause.push_back(model.get(r, c) ? ~l : l);
+        }
+    solver.addClause(std::move(clause));
+}
+
+} // anonymous namespace
+
+BeerSolveResult
+solveForEccFunction(const MiscorrectionProfile &profile,
+                    std::size_t num_parity_bits,
+                    const BeerSolverConfig &config)
+{
+    BEER_ASSERT(profile.k >= 1);
+    BEER_ASSERT(num_parity_bits >= 1);
+
+    Solver solver;
+    if (config.conflictLimit)
+        solver.setConflictLimit(config.conflictLimit);
+    Encoder enc(solver);
+    const PVars vars = makePVars(enc, num_parity_bits, profile.k);
+
+    encodeColumnWeights(enc, vars);
+    encodeDistinctColumns(enc, vars);
+    encodeProfile(enc, vars, profile);
+    if (config.symmetryBreaking)
+        encodeRowOrder(enc, vars);
+
+    BeerSolveResult result;
+    std::set<std::string> seen; // canonical P serializations
+
+    while (true) {
+        const sat::SolveResult sat_result = solver.solve();
+        if (sat_result == sat::SolveResult::Unknown) {
+            result.complete = false;
+            break;
+        }
+        if (sat_result == sat::SolveResult::Unsat)
+            break;
+
+        const Matrix model = extractModel(solver, vars);
+        const LinearCode canonical =
+            ecc::canonicalize(LinearCode(model));
+        if (seen.insert(canonical.pMatrix().toString()).second)
+            result.solutions.push_back(canonical);
+
+        if (config.maxSolutions &&
+            result.solutions.size() >= config.maxSolutions) {
+            result.complete = false;
+            break;
+        }
+        addBlockingClause(solver, vars, model);
+        if (solver.isUnsat())
+            break;
+    }
+
+    result.stats = solver.stats();
+    result.memoryBytes = solver.stats().arenaBytes;
+    return result;
+}
+
+BeerSolveResult
+solveForEccFunction(const MiscorrectionProfile &profile,
+                    const BeerSolverConfig &config)
+{
+    return solveForEccFunction(
+        profile, ecc::parityBitsForDataBits(profile.k), config);
+}
+
+ParityInference
+inferEccFunction(const MiscorrectionProfile &profile,
+                 std::size_t max_parity, const BeerSolverConfig &config)
+{
+    ParityInference out;
+    for (std::size_t p = ecc::parityBitsForDataBits(profile.k);
+         p <= max_parity; ++p) {
+        out.result = solveForEccFunction(profile, p, config);
+        if (!out.result.solutions.empty()) {
+            out.parityBits = p;
+            return out;
+        }
+    }
+    util::fatal("inferEccFunction: no consistent function with up to "
+                "%zu parity bits (noisy profile?)",
+                max_parity);
+}
+
+} // namespace beer

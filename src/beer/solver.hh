@@ -1,0 +1,112 @@
+/**
+ * @file
+ * BEER Step 3: solve for the ECC function (paper Section 5.3).
+ *
+ * Given a miscorrection profile, find every standard-form parity-check
+ * matrix H = [P | I] consistent with it. The unknowns are the bits of
+ * P; the constraints are:
+ *
+ *  1. basic SEC-code validity: H columns distinct and nonzero, which
+ *     for data columns means weight >= 2 and pairwise-distinct;
+ *  2. standard form (implicit in the representation);
+ *  3. the profile: for each (pattern S, discharged bit j), a
+ *     miscorrection at j is possible iff observed, where "possible" is
+ *     the support-inclusion predicate of profile.hh encoded in CNF.
+ *
+ * Parity-row permutations of P are externally indistinguishable
+ * (equivalent codes), so lexicographic row-ordering symmetry-breaking
+ * constraints are added by default and solutions are counted up to
+ * this equivalence, exactly as the paper counts "unique ECC functions"
+ * (Figure 5). Enumeration follows the paper's procedure: solve, add a
+ * blocking clause forbidding the found matrix, repeat until UNSAT.
+ */
+
+#ifndef BEER_BEER_SOLVER_HH
+#define BEER_BEER_SOLVER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "beer/profile.hh"
+#include "ecc/linear_code.hh"
+#include "sat/solver.hh"
+
+namespace beer
+{
+
+/** Knobs for the BEER solve. */
+struct BeerSolverConfig
+{
+    /** Row-permutation symmetry breaking (ablation: disable). */
+    bool symmetryBreaking = true;
+    /**
+     * Stop enumerating after this many solutions (0 = find all). The
+     * uniqueness check of the paper needs at most 2.
+     */
+    std::size_t maxSolutions = 0;
+    /** SAT conflict budget per solve() call; 0 = unlimited. */
+    std::uint64_t conflictLimit = 0;
+};
+
+/** Outcome of a BEER solve. */
+struct BeerSolveResult
+{
+    /**
+     * Canonical (sorted-row) solutions. With symmetry breaking these
+     * are exactly the solver's models; without, models are
+     * canonicalized and deduplicated.
+     */
+    std::vector<ecc::LinearCode> solutions;
+    /** True iff enumeration ran to UNSAT (the solution list is total). */
+    bool complete = true;
+    /** True iff exactly one equivalence class satisfies the profile. */
+    bool unique() const { return complete && solutions.size() == 1; }
+    /** Aggregate SAT statistics for the performance evaluation. */
+    sat::SolverStats stats;
+    /** Peak arena + watch memory estimate in bytes. */
+    std::uint64_t memoryBytes = 0;
+};
+
+/**
+ * Enumerate every ECC function with @p num_parity_bits parity bits
+ * whose miscorrection profile matches @p profile.
+ */
+BeerSolveResult solveForEccFunction(const MiscorrectionProfile &profile,
+                                    std::size_t num_parity_bits,
+                                    const BeerSolverConfig &config = {});
+
+/**
+ * Convenience wrapper using the minimum SEC parity-bit count for the
+ * profile's dataword length (the configuration on-die ECC uses).
+ */
+BeerSolveResult solveForEccFunction(const MiscorrectionProfile &profile,
+                                    const BeerSolverConfig &config = {});
+
+/** Result of a parity-count inference run. */
+struct ParityInference
+{
+    /** Smallest parity-bit count admitting a consistent function. */
+    std::size_t parityBits = 0;
+    /** The solve at that count. */
+    BeerSolveResult result;
+};
+
+/**
+ * Fully prerequisite-free recovery: BEER does not even need to know
+ * the parity-bit count. Any profile consistent with a p-bit code is
+ * also consistent with codes of more parity bits (append all-zero
+ * rows to P), so the *smallest* consistent count is the canonical
+ * answer — and real on-die ECC uses the minimum count for its
+ * dataword length. Tries p from the SEC minimum for k upward.
+ *
+ * @param max_parity inclusive upper bound on the search (fatal if
+ *                   exceeded without finding a solution)
+ */
+ParityInference inferEccFunction(const MiscorrectionProfile &profile,
+                                 std::size_t max_parity = 12,
+                                 const BeerSolverConfig &config = {});
+
+} // namespace beer
+
+#endif // BEER_BEER_SOLVER_HH

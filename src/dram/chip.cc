@@ -1,0 +1,170 @@
+#include "dram/chip.hh"
+
+#include "ecc/decoder.hh"
+#include "ecc/hamming.hh"
+#include "util/logging.hh"
+
+namespace beer::dram
+{
+
+using gf2::BitVec;
+
+Chip::Chip(ChipConfig config)
+    : config_(std::move(config)), rng_(config_.seed ^ 0x5eed)
+{
+    config_.map.validate();
+    if (config_.code.k() != config_.map.bytesPerWord * 8)
+        util::fatal("Chip: code k (%zu) does not match word size "
+                    "(%zu bytes)",
+                    config_.code.k(), config_.map.bytesPerWord);
+    cells_.assign(config_.map.numWords(), BitVec(config_.code.n()));
+    // Power-on state: store the encoding of all-zero data so that every
+    // word holds a consistent codeword.
+    const BitVec zero_cw = config_.code.encode(BitVec(config_.code.k()));
+    for (auto &word : cells_)
+        word = zero_cw;
+}
+
+void
+Chip::writeDataword(std::size_t word_index, const BitVec &data)
+{
+    BEER_ASSERT(word_index < cells_.size());
+    cells_[word_index] = config_.code.encode(data);
+}
+
+gf2::BitVec
+Chip::readDataword(std::size_t word_index)
+{
+    BEER_ASSERT(word_index < cells_.size());
+    BitVec received = cells_[word_index];
+    if (config_.transientErrorRate > 0.0) {
+        for (std::size_t i = 0; i < received.size(); ++i)
+            if (rng_.bernoulli(config_.transientErrorRate))
+                received.flip(i);
+    }
+    return ecc::decode(config_.code, received).dataword;
+}
+
+void
+Chip::writeByte(std::size_t byte_addr, std::uint8_t value)
+{
+    const auto slot = config_.map.slotOfByte(byte_addr);
+    // On-die ECC works on whole words: read-modify-write the dataword.
+    // The read bypasses decoding on purpose — a real chip's write path
+    // merges raw data; going through the decoder here would scrub
+    // retention errors on every byte write.
+    BitVec data = config_.code.extractData(cells_[slot.wordIndex]);
+    for (std::size_t b = 0; b < 8; ++b)
+        data.set(slot.byteInWord * 8 + b, (value >> b) & 1);
+    writeDataword(slot.wordIndex, data);
+}
+
+std::uint8_t
+Chip::readByte(std::size_t byte_addr)
+{
+    const auto slot = config_.map.slotOfByte(byte_addr);
+    const BitVec data = readDataword(slot.wordIndex);
+    std::uint8_t out = 0;
+    for (std::size_t b = 0; b < 8; ++b)
+        if (data.get(slot.byteInWord * 8 + b))
+            out |= (std::uint8_t)(1u << b);
+    return out;
+}
+
+void
+Chip::fill(std::uint8_t value)
+{
+    BitVec data(config_.code.k());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data.set(i, (value >> (i % 8)) & 1);
+    for (std::size_t w = 0; w < cells_.size(); ++w)
+        writeDataword(w, data);
+}
+
+void
+Chip::pauseRefresh(double seconds, double temp_c)
+{
+    const double ber =
+        config_.retention.failProbability(seconds, temp_c);
+    ++pauseEpoch_;
+
+    const std::size_t n = config_.code.n();
+    for (std::size_t w = 0; w < cells_.size(); ++w) {
+        const CellType type = cellTypeOfWord(w);
+        BitVec &word = cells_[w];
+        for (std::size_t bit = 0; bit < n; ++bit) {
+            const bool value = word.get(bit);
+            if (chargeOf(value, type) != ChargeState::Charged)
+                continue;
+            bool fails;
+            if (config_.iidErrors) {
+                fails = rng_.bernoulli(ber);
+            } else {
+                const std::uint64_t cell_id = (std::uint64_t)w * n + bit;
+                if (config_.vrtRate > 0.0 &&
+                    rng_.bernoulli(config_.vrtRate)) {
+                    // VRT: the cell transiently follows a different
+                    // retention time this pause.
+                    fails = config_.retention.cellFails(
+                        config_.seed ^ (0x1157ULL + pauseEpoch_),
+                        cell_id, seconds, temp_c);
+                } else {
+                    fails = config_.retention.cellFails(
+                        config_.seed, cell_id, seconds, temp_c);
+                }
+            }
+            if (fails) {
+                word.set(bit, decayedValue(type));
+                ++rawErrors_;
+            }
+        }
+    }
+}
+
+CellType
+Chip::cellTypeOfWord(std::size_t word_index) const
+{
+    return config_.cellLayout.typeOfRow(
+        config_.map.rowOfWord(word_index));
+}
+
+const gf2::BitVec &
+Chip::storedCodeword(std::size_t word_index) const
+{
+    BEER_ASSERT(word_index < cells_.size());
+    return cells_[word_index];
+}
+
+ChipConfig
+makeVendorConfig(char vendor, std::size_t k, std::uint64_t seed)
+{
+    BEER_ASSERT(k % 8 == 0);
+    ChipConfig config;
+    config.map.bytesPerWord = k / 8;
+    config.map.wordsPerRegion = 2;
+    config.map.bytesPerRow = 2 * k / 8; // one region per row
+    config.map.rows = 256;
+    config.seed = seed;
+
+    util::Rng rng(seed ^ (std::uint64_t)vendor * 0x9e3779b97f4a7c15ULL);
+    switch (vendor) {
+      case 'A':
+        config.cellLayout = CellTypeLayout::allTrue();
+        config.code = ecc::randomSecCode(k, rng);
+        break;
+      case 'B':
+        config.cellLayout = CellTypeLayout::allTrue();
+        config.code = ecc::canonicalSecCode(k);
+        break;
+      case 'C':
+        config.cellLayout =
+            CellTypeLayout::alternating({8, 8, 12, 12});
+        config.code = ecc::randomSecCode(k, rng);
+        break;
+      default:
+        util::fatal("unknown vendor '%c' (expected A, B, or C)", vendor);
+    }
+    return config;
+}
+
+} // namespace beer::dram

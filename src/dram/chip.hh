@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A simulated DRAM chip with on-die ECC.
+ *
+ * This is the stand-in for the paper's 80 real LPDDR4 chips: the ECC
+ * function is a construction-time secret, and the only externally
+ * visible interface is writing/reading datawords (or bytes) and
+ * manipulating the refresh window — exactly the interface BEER assumes.
+ * Ground-truth accessors are provided for validation in simulation and
+ * are clearly marked; BEER itself never uses them.
+ *
+ * Error behaviour implemented (paper Section 3.2):
+ *  - data-retention errors: unidirectional CHARGED -> DISCHARGED decay,
+ *    spatially uniform-random, controlled by refresh-pause length and
+ *    temperature, and repeatable (per-cell deterministic retention
+ *    times) unless iid mode is selected;
+ *  - transient errors: rare random flips on read that do not persist,
+ *    modeling particle strikes / VRT noise (used to evaluate BEER's
+ *    thresholding filter, Figure 4).
+ */
+
+#ifndef BEER_DRAM_CHIP_HH
+#define BEER_DRAM_CHIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/layout.hh"
+#include "dram/retention.hh"
+#include "dram/types.hh"
+#include "ecc/linear_code.hh"
+#include "util/rng.hh"
+
+namespace beer::dram
+{
+
+/** Construction parameters for a simulated chip. */
+struct ChipConfig
+{
+    AddressMap map;
+    CellTypeLayout cellLayout;
+    /** The secret on-die ECC function. k must be 8 * map.bytesPerWord. */
+    ecc::LinearCode code = ecc::paperExampleCode();
+    RetentionModel retention;
+    /** Per-cell per-read transient flip probability (non-persistent). */
+    double transientErrorRate = 0.0;
+    /**
+     * Variable-retention-time rate: on each pauseRefresh(), this
+     * fraction of cells (chosen afresh per pause) behaves per a
+     * re-drawn retention time instead of its fixed one, modeling VRT
+     * cells (one of the noise sources Section 5.2 lists). Only
+     * meaningful in the per-cell (non-iid) mode.
+     */
+    double vrtRate = 0.0;
+    /**
+     * If true, each pauseRefresh() draws fresh iid errors at the model
+     * BER instead of using fixed per-cell retention times. Faster and
+     * samples more distinct error patterns per experiment; used by the
+     * profile-measurement loops. If false, errors are repeatable.
+     */
+    bool iidErrors = false;
+    std::uint64_t seed = 1;
+};
+
+/** Simulated DRAM chip; see file comment. */
+class Chip
+{
+  public:
+    explicit Chip(ChipConfig config);
+
+    // ---- geometry -------------------------------------------------------
+    std::size_t numWords() const { return config_.map.numWords(); }
+    std::size_t numBytes() const { return config_.map.numBytes(); }
+    std::size_t datawordBits() const { return config_.code.k(); }
+    const AddressMap &addressMap() const { return config_.map; }
+
+    // ---- data interface (everything a real chip exposes) ----------------
+    /** Write a k-bit dataword; the chip encodes and stores it. */
+    void writeDataword(std::size_t word_index, const gf2::BitVec &data);
+
+    /** Read a dataword through the on-die ECC decoder. */
+    gf2::BitVec readDataword(std::size_t word_index);
+
+    /** Byte-granularity accessors through the address map. */
+    void writeByte(std::size_t byte_addr, std::uint8_t value);
+    std::uint8_t readByte(std::size_t byte_addr);
+
+    /** Fill every data byte of the chip with @p value. */
+    void fill(std::uint8_t value);
+
+    /**
+     * Disable refresh for @p seconds at @p temp_c, injecting
+     * data-retention errors into the stored cells. Errors persist until
+     * the affected word is rewritten.
+     */
+    void pauseRefresh(double seconds, double temp_c);
+
+    // ---- ground truth (simulation/validation only) -----------------------
+    /** The secret ECC function. BEER never calls this. */
+    const ecc::LinearCode &groundTruthCode() const { return config_.code; }
+
+    /** Cell type of the row holding @p word_index. */
+    CellType cellTypeOfWord(std::size_t word_index) const;
+
+    /** Raw stored codeword including parity bits (pre-decode view). */
+    const gf2::BitVec &storedCodeword(std::size_t word_index) const;
+
+    /** Raw error count injected by pauseRefresh() so far (validation). */
+    std::uint64_t rawErrorCount() const { return rawErrors_; }
+
+    const RetentionModel &retentionModel() const
+    {
+        return config_.retention;
+    }
+
+  private:
+    ChipConfig config_;
+    /** Stored codeword (value domain, not charge domain) per word. */
+    std::vector<gf2::BitVec> cells_;
+    util::Rng rng_;
+    std::uint64_t pauseEpoch_ = 0;
+    std::uint64_t rawErrors_ = 0;
+};
+
+/**
+ * Build a chip configuration in the style of one of the paper's three
+ * anonymized manufacturers:
+ *  - 'A': all true-cells, unstructured (random) ECC function;
+ *  - 'B': all true-cells, structured (canonical) ECC function, whose
+ *         regular parity-check matrix produces the repeating
+ *         miscorrection patterns the paper observes;
+ *  - 'C': alternating true-/anti-cell row blocks, random ECC function.
+ *
+ * @param vendor 'A', 'B', or 'C'
+ * @param k      dataword length in bits (multiple of 8)
+ * @param seed   secret-selection and error seed
+ */
+ChipConfig makeVendorConfig(char vendor, std::size_t k,
+                            std::uint64_t seed);
+
+} // namespace beer::dram
+
+#endif // BEER_DRAM_CHIP_HH

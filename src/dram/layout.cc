@@ -1,0 +1,68 @@
+#include "dram/layout.hh"
+
+#include "util/logging.hh"
+
+namespace beer::dram
+{
+
+AddressMap::WordSlot
+AddressMap::slotOfByte(std::size_t byte_addr) const
+{
+    BEER_ASSERT(byte_addr < numBytes());
+    const std::size_t region = byte_addr / bytesPerRegion();
+    const std::size_t offset = byte_addr % bytesPerRegion();
+    WordSlot slot;
+    slot.wordIndex = region * wordsPerRegion + offset % wordsPerRegion;
+    slot.byteInWord = offset / wordsPerRegion;
+    return slot;
+}
+
+std::size_t
+AddressMap::byteOfSlot(std::size_t word_index,
+                       std::size_t byte_in_word) const
+{
+    BEER_ASSERT(word_index < numWords());
+    BEER_ASSERT(byte_in_word < bytesPerWord);
+    const std::size_t region = word_index / wordsPerRegion;
+    const std::size_t lane = word_index % wordsPerRegion;
+    return region * bytesPerRegion() + byte_in_word * wordsPerRegion +
+           lane;
+}
+
+std::size_t
+AddressMap::rowOfWord(std::size_t word_index) const
+{
+    BEER_ASSERT(word_index < numWords());
+    return word_index / wordsPerRow();
+}
+
+void
+AddressMap::validate() const
+{
+    if (bytesPerWord == 0 || wordsPerRegion == 0 || rows == 0)
+        util::fatal("AddressMap: all dimensions must be nonzero");
+    if (bytesPerRow % bytesPerRegion() != 0)
+        util::fatal("AddressMap: bytesPerRow (%zu) must be a multiple of "
+                    "the region size (%zu)",
+                    bytesPerRow, bytesPerRegion());
+}
+
+CellType
+CellTypeLayout::typeOfRow(std::size_t row) const
+{
+    if (blockRows.empty())
+        return CellType::True;
+    std::size_t period = 0;
+    for (std::size_t height : blockRows)
+        period += height;
+    BEER_ASSERT(period > 0);
+    std::size_t offset = row % period;
+    for (std::size_t i = 0; i < blockRows.size(); ++i) {
+        if (offset < blockRows[i])
+            return (i % 2 == 0) ? CellType::True : CellType::Anti;
+        offset -= blockRows[i];
+    }
+    return CellType::True; // unreachable
+}
+
+} // namespace beer::dram

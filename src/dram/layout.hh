@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Physical layout of a simulated DRAM chip: how byte addresses map to
+ * ECC datawords and how true-/anti-cell regions tile the row space.
+ *
+ * The dataword layout follows what the paper reverse-engineers from all
+ * three manufacturers (Section 5.1.2): each contiguous 32B region holds
+ * two 16B ECC datawords interleaved at byte granularity. The true/anti
+ * layout follows Section 5.1.1: manufacturers A and B use exclusively
+ * true-cells; manufacturer C alternates true/anti blocks of rows.
+ */
+
+#ifndef BEER_DRAM_LAYOUT_HH
+#define BEER_DRAM_LAYOUT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dram/types.hh"
+
+namespace beer::dram
+{
+
+/** Byte-address to ECC-word mapping. */
+struct AddressMap
+{
+    /** Data bytes per ECC dataword (16 for a 128-bit dataword). */
+    std::size_t bytesPerWord = 16;
+    /** Datawords interleaved per region (2 in all chips studied). */
+    std::size_t wordsPerRegion = 2;
+    /** Data bytes per DRAM row. */
+    std::size_t bytesPerRow = 64;
+    /** Number of rows in the chip. */
+    std::size_t rows = 256;
+
+    std::size_t bytesPerRegion() const
+    {
+        return bytesPerWord * wordsPerRegion;
+    }
+    std::size_t regionsPerRow() const
+    {
+        return bytesPerRow / bytesPerRegion();
+    }
+    std::size_t wordsPerRow() const
+    {
+        return regionsPerRow() * wordsPerRegion;
+    }
+    std::size_t numWords() const { return rows * wordsPerRow(); }
+    std::size_t numBytes() const { return rows * bytesPerRow; }
+
+    /** Location of one data byte inside the ECC-word space. */
+    struct WordSlot
+    {
+        std::size_t wordIndex;
+        std::size_t byteInWord;
+    };
+
+    /** Map a chip byte address to its ECC word and byte offset. */
+    WordSlot slotOfByte(std::size_t byte_addr) const;
+
+    /** Inverse of slotOfByte(). */
+    std::size_t byteOfSlot(std::size_t word_index,
+                           std::size_t byte_in_word) const;
+
+    /** Row containing @p word_index (words never straddle rows). */
+    std::size_t rowOfWord(std::size_t word_index) const;
+
+    /** Sanity-check the configuration; fatal on inconsistency. */
+    void validate() const;
+};
+
+/**
+ * True-/anti-cell tiling: alternating blocks of rows, starting with a
+ * true-cell block. An empty block list means all rows are true-cells.
+ */
+struct CellTypeLayout
+{
+    /**
+     * Cyclic block heights in rows, alternating True, Anti, True, ...
+     * e.g. {8, 8, 12} means 8 true rows, 8 anti rows, 12 true rows,
+     * 8 anti rows, ... (the paper observed irregular block lengths of
+     * 800, 824, and 1224 rows on manufacturer C chips).
+     */
+    std::vector<std::size_t> blockRows;
+
+    /** Cell type of @p row under this tiling. */
+    CellType typeOfRow(std::size_t row) const;
+
+    /** All-true layout (manufacturers A and B). */
+    static CellTypeLayout allTrue() { return CellTypeLayout{}; }
+
+    /** Alternating layout (manufacturer C style). */
+    static CellTypeLayout
+    alternating(std::vector<std::size_t> block_rows)
+    {
+        return CellTypeLayout{std::move(block_rows)};
+    }
+};
+
+} // namespace beer::dram
+
+#endif // BEER_DRAM_LAYOUT_HH

@@ -1,0 +1,131 @@
+#include "dram/retention.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace beer::dram
+{
+
+namespace
+{
+
+/** Standard normal CDF. */
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+/** Inverse standard normal CDF (Acklam's rational approximation). */
+double
+normalQuantile(double p)
+{
+    BEER_ASSERT(p > 0.0 && p < 1.0);
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                    q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - plow) {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                     q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+}
+
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // anonymous namespace
+
+RetentionModel::RetentionModel(const Config &config)
+    : config_(config)
+{
+    BEER_ASSERT(config_.logSigma > 0.0);
+    BEER_ASSERT(config_.retentionHalvingCelsius > 0.0);
+}
+
+double
+RetentionModel::effectivePause(double pause_seconds, double temp_c) const
+{
+    // Hotter than refTempC shortens retention; model as lengthening the
+    // effective pause by 2^((T - Tref) / halving).
+    const double exponent =
+        (temp_c - config_.refTempC) / config_.retentionHalvingCelsius;
+    return pause_seconds * std::exp2(exponent);
+}
+
+double
+RetentionModel::failProbability(double pause_seconds, double temp_c) const
+{
+    if (pause_seconds <= 0.0)
+        return 0.0;
+    const double t = effectivePause(pause_seconds, temp_c);
+    const double z =
+        (std::log(t) - config_.logMedianRetention) / config_.logSigma;
+    return normalCdf(z);
+}
+
+double
+RetentionModel::cellRetentionSeconds(std::uint64_t seed,
+                                     std::uint64_t cell_id) const
+{
+    // Deterministic uniform in (0,1) from (seed, cell_id), then invert
+    // the log-normal CDF.
+    const std::uint64_t h = mix64(mix64(seed ^ 0x2545f4914f6cdd1dULL) ^
+                                  mix64(cell_id + 0x9e3779b97f4a7c15ULL));
+    double u = ((double)(h >> 11) + 0.5) * 0x1.0p-53;
+    const double z = normalQuantile(u);
+    return std::exp(config_.logMedianRetention + config_.logSigma * z);
+}
+
+bool
+RetentionModel::cellFails(std::uint64_t seed, std::uint64_t cell_id,
+                          double pause_seconds, double temp_c) const
+{
+    if (pause_seconds <= 0.0)
+        return false;
+    return cellRetentionSeconds(seed, cell_id) <
+           effectivePause(pause_seconds, temp_c);
+}
+
+double
+RetentionModel::pauseForBitErrorRate(double target_ber,
+                                     double temp_c) const
+{
+    BEER_ASSERT(target_ber > 0.0 && target_ber < 1.0);
+    const double z = normalQuantile(target_ber);
+    const double log_t = config_.logMedianRetention + config_.logSigma * z;
+    const double exponent =
+        (temp_c - config_.refTempC) / config_.retentionHalvingCelsius;
+    return std::exp(log_t) / std::exp2(exponent);
+}
+
+} // namespace beer::dram

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Data-retention error model.
+ *
+ * Each DRAM cell retains charge for a cell-specific retention time; a
+ * CHARGED cell decays (and its stored bit flips) when the time since
+ * its last refresh exceeds that retention time. Following the DRAM
+ * retention literature the paper builds on (Hamamoto+, Liu+, Patel+),
+ * the model uses:
+ *
+ *  - a log-normal tail for per-cell retention times, which yields the
+ *    uniform-random spatial error distribution BEER relies on;
+ *  - exponential (Arrhenius-style) temperature acceleration, with
+ *    retention halving every retentionHalvingCelsius degrees.
+ *
+ * Default parameters are calibrated to the operating points the paper
+ * reports for its LPDDR4 chips: BER ~1e-7 at a 2-minute refresh window
+ * and ~1e-3 at 22 minutes, both at 80C (Section 5.1.3).
+ */
+
+#ifndef BEER_DRAM_RETENTION_HH
+#define BEER_DRAM_RETENTION_HH
+
+#include <cstdint>
+
+namespace beer::dram
+{
+
+/** Log-normal retention-time model with temperature acceleration. */
+class RetentionModel
+{
+  public:
+    struct Config
+    {
+        /** Log-normal mu of retention time (log-seconds) at refTempC. */
+        double logMedianRetention = 10.698;
+        /** Log-normal sigma (log-seconds). */
+        double logSigma = 1.137;
+        /** Reference temperature for the parameters above. */
+        double refTempC = 80.0;
+        /** Retention time halves every this many degrees C. */
+        double retentionHalvingCelsius = 10.0;
+    };
+
+    RetentionModel() : RetentionModel(Config{}) {}
+    explicit RetentionModel(const Config &config);
+
+    /**
+     * Probability that a CHARGED cell decays within @p pause_seconds at
+     * @p temp_c — the raw bit error rate of CHARGED cells.
+     */
+    double failProbability(double pause_seconds, double temp_c) const;
+
+    /**
+     * Whether the cell with stable identifier @p cell_id fails after
+     * @p pause_seconds at @p temp_c.
+     *
+     * The per-cell retention time is derived deterministically from
+     * (seed, cell_id), so repeated tests of the same cell at the same
+     * conditions give identical outcomes — the repeatability property
+     * the paper's experiments depend on — without storing per-cell
+     * state.
+     */
+    bool cellFails(std::uint64_t seed, std::uint64_t cell_id,
+                   double pause_seconds, double temp_c) const;
+
+    /** Deterministic per-cell retention time (seconds at refTempC). */
+    double cellRetentionSeconds(std::uint64_t seed,
+                                std::uint64_t cell_id) const;
+
+    /**
+     * Refresh-window (seconds at @p temp_c) that produces raw bit error
+     * rate @p target_ber in CHARGED cells; inverse of
+     * failProbability().
+     */
+    double pauseForBitErrorRate(double target_ber, double temp_c) const;
+
+    const Config &config() const { return config_; }
+
+  private:
+    /** Pause time scaled to an equivalent duration at refTempC. */
+    double effectivePause(double pause_seconds, double temp_c) const;
+
+    Config config_;
+};
+
+} // namespace beer::dram
+
+#endif // BEER_DRAM_RETENTION_HH

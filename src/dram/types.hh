@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Basic DRAM cell concepts: true-/anti-cells and charge states.
+ *
+ * A true-cell encodes data '1' as a CHARGED capacitor; an anti-cell
+ * encodes data '1' as DISCHARGED (paper Section 3.1). Data-retention
+ * errors decay cells unidirectionally from CHARGED to DISCHARGED, which
+ * is the physical asymmetry that BEER's test patterns exploit.
+ */
+
+#ifndef BEER_DRAM_TYPES_HH
+#define BEER_DRAM_TYPES_HH
+
+#include <cstdint>
+
+namespace beer::dram
+{
+
+/** Charge-encoding convention of a cell. */
+enum class CellType : std::uint8_t
+{
+    True, //!< data '1' = CHARGED
+    Anti, //!< data '1' = DISCHARGED
+};
+
+/** Capacitor charge state. */
+enum class ChargeState : std::uint8_t
+{
+    Discharged = 0,
+    Charged = 1,
+};
+
+/** Charge state that a stored bit @p value produces in a @p type cell. */
+inline ChargeState
+chargeOf(bool value, CellType type)
+{
+    const bool charged = (type == CellType::True) ? value : !value;
+    return charged ? ChargeState::Charged : ChargeState::Discharged;
+}
+
+/** Bit value that a cell of @p type must store to reach @p state. */
+inline bool
+valueFor(ChargeState state, CellType type)
+{
+    const bool charged = state == ChargeState::Charged;
+    return (type == CellType::True) ? charged : !charged;
+}
+
+/** Value read from a fully decayed (DISCHARGED) cell of @p type. */
+inline bool
+decayedValue(CellType type)
+{
+    return valueFor(ChargeState::Discharged, type);
+}
+
+} // namespace beer::dram
+
+#endif // BEER_DRAM_TYPES_HH

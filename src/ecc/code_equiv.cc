@@ -1,0 +1,49 @@
+#include "ecc/code_equiv.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "gf2/bitvec.hh"
+#include "gf2/matrix.hh"
+
+namespace beer::ecc
+{
+
+using gf2::BitVec;
+using gf2::Matrix;
+
+LinearCode
+canonicalize(const LinearCode &code)
+{
+    const Matrix &p = code.pMatrix();
+    std::vector<BitVec> rows;
+    rows.reserve(p.rows());
+    for (std::size_t r = 0; r < p.rows(); ++r)
+        rows.push_back(p.row(r));
+    std::sort(rows.begin(), rows.end());
+
+    Matrix sorted(p.rows(), p.cols());
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        sorted.row(r) = rows[r];
+    return LinearCode(std::move(sorted));
+}
+
+bool
+equivalent(const LinearCode &a, const LinearCode &b)
+{
+    if (a.k() != b.k() || a.n() != b.n())
+        return false;
+    return canonicalize(a) == canonicalize(b);
+}
+
+bool
+isCanonical(const LinearCode &code)
+{
+    const Matrix &p = code.pMatrix();
+    for (std::size_t r = 0; r + 1 < p.rows(); ++r)
+        if (p.row(r + 1) < p.row(r))
+            return false;
+    return true;
+}
+
+} // namespace beer::ecc

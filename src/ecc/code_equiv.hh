@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Code equivalence under parity-bit relabeling.
+ *
+ * On-die ECC never exposes parity bits, so permuting the rows of P
+ * (equivalently: relabeling the invisible parity cells) yields an
+ * externally indistinguishable code (paper Sections 4.2.1, 5.4). BEER
+ * can therefore recover the ECC function only up to this equivalence;
+ * this module provides the canonical representative used both for
+ * counting distinct solutions (Figure 5) and for comparing a recovered
+ * code against the ground truth in simulation.
+ */
+
+#ifndef BEER_ECC_CODE_EQUIV_HH
+#define BEER_ECC_CODE_EQUIV_HH
+
+#include "ecc/linear_code.hh"
+
+namespace beer::ecc
+{
+
+/**
+ * Canonical representative of @p code's equivalence class: the rows of
+ * P sorted in ascending lexicographic order.
+ */
+LinearCode canonicalize(const LinearCode &code);
+
+/** True iff @p a and @p b are equivalent up to parity relabeling. */
+bool equivalent(const LinearCode &a, const LinearCode &b);
+
+/**
+ * True iff @p code's P matrix already has lexicographically sorted
+ * rows (the form the BEER solver's symmetry-breaking constraints
+ * enforce).
+ */
+bool isCanonical(const LinearCode &code);
+
+} // namespace beer::ecc
+
+#endif // BEER_ECC_CODE_EQUIV_HH

@@ -1,0 +1,79 @@
+#include "ecc/decoder.hh"
+
+#include "util/logging.hh"
+
+namespace beer::ecc
+{
+
+using gf2::BitVec;
+
+DecodeResult
+decode(const LinearCode &code, const BitVec &received)
+{
+    DecodeResult out;
+    out.codeword = received;
+
+    const BitVec s = code.syndrome(received);
+    if (!s.isZero()) {
+        const std::size_t pos = code.findColumn(s);
+        if (pos < code.n()) {
+            out.codeword.flip(pos);
+            out.flippedBit = pos;
+        } else {
+            out.detectedUncorrectable = true;
+        }
+    }
+    out.dataword = code.extractData(out.codeword);
+    return out;
+}
+
+std::string
+outcomeName(DecodeOutcome outcome)
+{
+    switch (outcome) {
+      case DecodeOutcome::NoError:
+        return "No error";
+      case DecodeOutcome::Corrected:
+        return "Correctable";
+      case DecodeOutcome::PartialCorrection:
+        return "Partial correction";
+      case DecodeOutcome::Miscorrection:
+        return "Miscorrection";
+      case DecodeOutcome::SilentCorruption:
+        return "Silent corruption";
+      case DecodeOutcome::DetectedUncorrectable:
+        return "Detected uncorrectable";
+    }
+    return "?";
+}
+
+DecodeOutcome
+classify(const LinearCode &code, const BitVec &original,
+         const BitVec &received, const DecodeResult &result)
+{
+    (void)code;
+    const BitVec raw_error = original ^ received;
+    const std::size_t raw_count = raw_error.popcount();
+
+    if (raw_count == 0) {
+        // A valid codeword has a zero syndrome; the decoder never acts.
+        BEER_ASSERT(result.flippedBit == SIZE_MAX);
+        return DecodeOutcome::NoError;
+    }
+
+    if (result.flippedBit == SIZE_MAX) {
+        return result.detectedUncorrectable
+                   ? DecodeOutcome::DetectedUncorrectable
+                   : DecodeOutcome::SilentCorruption;
+    }
+
+    const bool flipped_real_error = raw_error.get(result.flippedBit);
+    if (!flipped_real_error)
+        return DecodeOutcome::Miscorrection;
+    // For SEC codes a single raw error always decodes to the true
+    // codeword, so Corrected is exact, not just "flipped a real error".
+    return raw_count == 1 ? DecodeOutcome::Corrected
+                          : DecodeOutcome::PartialCorrection;
+}
+
+} // namespace beer::ecc

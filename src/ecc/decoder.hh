@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Syndrome decoding and decode-outcome classification.
+ *
+ * The decoder implements the standard on-die ECC behaviour described in
+ * Section 3.3 of the paper: compute s = H*c'; if s is zero do nothing;
+ * if s matches an H column flip that bit (even if the "correction" is
+ * wrong); if s matches no column (possible only for shortened codes) do
+ * nothing. Classification against the ground-truth codeword reproduces
+ * the paper's taxonomy: silent data corruption, partial correction, and
+ * miscorrection.
+ */
+
+#ifndef BEER_ECC_DECODER_HH
+#define BEER_ECC_DECODER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ecc/linear_code.hh"
+#include "gf2/bitvec.hh"
+
+namespace beer::ecc
+{
+
+/** Result of decoding one (possibly erroneous) codeword. */
+struct DecodeResult
+{
+    /** Post-correction dataword (what the DRAM bus would return). */
+    gf2::BitVec dataword;
+    /** Post-correction codeword (internal view, for simulation only). */
+    gf2::BitVec codeword;
+    /** Codeword position the decoder flipped, or n if none. */
+    std::size_t flippedBit = SIZE_MAX;
+    /** True iff the syndrome was nonzero but matched no H column. */
+    bool detectedUncorrectable = false;
+};
+
+/** Decode @p received with @p code's syndrome decoder. */
+DecodeResult decode(const LinearCode &code, const gf2::BitVec &received);
+
+/**
+ * Ground-truth classification of a decode event (simulation only; a
+ * real chip reveals none of this).
+ */
+enum class DecodeOutcome
+{
+    /** No raw errors, none introduced. */
+    NoError,
+    /** All raw errors corrected (exactly one raw error for SEC). */
+    Corrected,
+    /** Uncorrectable raw errors; decoder fixed one of them. */
+    PartialCorrection,
+    /** Decoder flipped a bit that had no raw error. */
+    Miscorrection,
+    /** Nonzero raw error with zero syndrome: slipped through silently. */
+    SilentCorruption,
+    /** Nonzero syndrome matching no column; decoder did nothing. */
+    DetectedUncorrectable,
+};
+
+/** Human-readable outcome name (used by the Table 1 bench). */
+std::string outcomeName(DecodeOutcome outcome);
+
+/**
+ * Classify a decode event given the transmitted codeword.
+ *
+ * @param code      the ECC code
+ * @param original  the error-free codeword that was stored
+ * @param received  the codeword after raw errors
+ * @param result    output of decode(code, received)
+ */
+DecodeOutcome classify(const LinearCode &code,
+                       const gf2::BitVec &original,
+                       const gf2::BitVec &received,
+                       const DecodeResult &result);
+
+} // namespace beer::ecc
+
+#endif // BEER_ECC_DECODER_HH

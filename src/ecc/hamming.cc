@@ -1,0 +1,86 @@
+#include "ecc/hamming.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace beer::ecc
+{
+
+using gf2::BitVec;
+using gf2::Matrix;
+
+std::size_t
+parityBitsForDataBits(std::size_t k)
+{
+    BEER_ASSERT(k >= 1);
+    std::size_t p = 2;
+    while (((std::size_t)1 << p) - 1 - p < k)
+        ++p;
+    return p;
+}
+
+bool
+isFullLengthDatawordLength(std::size_t k)
+{
+    const std::size_t p = parityBitsForDataBits(k);
+    return k == ((std::size_t)1 << p) - 1 - p;
+}
+
+namespace
+{
+
+/** All weight->=2 syndromes for p parity bits, as integers. */
+std::vector<std::size_t>
+dataColumnCandidates(std::size_t p)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t v = 1; v < ((std::size_t)1 << p); ++v)
+        if (util::popcount64(v) >= 2)
+            out.push_back(v);
+    return out;
+}
+
+LinearCode
+codeFromColumnIndices(std::size_t k, std::size_t p,
+                      const std::vector<std::size_t> &cols)
+{
+    Matrix pm(p, k);
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t r = 0; r < p; ++r)
+            if ((cols[c] >> r) & 1)
+                pm.set(r, c, true);
+    return LinearCode(std::move(pm));
+}
+
+} // anonymous namespace
+
+LinearCode
+randomSecCode(std::size_t k, util::Rng &rng)
+{
+    const std::size_t p = parityBitsForDataBits(k);
+    std::vector<std::size_t> candidates = dataColumnCandidates(p);
+    BEER_ASSERT(candidates.size() >= k);
+    // Partial Fisher-Yates: choose k distinct candidates in random order.
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j =
+            i + (std::size_t)rng.below(candidates.size() - i);
+        std::swap(candidates[i], candidates[j]);
+    }
+    candidates.resize(k);
+    return codeFromColumnIndices(k, p, candidates);
+}
+
+LinearCode
+canonicalSecCode(std::size_t k)
+{
+    const std::size_t p = parityBitsForDataBits(k);
+    std::vector<std::size_t> candidates = dataColumnCandidates(p);
+    BEER_ASSERT(candidates.size() >= k);
+    candidates.resize(k);
+    return codeFromColumnIndices(k, p, candidates);
+}
+
+} // namespace beer::ecc

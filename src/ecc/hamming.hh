@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Construction of single-error-correcting (SEC) Hamming codes.
+ *
+ * On-die ECC uses SEC Hamming codes (64- or 128-bit datawords in known
+ * implementations). The BEER evaluation sweeps both full-length codes
+ * (k = 2^p - 1 - p) and shortened codes; this module constructs random
+ * representatives of either kind, which is how the paper samples the
+ * design space of (2^p - 1 - p choose k) * k! possible ECC functions.
+ */
+
+#ifndef BEER_ECC_HAMMING_HH
+#define BEER_ECC_HAMMING_HH
+
+#include <cstddef>
+
+#include "ecc/linear_code.hh"
+#include "util/rng.hh"
+
+namespace beer::ecc
+{
+
+/** Smallest parity-bit count p with 2^p - 1 - p >= k. */
+std::size_t parityBitsForDataBits(std::size_t k);
+
+/**
+ * Construct a uniformly random SEC Hamming code with @p k data bits.
+ *
+ * Parity-bit count is the minimum for k. Data columns are a random
+ * selection (in random order) of the weight->=2 syndromes, so the result
+ * ranges over the full design space of standard-form SEC functions.
+ */
+LinearCode randomSecCode(std::size_t k, util::Rng &rng);
+
+/**
+ * The canonical SEC Hamming code with @p k data bits: data columns are
+ * the weight->=2 syndromes in ascending integer order. Deterministic;
+ * used for reproducible examples and tests.
+ */
+LinearCode canonicalSecCode(std::size_t k);
+
+/** True iff @p k corresponds to a full-length code (k = 2^p - 1 - p). */
+bool isFullLengthDatawordLength(std::size_t k);
+
+} // namespace beer::ecc
+
+#endif // BEER_ECC_HAMMING_HH

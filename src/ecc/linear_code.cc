@@ -1,0 +1,148 @@
+#include "ecc/linear_code.hh"
+
+#include "util/logging.hh"
+
+namespace beer::ecc
+{
+
+using gf2::BitVec;
+using gf2::Matrix;
+
+std::size_t
+syndromeIndex(const BitVec &syndrome)
+{
+    BEER_ASSERT(syndrome.size() <= 24);
+    std::size_t idx = 0;
+    for (std::size_t r = 0; r < syndrome.size(); ++r)
+        if (syndrome.get(r))
+            idx |= (std::size_t)1 << r;
+    return idx;
+}
+
+LinearCode::LinearCode(Matrix p_matrix)
+    : p_(std::move(p_matrix)),
+      k_(p_.cols()),
+      n_(p_.cols() + p_.rows())
+{
+    const std::size_t parity = p_.rows();
+    BEER_ASSERT(parity >= 1 && k_ >= 1);
+    BEER_ASSERT(parity <= 24);
+
+    syndromeToPosition_.assign((std::size_t)1 << parity,
+                               (std::uint32_t)n_);
+    // Parity columns are the identity; fill them first so that data
+    // columns (checked for validity elsewhere) take precedence when a
+    // malformed code duplicates a unit column.
+    for (std::size_t r = 0; r < parity; ++r)
+        syndromeToPosition_[(std::size_t)1 << r] =
+            (std::uint32_t)(k_ + r);
+    for (std::size_t c = 0; c < k_; ++c) {
+        const std::size_t idx = syndromeIndex(p_.col(c));
+        syndromeToPosition_[idx] = (std::uint32_t)c;
+    }
+}
+
+Matrix
+LinearCode::parityCheckMatrix() const
+{
+    return Matrix::hconcat(p_, Matrix::identity(p_.rows()));
+}
+
+Matrix
+LinearCode::generatorMatrix() const
+{
+    return Matrix::vconcat(Matrix::identity(k_), p_);
+}
+
+BitVec
+LinearCode::encode(const BitVec &dataword) const
+{
+    BEER_ASSERT(dataword.size() == k_);
+    return dataword.concat(p_.mulVec(dataword));
+}
+
+BitVec
+LinearCode::parityBits(const BitVec &dataword) const
+{
+    BEER_ASSERT(dataword.size() == k_);
+    return p_.mulVec(dataword);
+}
+
+BitVec
+LinearCode::extractData(const BitVec &codeword) const
+{
+    BEER_ASSERT(codeword.size() == n_);
+    return codeword.slice(0, k_);
+}
+
+BitVec
+LinearCode::syndrome(const BitVec &word) const
+{
+    BEER_ASSERT(word.size() == n_);
+    // H * c = P * d + parity(c).
+    BitVec s = p_.mulVec(word.slice(0, k_));
+    s ^= word.slice(k_, n_ - k_);
+    return s;
+}
+
+BitVec
+LinearCode::hColumn(std::size_t i) const
+{
+    BEER_ASSERT(i < n_);
+    if (i < k_)
+        return p_.col(i);
+    return BitVec::unit(n_ - k_, i - k_);
+}
+
+std::size_t
+LinearCode::findColumn(const BitVec &syndrome) const
+{
+    BEER_ASSERT(syndrome.size() == n_ - k_);
+    if (syndrome.isZero())
+        return n_;
+    return syndromeToPosition_[syndromeIndex(syndrome)];
+}
+
+bool
+LinearCode::isValidSec() const
+{
+    // All H columns distinct & nonzero. Parity columns are distinct
+    // units by construction, so check: no zero/weight-1 data column and
+    // no duplicate data columns.
+    std::vector<bool> seen((std::size_t)1 << p_.rows(), false);
+    for (std::size_t r = 0; r < p_.rows(); ++r)
+        seen[(std::size_t)1 << r] = true;
+    for (std::size_t c = 0; c < k_; ++c) {
+        const std::size_t idx = syndromeIndex(p_.col(c));
+        if (idx == 0 || seen[idx])
+            return false;
+        seen[idx] = true;
+    }
+    return true;
+}
+
+bool
+LinearCode::isFullLength() const
+{
+    const std::size_t parity = p_.rows();
+    return k_ == ((std::size_t)1 << parity) - 1 - parity;
+}
+
+std::string
+LinearCode::toString() const
+{
+    return parityCheckMatrix().toString();
+}
+
+LinearCode
+paperExampleCode()
+{
+    // Equation 1 of the paper: H = [1110 100 / 1101 010 / 1011 001].
+    return LinearCode(Matrix{
+        {1, 1, 1, 0},
+        {1, 1, 0, 1},
+        {1, 0, 1, 1},
+    });
+}
+
+} // namespace beer::ecc

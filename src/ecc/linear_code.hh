@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Systematic linear block codes in standard form.
+ *
+ * Following the paper's formalization (Section 4.2.1), every code is
+ * represented by the sub-matrix P of its standard-form parity-check
+ * matrix H = [P | I]: codewords are c = [d | P*d] and the generator is
+ * G^T = [I | P^T]. On-die ECC exposes only data bits, so all externally
+ * distinguishable codes have a unique representative of this form (up to
+ * a permutation of the rows of P; see code_equiv.hh).
+ */
+
+#ifndef BEER_ECC_LINEAR_CODE_HH
+#define BEER_ECC_LINEAR_CODE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gf2/bitvec.hh"
+#include "gf2/matrix.hh"
+
+namespace beer::ecc
+{
+
+/** A systematic (n, k) linear block code in standard form. */
+class LinearCode
+{
+  public:
+    /**
+     * Build from the P sub-matrix.
+     *
+     * @param p_matrix (n-k) x k matrix mapping data bits to parity bits
+     */
+    explicit LinearCode(gf2::Matrix p_matrix);
+
+    /** Number of data bits. */
+    std::size_t k() const { return k_; }
+    /** Codeword length. */
+    std::size_t n() const { return n_; }
+    /** Number of parity-check bits. */
+    std::size_t numParityBits() const { return n_ - k_; }
+
+    /** The P sub-matrix of H = [P | I]. */
+    const gf2::Matrix &pMatrix() const { return p_; }
+
+    /** Full parity-check matrix H = [P | I], (n-k) x n. */
+    gf2::Matrix parityCheckMatrix() const;
+
+    /** Generator matrix G, n x k, with c = G * d. */
+    gf2::Matrix generatorMatrix() const;
+
+    /** Encode a k-bit dataword into an n-bit codeword [d | P*d]. */
+    gf2::BitVec encode(const gf2::BitVec &dataword) const;
+
+    /** Just the parity bits P*d of a dataword. */
+    gf2::BitVec parityBits(const gf2::BitVec &dataword) const;
+
+    /** Data bits of a codeword (first k positions). */
+    gf2::BitVec extractData(const gf2::BitVec &codeword) const;
+
+    /** Syndrome H*c of an n-bit word. */
+    gf2::BitVec syndrome(const gf2::BitVec &word) const;
+
+    /**
+     * Column i of H: P's column for data positions (i < k), the unit
+     * vector e_{i-k} for parity positions.
+     */
+    gf2::BitVec hColumn(std::size_t i) const;
+
+    /**
+     * Codeword position whose H column equals @p syndrome, or n() if no
+     * column matches (possible only for shortened codes).
+     */
+    std::size_t findColumn(const gf2::BitVec &syndrome) const;
+
+    /**
+     * True iff this is a valid single-error-correcting code: all H
+     * columns distinct and nonzero (minimum distance >= 3).
+     */
+    bool isValidSec() const;
+
+    /**
+     * True iff the code is full-length for its parity-bit count, i.e.
+     * every nonzero syndrome appears as a column of H
+     * (k == 2^(n-k) - 1 - (n-k)).
+     */
+    bool isFullLength() const;
+
+    bool operator==(const LinearCode &other) const
+    {
+        return p_ == other.p_;
+    }
+
+    /** Render H for docs/debugging. */
+    std::string toString() const;
+
+  private:
+    gf2::Matrix p_;
+    std::size_t k_;
+    std::size_t n_;
+    /**
+     * Lookup table from syndrome (as an integer, bit r of the syndrome
+     * = bit r of the index) to codeword position, or n_ if absent.
+     * Sized 2^(n-k); the library targets on-die-ECC-scale codes where
+     * n-k <= 24.
+     */
+    std::vector<std::uint32_t> syndromeToPosition_;
+};
+
+/** Convert a syndrome BitVec to its integer table index. */
+std::size_t syndromeIndex(const gf2::BitVec &syndrome);
+
+/** The (7,4,3) Hamming code used as the paper's running example (Eq. 1). */
+LinearCode paperExampleCode();
+
+} // namespace beer::ecc
+
+#endif // BEER_ECC_LINEAR_CODE_HH

@@ -1,0 +1,134 @@
+#include "ecc/secded.hh"
+
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace beer::ecc
+{
+
+using gf2::BitVec;
+using gf2::Matrix;
+
+std::size_t
+SecDedCode::parityBitsFor(std::size_t k)
+{
+    BEER_ASSERT(k >= 1);
+    // Need k distinct odd-weight-(>=3) columns: 2^(p-1) - p available.
+    std::size_t p = 3;
+    while ((((std::size_t)1 << (p - 1)) - p) < k)
+        ++p;
+    return p;
+}
+
+namespace
+{
+
+std::vector<std::size_t>
+oddColumnCandidates(std::size_t p)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t v = 1; v < ((std::size_t)1 << p); ++v)
+        if (util::popcount64(v) % 2 == 1 && util::popcount64(v) >= 3)
+            out.push_back(v);
+    return out;
+}
+
+LinearCode
+buildFromColumns(std::size_t k, std::size_t p,
+                 const std::vector<std::size_t> &cols)
+{
+    Matrix pm(p, k);
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t r = 0; r < p; ++r)
+            if ((cols[c] >> r) & 1)
+                pm.set(r, c, true);
+    return LinearCode(std::move(pm));
+}
+
+} // anonymous namespace
+
+SecDedCode
+SecDedCode::minimal(std::size_t k)
+{
+    const std::size_t p = parityBitsFor(k);
+    std::vector<std::size_t> cols = oddColumnCandidates(p);
+    BEER_ASSERT(cols.size() >= k);
+    cols.resize(k);
+    return SecDedCode(buildFromColumns(k, p, cols));
+}
+
+SecDedCode
+SecDedCode::random(std::size_t k, util::Rng &rng)
+{
+    return randomWithParity(k, parityBitsFor(k), rng);
+}
+
+SecDedCode
+SecDedCode::randomWithParity(std::size_t k, std::size_t p,
+                             util::Rng &rng)
+{
+    BEER_ASSERT(p >= parityBitsFor(k));
+    std::vector<std::size_t> cols = oddColumnCandidates(p);
+    BEER_ASSERT(cols.size() >= k);
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + (std::size_t)rng.below(cols.size() - i);
+        std::swap(cols[i], cols[j]);
+    }
+    cols.resize(k);
+    return SecDedCode(buildFromColumns(k, p, cols));
+}
+
+SecDedCode::SecDedCode(LinearCode code)
+    : code_(std::move(code))
+{
+    if (!isValidSecDed(code_))
+        util::fatal("SecDedCode: matrix is not a valid SEC-DED form "
+                    "(columns must be distinct and odd-weight)");
+}
+
+bool
+SecDedCode::isValidSecDed(const LinearCode &code)
+{
+    std::vector<bool> seen((std::size_t)1 << code.numParityBits(),
+                           false);
+    for (std::size_t c = 0; c < code.n(); ++c) {
+        const std::size_t idx = syndromeIndex(code.hColumn(c));
+        if (idx == 0 || seen[idx])
+            return false;
+        if (util::popcount64(idx) % 2 == 0)
+            return false;
+        seen[idx] = true;
+    }
+    return true;
+}
+
+SecDedResult
+SecDedCode::decode(const BitVec &received) const
+{
+    SecDedResult out;
+    const BitVec syndrome = code_.syndrome(received);
+    BitVec corrected = received;
+
+    if (syndrome.isZero()) {
+        out.outcome = SecDedOutcome::Clean;
+    } else if (syndrome.popcount() % 2 == 1) {
+        const std::size_t pos = code_.findColumn(syndrome);
+        if (pos < code_.n()) {
+            corrected.flip(pos);
+            out.correctedBit = pos;
+            out.outcome = SecDedOutcome::Corrected;
+        } else {
+            // Odd syndrome with no matching column: >= 3 errors
+            // detected (possible for shortened codes).
+            out.outcome = SecDedOutcome::Detected;
+        }
+    } else {
+        out.outcome = SecDedOutcome::Detected;
+    }
+    out.dataword = code_.extractData(corrected);
+    return out;
+}
+
+} // namespace beer::ecc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SEC-DED (single-error-correcting, double-error-detecting) codes in
+ * the style of Hsiao, used as the rank-level ECC substrate for the
+ * paper's Section 7.2.1 use case (co-designing a memory-controller
+ * ECC with a known on-die ECC function) and for quantifying the
+ * Son et al. interference problem the paper cites: an on-die
+ * miscorrection can convert a detectable double error into an
+ * undetectable (or miscorrected) triple error at the rank level.
+ *
+ * Construction: standard form H = [P | I] where data columns are
+ * distinct odd-weight (>= 3) vectors and identity columns have weight
+ * 1; every column having odd weight gives the code minimum distance 4
+ * (SEC-DED), and a nonzero even-weight syndrome safely signals an
+ * uncorrectable (double) error.
+ */
+
+#ifndef BEER_ECC_SECDED_HH
+#define BEER_ECC_SECDED_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ecc/linear_code.hh"
+#include "util/rng.hh"
+
+namespace beer::ecc
+{
+
+/** Outcome of a SEC-DED decode. */
+enum class SecDedOutcome
+{
+    /** Zero syndrome: word accepted as-is. */
+    Clean,
+    /** Odd syndrome matching a column: single error corrected. */
+    Corrected,
+    /** Even nonzero syndrome (or unmatched odd): detected, no action. */
+    Detected,
+};
+
+/** Result of decoding one word with a SEC-DED code. */
+struct SecDedResult
+{
+    gf2::BitVec dataword;
+    SecDedOutcome outcome = SecDedOutcome::Clean;
+    /** Codeword position corrected, or n if none. */
+    std::size_t correctedBit = SIZE_MAX;
+};
+
+/** A systematic SEC-DED code built on LinearCode's representation. */
+class SecDedCode
+{
+  public:
+    /** Construct with the minimum parity-bit count for @p k. */
+    static SecDedCode minimal(std::size_t k);
+
+    /** Random code over the odd-weight column design space. */
+    static SecDedCode random(std::size_t k, util::Rng &rng);
+
+    /**
+     * Random code with an explicit parity-bit count @p p (>= the
+     * minimum for k); used to hit an exact codeword length, e.g. to
+     * match an inner code's dataword size in a two-level stack.
+     */
+    static SecDedCode randomWithParity(std::size_t k, std::size_t p,
+                                       util::Rng &rng);
+
+    /** Wrap an existing P matrix; fatal if not a valid SEC-DED form. */
+    explicit SecDedCode(LinearCode code);
+
+    const LinearCode &code() const { return code_; }
+    std::size_t k() const { return code_.k(); }
+    std::size_t n() const { return code_.n(); }
+
+    gf2::BitVec encode(const gf2::BitVec &dataword) const
+    {
+        return code_.encode(dataword);
+    }
+
+    /** Decode with SEC-DED semantics (see file comment). */
+    SecDedResult decode(const gf2::BitVec &received) const;
+
+    /** True iff all columns are odd weight and distinct (distance 4). */
+    static bool isValidSecDed(const LinearCode &code);
+
+    /** Smallest parity-bit count for a SEC-DED code with k data bits. */
+    static std::size_t parityBitsFor(std::size_t k);
+
+  private:
+    LinearCode code_;
+};
+
+} // namespace beer::ecc
+
+#endif // BEER_ECC_SECDED_HH

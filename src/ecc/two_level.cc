@@ -1,0 +1,156 @@
+#include "ecc/two_level.hh"
+
+#include "ecc/decoder.hh"
+#include "util/logging.hh"
+
+namespace beer::ecc
+{
+
+using gf2::BitVec;
+
+TwoLevelStack::TwoLevelStack(LinearCode inner_code, SecDedCode outer_code)
+    : inner(std::move(inner_code)), outer(std::move(outer_code))
+{
+    if (inner.k() != outer.n())
+        util::fatal("TwoLevelStack: inner dataword length (%zu) must "
+                    "equal outer codeword length (%zu)",
+                    inner.k(), outer.n());
+}
+
+StackOutcome
+TwoLevelStack::runWord(const BitVec &data, const BitVec &raw_errors) const
+{
+    BEER_ASSERT(data.size() == outer.k());
+    BEER_ASSERT(raw_errors.size() == inner.n());
+
+    // Encode through both levels, inject raw errors, decode back up.
+    const BitVec outer_cw = outer.encode(data);
+    const BitVec inner_cw = inner.encode(outer_cw);
+    const BitVec received = inner_cw ^ raw_errors;
+    const DecodeResult inner_out = decode(inner, received);
+    const SecDedResult outer_out = outer.decode(inner_out.dataword);
+
+    const bool data_ok = outer_out.dataword == data;
+    switch (outer_out.outcome) {
+      case SecDedOutcome::Clean:
+        return data_ok ? StackOutcome::Correct
+                       : StackOutcome::SilentDataCorruption;
+      case SecDedOutcome::Corrected:
+        return data_ok ? StackOutcome::CorrectAfterOuterFix
+                       : StackOutcome::SilentDataCorruption;
+      case SecDedOutcome::Detected:
+        return StackOutcome::DetectedUnsafeData;
+    }
+    return StackOutcome::SilentDataCorruption; // unreachable
+}
+
+namespace
+{
+
+void
+accumulate(HazardReport &report, StackOutcome outcome)
+{
+    ++report.patterns;
+    switch (outcome) {
+      case StackOutcome::Correct:
+        ++report.correct;
+        break;
+      case StackOutcome::CorrectAfterOuterFix:
+        ++report.correctedByOuter;
+        break;
+      case StackOutcome::DetectedUnsafeData:
+        ++report.detected;
+        break;
+      case StackOutcome::SilentDataCorruption:
+        ++report.silentCorruption;
+        break;
+    }
+}
+
+} // anonymous namespace
+
+HazardReport
+enumerateDoubleErrorOutcomes(const TwoLevelStack &stack,
+                             const BitVec &data)
+{
+    HazardReport report;
+    const std::size_t n = stack.inner.n();
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            BitVec errors(n);
+            errors.set(a, true);
+            errors.set(b, true);
+            accumulate(report, stack.runWord(data, errors));
+        }
+    }
+    return report;
+}
+
+HazardReport
+enumerateDoubleErrorOutcomesOuterOnly(const SecDedCode &outer,
+                                      const BitVec &data)
+{
+    HazardReport report;
+    const BitVec codeword = outer.encode(data);
+    const std::size_t n = outer.n();
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            BitVec received = codeword;
+            received.flip(a);
+            received.flip(b);
+            const SecDedResult out = outer.decode(received);
+            ++report.patterns;
+            if (out.outcome == SecDedOutcome::Detected)
+                ++report.detected;
+            else if (out.dataword == data)
+                ++report.correct; // cannot happen for distance-4 codes
+            else
+                ++report.silentCorruption;
+        }
+    }
+    return report;
+}
+
+SecDedCode
+coDesignOuterCode(const LinearCode &inner, std::size_t candidates,
+                  util::Rng &rng, HazardReport *best_report)
+{
+    BEER_ASSERT(candidates >= 1);
+    // Outer codeword length must equal the inner dataword length: pick
+    // the largest data size that fits, padding parity if necessary.
+    const std::size_t n_out = inner.k();
+    std::size_t k_out = n_out > 4 ? n_out - 4 : 1;
+    while (k_out + SecDedCode::parityBitsFor(k_out) > n_out)
+        --k_out;
+    BEER_ASSERT(k_out >= 1);
+    const std::size_t p_out = n_out - k_out;
+    BEER_ASSERT(SecDedCode::parityBitsFor(k_out) <= p_out);
+
+    const BitVec data(k_out); // all-zero data; outcomes are
+                              // data-independent for linear codes
+    SecDedCode best = SecDedCode::randomWithParity(k_out, p_out, rng);
+    HazardReport best_hazards;
+    bool have_best = false;
+
+    for (std::size_t i = 0; i < candidates; ++i) {
+        SecDedCode candidate =
+            SecDedCode::randomWithParity(k_out, p_out, rng);
+        if (candidate.n() != n_out)
+            util::fatal("coDesignOuterCode: size mismatch (%zu != %zu)",
+                        candidate.n(), n_out);
+        const TwoLevelStack stack(inner, candidate);
+        const HazardReport hazards =
+            enumerateDoubleErrorOutcomes(stack, data);
+        if (!have_best ||
+            hazards.silentCorruption < best_hazards.silentCorruption) {
+            best = std::move(candidate);
+            best_hazards = hazards;
+            have_best = true;
+        }
+    }
+    if (best_report)
+        *best_report = best_hazards;
+    return best;
+}
+
+} // namespace beer::ecc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Two-level ECC stack: on-die SEC (inner) + rank-level SEC-DED
+ * (outer), modeling the system organization of the paper's
+ * Section 7.2.1 use case.
+ *
+ * The memory controller encodes data with the outer SEC-DED code; the
+ * outer codeword is what the system writes to the chip, so it becomes
+ * the on-die (inner) SEC code's dataword. Raw DRAM errors strike the
+ * inner codeword; the inner decoder may miscorrect, handing the outer
+ * decoder error patterns that raw DRAM alone could never produce —
+ * the interference effect reported by Son et al. and cited by the
+ * paper as a reason third parties need the on-die ECC function.
+ *
+ * Knowing the inner function (via BEER), a designer can enumerate
+ * exactly which raw error patterns become outer-level hazards and
+ * choose an outer code that minimizes them — the co-design procedure
+ * benchmarked in bench/ablation_two_level_ecc.cc.
+ */
+
+#ifndef BEER_ECC_TWO_LEVEL_HH
+#define BEER_ECC_TWO_LEVEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ecc/linear_code.hh"
+#include "ecc/secded.hh"
+#include "util/rng.hh"
+
+namespace beer::ecc
+{
+
+/** Final, system-visible outcome of one two-level decode. */
+enum class StackOutcome
+{
+    /** Data correct, no alarm. */
+    Correct,
+    /** Data correct after outer correction. */
+    CorrectAfterOuterFix,
+    /** Outer ECC flagged an uncorrectable error (safe: no bad data). */
+    DetectedUnsafeData,
+    /** Data wrong and no alarm raised — the dangerous case. */
+    SilentDataCorruption,
+};
+
+/** An inner (on-die SEC) + outer (rank SEC-DED) pair. */
+struct TwoLevelStack
+{
+    /** On-die ECC; its dataword length must equal outer.n(). */
+    LinearCode inner;
+    SecDedCode outer;
+
+    TwoLevelStack(LinearCode inner_code, SecDedCode outer_code);
+
+    /** Controller data bits per stack word. */
+    std::size_t dataBits() const { return outer.k(); }
+    /** Physical cells per stack word. */
+    std::size_t cellBits() const { return inner.n(); }
+
+    /**
+     * Push @p data through encode -> raw errors -> inner decode ->
+     * outer decode and classify the result.
+     *
+     * @param raw_errors error pattern over the inner codeword (n_in
+     *                   bits)
+     */
+    StackOutcome runWord(const gf2::BitVec &data,
+                         const gf2::BitVec &raw_errors) const;
+};
+
+/** Outcome histogram over an enumeration of raw error patterns. */
+struct HazardReport
+{
+    std::uint64_t patterns = 0;
+    std::uint64_t correct = 0;
+    std::uint64_t correctedByOuter = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t silentCorruption = 0;
+
+    double
+    silentCorruptionRate() const
+    {
+        return patterns ? (double)silentCorruption / (double)patterns
+                        : 0.0;
+    }
+};
+
+/**
+ * Enumerate every raw double-bit error pattern in the inner codeword
+ * (the dominant uncorrectable-error case for SEC inner codes) and
+ * classify the system-level outcome. Without an inner code, a double
+ * error is always detected by SEC-DED; the inner decoder's
+ * miscorrections are what make silent corruption possible.
+ *
+ * @param data controller data used for every trial
+ */
+HazardReport enumerateDoubleErrorOutcomes(const TwoLevelStack &stack,
+                                          const gf2::BitVec &data);
+
+/** The same enumeration for the outer code alone (no inner ECC). */
+HazardReport enumerateDoubleErrorOutcomesOuterOnly(
+    const SecDedCode &outer, const gf2::BitVec &data);
+
+/**
+ * BEER-enabled co-design: sample @p candidates random outer codes and
+ * return the one with the fewest silent-corruption double-error
+ * patterns against @p inner (requires knowing the inner function —
+ * which is exactly what BEER provides).
+ */
+SecDedCode coDesignOuterCode(const LinearCode &inner,
+                             std::size_t candidates, util::Rng &rng,
+                             HazardReport *best_report = nullptr);
+
+} // namespace beer::ecc
+
+#endif // BEER_ECC_TWO_LEVEL_HH

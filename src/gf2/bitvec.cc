@@ -1,0 +1,281 @@
+#include "gf2/bitvec.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace beer::gf2
+{
+
+using util::lowMask64;
+using util::wordsForBits;
+
+BitVec::BitVec(std::size_t size)
+    : size_(size), words_(wordsForBits(size), 0)
+{
+}
+
+BitVec::BitVec(std::initializer_list<int> bits)
+    : BitVec(bits.size())
+{
+    std::size_t i = 0;
+    for (int b : bits)
+        set(i++, b != 0);
+}
+
+BitVec
+BitVec::fromString(const std::string &s)
+{
+    BitVec out(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        BEER_ASSERT(s[i] == '0' || s[i] == '1');
+        out.set(i, s[i] == '1');
+    }
+    return out;
+}
+
+BitVec
+BitVec::unit(std::size_t size, std::size_t i)
+{
+    BitVec out(size);
+    out.set(i, true);
+    return out;
+}
+
+BitVec
+BitVec::ones(std::size_t size)
+{
+    BitVec out(size);
+    for (auto &w : out.words_)
+        w = ~0ULL;
+    out.trimTail();
+    return out;
+}
+
+void
+BitVec::checkIndex(std::size_t i) const
+{
+    BEER_ASSERT(i < size_);
+}
+
+void
+BitVec::checkSameSize(const BitVec &other) const
+{
+    BEER_ASSERT(size_ == other.size_);
+}
+
+void
+BitVec::trimTail()
+{
+    const unsigned tail = size_ % 64;
+    if (tail && !words_.empty())
+        words_.back() &= lowMask64(tail);
+}
+
+bool
+BitVec::get(std::size_t i) const
+{
+    checkIndex(i);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void
+BitVec::set(std::size_t i, bool value)
+{
+    checkIndex(i);
+    const std::uint64_t mask = 1ULL << (i % 64);
+    if (value)
+        words_[i / 64] |= mask;
+    else
+        words_[i / 64] &= ~mask;
+}
+
+void
+BitVec::flip(std::size_t i)
+{
+    checkIndex(i);
+    words_[i / 64] ^= 1ULL << (i % 64);
+}
+
+void
+BitVec::clear()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+bool
+BitVec::isZero() const
+{
+    for (auto w : words_)
+        if (w)
+            return false;
+    return true;
+}
+
+std::size_t
+BitVec::popcount() const
+{
+    std::size_t total = 0;
+    for (auto w : words_)
+        total += (std::size_t)util::popcount64(w);
+    return total;
+}
+
+std::size_t
+BitVec::firstSet() const
+{
+    for (std::size_t wi = 0; wi < words_.size(); ++wi)
+        if (words_[wi])
+            return wi * 64 + (std::size_t)util::ctz64(words_[wi]);
+    return size_;
+}
+
+std::vector<std::size_t>
+BitVec::support() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+        std::uint64_t w = words_[wi];
+        while (w) {
+            out.push_back(wi * 64 + (std::size_t)util::ctz64(w));
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+BitVec &
+BitVec::operator^=(const BitVec &other)
+{
+    checkSameSize(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+    return *this;
+}
+
+BitVec
+BitVec::operator^(const BitVec &other) const
+{
+    BitVec out = *this;
+    out ^= other;
+    return out;
+}
+
+BitVec &
+BitVec::operator&=(const BitVec &other)
+{
+    checkSameSize(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+BitVec
+BitVec::operator&(const BitVec &other) const
+{
+    BitVec out = *this;
+    out &= other;
+    return out;
+}
+
+BitVec &
+BitVec::operator|=(const BitVec &other)
+{
+    checkSameSize(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+BitVec
+BitVec::operator|(const BitVec &other) const
+{
+    BitVec out = *this;
+    out |= other;
+    return out;
+}
+
+bool
+BitVec::dot(const BitVec &other) const
+{
+    checkSameSize(other);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        acc ^= words_[i] & other.words_[i];
+    return util::parity64(acc);
+}
+
+bool
+BitVec::isSubsetOf(const BitVec &other) const
+{
+    checkSameSize(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        if (words_[i] & ~other.words_[i])
+            return false;
+    return true;
+}
+
+BitVec
+BitVec::concat(const BitVec &other) const
+{
+    BitVec out(size_ + other.size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        out.set(i, get(i));
+    for (std::size_t i = 0; i < other.size_; ++i)
+        out.set(size_ + i, other.get(i));
+    return out;
+}
+
+BitVec
+BitVec::slice(std::size_t start, std::size_t len) const
+{
+    BEER_ASSERT(start + len <= size_);
+    BitVec out(len);
+    for (std::size_t i = 0; i < len; ++i)
+        out.set(i, get(start + i));
+    return out;
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+std::strong_ordering
+BitVec::operator<=>(const BitVec &other) const
+{
+    // Bit 0 is most significant: compare bit-reversed words.
+    const std::size_t n = std::min(size_, other.size_);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int a = get(i);
+        const int b = other.get(i);
+        if (a != b)
+            return a <=> b;
+    }
+    return size_ <=> other.size_;
+}
+
+std::string
+BitVec::toString() const
+{
+    std::string out(size_, '0');
+    for (std::size_t i = 0; i < size_; ++i)
+        if (get(i))
+            out[i] = '1';
+    return out;
+}
+
+std::size_t
+BitVec::hash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ size_;
+    for (auto w : words_) {
+        h ^= w;
+        h *= 0x100000001b3ULL;
+        h ^= h >> 29;
+    }
+    return (std::size_t)h;
+}
+
+} // namespace beer::gf2

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Packed dynamic bit vector over GF(2).
+ *
+ * BitVec is the element type for codewords, syndromes, error patterns,
+ * and matrix rows throughout the library. Arithmetic is word-parallel.
+ */
+
+#ifndef BEER_GF2_BITVEC_HH
+#define BEER_GF2_BITVEC_HH
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace beer::gf2
+{
+
+/** A fixed-size vector over GF(2), packed 64 bits per word. */
+class BitVec
+{
+  public:
+    /** Empty vector of length zero. */
+    BitVec() = default;
+
+    /** Zero vector of @p size bits. */
+    explicit BitVec(std::size_t size);
+
+    /** Construct from 0/1 initializer list, e.g. BitVec({1,0,1}). */
+    BitVec(std::initializer_list<int> bits);
+
+    /** Parse from a string of '0'/'1' characters, index 0 first. */
+    static BitVec fromString(const std::string &s);
+
+    /** Unit vector e_i of length @p size. */
+    static BitVec unit(std::size_t size, std::size_t i);
+
+    /** Vector with all bits set. */
+    static BitVec ones(std::size_t size);
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    bool get(std::size_t i) const;
+    void set(std::size_t i, bool value);
+    void flip(std::size_t i);
+
+    /** Set all bits to zero. */
+    void clear();
+
+    /** True iff every bit is zero. */
+    bool isZero() const;
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+
+    /** Index of the lowest set bit, or size() if none. */
+    std::size_t firstSet() const;
+
+    /** Indices of all set bits, ascending. */
+    std::vector<std::size_t> support() const;
+
+    /** XOR-accumulate @p other into this vector (sizes must match). */
+    BitVec &operator^=(const BitVec &other);
+    BitVec operator^(const BitVec &other) const;
+
+    /** AND-accumulate (set intersection of supports). */
+    BitVec &operator&=(const BitVec &other);
+    BitVec operator&(const BitVec &other) const;
+
+    /** OR-accumulate (set union of supports). */
+    BitVec &operator|=(const BitVec &other);
+    BitVec operator|(const BitVec &other) const;
+
+    /** Inner product over GF(2): parity of the AND of both vectors. */
+    bool dot(const BitVec &other) const;
+
+    /** True iff support(this) is a subset of support(other). */
+    bool isSubsetOf(const BitVec &other) const;
+
+    /** Concatenate two vectors: [this | other]. */
+    BitVec concat(const BitVec &other) const;
+
+    /** Sub-vector of @p len bits starting at @p start. */
+    BitVec slice(std::size_t start, std::size_t len) const;
+
+    bool operator==(const BitVec &other) const;
+
+    /**
+     * Lexicographic order with bit 0 most significant, so that sorting
+     * yields a canonical order independent of vector length padding.
+     */
+    std::strong_ordering operator<=>(const BitVec &other) const;
+
+    /** Render as a '0'/'1' string, index 0 first. */
+    std::string toString() const;
+
+    /** FNV-1a style hash for use in unordered containers. */
+    std::size_t hash() const;
+
+    /** Raw word access for performance-critical loops. */
+    const std::uint64_t *words() const { return words_.data(); }
+    std::uint64_t *words() { return words_.data(); }
+    std::size_t numWords() const { return words_.size(); }
+
+  private:
+    void checkIndex(std::size_t i) const;
+    void checkSameSize(const BitVec &other) const;
+    /** Clear any set bits beyond size_ in the last word. */
+    void trimTail();
+
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/** Hash functor for unordered containers keyed by BitVec. */
+struct BitVecHash
+{
+    std::size_t operator()(const BitVec &v) const { return v.hash(); }
+};
+
+} // namespace beer::gf2
+
+#endif // BEER_GF2_BITVEC_HH

@@ -1,0 +1,313 @@
+#include "gf2/matrix.hh"
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace beer::gf2
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows, BitVec(cols))
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<int>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_);
+    for (const auto &r : rows) {
+        BEER_ASSERT(r.size() == cols_);
+        data_.emplace_back(r);
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix out(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.set(i, i, true);
+    return out;
+}
+
+Matrix
+Matrix::random(std::size_t rows, std::size_t cols, util::Rng &rng)
+{
+    Matrix out(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::uint64_t word = 0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (c % 64 == 0)
+                word = rng.next();
+            out.data_[r].set(c, (word >> (c % 64)) & 1);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::hconcat(const Matrix &a, const Matrix &b)
+{
+    BEER_ASSERT(a.rows() == b.rows());
+    Matrix out(a.rows(), a.cols() + b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        out.data_[r] = a.data_[r].concat(b.data_[r]);
+    return out;
+}
+
+Matrix
+Matrix::vconcat(const Matrix &a, const Matrix &b)
+{
+    BEER_ASSERT(a.cols() == b.cols());
+    Matrix out(a.rows() + b.rows(), a.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        out.data_[r] = a.data_[r];
+    for (std::size_t r = 0; r < b.rows(); ++r)
+        out.data_[a.rows() + r] = b.data_[r];
+    return out;
+}
+
+bool
+Matrix::get(std::size_t r, std::size_t c) const
+{
+    BEER_ASSERT(r < rows_);
+    return data_[r].get(c);
+}
+
+void
+Matrix::set(std::size_t r, std::size_t c, bool value)
+{
+    BEER_ASSERT(r < rows_);
+    data_[r].set(c, value);
+}
+
+const BitVec &
+Matrix::row(std::size_t r) const
+{
+    BEER_ASSERT(r < rows_);
+    return data_[r];
+}
+
+BitVec &
+Matrix::row(std::size_t r)
+{
+    BEER_ASSERT(r < rows_);
+    return data_[r];
+}
+
+BitVec
+Matrix::col(std::size_t c) const
+{
+    BEER_ASSERT(c < cols_);
+    BitVec out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out.set(r, data_[r].get(c));
+    return out;
+}
+
+void
+Matrix::setCol(std::size_t c, const BitVec &v)
+{
+    BEER_ASSERT(c < cols_ && v.size() == rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        data_[r].set(c, v.get(r));
+}
+
+BitVec
+Matrix::mulVec(const BitVec &v) const
+{
+    BEER_ASSERT(v.size() == cols_);
+    BitVec out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out.set(r, data_[r].dot(v));
+    return out;
+}
+
+BitVec
+Matrix::mulVecLeft(const BitVec &v) const
+{
+    BEER_ASSERT(v.size() == rows_);
+    BitVec out(cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        if (v.get(r))
+            out ^= data_[r];
+    return out;
+}
+
+Matrix
+Matrix::mul(const Matrix &other) const
+{
+    BEER_ASSERT(cols_ == other.rows());
+    Matrix out(rows_, other.cols());
+    for (std::size_t r = 0; r < rows_; ++r)
+        out.data_[r] = other.mulVecLeft(data_[r]);
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            if (data_[r].get(c))
+                out.set(c, r, true);
+    return out;
+}
+
+Matrix
+Matrix::colRange(std::size_t first, std::size_t count) const
+{
+    BEER_ASSERT(first + count <= cols_);
+    Matrix out(rows_, count);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out.data_[r] = data_[r].slice(first, count);
+    return out;
+}
+
+std::size_t
+Matrix::rank() const
+{
+    const Matrix red = rref();
+    std::size_t nonzero = 0;
+    for (std::size_t r = 0; r < rows_; ++r)
+        if (!red.data_[r].isZero())
+            ++nonzero;
+    return nonzero;
+}
+
+std::string
+Matrix::toString() const
+{
+    std::string out;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            out += data_[r].get(c) ? '1' : '0';
+            if (c + 1 < cols_)
+                out += ' ';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+Matrix
+Matrix::rref() const
+{
+    Matrix m = *this;
+    std::size_t pivot_row = 0;
+    for (std::size_t c = 0; c < cols_ && pivot_row < rows_; ++c) {
+        std::size_t sel = pivot_row;
+        while (sel < rows_ && !m.data_[sel].get(c))
+            ++sel;
+        if (sel == rows_)
+            continue;
+        std::swap(m.data_[pivot_row], m.data_[sel]);
+        for (std::size_t r = 0; r < rows_; ++r)
+            if (r != pivot_row && m.data_[r].get(c))
+                m.data_[r] ^= m.data_[pivot_row];
+        ++pivot_row;
+    }
+    return m;
+}
+
+std::optional<BitVec>
+Matrix::solve(const BitVec &b) const
+{
+    BEER_ASSERT(b.size() == rows_);
+    // Augment [M | b] and reduce.
+    Matrix aug(rows_, cols_ + 1);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        aug.data_[r] = data_[r].concat(BitVec(1));
+        aug.data_[r].set(cols_, b.get(r));
+    }
+    const Matrix red = aug.rref();
+
+    BitVec x(cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const std::size_t lead = red.data_[r].firstSet();
+        if (lead == red.cols_)
+            continue; // all-zero row
+        if (lead == cols_)
+            return std::nullopt; // 0 = 1: inconsistent
+        x.set(lead, red.data_[r].get(cols_));
+    }
+    return x;
+}
+
+std::vector<BitVec>
+Matrix::nullBasis() const
+{
+    const Matrix red = rref();
+    std::vector<std::size_t> pivot_of_col(cols_, SIZE_MAX);
+    std::vector<bool> is_pivot(cols_, false);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const std::size_t lead = red.data_[r].firstSet();
+        if (lead < cols_) {
+            is_pivot[lead] = true;
+            pivot_of_col[lead] = r;
+        }
+    }
+
+    std::vector<BitVec> basis;
+    for (std::size_t free_col = 0; free_col < cols_; ++free_col) {
+        if (is_pivot[free_col])
+            continue;
+        BitVec v(cols_);
+        v.set(free_col, true);
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if (!is_pivot[c])
+                continue;
+            const std::size_t r = pivot_of_col[c];
+            if (red.data_[r].get(free_col))
+                v.set(c, true);
+        }
+        basis.push_back(v);
+    }
+    return basis;
+}
+
+std::optional<Matrix>
+Matrix::inverse() const
+{
+    BEER_ASSERT(rows_ == cols_);
+    Matrix aug = hconcat(*this, identity(rows_));
+    const Matrix red = aug.rref();
+    // The left half must be the identity.
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            if (red.get(r, c) != (r == c))
+                return std::nullopt;
+    return red.colRange(cols_, cols_);
+}
+
+bool
+Matrix::hasDuplicateColumns() const
+{
+    std::unordered_set<BitVec, BitVecHash> seen;
+    for (std::size_t c = 0; c < cols_; ++c)
+        if (!seen.insert(col(c)).second)
+            return true;
+    return false;
+}
+
+bool
+Matrix::hasZeroColumn() const
+{
+    for (std::size_t c = 0; c < cols_; ++c)
+        if (col(c).isZero())
+            return true;
+    return false;
+}
+
+bool
+Matrix::operator==(const Matrix &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+}
+
+} // namespace beer::gf2

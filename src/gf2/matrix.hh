@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Dense matrix over GF(2) with the operations the ECC and BEER layers
+ * need: multiplication, rank, row reduction, linear solves, and standard
+ * form manipulation of parity-check matrices.
+ */
+
+#ifndef BEER_GF2_MATRIX_HH
+#define BEER_GF2_MATRIX_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf2/bitvec.hh"
+#include "util/rng.hh"
+
+namespace beer::gf2
+{
+
+/** Row-major dense GF(2) matrix built from packed BitVec rows. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero matrix of @p rows x @p cols. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /**
+     * Construct from 0/1 initializer rows, e.g.
+     * Matrix({{1,0},{0,1}}).
+     */
+    Matrix(std::initializer_list<std::initializer_list<int>> rows);
+
+    /** Identity matrix of size @p n. */
+    static Matrix identity(std::size_t n);
+
+    /** Uniform-random matrix. */
+    static Matrix random(std::size_t rows, std::size_t cols,
+                         util::Rng &rng);
+
+    /** Horizontal concatenation [a | b]; row counts must match. */
+    static Matrix hconcat(const Matrix &a, const Matrix &b);
+
+    /** Vertical concatenation [a ; b]; column counts must match. */
+    static Matrix vconcat(const Matrix &a, const Matrix &b);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    bool get(std::size_t r, std::size_t c) const;
+    void set(std::size_t r, std::size_t c, bool value);
+
+    const BitVec &row(std::size_t r) const;
+    BitVec &row(std::size_t r);
+    /** Column @p c as a BitVec of length rows(). */
+    BitVec col(std::size_t c) const;
+    void setCol(std::size_t c, const BitVec &v);
+
+    /** Matrix-vector product over GF(2); v.size() must equal cols(). */
+    BitVec mulVec(const BitVec &v) const;
+
+    /** Vector-matrix product v^T * M; v.size() must equal rows(). */
+    BitVec mulVecLeft(const BitVec &v) const;
+
+    /** Matrix product over GF(2). */
+    Matrix mul(const Matrix &other) const;
+
+    Matrix transpose() const;
+
+    /** Submatrix of columns [first, first+count). */
+    Matrix colRange(std::size_t first, std::size_t count) const;
+
+    /** Rank via Gaussian elimination on a copy. */
+    std::size_t rank() const;
+
+    /** Reduced row-echelon form (returns a new matrix). */
+    Matrix rref() const;
+
+    /**
+     * Solve M x = b for one solution.
+     * @return std::nullopt if the system is inconsistent.
+     */
+    std::optional<BitVec> solve(const BitVec &b) const;
+
+    /** Basis of the null space {x : M x = 0}. */
+    std::vector<BitVec> nullBasis() const;
+
+    /**
+     * Inverse of a square full-rank matrix.
+     * @return std::nullopt if singular.
+     */
+    std::optional<Matrix> inverse() const;
+
+    /** True iff any two columns are equal. */
+    bool hasDuplicateColumns() const;
+
+    /** True iff some column is all-zero. */
+    bool hasZeroColumn() const;
+
+    bool operator==(const Matrix &other) const;
+
+    /** Multi-line "0 1 0 / 1 0 1" rendering for debugging and docs. */
+    std::string toString() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<BitVec> data_;
+};
+
+} // namespace beer::gf2
+
+#endif // BEER_GF2_MATRIX_HH

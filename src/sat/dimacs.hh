@@ -1,0 +1,45 @@
+/**
+ * @file
+ * DIMACS CNF parsing/printing. Used by the SAT unit tests to feed
+ * reference formulas to the solver and to dump BEER instances for
+ * inspection by external tools.
+ */
+
+#ifndef BEER_SAT_DIMACS_HH
+#define BEER_SAT_DIMACS_HH
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "sat/types.hh"
+
+namespace beer::sat
+{
+
+class Solver;
+
+/** A CNF formula as a plain clause list. */
+struct Cnf
+{
+    std::size_t numVars = 0;
+    std::vector<std::vector<Lit>> clauses;
+};
+
+/**
+ * Parse DIMACS CNF from @p in.
+ *
+ * Fatal on malformed input (this is a test/debug path, not a user
+ * input path).
+ */
+Cnf parseDimacs(std::istream &in);
+
+/** Print @p cnf in DIMACS format. */
+void printDimacs(const Cnf &cnf, std::ostream &out);
+
+/** Load a CNF into a fresh region of @p solver, creating variables. */
+void loadCnf(const Cnf &cnf, Solver &solver);
+
+} // namespace beer::sat
+
+#endif // BEER_SAT_DIMACS_HH

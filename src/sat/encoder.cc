@@ -1,0 +1,210 @@
+#include "sat/encoder.hh"
+
+#include "util/logging.hh"
+
+namespace beer::sat
+{
+
+Encoder::Encoder(Solver &solver)
+    : solver_(solver)
+{
+    trueLit_ = mkLit(solver_.newVar());
+    solver_.addClause(trueLit_);
+}
+
+Lit
+Encoder::fresh()
+{
+    ++auxVars_;
+    return mkLit(solver_.newVar());
+}
+
+Lit
+Encoder::mkAnd(Lit a, Lit b)
+{
+    if (a == constTrue())
+        return b;
+    if (b == constTrue())
+        return a;
+    if (a == constFalse() || b == constFalse())
+        return constFalse();
+    if (a == b)
+        return a;
+    if (a == ~b)
+        return constFalse();
+    const Lit y = fresh();
+    solver_.addClause(~y, a);
+    solver_.addClause(~y, b);
+    solver_.addClause(~a, ~b, y);
+    return y;
+}
+
+Lit
+Encoder::mkAnd(const std::vector<Lit> &lits)
+{
+    if (lits.empty())
+        return constTrue();
+    if (lits.size() == 1)
+        return lits[0];
+    // One n-ary gate: y -> each lit; (all lits) -> y.
+    const Lit y = fresh();
+    std::vector<Lit> big;
+    big.reserve(lits.size() + 1);
+    for (Lit l : lits) {
+        if (l == constFalse()) {
+            solver_.addClause(~y);
+            return y;
+        }
+        solver_.addClause(~y, l);
+        big.push_back(~l);
+    }
+    big.push_back(y);
+    solver_.addClause(std::move(big));
+    return y;
+}
+
+Lit
+Encoder::mkOr(Lit a, Lit b)
+{
+    return ~mkAnd(~a, ~b);
+}
+
+Lit
+Encoder::mkOr(const std::vector<Lit> &lits)
+{
+    if (lits.empty())
+        return constFalse();
+    std::vector<Lit> inverted;
+    inverted.reserve(lits.size());
+    for (Lit l : lits)
+        inverted.push_back(~l);
+    return ~mkAnd(inverted);
+}
+
+Lit
+Encoder::mkXor(Lit a, Lit b)
+{
+    if (a == constFalse())
+        return b;
+    if (b == constFalse())
+        return a;
+    if (a == constTrue())
+        return ~b;
+    if (b == constTrue())
+        return ~a;
+    if (a == b)
+        return constFalse();
+    if (a == ~b)
+        return constTrue();
+    const Lit y = fresh();
+    solver_.addClause(~y, a, b);
+    solver_.addClause(~y, ~a, ~b);
+    solver_.addClause(y, ~a, b);
+    solver_.addClause(y, a, ~b);
+    return y;
+}
+
+Lit
+Encoder::mkXor(const std::vector<Lit> &lits)
+{
+    Lit acc = constFalse();
+    for (Lit l : lits)
+        acc = mkXor(acc, l);
+    return acc;
+}
+
+Lit
+Encoder::mkEq(Lit a, Lit b)
+{
+    return ~mkXor(a, b);
+}
+
+Lit
+Encoder::mkIte(Lit cond, Lit t, Lit f)
+{
+    if (cond == constTrue())
+        return t;
+    if (cond == constFalse())
+        return f;
+    if (t == f)
+        return t;
+    const Lit y = fresh();
+    solver_.addClause(~cond, ~t, y);
+    solver_.addClause(~cond, t, ~y);
+    solver_.addClause(cond, ~f, y);
+    solver_.addClause(cond, f, ~y);
+    return y;
+}
+
+void
+Encoder::require(const std::vector<Lit> &lits)
+{
+    solver_.addClause(lits);
+}
+
+void
+Encoder::require(Lit a)
+{
+    solver_.addClause(a);
+}
+
+void
+Encoder::requireImplies(Lit a, Lit b)
+{
+    solver_.addClause(~a, b);
+}
+
+void
+Encoder::requireEqual(Lit a, Lit b)
+{
+    solver_.addClause(~a, b);
+    solver_.addClause(a, ~b);
+}
+
+void
+Encoder::requireXor(std::vector<Lit> lits, bool rhs)
+{
+    const Lit y = mkXor(lits);
+    require(rhs ? y : ~y);
+}
+
+void
+Encoder::requireAtMostOne(const std::vector<Lit> &lits)
+{
+    for (std::size_t i = 0; i < lits.size(); ++i)
+        for (std::size_t j = i + 1; j < lits.size(); ++j)
+            solver_.addClause(~lits[i], ~lits[j]);
+}
+
+void
+Encoder::requireExactlyOne(const std::vector<Lit> &lits)
+{
+    BEER_ASSERT(!lits.empty());
+    require(lits);
+    requireAtMostOne(lits);
+}
+
+void
+Encoder::requireLexLeq(const std::vector<Lit> &a,
+                       const std::vector<Lit> &b)
+{
+    BEER_ASSERT(a.size() == b.size());
+    // e_i: prefix a[0..i] equals b[0..i]. Enforce for every i:
+    //   e_{i-1} -> !(a_i & !b_i)
+    // with one-directional definitions sufficient to keep e true while
+    // the prefixes are in fact equal.
+    Lit prefix_eq = constTrue();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // prefix_eq -> (a_i -> b_i)
+        solver_.addClause(~prefix_eq, ~a[i], b[i]);
+        if (i + 1 == a.size())
+            break;
+        const Lit next = fresh();
+        // (prefix_eq & a_i & b_i) -> next ; (prefix_eq & !a_i & !b_i) -> next
+        solver_.addClause(~prefix_eq, ~a[i], ~b[i], next);
+        solver_.addClause(~prefix_eq, a[i], b[i], next);
+        prefix_eq = next;
+    }
+}
+
+} // namespace beer::sat

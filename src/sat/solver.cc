@@ -1,0 +1,645 @@
+#include "sat/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace beer::sat
+{
+
+namespace
+{
+
+// Arena layout per clause: [header][size][activity][lit0..litN-1].
+constexpr std::uint32_t kHeaderWords = 3;
+constexpr std::uint32_t kLearnedBit = 1;
+constexpr std::uint32_t kDeletedBit = 2;
+
+} // anonymous namespace
+
+Solver::Solver() = default;
+
+Var
+Solver::newVar()
+{
+    const Var v = numVars_++;
+    watches_.emplace_back();
+    watches_.emplace_back();
+    assigns_.push_back(LBool::Undef);
+    polarity_.push_back(0);
+    levels_.push_back(0);
+    reasons_.push_back(kCRefUndef);
+    activity_.push_back(0.0);
+    heapIndex_.push_back(-1);
+    seen_.push_back(0);
+    insertVarOrder(v);
+    return v;
+}
+
+Lit &
+Solver::clauseLit(CRef c, std::uint32_t i)
+{
+    return *reinterpret_cast<Lit *>(&arena_[c + kHeaderWords + i]);
+}
+
+Lit
+Solver::clauseLit(CRef c, std::uint32_t i) const
+{
+    Lit l;
+    l.x = (std::int32_t)arena_[c + kHeaderWords + i];
+    return l;
+}
+
+float &
+Solver::clauseActivity(CRef c)
+{
+    return *reinterpret_cast<float *>(&arena_[c + 2]);
+}
+
+CRef
+Solver::allocClause(const std::vector<Lit> &lits, bool learned)
+{
+    const CRef ref = (CRef)arena_.size();
+    arena_.push_back(learned ? kLearnedBit : 0);
+    arena_.push_back((std::uint32_t)lits.size());
+    arena_.push_back(0); // activity
+    for (Lit l : lits)
+        arena_.push_back((std::uint32_t)l.x);
+    stats_.arenaBytes = arena_.size() * sizeof(std::uint32_t);
+    return ref;
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits)
+{
+    BEER_ASSERT(decisionLevel() == 0 || propagateHead_ == trail_.size());
+    backtrack(0);
+
+    if (unsat_)
+        return false;
+
+    // Normalize: sort, drop duplicates, detect tautologies, and strip
+    // literals already false at the root level.
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    Lit prev = Lit::undef();
+    for (Lit l : lits) {
+        BEER_ASSERT(l.var() >= 0 && l.var() < numVars_);
+        if (value(l) == LBool::True || l == ~prev)
+            return true; // satisfied at root / tautology
+        if (value(l) == LBool::False || l == prev)
+            continue;
+        out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        unsat_ = true;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], kCRefUndef);
+        if (propagate() != kCRefUndef) {
+            unsat_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    const CRef c = allocClause(out, false);
+    clauses_.push_back(c);
+    watches_[(~out[0]).index()].push_back({c, out[1]});
+    watches_[(~out[1]).index()].push_back({c, out[0]});
+    return true;
+}
+
+bool
+Solver::addClause(Lit a)
+{
+    return addClause(std::vector<Lit>{a});
+}
+
+bool
+Solver::addClause(Lit a, Lit b)
+{
+    return addClause(std::vector<Lit>{a, b});
+}
+
+bool
+Solver::addClause(Lit a, Lit b, Lit c)
+{
+    return addClause(std::vector<Lit>{a, b, c});
+}
+
+bool
+Solver::addClause(Lit a, Lit b, Lit c, Lit d)
+{
+    return addClause(std::vector<Lit>{a, b, c, d});
+}
+
+LBool
+Solver::value(Lit l) const
+{
+    const LBool v = assigns_[(std::size_t)l.var()];
+    if (v == LBool::Undef)
+        return LBool::Undef;
+    return l.sign() ? !v : v;
+}
+
+void
+Solver::enqueue(Lit l, CRef reason)
+{
+    BEER_ASSERT(value(l) == LBool::Undef);
+    const auto v = (std::size_t)l.var();
+    assigns_[v] = lboolFromBool(!l.sign());
+    levels_[v] = decisionLevel();
+    reasons_[v] = reason;
+    trail_.push_back(l);
+}
+
+CRef
+Solver::propagate()
+{
+    while (propagateHead_ < trail_.size()) {
+        const Lit p = trail_[propagateHead_++];
+        ++stats_.propagations;
+        auto &ws = watches_[p.index()];
+        std::size_t keep = 0;
+        std::size_t i = 0;
+        while (i < ws.size()) {
+            const Watcher w = ws[i];
+            if (value(w.blocker) == LBool::True) {
+                ws[keep++] = ws[i++];
+                continue;
+            }
+
+            const CRef c = ws[i].clause;
+            const Lit false_lit = ~p;
+            if (clauseLit(c, 0) == false_lit) {
+                clauseLit(c, 0) = clauseLit(c, 1);
+                clauseLit(c, 1) = false_lit;
+            }
+            ++i;
+
+            const Lit first = clauseLit(c, 0);
+            if (first != w.blocker && value(first) == LBool::True) {
+                ws[keep++] = {c, first};
+                continue;
+            }
+
+            // Search for a non-false literal to watch instead.
+            const std::uint32_t size = clauseSize(c);
+            bool found = false;
+            for (std::uint32_t k = 2; k < size; ++k) {
+                const Lit cand = clauseLit(c, k);
+                if (value(cand) != LBool::False) {
+                    clauseLit(c, 1) = cand;
+                    clauseLit(c, k) = false_lit;
+                    watches_[(~cand).index()].push_back({c, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                continue;
+
+            // Clause is unit or conflicting under the current trail.
+            ws[keep++] = {c, first};
+            if (value(first) == LBool::False) {
+                // Conflict: salvage the remaining watchers and bail out.
+                while (i < ws.size())
+                    ws[keep++] = ws[i++];
+                ws.resize(keep);
+                propagateHead_ = trail_.size();
+                return c;
+            }
+            enqueue(first, c);
+        }
+        ws.resize(keep);
+    }
+    return kCRefUndef;
+}
+
+void
+Solver::backtrack(int target_level)
+{
+    if (decisionLevel() <= target_level)
+        return;
+    const std::size_t lim = trailLims_[(std::size_t)target_level];
+    for (std::size_t i = trail_.size(); i-- > lim;) {
+        const auto v = (std::size_t)trail_[i].var();
+        polarity_[v] = assigns_[v] == LBool::True ? 1 : 0;
+        assigns_[v] = LBool::Undef;
+        reasons_[v] = kCRefUndef;
+        if (!heapContains((Var)v))
+            insertVarOrder((Var)v);
+    }
+    trail_.resize(lim);
+    trailLims_.resize((std::size_t)target_level);
+    propagateHead_ = trail_.size();
+}
+
+void
+Solver::analyze(CRef conflict, std::vector<Lit> &out_learned,
+                int &out_btlevel)
+{
+    out_learned.clear();
+    out_learned.push_back(Lit::undef()); // slot for the asserting literal
+
+    int path_count = 0;
+    Lit p = Lit::undef();
+    std::size_t index = trail_.size();
+
+    CRef c = conflict;
+    do {
+        BEER_ASSERT(c != kCRefUndef);
+        if (clauseLearned(c))
+            bumpClause(c);
+        const std::uint32_t size = clauseSize(c);
+        for (std::uint32_t k = p.isUndef() ? 0 : 1; k < size; ++k) {
+            const Lit q = clauseLit(c, k);
+            const auto v = (std::size_t)q.var();
+            if (seen_[v] || level(q.var()) == 0)
+                continue;
+            seen_[v] = 1;
+            bumpVar(q.var());
+            if (level(q.var()) >= decisionLevel())
+                ++path_count;
+            else
+                out_learned.push_back(q);
+        }
+
+        // Walk the trail back to the next marked literal.
+        while (!seen_[(std::size_t)trail_[index - 1].var()])
+            --index;
+        --index;
+        p = trail_[index];
+        c = reasons_[(std::size_t)p.var()];
+        seen_[(std::size_t)p.var()] = 0;
+        --path_count;
+    } while (path_count > 0);
+    out_learned[0] = ~p;
+
+    // Recursive clause minimization (MiniSat's "deep" mode).
+    analyzeToClear_.assign(out_learned.begin(), out_learned.end());
+    std::uint32_t abstract_levels = 0;
+    for (std::size_t i = 1; i < out_learned.size(); ++i)
+        abstract_levels |=
+            1u << (level(out_learned[i].var()) & 31);
+
+    std::size_t keep = 1;
+    for (std::size_t i = 1; i < out_learned.size(); ++i) {
+        const Lit l = out_learned[i];
+        if (reasons_[(std::size_t)l.var()] == kCRefUndef ||
+            !litRedundant(l, abstract_levels)) {
+            out_learned[keep++] = l;
+        }
+    }
+    out_learned.resize(keep);
+
+    for (Lit l : analyzeToClear_)
+        seen_[(std::size_t)l.var()] = 0;
+    analyzeToClear_.clear();
+
+    // Compute the backtrack level: highest level below the current one.
+    out_btlevel = 0;
+    if (out_learned.size() > 1) {
+        std::size_t max_i = 1;
+        for (std::size_t i = 2; i < out_learned.size(); ++i)
+            if (level(out_learned[i].var()) >
+                level(out_learned[max_i].var()))
+                max_i = i;
+        std::swap(out_learned[1], out_learned[max_i]);
+        out_btlevel = level(out_learned[1].var());
+    }
+}
+
+bool
+Solver::litRedundant(Lit l, std::uint32_t abstract_levels)
+{
+    analyzeStack_.clear();
+    analyzeStack_.push_back(l);
+    const std::size_t top = analyzeToClear_.size();
+
+    while (!analyzeStack_.empty()) {
+        const Lit cur = analyzeStack_.back();
+        analyzeStack_.pop_back();
+        const CRef c = reasons_[(std::size_t)cur.var()];
+        BEER_ASSERT(c != kCRefUndef);
+
+        const std::uint32_t size = clauseSize(c);
+        for (std::uint32_t k = 1; k < size; ++k) {
+            const Lit q = clauseLit(c, k);
+            const auto v = (std::size_t)q.var();
+            if (seen_[v] || level(q.var()) == 0)
+                continue;
+            if (reasons_[v] == kCRefUndef ||
+                !((1u << (level(q.var()) & 31)) & abstract_levels)) {
+                // Not removable: undo marks made during this check.
+                for (std::size_t i = top; i < analyzeToClear_.size(); ++i)
+                    seen_[(std::size_t)analyzeToClear_[i].var()] = 0;
+                analyzeToClear_.resize(top);
+                return false;
+            }
+            seen_[v] = 1;
+            analyzeStack_.push_back(q);
+            analyzeToClear_.push_back(q);
+        }
+    }
+    return true;
+}
+
+void
+Solver::bumpVar(Var v)
+{
+    activity_[(std::size_t)v] += varInc_;
+    if (activity_[(std::size_t)v] > 1e100) {
+        for (auto &a : activity_)
+            a *= 1e-100;
+        varInc_ *= 1e-100;
+    }
+    const auto idx = heapIndex_[(std::size_t)v];
+    if (idx >= 0)
+        heapUp((std::size_t)idx);
+}
+
+void
+Solver::decayVarActivity()
+{
+    varInc_ /= 0.95;
+}
+
+void
+Solver::bumpClause(CRef c)
+{
+    float &act = clauseActivity(c);
+    act += claInc_;
+    if (act > 1e20f) {
+        for (CRef lc : learned_)
+            clauseActivity(lc) *= 1e-20f;
+        claInc_ *= 1e-20f;
+    }
+}
+
+void
+Solver::insertVarOrder(Var v)
+{
+    if (heapContains(v))
+        return;
+    heapIndex_[(std::size_t)v] = (std::int32_t)heap_.size();
+    heap_.push_back(v);
+    heapUp(heap_.size() - 1);
+}
+
+void
+Solver::heapUp(std::size_t i)
+{
+    const Var v = heap_[i];
+    const double act = activity_[(std::size_t)v];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (activity_[(std::size_t)heap_[parent]] >= act)
+            break;
+        heap_[i] = heap_[parent];
+        heapIndex_[(std::size_t)heap_[i]] = (std::int32_t)i;
+        i = parent;
+    }
+    heap_[i] = v;
+    heapIndex_[(std::size_t)v] = (std::int32_t)i;
+}
+
+void
+Solver::heapDown(std::size_t i)
+{
+    const Var v = heap_[i];
+    const double act = activity_[(std::size_t)v];
+    while (true) {
+        const std::size_t left = 2 * i + 1;
+        if (left >= heap_.size())
+            break;
+        std::size_t best = left;
+        const std::size_t right = left + 1;
+        if (right < heap_.size() &&
+            activity_[(std::size_t)heap_[right]] >
+                activity_[(std::size_t)heap_[left]])
+            best = right;
+        if (activity_[(std::size_t)heap_[best]] <= act)
+            break;
+        heap_[i] = heap_[best];
+        heapIndex_[(std::size_t)heap_[i]] = (std::int32_t)i;
+        i = best;
+    }
+    heap_[i] = v;
+    heapIndex_[(std::size_t)v] = (std::int32_t)i;
+}
+
+std::uint32_t
+Solver::nextRandom()
+{
+    rngState_ ^= rngState_ << 13;
+    rngState_ ^= rngState_ >> 7;
+    rngState_ ^= rngState_ << 17;
+    return (std::uint32_t)(rngState_ >> 32);
+}
+
+Var
+Solver::pickBranchVar()
+{
+    // Occasional random decisions diversify restarts.
+    if (nextRandom() % 64 == 0 && !heap_.empty()) {
+        const Var v = heap_[nextRandom() % heap_.size()];
+        if (value(v) == LBool::Undef)
+            return v;
+    }
+    while (!heap_.empty()) {
+        const Var v = heap_[0];
+        // Pop the root.
+        heap_[0] = heap_.back();
+        heapIndex_[(std::size_t)heap_[0]] = 0;
+        heap_.pop_back();
+        heapIndex_[(std::size_t)v] = -1;
+        if (!heap_.empty() && heap_[0] != v)
+            heapDown(0);
+        if (value(v) == LBool::Undef)
+            return v;
+    }
+    return -1;
+}
+
+void
+Solver::reduceDb()
+{
+    // Drop the less active half of the learned clauses, keeping clauses
+    // that are currently reasons for trail literals.
+    std::sort(learned_.begin(), learned_.end(), [this](CRef a, CRef b) {
+        return clauseActivity(a) < clauseActivity(b);
+    });
+
+    auto locked = [this](CRef c) {
+        const Lit first = clauseLit(c, 0);
+        return value(first) == LBool::True &&
+               reasons_[(std::size_t)first.var()] == c;
+    };
+
+    std::vector<CRef> kept;
+    kept.reserve(learned_.size());
+    const std::size_t drop_target = learned_.size() / 2;
+    std::size_t dropped = 0;
+    for (std::size_t i = 0; i < learned_.size(); ++i) {
+        const CRef c = learned_[i];
+        if (dropped < drop_target && !locked(c) && clauseSize(c) > 2) {
+            arena_[c] |= kDeletedBit;
+            ++dropped;
+            ++stats_.deletedClauses;
+        } else {
+            kept.push_back(c);
+        }
+    }
+    learned_.swap(kept);
+    rebuildWatches();
+}
+
+void
+Solver::rebuildWatches()
+{
+    for (auto &ws : watches_)
+        ws.clear();
+    auto attach = [this](CRef c) {
+        const Lit l0 = clauseLit(c, 0);
+        const Lit l1 = clauseLit(c, 1);
+        watches_[(~l0).index()].push_back({c, l1});
+        watches_[(~l1).index()].push_back({c, l0});
+    };
+    for (CRef c : clauses_)
+        attach(c);
+    for (CRef c : learned_)
+        attach(c);
+}
+
+std::uint64_t
+Solver::luby(std::uint64_t i)
+{
+    // Sequence 1 1 2 1 1 2 4 ... ; i is 1-based.
+    std::uint64_t k = 1;
+    while ((1ULL << (k + 1)) - 1 <= i)
+        ++k;
+    while (i != (1ULL << k) - 1) {
+        i -= (1ULL << k) - 1;
+        k = 1;
+        while ((1ULL << (k + 1)) - 1 <= i)
+            ++k;
+    }
+    return 1ULL << (k - 1);
+}
+
+SolveResult
+Solver::solve(const std::vector<Lit> &assumptions)
+{
+    if (unsat_)
+        return SolveResult::Unsat;
+    assumptions_ = assumptions;
+    backtrack(0);
+    if (propagate() != kCRefUndef) {
+        unsat_ = true;
+        return SolveResult::Unsat;
+    }
+    const SolveResult out = search();
+    // Keep the model readable after returning; callers must not add
+    // clauses before reading it (addClause backtracks to level 0).
+    return out;
+}
+
+SolveResult
+Solver::search()
+{
+    std::uint64_t restart_count = 0;
+    std::uint64_t conflicts_until_restart = 100 * luby(++restart_count);
+    std::uint64_t conflicts_since_restart = 0;
+    std::vector<Lit> learned_clause;
+
+    while (true) {
+        const CRef conflict = propagate();
+        if (conflict != kCRefUndef) {
+            ++stats_.conflicts;
+            ++conflicts_since_restart;
+            if (conflictLimit_ && stats_.conflicts >= conflictLimit_)
+                return SolveResult::Unknown;
+            if (decisionLevel() == 0) {
+                unsat_ = true;
+                return SolveResult::Unsat;
+            }
+
+            int btlevel = 0;
+            analyze(conflict, learned_clause, btlevel);
+            backtrack(btlevel);
+
+            if (learned_clause.size() == 1) {
+                enqueue(learned_clause[0], kCRefUndef);
+            } else {
+                const CRef c = allocClause(learned_clause, true);
+                learned_.push_back(c);
+                ++stats_.learnedClauses;
+                watches_[(~learned_clause[0]).index()].push_back(
+                    {c, learned_clause[1]});
+                watches_[(~learned_clause[1]).index()].push_back(
+                    {c, learned_clause[0]});
+                bumpClause(c);
+                enqueue(learned_clause[0], c);
+            }
+            decayVarActivity();
+            claInc_ *= 1.0f / 0.999f;
+            continue;
+        }
+
+        if (conflicts_since_restart >= conflicts_until_restart) {
+            ++stats_.restarts;
+            conflicts_since_restart = 0;
+            conflicts_until_restart = 100 * luby(++restart_count);
+            backtrack(0);
+            continue;
+        }
+
+        if (learned_.size() >= maxLearned_) {
+            reduceDb();
+            maxLearned_ = maxLearned_ + maxLearned_ / 2;
+        }
+
+        // Re-apply assumptions, then branch.
+        Lit next = Lit::undef();
+        while ((std::size_t)decisionLevel() < assumptions_.size()) {
+            const Lit a = assumptions_[(std::size_t)decisionLevel()];
+            if (value(a) == LBool::True) {
+                trailLims_.push_back(trail_.size()); // dummy level
+            } else if (value(a) == LBool::False) {
+                return SolveResult::Unsat;
+            } else {
+                next = a;
+                break;
+            }
+        }
+
+        if (next.isUndef()) {
+            const Var v = pickBranchVar();
+            if (v < 0)
+                return SolveResult::Sat; // all variables assigned
+            next = mkLit(v, polarity_[(std::size_t)v] == 0);
+            ++stats_.decisions;
+        }
+
+        trailLims_.push_back(trail_.size());
+        enqueue(next, kCRefUndef);
+    }
+}
+
+bool
+Solver::modelValue(Var v) const
+{
+    BEER_ASSERT(v >= 0 && v < numVars_);
+    const LBool val = assigns_[(std::size_t)v];
+    BEER_ASSERT(val != LBool::Undef);
+    return val == LBool::True;
+}
+
+} // namespace beer::sat

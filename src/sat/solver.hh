@@ -1,0 +1,194 @@
+/**
+ * @file
+ * A from-scratch CDCL SAT solver.
+ *
+ * The BEER paper formulates ECC-function recovery as a satisfiability
+ * problem and solves it with Z3. This solver is our self-contained
+ * equivalent: conflict-driven clause learning with two-literal watches,
+ * EVSIDS branching, phase saving, Luby restarts, first-UIP learning with
+ * recursive clause minimization, and activity-based learned-clause
+ * deletion. It supports incremental use: clauses may be added between
+ * solve() calls (the model-enumeration loop in beer::BeerSolver relies
+ * on this to add blocking clauses), and solve() accepts assumptions.
+ */
+
+#ifndef BEER_SAT_SOLVER_HH
+#define BEER_SAT_SOLVER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.hh"
+
+namespace beer::sat
+{
+
+/** Counters exposed for the Figure-6 performance bench. */
+struct SolverStats
+{
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learnedClauses = 0;
+    std::uint64_t deletedClauses = 0;
+    /** Approximate heap footprint of the clause arena, in bytes. */
+    std::uint64_t arenaBytes = 0;
+};
+
+/** CDCL SAT solver; see file comment. */
+class Solver
+{
+  public:
+    Solver();
+
+    /** Create a fresh variable and return it. */
+    Var newVar();
+
+    std::size_t numVars() const { return (std::size_t)numVars_; }
+
+    /**
+     * Add a clause (disjunction of literals).
+     *
+     * May be called before or between solve() calls. Returns false if
+     * the clause makes the formula trivially unsatisfiable (e.g. the
+     * empty clause, or a unit contradicting a prior unit).
+     */
+    bool addClause(std::vector<Lit> lits);
+
+    /** Convenience overloads. */
+    bool addClause(Lit a);
+    bool addClause(Lit a, Lit b);
+    bool addClause(Lit a, Lit b, Lit c);
+    bool addClause(Lit a, Lit b, Lit c, Lit d);
+
+    /**
+     * Solve under optional assumptions.
+     *
+     * @param assumptions literals forced true for this call only
+     * @return Sat, Unsat, or Unknown if conflictLimit was hit
+     */
+    SolveResult solve(const std::vector<Lit> &assumptions = {});
+
+    /** Model value of @p v after a Sat result. */
+    bool modelValue(Var v) const;
+
+    /** True iff the clause set is known unsatisfiable. */
+    bool isUnsat() const { return unsat_; }
+
+    const SolverStats &stats() const { return stats_; }
+
+    /** 0 disables the limit (default). */
+    void setConflictLimit(std::uint64_t limit) { conflictLimit_ = limit; }
+
+    /** Random seed for branching tie-breaking / polarity noise. */
+    void setRandomSeed(std::uint64_t seed) { rngState_ = seed | 1; }
+
+  private:
+    // ---- clause arena -------------------------------------------------
+    /**
+     * Clauses live in one flat uint32 arena:
+     * [header | size | lit0 .. litN-1] where header bit0 = learned flag
+     * and the upper bits hold the activity bucket for learned clauses.
+     */
+    struct ClauseRef
+    {
+        CRef ref;
+    };
+
+    std::uint32_t &clauseSize(CRef c) { return arena_[c + 1]; }
+    std::uint32_t clauseSize(CRef c) const { return arena_[c + 1]; }
+    Lit &clauseLit(CRef c, std::uint32_t i);
+    Lit clauseLit(CRef c, std::uint32_t i) const;
+    bool clauseLearned(CRef c) const { return arena_[c] & 1; }
+    float &clauseActivity(CRef c);
+
+    CRef allocClause(const std::vector<Lit> &lits, bool learned);
+
+    // ---- assignment / trail -------------------------------------------
+    LBool value(Lit l) const;
+    LBool value(Var v) const { return assigns_[(std::size_t)v]; }
+    int level(Var v) const { return levels_[(std::size_t)v]; }
+    int decisionLevel() const { return (int)trailLims_.size(); }
+
+    void enqueue(Lit l, CRef reason);
+    CRef propagate();
+    void backtrack(int target_level);
+
+    // ---- conflict analysis --------------------------------------------
+    void analyze(CRef conflict, std::vector<Lit> &out_learned,
+                 int &out_btlevel);
+    bool litRedundant(Lit l, std::uint32_t abstract_levels);
+
+    // ---- branching -----------------------------------------------------
+    void bumpVar(Var v);
+    void decayVarActivity();
+    void bumpClause(CRef c);
+    Var pickBranchVar();
+    void insertVarOrder(Var v);
+
+    // heap helpers (binary max-heap on activity)
+    void heapUp(std::size_t i);
+    void heapDown(std::size_t i);
+    bool heapContains(Var v) const
+    {
+        return heapIndex_[(std::size_t)v] >= 0;
+    }
+
+    // ---- learned clause management --------------------------------------
+    void reduceDb();
+    void rebuildWatches();
+
+    // ---- search ---------------------------------------------------------
+    SolveResult search();
+    static std::uint64_t luby(std::uint64_t i);
+    std::uint32_t nextRandom();
+
+    // ---- state ----------------------------------------------------------
+    Var numVars_ = 0;
+    bool unsat_ = false;
+
+    std::vector<std::uint32_t> arena_;
+    std::vector<CRef> clauses_;        // problem clauses
+    std::vector<CRef> learned_;        // learned clauses
+
+    struct Watcher
+    {
+        CRef clause;
+        Lit blocker;
+    };
+    std::vector<std::vector<Watcher>> watches_; // indexed by Lit::index()
+
+    std::vector<LBool> assigns_;
+    std::vector<std::uint8_t> polarity_; // saved phases (1 = last false)
+    std::vector<int> levels_;
+    std::vector<CRef> reasons_;
+    std::vector<Lit> trail_;
+    std::vector<std::size_t> trailLims_;
+    std::size_t propagateHead_ = 0;
+
+    std::vector<double> activity_;
+    double varInc_ = 1.0;
+    std::vector<Var> heap_;
+    std::vector<std::int32_t> heapIndex_;
+
+    float claInc_ = 1.0f;
+
+    std::vector<Lit> assumptions_;
+
+    // temporaries for analyze()
+    std::vector<std::uint8_t> seen_;
+    std::vector<Lit> analyzeToClear_;
+    std::vector<Lit> analyzeStack_;
+
+    std::uint64_t conflictLimit_ = 0;
+    std::uint64_t rngState_ = 0x123456789abcdefULL;
+    std::size_t maxLearned_ = 4096;
+
+    SolverStats stats_;
+};
+
+} // namespace beer::sat
+
+#endif // BEER_SAT_SOLVER_HH

@@ -1,0 +1,182 @@
+#include "sim/word_sim.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace beer::sim
+{
+
+using gf2::BitVec;
+
+void
+WordSimStats::merge(const WordSimStats &other)
+{
+    auto merge_vec = [](std::vector<std::uint64_t> &dst,
+                        const std::vector<std::uint64_t> &src) {
+        if (dst.size() < src.size())
+            dst.resize(src.size(), 0);
+        for (std::size_t i = 0; i < src.size(); ++i)
+            dst[i] += src[i];
+    };
+    merge_vec(preCorrectionErrors, other.preCorrectionErrors);
+    merge_vec(postCorrectionErrors, other.postCorrectionErrors);
+    merge_vec(outcomes, other.outcomes);
+    wordsSimulated += other.wordsSimulated;
+    wordsWithRawErrors += other.wordsWithRawErrors;
+}
+
+namespace
+{
+
+constexpr std::size_t kNumOutcomes = 6;
+
+/**
+ * Sample an error count m >= 1 from Binomial(n, p) conditioned on at
+ * least one error, by sequential inversion of the conditional CDF.
+ */
+std::uint64_t
+conditionalBinomial(std::uint64_t n, double p, util::Rng &rng)
+{
+    const double q = 1.0 - p;
+    const double pmf0 = std::pow(q, (double)n);
+    const double norm = 1.0 - pmf0;
+    BEER_ASSERT(norm > 0.0);
+    double pmf = pmf0;
+    double cdf = 0.0;
+    const double u = rng.uniform() * norm;
+    std::uint64_t m = 0;
+    const double ratio = p / q;
+    while (m < n) {
+        ++m;
+        pmf *= ratio * (double)(n - m + 1) / (double)m;
+        cdf += pmf;
+        if (u < cdf)
+            break;
+    }
+    return m;
+}
+
+/** Flip @p count distinct positions drawn from @p positions. */
+void
+flipRandomSubset(BitVec &word, const std::vector<std::size_t> &positions,
+                 std::uint64_t count, util::Rng &rng,
+                 std::vector<std::size_t> &scratch)
+{
+    // Floyd's algorithm for sampling `count` distinct indices.
+    scratch.clear();
+    const std::size_t total = positions.size();
+    for (std::size_t j = total - count; j < total; ++j) {
+        std::size_t t = (std::size_t)rng.below(j + 1);
+        bool seen = false;
+        for (std::size_t s : scratch) {
+            if (s == t) {
+                seen = true;
+                break;
+            }
+        }
+        scratch.push_back(seen ? j : t);
+    }
+    for (std::size_t idx : scratch)
+        word.flip(positions[idx]);
+}
+
+WordSimStats
+simulateCore(const ecc::LinearCode &code, const BitVec &codeword,
+             const std::vector<std::size_t> &vulnerable, double per_bit_p,
+             std::uint64_t num_words, util::Rng &rng)
+{
+    WordSimStats stats;
+    stats.preCorrectionErrors.assign(code.n(), 0);
+    stats.postCorrectionErrors.assign(code.k(), 0);
+    stats.outcomes.assign(kNumOutcomes, 0);
+    stats.wordsSimulated = num_words;
+
+    if (vulnerable.empty() || per_bit_p <= 0.0) {
+        stats.outcomes[(std::size_t)ecc::DecodeOutcome::NoError] +=
+            num_words;
+        return stats;
+    }
+
+    const BitVec original_data = code.extractData(codeword);
+    // Probability that a word has at least one raw error.
+    const double p_any =
+        1.0 - std::pow(1.0 - per_bit_p, (double)vulnerable.size());
+
+    std::vector<std::size_t> scratch;
+    BitVec received(code.n());
+    std::uint64_t w = 0;
+    while (true) {
+        // Geometric skip to the next word containing raw errors.
+        const std::uint64_t gap = rng.geometric(p_any);
+        if (num_words - w <= gap) {
+            stats.outcomes[(std::size_t)ecc::DecodeOutcome::NoError] +=
+                num_words - w;
+            break;
+        }
+        w += gap;
+        stats.outcomes[(std::size_t)ecc::DecodeOutcome::NoError] += gap;
+        ++stats.wordsWithRawErrors;
+        ++w;
+
+        const std::uint64_t m =
+            conditionalBinomial(vulnerable.size(), per_bit_p, rng);
+        received = codeword;
+        flipRandomSubset(received, vulnerable, m, rng, scratch);
+
+        for (std::size_t pos : vulnerable)
+            if (received.get(pos) != codeword.get(pos))
+                ++stats.preCorrectionErrors[pos];
+
+        const ecc::DecodeResult result = ecc::decode(code, received);
+        const ecc::DecodeOutcome outcome =
+            ecc::classify(code, codeword, received, result);
+        ++stats.outcomes[(std::size_t)outcome];
+
+        for (std::size_t bit = 0; bit < code.k(); ++bit)
+            if (result.dataword.get(bit) != original_data.get(bit))
+                ++stats.postCorrectionErrors[bit];
+    }
+    return stats;
+}
+
+} // anonymous namespace
+
+WordSimStats
+simulateUniformErrors(const ecc::LinearCode &code, const BitVec &dataword,
+                      double rber, std::uint64_t num_words,
+                      util::Rng &rng)
+{
+    const BitVec codeword = code.encode(dataword);
+    std::vector<std::size_t> all_positions(code.n());
+    for (std::size_t i = 0; i < code.n(); ++i)
+        all_positions[i] = i;
+    return simulateCore(code, codeword, all_positions, rber, num_words,
+                        rng);
+}
+
+WordSimStats
+simulateRetentionErrors(const ecc::LinearCode &code, const BitVec &codeword,
+                        const BitVec &charged_mask, double ber,
+                        std::uint64_t num_words, util::Rng &rng)
+{
+    BEER_ASSERT(codeword.size() == code.n());
+    BEER_ASSERT(charged_mask.size() == code.n());
+    return simulateCore(code, codeword, charged_mask.support(), ber,
+                        num_words, rng);
+}
+
+gf2::BitVec
+chargedMask(const BitVec &codeword, dram::CellType cell_type)
+{
+    BitVec mask(codeword.size());
+    for (std::size_t i = 0; i < codeword.size(); ++i) {
+        if (dram::chargeOf(codeword.get(i), cell_type) ==
+            dram::ChargeState::Charged) {
+            mask.set(i, true);
+        }
+    }
+    return mask;
+}
+
+} // namespace beer::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * EINSim-style Monte-Carlo simulation of ECC words.
+ *
+ * Substitutes for the authors' EINSim simulator: inject pre-correction
+ * errors into codewords, decode, and aggregate per-bit post-correction
+ * statistics. Two error modes are provided:
+ *
+ *  - uniform-random errors across all codeword bits (Figure 1's model
+ *    of generic raw bit errors at a given RBER);
+ *  - data-retention errors restricted to CHARGED cells (the model BEER
+ *    exploits; used for miscorrection-profile sampling).
+ *
+ * Both use skip-sampling: error-free words are skipped in O(1) via a
+ * geometric jump, so simulating the paper's 1e9 words per data point is
+ * cheap — only words that actually contain raw errors are decoded.
+ */
+
+#ifndef BEER_SIM_WORD_SIM_HH
+#define BEER_SIM_WORD_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/types.hh"
+#include "ecc/decoder.hh"
+#include "ecc/linear_code.hh"
+#include "gf2/bitvec.hh"
+#include "util/rng.hh"
+
+namespace beer::sim
+{
+
+/** Per-bit and per-outcome aggregate of one simulation run. */
+struct WordSimStats
+{
+    /** Raw (pre-correction) error count per codeword bit position. */
+    std::vector<std::uint64_t> preCorrectionErrors;
+    /** Post-correction error count per data bit position. */
+    std::vector<std::uint64_t> postCorrectionErrors;
+    /** Words simulated (including skipped error-free words). */
+    std::uint64_t wordsSimulated = 0;
+    /** Words that contained at least one raw error. */
+    std::uint64_t wordsWithRawErrors = 0;
+    /** Decode outcome histogram indexed by ecc::DecodeOutcome. */
+    std::vector<std::uint64_t> outcomes;
+
+    /** Merge another run's counters into this one. */
+    void merge(const WordSimStats &other);
+};
+
+/**
+ * Simulate @p num_words transmissions of @p dataword with iid raw
+ * errors at rate @p rber in every codeword bit (Figure 1's workload).
+ */
+WordSimStats simulateUniformErrors(const ecc::LinearCode &code,
+                                   const gf2::BitVec &dataword,
+                                   double rber, std::uint64_t num_words,
+                                   util::Rng &rng);
+
+/**
+ * Simulate @p num_words retention tests of one stored codeword:
+ * only the cells in @p charged_mask (positions whose cells are CHARGED)
+ * may fail, each iid with probability @p ber, and a failure flips the
+ * stored bit. This is the fast path used to measure miscorrection
+ * profiles; it is equivalent to testing num_words identical ECC words
+ * spread across a real chip (paper Section 5.1.3).
+ *
+ * @param codeword     the stored (error-free) codeword
+ * @param charged_mask positions of CHARGED cells, length n
+ */
+WordSimStats simulateRetentionErrors(const ecc::LinearCode &code,
+                                     const gf2::BitVec &codeword,
+                                     const gf2::BitVec &charged_mask,
+                                     double ber, std::uint64_t num_words,
+                                     util::Rng &rng);
+
+/**
+ * Positions whose cells are CHARGED when @p codeword is stored in
+ * cells of uniform @p cell_type.
+ */
+gf2::BitVec chargedMask(const gf2::BitVec &codeword,
+                        dram::CellType cell_type);
+
+} // namespace beer::sim
+
+#endif // BEER_SIM_WORD_SIM_HH

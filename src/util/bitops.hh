@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the GF(2) and ECC layers.
+ */
+
+#ifndef BEER_UTIL_BITOPS_HH
+#define BEER_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace beer::util
+{
+
+/** Number of set bits in a 64-bit word. */
+inline int
+popcount64(std::uint64_t x)
+{
+    return std::popcount(x);
+}
+
+/** Parity (XOR-reduction) of a 64-bit word; 1 iff an odd number of bits. */
+inline int
+parity64(std::uint64_t x)
+{
+    return std::popcount(x) & 1;
+}
+
+/** Index of the lowest set bit; undefined for x == 0. */
+inline int
+ctz64(std::uint64_t x)
+{
+    return std::countr_zero(x);
+}
+
+/** Round @p bits up to the number of 64-bit words needed to hold them. */
+inline std::size_t
+wordsForBits(std::size_t bits)
+{
+    return (bits + 63) / 64;
+}
+
+/** Mask with the low @p n bits set (n in [0, 64]). */
+inline std::uint64_t
+lowMask64(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+} // namespace beer::util
+
+#endif // BEER_UTIL_BITOPS_HH

@@ -1,0 +1,138 @@
+#include "util/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace beer::util
+{
+
+Cli::Cli(std::string description)
+    : description_(std::move(description))
+{
+}
+
+void
+Cli::addOption(const std::string &name, const std::string &def,
+               const std::string &help)
+{
+    BEER_ASSERT(!options_.count(name));
+    options_[name] = Option{def, help, false};
+    order_.push_back(name);
+}
+
+void
+Cli::addFlag(const std::string &name, const std::string &help)
+{
+    BEER_ASSERT(!options_.count(name));
+    options_[name] = Option{"0", help, true};
+    order_.push_back(name);
+}
+
+void
+Cli::parse(int argc, char **argv)
+{
+    programName_ = argc > 0 ? argv[0] : "prog";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp();
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '%s'", arg.c_str());
+        arg = arg.substr(2);
+
+        std::string name = arg;
+        std::string value;
+        bool has_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        }
+
+        auto it = options_.find(name);
+        if (it == options_.end())
+            fatal("unknown option '--%s' (try --help)", name.c_str());
+
+        if (it->second.isFlag) {
+            if (has_value)
+                fatal("flag '--%s' does not take a value", name.c_str());
+            it->second.value = "1";
+        } else {
+            if (!has_value) {
+                if (i + 1 >= argc)
+                    fatal("option '--%s' requires a value", name.c_str());
+                value = argv[++i];
+            }
+            it->second.value = value;
+        }
+    }
+}
+
+const Cli::Option &
+Cli::find(const std::string &name) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        panic("option '--%s' was never registered", name.c_str());
+    return it->second;
+}
+
+std::string
+Cli::getString(const std::string &name) const
+{
+    return find(name).value;
+}
+
+std::int64_t
+Cli::getInt(const std::string &name) const
+{
+    const std::string &v = find(name).value;
+    char *end = nullptr;
+    const long long out = std::strtoll(v.c_str(), &end, 0);
+    if (!end || *end != '\0')
+        fatal("option '--%s' expects an integer, got '%s'", name.c_str(),
+              v.c_str());
+    return out;
+}
+
+double
+Cli::getDouble(const std::string &name) const
+{
+    const std::string &v = find(name).value;
+    char *end = nullptr;
+    const double out = std::strtod(v.c_str(), &end);
+    if (!end || *end != '\0')
+        fatal("option '--%s' expects a number, got '%s'", name.c_str(),
+              v.c_str());
+    return out;
+}
+
+bool
+Cli::getBool(const std::string &name) const
+{
+    return find(name).value == "1";
+}
+
+void
+Cli::printHelp() const
+{
+    std::printf("%s\n\nusage: %s [options]\n\noptions:\n",
+                description_.c_str(), programName_.c_str());
+    for (const auto &name : order_) {
+        const Option &opt = options_.at(name);
+        if (opt.isFlag) {
+            std::printf("  --%-24s %s\n", name.c_str(), opt.help.c_str());
+        } else {
+            std::string lhs = name + " <value>";
+            std::printf("  --%-24s %s (default: %s)\n", lhs.c_str(),
+                        opt.help.c_str(), opt.value.c_str());
+        }
+    }
+}
+
+} // namespace beer::util

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal command-line option parser for the bench/example binaries.
+ *
+ * Supports "--name value", "--name=value", and boolean flags "--name".
+ * Unknown options are fatal so that typos in experiment sweeps cannot
+ * silently run the wrong configuration.
+ */
+
+#ifndef BEER_UTIL_CLI_HH
+#define BEER_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace beer::util
+{
+
+/** Declarative command-line parser; see bench/ binaries for usage. */
+class Cli
+{
+  public:
+    /** @param description one-line program description for --help. */
+    explicit Cli(std::string description);
+
+    /** Register an option with a default value and help text. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Register a boolean flag (defaults to false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Prints help and exits on --help; fatal on unknown
+     * options or missing values.
+     */
+    void parse(int argc, char **argv);
+
+    /** Accessors; fatal if @p name was never registered. */
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+  private:
+    struct Option
+    {
+        std::string value;
+        std::string help;
+        bool isFlag = false;
+    };
+
+    const Option &find(const std::string &name) const;
+    void printHelp() const;
+
+    std::string description_;
+    std::string programName_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+};
+
+} // namespace beer::util
+
+#endif // BEER_UTIL_CLI_HH

@@ -1,0 +1,75 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace beer::util
+{
+
+int logVerbosity = 1;
+
+namespace
+{
+
+void
+vreport(const char *tag, FILE *stream, const char *fmt, va_list args)
+{
+    std::fprintf(stream, "%s: ", tag);
+    std::vfprintf(stream, fmt, args);
+    std::fprintf(stream, "\n");
+}
+
+} // anonymous namespace
+
+void
+inform(const char *fmt, ...)
+{
+    if (logVerbosity < 1)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", stdout, fmt, args);
+    va_end(args);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (logVerbosity < 2)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("debug", stdout, fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", stderr, fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", stderr, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", stderr, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace beer::util

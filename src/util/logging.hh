@@ -1,0 +1,53 @@
+/**
+ * @file
+ * gem5-style status/error reporting: inform/warn for status, fatal for
+ * user-correctable errors (exit(1)), panic for internal invariant
+ * violations (abort()).
+ */
+
+#ifndef BEER_UTIL_LOGGING_HH
+#define BEER_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace beer::util
+{
+
+/** Verbosity knob: 0 = quiet, 1 = inform (default), 2 = debug. */
+extern int logVerbosity;
+
+/** Print an informational message (printf-style) when verbosity >= 1. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message when verbosity >= 2. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; never stops execution. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused error (bad arguments, bad configuration) and
+ * exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Like assert() but always compiled in; calls panic() on failure. */
+#define BEER_ASSERT(cond, ...)                                           \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::beer::util::panic("assertion '%s' failed at %s:%d",        \
+                                #cond, __FILE__, __LINE__);              \
+    } while (0)
+
+} // namespace beer::util
+
+#endif // BEER_UTIL_LOGGING_HH

@@ -1,0 +1,168 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace beer::util
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // All-zero state is invalid for xoshiro; splitmix64 cannot produce
+    // four zero outputs in a row, but keep the guard for clarity.
+    if (!(s_[0] | s_[1] | s_[2] | s_[3]))
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    BEER_ASSERT(bound > 0);
+    // Lemire's nearly-divisionless bounded sampling.
+    __uint128_t m = (__uint128_t)next() * bound;
+    auto lo = (std::uint64_t)m;
+    if (lo < bound) {
+        std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            m = (__uint128_t)next() * bound;
+            lo = (std::uint64_t)m;
+        }
+    }
+    return (std::uint64_t)(m >> 64);
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::binomial(std::uint64_t n, double p)
+{
+    if (n == 0 || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    if (p > 0.5)
+        return n - binomial(n, 1.0 - p);
+
+    const double mean = n * p;
+    if (mean < 32.0) {
+        // Inversion by sequential search over the CDF.
+        const double q = 1.0 - p;
+        const double ratio = p / q;
+        double pmf = std::pow(q, (double)n);
+        double cdf = pmf;
+        const double u = uniform();
+        std::uint64_t k = 0;
+        while (u > cdf && k < n) {
+            ++k;
+            pmf *= ratio * (double)(n - k + 1) / (double)k;
+            cdf += pmf;
+        }
+        return k;
+    }
+
+    // Normal approximation with continuity correction; clamp to [0, n].
+    const double sd = std::sqrt(mean * (1.0 - p));
+    double sample = std::round(mean + sd * normal());
+    if (sample < 0.0)
+        sample = 0.0;
+    if (sample > (double)n)
+        sample = (double)n;
+    return (std::uint64_t)sample;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1 = uniform();
+    // Avoid log(0).
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cachedNormal_ = radius * std::sin(angle);
+    hasCachedNormal_ = true;
+    return radius * std::cos(angle);
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    BEER_ASSERT(p > 0.0 && p <= 1.0);
+    if (p >= 1.0)
+        return 0;
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    return (std::uint64_t)(std::log(u) / std::log1p(-p));
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(mu + sigma * normal());
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xa3c59ac2ed9b81d5ULL);
+}
+
+} // namespace beer::util

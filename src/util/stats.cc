@@ -1,0 +1,125 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace beer::util
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / (double)xs.size();
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mu) * (x - mu);
+    return std::sqrt(acc / (double)(xs.size() - 1));
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    BEER_ASSERT(!xs.empty());
+    BEER_ASSERT(q >= 0.0 && q <= 1.0);
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * (double)(xs.size() - 1);
+    const auto lo = (std::size_t)std::floor(pos);
+    const auto hi = (std::size_t)std::ceil(pos);
+    const double frac = pos - (double)lo;
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+median(const std::vector<double> &xs)
+{
+    return quantile(xs, 0.5);
+}
+
+BoxStats
+boxStats(const std::vector<double> &xs)
+{
+    BoxStats out;
+    if (xs.empty())
+        return out;
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    out.min = sorted.front();
+    out.max = sorted.back();
+    out.q1 = quantile(sorted, 0.25);
+    out.median = quantile(sorted, 0.5);
+    out.q3 = quantile(sorted, 0.75);
+    return out;
+}
+
+BootstrapCi
+bootstrapMedianCi(const std::vector<double> &xs, Rng &rng,
+                  std::size_t resamples, double confidence)
+{
+    BootstrapCi out;
+    if (xs.empty())
+        return out;
+    out.median = median(xs);
+
+    std::vector<double> medians;
+    medians.reserve(resamples);
+    std::vector<double> resample(xs.size());
+    for (std::size_t i = 0; i < resamples; ++i) {
+        for (auto &value : resample)
+            value = xs[rng.below(xs.size())];
+        medians.push_back(median(resample));
+    }
+    const double alpha = 1.0 - confidence;
+    out.lo = quantile(medians, alpha / 2.0);
+    out.hi = quantile(medians, 1.0 - alpha / 2.0);
+    return out;
+}
+
+void
+Accumulator::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++count_;
+}
+
+double
+Accumulator::min() const
+{
+    BEER_ASSERT(count_ > 0);
+    return min_;
+}
+
+double
+Accumulator::max() const
+{
+    BEER_ASSERT(count_ > 0);
+    return max_;
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ ? sum_ / (double)count_ : 0.0;
+}
+
+} // namespace beer::util

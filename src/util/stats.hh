@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Statistics helpers used by the benchmark harnesses: summary statistics,
+ * quantiles, boxplot tuples, and bootstrap confidence intervals (the paper
+ * reports medians with 95% CIs computed via statistical bootstrapping).
+ */
+
+#ifndef BEER_UTIL_STATS_HH
+#define BEER_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace beer::util
+{
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Quantile via linear interpolation of the sorted sample.
+ *
+ * @param xs sample (need not be sorted)
+ * @param q  quantile in [0, 1]
+ */
+double quantile(std::vector<double> xs, double q);
+
+/** Median (0.5 quantile). */
+double median(const std::vector<double> &xs);
+
+/** Five-number summary used for boxplot-style figure output. */
+struct BoxStats
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+};
+
+/** Compute the five-number summary of @p xs. */
+BoxStats boxStats(const std::vector<double> &xs);
+
+/** A two-sided confidence interval around a bootstrap median. */
+struct BootstrapCi
+{
+    double median = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Percentile-bootstrap CI of the median, as used for the paper's
+ * Figure 1 error bars (1000 resamples, 95% by default).
+ */
+BootstrapCi bootstrapMedianCi(const std::vector<double> &xs, Rng &rng,
+                              std::size_t resamples = 1000,
+                              double confidence = 0.95);
+
+/** Running min/max/mean/count accumulator. */
+class Accumulator
+{
+  public:
+    void add(double x);
+    std::size_t count() const { return count_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace beer::util
+
+#endif // BEER_UTIL_STATS_HH

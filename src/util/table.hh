@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Console table and CSV emission for the benchmark harnesses. Every
+ * paper table/figure bench prints a human-readable aligned table (the
+ * rows/series the paper reports) and can optionally emit CSV.
+ */
+
+#ifndef BEER_UTIL_TABLE_HH
+#define BEER_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace beer::util
+{
+
+/**
+ * A simple column-aligned table. Collect rows of strings, then print.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the headers. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format each cell with to-string-able values. */
+    template <typename... Args>
+    void
+    addRowOf(const Args &...args)
+    {
+        addRow({cell(args)...});
+    }
+
+    /** Print as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV (RFC-4180-ish; quotes cells containing commas). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+    /** Format helpers. */
+    static std::string cell(const std::string &s) { return s; }
+    static std::string cell(const char *s) { return s; }
+    static std::string cell(double v);
+    static std::string cell(int v);
+    static std::string cell(unsigned v);
+    static std::string cell(long v);
+    static std::string cell(unsigned long v);
+    static std::string cell(long long v);
+    static std::string cell(unsigned long long v);
+
+    /** Fixed-precision double formatting. */
+    static std::string fixed(double v, int precision);
+    /** Scientific-notation double formatting. */
+    static std::string sci(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace beer::util
+
+#endif // BEER_UTIL_TABLE_HH

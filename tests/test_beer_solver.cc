@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Correctness tests for the BEER solver: for random SEC codes across a
+ * range of dataword lengths, the solver must recover the planted code
+ * (up to parity-row equivalence) from its miscorrection profile — the
+ * paper's central claim (Section 6.1, Figure 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "beer/profile.hh"
+#include "beer/solver.hh"
+#include "ecc/code_equiv.hh"
+#include "ecc/hamming.hh"
+#include "util/rng.hh"
+
+using namespace beer;
+using beer::ecc::LinearCode;
+using beer::ecc::canonicalize;
+using beer::ecc::equivalent;
+using beer::ecc::isFullLengthDatawordLength;
+using beer::ecc::randomSecCode;
+using beer::util::Rng;
+
+namespace
+{
+
+BeerSolveResult
+solvePlanted(const LinearCode &code,
+             const std::vector<std::size_t> &charged_counts,
+             const BeerSolverConfig &config = {})
+{
+    const auto patterns =
+        chargedPatternUnion(code.k(), charged_counts);
+    const auto profile = exhaustiveProfile(code, patterns);
+    return solveForEccFunction(profile, code.numParityBits(), config);
+}
+
+} // anonymous namespace
+
+TEST(BeerSolver, RecoversPaperExampleUniquely)
+{
+    const LinearCode code = ecc::paperExampleCode();
+    const auto result = solvePlanted(code, {1});
+    ASSERT_TRUE(result.unique());
+    EXPECT_TRUE(equivalent(result.solutions[0], code));
+}
+
+TEST(BeerSolver, SolutionsAlwaysContainPlantedCode)
+{
+    Rng rng(17);
+    for (std::size_t k = 4; k <= 16; ++k) {
+        const LinearCode code = randomSecCode(k, rng);
+        const auto result = solvePlanted(code, {1});
+        ASSERT_TRUE(result.complete);
+        ASSERT_GE(result.solutions.size(), 1u);
+        bool found = false;
+        for (const auto &solution : result.solutions)
+            if (equivalent(solution, code))
+                found = true;
+        EXPECT_TRUE(found) << "k=" << k;
+        // Every returned solution reproduces the observed profile.
+        const auto patterns = chargedPatterns(k, 1);
+        const auto observed = exhaustiveProfile(code, patterns);
+        for (const auto &solution : result.solutions)
+            EXPECT_EQ(exhaustiveProfile(solution, patterns), observed);
+    }
+}
+
+/** Parameterized sweep over dataword lengths (Figure 5's x-axis). */
+class BeerSolverSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BeerSolverSweep, OneTwoChargedAlwaysUnique)
+{
+    // Paper: "BEER is always able to recover the original unique ECC
+    // function using the {1,2}-CHARGED configuration."
+    const std::size_t k = GetParam();
+    Rng rng(1000 + k);
+    for (int round = 0; round < 3; ++round) {
+        const LinearCode code = randomSecCode(k, rng);
+        const auto result = solvePlanted(code, {1, 2});
+        ASSERT_TRUE(result.unique()) << "k=" << k << " found "
+                                     << result.solutions.size();
+        EXPECT_TRUE(equivalent(result.solutions[0], code));
+        EXPECT_EQ(result.solutions[0],
+                  canonicalize(result.solutions[0]));
+    }
+}
+
+TEST_P(BeerSolverSweep, OneChargedUniqueForFullLengthCodes)
+{
+    const std::size_t k = GetParam();
+    if (!isFullLengthDatawordLength(k))
+        GTEST_SKIP() << "k=" << k << " is shortened";
+    Rng rng(2000 + k);
+    for (int round = 0; round < 3; ++round) {
+        const LinearCode code = randomSecCode(k, rng);
+        const auto result = solvePlanted(code, {1});
+        ASSERT_TRUE(result.unique()) << "k=" << k;
+        EXPECT_TRUE(equivalent(result.solutions[0], code));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DatawordLengths, BeerSolverSweep,
+                         ::testing::Values(4, 5, 6, 7, 8, 10, 11, 12,
+                                           16, 20, 26),
+                         ::testing::PrintToStringParamName());
+
+TEST(BeerSolver, ShortenedCodesCanBeAmbiguousWithOneCharged)
+{
+    // For shortened codes the 1-CHARGED patterns may admit multiple
+    // functions (Figure 5); verify we can find such a case and that
+    // the {1,2}-CHARGED profile disambiguates it.
+    Rng rng(23);
+    bool ambiguous_seen = false;
+    for (int round = 0; round < 40 && !ambiguous_seen; ++round) {
+        const LinearCode code = randomSecCode(5, rng); // shortened
+        const auto result = solvePlanted(code, {1});
+        ASSERT_TRUE(result.complete);
+        if (result.solutions.size() > 1) {
+            ambiguous_seen = true;
+            const auto fixed = solvePlanted(code, {1, 2});
+            ASSERT_TRUE(fixed.unique());
+            EXPECT_TRUE(equivalent(fixed.solutions[0], code));
+        }
+    }
+    EXPECT_TRUE(ambiguous_seen)
+        << "expected at least one ambiguous shortened code";
+}
+
+TEST(BeerSolver, SymmetryBreakingDoesNotChangeSolutionSet)
+{
+    Rng rng(29);
+    for (int round = 0; round < 5; ++round) {
+        const LinearCode code = randomSecCode(6, rng);
+        BeerSolverConfig with_sb;
+        with_sb.symmetryBreaking = true;
+        BeerSolverConfig without_sb;
+        without_sb.symmetryBreaking = false;
+
+        auto a = solvePlanted(code, {1}, with_sb);
+        auto b = solvePlanted(code, {1}, without_sb);
+        ASSERT_TRUE(a.complete && b.complete);
+
+        auto key = [](const BeerSolveResult &r) {
+            std::vector<std::string> out;
+            for (const auto &sol : r.solutions)
+                out.push_back(sol.pMatrix().toString());
+            std::sort(out.begin(), out.end());
+            return out;
+        };
+        EXPECT_EQ(key(a), key(b));
+    }
+}
+
+TEST(BeerSolver, MaxSolutionsStopsEarly)
+{
+    Rng rng(31);
+    const LinearCode code = randomSecCode(8, rng);
+    BeerSolverConfig config;
+    config.maxSolutions = 1;
+    const auto result = solvePlanted(code, {1}, config);
+    EXPECT_EQ(result.solutions.size(), 1u);
+    EXPECT_FALSE(result.complete);
+}
+
+TEST(BeerSolver, InconsistentProfileIsUnsat)
+{
+    // A profile claiming "no miscorrections possible anywhere" cannot
+    // be produced by any valid SEC code with 1-CHARGED patterns at
+    // full length (every syndrome is covered, so some pattern must
+    // admit a miscorrection).
+    const std::size_t k = 4;
+    MiscorrectionProfile profile;
+    profile.k = k;
+    for (const auto &pattern : chargedPatterns(k, 1)) {
+        PatternProfile entry;
+        entry.pattern = pattern;
+        entry.miscorrectable = beer::gf2::BitVec(k);
+        profile.patterns.push_back(entry);
+    }
+    const auto result = solveForEccFunction(profile, 3);
+    EXPECT_TRUE(result.complete);
+    EXPECT_TRUE(result.solutions.empty());
+}
+
+TEST(BeerSolver, StatsAreReported)
+{
+    Rng rng(37);
+    const LinearCode code = randomSecCode(8, rng);
+    const auto result = solvePlanted(code, {1});
+    EXPECT_GT(result.stats.propagations, 0u);
+    EXPECT_GT(result.memoryBytes, 0u);
+}

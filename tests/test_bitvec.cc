@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit and property tests for gf2::BitVec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gf2/bitvec.hh"
+#include "util/rng.hh"
+
+using beer::gf2::BitVec;
+using beer::util::Rng;
+
+TEST(BitVec, DefaultIsEmpty)
+{
+    BitVec v;
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_TRUE(v.empty());
+    EXPECT_TRUE(v.isZero());
+}
+
+TEST(BitVec, ConstructZeroed)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_FALSE(v.get(i));
+    EXPECT_TRUE(v.isZero());
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, SetGetFlip)
+{
+    BitVec v(100);
+    v.set(0, true);
+    v.set(63, true);
+    v.set(64, true);
+    v.set(99, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(63));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(99));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 4u);
+
+    v.flip(0);
+    EXPECT_FALSE(v.get(0));
+    v.flip(1);
+    EXPECT_TRUE(v.get(1));
+    EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, InitializerListAndString)
+{
+    BitVec v{1, 0, 1, 1};
+    EXPECT_EQ(v.toString(), "1011");
+    EXPECT_EQ(BitVec::fromString("1011"), v);
+    EXPECT_EQ(BitVec::fromString(""), BitVec(0));
+}
+
+TEST(BitVec, UnitAndOnes)
+{
+    const BitVec e2 = BitVec::unit(5, 2);
+    EXPECT_EQ(e2.toString(), "00100");
+    const BitVec ones = BitVec::ones(70);
+    EXPECT_EQ(ones.popcount(), 70u);
+    // Tail bits past size must not leak into popcount.
+    EXPECT_EQ(BitVec::ones(65).popcount(), 65u);
+}
+
+TEST(BitVec, XorAndOr)
+{
+    const BitVec a = BitVec::fromString("1100");
+    const BitVec b = BitVec::fromString("1010");
+    EXPECT_EQ((a ^ b).toString(), "0110");
+    EXPECT_EQ((a & b).toString(), "1000");
+    EXPECT_EQ((a | b).toString(), "1110");
+}
+
+TEST(BitVec, XorIsInvolution)
+{
+    Rng rng(7);
+    for (int round = 0; round < 20; ++round) {
+        const std::size_t size = 1 + rng.below(200);
+        BitVec a(size);
+        BitVec b(size);
+        for (std::size_t i = 0; i < size; ++i) {
+            a.set(i, rng.bernoulli(0.5));
+            b.set(i, rng.bernoulli(0.5));
+        }
+        EXPECT_EQ((a ^ b) ^ b, a);
+        EXPECT_TRUE((a ^ a).isZero());
+    }
+}
+
+TEST(BitVec, DotProduct)
+{
+    const BitVec a = BitVec::fromString("1101");
+    EXPECT_TRUE(a.dot(BitVec::fromString("1000")));
+    EXPECT_FALSE(a.dot(BitVec::fromString("1100")));
+    EXPECT_FALSE(a.dot(BitVec::fromString("1110")));
+    EXPECT_TRUE(a.dot(BitVec::fromString("0110")));
+    EXPECT_FALSE(a.dot(BitVec::fromString("0000")));
+}
+
+TEST(BitVec, DotMatchesPopcountParity)
+{
+    Rng rng(11);
+    for (int round = 0; round < 50; ++round) {
+        const std::size_t size = 1 + rng.below(150);
+        BitVec a(size);
+        BitVec b(size);
+        for (std::size_t i = 0; i < size; ++i) {
+            a.set(i, rng.bernoulli(0.3));
+            b.set(i, rng.bernoulli(0.7));
+        }
+        EXPECT_EQ(a.dot(b), (a & b).popcount() % 2 == 1);
+    }
+}
+
+TEST(BitVec, SubsetOf)
+{
+    const BitVec small = BitVec::fromString("0100");
+    const BitVec big = BitVec::fromString("0110");
+    EXPECT_TRUE(small.isSubsetOf(big));
+    EXPECT_FALSE(big.isSubsetOf(small));
+    EXPECT_TRUE(big.isSubsetOf(big));
+    EXPECT_TRUE(BitVec(4).isSubsetOf(small));
+}
+
+TEST(BitVec, SubsetOfProperty)
+{
+    Rng rng(13);
+    for (int round = 0; round < 50; ++round) {
+        const std::size_t size = 1 + rng.below(130);
+        BitVec a(size);
+        BitVec b(size);
+        for (std::size_t i = 0; i < size; ++i) {
+            a.set(i, rng.bernoulli(0.5));
+            b.set(i, rng.bernoulli(0.5));
+        }
+        // a & b is always a subset of both.
+        EXPECT_TRUE((a & b).isSubsetOf(a));
+        EXPECT_TRUE((a & b).isSubsetOf(b));
+        // Definition check: subset iff AND equals self.
+        EXPECT_EQ(a.isSubsetOf(b), (a & b) == a);
+    }
+}
+
+TEST(BitVec, SupportAndFirstSet)
+{
+    BitVec v(200);
+    v.set(3, true);
+    v.set(64, true);
+    v.set(199, true);
+    const auto support = v.support();
+    ASSERT_EQ(support.size(), 3u);
+    EXPECT_EQ(support[0], 3u);
+    EXPECT_EQ(support[1], 64u);
+    EXPECT_EQ(support[2], 199u);
+    EXPECT_EQ(v.firstSet(), 3u);
+    EXPECT_EQ(BitVec(10).firstSet(), 10u);
+}
+
+TEST(BitVec, ConcatSlice)
+{
+    const BitVec a = BitVec::fromString("101");
+    const BitVec b = BitVec::fromString("0110");
+    const BitVec joined = a.concat(b);
+    EXPECT_EQ(joined.toString(), "1010110");
+    EXPECT_EQ(joined.slice(0, 3), a);
+    EXPECT_EQ(joined.slice(3, 4), b);
+    EXPECT_EQ(joined.slice(2, 2).toString(), "10");
+}
+
+TEST(BitVec, ConcatSliceRoundTrip)
+{
+    Rng rng(17);
+    for (int round = 0; round < 30; ++round) {
+        const std::size_t sa = 1 + rng.below(100);
+        const std::size_t sb = 1 + rng.below(100);
+        BitVec a(sa);
+        BitVec b(sb);
+        for (std::size_t i = 0; i < sa; ++i)
+            a.set(i, rng.bernoulli(0.5));
+        for (std::size_t i = 0; i < sb; ++i)
+            b.set(i, rng.bernoulli(0.5));
+        const BitVec joined = a.concat(b);
+        EXPECT_EQ(joined.slice(0, sa), a);
+        EXPECT_EQ(joined.slice(sa, sb), b);
+    }
+}
+
+TEST(BitVec, LexOrderBitZeroMostSignificant)
+{
+    EXPECT_LT(BitVec::fromString("0111"), BitVec::fromString("1000"));
+    EXPECT_LT(BitVec::fromString("1000"), BitVec::fromString("1001"));
+    EXPECT_EQ(BitVec::fromString("1001") <=> BitVec::fromString("1001"),
+              std::strong_ordering::equal);
+}
+
+TEST(BitVec, SortingIsDeterministic)
+{
+    std::vector<BitVec> vecs = {
+        BitVec::fromString("110"), BitVec::fromString("011"),
+        BitVec::fromString("101"), BitVec::fromString("001"),
+    };
+    std::sort(vecs.begin(), vecs.end());
+    EXPECT_EQ(vecs[0].toString(), "001");
+    EXPECT_EQ(vecs[1].toString(), "011");
+    EXPECT_EQ(vecs[2].toString(), "101");
+    EXPECT_EQ(vecs[3].toString(), "110");
+}
+
+TEST(BitVec, HashDistinguishesSizes)
+{
+    EXPECT_NE(BitVec(5).hash(), BitVec(6).hash());
+    BitVec a(64);
+    BitVec b(64);
+    a.set(0, true);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitVec, ClearResets)
+{
+    BitVec v = BitVec::ones(77);
+    v.clear();
+    EXPECT_TRUE(v.isZero());
+    EXPECT_EQ(v.size(), 77u);
+}

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the simulated DRAM chip: data path integrity, retention
+ * error semantics (unidirectional, persistent, repeatable), transient
+ * noise, and vendor configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/chip.hh"
+#include "ecc/hamming.hh"
+#include "util/rng.hh"
+
+using namespace beer::dram;
+using beer::ecc::randomSecCode;
+using beer::gf2::BitVec;
+using beer::util::Rng;
+
+namespace
+{
+
+ChipConfig
+smallConfig(std::uint64_t seed = 1)
+{
+    ChipConfig config = makeVendorConfig('A', 16, seed);
+    config.map.rows = 32;
+    return config;
+}
+
+BitVec
+randomData(std::size_t k, Rng &rng)
+{
+    BitVec data(k);
+    for (std::size_t i = 0; i < k; ++i)
+        data.set(i, rng.bernoulli(0.5));
+    return data;
+}
+
+} // anonymous namespace
+
+TEST(Chip, WriteReadRoundTrip)
+{
+    Chip chip(smallConfig());
+    Rng rng(3);
+    for (std::size_t w = 0; w < chip.numWords(); ++w) {
+        const BitVec data = randomData(chip.datawordBits(), rng);
+        chip.writeDataword(w, data);
+        EXPECT_EQ(chip.readDataword(w), data);
+    }
+}
+
+TEST(Chip, ByteInterfaceRoundTrip)
+{
+    Chip chip(smallConfig());
+    Rng rng(5);
+    std::vector<std::uint8_t> image(chip.numBytes());
+    for (std::size_t addr = 0; addr < chip.numBytes(); ++addr) {
+        image[addr] = (std::uint8_t)rng.below(256);
+        chip.writeByte(addr, image[addr]);
+    }
+    for (std::size_t addr = 0; addr < chip.numBytes(); ++addr)
+        EXPECT_EQ(chip.readByte(addr), image[addr]);
+}
+
+TEST(Chip, FillWritesEveryByte)
+{
+    Chip chip(smallConfig());
+    chip.fill(0xA5);
+    for (std::size_t addr = 0; addr < chip.numBytes(); ++addr)
+        EXPECT_EQ(chip.readByte(addr), 0xA5);
+}
+
+TEST(Chip, StoredCodewordsAreValid)
+{
+    Chip chip(smallConfig());
+    Rng rng(7);
+    for (std::size_t w = 0; w < chip.numWords(); ++w) {
+        chip.writeDataword(w, randomData(chip.datawordBits(), rng));
+        EXPECT_TRUE(chip.groundTruthCode()
+                        .syndrome(chip.storedCodeword(w))
+                        .isZero());
+    }
+}
+
+TEST(Chip, RetentionErrorsAreUnidirectional)
+{
+    // True-cells decay 1 -> 0 only: with all-zero data (and the
+    // all-zero codeword), no retention errors can occur.
+    ChipConfig config = smallConfig();
+    Chip chip(config);
+    for (std::size_t w = 0; w < chip.numWords(); ++w)
+        chip.writeDataword(w, BitVec(chip.datawordBits()));
+    chip.pauseRefresh(36000.0, 80.0);
+    EXPECT_EQ(chip.rawErrorCount(), 0u);
+
+    // With all-ones data, a long pause must produce errors.
+    for (std::size_t w = 0; w < chip.numWords(); ++w)
+        chip.writeDataword(w, BitVec::ones(chip.datawordBits()));
+    chip.pauseRefresh(36000.0, 80.0);
+    EXPECT_GT(chip.rawErrorCount(), 0u);
+
+    // Every stored bit only went 1 -> 0.
+    for (std::size_t w = 0; w < chip.numWords(); ++w) {
+        const BitVec &stored = chip.storedCodeword(w);
+        const BitVec reference = chip.groundTruthCode().encode(
+            BitVec::ones(chip.datawordBits()));
+        EXPECT_TRUE(stored.isSubsetOf(reference));
+    }
+}
+
+TEST(Chip, AntiCellsDecayZeroToOne)
+{
+    ChipConfig config = makeVendorConfig('C', 16, 9);
+    config.map.rows = 40;
+    Chip chip(config);
+
+    // All-ones data: anti-cell rows hold DISCHARGED data cells (no
+    // data errors; their parity cells storing '0' are CHARGED and may
+    // decay 0 -> 1); true-cell rows decay 1 -> 0 everywhere.
+    for (std::size_t w = 0; w < chip.numWords(); ++w)
+        chip.writeDataword(w, BitVec::ones(chip.datawordBits()));
+    chip.pauseRefresh(36000.0, 80.0);
+
+    for (std::size_t w = 0; w < chip.numWords(); ++w) {
+        const BitVec reference = chip.groundTruthCode().encode(
+            BitVec::ones(chip.datawordBits()));
+        const BitVec &stored = chip.storedCodeword(w);
+        const std::size_t k = chip.datawordBits();
+        if (chip.cellTypeOfWord(w) == CellType::Anti) {
+            // Data cells (all DISCHARGED) never flip; parity decay is
+            // 0 -> 1 only, so the stored word is a superset.
+            EXPECT_EQ(stored.slice(0, k), reference.slice(0, k));
+            EXPECT_TRUE(reference.isSubsetOf(stored));
+        } else {
+            EXPECT_TRUE(stored.isSubsetOf(reference));
+        }
+    }
+}
+
+TEST(Chip, RetentionErrorsPersistUntilRewrite)
+{
+    ChipConfig config = smallConfig();
+    Chip chip(config);
+    const BitVec ones = BitVec::ones(chip.datawordBits());
+    for (std::size_t w = 0; w < chip.numWords(); ++w)
+        chip.writeDataword(w, ones);
+    chip.pauseRefresh(360000.0, 80.0);
+    ASSERT_GT(chip.rawErrorCount(), 0u);
+
+    // Find a word with an uncorrectable error (read differs).
+    bool found = false;
+    for (std::size_t w = 0; w < chip.numWords(); ++w) {
+        if (chip.readDataword(w) != ones) {
+            found = true;
+            // Reading again gives the same answer (errors persist).
+            EXPECT_EQ(chip.readDataword(w), chip.readDataword(w));
+            // Rewriting clears the errors.
+            chip.writeDataword(w, ones);
+            EXPECT_EQ(chip.readDataword(w), ones);
+            break;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Chip, PerCellModeIsRepeatable)
+{
+    // Two chips with the same seed develop identical error patterns.
+    Chip a(smallConfig(42));
+    Chip b(smallConfig(42));
+    const BitVec ones = BitVec::ones(a.datawordBits());
+    for (std::size_t w = 0; w < a.numWords(); ++w) {
+        a.writeDataword(w, ones);
+        b.writeDataword(w, ones);
+    }
+    a.pauseRefresh(36000.0, 80.0);
+    b.pauseRefresh(36000.0, 80.0);
+    for (std::size_t w = 0; w < a.numWords(); ++w)
+        EXPECT_EQ(a.storedCodeword(w), b.storedCodeword(w));
+}
+
+TEST(Chip, IidModeSamplesFreshErrors)
+{
+    ChipConfig config = smallConfig(43);
+    config.iidErrors = true;
+    Chip chip(config);
+    const BitVec ones = BitVec::ones(chip.datawordBits());
+
+    // Two identical experiments should (with overwhelming probability)
+    // hit different cells.
+    auto run = [&] {
+        std::vector<BitVec> stored;
+        for (std::size_t w = 0; w < chip.numWords(); ++w)
+            chip.writeDataword(w, ones);
+        chip.pauseRefresh(36000.0, 80.0);
+        for (std::size_t w = 0; w < chip.numWords(); ++w)
+            stored.push_back(chip.storedCodeword(w));
+        return stored;
+    };
+    EXPECT_NE(run(), run());
+}
+
+TEST(Chip, SingleRetentionErrorIsCorrectedByOnDieEcc)
+{
+    // At a BER where words have at most one error each, reads are
+    // clean even though raw errors exist.
+    ChipConfig config = smallConfig(44);
+    config.iidErrors = true;
+    Chip chip(config);
+    const BitVec ones = BitVec::ones(chip.datawordBits());
+    const double pause =
+        chip.retentionModel().pauseForBitErrorRate(1e-3, 80.0);
+
+    std::uint64_t trials = 0;
+    std::uint64_t visible = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (std::size_t w = 0; w < chip.numWords(); ++w)
+            chip.writeDataword(w, ones);
+        chip.pauseRefresh(pause, 80.0);
+        for (std::size_t w = 0; w < chip.numWords(); ++w) {
+            ++trials;
+            visible += chip.readDataword(w) != ones;
+        }
+    }
+    ASSERT_GT(chip.rawErrorCount(), 0u);
+    // Visible (post-correction) error rate is far below the raw rate:
+    // most words had 0 or 1 raw errors.
+    EXPECT_LT((double)visible / (double)trials, 1e-2);
+}
+
+TEST(Chip, TransientNoiseDoesNotPersist)
+{
+    ChipConfig config = smallConfig(45);
+    config.transientErrorRate = 0.02;
+    Chip chip(config);
+    const BitVec ones = BitVec::ones(chip.datawordBits());
+    chip.writeDataword(0, ones);
+
+    // Transient flips occasionally corrupt reads, but the stored
+    // codeword never changes.
+    int corrupted_reads = 0;
+    for (int round = 0; round < 300; ++round)
+        corrupted_reads += chip.readDataword(0) != ones;
+    EXPECT_GT(corrupted_reads, 0);
+    EXPECT_EQ(chip.storedCodeword(0),
+              chip.groundTruthCode().encode(ones));
+}
+
+TEST(Chip, VendorConfigsMatchPaperObservations)
+{
+    // A and B: all true-cells. C: mixed true/anti rows.
+    for (char vendor : {'A', 'B'}) {
+        ChipConfig config = makeVendorConfig(vendor, 16, 1);
+        Chip chip(config);
+        for (std::size_t w = 0; w < chip.numWords(); ++w)
+            EXPECT_EQ(chip.cellTypeOfWord(w), CellType::True);
+    }
+    ChipConfig config = makeVendorConfig('C', 16, 1);
+    Chip chip(config);
+    bool saw_true = false;
+    bool saw_anti = false;
+    for (std::size_t w = 0; w < chip.numWords(); ++w) {
+        saw_true |= chip.cellTypeOfWord(w) == CellType::True;
+        saw_anti |= chip.cellTypeOfWord(w) == CellType::Anti;
+    }
+    EXPECT_TRUE(saw_true);
+    EXPECT_TRUE(saw_anti);
+
+    // Different vendors get different secret functions.
+    EXPECT_FALSE(makeVendorConfig('A', 16, 1).code ==
+                 makeVendorConfig('B', 16, 1).code);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the CLI parser and table printer used by every bench and
+ * example binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hh"
+#include "util/table.hh"
+
+using namespace beer::util;
+
+namespace
+{
+
+std::vector<char *>
+argvOf(std::vector<std::string> &args)
+{
+    std::vector<char *> out;
+    for (auto &arg : args)
+        out.push_back(arg.data());
+    return out;
+}
+
+} // anonymous namespace
+
+TEST(Cli, DefaultsApply)
+{
+    Cli cli("test");
+    cli.addOption("count", "42", "a count");
+    cli.addFlag("verbose", "a flag");
+    std::vector<std::string> args = {"prog"};
+    auto argv = argvOf(args);
+    cli.parse((int)argv.size(), argv.data());
+    EXPECT_EQ(cli.getInt("count"), 42);
+    EXPECT_FALSE(cli.getBool("verbose"));
+}
+
+TEST(Cli, SpaceAndEqualsForms)
+{
+    Cli cli("test");
+    cli.addOption("rate", "0", "a rate");
+    cli.addOption("name", "x", "a name");
+    cli.addFlag("on", "a flag");
+    std::vector<std::string> args = {"prog", "--rate", "2.5",
+                                     "--name=hello", "--on"};
+    auto argv = argvOf(args);
+    cli.parse((int)argv.size(), argv.data());
+    EXPECT_DOUBLE_EQ(cli.getDouble("rate"), 2.5);
+    EXPECT_EQ(cli.getString("name"), "hello");
+    EXPECT_TRUE(cli.getBool("on"));
+}
+
+TEST(Cli, NegativeAndHexIntegers)
+{
+    Cli cli("test");
+    cli.addOption("x", "0", "");
+    std::vector<std::string> args = {"prog", "--x", "-7"};
+    auto argv = argvOf(args);
+    cli.parse((int)argv.size(), argv.data());
+    EXPECT_EQ(cli.getInt("x"), -7);
+
+    Cli cli2("test");
+    cli2.addOption("x", "0", "");
+    std::vector<std::string> args2 = {"prog", "--x", "0x10"};
+    auto argv2 = argvOf(args2);
+    cli2.parse((int)argv2.size(), argv2.data());
+    EXPECT_EQ(cli2.getInt("x"), 16);
+}
+
+using CliDeath = ::testing::Test;
+
+TEST(CliDeath, UnknownOptionIsFatal)
+{
+    Cli cli("test");
+    cli.addOption("x", "0", "");
+    std::vector<std::string> args = {"prog", "--y", "1"};
+    auto argv = argvOf(args);
+    EXPECT_DEATH(cli.parse((int)argv.size(), argv.data()), "unknown");
+}
+
+TEST(CliDeath, MissingValueIsFatal)
+{
+    Cli cli("test");
+    cli.addOption("x", "0", "");
+    std::vector<std::string> args = {"prog", "--x"};
+    auto argv = argvOf(args);
+    EXPECT_DEATH(cli.parse((int)argv.size(), argv.data()),
+                 "requires a value");
+}
+
+TEST(CliDeath, NonNumericValueIsFatal)
+{
+    Cli cli("test");
+    cli.addOption("x", "0", "");
+    std::vector<std::string> args = {"prog", "--x", "abc"};
+    auto argv = argvOf(args);
+    cli.parse((int)argv.size(), argv.data());
+    EXPECT_DEATH((void)cli.getInt("x"), "integer");
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table table({"name", "value"});
+    table.addRowOf("alpha", 1);
+    table.addRowOf("b", 22);
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    // Columns aligned: 'value' header and '22' start at same offset in
+    // their lines.
+    EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping)
+{
+    Table table({"a", "b"});
+    table.addRowOf("x,y", "quote\"inside");
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"quote\"\"inside\"\n");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::fixed(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
+    EXPECT_EQ(Table::cell(7), "7");
+    EXPECT_EQ(Table::cell(3.5), "3.5");
+}
+
+TEST(Table, RowArityChecked)
+{
+    Table table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "assertion");
+}

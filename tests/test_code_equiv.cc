@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for code equivalence under parity-row permutation — the
+ * equivalence class BEER recovers codes up to (paper Section 4.2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "ecc/code_equiv.hh"
+#include "ecc/hamming.hh"
+#include "util/rng.hh"
+
+using namespace beer::ecc;
+using beer::gf2::Matrix;
+using beer::util::Rng;
+
+namespace
+{
+
+LinearCode
+permuteRows(const LinearCode &code, const std::vector<std::size_t> &perm)
+{
+    const Matrix &p = code.pMatrix();
+    Matrix out(p.rows(), p.cols());
+    for (std::size_t r = 0; r < p.rows(); ++r)
+        out.row(r) = p.row(perm[r]);
+    return LinearCode(std::move(out));
+}
+
+} // anonymous namespace
+
+TEST(CodeEquiv, CanonicalizeSortsRows)
+{
+    const LinearCode code(Matrix{
+        {1, 1, 0},
+        {0, 1, 1},
+        {1, 0, 1},
+    });
+    const LinearCode canonical = canonicalize(code);
+    EXPECT_TRUE(isCanonical(canonical));
+    // Rows sorted ascending with bit 0 most significant:
+    // 011 < 101 < 110.
+    EXPECT_EQ(canonical.pMatrix().row(0).toString(), "011");
+    EXPECT_EQ(canonical.pMatrix().row(1).toString(), "101");
+    EXPECT_EQ(canonical.pMatrix().row(2).toString(), "110");
+}
+
+TEST(CodeEquiv, RowPermutationsAreEquivalent)
+{
+    Rng rng(3);
+    const LinearCode code = randomSecCode(10, rng);
+    const std::size_t p = code.numParityBits();
+
+    std::vector<std::size_t> perm(p);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int round = 0; round < 20; ++round) {
+        // Random permutation.
+        for (std::size_t i = 0; i + 1 < p; ++i) {
+            const std::size_t j = i + rng.below(p - i);
+            std::swap(perm[i], perm[j]);
+        }
+        const LinearCode permuted = permuteRows(code, perm);
+        EXPECT_TRUE(equivalent(code, permuted));
+        EXPECT_EQ(canonicalize(code), canonicalize(permuted));
+    }
+}
+
+TEST(CodeEquiv, DifferentCodesNotEquivalent)
+{
+    Rng rng(5);
+    const LinearCode a = randomSecCode(16, rng);
+    const LinearCode b = randomSecCode(16, rng);
+    ASSERT_FALSE(a == b);
+    EXPECT_FALSE(equivalent(a, b));
+}
+
+TEST(CodeEquiv, DifferentShapesNotEquivalent)
+{
+    Rng rng(7);
+    const LinearCode a = randomSecCode(8, rng);
+    const LinearCode b = randomSecCode(9, rng);
+    EXPECT_FALSE(equivalent(a, b));
+}
+
+TEST(CodeEquiv, CanonicalizeIsIdempotent)
+{
+    Rng rng(9);
+    for (int round = 0; round < 10; ++round) {
+        const LinearCode code = randomSecCode(12, rng);
+        const LinearCode once = canonicalize(code);
+        EXPECT_EQ(canonicalize(once), once);
+        EXPECT_TRUE(isCanonical(once));
+    }
+}
+
+TEST(CodeEquiv, EquivalentCodesShareErrorBehaviour)
+{
+    // Permuting parity rows relabels parity cells: externally visible
+    // decoding of data errors is identical.
+    Rng rng(11);
+    const LinearCode code = randomSecCode(8, rng);
+    std::vector<std::size_t> perm = {2, 0, 3, 1};
+    const LinearCode permuted = permuteRows(code, perm);
+
+    beer::gf2::BitVec data(8);
+    for (std::size_t i = 0; i < 8; ++i)
+        data.set(i, rng.bernoulli(0.5));
+
+    for (std::size_t a = 0; a < 8; ++a) {
+        for (std::size_t b = a + 1; b < 8; ++b) {
+            // Inject a double *data* error and compare which data bit
+            // each decoder flips.
+            auto run = [&](const LinearCode &c) {
+                auto received = c.encode(data);
+                received.flip(a);
+                received.flip(b);
+                const auto syndrome = c.syndrome(received);
+                const std::size_t pos = c.findColumn(syndrome);
+                return pos < c.k() ? pos : SIZE_MAX;
+            };
+            EXPECT_EQ(run(code), run(permuted));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for syndrome decoding and outcome classification (paper
+ * Section 3.3's taxonomy: correction, partial correction,
+ * miscorrection, silent corruption).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/decoder.hh"
+#include "ecc/hamming.hh"
+#include "gf2/matrix.hh"
+#include "util/rng.hh"
+
+using namespace beer::ecc;
+using beer::gf2::BitVec;
+using beer::gf2::Matrix;
+using beer::util::Rng;
+
+TEST(Decoder, NoErrorPassesThrough)
+{
+    const LinearCode code = paperExampleCode();
+    const BitVec data = BitVec::fromString("1011");
+    const BitVec codeword = code.encode(data);
+    const DecodeResult result = decode(code, codeword);
+    EXPECT_EQ(result.dataword, data);
+    EXPECT_EQ(result.flippedBit, SIZE_MAX);
+    EXPECT_EQ(classify(code, codeword, codeword, result),
+              DecodeOutcome::NoError);
+}
+
+TEST(Decoder, CorrectsEverySingleBitError)
+{
+    const LinearCode code = paperExampleCode();
+    for (std::uint32_t d = 0; d < 16; ++d) {
+        BitVec data(4);
+        for (std::size_t i = 0; i < 4; ++i)
+            data.set(i, (d >> i) & 1);
+        const BitVec codeword = code.encode(data);
+        for (std::size_t pos = 0; pos < code.n(); ++pos) {
+            BitVec received = codeword;
+            received.flip(pos);
+            const DecodeResult result = decode(code, received);
+            EXPECT_EQ(result.dataword, data);
+            EXPECT_EQ(result.flippedBit, pos);
+            EXPECT_EQ(classify(code, codeword, received, result),
+                      DecodeOutcome::Corrected);
+        }
+    }
+}
+
+TEST(Decoder, DoubleErrorNeverCorrectsSilently)
+{
+    // For a SEC Hamming code, two errors always produce a nonzero
+    // syndrome (distance 3), so the decoder always acts or detects.
+    const LinearCode code = paperExampleCode();
+    const BitVec codeword = code.encode(BitVec::fromString("0110"));
+    for (std::size_t a = 0; a < code.n(); ++a) {
+        for (std::size_t b = a + 1; b < code.n(); ++b) {
+            BitVec received = codeword;
+            received.flip(a);
+            received.flip(b);
+            const DecodeResult result = decode(code, received);
+            const DecodeOutcome outcome =
+                classify(code, codeword, received, result);
+            EXPECT_NE(outcome, DecodeOutcome::NoError);
+            EXPECT_NE(outcome, DecodeOutcome::Corrected);
+            EXPECT_NE(outcome, DecodeOutcome::SilentCorruption);
+        }
+    }
+}
+
+TEST(Decoder, MiscorrectionExample)
+{
+    // With the (7,4,3) example code, flipping parity bits 5 and 6
+    // (columns 010 and 001) gives syndrome 011 = column of data bit 3:
+    // the decoder "corrects" an error-free bit — a miscorrection.
+    const LinearCode code = paperExampleCode();
+    const BitVec data = BitVec::fromString("0000");
+    const BitVec codeword = code.encode(data);
+    BitVec received = codeword;
+    received.flip(5);
+    received.flip(6);
+    const DecodeResult result = decode(code, received);
+    EXPECT_EQ(result.flippedBit, 3u);
+    EXPECT_EQ(classify(code, codeword, received, result),
+              DecodeOutcome::Miscorrection);
+    // The dataword now has an error the raw word never had.
+    EXPECT_NE(result.dataword, data);
+}
+
+TEST(Decoder, PartialCorrectionExample)
+{
+    // Flipping data bit 2 (column 101) and parity bit 4 (column 100)
+    // gives syndrome 001 = column of parity bit 6; the decoder flips a
+    // parity bit. The data error at bit 2 remains: from the codeword
+    // point of view this is neither full correction nor miscorrection.
+    const LinearCode code = paperExampleCode();
+    const BitVec codeword = code.encode(BitVec::fromString("0000"));
+    BitVec received = codeword;
+    received.flip(2);
+    received.flip(4);
+    const DecodeResult result = decode(code, received);
+    ASSERT_NE(result.flippedBit, SIZE_MAX);
+    const DecodeOutcome outcome =
+        classify(code, codeword, received, result);
+    // Syndrome = col2 ^ col4 = 101 ^ 100 = 001 -> flips parity bit 6,
+    // which had no raw error: a miscorrection (in the parity bits).
+    EXPECT_EQ(result.flippedBit, 6u);
+    EXPECT_EQ(outcome, DecodeOutcome::Miscorrection);
+}
+
+TEST(Decoder, TripleErrorCanBeSilent)
+{
+    // Three errors forming a codeword (distance-3 support) give a zero
+    // syndrome: silent data corruption.
+    const LinearCode code = paperExampleCode();
+    const BitVec zero = code.encode(BitVec::fromString("0000"));
+    // encode(0001) = 0001011 has weight 3: flip those positions.
+    BitVec received = zero;
+    received.flip(3);
+    received.flip(5);
+    received.flip(6);
+    const DecodeResult result = decode(code, received);
+    EXPECT_EQ(result.flippedBit, SIZE_MAX);
+    EXPECT_EQ(classify(code, zero, received, result),
+              DecodeOutcome::SilentCorruption);
+}
+
+TEST(Decoder, ShortenedCodeDetectedUncorrectable)
+{
+    // (6,3) shortened code whose columns are 011, 101, 110 plus the
+    // identity; syndrome 111 matches no column.
+    const LinearCode code(Matrix{
+        {0, 1, 1},
+        {1, 0, 1},
+        {1, 1, 0},
+    });
+    const BitVec codeword = code.encode(BitVec::fromString("000"));
+    // Flip parity bits 3, 4, 5 (in codeword positions k..k+2):
+    // syndrome = 111.
+    BitVec received = codeword;
+    received.flip(3);
+    received.flip(4);
+    received.flip(5);
+    const DecodeResult result = decode(code, received);
+    EXPECT_EQ(result.flippedBit, SIZE_MAX);
+    EXPECT_TRUE(result.detectedUncorrectable);
+    EXPECT_EQ(classify(code, codeword, received, result),
+              DecodeOutcome::DetectedUncorrectable);
+}
+
+TEST(Decoder, OutcomeNamesAreStable)
+{
+    EXPECT_EQ(outcomeName(DecodeOutcome::NoError), "No error");
+    EXPECT_EQ(outcomeName(DecodeOutcome::Corrected), "Correctable");
+    EXPECT_EQ(outcomeName(DecodeOutcome::Miscorrection),
+              "Miscorrection");
+}
+
+TEST(Decoder, ClassificationPartitionProperty)
+{
+    // Every (codeword, error pattern) pair maps to exactly one outcome
+    // and decode() is deterministic: cross-check over all error
+    // patterns for a small random code.
+    Rng rng(23);
+    const LinearCode code = randomSecCode(4, rng);
+    const BitVec data = BitVec::fromString("1100");
+    const BitVec codeword = code.encode(data);
+    std::size_t miscorrections = 0;
+    for (std::uint32_t e = 0; e < (1u << code.n()); ++e) {
+        BitVec received = codeword;
+        for (std::size_t i = 0; i < code.n(); ++i)
+            if ((e >> i) & 1)
+                received.flip(i);
+        const DecodeResult result = decode(code, received);
+        const DecodeOutcome outcome =
+            classify(code, codeword, received, result);
+        if (outcome == DecodeOutcome::Miscorrection)
+            ++miscorrections;
+        // Post-correction codeword differs from received only at the
+        // flipped bit.
+        BitVec delta = result.codeword ^ received;
+        if (result.flippedBit == SIZE_MAX) {
+            EXPECT_TRUE(delta.isZero());
+        } else {
+            EXPECT_EQ(delta.popcount(), 1u);
+            EXPECT_TRUE(delta.get(result.flippedBit));
+        }
+    }
+    // Uncorrectable patterns must have produced some miscorrections.
+    EXPECT_GT(miscorrections, 0u);
+}

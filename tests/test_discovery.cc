@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the pre-BEER reverse-engineering steps: true-/anti-cell
+ * survey (paper Section 5.1.1) and ECC dataword layout discovery
+ * (Section 5.1.2), all through the chip's external interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "beer/discovery.hh"
+#include "dram/chip.hh"
+
+using namespace beer;
+using beer::dram::CellType;
+using beer::dram::Chip;
+using beer::dram::ChipConfig;
+using beer::dram::makeVendorConfig;
+
+TEST(Discovery, CellTypesAllTrueVendor)
+{
+    ChipConfig config = makeVendorConfig('A', 16, 3);
+    config.map.rows = 32;
+    config.iidErrors = true;
+    Chip chip(config);
+
+    const double pause =
+        chip.retentionModel().pauseForBitErrorRate(0.2, 80.0);
+    const auto survey = discoverCellTypes(chip, pause, 80.0);
+
+    ASSERT_EQ(survey.rowTypes.size(), 32u);
+    for (std::size_t row = 0; row < 32; ++row)
+        EXPECT_EQ(survey.rowTypes[row], CellType::True) << row;
+    EXPECT_EQ(survey.trueRows().size(), 32u);
+}
+
+TEST(Discovery, CellTypesMixedVendorC)
+{
+    ChipConfig config = makeVendorConfig('C', 16, 5);
+    config.map.rows = 40;
+    config.iidErrors = true;
+    Chip chip(config);
+
+    const double pause =
+        chip.retentionModel().pauseForBitErrorRate(0.2, 80.0);
+    const auto survey = discoverCellTypes(chip, pause, 80.0);
+
+    for (std::size_t row = 0; row < 40; ++row) {
+        EXPECT_EQ(survey.rowTypes[row],
+                  config.cellLayout.typeOfRow(row))
+            << row;
+    }
+    // The survey's raw counts separate cleanly: true rows fail under
+    // ones, anti rows under zeros.
+    for (std::size_t row = 0; row < 40; ++row) {
+        if (survey.rowTypes[row] == CellType::True) {
+            EXPECT_GT(survey.onesErrors[row], survey.zerosErrors[row]);
+        } else {
+            EXPECT_GT(survey.zerosErrors[row], survey.onesErrors[row]);
+        }
+    }
+}
+
+TEST(Discovery, WordLayoutFindsByteInterleaving)
+{
+    // The chip interleaves two ECC words per region at byte
+    // granularity; co-occurrence clustering must discover exactly
+    // that: even offsets together, odd offsets together.
+    ChipConfig config = makeVendorConfig('A', 16, 7);
+    config.map.rows = 64;
+    config.iidErrors = true;
+    Chip chip(config);
+
+    const double pause =
+        chip.retentionModel().pauseForBitErrorRate(0.25, 80.0);
+    const auto types = discoverCellTypes(chip, pause, 80.0);
+    const auto survey =
+        discoverWordLayout(chip, types, pause, 80.0, 6);
+
+    const auto &map = chip.addressMap();
+    ASSERT_EQ(survey.laneOfByteOffset.size(), map.bytesPerRow);
+
+    // Ground truth: byte offset b belongs to word slot
+    // slotOfByte(b).wordIndex within the row.
+    for (std::size_t a = 0; a < map.bytesPerRow; ++a) {
+        for (std::size_t b = 0; b < map.bytesPerRow; ++b) {
+            const bool same_word = map.slotOfByte(a).wordIndex ==
+                                   map.slotOfByte(b).wordIndex;
+            EXPECT_EQ(survey.laneOfByteOffset[a] ==
+                          survey.laneOfByteOffset[b],
+                      same_word)
+                << "offsets " << a << "," << b;
+        }
+    }
+    // Two words per row at 16 bits (2 bytes) per word -> groups of 2.
+    const std::size_t words_per_row = map.wordsPerRow();
+    EXPECT_EQ(survey.wordGroups.size(), words_per_row);
+}
+
+TEST(Discovery, WordLayoutOnMixedCellChip)
+{
+    ChipConfig config = makeVendorConfig('C', 16, 9);
+    config.map.rows = 40;
+    config.iidErrors = true;
+    Chip chip(config);
+
+    const double pause =
+        chip.retentionModel().pauseForBitErrorRate(0.25, 80.0);
+    const auto types = discoverCellTypes(chip, pause, 80.0);
+    const auto survey =
+        discoverWordLayout(chip, types, pause, 80.0, 6);
+
+    const auto &map = chip.addressMap();
+    for (std::size_t a = 0; a < map.bytesPerRow; ++a)
+        for (std::size_t b = 0; b < map.bytesPerRow; ++b)
+            EXPECT_EQ(survey.laneOfByteOffset[a] ==
+                          survey.laneOfByteOffset[b],
+                      map.slotOfByte(a).wordIndex ==
+                          map.slotOfByte(b).wordIndex);
+}

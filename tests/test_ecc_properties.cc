@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Parameterized property tests over the ECC layer: for every swept
+ * dataword length and several random codes each, the fundamental
+ * invariants of systematic SEC codes must hold. These complement the
+ * example-driven tests in test_linear_code.cc / test_decoder.cc with
+ * breadth across the k range BEER targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "beer/profile.hh"
+#include "ecc/code_equiv.hh"
+#include "ecc/decoder.hh"
+#include "ecc/hamming.hh"
+#include "ecc/secded.hh"
+#include "util/rng.hh"
+
+using namespace beer::ecc;
+using beer::gf2::BitVec;
+using beer::util::Rng;
+
+namespace
+{
+
+BitVec
+randomData(std::size_t k, Rng &rng)
+{
+    BitVec data(k);
+    for (std::size_t i = 0; i < k; ++i)
+        data.set(i, rng.bernoulli(0.5));
+    return data;
+}
+
+} // anonymous namespace
+
+class EccProperties : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    std::size_t k() const { return GetParam(); }
+};
+
+TEST_P(EccProperties, GeneratorAndParityCheckAreOrthogonal)
+{
+    Rng rng(100 + k());
+    for (int round = 0; round < 3; ++round) {
+        const LinearCode code = randomSecCode(k(), rng);
+        const auto product =
+            code.parityCheckMatrix().mul(code.generatorMatrix());
+        EXPECT_EQ(product,
+                  beer::gf2::Matrix(code.numParityBits(), code.k()));
+    }
+}
+
+TEST_P(EccProperties, EncodeRoundTripsThroughDecode)
+{
+    Rng rng(200 + k());
+    const LinearCode code = randomSecCode(k(), rng);
+    for (int round = 0; round < 20; ++round) {
+        const BitVec data = randomData(k(), rng);
+        const auto result = decode(code, code.encode(data));
+        EXPECT_EQ(result.dataword, data);
+        EXPECT_EQ(result.flippedBit, SIZE_MAX);
+    }
+}
+
+TEST_P(EccProperties, EverySingleErrorIsCorrected)
+{
+    Rng rng(300 + k());
+    const LinearCode code = randomSecCode(k(), rng);
+    const BitVec data = randomData(k(), rng);
+    const BitVec codeword = code.encode(data);
+    for (std::size_t pos = 0; pos < code.n(); ++pos) {
+        BitVec received = codeword;
+        received.flip(pos);
+        const auto result = decode(code, received);
+        EXPECT_EQ(result.dataword, data) << pos;
+        EXPECT_EQ(classify(code, codeword, received, result),
+                  DecodeOutcome::Corrected);
+    }
+}
+
+TEST_P(EccProperties, DoubleErrorsNeverDecodeToTruth)
+{
+    // Distance 3: two errors always leave the decoder either partially
+    // correcting, miscorrecting, or detecting — never silently right.
+    Rng rng(400 + k());
+    const LinearCode code = randomSecCode(k(), rng);
+    const BitVec data = randomData(k(), rng);
+    const BitVec codeword = code.encode(data);
+    for (int round = 0; round < 50; ++round) {
+        const std::size_t a = (std::size_t)rng.below(code.n());
+        std::size_t b = (std::size_t)rng.below(code.n());
+        while (b == a)
+            b = (std::size_t)rng.below(code.n());
+        BitVec received = codeword;
+        received.flip(a);
+        received.flip(b);
+        const auto result = decode(code, received);
+        EXPECT_NE(result.codeword, codeword);
+    }
+}
+
+TEST_P(EccProperties, SyndromeIsLinear)
+{
+    Rng rng(500 + k());
+    const LinearCode code = randomSecCode(k(), rng);
+    for (int round = 0; round < 10; ++round) {
+        BitVec a(code.n());
+        BitVec b(code.n());
+        for (std::size_t i = 0; i < code.n(); ++i) {
+            a.set(i, rng.bernoulli(0.5));
+            b.set(i, rng.bernoulli(0.5));
+        }
+        EXPECT_EQ(code.syndrome(a) ^ code.syndrome(b),
+                  code.syndrome(a ^ b));
+    }
+}
+
+TEST_P(EccProperties, CanonicalizationPreservesProfiles)
+{
+    // The BEER-relevant invariant: canonicalization (parity-row
+    // sorting) must not change anything externally observable.
+    Rng rng(600 + k());
+    const LinearCode code = randomSecCode(k(), rng);
+    const LinearCode canon = canonicalize(code);
+    const auto patterns = beer::chargedPatterns(k(), 1);
+    EXPECT_EQ(beer::exhaustiveProfile(code, patterns),
+              beer::exhaustiveProfile(canon, patterns));
+}
+
+TEST_P(EccProperties, MiscorrectionPredicateConsistentWithDecoder)
+{
+    // If the predicate says "possible", a concrete error pattern must
+    // exist that makes the decoder flip that bit; find one by Monte
+    // Carlo over charged-cell subsets.
+    Rng rng(700 + k());
+    const LinearCode code = randomSecCode(k(), rng);
+    const std::size_t charged = (std::size_t)rng.below(k());
+    BitVec data(k());
+    data.set(charged, true);
+    const BitVec codeword = code.encode(data);
+
+    for (std::size_t bit = 0; bit < k(); ++bit) {
+        if (bit == charged)
+            continue;
+        if (!beer::miscorrectionPossible(code, {charged}, bit))
+            continue;
+        // Constructive witness: supp(col_bit) is a subset of
+        // supp(col_charged) (that is what the predicate asserts), and
+        // the charged parity cells are exactly supp(col_charged). So
+        // decaying the parity cells in supp(col_bit) produces
+        // syndrome col_bit, and the decoder must flip `bit`.
+        BitVec received = codeword;
+        for (std::size_t r : code.hColumn(bit).support()) {
+            ASSERT_TRUE(codeword.get(k() + r)); // must be charged
+            received.set(k() + r, false);
+        }
+        const auto result = decode(code, received);
+        EXPECT_EQ(result.flippedBit, bit);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DatawordLengths, EccProperties,
+                         ::testing::Values(4, 5, 7, 8, 11, 13, 16, 21,
+                                           26, 32, 40, 57, 64, 120,
+                                           128),
+                         ::testing::PrintToStringParamName());
+
+/** SEC-DED sweeps (rank-level ECC substrate). */
+class SecDedProperties : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SecDedProperties, DistanceFourBehaviour)
+{
+    const std::size_t k = GetParam();
+    Rng rng(800 + k);
+    const SecDedCode code = SecDedCode::random(k, rng);
+    BitVec data(k);
+    for (std::size_t i = 0; i < k; ++i)
+        data.set(i, rng.bernoulli(0.5));
+    const BitVec codeword = code.encode(data);
+
+    // Singles corrected.
+    for (std::size_t pos = 0; pos < code.n(); ++pos) {
+        BitVec received = codeword;
+        received.flip(pos);
+        EXPECT_EQ(code.decode(received).outcome,
+                  SecDedOutcome::Corrected);
+    }
+    // Random doubles detected.
+    for (int round = 0; round < 100; ++round) {
+        const std::size_t a = (std::size_t)rng.below(code.n());
+        std::size_t b = (std::size_t)rng.below(code.n());
+        while (b == a)
+            b = (std::size_t)rng.below(code.n());
+        BitVec received = codeword;
+        received.flip(a);
+        received.flip(b);
+        EXPECT_EQ(code.decode(received).outcome,
+                  SecDedOutcome::Detected);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DatawordLengths, SecDedProperties,
+                         ::testing::Values(4, 8, 16, 32, 64),
+                         ::testing::PrintToStringParamName());

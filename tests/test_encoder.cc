@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the Tseitin encoder: each gate is validated against its
+ * truth table by enumerating input assignments with assumptions, and
+ * the top-level constraints are checked by model counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sat/encoder.hh"
+#include "sat/solver.hh"
+
+using namespace beer::sat;
+
+namespace
+{
+
+/**
+ * For every assignment of @p inputs, check that forcing the inputs via
+ * assumptions makes the solver agree with @p expected on @p output.
+ */
+void
+checkTruthTable(Solver &solver, const std::vector<Lit> &inputs,
+                Lit output,
+                const std::function<bool(std::uint32_t)> &expected)
+{
+    for (std::uint32_t assign = 0;
+         assign < (1u << inputs.size()); ++assign) {
+        std::vector<Lit> assumptions;
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const bool value = (assign >> i) & 1;
+            assumptions.push_back(value ? inputs[i] : ~inputs[i]);
+        }
+        // Forcing the expected output value must be satisfiable...
+        auto with_output = assumptions;
+        with_output.push_back(expected(assign) ? output : ~output);
+        EXPECT_EQ(solver.solve(with_output), SolveResult::Sat)
+            << "assign " << assign;
+        // ...and the opposite must not be.
+        auto with_wrong = assumptions;
+        with_wrong.push_back(expected(assign) ? ~output : output);
+        EXPECT_EQ(solver.solve(with_wrong), SolveResult::Unsat)
+            << "assign " << assign;
+    }
+}
+
+std::vector<Lit>
+freshInputs(Encoder &enc, std::size_t count)
+{
+    std::vector<Lit> out;
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(enc.fresh());
+    return out;
+}
+
+} // anonymous namespace
+
+TEST(Encoder, ConstantsHold)
+{
+    Solver solver;
+    Encoder enc(solver);
+    ASSERT_EQ(solver.solve(), SolveResult::Sat);
+    EXPECT_TRUE(solver.modelValue(enc.constTrue().var()));
+    EXPECT_EQ(solver.solve({enc.constFalse()}), SolveResult::Unsat);
+}
+
+TEST(Encoder, AndGate)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const auto in = freshInputs(enc, 2);
+    const Lit y = enc.mkAnd(in[0], in[1]);
+    checkTruthTable(solver, in, y, [](std::uint32_t a) {
+        return (a & 3) == 3;
+    });
+}
+
+TEST(Encoder, AndGateNary)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const auto in = freshInputs(enc, 4);
+    const Lit y = enc.mkAnd(in);
+    checkTruthTable(solver, in, y, [](std::uint32_t a) {
+        return (a & 0xF) == 0xF;
+    });
+}
+
+TEST(Encoder, OrGateNary)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const auto in = freshInputs(enc, 3);
+    const Lit y = enc.mkOr(in);
+    checkTruthTable(solver, in, y, [](std::uint32_t a) {
+        return (a & 7) != 0;
+    });
+}
+
+TEST(Encoder, XorGate)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const auto in = freshInputs(enc, 2);
+    const Lit y = enc.mkXor(in[0], in[1]);
+    checkTruthTable(solver, in, y, [](std::uint32_t a) {
+        return ((a >> 0) & 1) != ((a >> 1) & 1);
+    });
+}
+
+TEST(Encoder, XorGateNary)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const auto in = freshInputs(enc, 5);
+    const Lit y = enc.mkXor(in);
+    checkTruthTable(solver, in, y, [](std::uint32_t a) {
+        return __builtin_popcount(a & 0x1F) % 2 == 1;
+    });
+}
+
+TEST(Encoder, EqAndIte)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const auto in = freshInputs(enc, 3);
+    const Lit eq = enc.mkEq(in[0], in[1]);
+    checkTruthTable(solver, {in[0], in[1]}, eq, [](std::uint32_t a) {
+        return ((a >> 0) & 1) == ((a >> 1) & 1);
+    });
+    const Lit ite = enc.mkIte(in[0], in[1], in[2]);
+    checkTruthTable(solver, in, ite, [](std::uint32_t a) {
+        const bool c = a & 1;
+        const bool t = (a >> 1) & 1;
+        const bool f = (a >> 2) & 1;
+        return c ? t : f;
+    });
+}
+
+TEST(Encoder, ConstantFolding)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const Lit a = enc.fresh();
+    EXPECT_EQ(enc.mkAnd(a, enc.constTrue()), a);
+    EXPECT_EQ(enc.mkAnd(a, enc.constFalse()), enc.constFalse());
+    EXPECT_EQ(enc.mkAnd(a, a), a);
+    EXPECT_EQ(enc.mkAnd(a, ~a), enc.constFalse());
+    EXPECT_EQ(enc.mkXor(a, enc.constFalse()), a);
+    EXPECT_EQ(enc.mkXor(a, enc.constTrue()), ~a);
+    EXPECT_EQ(enc.mkXor(a, a), enc.constFalse());
+    EXPECT_EQ(enc.mkOr(std::vector<Lit>{}), enc.constFalse());
+    EXPECT_EQ(enc.mkAnd(std::vector<Lit>{}), enc.constTrue());
+}
+
+TEST(Encoder, RequireXorParity)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const auto in = freshInputs(enc, 4);
+    enc.requireXor(in, true);
+    // Count models over the 4 inputs: those with odd parity = 8.
+    std::size_t models = 0;
+    while (solver.solve() == SolveResult::Sat) {
+        int parity = 0;
+        std::vector<Lit> blocking;
+        for (Lit l : in) {
+            parity ^= solver.modelValue(l.var());
+            blocking.push_back(solver.modelValue(l.var()) ? ~l : l);
+        }
+        EXPECT_EQ(parity, 1);
+        ++models;
+        ASSERT_LE(models, 8u);
+        solver.addClause(blocking);
+    }
+    EXPECT_EQ(models, 8u);
+}
+
+TEST(Encoder, AtMostOneAndExactlyOne)
+{
+    {
+        Solver solver;
+        Encoder enc(solver);
+        const auto in = freshInputs(enc, 4);
+        enc.requireAtMostOne(in);
+        std::size_t models = 0;
+        while (solver.solve() == SolveResult::Sat) {
+            int set = 0;
+            std::vector<Lit> blocking;
+            for (Lit l : in) {
+                set += solver.modelValue(l.var());
+                blocking.push_back(solver.modelValue(l.var()) ? ~l : l);
+            }
+            EXPECT_LE(set, 1);
+            ++models;
+            ASSERT_LE(models, 5u);
+            solver.addClause(blocking);
+        }
+        EXPECT_EQ(models, 5u); // empty + 4 singletons
+    }
+    {
+        Solver solver;
+        Encoder enc(solver);
+        const auto in = freshInputs(enc, 4);
+        enc.requireExactlyOne(in);
+        std::size_t models = 0;
+        while (solver.solve() == SolveResult::Sat) {
+            std::vector<Lit> blocking;
+            for (Lit l : in)
+                blocking.push_back(solver.modelValue(l.var()) ? ~l : l);
+            ++models;
+            ASSERT_LE(models, 4u);
+            solver.addClause(blocking);
+        }
+        EXPECT_EQ(models, 4u);
+    }
+}
+
+TEST(Encoder, LexLeqEnumeratesOrderedPairs)
+{
+    // Two 3-bit vectors a <=_lex b: count assignments.
+    Solver solver;
+    Encoder enc(solver);
+    const auto a = freshInputs(enc, 3);
+    const auto b = freshInputs(enc, 3);
+    enc.requireLexLeq(a, b);
+
+    std::size_t models = 0;
+    while (solver.solve() == SolveResult::Sat) {
+        std::uint32_t av = 0;
+        std::uint32_t bv = 0;
+        std::vector<Lit> blocking;
+        for (std::size_t i = 0; i < 3; ++i) {
+            // Element 0 is most significant.
+            av = (av << 1) | (std::uint32_t)solver.modelValue(a[i].var());
+            bv = (bv << 1) | (std::uint32_t)solver.modelValue(b[i].var());
+        }
+        for (Lit l : a)
+            blocking.push_back(solver.modelValue(l.var()) ? ~l : l);
+        for (Lit l : b)
+            blocking.push_back(solver.modelValue(l.var()) ? ~l : l);
+        EXPECT_LE(av, bv);
+        ++models;
+        ASSERT_LE(models, 64u);
+        solver.addClause(blocking);
+    }
+    // Number of ordered pairs (a <= b) over 8 values: 8*9/2 = 36.
+    EXPECT_EQ(models, 36u);
+}
+
+TEST(Encoder, ImpliesAndEqualConstraints)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const Lit a = enc.fresh();
+    const Lit b = enc.fresh();
+    const Lit c = enc.fresh();
+    enc.requireImplies(a, b);
+    enc.requireEqual(b, c);
+    EXPECT_EQ(solver.solve({a, ~c}), SolveResult::Unsat);
+    EXPECT_EQ(solver.solve({a, c}), SolveResult::Sat);
+    EXPECT_EQ(solver.solve({~a, ~c}), SolveResult::Sat);
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for SEC Hamming code construction across dataword lengths,
+ * including the full-length/shortened distinction central to BEER's
+ * Figure 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ecc/hamming.hh"
+#include "util/rng.hh"
+
+using namespace beer::ecc;
+using beer::util::Rng;
+
+TEST(Hamming, ParityBitCounts)
+{
+    // Known SEC Hamming parameters: k -> p.
+    EXPECT_EQ(parityBitsForDataBits(1), 2u);
+    EXPECT_EQ(parityBitsForDataBits(4), 3u);
+    EXPECT_EQ(parityBitsForDataBits(11), 4u);
+    EXPECT_EQ(parityBitsForDataBits(26), 5u);
+    EXPECT_EQ(parityBitsForDataBits(32), 6u);
+    EXPECT_EQ(parityBitsForDataBits(57), 6u);
+    EXPECT_EQ(parityBitsForDataBits(64), 7u);
+    EXPECT_EQ(parityBitsForDataBits(120), 7u);
+    EXPECT_EQ(parityBitsForDataBits(128), 8u);
+    EXPECT_EQ(parityBitsForDataBits(247), 8u);
+}
+
+TEST(Hamming, FullLengthDetection)
+{
+    // The paper's full-length dataword lengths: 4, 11, 26, 57, 120, 247.
+    for (std::size_t k : {4u, 11u, 26u, 57u, 120u, 247u})
+        EXPECT_TRUE(isFullLengthDatawordLength(k)) << k;
+    for (std::size_t k : {5u, 10u, 16u, 32u, 64u, 128u})
+        EXPECT_FALSE(isFullLengthDatawordLength(k)) << k;
+}
+
+TEST(Hamming, RandomCodesAreValidSec)
+{
+    Rng rng(7);
+    for (std::size_t k : {4u, 5u, 8u, 16u, 26u, 32u, 57u, 64u, 128u}) {
+        for (int round = 0; round < 5; ++round) {
+            const LinearCode code = randomSecCode(k, rng);
+            EXPECT_EQ(code.k(), k);
+            EXPECT_EQ(code.numParityBits(), parityBitsForDataBits(k));
+            EXPECT_TRUE(code.isValidSec()) << "k=" << k;
+        }
+    }
+}
+
+TEST(Hamming, CanonicalCodeDeterministicAndValid)
+{
+    for (std::size_t k : {4u, 11u, 16u, 32u, 64u}) {
+        const LinearCode a = canonicalSecCode(k);
+        const LinearCode b = canonicalSecCode(k);
+        EXPECT_EQ(a, b);
+        EXPECT_TRUE(a.isValidSec());
+    }
+}
+
+TEST(Hamming, RandomCodesDiffer)
+{
+    Rng rng(11);
+    const LinearCode a = randomSecCode(32, rng);
+    const LinearCode b = randomSecCode(32, rng);
+    EXPECT_FALSE(a == b); // astronomically unlikely to collide
+}
+
+TEST(Hamming, RandomCodeCorrectsAllSingleErrors)
+{
+    Rng rng(13);
+    for (std::size_t k : {8u, 21u, 40u}) {
+        const LinearCode code = randomSecCode(k, rng);
+        beer::gf2::BitVec data(k);
+        for (std::size_t i = 0; i < k; ++i)
+            data.set(i, rng.bernoulli(0.5));
+        const auto codeword = code.encode(data);
+        for (std::size_t pos = 0; pos < code.n(); ++pos) {
+            auto corrupted = codeword;
+            corrupted.flip(pos);
+            EXPECT_EQ(code.findColumn(code.syndrome(corrupted)), pos);
+        }
+    }
+}
+
+TEST(Hamming, FullLengthCodeUsesEverySyndrome)
+{
+    Rng rng(17);
+    const LinearCode code = randomSecCode(11, rng); // (15, 11) full
+    ASSERT_TRUE(code.isFullLength());
+    std::set<std::size_t> used;
+    for (std::size_t c = 0; c < code.n(); ++c)
+        used.insert(syndromeIndex(code.hColumn(c)));
+    EXPECT_EQ(used.size(), 15u); // all nonzero 4-bit syndromes
+}
+
+TEST(Hamming, DesignSpaceSampling)
+{
+    // For k=4, p=3 there are C(4,4)*4! = 24 ordered column choices
+    // (weight>=2 columns: 011,101,110,111). Sampling should hit many
+    // distinct codes.
+    Rng rng(19);
+    std::set<std::string> seen;
+    for (int round = 0; round < 300; ++round)
+        seen.insert(randomSecCode(4, rng).pMatrix().toString());
+    EXPECT_EQ(seen.size(), 24u);
+}

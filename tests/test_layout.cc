@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the DRAM address map (byte-interleaved ECC words, paper
+ * Section 5.1.2) and the true-/anti-cell row tiling (Section 5.1.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/layout.hh"
+
+using namespace beer::dram;
+
+namespace
+{
+
+AddressMap
+paperMap()
+{
+    // 32B regions holding two byte-interleaved 16B datawords.
+    AddressMap map;
+    map.bytesPerWord = 16;
+    map.wordsPerRegion = 2;
+    map.bytesPerRow = 64;
+    map.rows = 8;
+    return map;
+}
+
+} // anonymous namespace
+
+TEST(AddressMap, Geometry)
+{
+    const AddressMap map = paperMap();
+    EXPECT_EQ(map.bytesPerRegion(), 32u);
+    EXPECT_EQ(map.regionsPerRow(), 2u);
+    EXPECT_EQ(map.wordsPerRow(), 4u);
+    EXPECT_EQ(map.numWords(), 32u);
+    EXPECT_EQ(map.numBytes(), 512u);
+    map.validate();
+}
+
+TEST(AddressMap, ByteInterleavingMatchesPaper)
+{
+    // Within a 32B region, even byte addresses belong to word 0 and
+    // odd ones to word 1, in order.
+    const AddressMap map = paperMap();
+    for (std::size_t offset = 0; offset < 32; ++offset) {
+        const auto slot = map.slotOfByte(offset);
+        EXPECT_EQ(slot.wordIndex, offset % 2);
+        EXPECT_EQ(slot.byteInWord, offset / 2);
+    }
+    // Second region maps to words 2 and 3.
+    EXPECT_EQ(map.slotOfByte(32).wordIndex, 2u);
+    EXPECT_EQ(map.slotOfByte(33).wordIndex, 3u);
+}
+
+TEST(AddressMap, SlotRoundTrip)
+{
+    const AddressMap map = paperMap();
+    for (std::size_t addr = 0; addr < map.numBytes(); ++addr) {
+        const auto slot = map.slotOfByte(addr);
+        EXPECT_EQ(map.byteOfSlot(slot.wordIndex, slot.byteInWord), addr);
+    }
+}
+
+TEST(AddressMap, WordsNeverStraddleRows)
+{
+    const AddressMap map = paperMap();
+    for (std::size_t w = 0; w < map.numWords(); ++w) {
+        const std::size_t row = map.rowOfWord(w);
+        for (std::size_t b = 0; b < map.bytesPerWord; ++b) {
+            const std::size_t addr = map.byteOfSlot(w, b);
+            EXPECT_EQ(addr / map.bytesPerRow, row);
+        }
+    }
+}
+
+TEST(CellTypeLayout, AllTrueDefault)
+{
+    const CellTypeLayout layout = CellTypeLayout::allTrue();
+    for (std::size_t row = 0; row < 100; ++row)
+        EXPECT_EQ(layout.typeOfRow(row), CellType::True);
+}
+
+TEST(CellTypeLayout, AlternatingBlocks)
+{
+    // 2 true rows, 3 anti rows, cyclic.
+    const CellTypeLayout layout = CellTypeLayout::alternating({2, 3});
+    const CellType expected[] = {CellType::True, CellType::True,
+                                 CellType::Anti, CellType::Anti,
+                                 CellType::Anti};
+    for (std::size_t row = 0; row < 50; ++row)
+        EXPECT_EQ(layout.typeOfRow(row), expected[row % 5]) << row;
+}
+
+TEST(CellTypeLayout, IrregularBlocksLikeVendorC)
+{
+    // The paper observed irregular block heights (800/824/1224 rows);
+    // check an irregular 4-block cycle: T8 A8 T12 A12.
+    const CellTypeLayout layout =
+        CellTypeLayout::alternating({8, 8, 12, 12});
+    std::size_t true_rows = 0;
+    for (std::size_t row = 0; row < 40; ++row)
+        true_rows += layout.typeOfRow(row) == CellType::True;
+    EXPECT_EQ(true_rows, 20u); // 50/50 split per cycle
+    EXPECT_EQ(layout.typeOfRow(0), CellType::True);
+    EXPECT_EQ(layout.typeOfRow(8), CellType::Anti);
+    EXPECT_EQ(layout.typeOfRow(16), CellType::True);
+    EXPECT_EQ(layout.typeOfRow(28), CellType::Anti);
+}
+
+TEST(ChargeHelpers, TrueAndAntiEncodings)
+{
+    using namespace beer::dram;
+    EXPECT_EQ(chargeOf(true, CellType::True), ChargeState::Charged);
+    EXPECT_EQ(chargeOf(false, CellType::True), ChargeState::Discharged);
+    EXPECT_EQ(chargeOf(true, CellType::Anti), ChargeState::Discharged);
+    EXPECT_EQ(chargeOf(false, CellType::Anti), ChargeState::Charged);
+
+    EXPECT_TRUE(valueFor(ChargeState::Charged, CellType::True));
+    EXPECT_FALSE(valueFor(ChargeState::Charged, CellType::Anti));
+    EXPECT_FALSE(decayedValue(CellType::True));
+    EXPECT_TRUE(decayedValue(CellType::Anti));
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for ecc::LinearCode using the paper's (7,4,3) running example
+ * (Equation 1) plus random-code properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/hamming.hh"
+#include "ecc/linear_code.hh"
+#include "util/rng.hh"
+
+using namespace beer::ecc;
+using beer::gf2::BitVec;
+using beer::gf2::Matrix;
+using beer::util::Rng;
+
+TEST(LinearCode, PaperExampleShape)
+{
+    const LinearCode code = paperExampleCode();
+    EXPECT_EQ(code.k(), 4u);
+    EXPECT_EQ(code.n(), 7u);
+    EXPECT_EQ(code.numParityBits(), 3u);
+    EXPECT_TRUE(code.isValidSec());
+    EXPECT_TRUE(code.isFullLength());
+}
+
+TEST(LinearCode, PaperExampleMatrices)
+{
+    const LinearCode code = paperExampleCode();
+    // H = [1110 100 / 1101 010 / 1011 001] per Equation 1.
+    const Matrix h = code.parityCheckMatrix();
+    const Matrix expected{
+        {1, 1, 1, 0, 1, 0, 0},
+        {1, 1, 0, 1, 0, 1, 0},
+        {1, 0, 1, 1, 0, 0, 1},
+    };
+    EXPECT_EQ(h, expected);
+
+    // G^T rows from Equation 1: c = G*d must satisfy H*c = 0.
+    const Matrix g = code.generatorMatrix();
+    EXPECT_EQ(g.rows(), 7u);
+    EXPECT_EQ(g.cols(), 4u);
+    EXPECT_EQ(h.mul(g), Matrix(3, 4));
+}
+
+TEST(LinearCode, EncodeMatchesPaperExample)
+{
+    const LinearCode code = paperExampleCode();
+    // d = 1000 -> parity = first column of P = 111.
+    EXPECT_EQ(code.encode(BitVec::fromString("1000")).toString(),
+              "1000111");
+    // d = 0001 -> parity = last column of P = 011.
+    EXPECT_EQ(code.encode(BitVec::fromString("0001")).toString(),
+              "0001011");
+    EXPECT_EQ(code.encode(BitVec::fromString("0000")).toString(),
+              "0000000");
+}
+
+TEST(LinearCode, AllCodewordsHaveZeroSyndrome)
+{
+    const LinearCode code = paperExampleCode();
+    for (std::uint32_t d = 0; d < 16; ++d) {
+        BitVec data(4);
+        for (std::size_t i = 0; i < 4; ++i)
+            data.set(i, (d >> i) & 1);
+        EXPECT_TRUE(code.syndrome(code.encode(data)).isZero());
+    }
+}
+
+TEST(LinearCode, SyndromeOfSingleErrorIsColumn)
+{
+    const LinearCode code = paperExampleCode();
+    const BitVec codeword = code.encode(BitVec::fromString("1010"));
+    for (std::size_t pos = 0; pos < code.n(); ++pos) {
+        BitVec corrupted = codeword;
+        corrupted.flip(pos);
+        // Paper Equation 2: s = H * (c + e_i) = H_col(i).
+        EXPECT_EQ(code.syndrome(corrupted), code.hColumn(pos));
+        EXPECT_EQ(code.findColumn(code.syndrome(corrupted)), pos);
+    }
+}
+
+TEST(LinearCode, FindColumnZeroAndMissing)
+{
+    const LinearCode code = paperExampleCode();
+    EXPECT_EQ(code.findColumn(BitVec(3)), code.n());
+
+    // A shortened code misses some syndromes: (6,3) code with columns
+    // 011, 101, 110 — syndrome 111 matches nothing.
+    const LinearCode shortened(Matrix{
+        {0, 1, 1},
+        {1, 0, 1},
+        {1, 1, 0},
+    });
+    EXPECT_FALSE(shortened.isFullLength());
+    EXPECT_EQ(shortened.findColumn(BitVec::fromString("111")),
+              shortened.n());
+}
+
+TEST(LinearCode, HColumnCoversParity)
+{
+    const LinearCode code = paperExampleCode();
+    for (std::size_t r = 0; r < 3; ++r)
+        EXPECT_EQ(code.hColumn(4 + r), BitVec::unit(3, r));
+}
+
+TEST(LinearCode, ExtractDataInvertsEncodeProperty)
+{
+    Rng rng(3);
+    const LinearCode code = randomSecCode(20, rng);
+    for (int round = 0; round < 50; ++round) {
+        BitVec data(20);
+        for (std::size_t i = 0; i < 20; ++i)
+            data.set(i, rng.bernoulli(0.5));
+        EXPECT_EQ(code.extractData(code.encode(data)), data);
+    }
+}
+
+TEST(LinearCode, EncodeIsLinear)
+{
+    Rng rng(5);
+    const LinearCode code = randomSecCode(12, rng);
+    for (int round = 0; round < 30; ++round) {
+        BitVec a(12);
+        BitVec b(12);
+        for (std::size_t i = 0; i < 12; ++i) {
+            a.set(i, rng.bernoulli(0.5));
+            b.set(i, rng.bernoulli(0.5));
+        }
+        EXPECT_EQ(code.encode(a) ^ code.encode(b), code.encode(a ^ b));
+    }
+}
+
+TEST(LinearCode, InvalidSecDetected)
+{
+    // Duplicate data columns.
+    const LinearCode dup(Matrix{
+        {1, 1},
+        {1, 1},
+    });
+    EXPECT_FALSE(dup.isValidSec());
+
+    // Weight-1 data column duplicates a parity column.
+    const LinearCode unit_col(Matrix{
+        {1, 1},
+        {0, 1},
+    });
+    EXPECT_FALSE(unit_col.isValidSec());
+
+    // Zero column.
+    const LinearCode zero_col(Matrix{
+        {0, 1},
+        {0, 1},
+    });
+    EXPECT_FALSE(zero_col.isValidSec());
+}
+
+TEST(LinearCode, SyndromeIndexRoundTrip)
+{
+    BitVec s(5);
+    s.set(0, true);
+    s.set(3, true);
+    EXPECT_EQ(syndromeIndex(s), 0b01001u);
+    EXPECT_EQ(syndromeIndex(BitVec(5)), 0u);
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit and property tests for gf2::Matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gf2/matrix.hh"
+#include "util/rng.hh"
+
+using beer::gf2::BitVec;
+using beer::gf2::Matrix;
+using beer::util::Rng;
+
+TEST(Matrix, ConstructAndAccess)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m.set(1, 2, true);
+    EXPECT_TRUE(m.get(1, 2));
+    EXPECT_FALSE(m.get(0, 2));
+}
+
+TEST(Matrix, InitializerList)
+{
+    Matrix m{{1, 0, 1}, {0, 1, 1}};
+    EXPECT_TRUE(m.get(0, 0));
+    EXPECT_FALSE(m.get(0, 1));
+    EXPECT_TRUE(m.get(1, 2));
+    EXPECT_EQ(m.row(0).toString(), "101");
+    EXPECT_EQ(m.col(2).toString(), "11");
+}
+
+TEST(Matrix, IdentityProperties)
+{
+    const Matrix eye = Matrix::identity(5);
+    for (std::size_t r = 0; r < 5; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            EXPECT_EQ(eye.get(r, c), r == c);
+    EXPECT_EQ(eye.rank(), 5u);
+}
+
+TEST(Matrix, MulVec)
+{
+    const Matrix m{{1, 1, 0}, {0, 1, 1}};
+    EXPECT_EQ(m.mulVec(BitVec::fromString("100")).toString(), "10");
+    EXPECT_EQ(m.mulVec(BitVec::fromString("110")).toString(), "01");
+    EXPECT_EQ(m.mulVec(BitVec::fromString("111")).toString(), "00");
+}
+
+TEST(Matrix, MulMatchesIdentity)
+{
+    Rng rng(3);
+    const Matrix m = Matrix::random(6, 9, rng);
+    EXPECT_EQ(Matrix::identity(6).mul(m), m);
+    EXPECT_EQ(m.mul(Matrix::identity(9)), m);
+}
+
+TEST(Matrix, MulAssociative)
+{
+    Rng rng(5);
+    const Matrix a = Matrix::random(4, 5, rng);
+    const Matrix b = Matrix::random(5, 6, rng);
+    const Matrix c = Matrix::random(6, 3, rng);
+    EXPECT_EQ(a.mul(b).mul(c), a.mul(b.mul(c)));
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Rng rng(7);
+    const Matrix m = Matrix::random(7, 11, rng);
+    EXPECT_EQ(m.transpose().transpose(), m);
+    EXPECT_EQ(m.transpose().rows(), 11u);
+}
+
+TEST(Matrix, TransposeCompatibleWithMul)
+{
+    Rng rng(9);
+    const Matrix a = Matrix::random(4, 6, rng);
+    const Matrix b = Matrix::random(6, 5, rng);
+    EXPECT_EQ(a.mul(b).transpose(), b.transpose().mul(a.transpose()));
+}
+
+TEST(Matrix, RankProperties)
+{
+    Matrix zero(4, 4);
+    EXPECT_EQ(zero.rank(), 0u);
+
+    // Duplicate rows collapse rank.
+    Matrix dup{{1, 0, 1}, {1, 0, 1}, {0, 1, 0}};
+    EXPECT_EQ(dup.rank(), 2u);
+
+    Rng rng(11);
+    for (int round = 0; round < 20; ++round) {
+        const Matrix m = Matrix::random(5, 8, rng);
+        EXPECT_LE(m.rank(), 5u);
+        EXPECT_EQ(m.rank(), m.transpose().rank());
+    }
+}
+
+TEST(Matrix, SolveConsistentSystem)
+{
+    Rng rng(13);
+    for (int round = 0; round < 30; ++round) {
+        const Matrix m = Matrix::random(6, 9, rng);
+        BitVec x(9);
+        for (std::size_t i = 0; i < 9; ++i)
+            x.set(i, rng.bernoulli(0.5));
+        const BitVec b = m.mulVec(x);
+        const auto solution = m.solve(b);
+        ASSERT_TRUE(solution.has_value());
+        EXPECT_EQ(m.mulVec(*solution), b);
+    }
+}
+
+TEST(Matrix, SolveInconsistentSystem)
+{
+    // x0 = 0 and x0 = 1 simultaneously.
+    Matrix m{{1}, {1}};
+    BitVec b(2);
+    b.set(1, true);
+    EXPECT_FALSE(m.solve(b).has_value());
+}
+
+TEST(Matrix, NullBasisSpansKernel)
+{
+    Rng rng(17);
+    for (int round = 0; round < 20; ++round) {
+        const Matrix m = Matrix::random(4, 9, rng);
+        const auto basis = m.nullBasis();
+        EXPECT_EQ(basis.size(), 9u - m.rank());
+        for (const BitVec &v : basis)
+            EXPECT_TRUE(m.mulVec(v).isZero());
+        // Basis vectors are linearly independent: stack them as rows.
+        if (!basis.empty()) {
+            Matrix stack(basis.size(), 9);
+            for (std::size_t r = 0; r < basis.size(); ++r)
+                stack.row(r) = basis[r];
+            EXPECT_EQ(stack.rank(), basis.size());
+        }
+    }
+}
+
+TEST(Matrix, InverseRoundTrip)
+{
+    Rng rng(19);
+    int invertible_seen = 0;
+    for (int round = 0; round < 40; ++round) {
+        const Matrix m = Matrix::random(6, 6, rng);
+        const auto inverse = m.inverse();
+        if (!inverse) {
+            EXPECT_LT(m.rank(), 6u);
+            continue;
+        }
+        ++invertible_seen;
+        EXPECT_EQ(m.mul(*inverse), Matrix::identity(6));
+        EXPECT_EQ(inverse->mul(m), Matrix::identity(6));
+    }
+    EXPECT_GT(invertible_seen, 0);
+}
+
+TEST(Matrix, ConcatAndColRange)
+{
+    const Matrix a{{1, 0}, {0, 1}};
+    const Matrix b{{1}, {1}};
+    const Matrix joined = Matrix::hconcat(a, b);
+    EXPECT_EQ(joined.cols(), 3u);
+    EXPECT_EQ(joined.col(2).toString(), "11");
+    EXPECT_EQ(joined.colRange(0, 2), a);
+    EXPECT_EQ(joined.colRange(2, 1), b);
+
+    const Matrix stacked = Matrix::vconcat(a, a);
+    EXPECT_EQ(stacked.rows(), 4u);
+    EXPECT_EQ(stacked.row(3).toString(), "01");
+}
+
+TEST(Matrix, DuplicateAndZeroColumns)
+{
+    Matrix m{{1, 1, 0}, {0, 0, 0}};
+    EXPECT_TRUE(m.hasDuplicateColumns());
+    EXPECT_TRUE(m.hasZeroColumn());
+
+    Matrix good{{1, 0, 1}, {0, 1, 1}};
+    EXPECT_FALSE(good.hasDuplicateColumns());
+    EXPECT_FALSE(good.hasZeroColumn());
+}
+
+TEST(Matrix, RrefIsIdempotent)
+{
+    Rng rng(23);
+    for (int round = 0; round < 20; ++round) {
+        const Matrix m = Matrix::random(5, 7, rng);
+        const Matrix red = m.rref();
+        EXPECT_EQ(red.rref(), red);
+        EXPECT_EQ(red.rank(), m.rank());
+    }
+}
+
+TEST(Matrix, MulVecLeftMatchesTranspose)
+{
+    Rng rng(29);
+    const Matrix m = Matrix::random(5, 8, rng);
+    BitVec v(5);
+    for (std::size_t i = 0; i < 5; ++i)
+        v.set(i, rng.bernoulli(0.5));
+    EXPECT_EQ(m.mulVecLeft(v), m.transpose().mulVec(v));
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for experimental miscorrection-profile measurement: the
+ * sampled profile must converge to the exhaustive ground truth, the
+ * threshold filter must reject transient noise (Figure 4's claim),
+ * and the chip-based path must agree with the fast simulator path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "beer/measure.hh"
+#include "beer/profile.hh"
+#include "dram/chip.hh"
+#include "ecc/hamming.hh"
+#include "util/rng.hh"
+
+using namespace beer;
+using beer::dram::Chip;
+using beer::dram::ChipConfig;
+using beer::dram::makeVendorConfig;
+using beer::ecc::LinearCode;
+using beer::ecc::randomSecCode;
+using beer::util::Rng;
+
+TEST(Measure, SimProfileConvergesToExhaustive)
+{
+    Rng rng(3);
+    for (std::size_t k : {8u, 11u, 16u}) {
+        const LinearCode code = randomSecCode(k, rng);
+        const auto patterns = chargedPatterns(k, 1);
+        const auto counts =
+            measureProfileSim(code, patterns, 0.3, 40000, rng);
+        const auto measured = counts.threshold(1e-4);
+        const auto expected = exhaustiveProfile(code, patterns);
+        EXPECT_EQ(measured, expected) << "k=" << k;
+    }
+}
+
+TEST(Measure, TwoChargedSimProfileConvergesToExhaustive)
+{
+    Rng rng(5);
+    const LinearCode code = randomSecCode(8, rng);
+    const auto patterns = chargedPatterns(8, 2);
+    const auto counts =
+        measureProfileSim(code, patterns, 0.3, 40000, rng);
+    EXPECT_EQ(counts.threshold(1e-4),
+              exhaustiveProfile(code, patterns));
+}
+
+TEST(Measure, ProbabilityAndMerge)
+{
+    Rng rng(7);
+    const LinearCode code = randomSecCode(8, rng);
+    const auto patterns = chargedPatterns(8, 1);
+    auto a = measureProfileSim(code, patterns, 0.3, 5000, rng);
+    const auto b = measureProfileSim(code, patterns, 0.3, 5000, rng);
+    const auto words_before = a.wordsTested[0];
+    a.merge(b);
+    EXPECT_EQ(a.wordsTested[0], words_before + b.wordsTested[0]);
+    EXPECT_LE(a.probability(0, 1), 1.0);
+}
+
+TEST(Measure, ChipProfileMatchesGroundTruth)
+{
+    // End-to-end: measure on a simulated chip (iid mode so that each
+    // pause samples fresh error patterns) and compare to the secret
+    // code's exhaustive profile.
+    ChipConfig config = makeVendorConfig('A', 8, 11);
+    config.map.rows = 64;
+    config.iidErrors = true;
+    Chip chip(config);
+
+    MeasureConfig mc;
+    // High BER region so the few hundred words see many error
+    // patterns per pause.
+    for (double ber : {0.05, 0.1, 0.2, 0.3})
+        mc.pausesSeconds.push_back(
+            chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
+    mc.repeatsPerPause = 30;
+
+    const auto patterns = chargedPatterns(8, 1);
+    const auto counts = measureProfileOnChip(chip, patterns, mc);
+    const auto measured = counts.threshold(1e-4);
+    EXPECT_EQ(measured,
+              exhaustiveProfile(chip.groundTruthCode(), patterns));
+}
+
+TEST(Measure, ThresholdFiltersTransientNoise)
+{
+    // With transient read noise, raw counts show spurious errors in
+    // bits that can never miscorrect; the threshold filter must still
+    // recover the exact profile (paper Section 5.2 / Figure 4).
+    ChipConfig config = makeVendorConfig('A', 8, 13);
+    config.map.rows = 64;
+    config.iidErrors = true;
+    config.transientErrorRate = 1e-4;
+    Chip chip(config);
+
+    MeasureConfig mc;
+    for (double ber : {0.1, 0.2, 0.3})
+        mc.pausesSeconds.push_back(
+            chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
+    mc.repeatsPerPause = 30;
+
+    const auto patterns = chargedPatterns(8, 1);
+    const auto counts = measureProfileOnChip(chip, patterns, mc);
+
+    // An aggressive threshold of 0 (any observation counts) would
+    // pollute the profile; the paper's filter removes the noise.
+    const auto unfiltered = counts.threshold(0.0);
+    const auto filtered = counts.threshold(5e-3);
+    const auto expected =
+        exhaustiveProfile(chip.groundTruthCode(), patterns);
+    EXPECT_EQ(filtered, expected);
+    EXPECT_NE(unfiltered, expected);
+}
+
+TEST(Measure, PaperDefaultConfigShape)
+{
+    const MeasureConfig config = MeasureConfig::paperDefault();
+    ASSERT_EQ(config.pausesSeconds.size(), 21u);
+    EXPECT_DOUBLE_EQ(config.pausesSeconds.front(), 120.0);
+    EXPECT_DOUBLE_EQ(config.pausesSeconds.back(), 1320.0);
+    EXPECT_DOUBLE_EQ(config.temperatureC, 80.0);
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for BEER test-pattern generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "beer/patterns.hh"
+
+using namespace beer;
+using beer::dram::CellType;
+using beer::gf2::BitVec;
+
+namespace
+{
+
+std::size_t
+choose(std::size_t n, std::size_t r)
+{
+    std::size_t out = 1;
+    for (std::size_t i = 0; i < r; ++i)
+        out = out * (n - i) / (i + 1);
+    return out;
+}
+
+} // anonymous namespace
+
+TEST(Patterns, OneChargedCountAndContent)
+{
+    const auto patterns = chargedPatterns(5, 1);
+    ASSERT_EQ(patterns.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        ASSERT_EQ(patterns[i].size(), 1u);
+        EXPECT_EQ(patterns[i][0], i);
+    }
+}
+
+TEST(Patterns, TwoChargedCountMatchesBinomial)
+{
+    for (std::size_t k : {4u, 8u, 16u}) {
+        const auto patterns = chargedPatterns(k, 2);
+        EXPECT_EQ(patterns.size(), choose(k, 2));
+        std::set<std::pair<std::size_t, std::size_t>> seen;
+        for (const auto &pattern : patterns) {
+            ASSERT_EQ(pattern.size(), 2u);
+            EXPECT_LT(pattern[0], pattern[1]);
+            seen.insert({pattern[0], pattern[1]});
+        }
+        EXPECT_EQ(seen.size(), patterns.size()); // all distinct
+    }
+}
+
+TEST(Patterns, ThreeChargedCount)
+{
+    EXPECT_EQ(chargedPatterns(7, 3).size(), choose(7, 3));
+    EXPECT_EQ(chargedPatterns(4, 4).size(), 1u);
+}
+
+TEST(Patterns, UnionConcatenates)
+{
+    const auto both = chargedPatternUnion(6, {1, 2});
+    EXPECT_EQ(both.size(), 6u + choose(6, 2));
+    EXPECT_EQ(both[0].size(), 1u);
+    EXPECT_EQ(both[6].size(), 2u);
+}
+
+TEST(Patterns, DatawordForTrueCells)
+{
+    // True-cells: CHARGED = 1.
+    const BitVec data = datawordForPattern({1, 3}, 5, CellType::True);
+    EXPECT_EQ(data.toString(), "01010");
+}
+
+TEST(Patterns, DatawordForAntiCells)
+{
+    // Anti-cells: CHARGED = 0, background DISCHARGED = 1.
+    const BitVec data = datawordForPattern({1, 3}, 5, CellType::Anti);
+    EXPECT_EQ(data.toString(), "10101");
+}
+
+TEST(Patterns, PatternContains)
+{
+    const TestPattern pattern = {2, 5, 9};
+    EXPECT_TRUE(patternContains(pattern, 5));
+    EXPECT_FALSE(patternContains(pattern, 4));
+    EXPECT_FALSE(patternContains({}, 0));
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for miscorrection profiles: the support-inclusion predicate is
+ * validated against brute-force error-pattern enumeration, and the
+ * paper's Table 2 is reproduced exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "beer/profile.hh"
+#include "ecc/hamming.hh"
+#include "util/rng.hh"
+
+using namespace beer;
+using beer::ecc::LinearCode;
+using beer::ecc::paperExampleCode;
+using beer::ecc::randomSecCode;
+using beer::util::Rng;
+
+TEST(Profile, PaperTable2Reproduced)
+{
+    // Table 2: for the Equation-1 code, only the pattern charging data
+    // bit 0 can miscorrect, and it can miscorrect every other bit.
+    const LinearCode code = paperExampleCode();
+    const auto profile = exhaustiveProfile(code, chargedPatterns(4, 1));
+
+    ASSERT_EQ(profile.patterns.size(), 4u);
+    // Pattern charging bit 0: miscorrections possible at bits 1, 2, 3.
+    EXPECT_EQ(profile.patterns[0].miscorrectable.toString(), "0111");
+    // Patterns charging bits 1..3: no miscorrections possible.
+    EXPECT_EQ(profile.patterns[1].miscorrectable.toString(), "0000");
+    EXPECT_EQ(profile.patterns[2].miscorrectable.toString(), "0000");
+    EXPECT_EQ(profile.patterns[3].miscorrectable.toString(), "0000");
+}
+
+TEST(Profile, PredicateMatchesBruteForceOneCharged)
+{
+    Rng rng(3);
+    for (std::size_t k : {4u, 6u, 8u, 11u}) {
+        for (int round = 0; round < 5; ++round) {
+            const LinearCode code = randomSecCode(k, rng);
+            for (const auto &pattern : chargedPatterns(k, 1)) {
+                for (std::size_t bit = 0; bit < k; ++bit) {
+                    if (patternContains(pattern, bit))
+                        continue;
+                    EXPECT_EQ(
+                        miscorrectionPossible(code, pattern, bit),
+                        miscorrectionPossibleBruteForce(code, pattern,
+                                                        bit))
+                        << "k=" << k << " bit=" << bit;
+                }
+            }
+        }
+    }
+}
+
+TEST(Profile, PredicateMatchesBruteForceTwoCharged)
+{
+    Rng rng(5);
+    for (std::size_t k : {4u, 6u, 8u}) {
+        for (int round = 0; round < 3; ++round) {
+            const LinearCode code = randomSecCode(k, rng);
+            for (const auto &pattern : chargedPatterns(k, 2)) {
+                for (std::size_t bit = 0; bit < k; ++bit) {
+                    if (patternContains(pattern, bit))
+                        continue;
+                    EXPECT_EQ(
+                        miscorrectionPossible(code, pattern, bit),
+                        miscorrectionPossibleBruteForce(code, pattern,
+                                                        bit));
+                }
+            }
+        }
+    }
+}
+
+TEST(Profile, PredicateMatchesBruteForceThreeCharged)
+{
+    Rng rng(7);
+    const LinearCode code = randomSecCode(6, rng);
+    for (const auto &pattern : chargedPatterns(6, 3)) {
+        for (std::size_t bit = 0; bit < 6; ++bit) {
+            if (patternContains(pattern, bit))
+                continue;
+            EXPECT_EQ(miscorrectionPossible(code, pattern, bit),
+                      miscorrectionPossibleBruteForce(code, pattern,
+                                                      bit));
+        }
+    }
+}
+
+TEST(Profile, FullLengthOneChargedProfilesDifferForDifferentCodes)
+{
+    // The disambiguation core of BEER: different functions produce
+    // different profiles (for full-length codes, already under
+    // 1-CHARGED patterns).
+    Rng rng(9);
+    const auto patterns = chargedPatterns(11, 1);
+    const LinearCode a = randomSecCode(11, rng);
+    const LinearCode b = randomSecCode(11, rng);
+    ASSERT_FALSE(a == b);
+    EXPECT_NE(exhaustiveProfile(a, patterns),
+              exhaustiveProfile(b, patterns));
+}
+
+TEST(Profile, EquivalentCodesShareProfiles)
+{
+    // Row-permuted (equivalent) codes must be indistinguishable.
+    const LinearCode code = paperExampleCode();
+    const auto &p = code.pMatrix();
+    beer::gf2::Matrix permuted(p.rows(), p.cols());
+    permuted.row(0) = p.row(2);
+    permuted.row(1) = p.row(0);
+    permuted.row(2) = p.row(1);
+    const LinearCode other(std::move(permuted));
+
+    const auto patterns = chargedPatternUnion(4, {1, 2});
+    EXPECT_EQ(exhaustiveProfile(code, patterns),
+              exhaustiveProfile(other, patterns));
+}
+
+TEST(Profile, ChargedBitsNeverMarked)
+{
+    Rng rng(11);
+    const LinearCode code = randomSecCode(8, rng);
+    const auto profile =
+        exhaustiveProfile(code, chargedPatternUnion(8, {1, 2}));
+    for (const auto &entry : profile.patterns)
+        for (std::size_t bit : entry.pattern)
+            EXPECT_FALSE(entry.miscorrectable.get(bit));
+}
+
+TEST(Profile, ToStringRendersTable)
+{
+    const LinearCode code = paperExampleCode();
+    const auto profile = exhaustiveProfile(code, chargedPatterns(4, 1));
+    const std::string text = profile.toString();
+    // Pattern 0 line: charged at 0, miscorrections at 1..3.
+    EXPECT_NE(text.find("[CDDD] -> [?111]"), std::string::npos);
+    EXPECT_NE(text.find("[DCDD] -> [-?--]"), std::string::npos);
+}

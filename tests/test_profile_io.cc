@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the miscorrection-profile text format used by the
+ * tools/beer_solve pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "beer/profile.hh"
+#include "ecc/hamming.hh"
+#include "util/rng.hh"
+
+using namespace beer;
+using beer::ecc::randomSecCode;
+using beer::util::Rng;
+
+TEST(ProfileIo, RoundTrip)
+{
+    Rng rng(3);
+    for (std::size_t k : {4u, 8u, 16u}) {
+        const auto code = randomSecCode(k, rng);
+        const auto profile =
+            exhaustiveProfile(code, chargedPatternUnion(k, {1, 2}));
+        std::istringstream in(serializeProfile(profile));
+        EXPECT_EQ(parseProfile(in), profile) << "k=" << k;
+    }
+}
+
+TEST(ProfileIo, ParsesCommentsAndBlankLines)
+{
+    std::istringstream in(
+        "# header comment\n"
+        "\n"
+        "k 4\n"
+        "0 0111  # trailing comment\n"
+        "1,2 0000\n");
+    const auto profile = parseProfile(in);
+    EXPECT_EQ(profile.k, 4u);
+    ASSERT_EQ(profile.patterns.size(), 2u);
+    EXPECT_EQ(profile.patterns[0].pattern, TestPattern{0});
+    EXPECT_EQ(profile.patterns[0].miscorrectable.toString(), "0111");
+    EXPECT_EQ(profile.patterns[1].pattern, (TestPattern{1, 2}));
+}
+
+TEST(ProfileIo, SortsChargedBits)
+{
+    std::istringstream in("k 4\n3,1 0000\n");
+    const auto profile = parseProfile(in);
+    EXPECT_EQ(profile.patterns[0].pattern, (TestPattern{1, 3}));
+}
+
+using ProfileIoDeath = ::testing::Test;
+
+TEST(ProfileIoDeath, MissingHeaderIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            std::istringstream in("0 0111\n");
+            parseProfile(in);
+        },
+        "header");
+}
+
+TEST(ProfileIoDeath, WrongBitmapLengthIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            std::istringstream in("k 4\n0 01110\n");
+            parseProfile(in);
+        },
+        "bitmap");
+}
+
+TEST(ProfileIoDeath, ChargedBitOutOfRangeIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            std::istringstream in("k 4\n7 0111\n");
+            parseProfile(in);
+        },
+        "bad charged bit");
+}
+
+TEST(ProfileIoDeath, ChargedBitMarkedMiscorrectableIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            std::istringstream in("k 4\n0 1111\n");
+            parseProfile(in);
+        },
+        "marked miscorrectable");
+}
+
+TEST(ProfileIoDeath, NonBinaryBitmapIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            std::istringstream in("k 4\n0 01x1\n");
+            parseProfile(in);
+        },
+        "0/1");
+}

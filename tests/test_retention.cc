@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the data-retention error model: monotonicity in time and
+ * temperature, calibration to the paper's operating points, per-cell
+ * determinism, and BER inversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dram/retention.hh"
+
+using beer::dram::RetentionModel;
+
+TEST(Retention, NoPauseNoErrors)
+{
+    RetentionModel model;
+    EXPECT_DOUBLE_EQ(model.failProbability(0.0, 80.0), 0.0);
+    EXPECT_FALSE(model.cellFails(1, 42, 0.0, 80.0));
+}
+
+TEST(Retention, MonotonicInPauseTime)
+{
+    RetentionModel model;
+    double prev = 0.0;
+    for (double pause : {10.0, 60.0, 300.0, 1200.0, 3600.0}) {
+        const double ber = model.failProbability(pause, 80.0);
+        EXPECT_GE(ber, prev);
+        prev = ber;
+    }
+}
+
+TEST(Retention, MonotonicInTemperature)
+{
+    RetentionModel model;
+    double prev = 0.0;
+    for (double temp : {30.0, 45.0, 60.0, 80.0, 95.0}) {
+        const double ber = model.failProbability(600.0, temp);
+        EXPECT_GT(ber, prev);
+        prev = ber;
+    }
+}
+
+TEST(Retention, CalibratedToPaperOperatingPoints)
+{
+    // Section 5.1.3: BER ~1e-7 at 2 min / 80C and ~1e-3 at 22 min /
+    // 80C. The defaults are fit to those two points.
+    RetentionModel model;
+    const double ber_2min = model.failProbability(120.0, 80.0);
+    const double ber_22min = model.failProbability(1320.0, 80.0);
+    EXPECT_NEAR(std::log10(ber_2min), -7.0, 0.3);
+    EXPECT_NEAR(std::log10(ber_22min), -3.0, 0.3);
+}
+
+TEST(Retention, TemperatureHalvingBehaviour)
+{
+    // Raising temperature by the halving constant doubles the
+    // effective pause: failProbability(t, T) == failProbability(2t,
+    // T - halving).
+    RetentionModel model;
+    const double a = model.failProbability(600.0, 80.0);
+    const double b = model.failProbability(1200.0, 70.0);
+    EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(Retention, CellFailsDeterministic)
+{
+    RetentionModel model;
+    for (std::uint64_t cell = 0; cell < 100; ++cell) {
+        const bool first = model.cellFails(7, cell, 1800.0, 80.0);
+        const bool second = model.cellFails(7, cell, 1800.0, 80.0);
+        EXPECT_EQ(first, second);
+    }
+}
+
+TEST(Retention, CellFailureIsThresholdInTime)
+{
+    // A cell that fails at pause t must also fail at any longer pause
+    // (retention time is a fixed threshold).
+    RetentionModel model;
+    for (std::uint64_t cell = 0; cell < 200; ++cell) {
+        bool failed = false;
+        for (double pause : {60.0, 600.0, 3600.0, 36000.0, 360000.0}) {
+            const bool fails = model.cellFails(3, cell, pause, 80.0);
+            if (failed) {
+                EXPECT_TRUE(fails);
+            }
+            failed = fails;
+        }
+    }
+}
+
+TEST(Retention, DifferentSeedsGiveDifferentCellMaps)
+{
+    RetentionModel model;
+    const double pause = model.pauseForBitErrorRate(0.2, 80.0);
+    int differing = 0;
+    for (std::uint64_t cell = 0; cell < 500; ++cell) {
+        if (model.cellFails(1, cell, pause, 80.0) !=
+            model.cellFails(2, cell, pause, 80.0))
+            ++differing;
+    }
+    EXPECT_GT(differing, 50);
+}
+
+TEST(Retention, PauseForBerInvertsFailProbability)
+{
+    RetentionModel model;
+    for (double target : {1e-7, 1e-5, 1e-3, 1e-1}) {
+        const double pause = model.pauseForBitErrorRate(target, 80.0);
+        EXPECT_NEAR(std::log10(model.failProbability(pause, 80.0)),
+                    std::log10(target), 1e-6);
+    }
+    // Different temperature round trip.
+    const double pause45 = model.pauseForBitErrorRate(1e-4, 45.0);
+    EXPECT_NEAR(std::log10(model.failProbability(pause45, 45.0)), -4.0,
+                1e-6);
+}
+
+TEST(Retention, EmpiricalRateMatchesModel)
+{
+    // The fraction of cells failing at a pause approximates the model
+    // BER (law of large numbers over deterministic per-cell draws).
+    RetentionModel model;
+    const double pause = model.pauseForBitErrorRate(0.05, 80.0);
+    std::uint64_t failures = 0;
+    const std::uint64_t cells = 200000;
+    for (std::uint64_t cell = 0; cell < cells; ++cell)
+        failures += model.cellFails(11, cell, pause, 80.0);
+    EXPECT_NEAR((double)failures / (double)cells, 0.05, 0.005);
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Statistical sanity tests for util::Rng. Tolerances are loose enough
+ * to be deterministic for the fixed seeds used.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hh"
+
+using beer::util::Rng;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+    // All residues reachable.
+    std::vector<int> seen(17, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++seen[rng.below(17)];
+    for (int count : seen)
+        EXPECT_GT(count, 0);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR((double)hits / trials, 0.3, 0.01);
+
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, BinomialMoments)
+{
+    Rng rng(17);
+    // Small-mean regime (inversion path).
+    {
+        double sum = 0.0;
+        const int trials = 20000;
+        for (int i = 0; i < trials; ++i)
+            sum += (double)rng.binomial(40, 0.1);
+        EXPECT_NEAR(sum / trials, 4.0, 0.15);
+    }
+    // Large-mean regime (normal approximation path).
+    {
+        double sum = 0.0;
+        const int trials = 20000;
+        for (int i = 0; i < trials; ++i) {
+            const auto sample = rng.binomial(10000, 0.25);
+            EXPECT_LE(sample, 10000u);
+            sum += (double)sample;
+        }
+        EXPECT_NEAR(sum / trials, 2500.0, 5.0);
+    }
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+    EXPECT_EQ(rng.binomial(10, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(10, 1.0), 10u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int trials = 200000;
+    for (int i = 0; i < trials; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / trials, 0.0, 0.02);
+    EXPECT_NEAR(sq / trials, 1.0, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(23);
+    const double p = 0.2;
+    double sum = 0.0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        sum += (double)rng.geometric(p);
+    // Mean of failures-before-success geometric is (1-p)/p = 4.
+    EXPECT_NEAR(sum / trials, 4.0, 0.15);
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(29);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 2);
+}

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Tests for the CDCL SAT solver: hand-written formulas, reference
+ * comparison against a brute-force evaluator on random CNFs, UNSAT
+ * families (pigeonhole), assumptions, incremental use, and model
+ * enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sat/dimacs.hh"
+#include "sat/solver.hh"
+#include "util/rng.hh"
+
+using namespace beer::sat;
+using beer::util::Rng;
+
+namespace
+{
+
+/** Brute-force satisfiability of a clause list over n variables. */
+bool
+bruteForceSat(std::size_t num_vars,
+              const std::vector<std::vector<Lit>> &clauses)
+{
+    for (std::uint64_t assign = 0; assign < (1ULL << num_vars);
+         ++assign) {
+        bool all_satisfied = true;
+        for (const auto &clause : clauses) {
+            bool satisfied = false;
+            for (Lit l : clause) {
+                const bool value = (assign >> l.var()) & 1;
+                if (value != l.sign()) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (!satisfied) {
+                all_satisfied = false;
+                break;
+            }
+        }
+        if (all_satisfied)
+            return true;
+    }
+    return false;
+}
+
+/** Count satisfying assignments by brute force. */
+std::size_t
+bruteForceCount(std::size_t num_vars,
+                const std::vector<std::vector<Lit>> &clauses)
+{
+    std::size_t count = 0;
+    for (std::uint64_t assign = 0; assign < (1ULL << num_vars);
+         ++assign) {
+        bool all_satisfied = true;
+        for (const auto &clause : clauses) {
+            bool satisfied = false;
+            for (Lit l : clause) {
+                const bool value = (assign >> l.var()) & 1;
+                if (value != l.sign()) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (!satisfied) {
+                all_satisfied = false;
+                break;
+            }
+        }
+        count += all_satisfied;
+    }
+    return count;
+}
+
+/** Check the solver's model against the clauses. */
+void
+expectModelSatisfies(const Solver &solver,
+                     const std::vector<std::vector<Lit>> &clauses)
+{
+    for (const auto &clause : clauses) {
+        bool satisfied = false;
+        for (Lit l : clause)
+            if (solver.modelValue(l.var()) != l.sign())
+                satisfied = true;
+        EXPECT_TRUE(satisfied);
+    }
+}
+
+} // anonymous namespace
+
+TEST(Sat, LitBasics)
+{
+    const Lit a = mkLit(3);
+    EXPECT_EQ(a.var(), 3);
+    EXPECT_FALSE(a.sign());
+    EXPECT_TRUE((~a).sign());
+    EXPECT_EQ((~~a), a);
+    EXPECT_TRUE(Lit().isUndef());
+}
+
+TEST(Sat, TrivialSat)
+{
+    Solver s;
+    const Var x = s.newVar();
+    s.addClause(mkLit(x));
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(x));
+}
+
+TEST(Sat, TrivialUnsat)
+{
+    Solver s;
+    const Var x = s.newVar();
+    s.addClause(mkLit(x));
+    EXPECT_FALSE(s.addClause(mkLit(x, true)));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+    EXPECT_TRUE(s.isUnsat());
+}
+
+TEST(Sat, EmptyFormulaIsSat)
+{
+    Solver s;
+    s.newVar();
+    s.newVar();
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Sat, UnitPropagationChain)
+{
+    // x0; x0 -> x1; x1 -> x2; ...; x8 -> x9.
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < 10; ++i)
+        vars.push_back(s.newVar());
+    s.addClause(mkLit(vars[0]));
+    for (int i = 0; i + 1 < 10; ++i)
+        s.addClause(mkLit(vars[i], true), mkLit(vars[i + 1]));
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+    for (Var v : vars)
+        EXPECT_TRUE(s.modelValue(v));
+}
+
+TEST(Sat, XorChainSat)
+{
+    // x0 xor x1 = 1, x1 xor x2 = 1, x0 = 1 => x1 = 0, x2 = 1.
+    Solver s;
+    const Var x0 = s.newVar();
+    const Var x1 = s.newVar();
+    const Var x2 = s.newVar();
+    auto add_xor_one = [&](Var a, Var b) {
+        s.addClause(mkLit(a), mkLit(b));
+        s.addClause(mkLit(a, true), mkLit(b, true));
+    };
+    add_xor_one(x0, x1);
+    add_xor_one(x1, x2);
+    s.addClause(mkLit(x0));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(x0));
+    EXPECT_FALSE(s.modelValue(x1));
+    EXPECT_TRUE(s.modelValue(x2));
+}
+
+TEST(Sat, PigeonholeUnsat)
+{
+    // PHP(n+1, n): n+1 pigeons into n holes — classically UNSAT and
+    // exponential for resolution at scale; use a small instance.
+    const int holes = 4;
+    const int pigeons = 5;
+    Solver s;
+    std::vector<std::vector<Var>> var(pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; ++p)
+        for (int h = 0; h < holes; ++h)
+            var[p][h] = s.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < holes; ++h)
+            clause.push_back(mkLit(var[p][h]));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addClause(mkLit(var[p1][h], true),
+                            mkLit(var[p2][h], true));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Sat, RandomCnfMatchesBruteForce)
+{
+    Rng rng(101);
+    int sat_seen = 0;
+    int unsat_seen = 0;
+    for (int round = 0; round < 200; ++round) {
+        const std::size_t num_vars = 4 + rng.below(9); // 4..12
+        // ~4.3 clauses/var is near the 3-SAT phase transition.
+        const std::size_t num_clauses = (std::size_t)(num_vars * 4.3);
+        std::vector<std::vector<Lit>> clauses;
+        for (std::size_t i = 0; i < num_clauses; ++i) {
+            std::vector<Lit> clause;
+            for (int j = 0; j < 3; ++j)
+                clause.push_back(mkLit((Var)rng.below(num_vars),
+                                       rng.bernoulli(0.5)));
+            clauses.push_back(clause);
+        }
+
+        Solver s;
+        for (std::size_t v = 0; v < num_vars; ++v)
+            s.newVar();
+        for (const auto &clause : clauses)
+            s.addClause(clause);
+
+        const bool expected = bruteForceSat(num_vars, clauses);
+        const SolveResult got = s.solve();
+        ASSERT_EQ(got, expected ? SolveResult::Sat : SolveResult::Unsat)
+            << "round " << round;
+        if (expected) {
+            ++sat_seen;
+            expectModelSatisfies(s, clauses);
+        } else {
+            ++unsat_seen;
+        }
+    }
+    // The mix must exercise both branches.
+    EXPECT_GT(sat_seen, 20);
+    EXPECT_GT(unsat_seen, 20);
+}
+
+TEST(Sat, Assumptions)
+{
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    s.addClause(mkLit(x), mkLit(y)); // x or y
+
+    EXPECT_EQ(s.solve({mkLit(x, true)}), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(y));
+
+    EXPECT_EQ(s.solve({mkLit(y, true)}), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(x));
+
+    EXPECT_EQ(s.solve({mkLit(x, true), mkLit(y, true)}),
+              SolveResult::Unsat);
+
+    // The formula itself is still satisfiable afterwards.
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Sat, IncrementalClauseAddition)
+{
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    s.addClause(mkLit(x), mkLit(y));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+
+    // Block the found model, resolve, repeat: enumerates all 3 models.
+    int models = 0;
+    while (s.solve() == SolveResult::Sat) {
+        ++models;
+        ASSERT_LE(models, 3);
+        std::vector<Lit> blocking;
+        blocking.push_back(mkLit(x, s.modelValue(x)));
+        blocking.push_back(mkLit(y, s.modelValue(y)));
+        s.addClause(blocking);
+    }
+    EXPECT_EQ(models, 3);
+}
+
+TEST(Sat, ModelEnumerationMatchesBruteForceCount)
+{
+    Rng rng(103);
+    for (int round = 0; round < 50; ++round) {
+        const std::size_t num_vars = 3 + rng.below(6); // 3..8
+        const std::size_t num_clauses = num_vars * 2;
+        std::vector<std::vector<Lit>> clauses;
+        for (std::size_t i = 0; i < num_clauses; ++i) {
+            std::vector<Lit> clause;
+            for (int j = 0; j < 3; ++j)
+                clause.push_back(mkLit((Var)rng.below(num_vars),
+                                       rng.bernoulli(0.5)));
+            clauses.push_back(clause);
+        }
+
+        Solver s;
+        for (std::size_t v = 0; v < num_vars; ++v)
+            s.newVar();
+        for (const auto &clause : clauses)
+            s.addClause(clause);
+
+        std::size_t models = 0;
+        while (s.solve() == SolveResult::Sat) {
+            ++models;
+            ASSERT_LE(models, (std::size_t)1 << num_vars);
+            std::vector<Lit> blocking;
+            for (std::size_t v = 0; v < num_vars; ++v)
+                blocking.push_back(mkLit((Var)v, s.modelValue((Var)v)));
+            s.addClause(blocking);
+        }
+        EXPECT_EQ(models, bruteForceCount(num_vars, clauses))
+            << "round " << round;
+    }
+}
+
+TEST(Sat, ConflictLimitReturnsUnknown)
+{
+    // A pigeonhole instance large enough to need > 1 conflict.
+    const int holes = 6;
+    const int pigeons = 7;
+    Solver s;
+    std::vector<std::vector<Var>> var(pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; ++p)
+        for (int h = 0; h < holes; ++h)
+            var[p][h] = s.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < holes; ++h)
+            clause.push_back(mkLit(var[p][h]));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addClause(mkLit(var[p1][h], true),
+                            mkLit(var[p2][h], true));
+    s.setConflictLimit(3);
+    EXPECT_EQ(s.solve(), SolveResult::Unknown);
+}
+
+TEST(Sat, TautologyAndDuplicatesIgnored)
+{
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    EXPECT_TRUE(s.addClause(mkLit(x), mkLit(x, true))); // tautology
+    EXPECT_TRUE(s.addClause(mkLit(y), mkLit(y), mkLit(y)));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(y));
+}
+
+TEST(Sat, StatsPopulated)
+{
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < 20; ++i)
+        vars.push_back(s.newVar());
+    Rng rng(107);
+    for (int i = 0; i < 80; ++i) {
+        std::vector<Lit> clause;
+        for (int j = 0; j < 3; ++j)
+            clause.push_back(mkLit(vars[rng.below(20)],
+                                   rng.bernoulli(0.5)));
+        s.addClause(clause);
+    }
+    s.solve();
+    EXPECT_GT(s.stats().propagations, 0u);
+    EXPECT_GT(s.stats().arenaBytes, 0u);
+}
+
+TEST(Dimacs, ParseAndPrintRoundTrip)
+{
+    const std::string text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+    std::istringstream in(text);
+    const Cnf cnf = parseDimacs(in);
+    EXPECT_EQ(cnf.numVars, 3u);
+    ASSERT_EQ(cnf.clauses.size(), 2u);
+    EXPECT_EQ(cnf.clauses[0][0], mkLit(0));
+    EXPECT_EQ(cnf.clauses[0][1], mkLit(1, true));
+
+    std::ostringstream out;
+    printDimacs(cnf, out);
+    std::istringstream in2(out.str());
+    const Cnf cnf2 = parseDimacs(in2);
+    EXPECT_EQ(cnf2.numVars, cnf.numVars);
+    EXPECT_EQ(cnf2.clauses.size(), cnf.clauses.size());
+}
+
+TEST(Dimacs, LoadIntoSolver)
+{
+    std::istringstream in("p cnf 2 2\n1 0\n-1 2 0\n");
+    const Cnf cnf = parseDimacs(in);
+    Solver s;
+    loadCnf(cnf, s);
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(0));
+    EXPECT_TRUE(s.modelValue(1));
+}

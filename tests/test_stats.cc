@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the statistics helpers used by the benchmark harnesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+using namespace beer::util;
+
+TEST(Stats, MeanAndStddev)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                2.138089935299395, 1e-12);
+}
+
+TEST(Stats, QuantileInterpolation)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Stats, QuantileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(quantile({9.0, 1.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(Stats, BoxStats)
+{
+    const BoxStats box = boxStats({1, 2, 3, 4, 5, 6, 7, 8, 9});
+    EXPECT_DOUBLE_EQ(box.min, 1.0);
+    EXPECT_DOUBLE_EQ(box.median, 5.0);
+    EXPECT_DOUBLE_EQ(box.max, 9.0);
+    EXPECT_DOUBLE_EQ(box.q1, 3.0);
+    EXPECT_DOUBLE_EQ(box.q3, 7.0);
+}
+
+TEST(Stats, BootstrapCiContainsMedian)
+{
+    Rng rng(31);
+    std::vector<double> xs;
+    for (int i = 0; i < 200; ++i)
+        xs.push_back(10.0 + rng.normal());
+    const BootstrapCi ci = bootstrapMedianCi(xs, rng, 500, 0.95);
+    EXPECT_LE(ci.lo, ci.median);
+    EXPECT_GE(ci.hi, ci.median);
+    EXPECT_NEAR(ci.median, 10.0, 0.3);
+    EXPECT_LT(ci.hi - ci.lo, 1.0);
+}
+
+TEST(Stats, BootstrapEmptySample)
+{
+    Rng rng(1);
+    const BootstrapCi ci = bootstrapMedianCi({}, rng);
+    EXPECT_DOUBLE_EQ(ci.median, 0.0);
+}
+
+TEST(Stats, Accumulator)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    acc.add(3.0);
+    acc.add(-1.0);
+    acc.add(4.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the two-level (on-die SEC + rank-level SEC-DED) stack:
+ * the Son et al. interference effect and the BEER-enabled co-design
+ * procedure of Section 7.2.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/hamming.hh"
+#include "ecc/two_level.hh"
+#include "util/rng.hh"
+
+using namespace beer::ecc;
+using beer::gf2::BitVec;
+using beer::util::Rng;
+
+namespace
+{
+
+TwoLevelStack
+makeStack(std::size_t inner_k, Rng &rng)
+{
+    const LinearCode inner = randomSecCode(inner_k, rng);
+    HazardReport report;
+    const SecDedCode outer = coDesignOuterCode(inner, 1, rng, &report);
+    return TwoLevelStack(inner, outer);
+}
+
+} // anonymous namespace
+
+TEST(TwoLevel, CleanPathPreservesData)
+{
+    Rng rng(3);
+    const TwoLevelStack stack = makeStack(22, rng);
+    BitVec data(stack.dataBits());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data.set(i, rng.bernoulli(0.5));
+    EXPECT_EQ(stack.runWord(data, BitVec(stack.cellBits())),
+              StackOutcome::Correct);
+}
+
+TEST(TwoLevel, SingleRawErrorAlwaysCorrect)
+{
+    // One raw error is corrected by the inner SEC before the outer
+    // code ever sees it.
+    Rng rng(5);
+    const TwoLevelStack stack = makeStack(22, rng);
+    const BitVec data(stack.dataBits());
+    for (std::size_t pos = 0; pos < stack.cellBits(); ++pos) {
+        BitVec errors(stack.cellBits());
+        errors.set(pos, true);
+        EXPECT_EQ(stack.runWord(data, errors), StackOutcome::Correct)
+            << pos;
+    }
+}
+
+TEST(TwoLevel, OuterAloneDetectsAllDoubleErrors)
+{
+    Rng rng(7);
+    const TwoLevelStack stack = makeStack(22, rng);
+    const BitVec data(stack.dataBits());
+    const HazardReport report =
+        enumerateDoubleErrorOutcomesOuterOnly(stack.outer, data);
+    EXPECT_EQ(report.detected, report.patterns);
+    EXPECT_EQ(report.silentCorruption, 0u);
+}
+
+TEST(TwoLevel, InnerMiscorrectionsCreateSilentCorruption)
+{
+    // The interference effect: with the inner SEC in the path, some
+    // double raw errors become silent corruption (Son et al.).
+    Rng rng(9);
+    bool interference_seen = false;
+    for (int round = 0; round < 5 && !interference_seen; ++round) {
+        const TwoLevelStack stack = makeStack(22, rng);
+        const BitVec data(stack.dataBits());
+        const HazardReport report =
+            enumerateDoubleErrorOutcomes(stack, data);
+        EXPECT_EQ(report.patterns,
+                  stack.cellBits() * (stack.cellBits() - 1) / 2);
+        if (report.silentCorruption > 0)
+            interference_seen = true;
+    }
+    EXPECT_TRUE(interference_seen);
+}
+
+TEST(TwoLevel, OutcomeHistogramIsComplete)
+{
+    Rng rng(11);
+    const TwoLevelStack stack = makeStack(16, rng);
+    const BitVec data(stack.dataBits());
+    const HazardReport report = enumerateDoubleErrorOutcomes(stack, data);
+    EXPECT_EQ(report.correct + report.correctedByOuter +
+                  report.detected + report.silentCorruption,
+              report.patterns);
+}
+
+TEST(TwoLevel, CoDesignReducesSilentCorruption)
+{
+    // Best-of-N outer codes must be at least as good as best-of-1,
+    // and across several inner functions strictly better somewhere.
+    Rng rng(13);
+    bool strictly_better = false;
+    for (int round = 0; round < 4; ++round) {
+        const LinearCode inner = randomSecCode(22, rng);
+
+        Rng rng_a(1000 + round);
+        HazardReport one;
+        coDesignOuterCode(inner, 1, rng_a, &one);
+
+        Rng rng_b(1000 + round);
+        HazardReport best;
+        coDesignOuterCode(inner, 24, rng_b, &best);
+
+        EXPECT_LE(best.silentCorruption, one.silentCorruption);
+        if (best.silentCorruption < one.silentCorruption)
+            strictly_better = true;
+    }
+    EXPECT_TRUE(strictly_better);
+}
+
+TEST(TwoLevel, MismatchedSizesAreFatal)
+{
+    Rng rng(15);
+    const LinearCode inner = randomSecCode(22, rng);
+    const SecDedCode outer = SecDedCode::minimal(4); // n = 8 != 22
+    EXPECT_DEATH(
+        { TwoLevelStack stack(inner, outer); }, "must equal");
+}

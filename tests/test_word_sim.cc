@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the EINSim-like Monte-Carlo word simulator, including the
+ * skip-sampling machinery that makes Figure 1's 1e9-word runs cheap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "beer/profile.hh"
+#include "dram/types.hh"
+#include "ecc/hamming.hh"
+#include "sim/word_sim.hh"
+#include "util/rng.hh"
+
+using namespace beer::sim;
+using beer::dram::CellType;
+using beer::ecc::LinearCode;
+using beer::ecc::paperExampleCode;
+using beer::ecc::randomSecCode;
+using beer::gf2::BitVec;
+using beer::util::Rng;
+
+TEST(WordSim, ZeroRateProducesNoErrors)
+{
+    Rng rng(1);
+    const LinearCode code = paperExampleCode();
+    const auto stats = simulateUniformErrors(
+        code, BitVec::fromString("1010"), 0.0, 1000, rng);
+    EXPECT_EQ(stats.wordsSimulated, 1000u);
+    EXPECT_EQ(stats.wordsWithRawErrors, 0u);
+    for (auto count : stats.postCorrectionErrors)
+        EXPECT_EQ(count, 0u);
+}
+
+TEST(WordSim, RawErrorRateMatchesRequested)
+{
+    Rng rng(3);
+    const LinearCode code = randomSecCode(32, rng);
+    const double rber = 1e-3;
+    const std::uint64_t words = 2000000;
+    const auto stats = simulateUniformErrors(
+        code, BitVec(32), rber, words, rng);
+
+    std::uint64_t raw_total = 0;
+    for (auto count : stats.preCorrectionErrors)
+        raw_total += count;
+    const double measured =
+        (double)raw_total / ((double)words * (double)code.n());
+    EXPECT_NEAR(measured / rber, 1.0, 0.05);
+}
+
+TEST(WordSim, SkipSamplingMatchesTheoryForErrorFreeWords)
+{
+    Rng rng(5);
+    const LinearCode code = randomSecCode(16, rng);
+    const double rber = 1e-4;
+    const std::uint64_t words = 1000000;
+    const auto stats =
+        simulateUniformErrors(code, BitVec(16), rber, words, rng);
+    const double expect_any =
+        1.0 - std::pow(1.0 - rber, (double)code.n());
+    EXPECT_NEAR((double)stats.wordsWithRawErrors / (double)words,
+                expect_any, expect_any * 0.1);
+}
+
+TEST(WordSim, SingleErrorsAlwaysCorrected)
+{
+    // At very low RBER essentially all erroneous words hold exactly
+    // one error, which SEC always corrects: post-correction errors
+    // are dominated by multi-error words and are far rarer.
+    Rng rng(7);
+    const LinearCode code = randomSecCode(32, rng);
+    const auto stats = simulateUniformErrors(
+        code, BitVec(32), 1e-4, 10000000, rng);
+
+    const auto corrected =
+        stats.outcomes[(std::size_t)beer::ecc::DecodeOutcome::Corrected];
+    std::uint64_t uncorrectable = 0;
+    for (auto outcome :
+         {beer::ecc::DecodeOutcome::PartialCorrection,
+          beer::ecc::DecodeOutcome::Miscorrection,
+          beer::ecc::DecodeOutcome::SilentCorruption,
+          beer::ecc::DecodeOutcome::DetectedUncorrectable}) {
+        uncorrectable += stats.outcomes[(std::size_t)outcome];
+    }
+    EXPECT_GT(corrected, 0u);
+    EXPECT_GT(uncorrectable, 0u);
+    EXPECT_GT(corrected, uncorrectable * 100);
+}
+
+TEST(WordSim, ChargedMaskTrueAndAntiCells)
+{
+    const BitVec codeword = BitVec::fromString("1010011");
+    EXPECT_EQ(chargedMask(codeword, CellType::True).toString(),
+              "1010011");
+    EXPECT_EQ(chargedMask(codeword, CellType::Anti).toString(),
+              "0101100");
+}
+
+TEST(WordSim, RetentionErrorsRestrictedToChargedCells)
+{
+    Rng rng(9);
+    const LinearCode code = randomSecCode(16, rng);
+    BitVec data(16);
+    data.set(3, true);
+    data.set(9, true);
+    const BitVec codeword = code.encode(data);
+    const BitVec mask = chargedMask(codeword, CellType::True);
+
+    const auto stats = simulateRetentionErrors(code, codeword, mask,
+                                               0.3, 100000, rng);
+    // Raw errors may only appear inside the charged mask.
+    for (std::size_t pos = 0; pos < code.n(); ++pos) {
+        if (!mask.get(pos)) {
+            EXPECT_EQ(stats.preCorrectionErrors[pos], 0u) << pos;
+        }
+    }
+    // With BER 0.3 the charged cells must all have failed sometimes.
+    for (std::size_t pos : mask.support())
+        EXPECT_GT(stats.preCorrectionErrors[pos], 0u) << pos;
+}
+
+TEST(WordSim, AllDischargedWordNeverFails)
+{
+    Rng rng(11);
+    const LinearCode code = randomSecCode(8, rng);
+    const BitVec codeword = code.encode(BitVec(8));
+    ASSERT_TRUE(codeword.isZero());
+    const auto stats = simulateRetentionErrors(
+        code, codeword, chargedMask(codeword, CellType::True), 0.5,
+        10000, rng);
+    EXPECT_EQ(stats.wordsWithRawErrors, 0u);
+}
+
+TEST(WordSim, PostCorrectionErrorsOnlyAtMiscorrectableBits)
+{
+    // For a 1-CHARGED pattern, observed post-correction errors in
+    // DISCHARGED data bits must be exactly the profile-predicted
+    // miscorrectable set (given enough samples).
+    Rng rng(13);
+    const LinearCode code = randomSecCode(11, rng);
+    for (std::size_t charged = 0; charged < 11; ++charged) {
+        BitVec data(11);
+        data.set(charged, true);
+        const BitVec codeword = code.encode(data);
+        const BitVec mask = chargedMask(codeword, CellType::True);
+        const auto stats = simulateRetentionErrors(code, codeword, mask,
+                                                   0.5, 20000, rng);
+        for (std::size_t bit = 0; bit < 11; ++bit) {
+            if (bit == charged)
+                continue;
+            const bool observed = stats.postCorrectionErrors[bit] > 0;
+            const bool possible = beer::miscorrectionPossible(
+                code, {charged}, bit);
+            EXPECT_EQ(observed, possible)
+                << "charged=" << charged << " bit=" << bit;
+        }
+    }
+}
+
+TEST(WordSim, StatsMerge)
+{
+    Rng rng(15);
+    const LinearCode code = paperExampleCode();
+    auto a = simulateUniformErrors(code, BitVec(4), 0.01, 10000, rng);
+    const auto b =
+        simulateUniformErrors(code, BitVec(4), 0.01, 20000, rng);
+    const auto a_words = a.wordsSimulated;
+    a.merge(b);
+    EXPECT_EQ(a.wordsSimulated, a_words + b.wordsSimulated);
+}

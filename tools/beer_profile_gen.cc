@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Generate a miscorrection profile for a random (or canonical) SEC
+ * Hamming code, in the beer_solve file format. Useful for testing
+ * beer_solve pipelines end-to-end and for producing reference
+ * profiles:
+ *
+ *     beer_profile_gen --k 16 --seed 7 | beer_solve
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "beer/profile.hh"
+#include "ecc/hamming.hh"
+#include "util/cli.hh"
+#include "util/rng.hh"
+
+using namespace beer;
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("Generate a ground-truth miscorrection profile for a "
+                  "SEC Hamming code (beer_solve input format)");
+    cli.addOption("k", "16", "dataword length in bits");
+    cli.addOption("charged", "1,2",
+                  "x-CHARGED pattern classes (comma-separated)");
+    cli.addOption("seed", "1", "RNG seed (0 = canonical code)");
+    cli.addFlag("print-code", "also print H to stderr");
+    cli.parse(argc, argv);
+
+    const auto k = (std::size_t)cli.getInt("k");
+    const auto seed = (std::uint64_t)cli.getInt("seed");
+
+    std::vector<std::size_t> charged_counts;
+    {
+        std::string text = cli.getString("charged");
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            std::size_t next = text.find(',', pos);
+            if (next == std::string::npos)
+                next = text.size();
+            charged_counts.push_back((std::size_t)std::stoul(
+                text.substr(pos, next - pos)));
+            pos = next + 1;
+        }
+    }
+
+    ecc::LinearCode code = [&] {
+        if (seed == 0)
+            return ecc::canonicalSecCode(k);
+        util::Rng rng(seed);
+        return ecc::randomSecCode(k, rng);
+    }();
+
+    if (cli.getBool("print-code"))
+        std::fprintf(stderr, "H = [P | I]:\n%s", code.toString().c_str());
+
+    const auto patterns = chargedPatternUnion(k, charged_counts);
+    const auto profile = exhaustiveProfile(code, patterns);
+    std::cout << serializeProfile(profile);
+    return 0;
+}

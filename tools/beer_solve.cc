@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Command-line BEER solver: read a miscorrection profile from a file
+ * (or stdin) and enumerate every ECC function consistent with it.
+ *
+ * This mirrors the tool the paper released for applying BEER to
+ * experimental data from real DRAM chips. Profile format (see
+ * beer/profile.hh):
+ *
+ *     # comment
+ *     k 16
+ *     0 0111011101110111        <- 1-CHARGED pattern, bit 0
+ *     0,3 0110011101110110      <- 2-CHARGED pattern, bits 0 and 3
+ *
+ * Each bitmap bit j is '1' iff a miscorrection was observed at data
+ * bit j under that pattern (after threshold filtering).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "beer/profile.hh"
+#include "beer/solver.hh"
+#include "ecc/hamming.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+using namespace beer;
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("Solve for the on-die ECC function(s) matching a "
+                  "measured miscorrection profile");
+    cli.addOption("profile", "-",
+                  "profile file path ('-' reads stdin)");
+    cli.addOption("parity-bits", "0",
+                  "parity-bit count (0 = minimum SEC count for k)");
+    cli.addOption("max-solutions", "16",
+                  "stop after this many solutions (0 = all)");
+    cli.addFlag("no-symmetry-breaking",
+                "disable row-order symmetry breaking");
+    cli.addFlag("quiet", "print only the solution count");
+    cli.parse(argc, argv);
+
+    MiscorrectionProfile profile;
+    const std::string path = cli.getString("profile");
+    if (path == "-") {
+        profile = parseProfile(std::cin);
+    } else {
+        std::ifstream in(path);
+        if (!in)
+            util::fatal("cannot open profile file '%s'", path.c_str());
+        profile = parseProfile(in);
+    }
+
+    std::size_t parity = (std::size_t)cli.getInt("parity-bits");
+    if (parity == 0)
+        parity = ecc::parityBitsForDataBits(profile.k);
+
+    BeerSolverConfig config;
+    config.maxSolutions = (std::size_t)cli.getInt("max-solutions");
+    config.symmetryBreaking = !cli.getBool("no-symmetry-breaking");
+
+    std::fprintf(stderr,
+                 "solving: k=%zu, parity=%zu, %zu patterns...\n",
+                 profile.k, parity, profile.patterns.size());
+    const BeerSolveResult result =
+        solveForEccFunction(profile, parity, config);
+
+    if (cli.getBool("quiet")) {
+        std::printf("%zu%s\n", result.solutions.size(),
+                    result.complete ? "" : "+");
+        return result.solutions.empty() ? 1 : 0;
+    }
+
+    if (result.solutions.empty()) {
+        std::printf("no ECC function matches this profile "
+                    "(inconsistent measurement?)\n");
+        return 1;
+    }
+
+    std::printf("%zu solution(s)%s:\n\n", result.solutions.size(),
+                result.complete ? "" : " (enumeration truncated)");
+    for (std::size_t i = 0; i < result.solutions.size(); ++i) {
+        std::printf("--- solution %zu: H = [P | I] ---\n%s\n", i,
+                    result.solutions[i].toString().c_str());
+    }
+    if (result.unique())
+        std::printf("The ECC function is uniquely identified.\n");
+    else if (result.complete)
+        std::printf("Multiple candidates: extend the measurement with "
+                    "2-CHARGED patterns (Section 4.2.4).\n");
+    return 0;
+}
