@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Measurement-effort reduction from beer::Session's adaptive early
+ * exit versus the legacy full-sweep pipeline.
+ *
+ * For each vendor configuration, runs both schedules against
+ * identically manufactured simulated chips and reports patterns
+ * measured, (pattern, pause, repeat) experiments issued, word
+ * read-backs, and wall-clock per stage. On real hardware every
+ * experiment costs a multi-minute refresh pause, so the experiment
+ * count is the figure of merit: the adaptive schedule stops as soon as
+ * the accumulated profile provably identifies a unique function, and
+ * picks candidate-distinguishing patterns first once the solver has
+ * narrowed the field to two.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "beer/beer.hh"
+#include "dram/chip.hh"
+#include "ecc/code_equiv.hh"
+#include "util/cli.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace beer;
+using dram::SimulatedChip;
+
+namespace
+{
+
+MeasureConfig
+benchMeasure(const SimulatedChip &chip, std::size_t repeats)
+{
+    MeasureConfig measure;
+    for (double ber : {0.05, 0.15, 0.3})
+        measure.pausesSeconds.push_back(
+            chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
+    measure.repeatsPerPause = repeats;
+    measure.thresholdProbability = 1e-4;
+    return measure;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("beer::Session adaptive early exit vs legacy full "
+                  "sweep: measurement effort per vendor config");
+    cli.addOption("k", "16", "dataword length in bits");
+    cli.addOption("seeds-per-vendor", "5",
+                  "chips (secret functions) per vendor");
+    cli.addOption("repeats", "25", "repeats per refresh pause");
+    cli.addOption("seed", "1", "base RNG seed");
+    cli.addFlag("csv", "emit CSV instead of an aligned table");
+    cli.parse(argc, argv);
+
+    const auto k = (std::size_t)cli.getInt("k");
+    const auto chips = (std::size_t)cli.getInt("seeds-per-vendor");
+    const auto repeats = (std::size_t)cli.getInt("repeats");
+    const auto base_seed = (std::uint64_t)cli.getInt("seed");
+
+    util::Table table({"vendor", "experiments (full)",
+                       "experiments (adaptive, median)",
+                       "reduction (median)", "patterns (median)",
+                       "measure s (median)", "solve s (median)",
+                       "all identical"});
+
+    for (char vendor : {'A', 'B', 'C'}) {
+        std::vector<double> experiments;
+        std::vector<double> patterns;
+        std::vector<double> measure_s;
+        std::vector<double> solve_s;
+        std::vector<double> reduction;
+        double full_experiments = 0.0;
+        bool all_identical = true;
+
+        for (std::size_t i = 0; i < chips; ++i) {
+            const std::uint64_t seed = base_seed + 1000 * (i + 1);
+            dram::ChipConfig config =
+                dram::makeVendorConfig(vendor, k, seed);
+            config.map.rows = 64;
+            config.iidErrors = true;
+
+            SimulatedChip full_chip(config);
+            RecoveryOptions options;
+            options.measure = benchMeasure(full_chip, repeats);
+            const RecoveryReport full =
+                recoverEccFunction(full_chip, options);
+
+            SimulatedChip chip(config);
+            SessionConfig session_config;
+            session_config.measure = options.measure;
+            session_config.wordsUnderTest = dram::trueCellWords(chip);
+            Session session(chip, session_config);
+            const RecoveryReport adaptive = session.run();
+
+            if (!full.succeeded() || !adaptive.succeeded() ||
+                !ecc::equivalent(full.recoveredCode(),
+                                 adaptive.recoveredCode()))
+                all_identical = false;
+
+            full_experiments =
+                (double)full.stats.patternMeasurements;
+            experiments.push_back(
+                (double)adaptive.stats.patternMeasurements);
+            patterns.push_back(
+                (double)adaptive.counts.patterns.size());
+            measure_s.push_back(adaptive.stats.measureSeconds);
+            solve_s.push_back(adaptive.stats.solveSeconds);
+            reduction.push_back(
+                full.stats.patternMeasurements == 0
+                    ? 0.0
+                    : 1.0 - (double)adaptive.stats.patternMeasurements /
+                                (double)full.stats.patternMeasurements);
+        }
+
+        char vendor_name[2] = {vendor, '\0'};
+        char reduction_text[32];
+        std::snprintf(reduction_text, sizeof reduction_text, "%.0f%%",
+                      100.0 * util::median(reduction));
+        table.addRowOf(vendor_name, full_experiments,
+                       util::median(experiments), reduction_text,
+                       util::median(patterns),
+                       util::Table::fixed(util::median(measure_s), 3),
+                       util::Table::fixed(util::median(solve_s), 3),
+                       all_identical ? "yes" : "NO");
+    }
+
+    std::printf("Session adaptive early exit vs full sweep "
+                "(k=%zu, %zu chips per vendor)\n",
+                k, chips);
+    if (cli.getBool("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -2,64 +2,83 @@
  * @file
  * Quickstart: recover an unknown on-die ECC function with BEER.
  *
- * A "chip" with a secret SEC Hamming code is simulated; BEER measures
- * its miscorrection profile with the 1- and 2-CHARGED test patterns
- * and solves for the parity-check matrix. Run time: a few seconds.
+ * A chip with a secret SEC Hamming code is simulated behind the
+ * abstract dram::MemoryInterface; a staged beer::Session measures its
+ * miscorrection profile adaptively — stopping as soon as the SAT solve
+ * proves the function unique — and reports what it found. Run time: a
+ * few seconds.
  */
 
 #include <cstdio>
 
-#include "beer/measure.hh"
-#include "beer/profile.hh"
-#include "beer/solver.hh"
+#include "beer/session.hh"
+#include "dram/chip.hh"
 #include "ecc/code_equiv.hh"
-#include "ecc/hamming.hh"
-#include "util/rng.hh"
 
 int
 main()
 {
     using namespace beer;
 
-    // --- The secret: a random (22,16) SEC Hamming code. -------------
-    // In a real experiment this lives inside the DRAM chip; here we
-    // construct it so the result can be checked at the end.
-    util::Rng rng(2026);
-    const ecc::LinearCode secret = ecc::randomSecCode(16, rng);
+    // --- The secret: a simulated chip from "manufacturer A". ---------
+    // Its (22,16) SEC code is a construction-time secret; in a real
+    // experiment it lives inside the DRAM die. We keep the ground
+    // truth around only to check the answer at the end.
+    dram::ChipConfig config = dram::makeVendorConfig('A', 16, 2026);
+    config.map.rows = 64;
+    config.iidErrors = true;
+    dram::SimulatedChip chip(config);
     std::printf("A chip with a secret (%zu,%zu) on-die ECC function "
                 "has been manufactured.\n\n",
-                secret.n(), secret.k());
+                chip.groundTruthCode().n(), chip.groundTruthCode().k());
 
-    // --- Step 1+2: measure the miscorrection profile. ----------------
-    // Program each {1,2}-CHARGED test pattern, let retention errors
-    // accumulate at a raw bit error rate, and record where
-    // miscorrections appear. measureProfileSim is the fast
-    // EINSim-style path; see reverse_engineer_chip.cc for the full
-    // chip-interface flow.
-    const auto patterns = chargedPatternUnion(secret.k(), {1, 2});
-    const auto counts =
-        measureProfileSim(secret, patterns, /*ber=*/0.25,
-                          /*words_per_pattern=*/20000, rng);
-    const MiscorrectionProfile profile = counts.threshold(1e-4);
-    std::printf("Measured miscorrection profile over %zu test "
-                "patterns.\n\n",
-                patterns.size());
+    // --- Steps 1-3: one adaptive recovery session. -------------------
+    // The session plans the 1-CHARGED patterns, measures them in
+    // rounds, solves after every round, and stops measuring the moment
+    // the solution is provably unique (escalating to 2-CHARGED
+    // patterns only if needed). Any dram::MemoryInterface backend
+    // works here: a trace replay or fault-injection proxy plugs in the
+    // same way.
+    SessionConfig session_config;
+    session_config.measure.pausesSeconds.clear();
+    for (double ber : {0.05, 0.15, 0.3})
+        session_config.measure.pausesSeconds.push_back(
+            chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
+    session_config.measure.repeatsPerPause = 25;
+    session_config.measure.thresholdProbability = 1e-4;
+    session_config.wordsUnderTest = dram::trueCellWords(chip);
+    session_config.onProgress = [](const SessionProgress &progress) {
+        if (progress.stage == SessionStage::Solve)
+            std::printf("  measured %zu patterns -> %zu candidate "
+                        "function(s)%s\n",
+                        progress.patternsMeasured,
+                        progress.solutionsFound,
+                        progress.solveComplete ? "" : "+");
+    };
 
-    // --- Step 3: solve for the ECC function. -------------------------
-    const BeerSolveResult result = solveForEccFunction(profile);
-    if (!result.unique()) {
-        std::printf("BEER found %zu candidate functions (complete=%d)\n",
-                    result.solutions.size(), (int)result.complete);
+    Session session(chip, session_config);
+    const RecoveryReport report = session.run();
+    if (!report.succeeded()) {
+        std::printf("BEER found %zu candidate functions "
+                    "(complete=%d)\n",
+                    report.solve.solutions.size(),
+                    (int)report.solve.complete);
         return 1;
     }
 
-    const ecc::LinearCode &recovered = result.solutions.front();
-    std::printf("BEER identified a unique ECC function. "
+    std::printf("\nBEER identified a unique ECC function after %zu of "
+                "%zu patterns (%llu experiments, %.3fs measuring, "
+                "%.3fs solving).\n"
                 "Parity-check matrix H = [P | I]:\n%s\n",
-                recovered.toString().c_str());
+                report.counts.patterns.size(),
+                chargedPatterns(chip.datawordBits(), 1).size(),
+                (unsigned long long)report.stats.patternMeasurements,
+                report.stats.measureSeconds, report.stats.solveSeconds,
+                report.recoveredCode().toString().c_str());
 
     // --- Validate against the ground truth (simulation only). --------
-    if (ecc::equivalent(recovered, secret)) {
+    if (ecc::equivalent(report.recoveredCode(),
+                        chip.groundTruthCode())) {
         std::printf("Recovered function matches the secret function "
                     "(up to parity-bit relabeling).\n");
         return 0;

@@ -23,15 +23,18 @@ main()
 {
     using namespace beer;
     using dram::CellType;
-    using dram::Chip;
     using dram::ChipConfig;
+    using dram::SimulatedChip;
 
     // An anonymous chip from "manufacturer C": mixed true-/anti-cell
-    // rows, secret random (22,16) ECC function.
+    // rows, secret random (22,16) ECC function. Everything below works
+    // through the abstract dram::MemoryInterface — swap in a
+    // TraceReplayBackend to run the same flow on recorded data.
     ChipConfig config = dram::makeVendorConfig('C', 16, 0xC0FFEE);
     config.map.rows = 64;
     config.iidErrors = true;
-    Chip chip(config);
+    SimulatedChip chip(config);
+    dram::MemoryInterface &mem = chip;
     std::printf("Chip under test: %zu rows x %zu bytes/row, "
                 "%zu-bit datawords, unknown on-die ECC\n\n",
                 config.map.rows, config.map.bytesPerRow,
@@ -41,7 +44,7 @@ main()
     const double survey_pause =
         chip.retentionModel().pauseForBitErrorRate(0.2, 80.0);
     const CellTypeSurvey types =
-        discoverCellTypes(chip, survey_pause, 80.0);
+        discoverCellTypes(mem, survey_pause, 80.0);
     std::size_t true_rows = types.trueRows().size();
     std::printf("Step 1: cell-type survey: %zu true-cell rows, %zu "
                 "anti-cell rows\n",
@@ -54,7 +57,7 @@ main()
 
     // ---- Step 2: dataword layout discovery. -------------------------
     const WordLayoutSurvey layout =
-        discoverWordLayout(chip, types, survey_pause, 80.0, 6);
+        discoverWordLayout(mem, types, survey_pause, 80.0, 6);
     std::printf("Step 2: dataword layout: %zu ECC words per row\n",
                 layout.wordGroups.size());
     for (std::size_t g = 0; g < layout.wordGroups.size(); ++g) {
@@ -66,21 +69,31 @@ main()
     std::printf("        (byte-granularity interleaving, as the paper "
                 "found on all manufacturers)\n\n");
 
-    // ---- Steps 3-4: BEER. --------------------------------------------
-    RecoveryOptions options;
-    options.measure.pausesSeconds.clear();
+    // ---- Steps 3-4: BEER, as an adaptive session. --------------------
+    // The word subset comes from the Step-1 survey — derived purely
+    // through the external interface, like the paper does on real
+    // chips — and the session stops measuring as soon as the solve is
+    // provably unique.
+    SessionConfig session_config;
+    session_config.measure.pausesSeconds.clear();
     for (double ber : {0.05, 0.15, 0.3})
-        options.measure.pausesSeconds.push_back(
+        session_config.measure.pausesSeconds.push_back(
             chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
-    options.measure.repeatsPerPause = 25;
-    options.measure.thresholdProbability = 1e-4;
+    session_config.measure.repeatsPerPause = 25;
+    session_config.measure.thresholdProbability = 1e-4;
+    session_config.wordsUnderTest =
+        types.trueCellWords(mem.addressMap());
 
-    const RecoveryReport report = recoverEccFunction(chip, options);
-    std::printf("Step 3: measured profile over %zu patterns%s\n",
+    Session session(mem, session_config);
+    const RecoveryReport report = session.run();
+    std::printf("Step 3: measured %zu patterns in %zu rounds "
+                "(%llu experiments)%s\n",
                 report.counts.patterns.size(),
+                report.stats.measureRounds,
+                (unsigned long long)report.stats.patternMeasurements,
                 report.usedTwoCharged
                     ? " (escalated to {1,2}-CHARGED)"
-                    : " (1-CHARGED sufficed)");
+                    : " (a 1-CHARGED subset sufficed)");
     if (!report.succeeded()) {
         std::printf("BEER did not converge to a unique function "
                     "(%zu candidates)\n",

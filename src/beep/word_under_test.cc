@@ -43,4 +43,24 @@ SimulatedWord::test(const BitVec &dataword)
     return ecc::decode(code_, codeword).dataword;
 }
 
+MemoryWordUnderTest::MemoryWordUnderTest(dram::MemoryInterface &mem,
+                                         std::size_t word_index,
+                                         double pause_seconds,
+                                         double temp_c)
+    : mem_(mem),
+      wordIndex_(word_index),
+      pauseSeconds_(pause_seconds),
+      tempC_(temp_c)
+{
+    BEER_ASSERT(word_index < mem.numWords());
+}
+
+BitVec
+MemoryWordUnderTest::test(const BitVec &dataword)
+{
+    mem_.writeDataword(wordIndex_, dataword);
+    mem_.pauseRefresh(pauseSeconds_, tempC_);
+    return mem_.readDataword(wordIndex_);
+}
+
 } // namespace beer::beep

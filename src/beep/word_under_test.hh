@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "dram/memory_interface.hh"
 #include "ecc/linear_code.hh"
 #include "gf2/bitvec.hh"
 #include "util/rng.hh"
@@ -90,6 +91,34 @@ class SimulatedWord : public WordUnderTest
     double failProb_;
     util::Rng rng_;
     FaultModel fault_;
+};
+
+/**
+ * Adapter that drives one ECC word of any dram::MemoryInterface
+ * backend, so BEEP can profile a word of a simulated chip, a replayed
+ * trace, or a fault-injection proxy through the same WordUnderTest
+ * seam it uses for SimulatedWord.
+ */
+class MemoryWordUnderTest : public WordUnderTest
+{
+  public:
+    /**
+     * @param mem            backend holding the word
+     * @param word_index     word to exercise
+     * @param pause_seconds  refresh-pause length per test cycle
+     * @param temp_c         test temperature
+     */
+    MemoryWordUnderTest(dram::MemoryInterface &mem,
+                        std::size_t word_index, double pause_seconds,
+                        double temp_c);
+
+    gf2::BitVec test(const gf2::BitVec &dataword) override;
+
+  private:
+    dram::MemoryInterface &mem_;
+    std::size_t wordIndex_;
+    double pauseSeconds_;
+    double tempC_;
 };
 
 } // namespace beer::beep

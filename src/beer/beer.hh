@@ -6,7 +6,10 @@
  * against a (simulated) DRAM chip: measure the miscorrection profile
  * with the 1-CHARGED patterns, solve, and — if the code is shortened
  * and the solution is not yet unique — extend the measurement with the
- * 2-CHARGED patterns and re-solve (Section 4.2.4).
+ * 2-CHARGED patterns and re-solve (Section 4.2.4). It is a thin
+ * wrapper over beer::Session (session.hh), which exposes the same
+ * methodology as explicit measure/solve/escalate stages over any
+ * dram::MemoryInterface backend, with adaptive early exit.
  */
 
 #ifndef BEER_BEER_BEER_HH
@@ -19,6 +22,7 @@
 #include "beer/measure.hh"
 #include "beer/patterns.hh"
 #include "beer/profile.hh"
+#include "beer/session.hh"
 #include "beer/solver.hh"
 #include "dram/chip.hh"
 
@@ -37,24 +41,10 @@ struct RecoveryOptions
     bool escalateToTwoCharged = true;
 };
 
-/** Everything the pipeline produced, for reporting and validation. */
-struct RecoveryReport
-{
-    ProfileCounts counts;
-    MiscorrectionProfile profile;
-    BeerSolveResult solve;
-    /** True iff the 2-CHARGED escalation ran. */
-    bool usedTwoCharged = false;
-
-    bool succeeded() const { return solve.unique(); }
-    const ecc::LinearCode &recoveredCode() const
-    {
-        return solve.solutions.front();
-    }
-};
-
 /**
- * Run BEER end-to-end against @p chip through its external interface.
+ * Run BEER end-to-end against @p chip through its external interface,
+ * with the legacy full-sweep schedule (no adaptive early exit) and the
+ * chip's ground-truth true-cell rows as the word subset.
  */
 RecoveryReport recoverEccFunction(dram::Chip &chip,
                                   const RecoveryOptions &options = {});

@@ -8,7 +8,7 @@ namespace beer
 {
 
 using dram::CellType;
-using dram::Chip;
+using dram::MemoryInterface;
 
 std::vector<std::size_t>
 CellTypeSurvey::trueRows() const
@@ -20,12 +20,23 @@ CellTypeSurvey::trueRows() const
     return out;
 }
 
+std::vector<std::size_t>
+CellTypeSurvey::trueCellWords(const dram::AddressMap &map) const
+{
+    BEER_ASSERT(rowTypes.size() == map.rows);
+    std::vector<std::size_t> out;
+    for (std::size_t w = 0; w < map.numWords(); ++w)
+        if (rowTypes[map.rowOfWord(w)] == CellType::True)
+            out.push_back(w);
+    return out;
+}
+
 namespace
 {
 
 /** Count post-correction bit errors per row under @p fill. */
 std::vector<std::uint64_t>
-errorsPerRow(Chip &chip, std::uint8_t fill, double pause, double temp_c)
+errorsPerRow(MemoryInterface &chip, std::uint8_t fill, double pause, double temp_c)
 {
     const auto &map = chip.addressMap();
     std::vector<std::uint64_t> errors(map.rows, 0);
@@ -46,7 +57,7 @@ errorsPerRow(Chip &chip, std::uint8_t fill, double pause, double temp_c)
 } // anonymous namespace
 
 CellTypeSurvey
-discoverCellTypes(Chip &chip, double pause, double temp_c)
+discoverCellTypes(MemoryInterface &chip, double pause, double temp_c)
 {
     CellTypeSurvey survey;
     // All-ones data charges true-cells only; all-zeros charges
@@ -68,7 +79,7 @@ discoverCellTypes(Chip &chip, double pause, double temp_c)
 }
 
 WordLayoutSurvey
-discoverWordLayout(Chip &chip, const CellTypeSurvey &types, double pause,
+discoverWordLayout(MemoryInterface &chip, const CellTypeSurvey &types, double pause,
                    double temp_c, std::size_t repeats)
 {
     const auto &map = chip.addressMap();

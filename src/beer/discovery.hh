@@ -20,7 +20,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "dram/chip.hh"
+#include "dram/memory_interface.hh"
 #include "dram/types.hh"
 
 namespace beer
@@ -38,17 +38,26 @@ struct CellTypeSurvey
 
     /** Indices of rows inferred as true-cell rows. */
     std::vector<std::size_t> trueRows() const;
+
+    /**
+     * Word indices lying in inferred true-cell rows under @p map — the
+     * word subset BEER measures, derived purely from external
+     * observations (the hardware-faithful counterpart of
+     * dram::trueCellWords()).
+     */
+    std::vector<std::size_t>
+    trueCellWords(const dram::AddressMap &map) const;
 };
 
 /**
  * Determine each row's cell encoding by inducing retention errors
  * under complementary data fills.
  *
- * @param chip    chip under test (contents are destroyed)
+ * @param mem     backend under test (contents are destroyed)
  * @param pause   refresh-pause long enough for a clearly nonzero BER
  * @param temp_c  test temperature
  */
-CellTypeSurvey discoverCellTypes(dram::Chip &chip, double pause,
+CellTypeSurvey discoverCellTypes(dram::MemoryInterface &mem, double pause,
                                  double temp_c);
 
 /** Result of the dataword-layout survey. */
@@ -69,14 +78,14 @@ struct WordLayoutSurvey
  * Determine which byte offsets within a row belong to the same ECC
  * word by observing miscorrection co-occurrence.
  *
- * @param chip     chip under test (contents are destroyed)
+ * @param mem      backend under test (contents are destroyed)
  * @param types    row-type survey from discoverCellTypes()
  * @param pause    refresh-pause long enough to cause uncorrectable
  *                 errors (multi-bit per word)
  * @param temp_c   test temperature
  * @param repeats  pause/read iterations per probed byte offset
  */
-WordLayoutSurvey discoverWordLayout(dram::Chip &chip,
+WordLayoutSurvey discoverWordLayout(dram::MemoryInterface &mem,
                                     const CellTypeSurvey &types,
                                     double pause, double temp_c,
                                     std::size_t repeats = 4);

@@ -1,5 +1,12 @@
 #include "beer/measure.hh"
 
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
 #include "dram/types.hh"
 #include "sim/word_sim.hh"
 #include "util/logging.hh"
@@ -43,12 +50,37 @@ ProfileCounts::probability(std::size_t pattern_idx, std::size_t bit) const
 void
 ProfileCounts::merge(const ProfileCounts &other)
 {
-    BEER_ASSERT(k == other.k && patterns == other.patterns);
-    for (std::size_t p = 0; p < patterns.size(); ++p) {
-        wordsTested[p] += other.wordsTested[p];
-        for (std::size_t bit = 0; bit < k; ++bit)
-            errorCounts[p][bit] += other.errorCounts[p][bit];
+    if (k == 0 && patterns.empty()) {
+        *this = other;
+        return;
     }
+    BEER_ASSERT(k == other.k);
+
+    std::map<TestPattern, std::size_t> index;
+    for (std::size_t p = 0; p < patterns.size(); ++p)
+        index.emplace(patterns[p], p);
+
+    for (std::size_t p = 0; p < other.patterns.size(); ++p) {
+        const auto it = index.find(other.patterns[p]);
+        if (it == index.end()) {
+            index.emplace(other.patterns[p], patterns.size());
+            patterns.push_back(other.patterns[p]);
+            errorCounts.push_back(other.errorCounts[p]);
+            wordsTested.push_back(other.wordsTested[p]);
+            continue;
+        }
+        const std::size_t at = it->second;
+        wordsTested[at] += other.wordsTested[p];
+        for (std::size_t bit = 0; bit < k; ++bit)
+            errorCounts[at][bit] += other.errorCounts[p][bit];
+    }
+}
+
+std::uint64_t
+ProfileCounts::totalObservations() const
+{
+    return std::accumulate(wordsTested.begin(), wordsTested.end(),
+                           (std::uint64_t)0);
 }
 
 MeasureConfig
@@ -79,22 +111,24 @@ emptyCounts(std::size_t k, const std::vector<TestPattern> &patterns)
 } // anonymous namespace
 
 ProfileCounts
-measureProfileOnChip(dram::Chip &chip,
-                     const std::vector<TestPattern> &patterns,
-                     const MeasureConfig &config)
+measureProfile(dram::MemoryInterface &mem,
+               const std::vector<TestPattern> &patterns,
+               const MeasureConfig &config,
+               const std::vector<std::size_t> &words_under_test)
 {
-    const std::size_t k = chip.datawordBits();
+    const std::size_t k = mem.datawordBits();
     ProfileCounts counts = emptyCounts(k, patterns);
 
-    // The paper's methodology uses true-cell regions (Section 5.1.3):
-    // identify which words decay 1 -> 0. Cell types are discoverable
-    // through the external interface (see discovery.hh); here we use
-    // the ground-truth accessor purely to pick the word subset.
-    std::vector<std::size_t> true_cell_words;
-    for (std::size_t w = 0; w < chip.numWords(); ++w)
-        if (chip.cellTypeOfWord(w) == dram::CellType::True)
-            true_cell_words.push_back(w);
-    BEER_ASSERT(!true_cell_words.empty());
+    // The paper's methodology tests true-cell regions (Section 5.1.3).
+    // The caller supplies that subset — from discoverCellTypes() on
+    // real/unknown backends, or dram::trueCellWords() in simulation; an
+    // empty selection means "every word" (all-true-cell backends).
+    std::vector<std::size_t> words = words_under_test;
+    if (words.empty()) {
+        words.resize(mem.numWords());
+        std::iota(words.begin(), words.end(), (std::size_t)0);
+    }
+    BEER_ASSERT(!words.empty());
 
     for (std::size_t p = 0; p < patterns.size(); ++p) {
         const BitVec data = datawordForPattern(patterns[p], k,
@@ -102,11 +136,11 @@ measureProfileOnChip(dram::Chip &chip,
         for (double pause : config.pausesSeconds) {
             for (std::size_t rep = 0; rep < config.repeatsPerPause;
                  ++rep) {
-                for (std::size_t w : true_cell_words)
-                    chip.writeDataword(w, data);
-                chip.pauseRefresh(pause, config.temperatureC);
-                for (std::size_t w : true_cell_words) {
-                    const BitVec read = chip.readDataword(w);
+                for (std::size_t w : words)
+                    mem.writeDataword(w, data);
+                mem.pauseRefresh(pause, config.temperatureC);
+                for (std::size_t w : words) {
+                    const BitVec read = mem.readDataword(w);
                     ++counts.wordsTested[p];
                     if (read == data)
                         continue;
@@ -117,6 +151,220 @@ measureProfileOnChip(dram::Chip &chip,
             }
         }
     }
+    return counts;
+}
+
+ProfileCounts
+measureProfileOnChip(dram::Chip &chip,
+                     const std::vector<TestPattern> &patterns,
+                     const MeasureConfig &config)
+{
+    const std::vector<std::size_t> words = dram::trueCellWords(chip);
+    BEER_ASSERT(!words.empty());
+    return measureProfile(chip, patterns, config, words);
+}
+
+namespace
+{
+
+using dram::formatTraceDouble;
+
+/** Parse an unsigned integer from trace metadata; fatal on garbage. */
+std::size_t
+parseMetaSize(const std::string &text, const char *what)
+{
+    try {
+        std::size_t consumed = 0;
+        const unsigned long value = std::stoul(text, &consumed);
+        if (consumed != text.size())
+            throw std::invalid_argument(text);
+        return (std::size_t)value;
+    } catch (const std::exception &) {
+        util::fatal("trace meta: malformed %s value '%s'", what,
+                    text.c_str());
+    }
+}
+
+/** Parse a double from trace metadata; fatal on garbage. */
+double
+parseMetaDouble(const std::string &text, const char *what)
+{
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(text, &consumed);
+        if (consumed != text.size())
+            throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception &) {
+        util::fatal("trace meta: malformed %s value '%s'", what,
+                    text.c_str());
+    }
+}
+
+std::string
+serializePattern(const TestPattern &pattern)
+{
+    if (pattern.empty())
+        return "-";
+    std::string out;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(pattern[i]);
+    }
+    return out;
+}
+
+TestPattern
+parsePattern(const std::string &text)
+{
+    TestPattern pattern;
+    if (text == "-")
+        return pattern;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t next = text.find(',', pos);
+        if (next == std::string::npos)
+            next = text.size();
+        pattern.push_back(parseMetaSize(text.substr(pos, next - pos),
+                                        "pattern bit"));
+        pos = next + 1;
+    }
+    return pattern;
+}
+
+std::vector<double>
+parseDoubleCsv(const std::string &text, const char *what)
+{
+    std::vector<double> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t next = text.find(',', pos);
+        if (next == std::string::npos)
+            next = text.size();
+        out.push_back(
+            parseMetaDouble(text.substr(pos, next - pos), what));
+        pos = next + 1;
+    }
+    return out;
+}
+
+/** Value of the meta line "<key> <value>", if present. */
+std::optional<std::string>
+metaValue(const dram::TraceReplayBackend &trace, const std::string &key)
+{
+    for (const std::string &line : trace.metaLines()) {
+        if (line.size() > key.size() && line.compare(0, key.size(), key) == 0 &&
+            line[key.size()] == ' ')
+            return line.substr(key.size() + 1);
+    }
+    return std::nullopt;
+}
+
+} // anonymous namespace
+
+ProfileCounts
+recordProfileTrace(dram::MemoryInterface &mem,
+                   const std::vector<TestPattern> &patterns,
+                   const MeasureConfig &config,
+                   const std::vector<std::size_t> &words_under_test,
+                   std::ostream &out)
+{
+    dram::TraceRecorder recorder(mem, out);
+
+    std::string pauses;
+    for (std::size_t i = 0; i < config.pausesSeconds.size(); ++i) {
+        if (i)
+            pauses += ',';
+        pauses += formatTraceDouble(config.pausesSeconds[i]);
+    }
+    recorder.writeMeta("measure-pauses " + pauses);
+    recorder.writeMeta("measure-temp " + formatTraceDouble(config.temperatureC));
+    recorder.writeMeta("measure-repeats " +
+                       std::to_string(config.repeatsPerPause));
+    recorder.writeMeta("measure-threshold " +
+                       formatTraceDouble(config.thresholdProbability));
+
+    std::string serialized;
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+        if (i)
+            serialized += ';';
+        serialized += serializePattern(patterns[i]);
+    }
+    recorder.writeMeta("patterns " + serialized);
+
+    std::string words;
+    for (std::size_t i = 0; i < words_under_test.size(); ++i) {
+        if (i)
+            words += ',';
+        words += std::to_string(words_under_test[i]);
+    }
+    recorder.writeMeta("words " + (words.empty() ? "all" : words));
+
+    return measureProfile(recorder, patterns, config, words_under_test);
+}
+
+MeasureConfig
+traceMeasureConfig(const dram::TraceReplayBackend &trace)
+{
+    const auto pauses = metaValue(trace, "measure-pauses");
+    const auto temp = metaValue(trace, "measure-temp");
+    const auto repeats = metaValue(trace, "measure-repeats");
+    if (!pauses || !temp || !repeats)
+        util::fatal("trace carries no measurement plan (missing "
+                    "measure-* meta lines); was it recorded with "
+                    "recordProfileTrace()?");
+
+    MeasureConfig config;
+    config.pausesSeconds = parseDoubleCsv(*pauses, "measure-pauses");
+    config.temperatureC = parseMetaDouble(*temp, "measure-temp");
+    config.repeatsPerPause =
+        parseMetaSize(*repeats, "measure-repeats");
+    if (const auto threshold = metaValue(trace, "measure-threshold"))
+        config.thresholdProbability =
+            parseMetaDouble(*threshold, "measure-threshold");
+    return config;
+}
+
+ProfileCounts
+replayProfileTrace(dram::TraceReplayBackend &trace)
+{
+    const MeasureConfig config = traceMeasureConfig(trace);
+
+    const auto serialized = metaValue(trace, "patterns");
+    if (!serialized)
+        util::fatal("trace carries no 'patterns' meta line");
+    std::vector<TestPattern> patterns;
+    std::size_t pos = 0;
+    while (pos <= serialized->size()) {
+        std::size_t next = serialized->find(';', pos);
+        if (next == std::string::npos)
+            next = serialized->size();
+        patterns.push_back(
+            parsePattern(serialized->substr(pos, next - pos)));
+        pos = next + 1;
+    }
+
+    std::vector<std::size_t> words;
+    const auto words_text = metaValue(trace, "words");
+    if (words_text && *words_text != "all") {
+        std::size_t at = 0;
+        while (at < words_text->size()) {
+            std::size_t next = words_text->find(',', at);
+            if (next == std::string::npos)
+                next = words_text->size();
+            words.push_back(parseMetaSize(
+                words_text->substr(at, next - at), "words"));
+            at = next + 1;
+        }
+    }
+
+    ProfileCounts counts =
+        measureProfile(trace, patterns, config, words);
+    if (!trace.atEnd())
+        util::warn("trace replay finished with %zu unconsumed "
+                   "operations",
+                   trace.remainingOps());
     return counts;
 }
 

@@ -4,22 +4,29 @@
  *
  * Runs BEER's testing loop — program a test pattern, lengthen the
  * refresh window, read back, count post-correction errors per bit —
- * either against a simulated dram::Chip (the end-to-end path, including
- * transient-noise pollution) or through the fast word simulator (the
- * EINSim path used for the large correctness sweeps). A threshold
- * filter (Section 5.2, Figure 4) converts raw counts into the binary
- * miscorrection profile consumed by the solver.
+ * against any dram::MemoryInterface backend (simulated chip, trace
+ * replay, fault-injection proxy, ...), or through the fast word
+ * simulator (the EINSim path used for the large correctness sweeps). A
+ * threshold filter (Section 5.2, Figure 4) converts raw counts into the
+ * binary miscorrection profile consumed by the solver.
+ *
+ * Measurement runs can also be recorded to / replayed from operation
+ * traces (dram/trace.hh), mirroring the paper's released tooling for
+ * applying BEER to experimental data collected elsewhere.
  */
 
 #ifndef BEER_BEER_MEASURE_HH
 #define BEER_BEER_MEASURE_HH
 
 #include <cstdint>
+#include <ostream>
 #include <vector>
 
 #include "beer/patterns.hh"
 #include "beer/profile.hh"
 #include "dram/chip.hh"
+#include "dram/memory_interface.hh"
+#include "dram/trace.hh"
 #include "ecc/linear_code.hh"
 #include "util/rng.hh"
 
@@ -46,7 +53,16 @@ struct ProfileCounts
     /** Observed error probability for (pattern, bit). */
     double probability(std::size_t pattern_idx, std::size_t bit) const;
 
+    /**
+     * Accumulate @p other into this object. Patterns present in both
+     * add their observation counts; patterns only in @p other are
+     * appended. This is the primitive behind incremental measurement
+     * (beer::Session) and the {1,2}-CHARGED escalation.
+     */
     void merge(const ProfileCounts &other);
+
+    /** Total (pattern, word) observations across all patterns. */
+    std::uint64_t totalObservations() const;
 };
 
 /** Configuration of a refresh-window sweep. */
@@ -66,17 +82,57 @@ struct MeasureConfig
 };
 
 /**
- * Measure profile counts on a simulated chip through its external
+ * Measure profile counts on any memory backend through the external
  * interface only (write datawords, pause refresh, read datawords).
  *
- * Only words in true-cell rows are used, matching the paper's
- * methodology. Every word of the chip is programmed with the same
- * pattern per experiment; each (pause, repeat) contributes one
- * observation per word.
+ * @p words_under_test selects the words to program and observe — the
+ * true-cell subset in the paper's methodology, obtainable from
+ * discoverCellTypes() (hardware-faithful) or dram::trueCellWords()
+ * (simulation ground truth). An empty list tests every word, which is
+ * correct only for all-true-cell backends. Every selected word is
+ * programmed with the same pattern per experiment; each (pause, repeat)
+ * contributes one observation per word.
+ */
+ProfileCounts
+measureProfile(dram::MemoryInterface &mem,
+               const std::vector<TestPattern> &patterns,
+               const MeasureConfig &config,
+               const std::vector<std::size_t> &words_under_test = {});
+
+/**
+ * Back-compat wrapper: measure on a simulated chip using its
+ * ground-truth true-cell rows as the word subset.
  */
 ProfileCounts measureProfileOnChip(dram::Chip &chip,
                                    const std::vector<TestPattern> &patterns,
                                    const MeasureConfig &config);
+
+/**
+ * Run measureProfile() while recording every backend operation (plus
+ * "meta" lines describing the measurement plan) to @p out in the
+ * dram/trace.hh format, so the run can be replayed offline.
+ */
+ProfileCounts
+recordProfileTrace(dram::MemoryInterface &mem,
+                   const std::vector<TestPattern> &patterns,
+                   const MeasureConfig &config,
+                   const std::vector<std::size_t> &words_under_test,
+                   std::ostream &out);
+
+/**
+ * Re-run a measurement recorded by recordProfileTrace() against the
+ * trace itself: the measurement plan is reconstructed from the trace's
+ * meta lines and the observations come from the recorded reads. The
+ * result is bit-identical to what the recording run measured.
+ */
+ProfileCounts replayProfileTrace(dram::TraceReplayBackend &trace);
+
+/**
+ * The measurement configuration stored in a recorded trace's meta
+ * lines (pauses, temperature, repeats, threshold); fatal if the trace
+ * carries no measurement plan.
+ */
+MeasureConfig traceMeasureConfig(const dram::TraceReplayBackend &trace);
 
 /**
  * Fast-path measurement through the word simulator: statistically

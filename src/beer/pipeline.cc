@@ -8,37 +8,20 @@ namespace beer
 RecoveryReport
 recoverEccFunction(dram::Chip &chip, const RecoveryOptions &options)
 {
-    RecoveryReport report;
-    const std::size_t k = chip.datawordBits();
+    SessionConfig config;
+    config.measure = options.measure;
+    config.solver = options.solver;
+    config.escalateToTwoCharged = options.escalateToTwoCharged;
+    // Legacy semantics: full pattern sweep before each solve.
+    config.adaptiveEarlyExit = false;
+    config.wordsUnderTest = dram::trueCellWords(chip);
+    // An empty selection would silently mean "measure every word"
+    // (wrong for anti-cell rows); the legacy path always required
+    // true-cell words, so keep failing loudly.
+    BEER_ASSERT(!config.wordsUnderTest.empty());
 
-    const auto one_charged = chargedPatterns(k, 1);
-    report.counts =
-        measureProfileOnChip(chip, one_charged, options.measure);
-    report.profile =
-        report.counts.threshold(options.measure.thresholdProbability);
-    report.solve = solveForEccFunction(report.profile, options.solver);
-
-    if (!report.solve.unique() && options.escalateToTwoCharged) {
-        report.usedTwoCharged = true;
-        const auto two_charged = chargedPatterns(k, 2);
-        ProfileCounts extra =
-            measureProfileOnChip(chip, two_charged, options.measure);
-        // Merge the pattern sets into one {1,2}-CHARGED profile.
-        report.counts.patterns.insert(report.counts.patterns.end(),
-                                      extra.patterns.begin(),
-                                      extra.patterns.end());
-        report.counts.errorCounts.insert(report.counts.errorCounts.end(),
-                                         extra.errorCounts.begin(),
-                                         extra.errorCounts.end());
-        report.counts.wordsTested.insert(report.counts.wordsTested.end(),
-                                         extra.wordsTested.begin(),
-                                         extra.wordsTested.end());
-        report.profile = report.counts.threshold(
-            options.measure.thresholdProbability);
-        report.solve =
-            solveForEccFunction(report.profile, options.solver);
-    }
-    return report;
+    Session session(chip, std::move(config));
+    return session.run();
 }
 
 } // namespace beer

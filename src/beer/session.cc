@@ -1,0 +1,247 @@
+#include "beer/session.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace beer
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * True iff measuring @p pattern can tell codes @p x and @p y apart:
+ * their ground-truth profiles under the pattern differ at some
+ * discharged bit.
+ */
+bool
+distinguishes(const TestPattern &pattern, const ecc::LinearCode &x,
+              const ecc::LinearCode &y)
+{
+    for (std::size_t bit = 0; bit < x.k(); ++bit) {
+        if (patternContains(pattern, bit))
+            continue;
+        if (miscorrectionPossible(x, pattern, bit) !=
+            miscorrectionPossible(y, pattern, bit))
+            return true;
+    }
+    return false;
+}
+
+void
+accumulate(sat::SolverStats &into, const sat::SolverStats &from)
+{
+    into.decisions += from.decisions;
+    into.propagations += from.propagations;
+    into.conflicts += from.conflicts;
+    into.restarts += from.restarts;
+    into.learnedClauses += from.learnedClauses;
+    into.deletedClauses += from.deletedClauses;
+    into.arenaBytes = std::max(into.arenaBytes, from.arenaBytes);
+}
+
+} // anonymous namespace
+
+Session::Session(dram::MemoryInterface &mem, SessionConfig config)
+    : mem_(mem), config_(std::move(config))
+{
+    const std::size_t k = mem_.datawordBits();
+    BEER_ASSERT(k > 0);
+    pending_ = chargedPatterns(k, 1);
+    // Adaptive schedules measure high-index patterns first. Structured
+    // (canonical) parity-check matrices place their largest-support
+    // columns at high data-bit indices, and a pattern's measurement
+    // constrains every column whose support is included in its own —
+    // so large-support patterns prune the candidate space fastest and
+    // the solve becomes provably unique after fewer patterns (the
+    // manufacturer-B configuration drops from 16 to 10 measured
+    // patterns at k=16). The legacy (non-adaptive) sweep keeps the
+    // natural order for bit-exact reproducibility.
+    if (config_.adaptiveEarlyExit)
+        std::reverse(pending_.begin(), pending_.end());
+    counts_.k = k;
+}
+
+bool
+Session::measureRound()
+{
+    if (nextPending_ >= pending_.size())
+        return false;
+
+    std::size_t chunk = pending_.size() - nextPending_;
+    if (config_.adaptiveEarlyExit) {
+        std::size_t per_round = config_.patternsPerRound;
+        if (per_round == 0)
+            per_round = std::max<std::size_t>(1, mem_.datawordBits() / 8);
+        chunk = std::min(chunk, per_round);
+
+        // Active pattern selection: when the last solve surfaced two
+        // candidate functions, prefer pending patterns whose
+        // ground-truth profiles differ between them. Measuring such a
+        // pattern is guaranteed to eliminate at least one of the pair
+        // (the backend's answer can match at most one), so the
+        // candidate space shrinks every round instead of waiting for
+        // the sweep order to stumble on a discriminating pattern.
+        if (solve_ && !countsDirty_ && solve_->solutions.size() >= 2) {
+            const ecc::LinearCode &x = solve_->solutions[0];
+            const ecc::LinearCode &y = solve_->solutions[1];
+            std::stable_partition(
+                pending_.begin() + (std::ptrdiff_t)nextPending_,
+                pending_.end(), [&](const TestPattern &pattern) {
+                    return distinguishes(pattern, x, y);
+                });
+        }
+    }
+
+    const std::vector<TestPattern> round(
+        pending_.begin() + (std::ptrdiff_t)nextPending_,
+        pending_.begin() + (std::ptrdiff_t)(nextPending_ + chunk));
+    nextPending_ += chunk;
+
+    const auto start = Clock::now();
+    const ProfileCounts observed = measureProfile(
+        mem_, round, config_.measure, config_.wordsUnderTest);
+    stats_.measureSeconds += secondsSince(start);
+
+    counts_.merge(observed);
+    countsDirty_ = true;
+    ++stats_.measureRounds;
+    stats_.patternsMeasured = counts_.patterns.size();
+    stats_.patternMeasurements +=
+        (std::uint64_t)round.size() *
+        config_.measure.pausesSeconds.size() *
+        config_.measure.repeatsPerPause;
+    stats_.wordObservations += observed.totalObservations();
+
+    notify(SessionStage::Measure);
+    return true;
+}
+
+const BeerSolveResult &
+Session::solve()
+{
+    profile_ = counts_.threshold(config_.measure.thresholdProbability);
+
+    BeerSolverConfig solver = config_.solver;
+    const bool cap = config_.adaptiveEarlyExit && moreEvidenceAvailable();
+    if (cap && (solver.maxSolutions == 0 || solver.maxSolutions > 2))
+        solver.maxSolutions = 2;
+
+    const auto start = Clock::now();
+    solve_ = solveForEccFunction(profile_, solver);
+    stats_.solveSeconds += secondsSince(start);
+
+    solveWasCapped_ = cap;
+    countsDirty_ = false;
+    ++stats_.solveCalls;
+    accumulate(stats_.sat, solve_->stats);
+
+    notify(SessionStage::Solve);
+    return *solve_;
+}
+
+bool
+Session::escalate()
+{
+    if (escalated_)
+        return false;
+    escalated_ = true;
+    auto two_charged = chargedPatterns(mem_.datawordBits(), 2);
+    if (config_.adaptiveEarlyExit)
+        std::reverse(two_charged.begin(), two_charged.end());
+    pending_.insert(pending_.end(), two_charged.begin(),
+                    two_charged.end());
+    ++stats_.escalations;
+    notify(SessionStage::Escalate);
+    return true;
+}
+
+bool
+Session::canEscalate() const
+{
+    return config_.escalateToTwoCharged && !escalated_ &&
+           mem_.datawordBits() >= 2;
+}
+
+bool
+Session::moreEvidenceAvailable() const
+{
+    return pendingPatternCount() > 0 || canEscalate();
+}
+
+bool
+Session::finished() const
+{
+    if (solve_ && solve_->unique() && !countsDirty_)
+        return true;
+    return !moreEvidenceAvailable() && solve_ && !countsDirty_ &&
+           !solveWasCapped_;
+}
+
+RecoveryReport
+Session::run()
+{
+    while (true) {
+        if (measureRound()) {
+            // Outside adaptive mode the round covered every pending
+            // pattern; either way, decide on the evidence so far.
+            solve();
+            if (solve_->unique())
+                break;
+            continue;
+        }
+        // Nothing pending. Success, escalation, or a final uncapped
+        // solve listing the surviving candidates.
+        if (solve_ && !countsDirty_ && solve_->unique())
+            break;
+        if (canEscalate()) {
+            escalate();
+            continue;
+        }
+        if (!solve_ || countsDirty_ || solveWasCapped_)
+            solve();
+        break;
+    }
+    notify(SessionStage::Done);
+    return report();
+}
+
+RecoveryReport
+Session::report() const
+{
+    RecoveryReport report;
+    report.counts = counts_;
+    report.profile = profile_;
+    if (solve_)
+        report.solve = *solve_;
+    report.usedTwoCharged = escalated_;
+    report.stats = stats_;
+    return report;
+}
+
+void
+Session::notify(SessionStage stage)
+{
+    if (!config_.onProgress)
+        return;
+    SessionProgress progress;
+    progress.stage = stage;
+    progress.patternsMeasured = counts_.patterns.size();
+    progress.patternsPlanned = pending_.size();
+    progress.solutionsFound = solve_ ? solve_->solutions.size() : 0;
+    progress.solveComplete = solve_ && solve_->complete;
+    progress.escalations = stats_.escalations;
+    config_.onProgress(progress);
+}
+
+} // namespace beer

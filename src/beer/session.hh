@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Staged, resumable BEER recovery sessions.
+ *
+ * beer::Session decomposes the monolithic recovery pipeline into
+ * explicit, caller-driven stages over any dram::MemoryInterface
+ * backend:
+ *
+ *   - measureRound()  measures the next chunk of planned test patterns
+ *                     and accumulates the observations into the
+ *                     running ProfileCounts via merge();
+ *   - solve()         thresholds the accumulated counts and runs the
+ *                     SAT solve on everything measured so far;
+ *   - escalate()      appends the 2-CHARGED pattern class to the plan
+ *                     (paper Section 4.2.4, for shortened codes);
+ *   - run()           drives the full adaptive loop to completion.
+ *
+ * The adaptive loop exploits a property of the profile constraints:
+ * any subset of a code's true miscorrection profile is satisfied by
+ * the code itself, so if the patterns measured so far already admit
+ * exactly one ECC function (solve-to-UNSAT proof), that function is
+ * the answer and the remaining patterns need not be measured at all.
+ * On real chips, where each pattern costs refresh-pause minutes, this
+ * early exit is the difference between hours and days of test time;
+ * see bench/session_speedup.cc for the measured reduction.
+ *
+ * Every stage records wall-clock and SAT statistics (SessionStats) and
+ * reports through an optional progress callback, so long-running
+ * recoveries are observable and resumable between stages.
+ */
+
+#ifndef BEER_BEER_SESSION_HH
+#define BEER_BEER_SESSION_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "beer/measure.hh"
+#include "beer/patterns.hh"
+#include "beer/profile.hh"
+#include "beer/solver.hh"
+#include "dram/memory_interface.hh"
+
+namespace beer
+{
+
+/** What a Session is currently doing (progress reporting). */
+enum class SessionStage
+{
+    Measure,
+    Solve,
+    Escalate,
+    Done,
+};
+
+/** Snapshot passed to SessionConfig::onProgress after every stage. */
+struct SessionProgress
+{
+    SessionStage stage = SessionStage::Measure;
+    /** Distinct patterns measured so far. */
+    std::size_t patternsMeasured = 0;
+    /** Patterns in the current plan (measured + still pending). */
+    std::size_t patternsPlanned = 0;
+    /** Solutions found by the most recent solve (0 before any solve). */
+    std::size_t solutionsFound = 0;
+    /** True iff the most recent solve proved its enumeration total. */
+    bool solveComplete = false;
+    /** 2-CHARGED escalations performed. */
+    std::size_t escalations = 0;
+};
+
+/** Per-stage accounting accumulated across a session's lifetime. */
+struct SessionStats
+{
+    /** Wall-clock seconds spent inside measureRound(). */
+    double measureSeconds = 0.0;
+    /** Wall-clock seconds spent inside solve(). */
+    double solveSeconds = 0.0;
+    std::size_t measureRounds = 0;
+    std::size_t solveCalls = 0;
+    std::size_t escalations = 0;
+    /** Distinct patterns measured. */
+    std::size_t patternsMeasured = 0;
+    /**
+     * (pattern, pause, repeat) experiments issued — the unit of
+     * physical test time the adaptive early exit saves.
+     */
+    std::uint64_t patternMeasurements = 0;
+    /** Total word read-backs observed. */
+    std::uint64_t wordObservations = 0;
+    /** SAT statistics accumulated across all solve() calls. */
+    sat::SolverStats sat;
+};
+
+/** Knobs for a recovery session. */
+struct SessionConfig
+{
+    MeasureConfig measure = MeasureConfig::paperDefault();
+    BeerSolverConfig solver;
+    /**
+     * Add 2-CHARGED patterns when the 1-CHARGED profile does not
+     * identify a unique function (needed for shortened codes).
+     */
+    bool escalateToTwoCharged = true;
+    /**
+     * Solve after every measurement round and stop measuring as soon
+     * as the solution is provably unique. Disable to reproduce the
+     * legacy full-sweep pipeline exactly.
+     */
+    bool adaptiveEarlyExit = true;
+    /**
+     * Patterns measured per measureRound() when adaptive
+     * (0 = automatic: max(1, k/8)). Ignored without adaptive early
+     * exit, where every round measures all pending patterns.
+     */
+    std::size_t patternsPerRound = 0;
+    /**
+     * Words to program and observe; see measureProfile(). Empty means
+     * every word (correct only for all-true-cell backends).
+     */
+    std::vector<std::size_t> wordsUnderTest;
+    /** Invoked after every stage when set. */
+    std::function<void(const SessionProgress &)> onProgress;
+};
+
+/** Everything a recovery produced, for reporting and validation. */
+struct RecoveryReport
+{
+    ProfileCounts counts;
+    MiscorrectionProfile profile;
+    BeerSolveResult solve;
+    /** True iff the 2-CHARGED escalation ran. */
+    bool usedTwoCharged = false;
+    /** Per-stage accounting (measurement effort, solver cost). */
+    SessionStats stats;
+
+    bool succeeded() const { return solve.unique(); }
+    const ecc::LinearCode &recoveredCode() const
+    {
+        return solve.solutions.front();
+    }
+};
+
+/** Staged BEER recovery; see file comment. */
+class Session
+{
+  public:
+    /**
+     * Plan a recovery against @p mem starting from the 1-CHARGED
+     * pattern class. @p mem must outlive the session.
+     */
+    explicit Session(dram::MemoryInterface &mem,
+                     SessionConfig config = {});
+
+    /**
+     * Measure the next chunk of pending patterns and merge the
+     * observations into counts().
+     *
+     * @return false if no patterns were pending (nothing measured)
+     */
+    bool measureRound();
+
+    /**
+     * Threshold the accumulated counts and solve for all consistent
+     * ECC functions. While more measurement is available (pending
+     * patterns or a possible escalation) and adaptive early exit is
+     * on, enumeration is capped at two solutions — enough to decide
+     * uniqueness; the final solve honors the configured cap.
+     */
+    const BeerSolveResult &solve();
+
+    /**
+     * Append the 2-CHARGED pattern class to the measurement plan.
+     *
+     * @return false if the escalation already happened
+     */
+    bool escalate();
+
+    /** Drive measure/solve/escalate to completion and report. */
+    RecoveryReport run();
+
+    /** True iff solved unique, or nothing is left to measure or try. */
+    bool finished() const;
+
+    /** Patterns planned but not yet measured. */
+    std::size_t pendingPatternCount() const
+    {
+        return pending_.size() - nextPending_;
+    }
+
+    const ProfileCounts &counts() const { return counts_; }
+    const SessionStats &stats() const { return stats_; }
+    const dram::MemoryInterface &memory() const { return mem_; }
+
+    /** Report of everything produced so far. */
+    RecoveryReport report() const;
+
+  private:
+    bool canEscalate() const;
+    /** True while another measurement could still refine the solve. */
+    bool moreEvidenceAvailable() const;
+    void notify(SessionStage stage);
+
+    dram::MemoryInterface &mem_;
+    SessionConfig config_;
+    std::vector<TestPattern> pending_;
+    std::size_t nextPending_ = 0;
+    ProfileCounts counts_;
+    MiscorrectionProfile profile_;
+    std::optional<BeerSolveResult> solve_;
+    /** True iff solve_ was produced under the uniqueness-only cap. */
+    bool solveWasCapped_ = false;
+    /** True iff counts_ changed since solve_ was produced. */
+    bool countsDirty_ = false;
+    bool escalated_ = false;
+    SessionStats stats_;
+};
+
+} // namespace beer
+
+#endif // BEER_BEER_SESSION_HH

@@ -9,13 +9,13 @@ namespace beer::dram
 
 using gf2::BitVec;
 
-Chip::Chip(ChipConfig config)
+SimulatedChip::SimulatedChip(ChipConfig config)
     : config_(std::move(config)), rng_(config_.seed ^ 0x5eed)
 {
     config_.map.validate();
     if (config_.code.k() != config_.map.bytesPerWord * 8)
-        util::fatal("Chip: code k (%zu) does not match word size "
-                    "(%zu bytes)",
+        util::fatal("SimulatedChip: code k (%zu) does not match word "
+                    "size (%zu bytes)",
                     config_.code.k(), config_.map.bytesPerWord);
     cells_.assign(config_.map.numWords(), BitVec(config_.code.n()));
     // Power-on state: store the encoding of all-zero data so that every
@@ -26,14 +26,14 @@ Chip::Chip(ChipConfig config)
 }
 
 void
-Chip::writeDataword(std::size_t word_index, const BitVec &data)
+SimulatedChip::writeDataword(std::size_t word_index, const BitVec &data)
 {
     BEER_ASSERT(word_index < cells_.size());
     cells_[word_index] = config_.code.encode(data);
 }
 
 gf2::BitVec
-Chip::readDataword(std::size_t word_index)
+SimulatedChip::readDataword(std::size_t word_index)
 {
     BEER_ASSERT(word_index < cells_.size());
     BitVec received = cells_[word_index];
@@ -46,7 +46,7 @@ Chip::readDataword(std::size_t word_index)
 }
 
 void
-Chip::writeByte(std::size_t byte_addr, std::uint8_t value)
+SimulatedChip::writeByte(std::size_t byte_addr, std::uint8_t value)
 {
     const auto slot = config_.map.slotOfByte(byte_addr);
     // On-die ECC works on whole words: read-modify-write the dataword.
@@ -60,7 +60,7 @@ Chip::writeByte(std::size_t byte_addr, std::uint8_t value)
 }
 
 std::uint8_t
-Chip::readByte(std::size_t byte_addr)
+SimulatedChip::readByte(std::size_t byte_addr)
 {
     const auto slot = config_.map.slotOfByte(byte_addr);
     const BitVec data = readDataword(slot.wordIndex);
@@ -72,7 +72,7 @@ Chip::readByte(std::size_t byte_addr)
 }
 
 void
-Chip::fill(std::uint8_t value)
+SimulatedChip::fill(std::uint8_t value)
 {
     BitVec data(config_.code.k());
     for (std::size_t i = 0; i < data.size(); ++i)
@@ -82,7 +82,7 @@ Chip::fill(std::uint8_t value)
 }
 
 void
-Chip::pauseRefresh(double seconds, double temp_c)
+SimulatedChip::pauseRefresh(double seconds, double temp_c)
 {
     const double ber =
         config_.retention.failProbability(seconds, temp_c);
@@ -122,17 +122,27 @@ Chip::pauseRefresh(double seconds, double temp_c)
 }
 
 CellType
-Chip::cellTypeOfWord(std::size_t word_index) const
+SimulatedChip::cellTypeOfWord(std::size_t word_index) const
 {
     return config_.cellLayout.typeOfRow(
         config_.map.rowOfWord(word_index));
 }
 
 const gf2::BitVec &
-Chip::storedCodeword(std::size_t word_index) const
+SimulatedChip::storedCodeword(std::size_t word_index) const
 {
     BEER_ASSERT(word_index < cells_.size());
     return cells_[word_index];
+}
+
+std::vector<std::size_t>
+trueCellWords(const SimulatedChip &chip)
+{
+    std::vector<std::size_t> words;
+    for (std::size_t w = 0; w < chip.numWords(); ++w)
+        if (chip.cellTypeOfWord(w) == CellType::True)
+            words.push_back(w);
+    return words;
 }
 
 ChipConfig

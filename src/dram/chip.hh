@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "dram/layout.hh"
+#include "dram/memory_interface.hh"
 #include "dram/retention.hh"
 #include "dram/types.hh"
 #include "ecc/linear_code.hh"
@@ -63,37 +64,36 @@ struct ChipConfig
 };
 
 /** Simulated DRAM chip; see file comment. */
-class Chip
+class SimulatedChip : public MemoryInterface
 {
   public:
-    explicit Chip(ChipConfig config);
+    explicit SimulatedChip(ChipConfig config);
 
     // ---- geometry -------------------------------------------------------
-    std::size_t numWords() const { return config_.map.numWords(); }
-    std::size_t numBytes() const { return config_.map.numBytes(); }
-    std::size_t datawordBits() const { return config_.code.k(); }
-    const AddressMap &addressMap() const { return config_.map; }
+    std::size_t datawordBits() const override { return config_.code.k(); }
+    const AddressMap &addressMap() const override { return config_.map; }
 
     // ---- data interface (everything a real chip exposes) ----------------
     /** Write a k-bit dataword; the chip encodes and stores it. */
-    void writeDataword(std::size_t word_index, const gf2::BitVec &data);
+    void writeDataword(std::size_t word_index,
+                       const gf2::BitVec &data) override;
 
     /** Read a dataword through the on-die ECC decoder. */
-    gf2::BitVec readDataword(std::size_t word_index);
+    gf2::BitVec readDataword(std::size_t word_index) override;
 
     /** Byte-granularity accessors through the address map. */
-    void writeByte(std::size_t byte_addr, std::uint8_t value);
-    std::uint8_t readByte(std::size_t byte_addr);
+    void writeByte(std::size_t byte_addr, std::uint8_t value) override;
+    std::uint8_t readByte(std::size_t byte_addr) override;
 
     /** Fill every data byte of the chip with @p value. */
-    void fill(std::uint8_t value);
+    void fill(std::uint8_t value) override;
 
     /**
      * Disable refresh for @p seconds at @p temp_c, injecting
      * data-retention errors into the stored cells. Errors persist until
      * the affected word is rewritten.
      */
-    void pauseRefresh(double seconds, double temp_c);
+    void pauseRefresh(double seconds, double temp_c) override;
 
     // ---- ground truth (simulation/validation only) -----------------------
     /** The secret ECC function. BEER never calls this. */
@@ -121,6 +121,17 @@ class Chip
     std::uint64_t pauseEpoch_ = 0;
     std::uint64_t rawErrors_ = 0;
 };
+
+/** Back-compat name from before the backend abstraction existed. */
+using Chip = SimulatedChip;
+
+/**
+ * Ground-truth word selection for simulation runs: indices of all words
+ * stored in true-cell rows, the subset the paper's methodology tests.
+ * Hardware-faithful flows derive the same set externally via
+ * beer::discoverCellTypes().
+ */
+std::vector<std::size_t> trueCellWords(const SimulatedChip &chip);
 
 /**
  * Build a chip configuration in the style of one of the paper's three

@@ -1,0 +1,69 @@
+#include "dram/fault_proxy.hh"
+
+#include "util/logging.hh"
+
+namespace beer::dram
+{
+
+using gf2::BitVec;
+
+FaultInjectionProxy::FaultInjectionProxy(MemoryInterface &inner,
+                                         FaultInjectionConfig config)
+    : inner_(inner),
+      config_(std::move(config)),
+      rng_(config_.seed ^ 0xfa017)
+{
+    for (const StuckAtFault &fault : config_.stuckAt) {
+        BEER_ASSERT(fault.wordIndex < inner_.numWords());
+        BEER_ASSERT(fault.bit < inner_.datawordBits());
+    }
+}
+
+BitVec
+FaultInjectionProxy::readDataword(std::size_t word_index)
+{
+    BitVec data = inner_.readDataword(word_index);
+    if (config_.transientFlipRate > 0.0) {
+        for (std::size_t bit = 0; bit < data.size(); ++bit) {
+            if (rng_.bernoulli(config_.transientFlipRate)) {
+                data.flip(bit);
+                ++injectedFlips_;
+            }
+        }
+    }
+    for (const StuckAtFault &fault : config_.stuckAt)
+        if (fault.wordIndex == word_index)
+            data.set(fault.bit, fault.value);
+    return data;
+}
+
+std::uint8_t
+FaultInjectionProxy::readByte(std::size_t byte_addr)
+{
+    std::uint8_t value = inner_.readByte(byte_addr);
+    if (config_.transientFlipRate > 0.0) {
+        for (std::size_t bit = 0; bit < 8; ++bit) {
+            if (rng_.bernoulli(config_.transientFlipRate)) {
+                value ^= (std::uint8_t)(1u << bit);
+                ++injectedFlips_;
+            }
+        }
+    }
+    const AddressMap::WordSlot slot =
+        inner_.addressMap().slotOfByte(byte_addr);
+    for (const StuckAtFault &fault : config_.stuckAt) {
+        if (fault.wordIndex != slot.wordIndex)
+            continue;
+        const std::size_t lo = slot.byteInWord * 8;
+        if (fault.bit < lo || fault.bit >= lo + 8)
+            continue;
+        const std::size_t in_byte = fault.bit - lo;
+        if (fault.value)
+            value |= (std::uint8_t)(1u << in_byte);
+        else
+            value &= (std::uint8_t)~(1u << in_byte);
+    }
+    return value;
+}
+
+} // namespace beer::dram

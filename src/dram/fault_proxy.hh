@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fault-injection decorator over any memory backend.
+ *
+ * Wraps a MemoryInterface and perturbs what the wrapped backend
+ * returns, for scenario-diversity studies (paper Sections 5.2 and
+ * 7.1.5): extra transient read errors — post-correction bit flips on
+ * every read, modeling particle strikes / bus noise beyond what the
+ * backend itself simulates — and stuck-at faults that pin individual
+ * post-correction data bits of chosen words to a fixed value. Because
+ * it decorates the abstract interface, it composes with every backend:
+ * a SimulatedChip, a TraceReplayBackend, or another proxy.
+ *
+ * Writes and refresh pauses pass through untouched; only read paths
+ * (readDataword/readByte) are perturbed.
+ */
+
+#ifndef BEER_DRAM_FAULT_PROXY_HH
+#define BEER_DRAM_FAULT_PROXY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/memory_interface.hh"
+#include "util/rng.hh"
+
+namespace beer::dram
+{
+
+/** A post-correction data bit pinned to a fixed read value. */
+struct StuckAtFault
+{
+    std::size_t wordIndex = 0;
+    /** Data-bit position within the word, [0, k). */
+    std::size_t bit = 0;
+    /** Value the bit always reads back as. */
+    bool value = false;
+};
+
+/** Knobs for FaultInjectionProxy. */
+struct FaultInjectionConfig
+{
+    /** Per-data-bit flip probability applied to every read. */
+    double transientFlipRate = 0.0;
+    /** Bits pinned on read. */
+    std::vector<StuckAtFault> stuckAt;
+    std::uint64_t seed = 99;
+};
+
+/** Decorator injecting extra read faults; see file comment. */
+class FaultInjectionProxy : public MemoryInterface
+{
+  public:
+    FaultInjectionProxy(MemoryInterface &inner,
+                        FaultInjectionConfig config);
+
+    const AddressMap &addressMap() const override
+    {
+        return inner_.addressMap();
+    }
+    std::size_t datawordBits() const override
+    {
+        return inner_.datawordBits();
+    }
+
+    void writeDataword(std::size_t word_index,
+                       const gf2::BitVec &data) override
+    {
+        inner_.writeDataword(word_index, data);
+    }
+
+    gf2::BitVec readDataword(std::size_t word_index) override;
+
+    void writeByte(std::size_t byte_addr, std::uint8_t value) override
+    {
+        inner_.writeByte(byte_addr, value);
+    }
+
+    std::uint8_t readByte(std::size_t byte_addr) override;
+
+    void fill(std::uint8_t value) override { inner_.fill(value); }
+
+    void pauseRefresh(double seconds, double temp_c) override
+    {
+        inner_.pauseRefresh(seconds, temp_c);
+    }
+
+    /** Transient flips injected so far (diagnostics). */
+    std::uint64_t injectedFlips() const { return injectedFlips_; }
+
+  private:
+    MemoryInterface &inner_;
+    FaultInjectionConfig config_;
+    util::Rng rng_;
+    std::uint64_t injectedFlips_ = 0;
+};
+
+} // namespace beer::dram
+
+#endif // BEER_DRAM_FAULT_PROXY_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The abstract memory-backend interface BEER drives.
+ *
+ * This is exactly the surface a real DRAM chip with on-die ECC exposes
+ * to an external tester (paper Section 5): geometry, dataword and byte
+ * read/write through the ECC encoder/decoder, whole-chip fills, and
+ * refresh-window manipulation. Nothing else — in particular no ground
+ * truth — so anything implementing it can stand in for a chip:
+ *
+ *  - dram::SimulatedChip  — the error-model simulator (chip.hh);
+ *  - dram::TraceReplayBackend — replays a recorded operation log, so
+ *    BEER can run against externally collected measurements (trace.hh);
+ *  - dram::FaultInjectionProxy — wraps any backend and injects extra
+ *    transient / stuck-at errors for robustness studies (fault_proxy.hh).
+ *
+ * All of beer:: (measurement, discovery, session) and the beep:: word
+ * adapter target this interface; only simulation-validation code may
+ * downcast to SimulatedChip for ground truth.
+ */
+
+#ifndef BEER_DRAM_MEMORY_INTERFACE_HH
+#define BEER_DRAM_MEMORY_INTERFACE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dram/layout.hh"
+#include "gf2/bitvec.hh"
+
+namespace beer::dram
+{
+
+/** Abstract DRAM-with-on-die-ECC backend; see file comment. */
+class MemoryInterface
+{
+  public:
+    virtual ~MemoryInterface() = default;
+
+    // ---- geometry -------------------------------------------------------
+    virtual const AddressMap &addressMap() const = 0;
+    /** Data bits per ECC word (k of the on-die code). */
+    virtual std::size_t datawordBits() const = 0;
+
+    std::size_t numWords() const { return addressMap().numWords(); }
+    std::size_t numBytes() const { return addressMap().numBytes(); }
+
+    // ---- data interface (everything a real chip exposes) ----------------
+    /** Write a k-bit dataword; the backend encodes and stores it. */
+    virtual void writeDataword(std::size_t word_index,
+                               const gf2::BitVec &data) = 0;
+
+    /** Read a dataword through the on-die ECC decoder. */
+    virtual gf2::BitVec readDataword(std::size_t word_index) = 0;
+
+    /** Byte-granularity accessors through the address map. */
+    virtual void writeByte(std::size_t byte_addr, std::uint8_t value) = 0;
+    virtual std::uint8_t readByte(std::size_t byte_addr) = 0;
+
+    /** Fill every data byte with @p value. */
+    virtual void fill(std::uint8_t value) = 0;
+
+    /**
+     * Disable refresh for @p seconds at @p temp_c, letting
+     * data-retention errors accumulate in the stored cells.
+     */
+    virtual void pauseRefresh(double seconds, double temp_c) = 0;
+};
+
+} // namespace beer::dram
+
+#endif // BEER_DRAM_MEMORY_INTERFACE_HH

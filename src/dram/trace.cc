@@ -1,0 +1,284 @@
+#include "dram/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace beer::dram
+{
+
+using gf2::BitVec;
+
+std::string
+formatTraceDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+// ---- TraceRecorder ----------------------------------------------------
+
+TraceRecorder::TraceRecorder(MemoryInterface &inner, std::ostream &out)
+    : inner_(inner), out_(out)
+{
+    const AddressMap &map = inner_.addressMap();
+    out_ << "beertrace 1\n"
+         << "geom " << map.bytesPerWord << ' ' << map.wordsPerRegion
+         << ' ' << map.bytesPerRow << ' ' << map.rows << '\n'
+         << "k " << inner_.datawordBits() << '\n';
+}
+
+void
+TraceRecorder::writeMeta(const std::string &text)
+{
+    out_ << "meta " << text << '\n';
+}
+
+const AddressMap &
+TraceRecorder::addressMap() const
+{
+    return inner_.addressMap();
+}
+
+std::size_t
+TraceRecorder::datawordBits() const
+{
+    return inner_.datawordBits();
+}
+
+void
+TraceRecorder::writeDataword(std::size_t word_index, const BitVec &data)
+{
+    inner_.writeDataword(word_index, data);
+    out_ << "w " << word_index << ' ' << data.toString() << '\n';
+}
+
+BitVec
+TraceRecorder::readDataword(std::size_t word_index)
+{
+    BitVec data = inner_.readDataword(word_index);
+    out_ << "r " << word_index << ' ' << data.toString() << '\n';
+    return data;
+}
+
+void
+TraceRecorder::writeByte(std::size_t byte_addr, std::uint8_t value)
+{
+    inner_.writeByte(byte_addr, value);
+    out_ << "wb " << byte_addr << ' ' << (unsigned)value << '\n';
+}
+
+std::uint8_t
+TraceRecorder::readByte(std::size_t byte_addr)
+{
+    const std::uint8_t value = inner_.readByte(byte_addr);
+    out_ << "rb " << byte_addr << ' ' << (unsigned)value << '\n';
+    return value;
+}
+
+void
+TraceRecorder::fill(std::uint8_t value)
+{
+    inner_.fill(value);
+    out_ << "f " << (unsigned)value << '\n';
+}
+
+void
+TraceRecorder::pauseRefresh(double seconds, double temp_c)
+{
+    inner_.pauseRefresh(seconds, temp_c);
+    out_ << "p " << formatTraceDouble(seconds) << ' '
+         << formatTraceDouble(temp_c) << '\n';
+}
+
+// ---- TraceReplayBackend -----------------------------------------------
+
+TraceReplayBackend::TraceReplayBackend(std::istream &in)
+{
+    parse(in);
+}
+
+TraceReplayBackend::TraceReplayBackend(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open trace file '%s'", path.c_str());
+    parse(in);
+}
+
+void
+TraceReplayBackend::parse(std::istream &in)
+{
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_version = false;
+    bool saw_geom = false;
+    bool saw_k = false;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        std::istringstream fields(line);
+        std::string op;
+        fields >> op;
+
+        auto want = [&](bool ok) {
+            if (!ok || fields.fail())
+                util::fatal("trace line %zu: malformed '%s' record",
+                            line_no, op.c_str());
+        };
+
+        if (op == "beertrace") {
+            int version = 0;
+            fields >> version;
+            want(version == 1);
+            saw_version = true;
+        } else if (op == "geom") {
+            fields >> map_.bytesPerWord >> map_.wordsPerRegion >>
+                map_.bytesPerRow >> map_.rows;
+            want(true);
+            saw_geom = true;
+        } else if (op == "k") {
+            fields >> k_;
+            want(k_ > 0);
+            saw_k = true;
+        } else if (op == "meta") {
+            std::string rest;
+            std::getline(fields, rest);
+            if (!rest.empty() && rest[0] == ' ')
+                rest.erase(0, 1);
+            meta_.push_back(rest);
+        } else if (op == "w" || op == "r") {
+            TraceOp rec;
+            rec.kind = op == "w" ? TraceOp::Kind::WriteWord
+                                 : TraceOp::Kind::ReadWord;
+            rec.line = line_no;
+            std::string bits;
+            fields >> rec.index >> bits;
+            want(bits.size() == k_);
+            rec.data = BitVec::fromString(bits);
+            ops_.push_back(std::move(rec));
+        } else if (op == "wb" || op == "rb") {
+            TraceOp rec;
+            rec.kind = op == "wb" ? TraceOp::Kind::WriteByte
+                                  : TraceOp::Kind::ReadByte;
+            rec.line = line_no;
+            unsigned value = 0;
+            fields >> rec.index >> value;
+            want(value <= 0xFF);
+            rec.byte = (std::uint8_t)value;
+            ops_.push_back(rec);
+        } else if (op == "f") {
+            TraceOp rec;
+            rec.kind = TraceOp::Kind::Fill;
+            rec.line = line_no;
+            unsigned value = 0;
+            fields >> value;
+            want(value <= 0xFF);
+            rec.byte = (std::uint8_t)value;
+            ops_.push_back(rec);
+        } else if (op == "p") {
+            TraceOp rec;
+            rec.kind = TraceOp::Kind::Pause;
+            rec.line = line_no;
+            fields >> rec.seconds >> rec.tempC;
+            want(true);
+            ops_.push_back(rec);
+        } else {
+            util::fatal("trace line %zu: unknown record '%s'", line_no,
+                        op.c_str());
+        }
+    }
+
+    if (!saw_version || !saw_geom || !saw_k)
+        util::fatal("trace is missing its beertrace/geom/k header");
+    map_.validate();
+}
+
+const TraceOp &
+TraceReplayBackend::expect(TraceOp::Kind kind, const char *what)
+{
+    if (cursor_ >= ops_.size())
+        util::fatal("trace replay: %s requested but the trace is "
+                    "exhausted after %zu operations",
+                    what, ops_.size());
+    const TraceOp &rec = ops_[cursor_];
+    if (rec.kind != kind)
+        util::fatal("trace replay: %s requested but trace line %zu "
+                    "records a different operation",
+                    what, rec.line);
+    ++cursor_;
+    return rec;
+}
+
+void
+TraceReplayBackend::writeDataword(std::size_t word_index,
+                                  const BitVec &data)
+{
+    const TraceOp &rec =
+        expect(TraceOp::Kind::WriteWord, "writeDataword");
+    if (rec.index != word_index || !(rec.data == data))
+        util::fatal("trace replay diverged at line %zu: writeDataword "
+                    "operands do not match the recording",
+                    rec.line);
+}
+
+BitVec
+TraceReplayBackend::readDataword(std::size_t word_index)
+{
+    const TraceOp &rec = expect(TraceOp::Kind::ReadWord, "readDataword");
+    if (rec.index != word_index)
+        util::fatal("trace replay diverged at line %zu: readDataword of "
+                    "word %zu, recording has word %zu",
+                    rec.line, word_index, rec.index);
+    return rec.data;
+}
+
+void
+TraceReplayBackend::writeByte(std::size_t byte_addr, std::uint8_t value)
+{
+    const TraceOp &rec = expect(TraceOp::Kind::WriteByte, "writeByte");
+    if (rec.index != byte_addr || rec.byte != value)
+        util::fatal("trace replay diverged at line %zu: writeByte "
+                    "operands do not match the recording",
+                    rec.line);
+}
+
+std::uint8_t
+TraceReplayBackend::readByte(std::size_t byte_addr)
+{
+    const TraceOp &rec = expect(TraceOp::Kind::ReadByte, "readByte");
+    if (rec.index != byte_addr)
+        util::fatal("trace replay diverged at line %zu: readByte of "
+                    "address %zu, recording has %zu",
+                    rec.line, byte_addr, rec.index);
+    return rec.byte;
+}
+
+void
+TraceReplayBackend::fill(std::uint8_t value)
+{
+    const TraceOp &rec = expect(TraceOp::Kind::Fill, "fill");
+    if (rec.byte != value)
+        util::fatal("trace replay diverged at line %zu: fill(%u), "
+                    "recording has fill(%u)",
+                    rec.line, (unsigned)value, (unsigned)rec.byte);
+}
+
+void
+TraceReplayBackend::pauseRefresh(double seconds, double temp_c)
+{
+    const TraceOp &rec = expect(TraceOp::Kind::Pause, "pauseRefresh");
+    if (rec.seconds != seconds || rec.tempC != temp_c)
+        util::fatal("trace replay diverged at line %zu: pauseRefresh "
+                    "operands do not match the recording",
+                    rec.line);
+}
+
+} // namespace beer::dram

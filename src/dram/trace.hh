@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Operation-trace recording and replay backends.
+ *
+ * The paper's released tooling applies BEER to measurements collected
+ * on real chips offline. These classes provide the equivalent seam for
+ * this codebase: TraceRecorder wraps any MemoryInterface and logs every
+ * operation (with read results) to a text stream, and
+ * TraceReplayBackend implements MemoryInterface from such a log, so an
+ * analysis can re-run bit-for-bit against externally collected data
+ * with no chip (or simulator) present.
+ *
+ * Trace format, one operation per line ('#' starts a comment; "meta"
+ * lines carry analysis-level annotations and are kept but not
+ * interpreted here):
+ *
+ *     beertrace 1
+ *     geom <bytesPerWord> <wordsPerRegion> <bytesPerRow> <rows>
+ *     k <dataword-bits>
+ *     w <word> <dataword-bits-as-01-string>    # writeDataword
+ *     r <word> <returned-dataword>             # readDataword + result
+ *     wb <byte-addr> <value>                   # writeByte (decimal)
+ *     rb <byte-addr> <value>                   # readByte + result
+ *     f <value>                                # fill
+ *     p <seconds> <temp-c>                     # pauseRefresh
+ *
+ * Replay is strict: each interface call must match the next recorded
+ * operation (kind and operands); divergence is a fatal error naming the
+ * trace line. This guarantees that a replayed analysis observed exactly
+ * the recorded data.
+ */
+
+#ifndef BEER_DRAM_TRACE_HH
+#define BEER_DRAM_TRACE_HH
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dram/memory_interface.hh"
+
+namespace beer::dram
+{
+
+/** Round-trip-exact ("%.17g") rendering of a trace double operand. */
+std::string formatTraceDouble(double value);
+
+/** One recorded MemoryInterface operation. */
+struct TraceOp
+{
+    enum class Kind
+    {
+        WriteWord,
+        ReadWord,
+        WriteByte,
+        ReadByte,
+        Fill,
+        Pause,
+    };
+
+    Kind kind;
+    /** Word index (WriteWord/ReadWord) or byte address (byte ops). */
+    std::size_t index = 0;
+    /** Dataword payload (WriteWord) or result (ReadWord). */
+    gf2::BitVec data;
+    /** Byte payload (WriteByte/Fill) or result (ReadByte). */
+    std::uint8_t byte = 0;
+    /** pauseRefresh() operands. */
+    double seconds = 0.0;
+    double tempC = 0.0;
+
+    /** 1-based line number in the source trace (replay diagnostics). */
+    std::size_t line = 0;
+};
+
+/**
+ * Decorator that forwards every operation to @p inner and appends it to
+ * the trace stream. The header (version, geometry, k) is written at
+ * construction; the stream must outlive the recorder.
+ */
+class TraceRecorder : public MemoryInterface
+{
+  public:
+    TraceRecorder(MemoryInterface &inner, std::ostream &out);
+
+    /** Append an uninterpreted "meta <text>" annotation line. */
+    void writeMeta(const std::string &text);
+
+    const AddressMap &addressMap() const override;
+    std::size_t datawordBits() const override;
+    void writeDataword(std::size_t word_index,
+                       const gf2::BitVec &data) override;
+    gf2::BitVec readDataword(std::size_t word_index) override;
+    void writeByte(std::size_t byte_addr, std::uint8_t value) override;
+    std::uint8_t readByte(std::size_t byte_addr) override;
+    void fill(std::uint8_t value) override;
+    void pauseRefresh(double seconds, double temp_c) override;
+
+  private:
+    MemoryInterface &inner_;
+    std::ostream &out_;
+};
+
+/**
+ * MemoryInterface backend that replays a recorded trace; see file
+ * comment. Strict by construction: any operation that does not match
+ * the recorded sequence is fatal.
+ */
+class TraceReplayBackend : public MemoryInterface
+{
+  public:
+    /** Parse a trace from @p in (e.g. an open std::ifstream). */
+    explicit TraceReplayBackend(std::istream &in);
+
+    /** Parse a trace file; fatal if the file cannot be opened. */
+    explicit TraceReplayBackend(const std::string &path);
+
+    const AddressMap &addressMap() const override { return map_; }
+    std::size_t datawordBits() const override { return k_; }
+    void writeDataword(std::size_t word_index,
+                       const gf2::BitVec &data) override;
+    gf2::BitVec readDataword(std::size_t word_index) override;
+    void writeByte(std::size_t byte_addr, std::uint8_t value) override;
+    std::uint8_t readByte(std::size_t byte_addr) override;
+    void fill(std::uint8_t value) override;
+    void pauseRefresh(double seconds, double temp_c) override;
+
+    /** Uninterpreted "meta" annotation lines, in file order. */
+    const std::vector<std::string> &metaLines() const { return meta_; }
+
+    std::size_t totalOps() const { return ops_.size(); }
+    std::size_t remainingOps() const { return ops_.size() - cursor_; }
+    bool atEnd() const { return cursor_ == ops_.size(); }
+
+  private:
+    void parse(std::istream &in);
+    /** Consume the next op; fatal if kind does not match. */
+    const TraceOp &expect(TraceOp::Kind kind, const char *what);
+
+    AddressMap map_;
+    std::size_t k_ = 0;
+    std::vector<TraceOp> ops_;
+    std::vector<std::string> meta_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace beer::dram
+
+#endif // BEER_DRAM_TRACE_HH

@@ -6,14 +6,25 @@
  * profiles:
  *
  *     beer_profile_gen --k 16 --seed 7 | beer_solve
+ *
+ * With --trace-out, the tool instead simulates a vendor-style chip
+ * with the secret code and records the raw measurement operation
+ * stream (dram/trace.hh format), exercising the trace-replay path:
+ *
+ *     beer_profile_gen --k 16 --seed 7 --vendor A --trace-out m.trace
+ *     beer_solve --trace m.trace
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
+#include "beer/measure.hh"
 #include "beer/profile.hh"
+#include "dram/chip.hh"
 #include "ecc/hamming.hh"
 #include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 
 using namespace beer;
@@ -27,6 +38,14 @@ main(int argc, char **argv)
     cli.addOption("charged", "1,2",
                   "x-CHARGED pattern classes (comma-separated)");
     cli.addOption("seed", "1", "RNG seed (0 = canonical code)");
+    cli.addOption("trace-out", "",
+                  "record a simulated measurement trace to this file "
+                  "instead of printing an exhaustive profile");
+    cli.addOption("vendor", "A",
+                  "simulated chip style for --trace-out (A, B, or C)");
+    cli.addOption("rows", "64", "simulated chip rows for --trace-out");
+    cli.addOption("repeats", "25",
+                  "repeats per refresh pause for --trace-out");
     cli.addFlag("print-code", "also print H to stderr");
     cli.parse(argc, argv);
 
@@ -58,6 +77,38 @@ main(int argc, char **argv)
         std::fprintf(stderr, "H = [P | I]:\n%s", code.toString().c_str());
 
     const auto patterns = chargedPatternUnion(k, charged_counts);
+
+    const std::string trace_path = cli.getString("trace-out");
+    if (!trace_path.empty()) {
+        const char vendor = cli.getString("vendor").at(0);
+        dram::ChipConfig config =
+            dram::makeVendorConfig(vendor, k, seed ? seed : 1);
+        config.code = code; // keep the secret chosen above
+        config.map.rows = (std::size_t)cli.getInt("rows");
+        config.iidErrors = true;
+        dram::SimulatedChip chip(config);
+
+        MeasureConfig measure;
+        for (double ber : {0.05, 0.15, 0.3})
+            measure.pausesSeconds.push_back(
+                chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
+        measure.repeatsPerPause = (std::size_t)cli.getInt("repeats");
+        measure.thresholdProbability = 1e-4;
+
+        std::ofstream out(trace_path);
+        if (!out)
+            util::fatal("cannot open trace file '%s' for writing",
+                        trace_path.c_str());
+        const ProfileCounts counts = recordProfileTrace(
+            chip, patterns, measure, dram::trueCellWords(chip), out);
+        std::fprintf(stderr,
+                     "recorded %llu observations over %zu patterns "
+                     "to %s\n",
+                     (unsigned long long)counts.totalObservations(),
+                     patterns.size(), trace_path.c_str());
+        return 0;
+    }
+
     const auto profile = exhaustiveProfile(code, patterns);
     std::cout << serializeProfile(profile);
     return 0;

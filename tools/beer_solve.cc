@@ -1,7 +1,8 @@
 /**
  * @file
  * Command-line BEER solver: read a miscorrection profile from a file
- * (or stdin) and enumerate every ECC function consistent with it.
+ * (or stdin) — or re-measure one from a recorded operation trace —
+ * and enumerate every ECC function consistent with it.
  *
  * This mirrors the tool the paper released for applying BEER to
  * experimental data from real DRAM chips. Profile format (see
@@ -14,14 +15,22 @@
  *
  * Each bitmap bit j is '1' iff a miscorrection was observed at data
  * bit j under that pattern (after threshold filtering).
+ *
+ * With --trace, the input is instead a raw measurement recording in
+ * the dram/trace.hh format (e.g. from beer_profile_gen --trace-out or
+ * beer::recordProfileTrace()): the measurement loop replays against
+ * the recorded reads and the threshold filter runs on the replayed
+ * counts, so no pre-thresholded profile file is needed.
  */
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#include "beer/measure.hh"
 #include "beer/profile.hh"
 #include "beer/solver.hh"
+#include "dram/trace.hh"
 #include "ecc/hamming.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -35,6 +44,12 @@ main(int argc, char **argv)
                   "measured miscorrection profile");
     cli.addOption("profile", "-",
                   "profile file path ('-' reads stdin)");
+    cli.addOption("trace", "",
+                  "measure from a recorded operation trace instead of "
+                  "reading a profile file");
+    cli.addOption("threshold", "-1",
+                  "threshold probability for --trace counts "
+                  "(-1 = the threshold recorded in the trace)");
     cli.addOption("parity-bits", "0",
                   "parity-bit count (0 = minimum SEC count for k)");
     cli.addOption("max-solutions", "16",
@@ -45,10 +60,24 @@ main(int argc, char **argv)
     cli.parse(argc, argv);
 
     MiscorrectionProfile profile;
-    const std::string path = cli.getString("profile");
-    if (path == "-") {
+    const std::string trace_path = cli.getString("trace");
+    if (!trace_path.empty()) {
+        dram::TraceReplayBackend trace(trace_path);
+        const ProfileCounts counts = replayProfileTrace(trace);
+        double threshold = cli.getDouble("threshold");
+        if (threshold < 0.0)
+            threshold =
+                traceMeasureConfig(trace).thresholdProbability;
+        std::fprintf(stderr,
+                     "replayed %zu trace operations: %zu patterns, "
+                     "threshold %g\n",
+                     trace.totalOps(), counts.patterns.size(),
+                     threshold);
+        profile = counts.threshold(threshold);
+    } else if (cli.getString("profile") == "-") {
         profile = parseProfile(std::cin);
     } else {
+        const std::string path = cli.getString("profile");
         std::ifstream in(path);
         if (!in)
             util::fatal("cannot open profile file '%s'", path.c_str());
