@@ -14,7 +14,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "beer/profile.hh"
@@ -65,6 +68,8 @@ main(int argc, char **argv)
                   "dataword lengths (comma-separated)");
     cli.addOption("codes-per-k", "3", "random ECC functions per length");
     cli.addOption("seed", "4", "RNG seed");
+    cli.addOption("json", "",
+                  "emit machine-readable results to this path");
     cli.addFlag("no-symmetry-breaking",
                 "ablation: disable row-order symmetry breaking");
     cli.addFlag("csv", "emit CSV instead of an aligned table");
@@ -84,6 +89,9 @@ main(int argc, char **argv)
                        "check unique (s, median)", "total (s, median)",
                        "total (s, max)", "memory (MiB, median)",
                        "conflicts (median)"});
+
+    std::ostringstream json_rows;
+    bool first_row = true;
 
     for (std::size_t k : k_list) {
         std::vector<double> determine_s;
@@ -129,6 +137,21 @@ main(int argc, char **argv)
                        util::Table::sci(util::quantile(total_s, 1.0)),
                        util::Table::fixed(util::median(memory_mib), 2),
                        util::Table::fixed(util::median(conflicts), 0));
+
+        json_rows << (first_row ? "" : ",") << "\n    {\"k\": " << k
+                  << ", \"parity_bits\": "
+                  << ecc::parityBitsForDataBits(k)
+                  << ", \"determine_s_median\": "
+                  << util::median(determine_s)
+                  << ", \"unique_s_median\": " << util::median(unique_s)
+                  << ", \"total_s_median\": " << util::median(total_s)
+                  << ", \"total_s_max\": "
+                  << util::quantile(total_s, 1.0)
+                  << ", \"memory_mib_median\": "
+                  << util::median(memory_mib)
+                  << ", \"conflicts_median\": "
+                  << util::median(conflicts) << "}";
+        first_row = false;
     }
 
     std::printf("Figure 6: BEER solver performance "
@@ -138,5 +161,21 @@ main(int argc, char **argv)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+
+    const std::string json_path = cli.getString("json");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (out) {
+            out << "{\n  \"bench\": \"fig6_solver_performance\",\n"
+                << "  \"codes_per_k\": " << codes_per_k << ",\n"
+                << "  \"symmetry_breaking\": "
+                << (first_only.symmetryBreaking ? "true" : "false")
+                << ",\n  \"rows\": [" << json_rows.str()
+                << "\n  ]\n}\n";
+            std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+        } else {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        }
+    }
     return 0;
 }

@@ -1,26 +1,39 @@
 /**
  * @file
  * Measurement-effort reduction from beer::Session's adaptive early
- * exit versus the legacy full-sweep pipeline.
+ * exit versus the legacy full-sweep pipeline, and solver-side win from
+ * the persistent incremental solve context versus re-encoding from
+ * scratch every round.
  *
- * For each vendor configuration, runs both schedules against
- * identically manufactured simulated chips and reports patterns
- * measured, (pattern, pause, repeat) experiments issued, word
- * read-backs, and wall-clock per stage. On real hardware every
- * experiment costs a multi-minute refresh pause, so the experiment
- * count is the figure of merit: the adaptive schedule stops as soon as
- * the accumulated profile provably identifies a unique function, and
- * picks candidate-distinguishing patterns first once the solver has
- * narrowed the field to two.
+ * For each vendor configuration, runs three schedules against
+ * identically manufactured simulated chips:
+ *
+ *   - full:        legacy full sweep (baseline experiment count);
+ *   - incremental: adaptive session with the persistent
+ *                  IncrementalSolver (the default);
+ *   - scratch:     adaptive session with incrementalSolve=false, so
+ *                  every round rebuilds and re-searches the whole CNF.
+ *
+ * On real hardware every experiment costs a multi-minute refresh
+ * pause, so the experiment count is the figure of merit for the
+ * adaptive schedule; the cumulative solver wall time (encode + search,
+ * reported per round) is the figure of merit for the incremental
+ * context. With --json the full per-round trajectories are emitted
+ * machine-readably so BENCH_*.json files can be tracked across PRs.
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "beer/beer.hh"
 #include "dram/chip.hh"
 #include "ecc/code_equiv.hh"
 #include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -42,18 +55,63 @@ benchMeasure(const SimulatedChip &chip, std::size_t repeats)
     return measure;
 }
 
+/** One adaptive run's solver-side trajectory. */
+struct SolverTrajectory
+{
+    double encodeSeconds = 0.0;
+    double searchSeconds = 0.0;
+    std::uint64_t clausesAdded = 0;
+    std::vector<SolveRoundStats> rounds;
+
+    double total() const { return encodeSeconds + searchSeconds; }
+};
+
+SolverTrajectory
+trajectoryOf(const RecoveryReport &report)
+{
+    SolverTrajectory out;
+    out.encodeSeconds = report.stats.solveEncodeSeconds;
+    out.searchSeconds = report.stats.solveSearchSeconds;
+    out.rounds = report.stats.solveRounds;
+    for (const SolveRoundStats &round : out.rounds)
+        out.clausesAdded += round.clausesAdded;
+    return out;
+}
+
+void
+printRoundsJson(std::ostream &out, const std::vector<SolveRoundStats> &rounds,
+                const char *indent)
+{
+    out << "[";
+    for (std::size_t i = 0; i < rounds.size(); ++i) {
+        const SolveRoundStats &r = rounds[i];
+        out << (i ? "," : "") << "\n"
+            << indent << "  {\"encode_s\": " << r.encodeSeconds
+            << ", \"search_s\": " << r.searchSeconds
+            << ", \"clauses_added\": " << r.clausesAdded
+            << ", \"patterns_encoded\": " << r.patternsEncoded
+            << ", \"solutions\": " << r.solutions << "}";
+    }
+    if (!rounds.empty())
+        out << "\n" << indent;
+    out << "]";
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     util::Cli cli("beer::Session adaptive early exit vs legacy full "
-                  "sweep: measurement effort per vendor config");
+                  "sweep, and incremental vs from-scratch solver cost");
     cli.addOption("k", "16", "dataword length in bits");
     cli.addOption("seeds-per-vendor", "5",
                   "chips (secret functions) per vendor");
     cli.addOption("repeats", "25", "repeats per refresh pause");
     cli.addOption("seed", "1", "base RNG seed");
+    cli.addOption("json", "",
+                  "emit machine-readable results (including per-round "
+                  "solver trajectories) to this path");
     cli.addFlag("csv", "emit CSV instead of an aligned table");
     cli.parse(argc, argv);
 
@@ -65,17 +123,24 @@ main(int argc, char **argv)
     util::Table table({"vendor", "experiments (full)",
                        "experiments (adaptive, median)",
                        "reduction (median)", "patterns (median)",
-                       "measure s (median)", "solve s (median)",
+                       "measure s (median)", "solve s inc (median)",
+                       "solve s scratch (median)", "solver speedup",
                        "all identical"});
+
+    std::ostringstream json_vendors;
+    bool first_vendor = true;
 
     for (char vendor : {'A', 'B', 'C'}) {
         std::vector<double> experiments;
         std::vector<double> patterns;
         std::vector<double> measure_s;
-        std::vector<double> solve_s;
+        std::vector<double> solve_inc_s;
+        std::vector<double> solve_scratch_s;
+        std::vector<double> speedup;
         std::vector<double> reduction;
         double full_experiments = 0.0;
         bool all_identical = true;
+        std::ostringstream json_chips;
 
         for (std::size_t i = 0; i < chips; ++i) {
             const std::uint64_t seed = base_seed + 1000 * (i + 1);
@@ -90,17 +155,34 @@ main(int argc, char **argv)
             const RecoveryReport full =
                 recoverEccFunction(full_chip, options);
 
-            SimulatedChip chip(config);
             SessionConfig session_config;
             session_config.measure = options.measure;
+
+            // Adaptive, persistent incremental solve context.
+            SimulatedChip chip(config);
             session_config.wordsUnderTest = dram::trueCellWords(chip);
+            session_config.incrementalSolve = true;
             Session session(chip, session_config);
             const RecoveryReport adaptive = session.run();
 
+            // Adaptive, from-scratch re-encode + re-search per round.
+            SimulatedChip scratch_chip(config);
+            session_config.wordsUnderTest =
+                dram::trueCellWords(scratch_chip);
+            session_config.incrementalSolve = false;
+            Session scratch_session(scratch_chip, session_config);
+            const RecoveryReport scratch = scratch_session.run();
+
             if (!full.succeeded() || !adaptive.succeeded() ||
+                !scratch.succeeded() ||
                 !ecc::equivalent(full.recoveredCode(),
-                                 adaptive.recoveredCode()))
+                                 adaptive.recoveredCode()) ||
+                !ecc::equivalent(full.recoveredCode(),
+                                 scratch.recoveredCode()))
                 all_identical = false;
+
+            const SolverTrajectory inc = trajectoryOf(adaptive);
+            const SolverTrajectory scr = trajectoryOf(scratch);
 
             full_experiments =
                 (double)full.stats.patternMeasurements;
@@ -109,24 +191,65 @@ main(int argc, char **argv)
             patterns.push_back(
                 (double)adaptive.counts.patterns.size());
             measure_s.push_back(adaptive.stats.measureSeconds);
-            solve_s.push_back(adaptive.stats.solveSeconds);
+            solve_inc_s.push_back(inc.total());
+            solve_scratch_s.push_back(scr.total());
+            speedup.push_back(inc.total() > 0.0
+                                  ? scr.total() / inc.total()
+                                  : 1.0);
             reduction.push_back(
                 full.stats.patternMeasurements == 0
                     ? 0.0
                     : 1.0 - (double)adaptive.stats.patternMeasurements /
                                 (double)full.stats.patternMeasurements);
+
+            json_chips << (i ? "," : "") << "\n        {\"seed\": "
+                       << seed << ",\n         \"rounds_incremental\": ";
+            printRoundsJson(json_chips, inc.rounds, "         ");
+            json_chips << ",\n         \"rounds_scratch\": ";
+            printRoundsJson(json_chips, scr.rounds, "         ");
+            json_chips << ",\n         \"solve_s_incremental\": "
+                       << inc.total()
+                       << ", \"solve_s_scratch\": " << scr.total()
+                       << ", \"clauses_incremental\": "
+                       << inc.clausesAdded
+                       << ", \"clauses_scratch\": " << scr.clausesAdded
+                       << "}";
         }
 
         char vendor_name[2] = {vendor, '\0'};
         char reduction_text[32];
         std::snprintf(reduction_text, sizeof reduction_text, "%.0f%%",
                       100.0 * util::median(reduction));
+        char speedup_text[32];
+        std::snprintf(speedup_text, sizeof speedup_text, "%.1fx",
+                      util::median(speedup));
         table.addRowOf(vendor_name, full_experiments,
                        util::median(experiments), reduction_text,
                        util::median(patterns),
                        util::Table::fixed(util::median(measure_s), 3),
-                       util::Table::fixed(util::median(solve_s), 3),
-                       all_identical ? "yes" : "NO");
+                       util::Table::sci(util::median(solve_inc_s)),
+                       util::Table::sci(util::median(solve_scratch_s)),
+                       speedup_text, all_identical ? "yes" : "NO");
+
+        json_vendors << (first_vendor ? "" : ",") << "\n"
+                     << "    {\"vendor\": \"" << vendor << "\",\n"
+                     << "     \"full_experiments\": " << full_experiments
+                     << ",\n"
+                     << "     \"adaptive_experiments_median\": "
+                     << util::median(experiments) << ",\n"
+                     << "     \"reduction_median\": "
+                     << util::median(reduction) << ",\n"
+                     << "     \"solve_s_incremental_median\": "
+                     << util::median(solve_inc_s) << ",\n"
+                     << "     \"solve_s_scratch_median\": "
+                     << util::median(solve_scratch_s) << ",\n"
+                     << "     \"solver_speedup_median\": "
+                     << util::median(speedup) << ",\n"
+                     << "     \"all_identical\": "
+                     << (all_identical ? "true" : "false") << ",\n"
+                     << "     \"chips\": [" << json_chips.str()
+                     << "\n     ]}";
+        first_vendor = false;
     }
 
     std::printf("Session adaptive early exit vs full sweep "
@@ -136,5 +259,18 @@ main(int argc, char **argv)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+
+    const std::string json_path = cli.getString("json");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            util::fatal("cannot open JSON file '%s'", json_path.c_str());
+        out << "{\n  \"bench\": \"session_speedup\",\n  \"k\": " << k
+            << ",\n  \"chips_per_vendor\": " << chips
+            << ",\n  \"repeats\": " << repeats
+            << ",\n  \"vendors\": [" << json_vendors.str()
+            << "\n  ]\n}\n";
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
     return 0;
 }

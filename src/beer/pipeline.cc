@@ -12,7 +12,10 @@ recoverEccFunction(dram::Chip &chip, const RecoveryOptions &options)
     config.measure = options.measure;
     config.solver = options.solver;
     config.escalateToTwoCharged = options.escalateToTwoCharged;
-    // Legacy semantics: full pattern sweep before each solve.
+    // Legacy semantics: full pattern sweep before each solve. The
+    // session still reuses one incremental solve context across the
+    // (at most two) solves, so the 2-CHARGED escalation re-solve only
+    // encodes the new patterns.
     config.adaptiveEarlyExit = false;
     config.wordsUnderTest = dram::trueCellWords(chip);
     // An empty selection would silently mean "measure every word"

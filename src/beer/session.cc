@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "ecc/hamming.hh"
 #include "util/logging.hh"
 
 namespace beer
@@ -36,18 +37,6 @@ distinguishes(const TestPattern &pattern, const ecc::LinearCode &x,
             return true;
     }
     return false;
-}
-
-void
-accumulate(sat::SolverStats &into, const sat::SolverStats &from)
-{
-    into.decisions += from.decisions;
-    into.propagations += from.propagations;
-    into.conflicts += from.conflicts;
-    into.restarts += from.restarts;
-    into.learnedClauses += from.learnedClauses;
-    into.deletedClauses += from.deletedClauses;
-    into.arenaBytes = std::max(into.arenaBytes, from.arenaBytes);
 }
 
 } // anonymous namespace
@@ -132,19 +121,51 @@ Session::solve()
 {
     profile_ = counts_.threshold(config_.measure.thresholdProbability);
 
-    BeerSolverConfig solver = config_.solver;
+    // While more measurement is still available, enumeration only has
+    // to decide uniqueness: two solutions suffice.
+    std::size_t max_solutions = config_.solver.maxSolutions;
     const bool cap = config_.adaptiveEarlyExit && moreEvidenceAvailable();
-    if (cap && (solver.maxSolutions == 0 || solver.maxSolutions > 2))
-        solver.maxSolutions = 2;
+    if (cap && (max_solutions == 0 || max_solutions > 2))
+        max_solutions = 2;
 
-    const auto start = Clock::now();
-    solve_ = solveForEccFunction(profile_, solver);
-    stats_.solveSeconds += secondsSince(start);
+    SolveRoundStats round;
+    std::uint64_t clauses_before = 0;
+    std::size_t rebuilds_before = 0;
+    auto start = Clock::now();
+    if (config_.incrementalSolve && incremental_) {
+        clauses_before = incremental_->satSolver().stats().addedClauses;
+        rebuilds_before = incremental_->rebuilds();
+    } else {
+        // First round, or from-scratch mode: (re)build the context.
+        // Construction encodes the structural constraints.
+        incremental_.emplace(profile_.k,
+                             ecc::parityBitsForDataBits(profile_.k),
+                             config_.solver);
+    }
+    incremental_->setMaxSolutions(max_solutions);
+    round.patternsEncoded = incremental_->addProfile(profile_);
+    round.encodeSeconds = secondsSince(start);
+
+    start = Clock::now();
+    solve_ = incremental_->solve();
+    round.searchSeconds = secondsSince(start);
+    // A non-monotone rebuild replaces the SAT solver, resetting its
+    // counters; the round then paid for the whole re-encode.
+    if (incremental_->rebuilds() != rebuilds_before)
+        clauses_before = 0;
+    round.clausesAdded =
+        incremental_->satSolver().stats().addedClauses - clauses_before;
+    round.solutions = solve_->solutions.size();
+
+    stats_.solveEncodeSeconds += round.encodeSeconds;
+    stats_.solveSearchSeconds += round.searchSeconds;
+    stats_.solveSeconds += round.encodeSeconds + round.searchSeconds;
+    stats_.solveRounds.push_back(round);
 
     solveWasCapped_ = cap;
     countsDirty_ = false;
     ++stats_.solveCalls;
-    accumulate(stats_.sat, solve_->stats);
+    stats_.sat.accumulate(solve_->stats);
 
     notify(SessionStage::Solve);
     return *solve_;

@@ -24,9 +24,20 @@
  * early exit is the difference between hours and days of test time;
  * see bench/session_speedup.cc for the measured reduction.
  *
- * Every stage records wall-clock and SAT statistics (SessionStats) and
- * reports through an optional progress callback, so long-running
- * recoveries are observable and resumable between stages.
+ * Solver side, a session owns ONE beer::IncrementalSolver for its
+ * whole lifetime (unless SessionConfig::incrementalSolve is off). The
+ * structural constraints are encoded exactly once, each solve() round
+ * encodes only the patterns measured since the previous round, learned
+ * clauses and branching activity persist across rounds, and the
+ * uniqueness-check blocking clauses of round r are retracted before
+ * round r+1 (see solver.hh for the group mechanics). Multi-round
+ * adaptive recovery therefore pays the SAT encode cost once instead of
+ * O(rounds) times; bench/session_speedup.cc measures the win.
+ *
+ * Every stage records wall-clock and SAT statistics (SessionStats,
+ * including the per-round encode/search split) and reports through an
+ * optional progress callback, so long-running recoveries are
+ * observable and resumable between stages.
  */
 
 #ifndef BEER_BEER_SESSION_HH
@@ -71,6 +82,21 @@ struct SessionProgress
     std::size_t escalations = 0;
 };
 
+/** Solver-side accounting for one Session::solve() round. */
+struct SolveRoundStats
+{
+    /** Seconds encoding constraints (CNF construction). */
+    double encodeSeconds = 0.0;
+    /** Seconds enumerating solutions (SAT search). */
+    double searchSeconds = 0.0;
+    /** Problem clauses added to the SAT context this round. */
+    std::uint64_t clausesAdded = 0;
+    /** Profile entries newly encoded this round. */
+    std::size_t patternsEncoded = 0;
+    /** Solutions the round's enumeration returned. */
+    std::size_t solutions = 0;
+};
+
 /** Per-stage accounting accumulated across a session's lifetime. */
 struct SessionStats
 {
@@ -78,6 +104,11 @@ struct SessionStats
     double measureSeconds = 0.0;
     /** Wall-clock seconds spent inside solve(). */
     double solveSeconds = 0.0;
+    /** solveSeconds split: constraint encoding vs SAT search. */
+    double solveEncodeSeconds = 0.0;
+    double solveSearchSeconds = 0.0;
+    /** One entry per solve() call, in order. */
+    std::vector<SolveRoundStats> solveRounds;
     std::size_t measureRounds = 0;
     std::size_t solveCalls = 0;
     std::size_t escalations = 0;
@@ -116,6 +147,13 @@ struct SessionConfig
      * exit, where every round measures all pending patterns.
      */
     std::size_t patternsPerRound = 0;
+    /**
+     * Keep one IncrementalSolver alive across solve() calls: encode
+     * each pattern once, reuse learned clauses, retract stale blocking
+     * clauses. Disable to re-encode and re-search from scratch on
+     * every round (the legacy behavior; bench baseline).
+     */
+    bool incrementalSolve = true;
     /**
      * Words to program and observe; see measureProfile(). Empty means
      * every word (correct only for all-true-cell backends).
@@ -209,6 +247,11 @@ class Session
     std::size_t nextPending_ = 0;
     ProfileCounts counts_;
     MiscorrectionProfile profile_;
+    /**
+     * Persistent solve context (lives for the whole session when
+     * config_.incrementalSolve; re-created per solve() call otherwise).
+     */
+    std::optional<IncrementalSolver> incremental_;
     std::optional<BeerSolveResult> solve_;
     /** True iff solve_ was produced under the uniqueness-only cap. */
     bool solveWasCapped_ = false;

@@ -1,7 +1,10 @@
 #include "beer/solver.hh"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <string>
+#include <utility>
 
 #include "ecc/code_equiv.hh"
 #include "ecc/hamming.hh"
@@ -148,49 +151,44 @@ encodeMiscorrectionPossible(Encoder &enc, const PVars &vars,
     return enc.mkOr(conditions);
 }
 
-/** Constraint 3: the observed profile. */
+/** Constraint 3: one observed profile entry. */
 void
-encodeProfile(Encoder &enc, const PVars &vars,
-              const MiscorrectionProfile &profile)
+encodePatternEntry(Encoder &enc, const PVars &vars,
+                   const PatternProfile &entry)
 {
-    for (const PatternProfile &entry : profile.patterns) {
-        const TestPattern &pattern = entry.pattern;
-        BEER_ASSERT(!pattern.empty());
+    const TestPattern &pattern = entry.pattern;
+    BEER_ASSERT(!pattern.empty());
 
-        if (pattern.size() == 1) {
-            // Specialized 1-CHARGED encoding: possible(c, j) reduces to
-            // supp(col_j) subset-of supp(col_c): pure 2-CNF positives,
-            // one small Tseitin OR for negatives.
-            const std::size_t c = pattern[0];
-            for (std::size_t j = 0; j < vars.k; ++j) {
-                if (j == c)
-                    continue;
-                if (entry.miscorrectable.get(j)) {
-                    for (std::size_t r = 0; r < vars.p; ++r)
-                        enc.require(
-                            {~vars.at(r, j), vars.at(r, c)});
-                } else {
-                    std::vector<Lit> violations;
-                    violations.reserve(vars.p);
-                    for (std::size_t r = 0; r < vars.p; ++r)
-                        violations.push_back(enc.mkAnd(
-                            vars.at(r, j), ~vars.at(r, c)));
-                    enc.require(violations);
-                }
-            }
-            continue;
-        }
-
-        const std::vector<Lit> u =
-            encodeChargedParity(enc, vars, pattern);
+    if (pattern.size() == 1) {
+        // Specialized 1-CHARGED encoding: possible(c, j) reduces to
+        // supp(col_j) subset-of supp(col_c): pure 2-CNF positives,
+        // one small Tseitin OR for negatives.
+        const std::size_t c = pattern[0];
         for (std::size_t j = 0; j < vars.k; ++j) {
-            if (patternContains(pattern, j))
+            if (j == c)
                 continue;
-            const Lit possible =
-                encodeMiscorrectionPossible(enc, vars, pattern, j, u);
-            enc.require(entry.miscorrectable.get(j) ? possible
-                                                    : ~possible);
+            if (entry.miscorrectable.get(j)) {
+                for (std::size_t r = 0; r < vars.p; ++r)
+                    enc.require({~vars.at(r, j), vars.at(r, c)});
+            } else {
+                std::vector<Lit> violations;
+                violations.reserve(vars.p);
+                for (std::size_t r = 0; r < vars.p; ++r)
+                    violations.push_back(
+                        enc.mkAnd(vars.at(r, j), ~vars.at(r, c)));
+                enc.require(violations);
+            }
         }
+        return;
+    }
+
+    const std::vector<Lit> u = encodeChargedParity(enc, vars, pattern);
+    for (std::size_t j = 0; j < vars.k; ++j) {
+        if (patternContains(pattern, j))
+            continue;
+        const Lit possible =
+            encodeMiscorrectionPossible(enc, vars, pattern, j, u);
+        enc.require(entry.miscorrectable.get(j) ? possible : ~possible);
     }
 }
 
@@ -214,7 +212,8 @@ extractModel(const Solver &solver, const PVars &vars)
 
 /** Forbid the exact assignment of the P variables just found. */
 void
-addBlockingClause(Solver &solver, const PVars &vars, const Matrix &model)
+addBlockingClause(Solver &solver, const PVars &vars, const Matrix &model,
+                  sat::GroupId group)
 {
     std::vector<Lit> clause;
     clause.reserve(vars.p * vars.k);
@@ -223,30 +222,157 @@ addBlockingClause(Solver &solver, const PVars &vars, const Matrix &model)
             const Lit l = vars.at(r, c);
             clause.push_back(model.get(r, c) ? ~l : l);
         }
-    solver.addClause(std::move(clause));
+    solver.addClause(std::move(clause), group);
 }
 
 } // anonymous namespace
 
-BeerSolveResult
-solveForEccFunction(const MiscorrectionProfile &profile,
-                    std::size_t num_parity_bits,
-                    const BeerSolverConfig &config)
+struct IncrementalSolver::Impl
 {
-    BEER_ASSERT(profile.k >= 1);
-    BEER_ASSERT(num_parity_bits >= 1);
-
+    std::size_t k;
+    std::size_t p;
+    BeerSolverConfig config;
     Solver solver;
-    if (config.conflictLimit)
-        solver.setConflictLimit(config.conflictLimit);
-    Encoder enc(solver);
-    const PVars vars = makePVars(enc, num_parity_bits, profile.k);
+    Encoder enc;
+    PVars vars;
+    /** Encoded entries in arrival order (rebuild replays these). */
+    std::vector<PatternProfile> entries;
+    std::map<TestPattern, std::size_t> entryIndex;
+    /** Group holding the current round's blocking clauses. */
+    sat::GroupId blockGroup = sat::kGroupNone;
+    std::size_t rebuilds = 0;
 
-    encodeColumnWeights(enc, vars);
-    encodeDistinctColumns(enc, vars);
-    encodeProfile(enc, vars, profile);
-    if (config.symmetryBreaking)
-        encodeRowOrder(enc, vars);
+    Impl(std::size_t k_, std::size_t p_, const BeerSolverConfig &config_)
+        : k(k_), p(p_), config(config_), enc(solver),
+          vars(makePVars(enc, p_, k_))
+    {
+        encodeColumnWeights(enc, vars);
+        encodeDistinctColumns(enc, vars);
+        if (config.symmetryBreaking)
+            encodeRowOrder(enc, vars);
+    }
+
+    void
+    encodeEntry(const PatternProfile &entry)
+    {
+        entryIndex.emplace(entry.pattern, entries.size());
+        entries.push_back(entry);
+        encodePatternEntry(enc, vars, entry);
+    }
+};
+
+IncrementalSolver::IncrementalSolver(std::size_t k,
+                                     std::size_t num_parity_bits,
+                                     BeerSolverConfig config)
+{
+    BEER_ASSERT(k >= 1);
+    BEER_ASSERT(num_parity_bits >= 1);
+    impl_ = std::make_unique<Impl>(k, num_parity_bits, config);
+}
+
+IncrementalSolver::~IncrementalSolver() = default;
+IncrementalSolver::IncrementalSolver(IncrementalSolver &&) noexcept =
+    default;
+IncrementalSolver &
+IncrementalSolver::operator=(IncrementalSolver &&) noexcept = default;
+
+std::size_t
+IncrementalSolver::k() const
+{
+    return impl_->k;
+}
+
+std::size_t
+IncrementalSolver::parityBits() const
+{
+    return impl_->p;
+}
+
+std::size_t
+IncrementalSolver::encodedPatterns() const
+{
+    return impl_->entries.size();
+}
+
+std::size_t
+IncrementalSolver::rebuilds() const
+{
+    return impl_->rebuilds;
+}
+
+const sat::Solver &
+IncrementalSolver::satSolver() const
+{
+    return impl_->solver;
+}
+
+void
+IncrementalSolver::setMaxSolutions(std::size_t max_solutions)
+{
+    impl_->config.maxSolutions = max_solutions;
+}
+
+void
+IncrementalSolver::rebuild()
+{
+    auto entries = std::move(impl_->entries);
+    const std::size_t rebuilds = impl_->rebuilds + 1;
+    auto fresh =
+        std::make_unique<Impl>(impl_->k, impl_->p, impl_->config);
+    fresh->rebuilds = rebuilds;
+    for (const PatternProfile &entry : entries)
+        fresh->encodeEntry(entry);
+    impl_ = std::move(fresh);
+}
+
+std::size_t
+IncrementalSolver::addProfile(const MiscorrectionProfile &profile)
+{
+    Impl &im = *impl_;
+    BEER_ASSERT(profile.k == im.k);
+
+    // Non-monotone evidence (an already-encoded pattern whose bitmap
+    // changed, e.g. after a threshold flip) invalidates permanently
+    // asserted constraints: overwrite the stored entries and rebuild.
+    bool changed = false;
+    for (const PatternProfile &entry : profile.patterns) {
+        const auto it = im.entryIndex.find(entry.pattern);
+        if (it != im.entryIndex.end() &&
+            !(im.entries[it->second] == entry)) {
+            im.entries[it->second] = entry;
+            changed = true;
+        }
+    }
+    if (changed)
+        rebuild();
+
+    std::size_t added = 0;
+    for (const PatternProfile &entry : profile.patterns) {
+        if (impl_->entryIndex.count(entry.pattern))
+            continue;
+        impl_->encodeEntry(entry);
+        ++added;
+    }
+    return added;
+}
+
+BeerSolveResult
+IncrementalSolver::solve()
+{
+    Impl &im = *impl_;
+    Solver &solver = im.solver;
+
+    // Blocking clauses only reflect the evidence they were derived
+    // under: retract the previous round's group so solutions blocked
+    // while checking uniqueness reappear if still consistent.
+    if (im.blockGroup != sat::kGroupNone)
+        solver.releaseGroup(im.blockGroup);
+    im.blockGroup = solver.newGroup();
+
+    const sat::SolverStats before = solver.stats();
+    if (im.config.conflictLimit)
+        solver.setConflictLimit(before.conflicts +
+                                im.config.conflictLimit);
 
     BeerSolveResult result;
     std::set<std::string> seen; // canonical P serializations
@@ -260,25 +386,35 @@ solveForEccFunction(const MiscorrectionProfile &profile,
         if (sat_result == sat::SolveResult::Unsat)
             break;
 
-        const Matrix model = extractModel(solver, vars);
+        const Matrix model = extractModel(solver, im.vars);
         const LinearCode canonical =
             ecc::canonicalize(LinearCode(model));
         if (seen.insert(canonical.pMatrix().toString()).second)
             result.solutions.push_back(canonical);
 
-        if (config.maxSolutions &&
-            result.solutions.size() >= config.maxSolutions) {
+        if (im.config.maxSolutions &&
+            result.solutions.size() >= im.config.maxSolutions) {
             result.complete = false;
             break;
         }
-        addBlockingClause(solver, vars, model);
+        addBlockingClause(solver, im.vars, model, im.blockGroup);
         if (solver.isUnsat())
             break;
     }
 
-    result.stats = solver.stats();
+    result.stats = solver.stats().deltaSince(before);
     result.memoryBytes = solver.stats().arenaBytes;
     return result;
+}
+
+BeerSolveResult
+solveForEccFunction(const MiscorrectionProfile &profile,
+                    std::size_t num_parity_bits,
+                    const BeerSolverConfig &config)
+{
+    IncrementalSolver incremental(profile.k, num_parity_bits, config);
+    incremental.addProfile(profile);
+    return incremental.solve();
 }
 
 BeerSolveResult

@@ -19,12 +19,30 @@
  * this equivalence, exactly as the paper counts "unique ECC functions"
  * (Figure 5). Enumeration follows the paper's procedure: solve, add a
  * blocking clause forbidding the found matrix, repeat until UNSAT.
+ *
+ * Two entry points share one engine:
+ *
+ *  - solveForEccFunction() is the one-shot API: encode, enumerate,
+ *    discard. Internally it is a thin wrapper over a fresh
+ *    IncrementalSolver.
+ *  - IncrementalSolver is the persistent API for adaptive sessions
+ *    (beer::Session): the structural constraints (column weights,
+ *    distinctness, symmetry breaking) are encoded exactly once at
+ *    construction; each addProfile() call encodes only constraints for
+ *    patterns not seen before (profile constraints are monotone across
+ *    measurement rounds); and each solve() call enumerates with warm
+ *    learned clauses and variable activity carried over from every
+ *    previous round. Per-round blocking clauses live in a retractable
+ *    sat::Solver group, so a solution blocked while checking
+ *    uniqueness in round r is re-reported in round r+1 if it is still
+ *    consistent with the grown profile.
  */
 
 #ifndef BEER_BEER_SOLVER_HH
 #define BEER_BEER_SOLVER_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -66,6 +84,63 @@ struct BeerSolveResult
     sat::SolverStats stats;
     /** Peak arena + watch memory estimate in bytes. */
     std::uint64_t memoryBytes = 0;
+};
+
+/**
+ * Persistent incremental solve context; see the file comment for the
+ * lifecycle. Construction encodes the structural constraints once;
+ * addProfile() extends the CNF with newly measured patterns;
+ * solve() enumerates all consistent ECC functions, retracting the
+ * previous round's blocking clauses first.
+ */
+class IncrementalSolver
+{
+  public:
+    IncrementalSolver(std::size_t k, std::size_t num_parity_bits,
+                      BeerSolverConfig config = {});
+    ~IncrementalSolver();
+    IncrementalSolver(IncrementalSolver &&) noexcept;
+    IncrementalSolver &operator=(IncrementalSolver &&) noexcept;
+
+    std::size_t k() const;
+    std::size_t parityBits() const;
+
+    /**
+     * Encode constraints for every entry of @p profile not already
+     * encoded; previously seen patterns are skipped (their constraints
+     * are already in force). If a previously seen pattern re-arrives
+     * with a *different* miscorrection bitmap (non-monotone evidence,
+     * e.g. a threshold flip), the whole context is rebuilt from
+     * scratch — correctness never depends on monotonicity.
+     *
+     * @return number of newly encoded patterns
+     */
+    std::size_t addProfile(const MiscorrectionProfile &profile);
+
+    /**
+     * Enumerate every ECC function consistent with all profile entries
+     * encoded so far. Blocking clauses from the previous solve() are
+     * retracted first, so solutions suppressed by an earlier
+     * enumeration reappear while they remain consistent. Returned
+     * SolverStats are the delta for this call.
+     */
+    BeerSolveResult solve();
+
+    /** Adjust the enumeration cap for subsequent solve() calls. */
+    void setMaxSolutions(std::size_t max_solutions);
+
+    /** Patterns whose constraints are currently encoded. */
+    std::size_t encodedPatterns() const;
+    /** Times a non-monotone entry forced a from-scratch rebuild. */
+    std::size_t rebuilds() const;
+    /** Underlying SAT context (cumulative stats, DIMACS export). */
+    const sat::Solver &satSolver() const;
+
+  private:
+    struct Impl;
+    void rebuild();
+
+    std::unique_ptr<Impl> impl_;
 };
 
 /**

@@ -82,4 +82,13 @@ loadCnf(const Cnf &cnf, Solver &solver)
     }
 }
 
+Cnf
+extractCnf(const Solver &solver)
+{
+    Cnf cnf;
+    cnf.numVars = solver.numVars();
+    cnf.clauses = solver.problemClauses();
+    return cnf;
+}
+
 } // namespace beer::sat

@@ -40,6 +40,13 @@ void printDimacs(const Cnf &cnf, std::ostream &out);
 /** Load a CNF into a fresh region of @p solver, creating variables. */
 void loadCnf(const Cnf &cnf, Solver &solver);
 
+/**
+ * Snapshot @p solver's problem clauses (root units included, learned
+ * clauses excluded) as a plain CNF, e.g. to cross-check a BEER
+ * instance against an external solver.
+ */
+Cnf extractCnf(const Solver &solver);
+
 } // namespace beer::sat
 
 #endif // BEER_SAT_DIMACS_HH

@@ -19,6 +19,13 @@ Encoder::fresh()
     return mkLit(solver_.newVar());
 }
 
+std::uint64_t
+Encoder::pairKey(Lit a, Lit b)
+{
+    return ((std::uint64_t)(std::uint32_t)a.x << 32) |
+           (std::uint32_t)b.x;
+}
+
 Lit
 Encoder::mkAnd(Lit a, Lit b)
 {
@@ -32,10 +39,20 @@ Encoder::mkAnd(Lit a, Lit b)
         return a;
     if (a == ~b)
         return constFalse();
+    // Structural hashing: AND is commutative, so order the inputs.
+    if (b < a)
+        std::swap(a, b);
+    const std::uint64_t key = pairKey(a, b);
+    const auto cached = andCache_.find(key);
+    if (cached != andCache_.end()) {
+        ++cacheHits_;
+        return cached->second;
+    }
     const Lit y = fresh();
     solver_.addClause(~y, a);
     solver_.addClause(~y, b);
     solver_.addClause(~a, ~b, y);
+    andCache_.emplace(key, y);
     return y;
 }
 
@@ -96,12 +113,29 @@ Encoder::mkXor(Lit a, Lit b)
         return constFalse();
     if (a == ~b)
         return constTrue();
+    // Structural hashing: XOR is commutative and odd in each input
+    // (x ^ ~y == ~(x ^ y)), so canonicalize to positive ordered inputs
+    // and flip the cached output by the stripped sign parity.
+    const bool flip = a.sign() ^ b.sign();
+    if (a.sign())
+        a = ~a;
+    if (b.sign())
+        b = ~b;
+    if (b < a)
+        std::swap(a, b);
+    const std::uint64_t key = pairKey(a, b);
+    const auto cached = xorCache_.find(key);
+    if (cached != xorCache_.end()) {
+        ++cacheHits_;
+        return flip ? ~cached->second : cached->second;
+    }
     const Lit y = fresh();
     solver_.addClause(~y, a, b);
     solver_.addClause(~y, ~a, ~b);
     solver_.addClause(y, ~a, b);
     solver_.addClause(y, a, ~b);
-    return y;
+    xorCache_.emplace(key, y);
+    return flip ? ~y : y;
 }
 
 Lit

@@ -6,11 +6,20 @@
  * lexicographic symmetry breaking) is naturally expressed as a Boolean
  * circuit; this class introduces auxiliary variables gate by gate and
  * emits the equisatisfiable clauses into a Solver.
+ *
+ * Binary AND/XOR gates are structurally hashed: re-encoding an
+ * identical subterm (same inputs up to commutation, and for XOR up to
+ * input/output negation) returns the existing output literal instead
+ * of emitting a duplicate gate. A long-lived encoder shared across
+ * incremental solve rounds (beer::IncrementalSolver) therefore pays
+ * for each distinct subcircuit once.
  */
 
 #ifndef BEER_SAT_ENCODER_HH
 #define BEER_SAT_ENCODER_HH
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sat/solver.hh"
@@ -76,10 +85,19 @@ class Encoder
     /** Number of auxiliary variables introduced so far. */
     std::size_t numAuxVars() const { return auxVars_; }
 
+    /** Gates answered from the structural-hash cache instead of built. */
+    std::size_t numGateCacheHits() const { return cacheHits_; }
+
   private:
+    static std::uint64_t pairKey(Lit a, Lit b);
+
     Solver &solver_;
     Lit trueLit_;
     std::size_t auxVars_ = 0;
+    /** Structural hash: canonical input pair -> gate output literal. */
+    std::unordered_map<std::uint64_t, Lit> andCache_;
+    std::unordered_map<std::uint64_t, Lit> xorCache_;
+    std::size_t cacheHits_ = 0;
 };
 
 } // namespace beer::sat

@@ -19,6 +19,39 @@ constexpr std::uint32_t kDeletedBit = 2;
 
 } // anonymous namespace
 
+void
+SolverStats::accumulate(const SolverStats &other)
+{
+    decisions += other.decisions;
+    propagations += other.propagations;
+    conflicts += other.conflicts;
+    restarts += other.restarts;
+    learnedClauses += other.learnedClauses;
+    deletedClauses += other.deletedClauses;
+    addedClauses += other.addedClauses;
+    releasedClauses += other.releasedClauses;
+    garbageCollections += other.garbageCollections;
+    arenaBytes = std::max(arenaBytes, other.arenaBytes);
+}
+
+SolverStats
+SolverStats::deltaSince(const SolverStats &before) const
+{
+    SolverStats out;
+    out.decisions = decisions - before.decisions;
+    out.propagations = propagations - before.propagations;
+    out.conflicts = conflicts - before.conflicts;
+    out.restarts = restarts - before.restarts;
+    out.learnedClauses = learnedClauses - before.learnedClauses;
+    out.deletedClauses = deletedClauses - before.deletedClauses;
+    out.addedClauses = addedClauses - before.addedClauses;
+    out.releasedClauses = releasedClauses - before.releasedClauses;
+    out.garbageCollections =
+        garbageCollections - before.garbageCollections;
+    out.arenaBytes = arenaBytes;
+    return out;
+}
+
 Solver::Solver() = default;
 
 Var
@@ -100,6 +133,7 @@ Solver::addClause(std::vector<Lit> lits)
         return false;
     }
     if (out.size() == 1) {
+        ++stats_.addedClauses;
         enqueue(out[0], kCRefUndef);
         if (propagate() != kCRefUndef) {
             unsat_ = true;
@@ -110,6 +144,7 @@ Solver::addClause(std::vector<Lit> lits)
 
     const CRef c = allocClause(out, false);
     clauses_.push_back(c);
+    ++stats_.addedClauses;
     watches_[(~out[0]).index()].push_back({c, out[1]});
     watches_[(~out[1]).index()].push_back({c, out[0]});
     return true;
@@ -137,6 +172,177 @@ bool
 Solver::addClause(Lit a, Lit b, Lit c, Lit d)
 {
     return addClause(std::vector<Lit>{a, b, c, d});
+}
+
+GroupId
+Solver::newGroup()
+{
+    const GroupId id = (GroupId)groups_.size();
+    groups_.push_back({mkLit(newVar()), false});
+    return id;
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits, GroupId group)
+{
+    BEER_ASSERT(group < groups_.size());
+    BEER_ASSERT(!groups_[group].retired);
+    // Guard with the negated activation literal: the clause binds only
+    // while solve() assumes the activation literal true.
+    lits.push_back(~groups_[group].activation);
+    return addClause(std::move(lits));
+}
+
+bool
+Solver::groupLive(GroupId group) const
+{
+    BEER_ASSERT(group < groups_.size());
+    return !groups_[group].retired;
+}
+
+void
+Solver::retireGroup(GroupId group)
+{
+    BEER_ASSERT(group < groups_.size());
+    if (groups_[group].retired)
+        return;
+    groups_[group].retired = true;
+    // Forcing the activation literal false at the root permanently
+    // satisfies every clause guarded by it, including learned clauses
+    // that were derived under the group's assumption.
+    addClause(~groups_[group].activation);
+}
+
+void
+Solver::releaseGroup(GroupId group)
+{
+    retireGroup(group);
+    if (unsat_)
+        return;
+    removeRootSatisfied();
+}
+
+void
+Solver::markDeleted(CRef c)
+{
+    arena_[c] |= kDeletedBit;
+    wastedWords_ += kHeaderWords + clauseSize(c);
+}
+
+void
+Solver::removeRootSatisfied()
+{
+    // retireGroup() usually lands here at level 0 via its root unit,
+    // but an already-retired group skips that path (e.g. releaseGroup
+    // after retireGroup, or called twice) with a model still on the
+    // trail.
+    backtrack(0);
+    auto root_satisfied = [this](CRef c) {
+        const std::uint32_t size = clauseSize(c);
+        for (std::uint32_t i = 0; i < size; ++i)
+            if (value(clauseLit(c, i)) == LBool::True)
+                return true;
+        return false;
+    };
+
+    auto sweep = [&](std::vector<CRef> &list, std::uint64_t &counter) {
+        std::size_t keep = 0;
+        for (CRef c : list) {
+            if (root_satisfied(c)) {
+                markDeleted(c);
+                ++counter;
+            } else {
+                list[keep++] = c;
+            }
+        }
+        list.resize(keep);
+    };
+    sweep(clauses_, stats_.releasedClauses);
+    sweep(learned_, stats_.deletedClauses);
+
+    // A dropped clause may still be the recorded reason of a root
+    // literal; root reasons are never dereferenced, but keep the
+    // invariant that reasons point at live clauses.
+    for (Lit l : trail_) {
+        CRef &r = reasons_[(std::size_t)l.var()];
+        if (r != kCRefUndef && (arena_[r] & kDeletedBit))
+            r = kCRefUndef;
+    }
+
+    if (!maybeGarbageCollect())
+        rebuildWatches();
+}
+
+bool
+Solver::maybeGarbageCollect()
+{
+    if (arena_.size() < 1024 || wastedWords_ * 4 < arena_.size())
+        return false;
+    garbageCollect();
+    return true;
+}
+
+void
+Solver::garbageCollect()
+{
+    std::vector<std::uint32_t> fresh;
+    fresh.reserve(arena_.size() - (std::size_t)wastedWords_);
+
+    // Relocate live clauses in ascending arena order so the old->new
+    // mapping stays sorted for the reason remap below.
+    std::vector<CRef *> slots;
+    slots.reserve(clauses_.size() + learned_.size());
+    for (CRef &c : clauses_)
+        slots.push_back(&c);
+    for (CRef &c : learned_)
+        slots.push_back(&c);
+    std::sort(slots.begin(), slots.end(),
+              [](const CRef *a, const CRef *b) { return *a < *b; });
+
+    std::vector<std::pair<CRef, CRef>> remap;
+    remap.reserve(slots.size());
+    for (CRef *slot : slots) {
+        const CRef old = *slot;
+        const CRef moved = (CRef)fresh.size();
+        const std::uint32_t words = kHeaderWords + clauseSize(old);
+        fresh.insert(fresh.end(), arena_.begin() + old,
+                     arena_.begin() + old + words);
+        remap.emplace_back(old, moved);
+        *slot = moved;
+    }
+
+    for (Lit l : trail_) {
+        CRef &r = reasons_[(std::size_t)l.var()];
+        if (r == kCRefUndef)
+            continue;
+        const auto it = std::lower_bound(
+            remap.begin(), remap.end(), std::make_pair(r, (CRef)0));
+        BEER_ASSERT(it != remap.end() && it->first == r);
+        r = it->second;
+    }
+
+    arena_.swap(fresh);
+    wastedWords_ = 0;
+    ++stats_.garbageCollections;
+    stats_.arenaBytes = arena_.size() * sizeof(std::uint32_t);
+    rebuildWatches();
+}
+
+std::vector<std::vector<Lit>>
+Solver::problemClauses() const
+{
+    std::vector<std::vector<Lit>> out;
+    const std::size_t root_end =
+        trailLims_.empty() ? trail_.size() : trailLims_[0];
+    for (std::size_t i = 0; i < root_end; ++i)
+        out.push_back({trail_[i]});
+    for (CRef c : clauses_) {
+        std::vector<Lit> clause(clauseSize(c));
+        for (std::uint32_t i = 0; i < clauseSize(c); ++i)
+            clause[i] = clauseLit(c, i);
+        out.push_back(std::move(clause));
+    }
+    return out;
 }
 
 LBool
@@ -490,7 +696,7 @@ Solver::reduceDb()
     for (std::size_t i = 0; i < learned_.size(); ++i) {
         const CRef c = learned_[i];
         if (dropped < drop_target && !locked(c) && clauseSize(c) > 2) {
-            arena_[c] |= kDeletedBit;
+            markDeleted(c);
             ++dropped;
             ++stats_.deletedClauses;
         } else {
@@ -498,7 +704,8 @@ Solver::reduceDb()
         }
     }
     learned_.swap(kept);
-    rebuildWatches();
+    if (!maybeGarbageCollect())
+        rebuildWatches();
 }
 
 void
@@ -539,7 +746,15 @@ Solver::solve(const std::vector<Lit> &assumptions)
 {
     if (unsat_)
         return SolveResult::Unsat;
-    assumptions_ = assumptions;
+    // Live groups are enforced by assuming their activation literals;
+    // they come first so group-conditional learned clauses assert at
+    // the lowest decision levels.
+    assumptions_.clear();
+    for (const Group &g : groups_)
+        if (!g.retired)
+            assumptions_.push_back(g.activation);
+    assumptions_.insert(assumptions_.end(), assumptions.begin(),
+                        assumptions.end());
     backtrack(0);
     if (propagate() != kCRefUndef) {
         unsat_ = true;

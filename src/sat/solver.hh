@@ -8,8 +8,20 @@
  * EVSIDS branching, phase saving, Luby restarts, first-UIP learning with
  * recursive clause minimization, and activity-based learned-clause
  * deletion. It supports incremental use: clauses may be added between
- * solve() calls (the model-enumeration loop in beer::BeerSolver relies
- * on this to add blocking clauses), and solve() accepts assumptions.
+ * solve() calls, solve() accepts assumptions, and learned clauses and
+ * variable activity survive across calls, so a long-lived solver warm-
+ * starts every re-solve (beer::IncrementalSolver relies on this).
+ *
+ * Retractable clause groups: a clause added under a GroupId is guarded
+ * by that group's activation literal and is enforced only while the
+ * group is live (solve() assumes the activation literal of every live
+ * group). retireGroup() permanently deactivates a group — its clauses,
+ * and any learned clauses derived from them, become inert;
+ * releaseGroup() additionally drops the dead clauses from the watch
+ * lists and reclaims arena memory once enough of it is garbage. The
+ * model-enumeration loop in beer::IncrementalSolver keeps its per-round
+ * blocking clauses in such a group so they can be retracted when new
+ * measurement evidence arrives.
  */
 
 #ifndef BEER_SAT_SOLVER_HH
@@ -33,9 +45,24 @@ struct SolverStats
     std::uint64_t restarts = 0;
     std::uint64_t learnedClauses = 0;
     std::uint64_t deletedClauses = 0;
+    /** Problem clauses stored (units included; tautologies excluded). */
+    std::uint64_t addedClauses = 0;
+    /** Clauses dropped by releaseGroup() root simplification. */
+    std::uint64_t releasedClauses = 0;
+    /** Arena compactions triggered by accumulated garbage. */
+    std::uint64_t garbageCollections = 0;
     /** Approximate heap footprint of the clause arena, in bytes. */
     std::uint64_t arenaBytes = 0;
+
+    /** Add @p other's counters into this (arenaBytes takes the max). */
+    void accumulate(const SolverStats &other);
+    /** Counter deltas since @p before (arenaBytes stays absolute). */
+    SolverStats deltaSince(const SolverStats &before) const;
 };
+
+/** Handle for a retractable clause group; see the file comment. */
+using GroupId = std::uint32_t;
+constexpr GroupId kGroupNone = UINT32_MAX;
 
 /** CDCL SAT solver; see file comment. */
 class Solver
@@ -62,6 +89,39 @@ class Solver
     bool addClause(Lit a, Lit b);
     bool addClause(Lit a, Lit b, Lit c);
     bool addClause(Lit a, Lit b, Lit c, Lit d);
+
+    // ---- retractable clause groups ------------------------------------
+    /** Create a live group (allocates its activation variable). */
+    GroupId newGroup();
+
+    /**
+     * Add a clause enforced only while @p group is live. Returns false
+     * only if the formula was already unsatisfiable.
+     */
+    bool addClause(std::vector<Lit> lits, GroupId group);
+
+    /**
+     * Permanently deactivate @p group: its clauses (and learned
+     * clauses derived from them) become inert. Idempotent.
+     */
+    void retireGroup(GroupId group);
+
+    /**
+     * retireGroup() plus reclamation: dead clauses leave the watch
+     * lists immediately and the arena is compacted once enough of it
+     * is garbage.
+     */
+    void releaseGroup(GroupId group);
+
+    /** True iff @p group has not been retired. */
+    bool groupLive(GroupId group) const;
+
+    /**
+     * Snapshot of the problem clauses (root-level units included,
+     * learned clauses excluded). Group clauses appear with their guard
+     * literal. Used for DIMACS export.
+     */
+    std::vector<std::vector<Lit>> problemClauses() const;
 
     /**
      * Solve under optional assumptions.
@@ -140,6 +200,14 @@ class Solver
     void reduceDb();
     void rebuildWatches();
 
+    // ---- clause-arena garbage collection --------------------------------
+    void markDeleted(CRef c);
+    /** Drop clauses satisfied at the root level (level-0 trail). */
+    void removeRootSatisfied();
+    /** Compact the arena when a quarter of it is garbage. */
+    bool maybeGarbageCollect();
+    void garbageCollect();
+
     // ---- search ---------------------------------------------------------
     SolveResult search();
     static std::uint64_t luby(std::uint64_t i);
@@ -174,6 +242,14 @@ class Solver
     std::vector<std::int32_t> heapIndex_;
 
     float claInc_ = 1.0f;
+
+    struct Group
+    {
+        Lit activation;
+        bool retired = false;
+    };
+    std::vector<Group> groups_;
+    std::uint64_t wastedWords_ = 0;
 
     std::vector<Lit> assumptions_;
 

@@ -156,6 +156,73 @@ TEST(Encoder, ConstantFolding)
     EXPECT_EQ(enc.mkAnd(std::vector<Lit>{}), enc.constTrue());
 }
 
+TEST(Encoder, StructuralHashingSharesXorGates)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const Lit a = enc.fresh();
+    const Lit b = enc.fresh();
+
+    const Lit y = enc.mkXor(a, b);
+    const std::size_t aux = enc.numAuxVars();
+
+    // Same gate re-requested in every commutation/negation variant:
+    // no new auxiliary variable, just the (possibly negated) output.
+    EXPECT_EQ(enc.mkXor(a, b), y);
+    EXPECT_EQ(enc.mkXor(b, a), y);
+    EXPECT_EQ(enc.mkXor(~a, b), ~y);
+    EXPECT_EQ(enc.mkXor(a, ~b), ~y);
+    EXPECT_EQ(enc.mkXor(~a, ~b), y);
+    EXPECT_EQ(enc.mkXor(~b, ~a), y);
+    EXPECT_EQ(enc.numAuxVars(), aux);
+    EXPECT_GE(enc.numGateCacheHits(), 6u);
+
+    // The shared negated form still has XOR semantics.
+    checkTruthTable(solver, {a, b}, enc.mkXor(~a, b),
+                    [](std::uint32_t assign) {
+                        return (((assign >> 0) & 1) ^ 1) !=
+                               ((assign >> 1) & 1);
+                    });
+}
+
+TEST(Encoder, StructuralHashingSharesAndGates)
+{
+    Solver solver;
+    Encoder enc(solver);
+    const Lit a = enc.fresh();
+    const Lit b = enc.fresh();
+
+    const Lit y = enc.mkAnd(a, b);
+    const std::size_t aux = enc.numAuxVars();
+    EXPECT_EQ(enc.mkAnd(a, b), y);
+    EXPECT_EQ(enc.mkAnd(b, a), y);
+    EXPECT_EQ(enc.numAuxVars(), aux);
+
+    // AND is not symmetric under negation: distinct gates required.
+    const Lit z = enc.mkAnd(~a, b);
+    EXPECT_NE(z, y);
+    EXPECT_NE(z, ~y);
+    EXPECT_GT(enc.numAuxVars(), aux);
+
+    // De Morgan routing through mkAnd means mkOr shares too.
+    const Lit o = enc.mkOr(~a, ~b);
+    EXPECT_EQ(o, ~y);
+}
+
+TEST(Encoder, NaryXorChainsShareAcrossCalls)
+{
+    // Re-encoding the same XOR column (as an incremental re-solve
+    // would) must not duplicate any gate.
+    Solver solver;
+    Encoder enc(solver);
+    const auto in = freshInputs(enc, 6);
+    const Lit first = enc.mkXor(in);
+    const std::size_t aux = enc.numAuxVars();
+    const Lit second = enc.mkXor(in);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(enc.numAuxVars(), aux);
+}
+
 TEST(Encoder, RequireXorParity)
 {
     Solver solver;

@@ -306,6 +306,168 @@ TEST(Sat, ModelEnumerationMatchesBruteForceCount)
     }
 }
 
+TEST(Sat, GroupClausesBindOnlyWhileLive)
+{
+    Solver s;
+    const Var x = s.newVar();
+    const GroupId g = s.newGroup();
+    s.addClause({mkLit(x, true)}, g); // group forces !x
+
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(x));
+
+    // A permanent clause conflicting with the live group: UNSAT under
+    // the group, but the formula itself is fine.
+    s.addClause(mkLit(x));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+    EXPECT_FALSE(s.isUnsat());
+
+    s.retireGroup(g);
+    EXPECT_FALSE(s.groupLive(g));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(x));
+}
+
+TEST(Sat, RetireGroupIsIdempotent)
+{
+    Solver s;
+    const Var x = s.newVar();
+    const GroupId g = s.newGroup();
+    s.addClause({mkLit(x)}, g);
+    s.retireGroup(g);
+    s.retireGroup(g);
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Sat, ReleaseAfterRetireWithModelOnTrail)
+{
+    // releaseGroup on an already-retired group, with a model still on
+    // the trail from the preceding Sat call, must reclaim cleanly
+    // (regression: the root-simplification sweep once assumed level 0).
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    s.addClause(mkLit(x), mkLit(y));
+    const GroupId g = s.newGroup();
+    s.addClause({mkLit(x, true)}, g);
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    s.retireGroup(g);
+    ASSERT_EQ(s.solve(), SolveResult::Sat); // model left on the trail
+    s.releaseGroup(g);
+    s.releaseGroup(g); // and twice
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Sat, ReleasedBlockingClausesUnblockModels)
+{
+    // Enumerate all models of a free 2-variable formula by blocking in
+    // a group; releasing the group must make every model reachable
+    // again, which is exactly the retraction the incremental BEER
+    // enumeration performs between measurement rounds.
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    s.addClause(mkLit(x), mkLit(y), mkLit(x)); // keep both vars used
+
+    auto enumerate = [&](GroupId g) {
+        int models = 0;
+        while (s.solve() == SolveResult::Sat) {
+            ++models;
+            EXPECT_LE(models, 3);
+            if (models > 3)
+                break;
+            std::vector<Lit> blocking;
+            blocking.push_back(mkLit(x, s.modelValue(x)));
+            blocking.push_back(mkLit(y, s.modelValue(y)));
+            s.addClause(blocking, g);
+        }
+        return models;
+    };
+
+    const GroupId g1 = s.newGroup();
+    EXPECT_EQ(enumerate(g1), 3);
+    EXPECT_FALSE(s.isUnsat()); // only blocked, not unsatisfiable
+
+    s.releaseGroup(g1);
+    EXPECT_GE(s.stats().releasedClauses, 3u);
+
+    const GroupId g2 = s.newGroup();
+    EXPECT_EQ(enumerate(g2), 3);
+}
+
+TEST(Sat, GroupsComposeWithAssumptions)
+{
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    const GroupId g = s.newGroup();
+    s.addClause({mkLit(x, true), mkLit(y)}, g); // group: x -> y
+
+    EXPECT_EQ(s.solve({mkLit(x)}), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(y));
+    EXPECT_EQ(s.solve({mkLit(x), mkLit(y, true)}), SolveResult::Unsat);
+
+    s.retireGroup(g);
+    EXPECT_EQ(s.solve({mkLit(x), mkLit(y, true)}), SolveResult::Sat);
+}
+
+TEST(Sat, GarbageCollectionPreservesSemantics)
+{
+    // Churn many release cycles so the arena collector runs, and keep
+    // checking satisfiability against an unchanging permanent core.
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < 30; ++i)
+        vars.push_back(s.newVar());
+    Rng rng(211);
+    for (int i = 0; i < 60; ++i) {
+        std::vector<Lit> clause;
+        for (int j = 0; j < 3; ++j)
+            clause.push_back(
+                mkLit(vars[rng.below(30)], rng.bernoulli(0.5)));
+        s.addClause(clause);
+    }
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+
+    for (int cycle = 0; cycle < 40; ++cycle) {
+        const GroupId g = s.newGroup();
+        for (int i = 0; i < 20; ++i) {
+            std::vector<Lit> clause;
+            for (int j = 0; j < 4; ++j)
+                clause.push_back(
+                    mkLit(vars[rng.below(30)], rng.bernoulli(0.5)));
+            s.addClause(clause, g);
+        }
+        s.solve();
+        s.releaseGroup(g);
+        ASSERT_EQ(s.solve(), SolveResult::Sat) << "cycle " << cycle;
+    }
+    EXPECT_GT(s.stats().garbageCollections, 0u);
+}
+
+TEST(Sat, ProblemClausesExportRoundTrips)
+{
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    const Var z = s.newVar();
+    s.addClause(mkLit(x));                       // root unit
+    s.addClause(mkLit(y), mkLit(z));             // binary
+    s.addClause(mkLit(x, true), mkLit(y, true), mkLit(z)); // ternary
+
+    const auto clauses = s.problemClauses();
+    // The unit appears via the root trail; the two stored clauses as-is
+    // (the ternary may have been simplified by the root-true literal).
+    Solver copy;
+    copy.newVar();
+    copy.newVar();
+    copy.newVar();
+    for (const auto &clause : clauses)
+        copy.addClause(clause);
+    ASSERT_EQ(copy.solve(), SolveResult::Sat);
+    EXPECT_TRUE(copy.modelValue(x));
+}
+
 TEST(Sat, ConflictLimitReturnsUnknown)
 {
     // A pigeonhole instance large enough to need > 1 conflict.

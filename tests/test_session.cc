@@ -200,6 +200,75 @@ TEST(Session, EscalatesForAmbiguousOneChargedProfiles)
     }
 }
 
+TEST(Session, IncrementalSolveMatchesFromScratchSessions)
+{
+    // The persistent solve context must not change WHAT is recovered,
+    // only how much solver work each round costs.
+    for (char vendor : {'A', 'B', 'C'}) {
+        SimulatedChip chip_inc(testChipConfig(vendor, 16, 940));
+        SessionConfig config;
+        config.measure = fastMeasure(chip_inc);
+        config.wordsUnderTest = dram::trueCellWords(chip_inc);
+        config.incrementalSolve = true;
+        Session incremental(chip_inc, config);
+        const RecoveryReport inc = incremental.run();
+
+        SimulatedChip chip_scr(testChipConfig(vendor, 16, 940));
+        config.wordsUnderTest = dram::trueCellWords(chip_scr);
+        config.incrementalSolve = false;
+        Session scratch(chip_scr, config);
+        const RecoveryReport scr = scratch.run();
+
+        ASSERT_TRUE(inc.succeeded()) << "vendor " << vendor;
+        ASSERT_TRUE(scr.succeeded()) << "vendor " << vendor;
+        EXPECT_TRUE(ecc::equivalent(inc.recoveredCode(),
+                                    chip_inc.groundTruthCode()))
+            << "vendor " << vendor;
+        EXPECT_TRUE(ecc::equivalent(inc.recoveredCode(),
+                                    scr.recoveredCode()))
+            << "vendor " << vendor;
+    }
+}
+
+TEST(Session, SolveStatsSplitEncodeAndSearch)
+{
+    SimulatedChip chip(testChipConfig('B', 16, 950));
+    SessionConfig config;
+    config.measure = fastMeasure(chip);
+    config.wordsUnderTest = dram::trueCellWords(chip);
+    Session session(chip, config);
+    const RecoveryReport report = session.run();
+    ASSERT_TRUE(report.succeeded());
+
+    const SessionStats &stats = report.stats;
+    ASSERT_EQ(stats.solveRounds.size(), stats.solveCalls);
+    ASSERT_GT(stats.solveRounds.size(), 0u);
+
+    // The split must tile the total, and the per-round entries must
+    // sum to the accumulated split.
+    double encode = 0.0;
+    double search = 0.0;
+    std::uint64_t clauses = 0;
+    std::size_t patterns_encoded = 0;
+    for (const SolveRoundStats &round : stats.solveRounds) {
+        encode += round.encodeSeconds;
+        search += round.searchSeconds;
+        clauses += round.clausesAdded;
+        patterns_encoded += round.patternsEncoded;
+    }
+    EXPECT_DOUBLE_EQ(encode, stats.solveEncodeSeconds);
+    EXPECT_DOUBLE_EQ(search, stats.solveSearchSeconds);
+    EXPECT_NEAR(stats.solveEncodeSeconds + stats.solveSearchSeconds,
+                stats.solveSeconds, 1e-9);
+    EXPECT_GT(clauses, 0u);
+    // Every measured pattern is encoded exactly once across rounds.
+    EXPECT_EQ(patterns_encoded, report.counts.patterns.size());
+
+    // First round pays the structural encoding; later rounds only add
+    // pattern constraints.
+    EXPECT_GT(stats.solveRounds.front().clausesAdded, 0u);
+}
+
 TEST(Session, MergeAccumulatesAcrossRounds)
 {
     // Identical patterns measured twice merge into doubled word

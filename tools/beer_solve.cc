@@ -23,6 +23,7 @@
  * counts, so no pre-thresholded profile file is needed.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -32,10 +33,46 @@
 #include "beer/solver.hh"
 #include "dram/trace.hh"
 #include "ecc/hamming.hh"
+#include "sat/dimacs.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 
 using namespace beer;
+
+namespace
+{
+
+void
+writeStatsJson(const std::string &path, const MiscorrectionProfile &profile,
+               std::size_t parity, const BeerSolveResult &result,
+               const sat::SolverStats &s, double wall_seconds)
+{
+    std::ofstream out(path);
+    if (!out)
+        util::fatal("cannot open stats file '%s'", path.c_str());
+    out << "{\n"
+        << "  \"k\": " << profile.k << ",\n"
+        << "  \"parity_bits\": " << parity << ",\n"
+        << "  \"patterns\": " << profile.patterns.size() << ",\n"
+        << "  \"solutions\": " << result.solutions.size() << ",\n"
+        << "  \"complete\": " << (result.complete ? "true" : "false")
+        << ",\n"
+        << "  \"wall_seconds\": " << wall_seconds << ",\n"
+        << "  \"memory_bytes\": " << result.memoryBytes << ",\n"
+        << "  \"solver\": {\n"
+        << "    \"decisions\": " << s.decisions << ",\n"
+        << "    \"propagations\": " << s.propagations << ",\n"
+        << "    \"conflicts\": " << s.conflicts << ",\n"
+        << "    \"restarts\": " << s.restarts << ",\n"
+        << "    \"learned_clauses\": " << s.learnedClauses << ",\n"
+        << "    \"deleted_clauses\": " << s.deletedClauses << ",\n"
+        << "    \"added_clauses\": " << s.addedClauses << ",\n"
+        << "    \"arena_bytes\": " << s.arenaBytes << "\n"
+        << "  }\n"
+        << "}\n";
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
@@ -54,6 +91,12 @@ main(int argc, char **argv)
                   "parity-bit count (0 = minimum SEC count for k)");
     cli.addOption("max-solutions", "16",
                   "stop after this many solutions (0 = all)");
+    cli.addOption("dimacs-out", "",
+                  "export the encoded BEER instance as DIMACS CNF to "
+                  "this path (for cross-checking external solvers)");
+    cli.addOption("stats-json", "",
+                  "write solver statistics and wall time as JSON to "
+                  "this path");
     cli.addFlag("no-symmetry-breaking",
                 "disable row-order symmetry breaking");
     cli.addFlag("quiet", "print only the solution count");
@@ -95,8 +138,34 @@ main(int argc, char **argv)
     std::fprintf(stderr,
                  "solving: k=%zu, parity=%zu, %zu patterns...\n",
                  profile.k, parity, profile.patterns.size());
-    const BeerSolveResult result =
-        solveForEccFunction(profile, parity, config);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    IncrementalSolver incremental(profile.k, parity, config);
+    incremental.addProfile(profile);
+
+    const std::string dimacs_path = cli.getString("dimacs-out");
+    if (!dimacs_path.empty()) {
+        // Export before enumeration so the CNF is the pure instance,
+        // free of blocking clauses and their group guards.
+        std::ofstream out(dimacs_path);
+        if (!out)
+            util::fatal("cannot open DIMACS file '%s'",
+                        dimacs_path.c_str());
+        printDimacs(sat::extractCnf(incremental.satSolver()), out);
+        std::fprintf(stderr, "wrote DIMACS instance to %s\n",
+                     dimacs_path.c_str());
+    }
+
+    const BeerSolveResult result = incremental.solve();
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    const std::string stats_path = cli.getString("stats-json");
+    if (!stats_path.empty())
+        writeStatsJson(stats_path, profile, parity, result,
+                       incremental.satSolver().stats(), wall_seconds);
 
     if (cli.getBool("quiet")) {
         std::printf("%zu%s\n", result.solutions.size(),
