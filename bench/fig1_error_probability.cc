@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "ecc/hamming.hh"
@@ -22,6 +23,7 @@
 #include "util/cli.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 using namespace beer;
 using ecc::LinearCode;
@@ -40,6 +42,10 @@ main(int argc, char **argv)
                   "independent chunks for bootstrap CIs");
     cli.addOption("functions", "3", "number of ECC functions");
     cli.addOption("seed", "1", "RNG seed");
+    cli.addOption("threads", "1",
+                  "simulation threads (0 = all hardware threads); "
+                  "results are identical for every value");
+    cli.addFlag("scalar", "use the scalar reference engine");
     cli.addFlag("csv", "emit CSV instead of an aligned table");
     cli.parse(argc, argv);
 
@@ -49,6 +55,15 @@ main(int argc, char **argv)
     const auto chunks = (std::size_t)cli.getInt("chunks");
     const auto functions = (std::size_t)cli.getInt("functions");
     util::Rng rng(cli.getInt("seed"));
+
+    sim::SimConfig sim_config;
+    sim_config.threads = (std::size_t)cli.getInt("threads");
+    sim_config.bitsliced = !cli.getBool("scalar");
+    std::optional<util::ThreadPool> pool;
+    if (sim_config.threads != 1) {
+        pool.emplace(sim_config.threads);
+        sim_config.pool = &*pool;
+    }
 
     // 0xFF data pattern.
     const BitVec dataword = BitVec::ones(k);
@@ -75,7 +90,8 @@ main(int argc, char **argv)
         sim::WordSimStats total;
         for (std::size_t c = 0; c < chunks; ++c) {
             const auto stats = sim::simulateUniformErrors(
-                codes[f], dataword, rber, words / chunks, rng);
+                codes[f], dataword, rber, words / chunks, rng,
+                sim_config);
             std::uint64_t chunk_total = 0;
             for (std::size_t bit = 0; bit < k; ++bit)
                 chunk_total += stats.postCorrectionErrors[bit];

@@ -64,6 +64,10 @@ main(int argc, char **argv)
     cli.addOption("repeats", "15", "measurement repeats per pause");
     cli.addOption("seed", "1", "RNG seed");
     cli.addOption("threshold", "1e-4", "display threshold probability");
+    cli.addOption("threads", "1",
+                  "chip retention-injection threads (0 = all hardware "
+                  "threads); error patterns are identical for every "
+                  "value");
     cli.addFlag("csv", "emit raw counts as CSV");
     cli.parse(argc, argv);
 
@@ -75,6 +79,7 @@ main(int argc, char **argv)
             vendor, k, (std::uint64_t)cli.getInt("seed"));
         config.map.rows = (std::size_t)cli.getInt("rows");
         config.iidErrors = true;
+        config.threads = (std::size_t)cli.getInt("threads");
         Chip chip(config);
 
         MeasureConfig mc;

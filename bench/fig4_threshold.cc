@@ -36,6 +36,10 @@ main(int argc, char **argv)
                   "transient per-cell per-read flip probability");
     cli.addOption("threshold", "1e-3", "filter threshold");
     cli.addOption("seed", "2", "RNG seed");
+    cli.addOption("threads", "1",
+                  "chip retention-injection threads (0 = all hardware "
+                  "threads); error patterns are identical for every "
+                  "value");
     cli.addFlag("csv", "emit CSV instead of an aligned table");
     cli.parse(argc, argv);
 
@@ -47,6 +51,7 @@ main(int argc, char **argv)
     config.map.rows = (std::size_t)cli.getInt("rows");
     config.iidErrors = true;
     config.transientErrorRate = cli.getDouble("noise");
+    config.threads = (std::size_t)cli.getInt("threads");
     Chip chip(config);
 
     const auto patterns = chargedPatterns(k, 1);

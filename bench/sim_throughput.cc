@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Monte-Carlo simulation engine throughput: scalar vs bitsliced vs
+ * bitsliced + threads, on the Figure 3 retention-profile workload
+ * (1-CHARGED patterns of a random SEC code, charged-cell BER in the
+ * paper's measured range).
+ *
+ * The paper simulates on the order of 1e9 ECC words per data point
+ * (Sections 5.1.3 and 6); this bench tracks how fast the engine chews
+ * through that workload and guards the two contracts the engine
+ * makes:
+ *
+ *  - bitslicing alone must deliver a >= 10x single-thread speedup
+ *    over the scalar reference path (enforced with a nonzero exit
+ *    when --min-speedup is set; CI passes a conservative floor);
+ *  - results must be bit-identical for every thread count (always
+ *    enforced, verified for 1 vs 8 threads with a fixed seed).
+ *
+ * With --json the measurements are emitted machine-readably so
+ * BENCH_sim_throughput.json can be tracked across PRs.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "beer/measure.hh"
+#include "beer/patterns.hh"
+#include "ecc/hamming.hh"
+#include "sim/word_sim.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+using namespace beer;
+using ecc::LinearCode;
+using gf2::BitVec;
+using sim::SimConfig;
+using sim::WordSimStats;
+using util::Rng;
+
+namespace
+{
+
+/** Wall seconds for one full pattern sweep under @p config. */
+double
+sweepSeconds(const LinearCode &code,
+             const std::vector<TestPattern> &patterns, double ber,
+             std::uint64_t words_per_pattern, std::uint64_t seed,
+             const SimConfig &config)
+{
+    Rng rng(seed);
+    const auto start = std::chrono::steady_clock::now();
+    const ProfileCounts counts = measureProfileSim(
+        code, patterns, ber, words_per_pattern, rng, config);
+    const auto stop = std::chrono::steady_clock::now();
+    // Keep the result alive so the work cannot be optimized away.
+    if (counts.totalObservations() !=
+        words_per_pattern * patterns.size())
+        util::fatal("sim_throughput: word count mismatch");
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("Simulation engine throughput on the Figure 3 "
+                  "retention-profile workload: scalar vs bitsliced vs "
+                  "bitsliced + threads");
+    cli.addOption("k", "32", "dataword length in bits");
+    cli.addOption("ber", "0.1", "charged-cell raw bit error rate");
+    cli.addOption("words", "100000", "simulated words per pattern");
+    cli.addOption("threads", "0",
+                  "threads for the threaded run (0 = all hardware "
+                  "threads)");
+    cli.addOption("seed", "1", "RNG seed");
+    cli.addOption("min-speedup", "0",
+                  "fail (exit 1) if the single-thread bitsliced "
+                  "speedup falls below this factor (0 = report only)");
+    cli.addOption("json", "",
+                  "emit machine-readable results to this path");
+    cli.parse(argc, argv);
+
+    const auto k = (std::size_t)cli.getInt("k");
+    const double ber = cli.getDouble("ber");
+    const auto words = (std::uint64_t)cli.getInt("words");
+    const auto seed = (std::uint64_t)cli.getInt("seed");
+    std::size_t threads = (std::size_t)cli.getInt("threads");
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+
+    Rng code_rng(seed);
+    const LinearCode code = ecc::randomSecCode(k, code_rng);
+    const auto patterns = chargedPatterns(k, 1);
+    const std::uint64_t total_words = words * patterns.size();
+
+    SimConfig scalar_config;
+    scalar_config.bitsliced = false;
+
+    SimConfig bitsliced_config;
+
+    SimConfig threaded_config;
+    threaded_config.threads = threads;
+
+    std::printf("sim_throughput: k=%zu, BER=%g, %zu patterns x %llu "
+                "words (fig-3 retention workload)\n",
+                k, ber, patterns.size(), (unsigned long long)words);
+
+    const double scalar_s = sweepSeconds(code, patterns, ber, words,
+                                         seed, scalar_config);
+    const double bitsliced_s = sweepSeconds(code, patterns, ber, words,
+                                            seed, bitsliced_config);
+    const double threaded_s = sweepSeconds(code, patterns, ber, words,
+                                           seed, threaded_config);
+
+    const double scalar_wps = (double)total_words / scalar_s;
+    const double bitsliced_wps = (double)total_words / bitsliced_s;
+    const double threaded_wps = (double)total_words / threaded_s;
+    const double bitsliced_speedup = bitsliced_wps / scalar_wps;
+    const double thread_speedup = threaded_wps / bitsliced_wps;
+
+    // Determinism contract: identical stats for a fixed seed at 1 vs
+    // 8 threads (exercises multi-shard merging even on small runs).
+    bool deterministic = true;
+    {
+        const BitVec data =
+            datawordForPattern(patterns[0], k, dram::CellType::True);
+        const BitVec codeword = code.encode(data);
+        const BitVec mask =
+            sim::chargedMask(codeword, dram::CellType::True);
+        auto run = [&](std::size_t run_threads) {
+            SimConfig config;
+            config.threads = run_threads;
+            config.wordsPerShard = 1 << 12;
+            Rng rng(seed ^ 0xd373);
+            return sim::simulateRetentionErrors(
+                code, codeword, mask, ber, 100000, rng, config);
+        };
+        deterministic = run(1) == run(8);
+    }
+
+    const double min_speedup = cli.getDouble("min-speedup");
+    const bool fast_enough =
+        min_speedup <= 0.0 || bitsliced_speedup >= min_speedup;
+
+    std::printf("  scalar (1 thread):      %12.0f words/sec\n",
+                scalar_wps);
+    std::printf("  bitsliced (1 thread):   %12.0f words/sec  "
+                "(%.1fx vs scalar)\n",
+                bitsliced_wps, bitsliced_speedup);
+    std::printf("  bitsliced (%2zu threads): %12.0f words/sec  "
+                "(%.2fx vs 1 thread)\n",
+                threads, threaded_wps, thread_speedup);
+    std::printf("  deterministic across thread counts: %s\n",
+                deterministic ? "yes" : "NO (BUG)");
+    if (!fast_enough)
+        std::printf("  REGRESSION: bitsliced speedup %.1fx is below "
+                    "the required %.1fx\n",
+                    bitsliced_speedup, min_speedup);
+
+    const std::string json_path = cli.getString("json");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            util::fatal("cannot open '%s' for writing",
+                        json_path.c_str());
+        out << "{\n"
+            << "  \"workload\": {\"k\": " << k << ", \"ber\": " << ber
+            << ", \"patterns\": " << patterns.size()
+            << ", \"words_per_pattern\": " << words
+            << ", \"total_words\": " << total_words << "},\n"
+            << "  \"threads\": " << threads << ",\n"
+            << "  \"scalar_words_per_sec\": " << scalar_wps << ",\n"
+            << "  \"bitsliced_words_per_sec\": " << bitsliced_wps
+            << ",\n"
+            << "  \"threaded_words_per_sec\": " << threaded_wps
+            << ",\n"
+            << "  \"bitsliced_speedup\": " << bitsliced_speedup
+            << ",\n"
+            << "  \"thread_speedup\": " << thread_speedup << ",\n"
+            << "  \"deterministic_across_threads\": "
+            << (deterministic ? "true" : "false") << "\n"
+            << "}\n";
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    return deterministic && fast_enough ? 0 : 1;
+}

@@ -34,22 +34,26 @@ CellTypeSurvey::trueCellWords(const dram::AddressMap &map) const
 namespace
 {
 
-/** Count post-correction bit errors per row under @p fill. */
+/** Count post-correction bit errors per row under @p fill,
+ * accumulated over @p repeats fill/pause/read rounds. */
 std::vector<std::uint64_t>
-errorsPerRow(MemoryInterface &chip, std::uint8_t fill, double pause, double temp_c)
+errorsPerRow(MemoryInterface &chip, std::uint8_t fill, double pause,
+             double temp_c, std::size_t repeats)
 {
     const auto &map = chip.addressMap();
     std::vector<std::uint64_t> errors(map.rows, 0);
 
-    chip.fill(fill);
-    chip.pauseRefresh(pause, temp_c);
-    for (std::size_t addr = 0; addr < chip.numBytes(); ++addr) {
-        const std::uint8_t got = chip.readByte(addr);
-        if (got == fill)
-            continue;
-        const std::size_t row = addr / map.bytesPerRow;
-        errors[row] +=
-            (std::uint64_t)__builtin_popcount((unsigned)(got ^ fill));
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        chip.fill(fill);
+        chip.pauseRefresh(pause, temp_c);
+        for (std::size_t addr = 0; addr < chip.numBytes(); ++addr) {
+            const std::uint8_t got = chip.readByte(addr);
+            if (got == fill)
+                continue;
+            const std::size_t row = addr / map.bytesPerRow;
+            errors[row] += (std::uint64_t)__builtin_popcount(
+                (unsigned)(got ^ fill));
+        }
     }
     return errors;
 }
@@ -57,13 +61,15 @@ errorsPerRow(MemoryInterface &chip, std::uint8_t fill, double pause, double temp
 } // anonymous namespace
 
 CellTypeSurvey
-discoverCellTypes(MemoryInterface &chip, double pause, double temp_c)
+discoverCellTypes(MemoryInterface &chip, double pause, double temp_c,
+                  std::size_t repeats)
 {
     CellTypeSurvey survey;
     // All-ones data charges true-cells only; all-zeros charges
     // anti-cells only. Whichever fill decays identifies the encoding.
-    survey.onesErrors = errorsPerRow(chip, 0xFF, pause, temp_c);
-    survey.zerosErrors = errorsPerRow(chip, 0x00, pause, temp_c);
+    survey.onesErrors = errorsPerRow(chip, 0xFF, pause, temp_c, repeats);
+    survey.zerosErrors =
+        errorsPerRow(chip, 0x00, pause, temp_c, repeats);
 
     const std::size_t rows = survey.onesErrors.size();
     survey.rowTypes.resize(rows, CellType::True);

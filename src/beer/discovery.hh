@@ -56,9 +56,13 @@ struct CellTypeSurvey
  * @param mem     backend under test (contents are destroyed)
  * @param pause   refresh-pause long enough for a clearly nonzero BER
  * @param temp_c  test temperature
+ * @param repeats fill/pause/read rounds to accumulate per fill; one
+ *                round can misclassify a marginal row on an unlucky
+ *                error draw, and rounds multiply the separation
  */
 CellTypeSurvey discoverCellTypes(dram::MemoryInterface &mem, double pause,
-                                 double temp_c);
+                                 double temp_c,
+                                 std::size_t repeats = 3);
 
 /** Result of the dataword-layout survey. */
 struct WordLayoutSurvey

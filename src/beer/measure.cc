@@ -1,15 +1,16 @@
 #include "beer/measure.hh"
 
 #include <cstdio>
-#include <map>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 #include "dram/types.hh"
 #include "sim/word_sim.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace beer
 {
@@ -56,7 +57,8 @@ ProfileCounts::merge(const ProfileCounts &other)
     }
     BEER_ASSERT(k == other.k);
 
-    std::map<TestPattern, std::size_t> index;
+    std::unordered_map<TestPattern, std::size_t, TestPatternHash> index;
+    index.reserve(patterns.size() + other.patterns.size());
     for (std::size_t p = 0; p < patterns.size(); ++p)
         index.emplace(patterns[p], p);
 
@@ -371,10 +373,19 @@ replayProfileTrace(dram::TraceReplayBackend &trace)
 ProfileCounts
 measureProfileSim(const ecc::LinearCode &code,
                   const std::vector<TestPattern> &patterns, double ber,
-                  std::uint64_t words_per_pattern, util::Rng &rng)
+                  std::uint64_t words_per_pattern, util::Rng &rng,
+                  const sim::SimConfig &sim_config)
 {
     const std::size_t k = code.k();
     ProfileCounts counts = emptyCounts(k, patterns);
+
+    // One pool for the whole sweep rather than one per pattern.
+    sim::SimConfig config = sim_config;
+    std::optional<util::ThreadPool> sweep_pool;
+    if (!config.pool && config.threads != 1) {
+        sweep_pool.emplace(config.threads);
+        config.pool = &*sweep_pool;
+    }
 
     for (std::size_t p = 0; p < patterns.size(); ++p) {
         const BitVec data = datawordForPattern(patterns[p], k,
@@ -383,7 +394,8 @@ measureProfileSim(const ecc::LinearCode &code,
         const BitVec mask =
             sim::chargedMask(codeword, dram::CellType::True);
         const sim::WordSimStats stats = sim::simulateRetentionErrors(
-            code, codeword, mask, ber, words_per_pattern, rng);
+            code, codeword, mask, ber, words_per_pattern, rng,
+            config);
         counts.wordsTested[p] = stats.wordsSimulated;
         for (std::size_t bit = 0; bit < k; ++bit)
             counts.errorCounts[p][bit] +=

@@ -28,6 +28,7 @@
 #include "dram/memory_interface.hh"
 #include "dram/trace.hh"
 #include "ecc/linear_code.hh"
+#include "sim/word_sim.hh"
 #include "util/rng.hh"
 
 namespace beer
@@ -139,12 +140,16 @@ MeasureConfig traceMeasureConfig(const dram::TraceReplayBackend &trace);
  * equivalent to testing @p words_per_pattern words of a chip whose
  * secret ECC function is @p code, at charged-cell bit error rate
  * @p ber. Used for the large simulation sweeps (Section 6.1).
+ * @p sim_config selects the simulation engine and thread count
+ * (bitsliced, single-threaded by default); results are bit-identical
+ * for every thread count.
  */
 ProfileCounts measureProfileSim(const ecc::LinearCode &code,
                                 const std::vector<TestPattern> &patterns,
                                 double ber,
                                 std::uint64_t words_per_pattern,
-                                util::Rng &rng);
+                                util::Rng &rng,
+                                const sim::SimConfig &sim_config = {});
 
 } // namespace beer
 

@@ -7,6 +7,17 @@
 namespace beer
 {
 
+std::size_t
+TestPatternHash::operator()(const TestPattern &pattern) const
+{
+    std::size_t hash = 14695981039346656037ULL;
+    for (const std::size_t bit : pattern) {
+        hash ^= bit;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
 std::vector<TestPattern>
 chargedPatterns(std::size_t k, std::size_t charged_count)
 {

@@ -24,6 +24,15 @@ namespace beer
 /** Charged data-bit positions of one test pattern, sorted ascending. */
 using TestPattern = std::vector<std::size_t>;
 
+/**
+ * FNV-1a hash over a pattern's positions, for unordered containers
+ * (e.g. the pattern index ProfileCounts::merge builds per call).
+ */
+struct TestPatternHash
+{
+    std::size_t operator()(const TestPattern &pattern) const;
+};
+
 /** All weight-@p charged_count patterns over @p k data bits. */
 std::vector<TestPattern> chargedPatterns(std::size_t k,
                                          std::size_t charged_count);

@@ -1,5 +1,7 @@
 #include "dram/chip.hh"
 
+#include <algorithm>
+
 #include "ecc/decoder.hh"
 #include "ecc/hamming.hh"
 #include "util/logging.hh"
@@ -8,6 +10,26 @@ namespace beer::dram
 {
 
 using gf2::BitVec;
+
+namespace
+{
+
+/** Words per retention shard; fixed so sharding never depends on the
+ * thread count. */
+constexpr std::size_t kRetentionShardWords = 512;
+
+/** splitmix64-style finalizer mapping a mixed key to [0, 1). */
+double
+hashToUnit(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return (double)(x >> 11) * 0x1.0p-53;
+}
+
+} // anonymous namespace
 
 SimulatedChip::SimulatedChip(ChipConfig config)
     : config_(std::move(config)), rng_(config_.seed ^ 0x5eed)
@@ -38,9 +60,12 @@ SimulatedChip::readDataword(std::size_t word_index)
     BEER_ASSERT(word_index < cells_.size());
     BitVec received = cells_[word_index];
     if (config_.transientErrorRate > 0.0) {
-        for (std::size_t i = 0; i < received.size(); ++i)
-            if (rng_.bernoulli(config_.transientErrorRate))
-                received.flip(i);
+        // Skip-sample the flipped bits: each bit flips iid at the
+        // transient rate, but bits that do not flip cost nothing.
+        const util::GeometricSkip flips(config_.transientErrorRate);
+        flips.forEach(rng_, received.size(), [&](std::uint64_t i) {
+            received.flip((std::size_t)i);
+        });
     }
     return ecc::decode(config_.code, received).dataword;
 }
@@ -81,44 +106,118 @@ SimulatedChip::fill(std::uint8_t value)
         writeDataword(w, data);
 }
 
+util::ThreadPool &
+SimulatedChip::pool()
+{
+    if (!pool_)
+        pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+    return *pool_;
+}
+
+std::uint64_t
+SimulatedChip::decayIid(std::size_t begin, std::size_t end, double ber,
+                        util::Rng &rng)
+{
+    // Skip-sample candidate cells over the shard's (word, bit) grid at
+    // rate ber; a candidate decays iff it is CHARGED. Equivalent to a
+    // Bernoulli(ber) trial per charged cell, at O(candidates) cost.
+    std::uint64_t errors = 0;
+    const std::size_t n = config_.code.n();
+    const std::uint64_t total = (std::uint64_t)(end - begin) * n;
+    const util::GeometricSkip candidates(ber);
+    candidates.forEach(rng, total, [&](std::uint64_t cell) {
+        const std::size_t w = begin + (std::size_t)(cell / n);
+        const std::size_t bit = (std::size_t)(cell % n);
+        const CellType type = cellTypeOfWord(w);
+        BitVec &word = cells_[w];
+        if (chargeOf(word.get(bit), type) == ChargeState::Charged) {
+            word.set(bit, decayedValue(type));
+            ++errors;
+        }
+    });
+    return errors;
+}
+
+std::uint64_t
+SimulatedChip::decayPerCell(std::size_t begin, std::size_t end,
+                            double seconds, double temp_c)
+{
+    std::uint64_t errors = 0;
+    const std::size_t n = config_.code.n();
+    for (std::size_t w = begin; w < end; ++w) {
+        const CellType type = cellTypeOfWord(w);
+        BitVec &word = cells_[w];
+        for (std::size_t bit = 0; bit < n; ++bit) {
+            if (chargeOf(word.get(bit), type) != ChargeState::Charged)
+                continue;
+            const std::uint64_t cell_id = (std::uint64_t)w * n + bit;
+            bool fails;
+            if (config_.vrtRate > 0.0 &&
+                hashToUnit(config_.seed ^
+                           (pauseEpoch_ * 0xd1342543de82ef95ULL) ^
+                           cell_id) < config_.vrtRate) {
+                // VRT: the cell transiently follows a different
+                // retention time this pause. The affected subset is a
+                // pure function of (seed, pause, cell), so the path
+                // parallelizes without losing repeatability.
+                fails = config_.retention.cellFails(
+                    config_.seed ^ (0x1157ULL + pauseEpoch_),
+                    cell_id, seconds, temp_c);
+            } else {
+                fails = config_.retention.cellFails(
+                    config_.seed, cell_id, seconds, temp_c);
+            }
+            if (fails) {
+                word.set(bit, decayedValue(type));
+                ++errors;
+            }
+        }
+    }
+    return errors;
+}
+
 void
 SimulatedChip::pauseRefresh(double seconds, double temp_c)
 {
     const double ber =
         config_.retention.failProbability(seconds, temp_c);
     ++pauseEpoch_;
+    const std::size_t num_words = cells_.size();
+    if (num_words == 0 || (config_.iidErrors && ber <= 0.0))
+        return;
 
-    const std::size_t n = config_.code.n();
-    for (std::size_t w = 0; w < cells_.size(); ++w) {
-        const CellType type = cellTypeOfWord(w);
-        BitVec &word = cells_[w];
-        for (std::size_t bit = 0; bit < n; ++bit) {
-            const bool value = word.get(bit);
-            if (chargeOf(value, type) != ChargeState::Charged)
-                continue;
-            bool fails;
-            if (config_.iidErrors) {
-                fails = rng_.bernoulli(ber);
-            } else {
-                const std::uint64_t cell_id = (std::uint64_t)w * n + bit;
-                if (config_.vrtRate > 0.0 &&
-                    rng_.bernoulli(config_.vrtRate)) {
-                    // VRT: the cell transiently follows a different
-                    // retention time this pause.
-                    fails = config_.retention.cellFails(
-                        config_.seed ^ (0x1157ULL + pauseEpoch_),
-                        cell_id, seconds, temp_c);
-                } else {
-                    fails = config_.retention.cellFails(
-                        config_.seed, cell_id, seconds, temp_c);
-                }
-            }
-            if (fails) {
-                word.set(bit, decayedValue(type));
-                ++rawErrors_;
-            }
-        }
+    // Fixed-size word shards keep the error pattern independent of
+    // the thread count: iid shards consume forked Rng streams keyed by
+    // shard index, per-cell decay is deterministic in (seed, cell).
+    const std::size_t num_shards =
+        (num_words + kRetentionShardWords - 1) / kRetentionShardWords;
+
+    std::vector<util::Rng> shard_rngs;
+    if (config_.iidErrors) {
+        shard_rngs.reserve(num_shards);
+        for (std::size_t s = 0; s < num_shards; ++s)
+            shard_rngs.push_back(rng_.fork());
     }
+
+    std::vector<std::uint64_t> shard_errors(num_shards, 0);
+    auto run_shard = [&](std::size_t s) {
+        const std::size_t begin = s * kRetentionShardWords;
+        const std::size_t end =
+            std::min(begin + kRetentionShardWords, num_words);
+        shard_errors[s] =
+            config_.iidErrors
+                ? decayIid(begin, end, ber, shard_rngs[s])
+                : decayPerCell(begin, end, seconds, temp_c);
+    };
+
+    if (config_.threads == 1 || num_shards == 1) {
+        for (std::size_t s = 0; s < num_shards; ++s)
+            run_shard(s);
+    } else {
+        pool().parallelFor(num_shards, run_shard);
+    }
+    for (const std::uint64_t errors : shard_errors)
+        rawErrors_ += errors;
 }
 
 CellType

@@ -23,6 +23,7 @@
 #define BEER_DRAM_CHIP_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dram/layout.hh"
@@ -31,6 +32,7 @@
 #include "dram/types.hh"
 #include "ecc/linear_code.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace beer::dram
 {
@@ -61,6 +63,14 @@ struct ChipConfig
      */
     bool iidErrors = false;
     std::uint64_t seed = 1;
+    /**
+     * Worker threads for pauseRefresh()'s retention-error injection
+     * (0 = all hardware threads). Words are sharded deterministically
+     * — iid shards draw from forked Rng streams keyed by shard index,
+     * per-cell mode is a pure function of (seed, cell) — so the error
+     * pattern is bit-identical for every thread count.
+     */
+    std::size_t threads = 1;
 };
 
 /** Simulated DRAM chip; see file comment. */
@@ -114,10 +124,20 @@ class SimulatedChip : public MemoryInterface
     }
 
   private:
+    /** Charged cells of words [begin, end) fail iid at @p ber. */
+    std::uint64_t decayIid(std::size_t begin, std::size_t end,
+                           double ber, util::Rng &rng);
+    /** Deterministic per-cell retention decay for words [begin, end). */
+    std::uint64_t decayPerCell(std::size_t begin, std::size_t end,
+                               double seconds, double temp_c);
+    /** Lazily created pool sized to config_.threads. */
+    util::ThreadPool &pool();
+
     ChipConfig config_;
     /** Stored codeword (value domain, not charge domain) per word. */
     std::vector<gf2::BitVec> cells_;
     util::Rng rng_;
+    std::unique_ptr<util::ThreadPool> pool_;
     std::uint64_t pauseEpoch_ = 0;
     std::uint64_t rawErrors_ = 0;
 };

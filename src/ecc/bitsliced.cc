@@ -1,0 +1,104 @@
+#include "ecc/bitsliced.hh"
+
+#include "util/logging.hh"
+
+namespace beer::ecc
+{
+
+namespace
+{
+
+/** Stack bound for syndrome lanes; the library caps n-k well below. */
+constexpr std::size_t kMaxParityBits = 32;
+
+} // anonymous namespace
+
+BitslicedDecoder::BitslicedDecoder(const LinearCode &code)
+    : n_(code.n()), k_(code.k()), r_(code.numParityBits())
+{
+    BEER_ASSERT(r_ <= kMaxParityBits);
+
+    rowSupport_.assign(r_, {});
+    for (std::size_t row = 0; row < r_; ++row) {
+        // H = [P | I]: row support is P's row support plus the unit.
+        for (std::size_t c = 0; c < k_; ++c)
+            if (code.pMatrix().get(row, c))
+                rowSupport_[row].push_back((std::uint32_t)c);
+        rowSupport_[row].push_back((std::uint32_t)(k_ + row));
+    }
+
+    correctable_.reserve(n_);
+    for (std::size_t pos = 0; pos < n_; ++pos) {
+        const gf2::BitVec column = code.hColumn(pos);
+        // Only the position the scalar decoder would flip for this
+        // syndrome pattern participates; duplicate columns lose the
+        // same tie-break they lose in findColumn().
+        if (code.findColumn(column) != pos)
+            continue;
+        correctable_.emplace_back((std::uint32_t)pos,
+                                  (std::uint32_t)syndromeIndex(column));
+    }
+}
+
+void
+BitslicedDecoder::decode(const std::uint64_t *error_lanes,
+                         BitslicedDecodeLanes &out) const
+{
+    out.correction.assign(n_, 0);
+
+    // Syndrome lanes: s[row] has lane L set iff word L's syndrome has
+    // bit row set.
+    std::uint64_t s[kMaxParityBits];
+    std::uint64_t nonzero = 0;
+    for (std::size_t row = 0; row < r_; ++row) {
+        std::uint64_t acc = 0;
+        for (const std::uint32_t pos : rowSupport_[row])
+            acc ^= error_lanes[pos];
+        s[row] = acc;
+        nonzero |= acc;
+    }
+
+    // Raw-error census: lanes with any error, and with exactly one.
+    std::uint64_t seen_one = 0;
+    std::uint64_t seen_two = 0;
+    for (std::size_t pos = 0; pos < n_; ++pos) {
+        seen_two |= seen_one & error_lanes[pos];
+        seen_one |= error_lanes[pos];
+    }
+    const std::uint64_t exactly_one = seen_one & ~seen_two;
+
+    // Column match: a lane matches a column iff every syndrome bit
+    // agrees with the column's pattern. Candidate lanes shrink as
+    // matches are claimed, which makes sparse batches cheap.
+    std::uint64_t corrected_any = 0;
+    std::uint64_t flipped_real = 0;
+    std::uint64_t candidates = nonzero;
+    for (const auto &[pos, pattern] : correctable_) {
+        if (!candidates)
+            break;
+        std::uint64_t match = candidates;
+        for (std::size_t row = 0; row < r_ && match; ++row)
+            match &= (pattern >> row) & 1 ? s[row] : ~s[row];
+        if (!match)
+            continue;
+        out.correction[pos] = match;
+        corrected_any |= match;
+        flipped_real |= match & error_lanes[pos];
+        candidates &= ~match;
+    }
+
+    out.anyRaw = seen_one;
+    out.outcome[(std::size_t)DecodeOutcome::NoError] = ~seen_one;
+    out.outcome[(std::size_t)DecodeOutcome::Corrected] =
+        flipped_real & exactly_one;
+    out.outcome[(std::size_t)DecodeOutcome::PartialCorrection] =
+        flipped_real & ~exactly_one;
+    out.outcome[(std::size_t)DecodeOutcome::Miscorrection] =
+        corrected_any & ~flipped_real;
+    out.outcome[(std::size_t)DecodeOutcome::SilentCorruption] =
+        seen_one & ~nonzero;
+    out.outcome[(std::size_t)DecodeOutcome::DetectedUncorrectable] =
+        nonzero & ~corrected_any;
+}
+
+} // namespace beer::ecc

@@ -1,0 +1,32 @@
+#include "sim/batch.hh"
+
+#include "util/logging.hh"
+
+namespace beer::sim
+{
+
+void
+BitslicedBatch::setWord(unsigned lane, const gf2::BitVec &word)
+{
+    BEER_ASSERT(word.size() == lanes_.size() && lane < kLanes);
+    const std::uint64_t bit = (std::uint64_t)1 << lane;
+    for (std::size_t pos = 0; pos < lanes_.size(); ++pos) {
+        if (word.get(pos))
+            lanes_[pos] |= bit;
+        else
+            lanes_[pos] &= ~bit;
+    }
+}
+
+gf2::BitVec
+BitslicedBatch::extractWord(unsigned lane) const
+{
+    BEER_ASSERT(lane < kLanes);
+    gf2::BitVec word(lanes_.size());
+    for (std::size_t pos = 0; pos < lanes_.size(); ++pos)
+        if ((lanes_[pos] >> lane) & 1)
+            word.set(pos, true);
+    return word;
+}
+
+} // namespace beer::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bitsliced batch of 64 simulated words.
+ *
+ * A BitslicedBatch stores up to 64 equal-length words transposed: lane
+ * word i is a 64-bit mask whose bit L is bit position i of simulated
+ * word L. In this layout one uint64 operation processes one bit
+ * position of all 64 words at once, which is what makes the bitsliced
+ * decode kernel (ecc/bitsliced.hh) roughly two orders of magnitude
+ * cheaper per word than the scalar BitVec-based decoder.
+ *
+ * The Monte-Carlo driver uses batches to hold raw-error words (the XOR
+ * of received and stored codewords), which is all a linear decoder
+ * needs: the syndrome and the correction depend on the received word
+ * only through that difference.
+ */
+
+#ifndef BEER_SIM_BATCH_HH
+#define BEER_SIM_BATCH_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gf2/bitvec.hh"
+
+namespace beer::sim
+{
+
+/** Up to 64 equal-length bit words stored transposed; see file docs. */
+class BitslicedBatch
+{
+  public:
+    /** Number of words (lanes) a batch holds. */
+    static constexpr std::size_t kLanes = 64;
+
+    /** Batch of all-zero words of @p bits bit positions each. */
+    explicit BitslicedBatch(std::size_t bits) : lanes_(bits, 0) {}
+
+    /** Bit positions per word. */
+    std::size_t bits() const { return lanes_.size(); }
+
+    /** Reset every word to all-zero. */
+    void clear() { std::fill(lanes_.begin(), lanes_.end(), 0); }
+
+    /** Set bit @p pos of word @p lane. */
+    void setBit(std::size_t pos, unsigned lane)
+    {
+        lanes_[pos] |= (std::uint64_t)1 << lane;
+    }
+
+    /** Bit @p pos of word @p lane. */
+    bool get(std::size_t pos, unsigned lane) const
+    {
+        return (lanes_[pos] >> lane) & 1;
+    }
+
+    /** Lane mask for bit position @p pos (bit L = word L's bit). */
+    std::uint64_t lane(std::size_t pos) const { return lanes_[pos]; }
+
+    /** Raw lane array, bits() entries. */
+    const std::uint64_t *lanes() const { return lanes_.data(); }
+
+    /** Transpose @p word (of size bits()) into lane @p lane. */
+    void setWord(unsigned lane, const gf2::BitVec &word);
+
+    /** Transpose lane @p lane back out into a BitVec of size bits(). */
+    gf2::BitVec extractWord(unsigned lane) const;
+
+  private:
+    std::vector<std::uint64_t> lanes_;
+};
+
+} // namespace beer::sim
+
+#endif // BEER_SIM_BATCH_HH

@@ -1,8 +1,14 @@
 #include "sim/word_sim.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "ecc/bitsliced.hh"
+#include "sim/batch.hh"
+#include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace beer::sim
 {
@@ -31,6 +37,17 @@ namespace
 
 constexpr std::size_t kNumOutcomes = 6;
 
+WordSimStats
+emptyStats(std::size_t n, std::size_t k, std::uint64_t num_words)
+{
+    WordSimStats stats;
+    stats.preCorrectionErrors.assign(n, 0);
+    stats.postCorrectionErrors.assign(k, 0);
+    stats.outcomes.assign(kNumOutcomes, 0);
+    stats.wordsSimulated = num_words;
+    return stats;
+}
+
 /**
  * Sample an error count m >= 1 from Binomial(n, p) conditioned on at
  * least one error, by sequential inversion of the conditional CDF.
@@ -57,53 +74,52 @@ conditionalBinomial(std::uint64_t n, double p, util::Rng &rng)
     return m;
 }
 
-/** Flip @p count distinct positions drawn from @p positions. */
+/**
+ * Flip @p count distinct positions drawn from @p positions, using
+ * Floyd's algorithm. @p seen is a flat membership mask over position
+ * indices (>= positions.size() entries, all false on entry and reset
+ * on exit), so each draw is O(1) instead of a linear scan over the
+ * already-chosen set.
+ */
 void
 flipRandomSubset(BitVec &word, const std::vector<std::size_t> &positions,
                  std::uint64_t count, util::Rng &rng,
-                 std::vector<std::size_t> &scratch)
+                 std::vector<std::uint8_t> &seen,
+                 std::vector<std::size_t> &chosen)
 {
-    // Floyd's algorithm for sampling `count` distinct indices.
-    scratch.clear();
+    chosen.clear();
     const std::size_t total = positions.size();
     for (std::size_t j = total - count; j < total; ++j) {
-        std::size_t t = (std::size_t)rng.below(j + 1);
-        bool seen = false;
-        for (std::size_t s : scratch) {
-            if (s == t) {
-                seen = true;
-                break;
-            }
-        }
-        scratch.push_back(seen ? j : t);
+        const std::size_t t = (std::size_t)rng.below(j + 1);
+        // Floyd: j itself is never chosen before iteration j, so the
+        // fallback pick is always fresh.
+        const std::size_t pick = seen[t] ? j : t;
+        seen[pick] = 1;
+        chosen.push_back(pick);
     }
-    for (std::size_t idx : scratch)
+    for (const std::size_t idx : chosen) {
         word.flip(positions[idx]);
+        seen[idx] = 0;
+    }
 }
 
+/** Scalar reference path: decode one erroneous word at a time. */
 WordSimStats
-simulateCore(const ecc::LinearCode &code, const BitVec &codeword,
-             const std::vector<std::size_t> &vulnerable, double per_bit_p,
-             std::uint64_t num_words, util::Rng &rng)
+simulateScalarShard(const ecc::LinearCode &code, const BitVec &codeword,
+                    const std::vector<std::size_t> &vulnerable,
+                    double per_bit_p, std::uint64_t num_words,
+                    util::Rng &rng)
 {
-    WordSimStats stats;
-    stats.preCorrectionErrors.assign(code.n(), 0);
-    stats.postCorrectionErrors.assign(code.k(), 0);
-    stats.outcomes.assign(kNumOutcomes, 0);
-    stats.wordsSimulated = num_words;
-
-    if (vulnerable.empty() || per_bit_p <= 0.0) {
-        stats.outcomes[(std::size_t)ecc::DecodeOutcome::NoError] +=
-            num_words;
-        return stats;
-    }
+    WordSimStats stats =
+        emptyStats(code.n(), code.k(), num_words);
 
     const BitVec original_data = code.extractData(codeword);
     // Probability that a word has at least one raw error.
     const double p_any =
         1.0 - std::pow(1.0 - per_bit_p, (double)vulnerable.size());
 
-    std::vector<std::size_t> scratch;
+    std::vector<std::uint8_t> seen(vulnerable.size(), 0);
+    std::vector<std::size_t> chosen;
     BitVec received(code.n());
     std::uint64_t w = 0;
     while (true) {
@@ -122,7 +138,7 @@ simulateCore(const ecc::LinearCode &code, const BitVec &codeword,
         const std::uint64_t m =
             conditionalBinomial(vulnerable.size(), per_bit_p, rng);
         received = codeword;
-        flipRandomSubset(received, vulnerable, m, rng, scratch);
+        flipRandomSubset(received, vulnerable, m, rng, seen, chosen);
 
         for (std::size_t pos : vulnerable)
             if (received.get(pos) != codeword.get(pos))
@@ -140,30 +156,162 @@ simulateCore(const ecc::LinearCode &code, const BitVec &codeword,
     return stats;
 }
 
+/**
+ * Bitsliced path: skip-sample error cells over the (word, vulnerable
+ * position) grid — each cell fails iid with probability p, exactly the
+ * scalar model — and gather erroneous words 64 at a time into a
+ * transposed batch for the lane-parallel decode kernel. Error-free
+ * words never touch the kernel.
+ */
+WordSimStats
+simulateBitslicedShard(const ecc::BitslicedDecoder &decoder,
+                       const std::vector<std::size_t> &vulnerable,
+                       double p, std::uint64_t num_words, util::Rng &rng)
+{
+    const std::size_t n = decoder.n();
+    const std::size_t k = decoder.k();
+    WordSimStats stats = emptyStats(n, k, num_words);
+
+    const std::uint64_t v = vulnerable.size();
+    BEER_ASSERT(v > 0 && num_words <= UINT64_MAX / v);
+    const std::uint64_t total_cells = num_words * v;
+    const util::GeometricSkip gap(p);
+
+    BitslicedBatch batch(n);
+    ecc::BitslicedDecodeLanes lanes;
+    std::uint64_t batch_base = 0;
+    bool dirty = false;
+
+    auto flush = [&]() {
+        decoder.decode(batch.lanes(), lanes);
+        stats.wordsWithRawErrors +=
+            (std::uint64_t)util::popcount64(lanes.anyRaw);
+        // NoError is accounted arithmetically at the end; the other
+        // five outcome masks are all subsets of anyRaw.
+        for (std::size_t o = 1; o < kNumOutcomes; ++o)
+            stats.outcomes[o] +=
+                (std::uint64_t)util::popcount64(lanes.outcome[o]);
+        for (const std::size_t pos : vulnerable)
+            stats.preCorrectionErrors[pos] +=
+                (std::uint64_t)util::popcount64(batch.lane(pos));
+        for (std::size_t bit = 0; bit < k; ++bit)
+            stats.postCorrectionErrors[bit] +=
+                (std::uint64_t)util::popcount64(batch.lane(bit) ^
+                                                lanes.correction[bit]);
+        batch.clear();
+    };
+
+    gap.forEach(rng, total_cells, [&](std::uint64_t cell) {
+        const std::uint64_t word = cell / v;
+        const std::size_t pos = vulnerable[(std::size_t)(cell % v)];
+        if (dirty && word >= batch_base + BitslicedBatch::kLanes) {
+            flush();
+            dirty = false;
+        }
+        if (!dirty) {
+            // Anchor the 64-word window at the first erroneous word,
+            // so sparse error rates still fill batches densely.
+            batch_base = word;
+            dirty = true;
+        }
+        batch.setBit(pos, (unsigned)(word - batch_base));
+    });
+    if (dirty)
+        flush();
+    stats.outcomes[(std::size_t)ecc::DecodeOutcome::NoError] =
+        num_words - stats.wordsWithRawErrors;
+    return stats;
+}
+
+/**
+ * Deterministic sharded driver: fork one Rng stream per fixed-size
+ * shard (in shard order), run shards on the pool, and merge stats in
+ * shard order. The thread count affects scheduling only.
+ */
+WordSimStats
+simulateSharded(const ecc::LinearCode &code, const BitVec &codeword,
+                const std::vector<std::size_t> &vulnerable,
+                double per_bit_p, std::uint64_t num_words,
+                util::Rng &rng, const SimConfig &config)
+{
+    if (vulnerable.empty() || per_bit_p <= 0.0 || num_words == 0) {
+        WordSimStats stats =
+            emptyStats(code.n(), code.k(), num_words);
+        stats.outcomes[(std::size_t)ecc::DecodeOutcome::NoError] =
+            num_words;
+        return stats;
+    }
+    const double p = std::min(per_bit_p, 1.0);
+
+    const std::uint64_t shard_words =
+        std::max<std::uint64_t>(1, config.wordsPerShard);
+    const std::size_t num_shards =
+        (std::size_t)((num_words + shard_words - 1) / shard_words);
+
+    std::vector<util::Rng> shard_rngs;
+    shard_rngs.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s)
+        shard_rngs.push_back(rng.fork());
+
+    // Built once and shared read-only by every worker.
+    std::optional<ecc::BitslicedDecoder> decoder;
+    if (config.bitsliced)
+        decoder.emplace(code);
+
+    std::vector<WordSimStats> shard_stats(num_shards);
+    auto run_shard = [&](std::size_t s) {
+        const std::uint64_t begin = (std::uint64_t)s * shard_words;
+        const std::uint64_t count =
+            std::min<std::uint64_t>(shard_words, num_words - begin);
+        shard_stats[s] =
+            config.bitsliced
+                ? simulateBitslicedShard(*decoder, vulnerable, p, count,
+                                         shard_rngs[s])
+                : simulateScalarShard(code, codeword, vulnerable, p,
+                                      count, shard_rngs[s]);
+    };
+
+    if (config.pool && num_shards > 1) {
+        config.pool->parallelFor(num_shards, run_shard);
+    } else if (config.threads == 1 || num_shards == 1) {
+        for (std::size_t s = 0; s < num_shards; ++s)
+            run_shard(s);
+    } else {
+        util::ThreadPool pool(config.threads);
+        pool.parallelFor(num_shards, run_shard);
+    }
+
+    WordSimStats total = std::move(shard_stats[0]);
+    for (std::size_t s = 1; s < num_shards; ++s)
+        total.merge(shard_stats[s]);
+    return total;
+}
+
 } // anonymous namespace
 
 WordSimStats
 simulateUniformErrors(const ecc::LinearCode &code, const BitVec &dataword,
                       double rber, std::uint64_t num_words,
-                      util::Rng &rng)
+                      util::Rng &rng, const SimConfig &config)
 {
     const BitVec codeword = code.encode(dataword);
     std::vector<std::size_t> all_positions(code.n());
     for (std::size_t i = 0; i < code.n(); ++i)
         all_positions[i] = i;
-    return simulateCore(code, codeword, all_positions, rber, num_words,
-                        rng);
+    return simulateSharded(code, codeword, all_positions, rber,
+                           num_words, rng, config);
 }
 
 WordSimStats
 simulateRetentionErrors(const ecc::LinearCode &code, const BitVec &codeword,
                         const BitVec &charged_mask, double ber,
-                        std::uint64_t num_words, util::Rng &rng)
+                        std::uint64_t num_words, util::Rng &rng,
+                        const SimConfig &config)
 {
     BEER_ASSERT(codeword.size() == code.n());
     BEER_ASSERT(charged_mask.size() == code.n());
-    return simulateCore(code, codeword, charged_mask.support(), ber,
-                        num_words, rng);
+    return simulateSharded(code, codeword, charged_mask.support(), ber,
+                           num_words, rng, config);
 }
 
 gf2::BitVec

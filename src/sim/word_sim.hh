@@ -11,9 +11,21 @@
  *  - data-retention errors restricted to CHARGED cells (the model BEER
  *    exploits; used for miscorrection-profile sampling).
  *
- * Both use skip-sampling: error-free words are skipped in O(1) via a
- * geometric jump, so simulating the paper's 1e9 words per data point is
- * cheap — only words that actually contain raw errors are decoded.
+ * The engine is built for the paper's scale (1e9 words per data
+ * point, Sections 5.1.3 and 6):
+ *
+ *  - skip-sampling: error cells are reached by geometric jumps, so
+ *    error-free words and cells cost O(1);
+ *  - bitsliced decoding: erroneous words are gathered 64 at a time
+ *    into transposed lane masks (sim/batch.hh) and decoded/classified
+ *    lane-parallel (ecc/bitsliced.hh);
+ *  - deterministic multithreaded sharding: the word count is split
+ *    into fixed-size shards, each drawing from its own Rng::fork()ed
+ *    stream keyed by shard index and merged in shard order, so results
+ *    are bit-identical for every thread count.
+ *
+ * The scalar one-word-at-a-time path is retained behind
+ * SimConfig::bitsliced = false for differential testing.
  */
 
 #ifndef BEER_SIM_WORD_SIM_HH
@@ -27,6 +39,11 @@
 #include "ecc/linear_code.hh"
 #include "gf2/bitvec.hh"
 #include "util/rng.hh"
+
+namespace beer::util
+{
+class ThreadPool;
+} // namespace beer::util
 
 namespace beer::sim
 {
@@ -47,6 +64,39 @@ struct WordSimStats
 
     /** Merge another run's counters into this one. */
     void merge(const WordSimStats &other);
+
+    bool operator==(const WordSimStats &other) const = default;
+};
+
+/** Engine and scheduling knobs for the Monte-Carlo driver. */
+struct SimConfig
+{
+    /**
+     * Decode erroneous words 64 at a time with the bitsliced kernel;
+     * false selects the scalar reference path (same statistics,
+     * different Rng stream consumption).
+     */
+    bool bitsliced = true;
+    /**
+     * Worker threads (including the caller); 0 means all hardware
+     * threads. Results are bit-identical for every value: threads only
+     * change which worker executes a shard, never the shard streams.
+     * Ignored when @ref pool is set.
+     */
+    std::size_t threads = 1;
+    /**
+     * Optional non-owning pool to run shards on, so callers issuing
+     * many simulate calls (e.g. one per test pattern) reuse one set of
+     * workers instead of spawning threads per call. When null and
+     * threads != 1, each call creates a transient pool.
+     */
+    util::ThreadPool *pool = nullptr;
+    /**
+     * Words per deterministic shard. Each shard consumes its own
+     * forked Rng stream, so results depend on this granularity but
+     * never on the thread count.
+     */
+    std::uint64_t wordsPerShard = 1ull << 16;
 };
 
 /**
@@ -56,7 +106,8 @@ struct WordSimStats
 WordSimStats simulateUniformErrors(const ecc::LinearCode &code,
                                    const gf2::BitVec &dataword,
                                    double rber, std::uint64_t num_words,
-                                   util::Rng &rng);
+                                   util::Rng &rng,
+                                   const SimConfig &config = {});
 
 /**
  * Simulate @p num_words retention tests of one stored codeword:
@@ -73,7 +124,8 @@ WordSimStats simulateRetentionErrors(const ecc::LinearCode &code,
                                      const gf2::BitVec &codeword,
                                      const gf2::BitVec &charged_mask,
                                      double ber, std::uint64_t num_words,
-                                     util::Rng &rng);
+                                     util::Rng &rng,
+                                     const SimConfig &config = {});
 
 /**
  * Positions whose cells are CHARGED when @p codeword is stored in

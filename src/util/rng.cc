@@ -144,13 +144,25 @@ Rng::normal()
 std::uint64_t
 Rng::geometric(double p)
 {
+    return GeometricSkip(p)(*this);
+}
+
+GeometricSkip::GeometricSkip(double p)
+    : invLogQ_(1.0 / std::log1p(-p))
+{
     BEER_ASSERT(p > 0.0 && p <= 1.0);
-    if (p >= 1.0)
-        return 0;
-    double u = uniform();
+}
+
+std::uint64_t
+GeometricSkip::operator()(Rng &rng) const
+{
+    double u = rng.uniform();
     while (u <= 0.0)
-        u = uniform();
-    return (std::uint64_t)(std::log(u) / std::log1p(-p));
+        u = rng.uniform();
+    // p == 1 makes invLogQ_ == -0.0 and the product +0.0: every trial
+    // succeeds, as it should.
+    const double g = std::log(u) * invLogQ_;
+    return g >= 0x1p62 ? (std::uint64_t)1 << 62 : (std::uint64_t)g;
 }
 
 double

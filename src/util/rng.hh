@@ -67,6 +67,43 @@ class Rng
     bool hasCachedNormal_ = false;
 };
 
+/**
+ * Geometric(p) sampler with the log(1-p) denominator hoisted, for
+ * skip-sampling loops that draw many gaps at the same rate: each call
+ * returns the number of failures before the next success. Gaps are
+ * clamped to 2^62 so callers can add 1 to form a jump without
+ * overflow (and because casting a huge double is undefined).
+ */
+class GeometricSkip
+{
+  public:
+    /** @param p success probability in (0, 1]; p == 1 yields all-0 gaps. */
+    explicit GeometricSkip(double p);
+
+    std::uint64_t operator()(Rng &rng) const;
+
+    /**
+     * Invoke fn(i) for every success index i in [0, total), ascending:
+     * the skip-sampling equivalent of `for i < total: if
+     * rng.bernoulli(p) fn(i)`, at O(successes) cost.
+     */
+    template <typename Fn>
+    void forEach(Rng &rng, std::uint64_t total, Fn &&fn) const
+    {
+        std::uint64_t i = (*this)(rng);
+        while (i < total) {
+            fn(i);
+            const std::uint64_t jump = (*this)(rng) + 1;
+            if (total - i <= jump)
+                break;
+            i += jump;
+        }
+    }
+
+  private:
+    double invLogQ_;
+};
+
 } // namespace beer::util
 
 #endif // BEER_UTIL_RNG_HH

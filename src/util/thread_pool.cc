@@ -1,0 +1,101 @@
+#include "util/thread_pool.hh"
+
+namespace beer::util
+{
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    workers_.reserve(num_threads - 1);
+    for (std::size_t i = 1; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runItems(const std::function<void(std::size_t)> &body,
+                     std::size_t count)
+{
+    std::size_t i;
+    while ((i = next_.fetch_add(1)) < count) {
+        body(i);
+        completed_.fetch_add(1);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        const std::function<void(std::size_t)> *body;
+        std::size_t count;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            body = body_;
+            count = count_;
+            ++running_;
+        }
+        // A worker that was slow to wake can observe next_ >= count
+        // here (the job already finished, possibly before this worker
+        // started); runItems then claims nothing and never touches the
+        // potentially stale body pointer.
+        runItems(*body, count);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+        }
+        done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        body_ = &body;
+        count_ = count;
+        next_.store(0);
+        completed_.store(0);
+        ++generation_;
+    }
+    wake_.notify_all();
+    runItems(body, count);
+    // Wait until every item has run AND every worker has left
+    // runItems: only then is it safe to let `body` go out of scope or
+    // publish a new job that resets next_.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+        return completed_.load() >= count_ && running_ == 0;
+    });
+}
+
+} // namespace beer::util

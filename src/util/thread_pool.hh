@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for deterministic data-parallel loops.
+ *
+ * The pool exposes exactly one primitive, parallelFor(), which splits
+ * [0, count) across the worker threads plus the calling thread. Work
+ * items are claimed dynamically with an atomic counter, so callers must
+ * make each item's result independent of which thread runs it; the
+ * simulation engine does this by giving every shard its own forked Rng
+ * stream keyed by shard index and merging results in shard order. With
+ * that discipline, results are bit-identical for any thread count.
+ */
+
+#ifndef BEER_UTIL_THREAD_POOL_HH
+#define BEER_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace beer::util
+{
+
+/** Fixed-size worker pool executing blocking parallel-for loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads total threads that execute work, including
+     *        the calling thread; 0 means hardware concurrency.
+     */
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total threads that execute work (workers + calling thread). */
+    std::size_t size() const { return workers_.size() + 1; }
+
+    /**
+     * Run body(i) for every i in [0, count) and return once all calls
+     * have finished. The calling thread participates. Not reentrant:
+     * body must not call parallelFor on the same pool.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    void workerLoop();
+    /** Claim and run items of the current job until none remain. */
+    void runItems(const std::function<void(std::size_t)> &body,
+                  std::size_t count);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    /** Current job; body_ is only dereferenced for claimed items. */
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::size_t count_ = 0;
+    std::atomic<std::size_t> next_{0};
+    std::atomic<std::size_t> completed_{0};
+    /** Workers currently inside runItems (callers wait for zero). */
+    std::size_t running_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace beer::util
+
+#endif // BEER_UTIL_THREAD_POOL_HH

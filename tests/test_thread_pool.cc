@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for util::ThreadPool: full coverage of the index space, reuse
+ * across jobs, degenerate sizes, and concurrent mutation safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+using beer::util::ThreadPool;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 100u * 99u / 2);
+    }
+}
+
+TEST(ThreadPool, SingleThreadAndEmptyJobs)
+{
+    ThreadPool serial(1);
+    EXPECT_EQ(serial.size(), 1u);
+    std::size_t ran = 0;
+    serial.parallelFor(0, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 0u);
+    serial.parallelFor(7, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 7u);
+}
+
+TEST(ThreadPool, MoreThreadsThanWork)
+{
+    ThreadPool pool(8);
+    EXPECT_EQ(pool.size(), 8u);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(3, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+    std::atomic<std::size_t> count{0};
+    pool.parallelFor(64, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPool, DisjointShardWritesNeedNoSynchronization)
+{
+    // The simulation engine's usage pattern: each item writes its own
+    // slot of a pre-sized vector.
+    ThreadPool pool(4);
+    std::vector<std::size_t> results(257, 0);
+    pool.parallelFor(results.size(),
+                     [&](std::size_t i) { results[i] = i * i; });
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], i * i);
+}

@@ -46,6 +46,10 @@ main(int argc, char **argv)
     cli.addOption("rows", "64", "simulated chip rows for --trace-out");
     cli.addOption("repeats", "25",
                   "repeats per refresh pause for --trace-out");
+    cli.addOption("threads", "1",
+                  "chip retention-injection threads for --trace-out "
+                  "(0 = all hardware threads); traces are identical "
+                  "for every value");
     cli.addFlag("print-code", "also print H to stderr");
     cli.parse(argc, argv);
 
@@ -86,6 +90,7 @@ main(int argc, char **argv)
         config.code = code; // keep the secret chosen above
         config.map.rows = (std::size_t)cli.getInt("rows");
         config.iidErrors = true;
+        config.threads = (std::size_t)cli.getInt("threads");
         dram::SimulatedChip chip(config);
 
         MeasureConfig measure;
