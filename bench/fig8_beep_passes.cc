@@ -11,12 +11,15 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "beep/eval.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 using namespace beer;
 using namespace beer::beep;
@@ -49,6 +52,9 @@ main(int argc, char **argv)
                   "words evaluated per configuration (paper: 100)");
     cli.addOption("reads", "4", "test cycles per crafted pattern");
     cli.addOption("seed", "5", "RNG seed");
+    cli.addOption("threads", "1",
+                  "evaluation threads (0 = all hardware threads); "
+                  "success rates are identical for every value");
     cli.addFlag("random-patterns",
                 "ablation: random instead of SAT-crafted patterns");
     cli.addFlag("csv", "emit CSV instead of an aligned table");
@@ -58,6 +64,17 @@ main(int argc, char **argv)
     const auto errors = parseList(cli.getString("errors"));
     const auto words = (std::size_t)cli.getInt("words");
     util::Rng rng(cli.getInt("seed"));
+
+    std::size_t threads = (std::size_t)cli.getInt("threads");
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    // One pool for the whole sweep rather than one per point.
+    std::optional<util::ThreadPool> pool;
+    EvalConfig eval;
+    if (threads != 1) {
+        pool.emplace(threads);
+        eval.pool = &*pool;
+    }
 
     BeepConfig base;
     base.readsPerPattern = (std::size_t)cli.getInt("reads");
@@ -77,9 +94,11 @@ main(int argc, char **argv)
             point.failProb = 1.0;
 
             point.passes = 1;
-            const EvalResult one = evaluateBeep(point, words, base, rng);
+            const EvalResult one =
+                evaluateBeep(point, words, base, rng, eval);
             point.passes = 2;
-            const EvalResult two = evaluateBeep(point, words, base, rng);
+            const EvalResult two =
+                evaluateBeep(point, words, base, rng, eval);
 
             table.addRowOf(
                 n, num_errors,

@@ -11,12 +11,15 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "beep/eval.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 using namespace beer;
 using namespace beer::beep;
@@ -63,6 +66,9 @@ main(int argc, char **argv)
                   "words evaluated per configuration (paper: 100)");
     cli.addOption("reads", "8", "test cycles per crafted pattern");
     cli.addOption("seed", "6", "RNG seed");
+    cli.addOption("threads", "1",
+                  "evaluation threads (0 = all hardware threads); "
+                  "success rates are identical for every value");
     cli.addFlag("csv", "emit CSV instead of an aligned table");
     cli.parse(argc, argv);
 
@@ -71,6 +77,17 @@ main(int argc, char **argv)
     const auto probs = parseDoubleList(cli.getString("probs"));
     const auto words = (std::size_t)cli.getInt("words");
     util::Rng rng(cli.getInt("seed"));
+
+    std::size_t threads = (std::size_t)cli.getInt("threads");
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    // One pool for the whole sweep rather than one per point.
+    std::optional<util::ThreadPool> pool;
+    EvalConfig eval;
+    if (threads != 1) {
+        pool.emplace(threads);
+        eval.pool = &*pool;
+    }
 
     BeepConfig base;
     base.readsPerPattern = (std::size_t)cli.getInt("reads");
@@ -94,7 +111,7 @@ main(int argc, char **argv)
                 point.failProb = p;
                 point.passes = 1;
                 const EvalResult result =
-                    evaluateBeep(point, words, base, rng);
+                    evaluateBeep(point, words, base, rng, eval);
                 row.push_back(
                     util::Table::fixed(result.successRate() * 100.0, 1) +
                     "%");

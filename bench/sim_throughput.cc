@@ -1,23 +1,30 @@
 /**
  * @file
- * Monte-Carlo simulation engine throughput: scalar vs bitsliced vs
- * bitsliced + threads, on the Figure 3 retention-profile workload
- * (1-CHARGED patterns of a random SEC code, charged-cell BER in the
- * paper's measured range).
+ * Monte-Carlo simulation engine throughput: scalar vs bitsliced (per
+ * SIMD backend) vs bitsliced + threads, on the Figure 3
+ * retention-profile workload (1-CHARGED patterns of a random SEC
+ * code, charged-cell BER in the paper's measured range).
  *
  * The paper simulates on the order of 1e9 ECC words per data point
  * (Sections 5.1.3 and 6); this bench tracks how fast the engine chews
- * through that workload and guards the two contracts the engine
- * makes:
+ * through that workload and guards the engine's contracts:
  *
- *  - bitslicing alone must deliver a >= 10x single-thread speedup
- *    over the scalar reference path (enforced with a nonzero exit
- *    when --min-speedup is set; CI passes a conservative floor);
- *  - results must be bit-identical for every thread count (always
- *    enforced, verified for 1 vs 8 threads with a fixed seed).
+ *  - bitslicing must deliver a large single-thread speedup over the
+ *    scalar reference path (enforced with a nonzero exit when
+ *    --min-speedup is set; CI passes a conservative floor);
+ *  - on hosts with native wide kernels, the SIMD backends must beat
+ *    the 64-lane u64x1 engine (--min-simd-speedup, applied only when
+ *    the selected backend runs natively — the portable fallbacks
+ *    promise correctness, not speed);
+ *  - results must be bit-identical for every thread count AND every
+ *    SIMD backend (always enforced with a fixed seed: 1 vs 8 threads,
+ *    and u64x1 vs u64x4 vs u64x8).
  *
- * With --json the measurements are emitted machine-readably so
- * BENCH_sim_throughput.json can be tracked across PRs.
+ * The measured backend follows --backend, then BEER_SIMD, then CPUID,
+ * so CI can sweep all widths by re-running one binary. With --json
+ * the measurements (including backend name and lane count) are
+ * emitted machine-readably, one BENCH_sim_throughput.<backend>.json
+ * per forced backend.
  */
 
 #include <algorithm>
@@ -30,10 +37,12 @@
 #include "beer/measure.hh"
 #include "beer/patterns.hh"
 #include "ecc/hamming.hh"
+#include "sim/engine.hh"
 #include "sim/word_sim.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 using namespace beer;
 using ecc::LinearCode;
@@ -41,6 +50,7 @@ using gf2::BitVec;
 using sim::SimConfig;
 using sim::WordSimStats;
 using util::Rng;
+using util::simd::Backend;
 
 namespace
 {
@@ -70,18 +80,27 @@ int
 main(int argc, char **argv)
 {
     util::Cli cli("Simulation engine throughput on the Figure 3 "
-                  "retention-profile workload: scalar vs bitsliced vs "
-                  "bitsliced + threads");
+                  "retention-profile workload: scalar vs bitsliced "
+                  "(per SIMD backend) vs bitsliced + threads");
     cli.addOption("k", "32", "dataword length in bits");
     cli.addOption("ber", "0.1", "charged-cell raw bit error rate");
     cli.addOption("words", "100000", "simulated words per pattern");
     cli.addOption("threads", "0",
                   "threads for the threaded run (0 = all hardware "
                   "threads)");
+    cli.addOption("backend", "auto",
+                  "SIMD backend to measure (auto | u64x1 | u64x4 | "
+                  "u64x8); auto honors BEER_SIMD, then CPUID");
     cli.addOption("seed", "1", "RNG seed");
     cli.addOption("min-speedup", "0",
                   "fail (exit 1) if the single-thread bitsliced "
-                  "speedup falls below this factor (0 = report only)");
+                  "speedup over scalar falls below this factor "
+                  "(0 = report only)");
+    cli.addOption("min-simd-speedup", "0",
+                  "fail (exit 1) if a natively-run wide backend "
+                  "beats the u64x1 engine by less than this factor "
+                  "(0 = report only; never applied to portable "
+                  "fallbacks)");
     cli.addOption("json", "",
                   "emit machine-readable results to this path");
     cli.parse(argc, argv);
@@ -94,6 +113,15 @@ main(int argc, char **argv)
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
 
+    const auto backend_opt =
+        util::simd::parseBackend(cli.getString("backend"));
+    if (!backend_opt)
+        util::fatal("unknown --backend '%s'",
+                    cli.getString("backend").c_str());
+    // Resolve what we actually measure (flag, then BEER_SIMD, then
+    // CPUID) so the report names the kernel, not the request.
+    const sim::EngineKernel &kernel = sim::engineKernel(*backend_opt);
+
     Rng code_rng(seed);
     const LinearCode code = ecc::randomSecCode(k, code_rng);
     const auto patterns = chargedPatterns(k, 1);
@@ -102,66 +130,101 @@ main(int argc, char **argv)
     SimConfig scalar_config;
     scalar_config.bitsliced = false;
 
-    SimConfig bitsliced_config;
+    SimConfig u64x1_config;
+    u64x1_config.simdBackend = Backend::U64x1;
+
+    SimConfig simd_config;
+    simd_config.simdBackend = kernel.backend;
 
     SimConfig threaded_config;
+    threaded_config.simdBackend = kernel.backend;
     threaded_config.threads = threads;
 
     std::printf("sim_throughput: k=%zu, BER=%g, %zu patterns x %llu "
-                "words (fig-3 retention workload)\n",
-                k, ber, patterns.size(), (unsigned long long)words);
+                "words (fig-3 retention workload), backend %s\n",
+                k, ber, patterns.size(), (unsigned long long)words,
+                kernel.name);
 
     const double scalar_s = sweepSeconds(code, patterns, ber, words,
                                          seed, scalar_config);
-    const double bitsliced_s = sweepSeconds(code, patterns, ber, words,
-                                            seed, bitsliced_config);
+    const double u64x1_s = sweepSeconds(code, patterns, ber, words,
+                                        seed, u64x1_config);
+    const double simd_s =
+        kernel.words == 1
+            ? u64x1_s
+            : sweepSeconds(code, patterns, ber, words, seed,
+                           simd_config);
     const double threaded_s = sweepSeconds(code, patterns, ber, words,
                                            seed, threaded_config);
 
     const double scalar_wps = (double)total_words / scalar_s;
-    const double bitsliced_wps = (double)total_words / bitsliced_s;
+    const double u64x1_wps = (double)total_words / u64x1_s;
+    const double simd_wps = (double)total_words / simd_s;
     const double threaded_wps = (double)total_words / threaded_s;
-    const double bitsliced_speedup = bitsliced_wps / scalar_wps;
-    const double thread_speedup = threaded_wps / bitsliced_wps;
+    const double bitsliced_speedup = simd_wps / scalar_wps;
+    const double simd_speedup = simd_wps / u64x1_wps;
+    const double thread_speedup = threaded_wps / simd_wps;
 
-    // Determinism contract: identical stats for a fixed seed at 1 vs
-    // 8 threads (exercises multi-shard merging even on small runs).
+    // Identity contracts: fixed-seed stats must be identical at 1 vs
+    // 8 threads (exercises multi-shard merging) and across every
+    // SIMD backend (u64x1 vs u64x4 vs u64x8, native or portable).
     bool deterministic = true;
+    bool backend_identical = true;
     {
         const BitVec data =
             datawordForPattern(patterns[0], k, dram::CellType::True);
         const BitVec codeword = code.encode(data);
         const BitVec mask =
             sim::chargedMask(codeword, dram::CellType::True);
-        auto run = [&](std::size_t run_threads) {
+        auto run = [&](std::size_t run_threads, Backend run_backend) {
             SimConfig config;
             config.threads = run_threads;
+            config.simdBackend = run_backend;
             config.wordsPerShard = 1 << 12;
             Rng rng(seed ^ 0xd373);
             return sim::simulateRetentionErrors(
                 code, codeword, mask, ber, 100000, rng, config);
         };
-        deterministic = run(1) == run(8);
+        const WordSimStats reference = run(1, Backend::U64x1);
+        deterministic = reference == run(8, Backend::U64x1);
+        for (Backend b : {Backend::U64x4, Backend::U64x8})
+            backend_identical =
+                backend_identical && reference == run(1, b);
     }
 
     const double min_speedup = cli.getDouble("min-speedup");
     const bool fast_enough =
         min_speedup <= 0.0 || bitsliced_speedup >= min_speedup;
+    const double min_simd = cli.getDouble("min-simd-speedup");
+    // Portable fallbacks promise identical stats, not speed: gate the
+    // SIMD ratio only when the measured kernel is a native wide one.
+    const bool simd_fast_enough =
+        min_simd <= 0.0 || kernel.words == 1 || !kernel.native ||
+        simd_speedup >= min_simd;
 
-    std::printf("  scalar (1 thread):      %12.0f words/sec\n",
+    std::printf("  scalar (1 thread):          %12.0f words/sec\n",
                 scalar_wps);
-    std::printf("  bitsliced (1 thread):   %12.0f words/sec  "
+    std::printf("  u64x1 (1 thread):           %12.0f words/sec  "
                 "(%.1fx vs scalar)\n",
-                bitsliced_wps, bitsliced_speedup);
-    std::printf("  bitsliced (%2zu threads): %12.0f words/sec  "
+                u64x1_wps, u64x1_wps / scalar_wps);
+    std::printf("  %-14s (1 thread):  %12.0f words/sec  "
+                "(%.1fx vs scalar, %.2fx vs u64x1)\n",
+                kernel.name, simd_wps, bitsliced_speedup, simd_speedup);
+    std::printf("  %-14s (%2zu threads): %11.0f words/sec  "
                 "(%.2fx vs 1 thread)\n",
-                threads, threaded_wps, thread_speedup);
+                kernel.name, threads, threaded_wps, thread_speedup);
     std::printf("  deterministic across thread counts: %s\n",
                 deterministic ? "yes" : "NO (BUG)");
+    std::printf("  stats identical across SIMD backends: %s\n",
+                backend_identical ? "yes" : "NO (BUG)");
     if (!fast_enough)
         std::printf("  REGRESSION: bitsliced speedup %.1fx is below "
                     "the required %.1fx\n",
                     bitsliced_speedup, min_speedup);
+    if (!simd_fast_enough)
+        std::printf("  REGRESSION: SIMD speedup %.2fx (%s) is below "
+                    "the required %.2fx\n",
+                    simd_speedup, kernel.name, min_simd);
 
     const std::string json_path = cli.getString("json");
     if (!json_path.empty()) {
@@ -174,20 +237,30 @@ main(int argc, char **argv)
             << ", \"patterns\": " << patterns.size()
             << ", \"words_per_pattern\": " << words
             << ", \"total_words\": " << total_words << "},\n"
+            << "  \"backend\": \"" << kernel.name << "\",\n"
+            << "  \"lanes\": " << kernel.lanes << ",\n"
+            << "  \"native\": " << (kernel.native ? "true" : "false")
+            << ",\n"
             << "  \"threads\": " << threads << ",\n"
             << "  \"scalar_words_per_sec\": " << scalar_wps << ",\n"
-            << "  \"bitsliced_words_per_sec\": " << bitsliced_wps
-            << ",\n"
+            << "  \"u64x1_words_per_sec\": " << u64x1_wps << ",\n"
+            << "  \"bitsliced_words_per_sec\": " << simd_wps << ",\n"
             << "  \"threaded_words_per_sec\": " << threaded_wps
             << ",\n"
             << "  \"bitsliced_speedup\": " << bitsliced_speedup
             << ",\n"
+            << "  \"simd_speedup\": " << simd_speedup << ",\n"
             << "  \"thread_speedup\": " << thread_speedup << ",\n"
             << "  \"deterministic_across_threads\": "
-            << (deterministic ? "true" : "false") << "\n"
+            << (deterministic ? "true" : "false") << ",\n"
+            << "  \"identical_across_backends\": "
+            << (backend_identical ? "true" : "false") << "\n"
             << "}\n";
         std::printf("wrote %s\n", json_path.c_str());
     }
 
-    return deterministic && fast_enough ? 0 : 1;
+    return deterministic && backend_identical && fast_enough &&
+                   simd_fast_enough
+               ? 0
+               : 1;
 }

@@ -237,6 +237,12 @@ Profiler::profile(WordUnderTest &word)
     BeepResult result;
     std::set<std::size_t> known;
 
+    // Per-target scratch, allocated once per profile() call and
+    // reused across all passes * n targets.
+    std::vector<BitVec> patterns;
+    patterns.reserve(config_.readsPerPattern);
+    std::vector<BitVec> reads;
+
     for (std::size_t pass = 0; pass < config_.passes; ++pass) {
         for (std::size_t target = 0; target < n; ++target) {
             if (known.count(target))
@@ -256,17 +262,29 @@ Profiler::profile(WordUnderTest &word)
             }
             ++result.patternsTested;
 
+            // All of this pattern's test cycles run as one batch on
+            // the word's bitsliced engine (one lane-parallel decode
+            // instead of readsPerPattern scalar ones). Crafted
+            // patterns repeat; fallback patterns carry no crafted
+            // structure, so redraw them per read — with deterministic
+            // failures (P[error] = 1) repeated reads of one pattern
+            // are identical and add no information. The Rng draw
+            // order matches the former read-at-a-time loop: the
+            // profiler's pattern stream and the word's decay stream
+            // are separate Rngs, so hoisting the draws is invisible.
+            patterns.clear();
             for (std::size_t rep = 0; rep < config_.readsPerPattern;
-                 ++rep) {
-                // Fallback patterns carry no crafted structure, so
-                // redraw them per read: with deterministic failures
-                // (P[error] = 1) repeated reads of one pattern are
-                // identical and add no information.
-                if (!crafted && rep > 0)
-                    pattern = randomPattern(code_, target, rng_);
-                const BitVec read = word.test(*pattern);
+                 ++rep)
+                patterns.push_back(rep == 0 || crafted
+                                       ? *pattern
+                                       : randomPattern(code_, target,
+                                                       rng_));
+            word.testMany(patterns.data(), patterns.size(), reads);
+
+            for (std::size_t rep = 0; rep < patterns.size(); ++rep) {
                 ++result.reads;
-                const auto inferred = inferRawErrors(*pattern, read);
+                const auto inferred =
+                    inferRawErrors(patterns[rep], reads[rep]);
                 if (!inferred)
                     continue;
                 ++result.informativeReads;

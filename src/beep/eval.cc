@@ -5,13 +5,55 @@
 
 #include "ecc/hamming.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace beer::beep
 {
 
+namespace
+{
+
+/** Evaluate one random code/word and accumulate into @p result. */
+void
+evaluateOneWord(const EvalPoint &point, std::size_t n, std::size_t k,
+                const BeepConfig &base_config, util::Rng &rng,
+                EvalResult &result)
+{
+    const ecc::LinearCode code = ecc::randomSecCode(k, rng);
+
+    // Plant numErrors distinct cells uniformly over the codeword.
+    std::vector<std::size_t> cells(n);
+    for (std::size_t i = 0; i < n; ++i)
+        cells[i] = i;
+    for (std::size_t i = 0; i < point.numErrors; ++i) {
+        const std::size_t j =
+            i + (std::size_t)rng.below(cells.size() - i);
+        std::swap(cells[i], cells[j]);
+    }
+    cells.resize(point.numErrors);
+    std::sort(cells.begin(), cells.end());
+
+    SimulatedWord word(code, cells, point.failProb, rng.next());
+
+    BeepConfig config = base_config;
+    config.passes = point.passes;
+    config.seed = rng.next();
+    Profiler profiler(code, config);
+    const BeepResult beep = profiler.profile(word);
+
+    result.words += 1;
+    result.totalPlanted += cells.size();
+    result.totalIdentified += beep.errorCells.size();
+    if (beep.errorCells == cells)
+        result.successes += 1;
+}
+
+} // anonymous namespace
+
 EvalResult
 evaluateBeep(const EvalPoint &point, std::size_t num_words,
-             const BeepConfig &base_config, util::Rng &rng)
+             const BeepConfig &base_config, util::Rng &rng,
+             const EvalConfig &eval)
 {
     // Full-length codeword: n = 2^p - 1, k = n - p.
     const std::size_t n = point.codewordLength;
@@ -22,37 +64,52 @@ evaluateBeep(const EvalPoint &point, std::size_t num_words,
     const std::size_t k = n - p;
     BEER_ASSERT(point.numErrors <= n);
 
-    EvalResult result;
-    for (std::size_t w = 0; w < num_words; ++w) {
-        const ecc::LinearCode code = ecc::randomSecCode(k, rng);
+    if (num_words == 0)
+        return {};
 
-        // Plant numErrors distinct cells uniformly over the codeword.
-        std::vector<std::size_t> cells(n);
-        for (std::size_t i = 0; i < n; ++i)
-            cells[i] = i;
-        for (std::size_t i = 0; i < point.numErrors; ++i) {
-            const std::size_t j =
-                i + (std::size_t)rng.below(cells.size() - i);
-            std::swap(cells[i], cells[j]);
-        }
-        cells.resize(point.numErrors);
-        std::sort(cells.begin(), cells.end());
+    // Deterministic sharding, same discipline as the simulation
+    // engine: fork one stream per shard in shard order, run shards on
+    // any thread, merge in shard order.
+    const std::size_t shard_words =
+        std::max<std::size_t>(1, eval.wordsPerShard);
+    const std::size_t num_shards =
+        (num_words + shard_words - 1) / shard_words;
 
-        SimulatedWord word(code, cells, point.failProb, rng.next());
+    std::vector<util::Rng> shard_rngs;
+    shard_rngs.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s)
+        shard_rngs.push_back(rng.fork());
 
-        BeepConfig config = base_config;
-        config.passes = point.passes;
-        config.seed = rng.next();
-        Profiler profiler(code, config);
-        const BeepResult beep = profiler.profile(word);
+    std::vector<EvalResult> shard_results(num_shards);
+    auto run_shard = [&](std::size_t s) {
+        const std::size_t begin = s * shard_words;
+        const std::size_t count =
+            std::min(shard_words, num_words - begin);
+        EvalResult local;
+        for (std::size_t w = 0; w < count; ++w)
+            evaluateOneWord(point, n, k, base_config, shard_rngs[s],
+                            local);
+        shard_results[s] = local;
+    };
 
-        result.words += 1;
-        result.totalPlanted += cells.size();
-        result.totalIdentified += beep.errorCells.size();
-        if (beep.errorCells == cells)
-            result.successes += 1;
+    if (eval.pool && num_shards > 1) {
+        eval.pool->parallelFor(num_shards, run_shard);
+    } else if (eval.threads == 1 || num_shards == 1) {
+        for (std::size_t s = 0; s < num_shards; ++s)
+            run_shard(s);
+    } else {
+        util::ThreadPool pool(eval.threads);
+        pool.parallelFor(num_shards, run_shard);
     }
-    return result;
+
+    EvalResult total;
+    for (const EvalResult &shard : shard_results) {
+        total.words += shard.words;
+        total.successes += shard.successes;
+        total.totalIdentified += shard.totalIdentified;
+        total.totalPlanted += shard.totalPlanted;
+    }
+    return total;
 }
 
 } // namespace beer::beep

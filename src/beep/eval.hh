@@ -6,6 +6,13 @@
  * configuration, simulate words with N planted error-prone cells
  * (per-bit failure probability P[error]) and measure how often BEEP
  * identifies the full set of planted cells.
+ *
+ * Words are independent, so the driver shards them exactly like the
+ * simulation engine shards Monte-Carlo words: fixed-size shards, one
+ * Rng::fork()ed stream per shard keyed by shard index, results
+ * merged in shard order — totals are bit-identical for every thread
+ * count. Each word's test cycles run batched on the bitsliced engine
+ * (see WordUnderTest::testMany).
  */
 
 #ifndef BEER_BEEP_EVAL_HH
@@ -16,6 +23,11 @@
 
 #include "beep/beep.hh"
 #include "util/rng.hh"
+
+namespace beer::util
+{
+class ThreadPool;
+} // namespace beer::util
 
 namespace beer::beep
 {
@@ -49,13 +61,36 @@ struct EvalResult
     }
 };
 
+/** Scheduling knobs for the sharded evaluation driver. */
+struct EvalConfig
+{
+    /**
+     * Worker threads (including the caller); 0 means all hardware
+     * threads. Results are bit-identical for every value. Ignored
+     * when @ref pool is set.
+     */
+    std::size_t threads = 1;
+    /**
+     * Optional non-owning pool, so sweeps evaluating many points
+     * (fig8/fig9) reuse one set of workers across calls.
+     */
+    util::ThreadPool *pool = nullptr;
+    /**
+     * Words per deterministic shard. One word per shard maximizes
+     * parallelism; a word's SAT-crafted profiling dwarfs the
+     * per-shard Rng fork, so there is no reason to batch more.
+     */
+    std::size_t wordsPerShard = 1;
+};
+
 /**
  * Evaluate BEEP on @p num_words random codes/words at @p point.
  * Success for a word means the identified set equals the planted set
  * exactly (bit-exact recovery, including parity positions).
  */
 EvalResult evaluateBeep(const EvalPoint &point, std::size_t num_words,
-                        const BeepConfig &base_config, util::Rng &rng);
+                        const BeepConfig &base_config, util::Rng &rng,
+                        const EvalConfig &eval = {});
 
 } // namespace beer::beep
 

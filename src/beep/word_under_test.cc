@@ -3,12 +3,24 @@
 #include <algorithm>
 
 #include "ecc/decoder.hh"
+#include "sim/engine.hh"
+#include "util/bitops.hh"
 #include "util/logging.hh"
 
 namespace beer::beep
 {
 
 using gf2::BitVec;
+
+void
+WordUnderTest::testMany(const BitVec *datawords, std::size_t count,
+                        std::vector<BitVec> &out)
+{
+    out.clear();
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(test(datawords[i]));
+}
 
 SimulatedWord::SimulatedWord(const ecc::LinearCode &code,
                              std::vector<std::size_t> error_cells,
@@ -41,6 +53,92 @@ SimulatedWord::test(const BitVec &dataword)
             codeword.set(cell, false);
     }
     return ecc::decode(code_, codeword).dataword;
+}
+
+void
+SimulatedWord::testMany(const BitVec *datawords, std::size_t count,
+                        std::vector<BitVec> &out)
+{
+    out.clear();
+    if (count == 0)
+        return;
+    const std::size_t n = code_.n();
+    const std::size_t k = code_.k();
+    if (!decoder_) {
+        decoder_ = std::make_unique<ecc::BitslicedDecoder>(code_);
+        // Resolve once per word (BEEP has no per-call width knob; the
+        // BEER_SIMD override steers it like everything else). The
+        // concrete backend makes later dispatches env-scan-free.
+        capBackend_ = sim::engineKernel(util::simd::Backend::Auto)
+                          .backend;
+    }
+
+    out.reserve(count);
+    std::size_t done = 0;
+    while (done < count) {
+        // Narrowest kernel covering the remaining trials, capped at
+        // the resolved backend: batches are readsPerPattern-sized
+        // (typically 8), and eight trials should not pay for 512
+        // lanes of kernel work.
+        const sim::EngineKernel &kernel =
+            sim::engineKernelForLanes(capBackend_, count - done);
+        const std::size_t W = kernel.words;
+        const std::size_t chunk =
+            std::min(count - done, kernel.lanes);
+
+        // Only planted-cell rows are ever set; clear just those when
+        // the buffers already have the right shape (no reallocation
+        // in the steady state).
+        if (errorLanes_.size() != n * W) {
+            errorLanes_.assign(n * W, 0);
+        } else {
+            for (const std::size_t cell : errorCells_)
+                std::fill_n(&errorLanes_[cell * W], W, 0);
+        }
+        decodeLanes_.prepare(n, W);
+
+        // Inject decays trial-major so the Rng stream is exactly the
+        // one `count` sequential test() calls would consume.
+        for (std::size_t t = 0; t < chunk; ++t) {
+            const BitVec &data = datawords[done + t];
+            if (t == 0 || !(data == datawords[done + t - 1]))
+                codewordScratch_ = code_.encode(data);
+            for (const std::size_t cell : errorCells_) {
+                if (!codewordScratch_.get(cell))
+                    continue;
+                const bool fails =
+                    fault_ == FaultModel::StuckAtDischarged
+                        ? true
+                        : rng_.bernoulli(failProb_);
+                if (fails)
+                    errorLanes_[cell * W + t / 64] |=
+                        (std::uint64_t)1 << (t & 63);
+            }
+        }
+
+        kernel.decodeBatch(*decoder_, errorLanes_.data(), decodeLanes_);
+
+        // read = dataword ^ (error ^ correction) over data bits: the
+        // code is systematic, so the post-correction dataword differs
+        // from the written one exactly where raw error and decoder
+        // flip disagree in the first k positions.
+        for (std::size_t t = 0; t < chunk; ++t)
+            out.push_back(datawords[done + t]);
+        for (std::size_t bit = 0; bit < k; ++bit) {
+            const std::uint64_t *err = &errorLanes_[bit * W];
+            const std::uint64_t *corr = &decodeLanes_.correction[bit * W];
+            for (std::size_t j = 0; j < W; ++j) {
+                std::uint64_t m = err[j] ^ corr[j];
+                while (m) {
+                    const std::size_t lane =
+                        j * 64 + (std::size_t)util::ctz64(m);
+                    m &= m - 1;
+                    out[done + lane].flip(bit);
+                }
+            }
+        }
+        done += chunk;
+    }
 }
 
 MemoryWordUnderTest::MemoryWordUnderTest(dram::MemoryInterface &mem,

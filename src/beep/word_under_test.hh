@@ -16,12 +16,16 @@
 #define BEER_BEEP_WORD_UNDER_TEST_HH
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "dram/memory_interface.hh"
+#include "ecc/bitsliced.hh"
+#include "ecc/bitsliced_kernel.hh"
 #include "ecc/linear_code.hh"
 #include "gf2/bitvec.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 namespace beer::beep
 {
@@ -40,6 +44,20 @@ class WordUnderTest
      * @return the post-correction dataword
      */
     virtual gf2::BitVec test(const gf2::BitVec &dataword) = 0;
+
+    /**
+     * Run @p count test cycles, one per entry of @p datawords, and
+     * fill @p out with the post-correction reads in order. Must be
+     * observably identical to count sequential test() calls —
+     * including Rng stream consumption — so batching is purely a
+     * throughput knob; the default implementation is that loop.
+     * Simulated backends override it to decode all cycles in one pass
+     * of the bitsliced engine (BEEP's readsPerPattern cycles share
+     * one decode call instead of paying the scalar decoder each).
+     */
+    virtual void testMany(const gf2::BitVec *datawords,
+                          std::size_t count,
+                          std::vector<gf2::BitVec> &out);
 };
 
 /**
@@ -80,6 +98,17 @@ class SimulatedWord : public WordUnderTest
 
     gf2::BitVec test(const gf2::BitVec &dataword) override;
 
+    /**
+     * Batched cycles on the bitsliced engine: inject decays
+     * trial-major (the exact Rng order of sequential test() calls),
+     * decode every trial in one lane-parallel kernel call, and
+     * reconstruct each read as dataword ^ (raw error ^ correction)
+     * restricted to data bits. Lane-for-lane kernel equivalence makes
+     * this bit-identical to the scalar loop.
+     */
+    void testMany(const gf2::BitVec *datawords, std::size_t count,
+                  std::vector<gf2::BitVec> &out) override;
+
     const std::vector<std::size_t> &errorCells() const
     {
         return errorCells_;
@@ -91,6 +120,17 @@ class SimulatedWord : public WordUnderTest
     double failProb_;
     util::Rng rng_;
     FaultModel fault_;
+    /** Lazily built engine state, reused across testMany batches. */
+    std::unique_ptr<ecc::BitslicedDecoder> decoder_;
+    /**
+     * Widest backend this word may use, resolved (BEER_SIMD, CPUID)
+     * once alongside decoder_ — resolution scans the environment, and
+     * testMany sits on BEEP's hottest loop.
+     */
+    util::simd::Backend capBackend_ = util::simd::Backend::Auto;
+    std::vector<std::uint64_t> errorLanes_;
+    ecc::WideDecodeLanes decodeLanes_;
+    gf2::BitVec codewordScratch_;
 };
 
 /**

@@ -4,6 +4,7 @@
 
 #include "ecc/decoder.hh"
 #include "ecc/hamming.hh"
+#include "util/bitops.hh"
 #include "util/logging.hh"
 
 namespace beer::dram
@@ -15,7 +16,9 @@ namespace
 {
 
 /** Words per retention shard; fixed so sharding never depends on the
- * thread count. */
+ * thread count (and matching the simulation engine's widest lane
+ * group, 512 words, so a shard is one u64x8 batch window's worth of
+ * work). */
 constexpr std::size_t kRetentionShardWords = 512;
 
 /** splitmix64-style finalizer mapping a mixed key to [0, 1). */
@@ -121,17 +124,39 @@ SimulatedChip::decayIid(std::size_t begin, std::size_t end, double ber,
     // Skip-sample candidate cells over the shard's (word, bit) grid at
     // rate ber; a candidate decays iff it is CHARGED. Equivalent to a
     // Bernoulli(ber) trial per charged cell, at O(candidates) cost.
+    // Same hot-loop treatment as the simulation engine: alias-table
+    // geometric gaps, reciprocal division for the flat-index split
+    // (shards are 512 words, so indices always fit 32 bits), and the
+    // cell-type/layout lookup hoisted per word instead of per cell.
     std::uint64_t errors = 0;
     const std::size_t n = config_.code.n();
     const std::uint64_t total = (std::uint64_t)(end - begin) * n;
-    const util::GeometricSkip candidates(ber);
+    const bool small = total <= UINT32_MAX;
+    const util::FastDiv32 divn((std::uint32_t)(small ? n : 1));
+    const util::GeometricSampler candidates(ber);
+    std::size_t cached_w = SIZE_MAX;
+    CellType cached_type = CellType::True;
     candidates.forEach(rng, total, [&](std::uint64_t cell) {
-        const std::size_t w = begin + (std::size_t)(cell / n);
-        const std::size_t bit = (std::size_t)(cell % n);
-        const CellType type = cellTypeOfWord(w);
+        std::size_t rel;
+        std::size_t bit;
+        if (small) {
+            const std::uint32_t q = divn.div((std::uint32_t)cell);
+            rel = q;
+            bit = (std::size_t)((std::uint32_t)cell -
+                                q * (std::uint32_t)n);
+        } else {
+            rel = (std::size_t)(cell / n);
+            bit = (std::size_t)(cell % n);
+        }
+        const std::size_t w = begin + rel;
+        if (w != cached_w) {
+            cached_w = w;
+            cached_type = cellTypeOfWord(w);
+        }
         BitVec &word = cells_[w];
-        if (chargeOf(word.get(bit), type) == ChargeState::Charged) {
-            word.set(bit, decayedValue(type));
+        if (chargeOf(word.get(bit), cached_type) ==
+            ChargeState::Charged) {
+            word.set(bit, decayedValue(cached_type));
             ++errors;
         }
     });

@@ -1,17 +1,11 @@
 #include "ecc/bitsliced.hh"
 
+#include "ecc/bitsliced_kernel.hh"
 #include "util/logging.hh"
+#include "util/simd_vec.hh"
 
 namespace beer::ecc
 {
-
-namespace
-{
-
-/** Stack bound for syndrome lanes; the library caps n-k well below. */
-constexpr std::size_t kMaxParityBits = 32;
-
-} // anonymous namespace
 
 BitslicedDecoder::BitslicedDecoder(const LinearCode &code)
     : n_(code.n()), k_(code.k()), r_(code.numParityBits())
@@ -44,61 +38,20 @@ void
 BitslicedDecoder::decode(const std::uint64_t *error_lanes,
                          BitslicedDecodeLanes &out) const
 {
+    // Compatibility shim over the width-generic kernel at W = 1; hot
+    // paths call decodeWide() directly through sim::engineKernel and
+    // keep the scratch (including its touched-row clearing) across
+    // calls instead of re-zeroing a fresh correction vector.
+    static thread_local WideDecodeLanes scratch;
+    scratch.prepare(n_, 1);
+    decodeWide<util::simd::Vec<1>>(*this, error_lanes, scratch);
+
     out.correction.assign(n_, 0);
-
-    // Syndrome lanes: s[row] has lane L set iff word L's syndrome has
-    // bit row set.
-    std::uint64_t s[kMaxParityBits];
-    std::uint64_t nonzero = 0;
-    for (std::size_t row = 0; row < r_; ++row) {
-        std::uint64_t acc = 0;
-        for (const std::uint32_t pos : rowSupport_[row])
-            acc ^= error_lanes[pos];
-        s[row] = acc;
-        nonzero |= acc;
-    }
-
-    // Raw-error census: lanes with any error, and with exactly one.
-    std::uint64_t seen_one = 0;
-    std::uint64_t seen_two = 0;
-    for (std::size_t pos = 0; pos < n_; ++pos) {
-        seen_two |= seen_one & error_lanes[pos];
-        seen_one |= error_lanes[pos];
-    }
-    const std::uint64_t exactly_one = seen_one & ~seen_two;
-
-    // Column match: a lane matches a column iff every syndrome bit
-    // agrees with the column's pattern. Candidate lanes shrink as
-    // matches are claimed, which makes sparse batches cheap.
-    std::uint64_t corrected_any = 0;
-    std::uint64_t flipped_real = 0;
-    std::uint64_t candidates = nonzero;
-    for (const auto &[pos, pattern] : correctable_) {
-        if (!candidates)
-            break;
-        std::uint64_t match = candidates;
-        for (std::size_t row = 0; row < r_ && match; ++row)
-            match &= (pattern >> row) & 1 ? s[row] : ~s[row];
-        if (!match)
-            continue;
-        out.correction[pos] = match;
-        corrected_any |= match;
-        flipped_real |= match & error_lanes[pos];
-        candidates &= ~match;
-    }
-
-    out.anyRaw = seen_one;
-    out.outcome[(std::size_t)DecodeOutcome::NoError] = ~seen_one;
-    out.outcome[(std::size_t)DecodeOutcome::Corrected] =
-        flipped_real & exactly_one;
-    out.outcome[(std::size_t)DecodeOutcome::PartialCorrection] =
-        flipped_real & ~exactly_one;
-    out.outcome[(std::size_t)DecodeOutcome::Miscorrection] =
-        corrected_any & ~flipped_real;
-    out.outcome[(std::size_t)DecodeOutcome::SilentCorruption] =
-        seen_one & ~nonzero;
-    out.outcome[(std::size_t)DecodeOutcome::DetectedUncorrectable] =
-        nonzero & ~corrected_any;
+    for (const std::uint32_t pos : scratch.touched)
+        out.correction[pos] = scratch.correction[pos];
+    out.anyRaw = scratch.anyRaw[0];
+    for (std::size_t o = 0; o < 6; ++o)
+        out.outcome[o] = scratch.outcome[o][0];
 }
 
 } // namespace beer::ecc

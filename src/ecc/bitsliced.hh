@@ -62,6 +62,12 @@ struct BitslicedDecodeLanes
 class BitslicedDecoder
 {
   public:
+    /**
+     * Stack bound for syndrome lane arrays in the decode kernels; the
+     * library caps n-k well below (LinearCode asserts <= 24).
+     */
+    static constexpr std::size_t kMaxParityBits = 32;
+
     explicit BitslicedDecoder(const LinearCode &code);
 
     std::size_t n() const { return n_; }
@@ -72,9 +78,29 @@ class BitslicedDecoder
      * Decode and classify 64 words given their raw-error lanes
      * (@p error_lanes, n() entries). All-zero lanes cost nothing and
      * classify as NoError, so partially filled batches need no mask.
+     *
+     * This is the fixed-width compatibility entry; the hot paths run
+     * the width-generic kernel (ecc/bitsliced_kernel.hh) through the
+     * sim::engineKernel dispatch instead.
      */
     void decode(const std::uint64_t *error_lanes,
                 BitslicedDecodeLanes &out) const;
+
+    /** Positions of each parity-check row's support (H row r). */
+    const std::vector<std::vector<std::uint32_t>> &rowSupport() const
+    {
+        return rowSupport_;
+    }
+
+    /**
+     * (position, column bit pattern) pairs of the correctable
+     * positions, in position order; see the member docs.
+     */
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &
+    correctable() const
+    {
+        return correctable_;
+    }
 
   private:
     std::size_t n_;

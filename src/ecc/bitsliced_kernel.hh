@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Width-generic bitsliced decode kernel.
+ *
+ * decodeWide<V>() is the SIMD-word generalization of
+ * BitslicedDecoder::decode(): one call decodes and classifies
+ * V::kWords * 64 words whose raw-error lane masks live in a plain
+ * uint64 buffer of n rows x W words (row = codeword bit position,
+ * bit L of word j in a row = bit of simulated word j*64+L). Keeping
+ * the masks in ordinary memory means the fill/transpose side never
+ * touches vector registers — only the kernel does, via V's load/store
+ * — so one kernel source serves the portable and the intrinsic
+ * backends alike (each instantiated in its own translation unit; see
+ * util/simd_vec.hh for why that matters).
+ *
+ * The algorithm is identical to the 64-lane kernel's, so statistics
+ * aggregated over lanes are bit-identical for every width: each
+ * lane's syndrome, correction, and outcome depend only on that lane's
+ * error bits, never on its neighbors.
+ */
+
+#ifndef BEER_ECC_BITSLICED_KERNEL_HH
+#define BEER_ECC_BITSLICED_KERNEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ecc/bitsliced.hh"
+#include "util/logging.hh"
+
+namespace beer::ecc
+{
+
+/** Widest lane group shipped (u64x8 = 512 lanes). */
+inline constexpr std::size_t kMaxSimdWords = 8;
+
+/**
+ * Lane-parallel result of one wide decode, sized by prepare(). The
+ * buffers persist across decode calls — decodeWide() un-sets only the
+ * correction rows it touched on the previous call (the touched list),
+ * so the steady-state cost per call is proportional to actual
+ * corrections, and nothing is reallocated in the hot loop.
+ */
+struct WideDecodeLanes
+{
+    /**
+     * correction[pos * words() + j]: lane group j of the positions the
+     * decoder flipped. Rows not listed in touched are all-zero.
+     */
+    std::vector<std::uint64_t> correction;
+    /** Positions whose correction rows are (possibly) nonzero. */
+    std::vector<std::uint32_t> touched;
+    /** Lanes with at least one raw error. */
+    std::uint64_t anyRaw[kMaxSimdWords];
+    /**
+     * outcome[o][j]: lanes classified as DecodeOutcome o. The six
+     * masks partition the lanes; error-free lanes land in
+     * outcome[NoError].
+     */
+    std::uint64_t outcome[6][kMaxSimdWords];
+
+    std::size_t words() const { return words_; }
+    std::size_t lanes() const { return 64 * words_; }
+
+    /**
+     * Size for codes of @p n bit positions and @p words-wide lane
+     * groups. Idempotent and cheap when the shape is unchanged, so
+     * callers may invoke it per batch.
+     */
+    void prepare(std::size_t n, std::size_t words)
+    {
+        BEER_ASSERT(words >= 1 && words <= kMaxSimdWords);
+        if (n_ == n && words_ == words)
+            return;
+        n_ = n;
+        words_ = words;
+        correction.assign(n * words, 0);
+        touched.clear();
+    }
+
+  private:
+    std::size_t n_ = 0;
+    std::size_t words_ = 0;
+};
+
+/**
+ * Decode and classify V::kWords * 64 words given their raw-error lane
+ * buffer (@p error_lanes, n x V::kWords uint64s, position-major).
+ * @p out must have been prepare()d for (decoder.n(), V::kWords).
+ * All-zero lanes cost nothing and classify as NoError.
+ */
+template <typename V>
+void
+decodeWide(const BitslicedDecoder &decoder,
+           const std::uint64_t *error_lanes, WideDecodeLanes &out)
+{
+    constexpr std::size_t W = V::kWords;
+    const std::size_t n = decoder.n();
+    const std::size_t r = decoder.numParityBits();
+
+    // Clear the previous call's corrections without touching the
+    // untouched (still-zero) rows.
+    for (const std::uint32_t pos : out.touched) {
+        const V z = V::zero();
+        z.store(&out.correction[(std::size_t)pos * W]);
+    }
+    out.touched.clear();
+
+    // Syndrome lanes: s[row] has lane L set iff word L's syndrome has
+    // bit row set.
+    V s[BitslicedDecoder::kMaxParityBits];
+    V nonzero = V::zero();
+    const auto &row_support = decoder.rowSupport();
+    for (std::size_t row = 0; row < r; ++row) {
+        V acc = V::zero();
+        for (const std::uint32_t pos : row_support[row])
+            acc ^= V::load(error_lanes + (std::size_t)pos * W);
+        s[row] = acc;
+        nonzero |= acc;
+    }
+
+    // Raw-error census: lanes with any error, and with exactly one.
+    V seen_one = V::zero();
+    V seen_two = V::zero();
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        const V e = V::load(error_lanes + pos * W);
+        seen_two |= seen_one & e;
+        seen_one |= e;
+    }
+    const V exactly_one = V::andnot(seen_two, seen_one);
+
+    // Column match: a lane matches a column iff every syndrome bit
+    // agrees with the column's pattern. Candidate lanes shrink as
+    // matches are claimed, which makes sparse batches cheap.
+    V corrected_any = V::zero();
+    V flipped_real = V::zero();
+    V candidates = nonzero;
+    for (const auto &[pos, pattern] : decoder.correctable()) {
+        if (!candidates.any())
+            break;
+        V match = candidates;
+        for (std::size_t row = 0; row < r && match.any(); ++row)
+            match = (pattern >> row) & 1 ? match & s[row]
+                                         : V::andnot(s[row], match);
+        if (!match.any())
+            continue;
+        match.store(&out.correction[(std::size_t)pos * W]);
+        out.touched.push_back(pos);
+        corrected_any |= match;
+        flipped_real |= match & V::load(error_lanes + (std::size_t)pos * W);
+        candidates = V::andnot(match, candidates);
+    }
+
+    seen_one.store(out.anyRaw);
+    // outcome[NoError] = ~seen_one: complement via andnot against
+    // all-ones, built once here instead of widening Vec's interface.
+    {
+        std::uint64_t ones[W];
+        for (std::size_t j = 0; j < W; ++j)
+            ones[j] = ~(std::uint64_t)0;
+        const V all = V::load(ones);
+        V::andnot(seen_one, all)
+            .store(out.outcome[(std::size_t)DecodeOutcome::NoError]);
+    }
+    (flipped_real & exactly_one)
+        .store(out.outcome[(std::size_t)DecodeOutcome::Corrected]);
+    V::andnot(exactly_one, flipped_real)
+        .store(out.outcome[(std::size_t)DecodeOutcome::PartialCorrection]);
+    V::andnot(flipped_real, corrected_any)
+        .store(out.outcome[(std::size_t)DecodeOutcome::Miscorrection]);
+    V::andnot(nonzero, seen_one)
+        .store(out.outcome[(std::size_t)DecodeOutcome::SilentCorruption]);
+    V::andnot(corrected_any, nonzero)
+        .store(out.outcome[(std::size_t)DecodeOutcome::DetectedUncorrectable]);
+}
+
+} // namespace beer::ecc
+
+#endif // BEER_ECC_BITSLICED_KERNEL_HH

@@ -1,0 +1,67 @@
+#include "sim/engine.hh"
+
+namespace beer::sim
+{
+
+using util::simd::Backend;
+
+namespace
+{
+
+const EngineKernel &
+kernelForWidth(Backend backend)
+{
+    switch (backend) {
+      case Backend::U64x4:
+        if (util::simd::cpuHasAvx2())
+            if (const EngineKernel *native = engineU64x4Avx2())
+                return *native;
+        return engineU64x4Generic();
+      case Backend::U64x8:
+        if (util::simd::cpuHasAvx512f())
+            if (const EngineKernel *native = engineU64x8Avx512())
+                return *native;
+        return engineU64x8Generic();
+      case Backend::U64x1:
+      case Backend::Auto:
+        break;
+    }
+    return engineU64x1Generic();
+}
+
+/** Widest kernel that runs natively on this host and build. */
+const EngineKernel &
+widestNativeKernel()
+{
+    if (util::simd::cpuHasAvx512f())
+        if (const EngineKernel *native = engineU64x8Avx512())
+            return *native;
+    if (util::simd::cpuHasAvx2())
+        if (const EngineKernel *native = engineU64x4Avx2())
+            return *native;
+    return engineU64x1Generic();
+}
+
+} // anonymous namespace
+
+const EngineKernel &
+engineKernel(Backend backend)
+{
+    const Backend requested = util::simd::requestedBackend(backend);
+    if (requested == Backend::Auto)
+        return widestNativeKernel();
+    return kernelForWidth(requested);
+}
+
+const EngineKernel &
+engineKernelForLanes(Backend backend, std::size_t count)
+{
+    const EngineKernel &cap = engineKernel(backend);
+    if (count <= 64 && cap.words > 1)
+        return engineU64x1Generic();
+    if (count <= 256 && cap.words > 4)
+        return kernelForWidth(Backend::U64x4);
+    return cap;
+}
+
+} // namespace beer::sim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Runtime dispatch over the width-generic simulation kernels.
+ *
+ * Every SIMD backend (util/simd.hh) is served by one EngineKernel: a
+ * table of function pointers into kernels instantiated for that
+ * backend's vector word. The portable instantiations live in
+ * engine_generic.cc (compiled with baseline flags, runnable
+ * anywhere); the intrinsic instantiations live in engine_avx2.cc /
+ * engine_avx512.cc, the only translation units built with -mavx2 /
+ * -mavx512f, and are handed out only when CPUID confirms the host
+ * executes them. Forcing a width on a host without the matching ISA
+ * therefore selects the portable fallback of the same width — same
+ * statistics, bit for bit, just slower — which is what makes
+ * cross-backend equivalence testable on any machine.
+ */
+
+#ifndef BEER_SIM_ENGINE_HH
+#define BEER_SIM_ENGINE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ecc/bitsliced.hh"
+#include "ecc/bitsliced_kernel.hh"
+#include "sim/word_sim.hh"
+#include "util/rng.hh"
+#include "util/simd.hh"
+
+namespace beer::sim
+{
+
+/** Function table of one backend's kernel instantiations. */
+struct EngineKernel
+{
+    /** Display name, e.g. "u64x4-avx2" or "u64x4-generic". */
+    const char *name;
+    /** 64-bit words per lane group (the V::kWords of the kernels). */
+    std::size_t words;
+    /** Simulated words per lane group: 64 * words. */
+    std::size_t lanes;
+    /** The backend this kernel serves. */
+    util::simd::Backend backend;
+    /** True when backed by native vector instructions. */
+    bool native;
+
+    /**
+     * One deterministic Monte-Carlo shard (the width-generic
+     * counterpart of PR 3's simulateBitslicedShard): skip-sample
+     * error cells over the (word, vulnerable-position) grid and
+     * decode erroneous words `lanes` at a time.
+     */
+    WordSimStats (*simulateShard)(const ecc::BitslicedDecoder &decoder,
+                                  const std::vector<std::size_t> &vulnerable,
+                                  double p, std::uint64_t num_words,
+                                  util::Rng &rng);
+
+    /**
+     * Decode one lane group: @p error_lanes is n x words uint64s
+     * (position-major); @p out must be prepare()d for (n, words).
+     */
+    void (*decodeBatch)(const ecc::BitslicedDecoder &decoder,
+                        const std::uint64_t *error_lanes,
+                        ecc::WideDecodeLanes &out);
+};
+
+/**
+ * Kernel for @p backend after full resolution: an explicit width maps
+ * to its native kernel when the CPU and build support it, else to the
+ * portable kernel of the same width; Auto consults BEER_SIMD, then
+ * picks the widest native kernel (u64x1 when none is).
+ */
+const EngineKernel &engineKernel(util::simd::Backend backend);
+
+/**
+ * Kernel for decoding batches of @p count words: the narrowest width
+ * covering count, capped at what @p backend resolves to — callers
+ * with small batches (e.g. BEEP's reads-per-pattern groups) should
+ * not pay for 512 lanes of kernel work to decode eight words.
+ */
+const EngineKernel &engineKernelForLanes(util::simd::Backend backend,
+                                         std::size_t count);
+
+/** @name Per-TU kernel factories (internal to the dispatch layer)
+ * The intrinsic factories return nullptr when their translation unit
+ * was compiled without the target ISA (non-x86 build, old compiler).
+ * @{ */
+const EngineKernel &engineU64x1Generic();
+const EngineKernel &engineU64x4Generic();
+const EngineKernel &engineU64x8Generic();
+const EngineKernel *engineU64x4Avx2();
+const EngineKernel *engineU64x8Avx512();
+/** @} */
+
+} // namespace beer::sim
+
+#endif // BEER_SIM_ENGINE_HH

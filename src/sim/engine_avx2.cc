@@ -1,0 +1,40 @@
+/**
+ * @file
+ * AVX2 instantiation of the u64x4 kernels.
+ *
+ * This is one of only two translation units compiled with a vector
+ * target flag (-mavx2; see the scoped set_source_files_properties in
+ * CMakeLists.txt — no global -march, binaries stay portable). The
+ * dispatch layer hands this kernel out only after CPUID confirms AVX2
+ * (util::simd::cpuHasAvx2), so the ymm code can never reach a host
+ * that would fault on it. Built without AVX2 support (non-x86, old
+ * compiler), the factory degrades to nullptr and dispatch falls back
+ * to the portable u64x4 kernel.
+ */
+
+#include "sim/engine.hh"
+
+#if defined(__AVX2__)
+#include "sim/engine_impl.hh"
+#include "util/simd_vec.hh"
+#endif
+
+namespace beer::sim
+{
+
+const EngineKernel *
+engineU64x4Avx2()
+{
+#if defined(__AVX2__)
+    using util::simd::Avx2Isa;
+    using util::simd::Vec;
+    static const EngineKernel kernel =
+        detail::makeEngineKernel<Vec<4, Avx2Isa>>(
+            "u64x4-avx2", util::simd::Backend::U64x4, /*native=*/true);
+    return &kernel;
+#else
+    return nullptr;
+#endif
+}
+
+} // namespace beer::sim

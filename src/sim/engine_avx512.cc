@@ -1,0 +1,39 @@
+/**
+ * @file
+ * AVX-512F instantiation of the u64x8 kernels.
+ *
+ * Compiled with -mavx512f scoped to this translation unit only (see
+ * CMakeLists.txt); the kernels restrict themselves to Foundation
+ * instructions (512-bit logic ops, loads/stores, test-mask), so the
+ * runtime gate is a single CPUID avx512f check. Built without AVX-512
+ * support, the factory degrades to nullptr and dispatch falls back to
+ * the portable u64x8 kernel.
+ */
+
+#include "sim/engine.hh"
+
+#if defined(__AVX512F__)
+#include "sim/engine_impl.hh"
+#include "util/simd_vec.hh"
+#endif
+
+namespace beer::sim
+{
+
+const EngineKernel *
+engineU64x8Avx512()
+{
+#if defined(__AVX512F__)
+    using util::simd::Avx512Isa;
+    using util::simd::Vec;
+    static const EngineKernel kernel =
+        detail::makeEngineKernel<Vec<8, Avx512Isa>>(
+            "u64x8-avx512", util::simd::Backend::U64x8,
+            /*native=*/true);
+    return &kernel;
+#else
+    return nullptr;
+#endif
+}
+
+} // namespace beer::sim

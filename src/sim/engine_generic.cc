@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Portable kernel instantiations, one per backend width.
+ *
+ * Compiled with the project's baseline flags only, so these run on
+ * any host — they are what a forced u64x4/u64x8 backend falls back to
+ * when the CPU (or the build) lacks AVX2/AVX-512, keeping every width
+ * testable everywhere. The u64x1 kernel is also the Auto choice on
+ * hosts with no native wide kernel.
+ */
+
+#include "sim/engine_impl.hh"
+#include "util/simd_vec.hh"
+
+namespace beer::sim
+{
+
+using util::simd::Backend;
+using util::simd::Vec;
+
+const EngineKernel &
+engineU64x1Generic()
+{
+    static const EngineKernel kernel =
+        detail::makeEngineKernel<Vec<1>>("u64x1", Backend::U64x1,
+                                         /*native=*/true);
+    return kernel;
+}
+
+const EngineKernel &
+engineU64x4Generic()
+{
+    static const EngineKernel kernel = detail::makeEngineKernel<Vec<4>>(
+        "u64x4-generic", Backend::U64x4, /*native=*/false);
+    return kernel;
+}
+
+const EngineKernel &
+engineU64x8Generic()
+{
+    static const EngineKernel kernel = detail::makeEngineKernel<Vec<8>>(
+        "u64x8-generic", Backend::U64x8, /*native=*/false);
+    return kernel;
+}
+
+} // namespace beer::sim

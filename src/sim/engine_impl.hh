@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Width-templated bodies of the simulation-engine kernels.
+ *
+ * Included by exactly one translation unit per backend
+ * (engine_generic.cc, engine_avx2.cc, engine_avx512.cc); each
+ * instantiates makeEngineKernel<V>() for its vector words, so every
+ * instantiation's code is generated under that TU's target flags and
+ * nothing compiled with -mavx* can leak into portable callers (the
+ * template argument types differ per ISA tag, hence so do all mangled
+ * symbols).
+ */
+
+#ifndef BEER_SIM_ENGINE_IMPL_HH
+#define BEER_SIM_ENGINE_IMPL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/bitsliced_kernel.hh"
+#include "sim/engine.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace beer::sim::detail
+{
+
+/**
+ * Bitsliced Monte-Carlo shard, V::kWords * 64 words per batch window:
+ * skip-sample error cells over the (word, vulnerable position) grid —
+ * each cell fails iid with probability p, exactly the scalar model —
+ * and gather erroneous words into a transposed lane buffer for the
+ * wide decode kernel. Error-free words never touch the kernel, and
+ * the per-shard scratch (batch rows, decode lanes) is allocated once
+ * and reused across every batch of the shard.
+ */
+template <typename V>
+WordSimStats
+simulateShardWide(const ecc::BitslicedDecoder &decoder,
+                  const std::vector<std::size_t> &vulnerable, double p,
+                  std::uint64_t num_words, util::Rng &rng)
+{
+    constexpr std::size_t W = V::kWords;
+    constexpr std::size_t kLanes = 64 * W;
+    const std::size_t n = decoder.n();
+    const std::size_t k = decoder.k();
+
+    WordSimStats stats;
+    stats.preCorrectionErrors.assign(n, 0);
+    stats.postCorrectionErrors.assign(k, 0);
+    stats.outcomes.assign(6, 0);
+    stats.wordsSimulated = num_words;
+
+    const std::uint64_t v = vulnerable.size();
+    BEER_ASSERT(v > 0 && num_words <= UINT64_MAX / v);
+    const std::uint64_t total_cells = num_words * v;
+    // Alias-table geometric: one raw Rng draw per error cell. Built
+    // once per shard; identical draw sequence for every backend.
+    const util::GeometricSampler gap(p);
+
+    // Transposed raw-error lanes, n rows x W words; only vulnerable
+    // rows are ever set, so flushes count and clear just those.
+    std::vector<std::uint64_t> batch(n * W, 0);
+    ecc::WideDecodeLanes lanes;
+    lanes.prepare(n, W);
+
+    // Post-correction errors at data bit b need popcount(error ^
+    // correction); both masks are zero except at vulnerable data bits
+    // (raw errors) and the decoder's touched rows (corrections), so
+    // flushes visit only those instead of all k rows.
+    std::vector<std::size_t> data_vulnerable;
+    std::vector<std::uint8_t> is_data_vulnerable(k, 0);
+    for (const std::size_t pos : vulnerable)
+        if (pos < k) {
+            data_vulnerable.push_back(pos);
+            is_data_vulnerable[pos] = 1;
+        }
+
+    // batch_limit == 0 doubles as "no open window": word indices are
+    // always >= 0, so the first error cell rebases without a flush
+    // and the steady-state fill path costs one predictable branch.
+    std::uint64_t batch_base = 0;
+    std::uint64_t batch_limit = 0;
+
+    auto flush = [&]() {
+        ecc::decodeWide<V>(decoder, batch.data(), lanes);
+        std::uint64_t raw = 0;
+        for (std::size_t j = 0; j < W; ++j)
+            raw += (std::uint64_t)util::popcount64(lanes.anyRaw[j]);
+        stats.wordsWithRawErrors += raw;
+        // NoError is accounted arithmetically at the end; the other
+        // five outcome masks are all subsets of anyRaw.
+        for (std::size_t o = 1; o < 6; ++o)
+            for (std::size_t j = 0; j < W; ++j)
+                stats.outcomes[o] +=
+                    (std::uint64_t)util::popcount64(lanes.outcome[o][j]);
+        for (const std::size_t pos : vulnerable) {
+            std::uint64_t *row = &batch[pos * W];
+            std::uint64_t count = 0;
+            for (std::size_t j = 0; j < W; ++j)
+                count += (std::uint64_t)util::popcount64(row[j]);
+            stats.preCorrectionErrors[pos] += count;
+        }
+        for (const std::size_t bit : data_vulnerable) {
+            const std::uint64_t *row = &batch[bit * W];
+            const std::uint64_t *corr = &lanes.correction[bit * W];
+            std::uint64_t count = 0;
+            for (std::size_t j = 0; j < W; ++j)
+                count += (std::uint64_t)util::popcount64(row[j] ^
+                                                         corr[j]);
+            stats.postCorrectionErrors[bit] += count;
+        }
+        for (const std::uint32_t pos : lanes.touched) {
+            if (pos >= k || is_data_vulnerable[pos])
+                continue; // parity row, or already counted above
+            const std::uint64_t *corr = &lanes.correction[pos * W];
+            std::uint64_t count = 0;
+            for (std::size_t j = 0; j < W; ++j)
+                count += (std::uint64_t)util::popcount64(corr[j]);
+            stats.postCorrectionErrors[pos] += count;
+        }
+        for (const std::size_t pos : vulnerable) {
+            std::uint64_t *row = &batch[pos * W];
+            for (std::size_t j = 0; j < W; ++j)
+                row[j] = 0;
+        }
+    };
+
+    // The flat cell index fits 32 bits for every sane shard size
+    // (wordsPerShard defaults to 2^16), which unlocks the reciprocal
+    // divide; fall back to hardware division on oversized shards.
+    const bool small = total_cells <= UINT32_MAX;
+    const util::FastDiv32 divv(
+        (std::uint32_t)(small ? v : 1));
+
+    auto visit = [&](std::uint64_t word, std::size_t pos) {
+        if (word >= batch_limit) {
+            if (batch_limit)
+                flush();
+            // Anchor the window at the first erroneous word, so
+            // sparse error rates still fill batches densely.
+            batch_base = word;
+            batch_limit = word + kLanes;
+        }
+        const std::size_t lane = (std::size_t)(word - batch_base);
+        batch[pos * W + lane / 64] |= (std::uint64_t)1 << (lane & 63);
+    };
+
+    if (small) {
+        gap.forEach(rng, total_cells, [&](std::uint64_t cell) {
+            const std::uint32_t word = divv.div((std::uint32_t)cell);
+            const std::uint32_t idx =
+                (std::uint32_t)cell - word * (std::uint32_t)v;
+            visit(word, vulnerable[idx]);
+        });
+    } else {
+        gap.forEach(rng, total_cells, [&](std::uint64_t cell) {
+            visit(cell / v, vulnerable[(std::size_t)(cell % v)]);
+        });
+    }
+    if (batch_limit)
+        flush();
+    stats.outcomes[(std::size_t)ecc::DecodeOutcome::NoError] =
+        num_words - stats.wordsWithRawErrors;
+    return stats;
+}
+
+/** EngineKernel over V's instantiations; name/backend supplied by the TU. */
+template <typename V>
+EngineKernel
+makeEngineKernel(const char *name, util::simd::Backend backend,
+                 bool native)
+{
+    EngineKernel kernel;
+    kernel.name = name;
+    kernel.words = V::kWords;
+    kernel.lanes = 64 * V::kWords;
+    kernel.backend = backend;
+    kernel.native = native;
+    kernel.simulateShard = &simulateShardWide<V>;
+    kernel.decodeBatch = &ecc::decodeWide<V>;
+    return kernel;
+}
+
+} // namespace beer::sim::detail
+
+#endif // BEER_SIM_ENGINE_IMPL_HH

@@ -5,7 +5,7 @@
 #include <optional>
 
 #include "ecc/bitsliced.hh"
-#include "sim/batch.hh"
+#include "sim/engine.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -157,76 +157,13 @@ simulateScalarShard(const ecc::LinearCode &code, const BitVec &codeword,
 }
 
 /**
- * Bitsliced path: skip-sample error cells over the (word, vulnerable
- * position) grid — each cell fails iid with probability p, exactly the
- * scalar model — and gather erroneous words 64 at a time into a
- * transposed batch for the lane-parallel decode kernel. Error-free
- * words never touch the kernel.
- */
-WordSimStats
-simulateBitslicedShard(const ecc::BitslicedDecoder &decoder,
-                       const std::vector<std::size_t> &vulnerable,
-                       double p, std::uint64_t num_words, util::Rng &rng)
-{
-    const std::size_t n = decoder.n();
-    const std::size_t k = decoder.k();
-    WordSimStats stats = emptyStats(n, k, num_words);
-
-    const std::uint64_t v = vulnerable.size();
-    BEER_ASSERT(v > 0 && num_words <= UINT64_MAX / v);
-    const std::uint64_t total_cells = num_words * v;
-    const util::GeometricSkip gap(p);
-
-    BitslicedBatch batch(n);
-    ecc::BitslicedDecodeLanes lanes;
-    std::uint64_t batch_base = 0;
-    bool dirty = false;
-
-    auto flush = [&]() {
-        decoder.decode(batch.lanes(), lanes);
-        stats.wordsWithRawErrors +=
-            (std::uint64_t)util::popcount64(lanes.anyRaw);
-        // NoError is accounted arithmetically at the end; the other
-        // five outcome masks are all subsets of anyRaw.
-        for (std::size_t o = 1; o < kNumOutcomes; ++o)
-            stats.outcomes[o] +=
-                (std::uint64_t)util::popcount64(lanes.outcome[o]);
-        for (const std::size_t pos : vulnerable)
-            stats.preCorrectionErrors[pos] +=
-                (std::uint64_t)util::popcount64(batch.lane(pos));
-        for (std::size_t bit = 0; bit < k; ++bit)
-            stats.postCorrectionErrors[bit] +=
-                (std::uint64_t)util::popcount64(batch.lane(bit) ^
-                                                lanes.correction[bit]);
-        batch.clear();
-    };
-
-    gap.forEach(rng, total_cells, [&](std::uint64_t cell) {
-        const std::uint64_t word = cell / v;
-        const std::size_t pos = vulnerable[(std::size_t)(cell % v)];
-        if (dirty && word >= batch_base + BitslicedBatch::kLanes) {
-            flush();
-            dirty = false;
-        }
-        if (!dirty) {
-            // Anchor the 64-word window at the first erroneous word,
-            // so sparse error rates still fill batches densely.
-            batch_base = word;
-            dirty = true;
-        }
-        batch.setBit(pos, (unsigned)(word - batch_base));
-    });
-    if (dirty)
-        flush();
-    stats.outcomes[(std::size_t)ecc::DecodeOutcome::NoError] =
-        num_words - stats.wordsWithRawErrors;
-    return stats;
-}
-
-/**
  * Deterministic sharded driver: fork one Rng stream per fixed-size
  * shard (in shard order), run shards on the pool, and merge stats in
- * shard order. The thread count affects scheduling only.
+ * shard order. The thread count affects scheduling only, and the
+ * SIMD backend (which sizes the in-shard lane groups) only changes
+ * how erroneous words are grouped for decoding — never what any word
+ * decodes to — so stats are bit-identical across thread counts AND
+ * backends.
  */
 WordSimStats
 simulateSharded(const ecc::LinearCode &code, const BitVec &codeword,
@@ -253,10 +190,15 @@ simulateSharded(const ecc::LinearCode &code, const BitVec &codeword,
     for (std::size_t s = 0; s < num_shards; ++s)
         shard_rngs.push_back(rng.fork());
 
-    // Built once and shared read-only by every worker.
+    // Built once and shared read-only by every worker; the kernel
+    // table is resolved once per call (config, then BEER_SIMD, then
+    // CPUID), never per shard.
     std::optional<ecc::BitslicedDecoder> decoder;
-    if (config.bitsliced)
+    const EngineKernel *kernel = nullptr;
+    if (config.bitsliced) {
         decoder.emplace(code);
+        kernel = &engineKernel(config.simdBackend);
+    }
 
     std::vector<WordSimStats> shard_stats(num_shards);
     auto run_shard = [&](std::size_t s) {
@@ -265,8 +207,8 @@ simulateSharded(const ecc::LinearCode &code, const BitVec &codeword,
             std::min<std::uint64_t>(shard_words, num_words - begin);
         shard_stats[s] =
             config.bitsliced
-                ? simulateBitslicedShard(*decoder, vulnerable, p, count,
-                                         shard_rngs[s])
+                ? kernel->simulateShard(*decoder, vulnerable, p, count,
+                                        shard_rngs[s])
                 : simulateScalarShard(code, codeword, vulnerable, p,
                                       count, shard_rngs[s]);
     };

@@ -16,9 +16,10 @@
  *
  *  - skip-sampling: error cells are reached by geometric jumps, so
  *    error-free words and cells cost O(1);
- *  - bitsliced decoding: erroneous words are gathered 64 at a time
- *    into transposed lane masks (sim/batch.hh) and decoded/classified
- *    lane-parallel (ecc/bitsliced.hh);
+ *  - bitsliced decoding: erroneous words are gathered into transposed
+ *    lane groups of 64/256/512 words (SIMD backend, see util/simd.hh
+ *    and sim/engine.hh) and decoded/classified lane-parallel
+ *    (ecc/bitsliced_kernel.hh);
  *  - deterministic multithreaded sharding: the word count is split
  *    into fixed-size shards, each drawing from its own Rng::fork()ed
  *    stream keyed by shard index and merged in shard order, so results
@@ -39,6 +40,7 @@
 #include "ecc/linear_code.hh"
 #include "gf2/bitvec.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 namespace beer::util
 {
@@ -72,11 +74,20 @@ struct WordSimStats
 struct SimConfig
 {
     /**
-     * Decode erroneous words 64 at a time with the bitsliced kernel;
-     * false selects the scalar reference path (same statistics,
-     * different Rng stream consumption).
+     * Decode erroneous words in bitsliced lane groups; false selects
+     * the scalar reference path (same statistics, different Rng
+     * stream consumption).
      */
     bool bitsliced = true;
+    /**
+     * SIMD width of the bitsliced kernels: Auto resolves via the
+     * BEER_SIMD environment variable, then CPUID (widest native
+     * kernel). Statistics are bit-identical for every backend — lane
+     * grouping never changes what any single word decodes to — so
+     * forcing a width only changes speed, and the portable fallback
+     * makes every width runnable on every host.
+     */
+    util::simd::Backend simdBackend = util::simd::Backend::Auto;
     /**
      * Worker threads (including the caller); 0 means all hardware
      * threads. Results are bit-identical for every value: threads only

@@ -47,6 +47,42 @@ lowMask64(unsigned n)
     return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
 }
 
+/**
+ * Exact unsigned division by a fixed 32-bit divisor via Lemire's
+ * reciprocal method: one 64x64->128 multiply instead of a ~25-cycle
+ * udiv. The simulation engine's skip-sampling loop divides every
+ * sampled error cell's flat index by the vulnerable-position count,
+ * which made the hardware divider a measurable fraction of the decode
+ * hot path. Quotients are exact for every n < 2^32.
+ */
+class FastDiv32
+{
+  public:
+    explicit FastDiv32(std::uint32_t d) : d_(d)
+    {
+        // d == 1 would overflow the reciprocal (2^64); handled by a
+        // predictable branch in div().
+        magic_ = d > 1 ? ~(std::uint64_t)0 / d + 1 : 0;
+    }
+
+    std::uint32_t div(std::uint32_t n) const
+    {
+#if defined(__SIZEOF_INT128__)
+        if (d_ == 1)
+            return n;
+        return (std::uint32_t)(((unsigned __int128)magic_ * n) >> 64);
+#else
+        return n / d_;
+#endif
+    }
+
+    std::uint32_t divisor() const { return d_; }
+
+  private:
+    std::uint64_t magic_;
+    std::uint32_t d_;
+};
+
 } // namespace beer::util
 
 #endif // BEER_UTIL_BITOPS_HH

@@ -19,12 +19,6 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // anonymous namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -36,20 +30,6 @@ Rng::Rng(std::uint64_t seed)
     // four zero outputs in a row, but keep the guard for clarity.
     if (!(s_[0] | s_[1] | s_[2] | s_[3]))
         s_[0] = 1;
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
 }
 
 std::uint64_t
@@ -163,6 +143,68 @@ GeometricSkip::operator()(Rng &rng) const
     // succeeds, as it should.
     const double g = std::log(u) * invLogQ_;
     return g >= 0x1p62 ? (std::uint64_t)1 << 62 : (std::uint64_t)g;
+}
+
+GeometricSampler::GeometricSampler(double p) : skip_(p)
+{
+    // Mean gap 1/p - 1 must sit well below kTail or nearly every draw
+    // lands in the tail and loops; past the cutoff the log method is
+    // already cheap per simulated cell because draws are rare.
+    useAlias_ = p >= 0.02;
+    if (!useAlias_)
+        return;
+
+    // pmf over {0 .. kTail-1} plus the tail sentinel at index kTail.
+    const double q = 1.0 - p;
+    double pmf[kSlots];
+    double mass = 0.0;
+    double term = p;
+    for (std::size_t g = 0; g < kTail; ++g) {
+        pmf[g] = term;
+        mass += term;
+        term *= q;
+    }
+    pmf[kTail] = mass < 1.0 ? 1.0 - mass : 0.0; // P(gap >= kTail) = q^kTail
+
+    // Vose's alias method: every slot keeps itself with probability
+    // scaled[i] (against a uniform) or defers to one alias outcome.
+    double scaled[kSlots];
+    std::uint16_t small[kSlots];
+    std::uint16_t large[kSlots];
+    std::size_t num_small = 0;
+    std::size_t num_large = 0;
+    for (std::size_t i = 0; i < kSlots; ++i) {
+        scaled[i] = pmf[i] * (double)kSlots;
+        if (scaled[i] < 1.0)
+            small[num_small++] = (std::uint16_t)i;
+        else
+            large[num_large++] = (std::uint16_t)i;
+    }
+    // Keep-probability 1.0 maps to 2^56 exactly (representable: the
+    // threshold compare is against a 56-bit value, always below it).
+    const double fixed_one = 0x1.0p56;
+    while (num_small > 0 && num_large > 0) {
+        const std::uint16_t s = small[--num_small];
+        const std::uint16_t l = large[--num_large];
+        threshold_[s] = (std::uint64_t)(scaled[s] * fixed_one);
+        alias_[s] = l;
+        scaled[l] -= 1.0 - scaled[s];
+        if (scaled[l] < 1.0)
+            small[num_small++] = l;
+        else
+            large[num_large++] = l;
+    }
+    // Leftovers hold (numerically) exactly probability 1.
+    while (num_large > 0) {
+        const std::uint16_t l = large[--num_large];
+        threshold_[l] = (std::uint64_t)fixed_one;
+        alias_[l] = l;
+    }
+    while (num_small > 0) {
+        const std::uint16_t s = small[--num_small];
+        threshold_[s] = (std::uint64_t)fixed_one;
+        alias_[s] = s;
+    }
 }
 
 double

@@ -11,6 +11,7 @@
 #define BEER_UTIL_RNG_HH
 
 #include <cstdint>
+#include <utility>
 
 namespace beer::util
 {
@@ -25,8 +26,23 @@ class Rng
     /** Seed via splitmix64 expansion of @p seed. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-    /** Next raw 64-bit output. */
-    std::uint64_t next();
+    /**
+     * Next raw 64-bit output. Inline: one draw per sampled error
+     * cell makes this the single most-called function in the
+     * simulation engine's hot loop.
+     */
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound) via Lemire's method; bound > 0. */
     std::uint64_t below(std::uint64_t bound);
@@ -62,10 +78,38 @@ class Rng
     Rng fork();
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
     double cachedNormal_ = 0.0;
     bool hasCachedNormal_ = false;
 };
+
+/**
+ * Invoke fn(i) for every success index i in [0, total), ascending,
+ * with gaps drawn from @p gaps (any Geometric(p) sampler callable as
+ * gaps(rng)): the skip-sampling equivalent of `for i < total: if
+ * rng.bernoulli(p) fn(i)`, at O(successes) cost. Shared by the gap
+ * samplers' forEach methods so the termination/overflow logic exists
+ * once.
+ */
+template <typename GapSampler, typename Fn>
+void
+forEachSuccess(const GapSampler &gaps, Rng &rng, std::uint64_t total,
+               Fn &&fn)
+{
+    std::uint64_t i = gaps(rng);
+    while (i < total) {
+        fn(i);
+        const std::uint64_t jump = gaps(rng) + 1;
+        if (total - i <= jump)
+            break;
+        i += jump;
+    }
+}
 
 /**
  * Geometric(p) sampler with the log(1-p) denominator hoisted, for
@@ -82,26 +126,92 @@ class GeometricSkip
 
     std::uint64_t operator()(Rng &rng) const;
 
-    /**
-     * Invoke fn(i) for every success index i in [0, total), ascending:
-     * the skip-sampling equivalent of `for i < total: if
-     * rng.bernoulli(p) fn(i)`, at O(successes) cost.
-     */
+    /** forEachSuccess with this sampler's gaps. */
     template <typename Fn>
     void forEach(Rng &rng, std::uint64_t total, Fn &&fn) const
     {
-        std::uint64_t i = (*this)(rng);
-        while (i < total) {
-            fn(i);
-            const std::uint64_t jump = (*this)(rng) + 1;
-            if (total - i <= jump)
-                break;
-            i += jump;
-        }
+        forEachSuccess(*this, rng, total, std::forward<Fn>(fn));
     }
 
   private:
     double invLogQ_;
+};
+
+/**
+ * Geometric(p) sampler optimized for dense skip-sampling loops.
+ *
+ * GeometricSkip pays a libm log() per gap (~18 cycles); at the
+ * simulation engine's default workloads that one call is the largest
+ * scalar cost left per simulated word, and it throttles the SIMD
+ * backends (Amdahl). This sampler instead draws from an alias table
+ * (Vose's method) over the outcomes {0 .. kTail-1} plus a tail
+ * sentinel: one raw 64-bit draw picks a table slot from the low bits
+ * and a 56-bit threshold uniform from the high bits, so a gap costs a
+ * lookup and an integer compare. Hitting the sentinel adds kTail and redraws —
+ * geometric distributions are memoryless — which stays cheap as long
+ * as the mean gap is well below kTail; below the density cutoff the
+ * sampler simply delegates to GeometricSkip, whose cost is then
+ * amortized over the huge gaps anyway.
+ *
+ * The table is built once per construction (~kTail flops), so build
+ * one per shard, not per draw. The sampled distribution is
+ * Geometric(p) exactly (up to double rounding of the table), and the
+ * draw sequence is a pure function of (p, Rng stream) — identical for
+ * every SIMD backend, which the engine's cross-backend bit-identity
+ * contract relies on.
+ */
+class GeometricSampler
+{
+  public:
+    /** Outcomes resolved per table draw; tail adds this and redraws. */
+    static constexpr std::size_t kTail = 255;
+
+    /** @param p success probability in (0, 1]. */
+    explicit GeometricSampler(double p);
+
+    /** Inline: one draw sits on the engine's per-error-cell path. */
+    std::uint64_t operator()(Rng &rng) const
+    {
+        if (!useAlias_)
+            return skip_(rng);
+        std::uint64_t result = 0;
+        while (true) {
+            const std::uint64_t r = rng.next();
+            // Low 8 bits pick the slot; bits 8..63 form an
+            // independent 56-bit threshold uniform.
+            const std::size_t slot = (std::size_t)(r & (kSlots - 1));
+            const std::size_t g =
+                (r >> 8) < threshold_[slot] ? slot : alias_[slot];
+            if (g != kTail)
+                return result + g;
+            result += kTail;
+        }
+    }
+
+    /** forEachSuccess with this sampler's gaps. */
+    template <typename Fn>
+    void forEach(Rng &rng, std::uint64_t total, Fn &&fn) const
+    {
+        forEachSuccess(*this, rng, total, std::forward<Fn>(fn));
+    }
+
+    /** True when draws use the alias table (exposed for tests). */
+    bool usesAliasTable() const { return useAlias_; }
+
+  private:
+    static constexpr std::size_t kSlots = 256;
+
+    bool useAlias_;
+    /** log-method fallback for sparse rates (mean gap >> kTail). */
+    GeometricSkip skip_;
+    /**
+     * Keep-slot threshold against a 56-bit uniform, in 8.56
+     * fixed-point so a draw is one integer compare (quantizing the
+     * table to 2^-56 is far below the double rounding already in it).
+     */
+    std::uint64_t threshold_[kSlots];
+    /** Outcome when the threshold rejects the slot. */
+    std::uint16_t alias_[kSlots];
 };
 
 } // namespace beer::util

@@ -1,0 +1,108 @@
+#include "util/simd.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace beer::util::simd
+{
+
+const char *
+backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::Auto:
+        return "auto";
+      case Backend::U64x1:
+        return "u64x1";
+      case Backend::U64x4:
+        return "u64x4";
+      case Backend::U64x8:
+        return "u64x8";
+    }
+    return "?";
+}
+
+std::optional<Backend>
+parseBackend(const std::string &text)
+{
+    if (text == "auto")
+        return Backend::Auto;
+    if (text == "u64x1")
+        return Backend::U64x1;
+    if (text == "u64x4")
+        return Backend::U64x4;
+    if (text == "u64x8")
+        return Backend::U64x8;
+    return std::nullopt;
+}
+
+std::size_t
+backendWords(Backend backend)
+{
+    switch (backend) {
+      case Backend::U64x1:
+        return 1;
+      case Backend::U64x4:
+        return 4;
+      case Backend::U64x8:
+        return 8;
+      case Backend::Auto:
+        break;
+    }
+    return 0;
+}
+
+std::size_t
+backendLanes(Backend backend)
+{
+    return 64 * backendWords(backend);
+}
+
+bool
+cpuHasAvx2()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    static const bool has = __builtin_cpu_supports("avx2");
+    return has;
+#else
+    return false;
+#endif
+}
+
+bool
+cpuHasAvx512f()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    static const bool has = __builtin_cpu_supports("avx512f");
+    return has;
+#else
+    return false;
+#endif
+}
+
+Backend
+envBackend()
+{
+    // Re-read every call (cheap relative to a simulate call) so tests
+    // can force widths with setenv() without process restarts.
+    const char *value = std::getenv("BEER_SIMD");
+    if (!value || !*value)
+        return Backend::Auto;
+    const auto parsed = parseBackend(value);
+    if (!parsed)
+        fatal("BEER_SIMD='%s' is not a SIMD backend (expected auto, "
+              "u64x1, u64x4, or u64x8)",
+              value);
+    return *parsed;
+}
+
+Backend
+requestedBackend(Backend requested)
+{
+    if (requested != Backend::Auto)
+        return requested;
+    return envBackend();
+}
+
+} // namespace beer::util::simd

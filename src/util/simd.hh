@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SIMD backend selection for the bitsliced simulation engine.
+ *
+ * The engine's hot kernels are generic over an abstract SIMD word of
+ * W * 64 lanes (util/simd_vec.hh); this header names the widths the
+ * library ships and decides which one a run uses:
+ *
+ *  - Backend::U64x1: one uint64 per lane mask (the PR 3 engine);
+ *  - Backend::U64x4: 256-bit groups, AVX2 intrinsics when the host
+ *    supports them, a portable 4 x uint64 fallback otherwise;
+ *  - Backend::U64x8: 512-bit groups, AVX-512F intrinsics or a portable
+ *    8 x uint64 fallback.
+ *
+ * Selection order: an explicit SimConfig::simdBackend wins, then the
+ * BEER_SIMD environment variable (u64x1 | u64x4 | u64x8 | auto), then
+ * CPUID auto-detection of the widest native kernel. Forcing a width
+ * the CPU cannot run natively is always legal — the portable fallback
+ * produces bit-identical statistics — which is what makes every width
+ * testable on any host.
+ */
+
+#ifndef BEER_UTIL_SIMD_HH
+#define BEER_UTIL_SIMD_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace beer::util::simd
+{
+
+/** Lane-mask width of the bitsliced engine; see file docs. */
+enum class Backend
+{
+    /** Resolve via BEER_SIMD, then CPUID (widest native kernel). */
+    Auto,
+    /** 64 lanes per group, one uint64 per codeword position. */
+    U64x1,
+    /** 256 lanes per group (AVX2 when native). */
+    U64x4,
+    /** 512 lanes per group (AVX-512F when native). */
+    U64x8,
+};
+
+/** Canonical lowercase name ("auto", "u64x1", "u64x4", "u64x8"). */
+const char *backendName(Backend backend);
+
+/** Parse a backend name; std::nullopt on anything unrecognized. */
+std::optional<Backend> parseBackend(const std::string &text);
+
+/** 64-bit words per lane group (Auto reports 0). */
+std::size_t backendWords(Backend backend);
+
+/** Lanes (simulated words) per group: 64 * backendWords. */
+std::size_t backendLanes(Backend backend);
+
+/** True iff the CPU executes AVX2 instructions. */
+bool cpuHasAvx2();
+
+/** True iff the CPU executes AVX-512 Foundation instructions. */
+bool cpuHasAvx512f();
+
+/**
+ * Backend requested by the BEER_SIMD environment variable, re-read on
+ * every call so tests can flip it with setenv(); Auto when the
+ * variable is unset or "auto". Fatal on unparseable values, so a typo
+ * in a sweep script cannot silently benchmark the wrong engine.
+ */
+Backend envBackend();
+
+/**
+ * Collapse a configured backend to a concrete width: @p requested if
+ * explicit, else the BEER_SIMD override, else Auto (the caller — see
+ * sim::engineKernel — picks the widest native width for Auto, because
+ * only the dispatch layer knows which kernels were compiled in).
+ */
+Backend requestedBackend(Backend requested);
+
+} // namespace beer::util::simd
+
+#endif // BEER_UTIL_SIMD_HH

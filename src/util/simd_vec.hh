@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Abstract SIMD words for the bitsliced kernels.
+ *
+ * Vec<W, Isa> is a register of W 64-bit lane masks with exactly the
+ * operations the decode kernel needs: load/store against plain uint64
+ * buffers, XOR / AND / OR, and-not, all-ones complement, and an
+ * any-bit-set test. The primary template is portable C++ over a
+ * uint64 array; the AVX2 (W = 4) and AVX-512F (W = 8) specializations
+ * map one Vec to one ymm/zmm register.
+ *
+ * ISA tags keep instantiations compiled under different target flags
+ * in distinct types, so the intrinsic translation units
+ * (sim/engine_avx2.cc, sim/engine_avx512.cc — the only ones built
+ * with -mavx2 / -mavx512f) can never collide with the portable
+ * fallbacks at link time. The intrinsic tags only exist when the
+ * including TU is compiled with the matching target flag; nothing
+ * else may name them.
+ *
+ * Lane masks live in ordinary memory between kernel steps (the batch
+ * fill path sets single bits, which wide registers do badly), so Vec
+ * deliberately has no per-lane accessors: transpose-side code indexes
+ * the underlying uint64 buffer directly.
+ */
+
+#ifndef BEER_UTIL_SIMD_VEC_HH
+#define BEER_UTIL_SIMD_VEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace beer::util::simd
+{
+
+/** Tag for the portable uint64-array implementation. */
+struct GenericIsa
+{
+};
+
+/** Portable W x 64-bit SIMD word; see file docs. */
+template <std::size_t W, typename Isa = GenericIsa>
+struct Vec
+{
+    static constexpr std::size_t kWords = W;
+
+    std::uint64_t w[W];
+
+    static Vec zero()
+    {
+        Vec v;
+        for (std::size_t i = 0; i < W; ++i)
+            v.w[i] = 0;
+        return v;
+    }
+
+    static Vec load(const std::uint64_t *p)
+    {
+        Vec v;
+        std::memcpy(v.w, p, W * sizeof(std::uint64_t));
+        return v;
+    }
+
+    void store(std::uint64_t *p) const
+    {
+        std::memcpy(p, w, W * sizeof(std::uint64_t));
+    }
+
+    /** ~a & b (maps to one instruction on every target ISA). */
+    static Vec andnot(Vec a, Vec b)
+    {
+        Vec v;
+        for (std::size_t i = 0; i < W; ++i)
+            v.w[i] = ~a.w[i] & b.w[i];
+        return v;
+    }
+
+    bool any() const
+    {
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < W; ++i)
+            acc |= w[i];
+        return acc != 0;
+    }
+
+    friend Vec operator^(Vec a, Vec b)
+    {
+        Vec v;
+        for (std::size_t i = 0; i < W; ++i)
+            v.w[i] = a.w[i] ^ b.w[i];
+        return v;
+    }
+
+    friend Vec operator&(Vec a, Vec b)
+    {
+        Vec v;
+        for (std::size_t i = 0; i < W; ++i)
+            v.w[i] = a.w[i] & b.w[i];
+        return v;
+    }
+
+    friend Vec operator|(Vec a, Vec b)
+    {
+        Vec v;
+        for (std::size_t i = 0; i < W; ++i)
+            v.w[i] = a.w[i] | b.w[i];
+        return v;
+    }
+
+    Vec &operator^=(Vec o) { return *this = *this ^ o; }
+    Vec &operator&=(Vec o) { return *this = *this & o; }
+    Vec &operator|=(Vec o) { return *this = *this | o; }
+};
+
+#if defined(__AVX2__)
+
+/** Tag for the AVX2 ymm implementation (only in -mavx2 TUs). */
+struct Avx2Isa
+{
+};
+
+template <>
+struct Vec<4, Avx2Isa>
+{
+    static constexpr std::size_t kWords = 4;
+
+    __m256i v;
+
+    static Vec zero() { return {_mm256_setzero_si256()}; }
+
+    static Vec load(const std::uint64_t *p)
+    {
+        return {_mm256_loadu_si256((const __m256i *)p)};
+    }
+
+    void store(std::uint64_t *p) const
+    {
+        _mm256_storeu_si256((__m256i *)p, v);
+    }
+
+    static Vec andnot(Vec a, Vec b)
+    {
+        return {_mm256_andnot_si256(a.v, b.v)};
+    }
+
+    bool any() const { return !_mm256_testz_si256(v, v); }
+
+    friend Vec operator^(Vec a, Vec b)
+    {
+        return {_mm256_xor_si256(a.v, b.v)};
+    }
+
+    friend Vec operator&(Vec a, Vec b)
+    {
+        return {_mm256_and_si256(a.v, b.v)};
+    }
+
+    friend Vec operator|(Vec a, Vec b)
+    {
+        return {_mm256_or_si256(a.v, b.v)};
+    }
+
+    Vec &operator^=(Vec o) { return *this = *this ^ o; }
+    Vec &operator&=(Vec o) { return *this = *this & o; }
+    Vec &operator|=(Vec o) { return *this = *this | o; }
+};
+
+#endif // __AVX2__
+
+#if defined(__AVX512F__)
+
+/** Tag for the AVX-512F zmm implementation (only in -mavx512f TUs). */
+struct Avx512Isa
+{
+};
+
+template <>
+struct Vec<8, Avx512Isa>
+{
+    static constexpr std::size_t kWords = 8;
+
+    __m512i v;
+
+    static Vec zero() { return {_mm512_setzero_si512()}; }
+
+    static Vec load(const std::uint64_t *p)
+    {
+        return {_mm512_loadu_si512((const void *)p)};
+    }
+
+    void store(std::uint64_t *p) const
+    {
+        _mm512_storeu_si512((void *)p, v);
+    }
+
+    static Vec andnot(Vec a, Vec b)
+    {
+        return {_mm512_andnot_si512(a.v, b.v)};
+    }
+
+    bool any() const { return _mm512_test_epi64_mask(v, v) != 0; }
+
+    friend Vec operator^(Vec a, Vec b)
+    {
+        return {_mm512_xor_si512(a.v, b.v)};
+    }
+
+    friend Vec operator&(Vec a, Vec b)
+    {
+        return {_mm512_and_si512(a.v, b.v)};
+    }
+
+    friend Vec operator|(Vec a, Vec b)
+    {
+        return {_mm512_or_si512(a.v, b.v)};
+    }
+
+    Vec &operator^=(Vec o) { return *this = *this ^ o; }
+    Vec &operator&=(Vec o) { return *this = *this & o; }
+    Vec &operator|=(Vec o) { return *this = *this | o; }
+};
+
+#endif // __AVX512F__
+
+} // namespace beer::util::simd
+
+#endif // BEER_UTIL_SIMD_VEC_HH

@@ -14,7 +14,6 @@
 #include "ecc/bitsliced.hh"
 #include "ecc/decoder.hh"
 #include "ecc/hamming.hh"
-#include "sim/batch.hh"
 #include "sim/word_sim.hh"
 #include "util/rng.hh"
 
@@ -25,7 +24,6 @@ using ecc::DecodeOutcome;
 using ecc::LinearCode;
 using ecc::randomSecCode;
 using gf2::BitVec;
-using sim::BitslicedBatch;
 using sim::SimConfig;
 using sim::simulateRetentionErrors;
 using sim::simulateUniformErrors;
@@ -34,6 +32,19 @@ using util::Rng;
 
 namespace
 {
+
+constexpr unsigned kLanes = 64;
+
+/** Transpose @p word into lane @p lane of the raw lane buffer (the
+ * position-major uint64 layout the engine feeds the kernel). */
+void
+setWord(std::vector<std::uint64_t> &lanes, unsigned lane,
+        const BitVec &word)
+{
+    for (std::size_t pos = 0; pos < word.size(); ++pos)
+        if (word.get(pos))
+            lanes[pos] |= (std::uint64_t)1 << lane;
+}
 
 BitVec
 randomErrorWord(std::size_t n, double density, Rng &rng)
@@ -91,21 +102,21 @@ expectKernelMatchesScalar(const LinearCode &code, Rng &rng,
         data.set(i, rng.bernoulli(0.5));
     const BitVec codeword = code.encode(data);
 
-    BitslicedBatch batch(n);
+    std::vector<std::uint64_t> batch(n, 0);
     std::vector<BitVec> errors;
-    for (unsigned lane = 0; lane < BitslicedBatch::kLanes; ++lane) {
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
         // Lane 0 stays error-free to cover the NoError path.
         const BitVec e = lane == 0 ? BitVec(n)
                                    : randomErrorWord(n, density, rng);
-        batch.setWord(lane, e);
+        setWord(batch, lane, e);
         errors.push_back(e);
     }
 
     const BitslicedDecoder decoder(code);
     BitslicedDecodeLanes lanes;
-    decoder.decode(batch.lanes(), lanes);
+    decoder.decode(batch.data(), lanes);
 
-    for (unsigned lane = 0; lane < BitslicedBatch::kLanes; ++lane) {
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
         const BitVec received = codeword ^ errors[lane];
         const ecc::DecodeResult result = ecc::decode(code, received);
         const DecodeOutcome outcome =
@@ -122,7 +133,7 @@ expectKernelMatchesScalar(const LinearCode &code, Rng &rng,
         // lanes must equal the scalar dataword difference.
         for (std::size_t bit = 0; bit < code.k(); ++bit) {
             const bool kernel_err =
-                ((batch.lane(bit) ^ lanes.correction[bit]) >> lane) & 1;
+                ((batch[bit] ^ lanes.correction[bit]) >> lane) & 1;
             const bool scalar_err =
                 result.dataword.get(bit) != data.get(bit);
             EXPECT_EQ(kernel_err, scalar_err)
@@ -133,17 +144,20 @@ expectKernelMatchesScalar(const LinearCode &code, Rng &rng,
 
 } // anonymous namespace
 
-TEST(Bitsliced, BatchTransposeRoundTrip)
+TEST(Bitsliced, LaneBufferTransposeRoundTrip)
 {
     Rng rng(17);
-    BitslicedBatch batch(23);
+    std::vector<std::uint64_t> batch(23, 0);
     std::vector<BitVec> words;
-    for (unsigned lane = 0; lane < BitslicedBatch::kLanes; ++lane) {
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
         words.push_back(randomErrorWord(23, 0.4, rng));
-        batch.setWord(lane, words.back());
+        setWord(batch, lane, words.back());
     }
-    for (unsigned lane = 0; lane < BitslicedBatch::kLanes; ++lane)
-        EXPECT_EQ(batch.extractWord(lane), words[lane]) << lane;
+    for (unsigned lane = 0; lane < kLanes; ++lane)
+        for (std::size_t pos = 0; pos < 23; ++pos)
+            EXPECT_EQ((bool)((batch[pos] >> lane) & 1),
+                      words[lane].get(pos))
+                << "lane " << lane << " pos " << pos;
 }
 
 TEST(Bitsliced, KernelMatchesScalarDecodeLaneForLane)

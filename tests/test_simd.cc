@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Property tests for the SIMD-widened simulation engine.
+ *
+ * The contracts under test:
+ *
+ *  - every backend (u64x1, u64x4, u64x8) produces identical
+ *    WordSimStats and ProfileCounts for every code and thread count —
+ *    forced through SimConfig::simdBackend so the portable fallbacks
+ *    make the test meaningful on hosts without AVX2/AVX-512;
+ *  - the wide decode kernels match the scalar decoder lane-for-lane
+ *    (outcome masks, corrections, post-correction data errors);
+ *  - the BEER_SIMD environment override steers dispatch;
+ *  - the alias-table geometric sampler draws the same distribution
+ *    the log-based sampler does;
+ *  - BEEP's batched word testing is bit-identical to sequential
+ *    test() calls, and its sharded evaluation is thread-count- and
+ *    backend-invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "beep/eval.hh"
+#include "beep/word_under_test.hh"
+#include "beer/measure.hh"
+#include "beer/patterns.hh"
+#include "ecc/bitsliced.hh"
+#include "ecc/bitsliced_kernel.hh"
+#include "ecc/decoder.hh"
+#include "ecc/hamming.hh"
+#include "sim/engine.hh"
+#include "sim/word_sim.hh"
+#include "util/rng.hh"
+#include "util/simd.hh"
+
+using namespace beer;
+using ecc::BitslicedDecoder;
+using ecc::DecodeOutcome;
+using ecc::LinearCode;
+using ecc::randomSecCode;
+using ecc::WideDecodeLanes;
+using gf2::BitVec;
+using sim::EngineKernel;
+using sim::SimConfig;
+using sim::simulateRetentionErrors;
+using sim::WordSimStats;
+using util::Rng;
+using util::simd::Backend;
+
+namespace
+{
+
+constexpr Backend kAllWidths[] = {Backend::U64x1, Backend::U64x4,
+                                  Backend::U64x8};
+
+/** Set/unset BEER_SIMD for a scope. */
+class ScopedEnvBackend
+{
+  public:
+    explicit ScopedEnvBackend(const char *value)
+    {
+        setenv("BEER_SIMD", value, 1);
+    }
+    ~ScopedEnvBackend() { unsetenv("BEER_SIMD"); }
+};
+
+BitVec
+randomErrorWord(std::size_t n, double density, Rng &rng)
+{
+    BitVec e(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (rng.bernoulli(density))
+            e.set(i, true);
+    return e;
+}
+
+bool
+laneBit(const std::uint64_t *row, std::size_t lane)
+{
+    return (row[lane / 64] >> (lane & 63)) & 1;
+}
+
+/** Outcome of @p lane from the wide masks; asserts the partition. */
+DecodeOutcome
+laneOutcome(const WideDecodeLanes &lanes, std::size_t lane)
+{
+    std::size_t matches = 0;
+    DecodeOutcome outcome = DecodeOutcome::NoError;
+    for (std::size_t o = 0; o < 6; ++o) {
+        if (laneBit(lanes.outcome[o], lane)) {
+            outcome = (DecodeOutcome)o;
+            ++matches;
+        }
+    }
+    EXPECT_EQ(matches, 1u);
+    return outcome;
+}
+
+WordSimStats
+runRetention(const LinearCode &code, Backend backend,
+             std::size_t threads, std::uint64_t seed)
+{
+    BitVec data(code.k());
+    Rng pattern_rng(seed ^ 0x1234);
+    for (std::size_t i = 0; i < code.k(); ++i)
+        data.set(i, pattern_rng.bernoulli(0.5));
+    const BitVec codeword = code.encode(data);
+    const BitVec mask =
+        sim::chargedMask(codeword, dram::CellType::True);
+
+    SimConfig config;
+    config.simdBackend = backend;
+    config.threads = threads;
+    config.wordsPerShard = 1 << 12; // many shards, partial tail shard
+    Rng rng(seed);
+    return simulateRetentionErrors(code, codeword, mask, 0.08, 150000,
+                                   rng, config);
+}
+
+} // anonymous namespace
+
+TEST(SimdBackend, NamesParseAndRoundTrip)
+{
+    for (Backend b : {Backend::Auto, Backend::U64x1, Backend::U64x4,
+                      Backend::U64x8}) {
+        const auto parsed =
+            util::simd::parseBackend(util::simd::backendName(b));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, b);
+    }
+    EXPECT_FALSE(util::simd::parseBackend("avx99").has_value());
+    EXPECT_EQ(util::simd::backendLanes(Backend::U64x1), 64u);
+    EXPECT_EQ(util::simd::backendLanes(Backend::U64x4), 256u);
+    EXPECT_EQ(util::simd::backendLanes(Backend::U64x8), 512u);
+}
+
+TEST(SimdBackend, DispatchServesEveryForcedWidth)
+{
+    // Forced widths must resolve to a kernel of exactly that width on
+    // ANY host: natively when CPU+build allow, portably otherwise.
+    for (Backend b : kAllWidths) {
+        const EngineKernel &kernel = sim::engineKernel(b);
+        EXPECT_EQ(kernel.backend, b);
+        EXPECT_EQ(kernel.lanes, util::simd::backendLanes(b));
+        EXPECT_EQ(kernel.words * 64, kernel.lanes);
+    }
+    // Auto picks something runnable.
+    const EngineKernel &auto_kernel = sim::engineKernel(Backend::Auto);
+    EXPECT_TRUE(auto_kernel.native);
+}
+
+TEST(SimdBackend, EnvVariableSteersAutoDispatch)
+{
+    {
+        ScopedEnvBackend env("u64x4");
+        EXPECT_EQ(util::simd::envBackend(), Backend::U64x4);
+        EXPECT_EQ(sim::engineKernel(Backend::Auto).backend,
+                  Backend::U64x4);
+        // An explicit config still wins over the environment.
+        EXPECT_EQ(sim::engineKernel(Backend::U64x8).backend,
+                  Backend::U64x8);
+    }
+    EXPECT_EQ(util::simd::envBackend(), Backend::Auto);
+}
+
+TEST(SimdBackend, LaneCountPicksNarrowestKernel)
+{
+    EXPECT_EQ(sim::engineKernelForLanes(Backend::U64x8, 8).words, 1u);
+    EXPECT_EQ(sim::engineKernelForLanes(Backend::U64x8, 64).words, 1u);
+    EXPECT_EQ(sim::engineKernelForLanes(Backend::U64x8, 65).words, 4u);
+    EXPECT_EQ(sim::engineKernelForLanes(Backend::U64x8, 300).words, 8u);
+    // ... capped at the resolved backend.
+    EXPECT_EQ(sim::engineKernelForLanes(Backend::U64x1, 300).words, 1u);
+}
+
+TEST(SimdEngine, WideKernelsMatchScalarDecodeLaneForLane)
+{
+    Rng rng(71);
+    for (std::size_t k : {4u, 8u, 16u, 32u, 57u}) {
+        const LinearCode code = randomSecCode(k, rng);
+        const std::size_t n = code.n();
+        const BitslicedDecoder decoder(code);
+
+        BitVec data(k);
+        for (std::size_t i = 0; i < k; ++i)
+            data.set(i, rng.bernoulli(0.5));
+        const BitVec codeword = code.encode(data);
+
+        for (Backend b : kAllWidths) {
+            const EngineKernel &kernel = sim::engineKernel(b);
+            const std::size_t W = kernel.words;
+            const std::size_t lanes = kernel.lanes;
+
+            // Random error words transposed into the wide buffer;
+            // lane 0 stays error-free to cover the NoError path.
+            std::vector<std::uint64_t> error(n * W, 0);
+            std::vector<BitVec> errors;
+            Rng word_rng(500 + k); // same words for every backend
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+                const BitVec e =
+                    lane == 0 ? BitVec(n)
+                              : randomErrorWord(n, 0.12, word_rng);
+                errors.push_back(e);
+                for (std::size_t pos = 0; pos < n; ++pos)
+                    if (e.get(pos))
+                        error[pos * W + lane / 64] |=
+                            (std::uint64_t)1 << (lane & 63);
+            }
+
+            WideDecodeLanes out;
+            out.prepare(n, W);
+            kernel.decodeBatch(decoder, error.data(), out);
+
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+                const BitVec received = codeword ^ errors[lane];
+                const ecc::DecodeResult result =
+                    ecc::decode(code, received);
+                const DecodeOutcome outcome = ecc::classify(
+                    code, codeword, received, result);
+
+                EXPECT_EQ(laneBit(out.anyRaw, lane),
+                          !errors[lane].isZero());
+                EXPECT_EQ(laneOutcome(out, lane), outcome)
+                    << kernel.name << " k=" << k << " lane " << lane;
+
+                // The kernel's flipped position(s) vs the scalar's.
+                std::size_t flipped = n;
+                std::size_t count = 0;
+                for (std::size_t pos = 0; pos < n; ++pos) {
+                    if (laneBit(&out.correction[pos * W], lane)) {
+                        flipped = pos;
+                        ++count;
+                    }
+                }
+                EXPECT_LE(count, 1u);
+                EXPECT_EQ(flipped, result.flippedBit == SIZE_MAX
+                                       ? n
+                                       : result.flippedBit)
+                    << kernel.name << " k=" << k << " lane " << lane;
+            }
+        }
+    }
+}
+
+TEST(SimdEngine, NativeAndPortableKernelsAgreeBitwise)
+{
+    // Where a native kernel exists, its raw output buffers must match
+    // the portable kernel of the same width bit for bit.
+    Rng rng(73);
+    const LinearCode code = randomSecCode(16, rng);
+    const std::size_t n = code.n();
+    const BitslicedDecoder decoder(code);
+
+    const std::pair<const EngineKernel *, const EngineKernel *>
+        pairs[] = {{sim::engineU64x4Avx2(), &sim::engineU64x4Generic()},
+                   {sim::engineU64x8Avx512(),
+                    &sim::engineU64x8Generic()}};
+    for (const auto &[native, portable] : pairs) {
+        if (!native)
+            continue; // build without that ISA
+        const std::size_t W = portable->words;
+        std::vector<std::uint64_t> error(n * W, 0);
+        Rng fill(77);
+        for (std::size_t i = 0; i < error.size(); ++i)
+            error[i] = fill.next() & fill.next(); // ~25% density
+
+        WideDecodeLanes a;
+        WideDecodeLanes b;
+        a.prepare(n, W);
+        b.prepare(n, W);
+        native->decodeBatch(decoder, error.data(), a);
+        portable->decodeBatch(decoder, error.data(), b);
+
+        EXPECT_EQ(a.correction, b.correction);
+        for (std::size_t j = 0; j < W; ++j) {
+            EXPECT_EQ(a.anyRaw[j], b.anyRaw[j]);
+            for (std::size_t o = 0; o < 6; ++o)
+                EXPECT_EQ(a.outcome[o][j], b.outcome[o][j]);
+        }
+    }
+}
+
+TEST(SimdEngine, StatsIdenticalAcrossBackends)
+{
+    Rng code_rng(79);
+    for (std::size_t k : {4u, 8u, 16u, 32u, 57u}) {
+        const LinearCode code = randomSecCode(k, code_rng);
+        const WordSimStats reference =
+            runRetention(code, Backend::U64x1, 1, 83 + k);
+        for (Backend b : {Backend::U64x4, Backend::U64x8}) {
+            EXPECT_EQ(reference, runRetention(code, b, 1, 83 + k))
+                << "k=" << k << " backend "
+                << util::simd::backendName(b);
+        }
+    }
+}
+
+TEST(SimdEngine, StatsIdenticalAcrossBackendsAndThreadCounts)
+{
+    Rng code_rng(89);
+    const LinearCode code = randomSecCode(16, code_rng);
+    const WordSimStats reference =
+        runRetention(code, Backend::U64x1, 1, 97);
+    for (Backend b : kAllWidths)
+        for (std::size_t threads : {2u, 8u})
+            EXPECT_EQ(reference, runRetention(code, b, threads, 97))
+                << util::simd::backendName(b) << " x " << threads
+                << " threads";
+}
+
+TEST(SimdEngine, ProfileCountsIdenticalAcrossBackends)
+{
+    Rng code_rng(101);
+    const LinearCode code = randomSecCode(16, code_rng);
+    const auto patterns = chargedPatterns(16, 1);
+
+    auto run = [&](Backend backend) {
+        SimConfig config;
+        config.simdBackend = backend;
+        Rng rng(103);
+        return measureProfileSim(code, patterns, 0.05, 30000, rng,
+                                 config);
+    };
+
+    const ProfileCounts reference = run(Backend::U64x1);
+    for (Backend b : {Backend::U64x4, Backend::U64x8}) {
+        const ProfileCounts counts = run(b);
+        EXPECT_EQ(reference.k, counts.k);
+        EXPECT_EQ(reference.patterns, counts.patterns);
+        EXPECT_EQ(reference.errorCounts, counts.errorCounts);
+        EXPECT_EQ(reference.wordsTested, counts.wordsTested);
+    }
+}
+
+TEST(GeometricSampler, AliasTableMatchesGeometricDistribution)
+{
+    const double p = 0.1;
+    const util::GeometricSampler alias_sampler(p);
+    ASSERT_TRUE(alias_sampler.usesAliasTable());
+
+    Rng rng(107);
+    const std::size_t draws = 400000;
+    double sum = 0.0;
+    std::uint64_t zeros = 0;
+    std::uint64_t deep_tail = 0;
+    for (std::size_t i = 0; i < draws; ++i) {
+        const std::uint64_t g = alias_sampler(rng);
+        sum += (double)g;
+        zeros += g == 0;
+        deep_tail += g >= 2 * util::GeometricSampler::kTail;
+    }
+    // Mean (1-p)/p = 9, P(0) = p = 0.1, P(g >= 510) = 0.9^510 ~ 5e-24.
+    EXPECT_NEAR(sum / (double)draws, 9.0, 0.15);
+    EXPECT_NEAR((double)zeros / (double)draws, 0.1, 0.005);
+    EXPECT_EQ(deep_tail, 0u);
+
+    // Sparse rates fall back to the log-based skip sampler.
+    EXPECT_FALSE(util::GeometricSampler(0.001).usesAliasTable());
+    // p = 1: every trial succeeds, gaps are all zero.
+    const util::GeometricSampler certain(1.0);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(certain(rng), 0u);
+}
+
+TEST(BeepBatched, TestManyMatchesSequentialTest)
+{
+    Rng rng(109);
+    const LinearCode code = randomSecCode(16, rng);
+    const std::vector<std::size_t> planted = {3, 9, 17};
+
+    for (const double fail_prob : {1.0, 0.5}) {
+        // Mixed pattern list: repeats (the crafted-pattern shape) and
+        // distinct datawords (the fallback shape).
+        std::vector<BitVec> patterns;
+        for (std::size_t i = 0; i < 9; ++i)
+            patterns.push_back(i < 4 ? randomErrorWord(16, 0.5, rng)
+                                     : patterns[i % 2]);
+
+        beep::SimulatedWord sequential(code, planted, fail_prob, 555);
+        beep::SimulatedWord batched(code, planted, fail_prob, 555);
+
+        std::vector<BitVec> expected;
+        for (const BitVec &pattern : patterns)
+            expected.push_back(sequential.test(pattern));
+
+        std::vector<BitVec> actual;
+        batched.testMany(patterns.data(), patterns.size(), actual);
+        ASSERT_EQ(actual.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            EXPECT_EQ(actual[i], expected[i])
+                << "fail_prob " << fail_prob << " read " << i;
+    }
+}
+
+TEST(BeepBatched, StuckAtFaultModelAlsoMatches)
+{
+    Rng rng(113);
+    const LinearCode code = randomSecCode(8, rng);
+    const std::vector<std::size_t> planted = {1, 6};
+
+    std::vector<BitVec> patterns;
+    for (std::size_t i = 0; i < 5; ++i)
+        patterns.push_back(randomErrorWord(8, 0.5, rng));
+
+    beep::SimulatedWord sequential(code, planted, 0.7, 777,
+                                   beep::FaultModel::StuckAtDischarged);
+    beep::SimulatedWord batched(code, planted, 0.7, 777,
+                                beep::FaultModel::StuckAtDischarged);
+
+    std::vector<BitVec> actual;
+    batched.testMany(patterns.data(), patterns.size(), actual);
+    for (std::size_t i = 0; i < patterns.size(); ++i)
+        EXPECT_EQ(actual[i], sequential.test(patterns[i])) << i;
+}
+
+TEST(BeepEval, ResultsIdenticalAcrossThreadCounts)
+{
+    beep::EvalPoint point;
+    point.codewordLength = 15;
+    point.numErrors = 2;
+    point.failProb = 1.0;
+    point.passes = 1;
+    beep::BeepConfig base;
+    base.readsPerPattern = 3;
+
+    auto run = [&](std::size_t threads) {
+        beep::EvalConfig eval;
+        eval.threads = threads;
+        Rng rng(127);
+        return beep::evaluateBeep(point, 8, base, rng, eval);
+    };
+
+    const beep::EvalResult one = run(1);
+    for (std::size_t threads : {2u, 4u}) {
+        const beep::EvalResult other = run(threads);
+        EXPECT_EQ(one.words, other.words);
+        EXPECT_EQ(one.successes, other.successes);
+        EXPECT_EQ(one.totalIdentified, other.totalIdentified);
+        EXPECT_EQ(one.totalPlanted, other.totalPlanted);
+    }
+}
+
+TEST(BeepEval, ResultsIdenticalAcrossBackends)
+{
+    beep::EvalPoint point;
+    point.codewordLength = 15;
+    point.numErrors = 3;
+    point.failProb = 0.75;
+    point.passes = 1;
+    beep::BeepConfig base;
+    base.readsPerPattern = 4;
+
+    auto run = [&](const char *backend) {
+        ScopedEnvBackend env(backend);
+        Rng rng(131);
+        return beep::evaluateBeep(point, 6, base, rng);
+    };
+
+    const beep::EvalResult reference = run("u64x1");
+    for (const char *backend : {"u64x4", "u64x8", "auto"}) {
+        const beep::EvalResult other = run(backend);
+        EXPECT_EQ(reference.successes, other.successes) << backend;
+        EXPECT_EQ(reference.totalIdentified, other.totalIdentified)
+            << backend;
+    }
+}
