@@ -3,7 +3,9 @@
  * Monte-Carlo simulation engine throughput: scalar vs bitsliced (per
  * SIMD backend) vs bitsliced + threads, on the Figure 3
  * retention-profile workload (1-CHARGED patterns of a random SEC
- * code, charged-cell BER in the paper's measured range).
+ * code, charged-cell BER in the paper's measured range) — plus the
+ * end-to-end chip workload (fill + refresh-pause injection + profile
+ * read) that exercises the transposed cell store.
  *
  * The paper simulates on the order of 1e9 ECC words per data point
  * (Sections 5.1.3 and 6); this bench tracks how fast the engine chews
@@ -16,9 +18,17 @@
  *    the 64-lane u64x1 engine (--min-simd-speedup, applied only when
  *    the selected backend runs natively — the portable fallbacks
  *    promise correctness, not speed);
+ *  - the end-to-end chip workload (injection + decode, not
+ *    decode-only) on the transposed store must beat the legacy
+ *    scalar-BitVec chip by --min-e2e-speedup;
  *  - results must be bit-identical for every thread count AND every
- *    SIMD backend (always enforced with a fixed seed: 1 vs 8 threads,
- *    and u64x1 vs u64x4 vs u64x8).
+ *    SIMD backend, for the word simulator and for the chip (always
+ *    enforced with a fixed seed; nonzero exit on mismatch).
+ *
+ * The bench also measures the iid-injection crossover: the BER above
+ * which whole Bernoulli lane masks (InjectionMode::BernoulliMask)
+ * beat geometric skip-sampling, reported as injection_crossover_ber
+ * in the JSON (the source for dram::kInjectionCrossoverBer).
  *
  * The measured backend follows --backend, then BEER_SIMD, then CPUID,
  * so CI can sweep all widths by re-running one binary. With --json
@@ -36,8 +46,10 @@
 
 #include "beer/measure.hh"
 #include "beer/patterns.hh"
+#include "dram/chip.hh"
 #include "ecc/hamming.hh"
 #include "sim/engine.hh"
+#include "sim/stats_reduce.hh"
 #include "sim/word_sim.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -45,6 +57,10 @@
 #include "util/simd.hh"
 
 using namespace beer;
+using dram::ChipConfig;
+using dram::ChipStorage;
+using dram::InjectionMode;
+using dram::SimulatedChip;
 using ecc::LinearCode;
 using gf2::BitVec;
 using sim::SimConfig;
@@ -71,6 +87,84 @@ sweepSeconds(const LinearCode &code,
     if (counts.totalObservations() !=
         words_per_pattern * patterns.size())
         util::fatal("sim_throughput: word count mismatch");
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+/** Vendor-A-style chip sized to @p chip_words for the e2e workload. */
+ChipConfig
+e2eChipConfig(std::size_t k, std::size_t chip_words,
+              std::uint64_t seed)
+{
+    ChipConfig config = dram::makeVendorConfig('A', k, seed);
+    // Two words per row in the vendor geometry.
+    config.map.rows = std::max<std::size_t>(1, chip_words / 2);
+    config.iidErrors = true;
+    return config;
+}
+
+/**
+ * One end-to-end measurement: program every word with the 1-CHARGED
+ * patterns, pause refresh at the requested BER's window, read every
+ * word back through the on-die decoder, and count per-bit errors —
+ * measureProfile on a real chip, the workload PR 3/4 never touched.
+ * Returns the counts (for identity checks) and the wall seconds.
+ */
+ProfileCounts
+chipSweep(const ChipConfig &chip_config,
+          const std::vector<TestPattern> &patterns, double ber,
+          std::size_t passes, double *seconds_out)
+{
+    SimulatedChip chip(chip_config);
+    const double pause =
+        chip.retentionModel().pauseForBitErrorRate(ber, 80.0);
+    MeasureConfig measure;
+    measure.pausesSeconds.assign(1, pause);
+    measure.repeatsPerPause = passes;
+    const auto start = std::chrono::steady_clock::now();
+    ProfileCounts counts = measureProfile(chip, patterns, measure);
+    const auto stop = std::chrono::steady_clock::now();
+    if (seconds_out)
+        *seconds_out =
+            std::chrono::duration<double>(stop - start).count();
+    if (counts.totalObservations() !=
+        (std::uint64_t)chip.numWords() * patterns.size() * passes)
+        util::fatal("sim_throughput: chip word count mismatch");
+    return counts;
+}
+
+bool
+countsEqual(const ProfileCounts &a, const ProfileCounts &b)
+{
+    return a.k == b.k && a.patterns == b.patterns &&
+           a.errorCounts == b.errorCounts &&
+           a.wordsTested == b.wordsTested;
+}
+
+/**
+ * Seconds for @p reps fill+pause cycles at @p ber under @p mode; the
+ * fill restores the CHARGED population so every pause injects at the
+ * same rate.
+ */
+double
+injectionSeconds(const ChipConfig &base, InjectionMode mode,
+                 double ber, std::size_t reps, const BitVec &data)
+{
+    ChipConfig config = base;
+    config.injection = mode;
+    SimulatedChip chip(config);
+    const double pause =
+        chip.retentionModel().pauseForBitErrorRate(ber, 80.0);
+    std::vector<std::size_t> words(chip.numWords());
+    for (std::size_t w = 0; w < words.size(); ++w)
+        words[w] = w;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        chip.writeDatawordsBroadcast(words.data(), words.size(), data);
+        chip.pauseRefresh(pause, 80.0);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    if (chip.rawErrorCount() == 0 && ber > 1e-4)
+        util::warn("injection sweep at ber=%g injected nothing", ber);
     return std::chrono::duration<double>(stop - start).count();
 }
 
@@ -101,6 +195,15 @@ main(int argc, char **argv)
                   "beats the u64x1 engine by less than this factor "
                   "(0 = report only; never applied to portable "
                   "fallbacks)");
+    cli.addOption("chip-words", "16384",
+                  "ECC words in the end-to-end chip workload");
+    cli.addOption("e2e-passes", "1",
+                  "read passes per pattern in the chip workload");
+    cli.addOption("min-e2e-speedup", "0",
+                  "fail (exit 1) if the transposed chip beats the "
+                  "legacy scalar-storage chip on the end-to-end "
+                  "fill+inject+read workload by less than this "
+                  "factor (0 = report only)");
     cli.addOption("json", "",
                   "emit machine-readable results to this path");
     cli.parse(argc, argv);
@@ -187,14 +290,109 @@ main(int argc, char **argv)
         };
         const WordSimStats reference = run(1, Backend::U64x1);
         deterministic = reference == run(8, Backend::U64x1);
-        for (Backend b : {Backend::U64x4, Backend::U64x8})
+        for (Backend b :
+             {Backend::U64x2, Backend::U64x4, Backend::U64x8})
             backend_identical =
                 backend_identical && reference == run(1, b);
+    }
+
+    // ---- end-to-end chip workload (fill + injection + decode) ------
+    // The PR 4 baseline is the legacy scalar-BitVec chip; the
+    // transposed chip runs the same externally visible experiment on
+    // the wide kernels (and, at this BER, Bernoulli-mask injection).
+    const auto chip_words = (std::size_t)cli.getInt("chip-words");
+    const auto e2e_passes = (std::size_t)cli.getInt("e2e-passes");
+    const ChipConfig e2e_base = e2eChipConfig(k, chip_words, seed);
+    const std::uint64_t e2e_total =
+        (std::uint64_t)chip_words * patterns.size() * e2e_passes;
+
+    ChipConfig e2e_scalar = e2e_base;
+    e2e_scalar.storage = ChipStorage::Scalar;
+    ChipConfig e2e_transposed = e2e_base;
+    e2e_transposed.simdBackend = kernel.backend;
+
+    double scalar_chip_s = 0.0;
+    chipSweep(e2e_scalar, patterns, ber, e2e_passes, &scalar_chip_s);
+    double transposed_chip_s = 0.0;
+    chipSweep(e2e_transposed, patterns, ber, e2e_passes,
+              &transposed_chip_s);
+    const double e2e_scalar_wps = (double)e2e_total / scalar_chip_s;
+    const double e2e_transposed_wps =
+        (double)e2e_total / transposed_chip_s;
+    const double e2e_speedup = e2e_transposed_wps / e2e_scalar_wps;
+
+    // Chip identity contracts: with skip-sampled injection pinned the
+    // transposed chip must reproduce the scalar chip bit for bit, and
+    // the transposed chip must be invariant across SIMD backends and
+    // thread counts under both injection modes.
+    bool chip_identical = true;
+    {
+        ChipConfig small = e2eChipConfig(k, 2048, seed ^ 0xe2e);
+        const auto check_patterns = chargedPatterns(k, 1);
+        auto run = [&](ChipStorage storage, InjectionMode injection,
+                       Backend chip_backend, std::size_t chip_threads) {
+            ChipConfig config = small;
+            config.storage = storage;
+            config.injection = injection;
+            config.simdBackend = chip_backend;
+            config.threads = chip_threads;
+            return chipSweep(config, check_patterns, ber, 1, nullptr);
+        };
+        const ProfileCounts skip_ref = run(
+            ChipStorage::Scalar, InjectionMode::SkipSample,
+            Backend::U64x1, 1);
+        const ProfileCounts bern_ref = run(
+            ChipStorage::Transposed, InjectionMode::BernoulliMask,
+            Backend::U64x1, 1);
+        for (Backend b :
+             {Backend::U64x1, Backend::U64x2, Backend::U64x4,
+              Backend::U64x8}) {
+            for (std::size_t t : {1u, 8u}) {
+                chip_identical =
+                    chip_identical &&
+                    countsEqual(skip_ref,
+                                run(ChipStorage::Transposed,
+                                    InjectionMode::SkipSample, b, t)) &&
+                    countsEqual(bern_ref,
+                                run(ChipStorage::Transposed,
+                                    InjectionMode::BernoulliMask, b,
+                                    t));
+            }
+        }
+    }
+
+    // ---- injection crossover (skip-sampling vs Bernoulli masks) ----
+    double crossover_ber = -1.0;
+    std::vector<std::pair<double, double>> injection_grid;
+    {
+        const ChipConfig inject_base = e2eChipConfig(k, 4096, seed);
+        // Every data bit CHARGED so each cell is a decay candidate.
+        TestPattern all_bits(k);
+        for (std::size_t i = 0; i < k; ++i)
+            all_bits[i] = i;
+        const BitVec all_charged = datawordForPattern(
+            all_bits, k, dram::CellType::True);
+        for (const double grid_ber :
+             {1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3}) {
+            const std::size_t reps = 4;
+            const double skip_s =
+                injectionSeconds(inject_base, InjectionMode::SkipSample,
+                                 grid_ber, reps, all_charged);
+            const double bern_s = injectionSeconds(
+                inject_base, InjectionMode::BernoulliMask, grid_ber,
+                reps, all_charged);
+            injection_grid.emplace_back(grid_ber, skip_s / bern_s);
+            if (crossover_ber < 0.0 && bern_s < skip_s)
+                crossover_ber = grid_ber;
+        }
     }
 
     const double min_speedup = cli.getDouble("min-speedup");
     const bool fast_enough =
         min_speedup <= 0.0 || bitsliced_speedup >= min_speedup;
+    const double min_e2e = cli.getDouble("min-e2e-speedup");
+    const bool e2e_fast_enough =
+        min_e2e <= 0.0 || e2e_speedup >= min_e2e;
     const double min_simd = cli.getDouble("min-simd-speedup");
     // Portable fallbacks promise identical stats, not speed: gate the
     // SIMD ratio only when the measured kernel is a native wide one.
@@ -217,6 +415,23 @@ main(int argc, char **argv)
                 deterministic ? "yes" : "NO (BUG)");
     std::printf("  stats identical across SIMD backends: %s\n",
                 backend_identical ? "yes" : "NO (BUG)");
+    std::printf("end-to-end chip workload (%zu words, fill + inject + "
+                "read):\n",
+                chip_words);
+    std::printf("  scalar-BitVec chip:         %12.0f words/sec\n",
+                e2e_scalar_wps);
+    std::printf("  transposed chip (%s): %12.0f words/sec  "
+                "(%.1fx)\n",
+                kernel.name, e2e_transposed_wps, e2e_speedup);
+    std::printf("  chip stats identical (storage x backend x "
+                "threads x injection): %s\n",
+                chip_identical ? "yes" : "NO (BUG)");
+    std::printf("  injection crossover (Bernoulli masks beat "
+                "skip-sampling): %s\n",
+                crossover_ber >= 0.0
+                    ? ("ber >= " + std::to_string(crossover_ber))
+                          .c_str()
+                    : "not reached");
     if (!fast_enough)
         std::printf("  REGRESSION: bitsliced speedup %.1fx is below "
                     "the required %.1fx\n",
@@ -225,6 +440,10 @@ main(int argc, char **argv)
         std::printf("  REGRESSION: SIMD speedup %.2fx (%s) is below "
                     "the required %.2fx\n",
                     simd_speedup, kernel.name, min_simd);
+    if (!e2e_fast_enough)
+        std::printf("  REGRESSION: end-to-end chip speedup %.1fx is "
+                    "below the required %.1fx\n",
+                    e2e_speedup, min_e2e);
 
     const std::string json_path = cli.getString("json");
     if (!json_path.empty()) {
@@ -254,13 +473,31 @@ main(int argc, char **argv)
             << "  \"deterministic_across_threads\": "
             << (deterministic ? "true" : "false") << ",\n"
             << "  \"identical_across_backends\": "
-            << (backend_identical ? "true" : "false") << "\n"
+            << (backend_identical ? "true" : "false") << ",\n"
+            << "  \"e2e\": {\"chip_words\": " << chip_words
+            << ", \"passes\": " << e2e_passes
+            << ", \"scalar_words_per_sec\": " << e2e_scalar_wps
+            << ", \"transposed_words_per_sec\": " << e2e_transposed_wps
+            << ", \"speedup\": " << e2e_speedup
+            << ", \"chip_stats_identical\": "
+            << (chip_identical ? "true" : "false") << "},\n"
+            << "  \"injection_crossover_ber\": " << crossover_ber
+            << ",\n"
+            << "  \"injection_grid\": [";
+        for (std::size_t i = 0; i < injection_grid.size(); ++i) {
+            if (i)
+                out << ", ";
+            out << "{\"ber\": " << injection_grid[i].first
+                << ", \"skip_over_bernoulli\": "
+                << injection_grid[i].second << "}";
+        }
+        out << "]\n"
             << "}\n";
         std::printf("wrote %s\n", json_path.c_str());
     }
 
-    return deterministic && backend_identical && fast_enough &&
-                   simd_fast_enough
+    return deterministic && backend_identical && chip_identical &&
+                   fast_enough && simd_fast_enough && e2e_fast_enough
                ? 0
                : 1;
 }

@@ -49,7 +49,7 @@ ProfileCounts::probability(std::size_t pattern_idx, std::size_t bit) const
 }
 
 void
-ProfileCounts::merge(const ProfileCounts &other)
+ProfileCounts::merge(const ProfileCounts &other, MergeMode mode)
 {
     if (k == 0 && patterns.empty()) {
         *this = other;
@@ -71,6 +71,14 @@ ProfileCounts::merge(const ProfileCounts &other)
             wordsTested.push_back(other.wordsTested[p]);
             continue;
         }
+        // Overlap under AppendDisjoint is a caller bug: the caller
+        // promised fresh patterns, and silently accumulating would
+        // change this pattern's probability denominator.
+#ifndef NDEBUG
+        BEER_ASSERT(mode != MergeMode::AppendDisjoint);
+#else
+        (void)mode;
+#endif
         const std::size_t at = it->second;
         wordsTested[at] += other.wordsTested[p];
         for (std::size_t bit = 0; bit < k; ++bit)
@@ -132,18 +140,25 @@ measureProfile(dram::MemoryInterface &mem,
     }
     BEER_ASSERT(!words.empty());
 
+    // Fill and read through the batched interface seams: on the
+    // transposed simulated chip both run on whole lane words (fills
+    // broadcast into the planes, reads decode plane windows through
+    // the wide kernel, sharded over the chip's worker threads);
+    // everywhere else the default per-word loops keep the operation
+    // sequence — and any recorded trace — identical to before.
+    std::vector<BitVec> reads;
     for (std::size_t p = 0; p < patterns.size(); ++p) {
         const BitVec data = datawordForPattern(patterns[p], k,
                                                dram::CellType::True);
         for (double pause : config.pausesSeconds) {
             for (std::size_t rep = 0; rep < config.repeatsPerPause;
                  ++rep) {
-                for (std::size_t w : words)
-                    mem.writeDataword(w, data);
+                mem.writeDatawordsBroadcast(words.data(), words.size(),
+                                            data);
                 mem.pauseRefresh(pause, config.temperatureC);
-                for (std::size_t w : words) {
-                    const BitVec read = mem.readDataword(w);
-                    ++counts.wordsTested[p];
+                mem.readDatawords(words.data(), words.size(), reads);
+                counts.wordsTested[p] += words.size();
+                for (const BitVec &read : reads) {
                     if (read == data)
                         continue;
                     for (std::size_t bit = 0; bit < k; ++bit)

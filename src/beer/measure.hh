@@ -54,13 +54,36 @@ struct ProfileCounts
     /** Observed error probability for (pattern, bit). */
     double probability(std::size_t pattern_idx, std::size_t bit) const;
 
+    /** How merge() treats patterns present in both operands. */
+    enum class MergeMode
+    {
+        /**
+         * Observation counts and denominators add: both operands
+         * measured the same pattern over (independent) word
+         * populations, and the union is one larger experiment.
+         * Patterns only in @p other are appended. This is the safe
+         * default — it is correct for disjoint pattern sets too.
+         */
+        Accumulate,
+        /**
+         * The caller asserts the pattern sets are disjoint (each
+         * round measures new patterns, as beer::Session and the
+         * {1,2}-CHARGED escalation do). Overlap is a caller bug —
+         * accumulating would silently change probabilities'
+         * denominators — and trips a debug-build assertion; release
+         * builds fall back to accumulating.
+         */
+        AppendDisjoint,
+    };
+
     /**
-     * Accumulate @p other into this object. Patterns present in both
-     * add their observation counts; patterns only in @p other are
-     * appended. This is the primitive behind incremental measurement
-     * (beer::Session) and the {1,2}-CHARGED escalation.
+     * Merge @p other into this object under @p mode. Historically the
+     * two modes were one implicit behavior — whether counts
+     * accumulated or patterns appended depended silently on pattern
+     * overlap; callers now state which contract they rely on.
      */
-    void merge(const ProfileCounts &other);
+    void merge(const ProfileCounts &other,
+               MergeMode mode = MergeMode::Accumulate);
 
     /** Total (pattern, word) observations across all patterns. */
     std::uint64_t totalObservations() const;

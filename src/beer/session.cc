@@ -102,7 +102,9 @@ Session::measureRound()
         mem_, round, config_.measure, config_.wordsUnderTest);
     stats_.measureSeconds += secondsSince(start);
 
-    counts_.merge(observed);
+    // Rounds only ever measure patterns pending_ has not handed out
+    // before, so overlap with the accumulated counts is a bug.
+    counts_.merge(observed, ProfileCounts::MergeMode::AppendDisjoint);
     countsDirty_ = true;
     ++stats_.measureRounds;
     stats_.patternsMeasured = counts_.patterns.size();

@@ -4,6 +4,7 @@
 
 #include "ecc/decoder.hh"
 #include "ecc/hamming.hh"
+#include "sim/engine.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -18,8 +19,12 @@ namespace
 /** Words per retention shard; fixed so sharding never depends on the
  * thread count (and matching the simulation engine's widest lane
  * group, 512 words, so a shard is one u64x8 batch window's worth of
- * work). */
+ * work). Lane-word aligned, which the transposed store requires. */
 constexpr std::size_t kRetentionShardWords = 512;
+
+/** Words per wide-read shard (noise-free batched reads only; reads
+ * draw no randomness, so this is purely a scheduling grain). */
+constexpr std::size_t kReadShardWords = 8192;
 
 /** splitmix64-style finalizer mapping a mixed key to [0, 1). */
 double
@@ -42,26 +47,36 @@ SimulatedChip::SimulatedChip(ChipConfig config)
         util::fatal("SimulatedChip: code k (%zu) does not match word "
                     "size (%zu bytes)",
                     config_.code.k(), config_.map.bytesPerWord);
-    cells_.assign(config_.map.numWords(), BitVec(config_.code.n()));
     // Power-on state: store the encoding of all-zero data so that every
     // word holds a consistent codeword.
     const BitVec zero_cw = config_.code.encode(BitVec(config_.code.k()));
-    for (auto &word : cells_)
-        word = zero_cw;
+    if (config_.storage == ChipStorage::Scalar) {
+        cells_.assign(config_.map.numWords(), zero_cw);
+    } else {
+        store_.emplace(config_.map.numWords(), config_.code.n(),
+                       [this](std::size_t w) {
+                           return cellTypeOfWord(w);
+                       });
+        store_->broadcastWriteAll(zero_cw);
+    }
 }
 
 void
 SimulatedChip::writeDataword(std::size_t word_index, const BitVec &data)
 {
-    BEER_ASSERT(word_index < cells_.size());
-    cells_[word_index] = config_.code.encode(data);
+    BEER_ASSERT(word_index < numWords());
+    if (store_)
+        store_->writeWord(word_index, config_.code.encode(data));
+    else
+        cells_[word_index] = config_.code.encode(data);
 }
 
 gf2::BitVec
 SimulatedChip::readDataword(std::size_t word_index)
 {
-    BEER_ASSERT(word_index < cells_.size());
-    BitVec received = cells_[word_index];
+    BEER_ASSERT(word_index < numWords());
+    BitVec received = store_ ? store_->storedWord(word_index)
+                             : cells_[word_index];
     if (config_.transientErrorRate > 0.0) {
         // Skip-sample the flipped bits: each bit flips iid at the
         // transient rate, but bits that do not flip cost nothing.
@@ -74,6 +89,76 @@ SimulatedChip::readDataword(std::size_t word_index)
 }
 
 void
+SimulatedChip::prepareWideRead()
+{
+    if (decoder_)
+        return;
+    decoder_ = std::make_unique<ecc::BitslicedDecoder>(config_.code);
+    // Resolve once per chip (config backend, then BEER_SIMD, then
+    // CPUID) — resolution scans the environment, and batched reads
+    // sit on the measurement hot loop.
+    kernel_ = &sim::engineKernel(config_.simdBackend);
+}
+
+void
+SimulatedChip::writeDatawordsBroadcast(const std::size_t *words,
+                                       std::size_t count,
+                                       const BitVec &data)
+{
+    if (!store_) {
+        MemoryInterface::writeDatawordsBroadcast(words, count, data);
+        return;
+    }
+    const BitVec codeword = config_.code.encode(data);
+    broadcastSel_.assign(store_->numLaneWords(), 0);
+    for (std::size_t i = 0; i < count; ++i) {
+        BEER_ASSERT(words[i] < numWords());
+        broadcastSel_[words[i] / 64] |= (std::uint64_t)1
+                                        << (words[i] & 63);
+    }
+    store_->broadcastWrite(codeword, broadcastSel_);
+}
+
+void
+SimulatedChip::readDatawords(const std::size_t *words,
+                             std::size_t count,
+                             std::vector<BitVec> &out)
+{
+    if (!store_) {
+        MemoryInterface::readDatawords(words, count, out);
+        return;
+    }
+    prepareWideRead();
+    out.assign(count, BitVec(config_.code.k()));
+    if (config_.transientErrorRate > 0.0) {
+        // Noisy reads consume the chip Rng per word in order; keep
+        // them on one thread so the stream matches sequential reads.
+        readDatawordsWide(*store_, *decoder_, *kernel_, words, count,
+                          config_.transientErrorRate, &rng_,
+                          readScratch_, out.data());
+        return;
+    }
+    if (config_.threads != 1 && count >= 2 * kReadShardWords) {
+        // Reads draw no randomness and shards write disjoint output
+        // slots, so any split is deterministic.
+        const std::size_t num_shards =
+            (count + kReadShardWords - 1) / kReadShardWords;
+        pool().parallelFor(num_shards, [&](std::size_t s) {
+            const std::size_t begin = s * kReadShardWords;
+            const std::size_t len =
+                std::min(kReadShardWords, count - begin);
+            WideReadScratch scratch;
+            readDatawordsWide(*store_, *decoder_, *kernel_,
+                              words + begin, len, 0.0, nullptr,
+                              scratch, out.data() + begin);
+        });
+        return;
+    }
+    readDatawordsWide(*store_, *decoder_, *kernel_, words, count, 0.0,
+                      nullptr, readScratch_, out.data());
+}
+
+void
 SimulatedChip::writeByte(std::size_t byte_addr, std::uint8_t value)
 {
     const auto slot = config_.map.slotOfByte(byte_addr);
@@ -81,7 +166,9 @@ SimulatedChip::writeByte(std::size_t byte_addr, std::uint8_t value)
     // The read bypasses decoding on purpose — a real chip's write path
     // merges raw data; going through the decoder here would scrub
     // retention errors on every byte write.
-    BitVec data = config_.code.extractData(cells_[slot.wordIndex]);
+    const BitVec stored = store_ ? store_->storedWord(slot.wordIndex)
+                                 : cells_[slot.wordIndex];
+    BitVec data = config_.code.extractData(stored);
     for (std::size_t b = 0; b < 8; ++b)
         data.set(slot.byteInWord * 8 + b, (value >> b) & 1);
     writeDataword(slot.wordIndex, data);
@@ -105,6 +192,10 @@ SimulatedChip::fill(std::uint8_t value)
     BitVec data(config_.code.k());
     for (std::size_t i = 0; i < data.size(); ++i)
         data.set(i, (value >> (i % 8)) & 1);
+    if (store_) {
+        store_->broadcastWriteAll(config_.code.encode(data));
+        return;
+    }
     for (std::size_t w = 0; w < cells_.size(); ++w)
         writeDataword(w, data);
 }
@@ -115,6 +206,26 @@ SimulatedChip::pool()
     if (!pool_)
         pool_ = std::make_unique<util::ThreadPool>(config_.threads);
     return *pool_;
+}
+
+bool
+SimulatedChip::cellFailsThisPause(std::uint64_t cell_id, double seconds,
+                                  double temp_c) const
+{
+    if (config_.vrtRate > 0.0 &&
+        hashToUnit(config_.seed ^
+                   (pauseEpoch_ * 0xd1342543de82ef95ULL) ^
+                   cell_id) < config_.vrtRate) {
+        // VRT: the cell transiently follows a different retention
+        // time this pause. The affected subset is a pure function of
+        // (seed, pause, cell), so the path parallelizes without
+        // losing repeatability.
+        return config_.retention.cellFails(
+            config_.seed ^ (0x1157ULL + pauseEpoch_), cell_id, seconds,
+            temp_c);
+    }
+    return config_.retention.cellFails(config_.seed, cell_id, seconds,
+                                       temp_c);
 }
 
 std::uint64_t
@@ -176,23 +287,7 @@ SimulatedChip::decayPerCell(std::size_t begin, std::size_t end,
             if (chargeOf(word.get(bit), type) != ChargeState::Charged)
                 continue;
             const std::uint64_t cell_id = (std::uint64_t)w * n + bit;
-            bool fails;
-            if (config_.vrtRate > 0.0 &&
-                hashToUnit(config_.seed ^
-                           (pauseEpoch_ * 0xd1342543de82ef95ULL) ^
-                           cell_id) < config_.vrtRate) {
-                // VRT: the cell transiently follows a different
-                // retention time this pause. The affected subset is a
-                // pure function of (seed, pause, cell), so the path
-                // parallelizes without losing repeatability.
-                fails = config_.retention.cellFails(
-                    config_.seed ^ (0x1157ULL + pauseEpoch_),
-                    cell_id, seconds, temp_c);
-            } else {
-                fails = config_.retention.cellFails(
-                    config_.seed, cell_id, seconds, temp_c);
-            }
-            if (fails) {
+            if (cellFailsThisPause(cell_id, seconds, temp_c)) {
                 word.set(bit, decayedValue(type));
                 ++errors;
             }
@@ -201,13 +296,41 @@ SimulatedChip::decayPerCell(std::size_t begin, std::size_t end,
     return errors;
 }
 
+InjectionMode
+SimulatedChip::injectionModeFor(double ber) const
+{
+    if (config_.injection != InjectionMode::Auto)
+        return config_.injection;
+    return ber >= kInjectionCrossoverBer ? InjectionMode::BernoulliMask
+                                         : InjectionMode::SkipSample;
+}
+
+std::uint64_t
+SimulatedChip::decayTransposed(std::size_t begin, std::size_t end,
+                               double seconds, double temp_c,
+                               double ber, util::Rng *rng)
+{
+    if (!config_.iidErrors) {
+        // Per-cell outcomes are a pure function of (seed, pause,
+        // cell), so plane-major iteration over CHARGED bits lands on
+        // the exact cell set the legacy word-major loop decayed.
+        return store_->decayDeterministic(
+            begin, end, [&](std::uint64_t cell_id) {
+                return cellFailsThisPause(cell_id, seconds, temp_c);
+            });
+    }
+    if (injectionModeFor(ber) == InjectionMode::BernoulliMask)
+        return store_->decayBernoulli(begin, end, ber, *rng);
+    return store_->decaySkipSampled(begin, end, ber, *rng);
+}
+
 void
 SimulatedChip::pauseRefresh(double seconds, double temp_c)
 {
     const double ber =
         config_.retention.failProbability(seconds, temp_c);
     ++pauseEpoch_;
-    const std::size_t num_words = cells_.size();
+    const std::size_t num_words = numWords();
     if (num_words == 0 || (config_.iidErrors && ber <= 0.0))
         return;
 
@@ -229,10 +352,16 @@ SimulatedChip::pauseRefresh(double seconds, double temp_c)
         const std::size_t begin = s * kRetentionShardWords;
         const std::size_t end =
             std::min(begin + kRetentionShardWords, num_words);
-        shard_errors[s] =
-            config_.iidErrors
-                ? decayIid(begin, end, ber, shard_rngs[s])
-                : decayPerCell(begin, end, seconds, temp_c);
+        util::Rng *rng =
+            config_.iidErrors ? &shard_rngs[s] : nullptr;
+        if (store_)
+            shard_errors[s] = decayTransposed(begin, end, seconds,
+                                              temp_c, ber, rng);
+        else
+            shard_errors[s] =
+                config_.iidErrors
+                    ? decayIid(begin, end, ber, *rng)
+                    : decayPerCell(begin, end, seconds, temp_c);
     };
 
     if (config_.threads == 1 || num_shards == 1) {
@@ -252,11 +381,12 @@ SimulatedChip::cellTypeOfWord(std::size_t word_index) const
         config_.map.rowOfWord(word_index));
 }
 
-const gf2::BitVec &
+gf2::BitVec
 SimulatedChip::storedCodeword(std::size_t word_index) const
 {
-    BEER_ASSERT(word_index < cells_.size());
-    return cells_[word_index];
+    BEER_ASSERT(word_index < numWords());
+    return store_ ? store_->storedWord(word_index)
+                  : cells_[word_index];
 }
 
 std::vector<std::size_t>

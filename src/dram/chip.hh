@@ -17,6 +17,14 @@
  *  - transient errors: rare random flips on read that do not persist,
  *    modeling particle strikes / VRT noise (used to evaluate BEER's
  *    thresholding filter, Figure 4).
+ *
+ * Cells are stored transposed by default (dram::TransposedCellStore:
+ * bit-planes in the simulation engine's lane-major SoA layout), so
+ * refresh-pause decay, batched reads, and fills run on whole 64-word
+ * lane groups through the width-generic SIMD kernels; the external
+ * word/byte MemoryInterface contract is preserved bit-for-bit by a
+ * gather/scatter shim. ChipStorage::Scalar keeps the legacy
+ * BitVec-per-word layout as the differential-testing baseline.
  */
 
 #ifndef BEER_DRAM_CHIP_HH
@@ -24,18 +32,73 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "dram/cell_store.hh"
 #include "dram/layout.hh"
 #include "dram/memory_interface.hh"
 #include "dram/retention.hh"
 #include "dram/types.hh"
 #include "ecc/linear_code.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace beer::dram
 {
+
+/** Cell-array layout of a simulated chip. */
+enum class ChipStorage
+{
+    /**
+     * Transposed bit-plane store (dram::TransposedCellStore): refresh
+     * pauses, wide reads, and fills run on whole lane words through
+     * the SIMD decode kernels. The default.
+     */
+    Transposed,
+    /**
+     * Legacy layout: one gf2::BitVec per word, cells flipped bit by
+     * bit, every read through the scalar decoder. Kept as the
+     * differential-testing and benchmarking baseline; identical
+     * externally visible behavior (given the same seed) by
+     * construction, enforced by tests/test_transposed_chip.cc.
+     */
+    Scalar,
+};
+
+/** How pauseRefresh() draws iid retention-error candidates. */
+enum class InjectionMode
+{
+    /**
+     * SkipSample below kInjectionCrossoverBer, BernoulliMask at or
+     * above it — the crossover bench/sim_throughput measures.
+     */
+    Auto,
+    /**
+     * Geometric skip-sampling over the cell grid: one Rng draw per
+     * candidate cell, O(candidates) cost. Bit-identical error
+     * patterns across storage layouts; cheapest at low BER.
+     */
+    SkipSample,
+    /**
+     * Whole Bernoulli lane masks per (bit-position, lane word):
+     * ~log2(64)+2 Rng draws per 64 cells regardless of rate, so it
+     * wins at high BER. Same error distribution as SkipSample but a
+     * different Rng stream (patterns differ, statistics match).
+     * Transposed storage only; Scalar chips always skip-sample.
+     */
+    BernoulliMask,
+};
+
+/**
+ * iid BER at or above which InjectionMode::Auto switches from
+ * skip-sampling to Bernoulli lane masks. Measured by
+ * bench/sim_throughput (reported as injection_crossover_ber in its
+ * JSON); the constant tracks the measured value on x86 hosts, where
+ * the ratio crosses 1 between the 0.03 and 0.1 grid points.
+ */
+inline constexpr double kInjectionCrossoverBer = 0.035;
 
 /** Construction parameters for a simulated chip. */
 struct ChipConfig
@@ -63,6 +126,16 @@ struct ChipConfig
      */
     bool iidErrors = false;
     std::uint64_t seed = 1;
+    /** Cell-array layout; see ChipStorage. */
+    ChipStorage storage = ChipStorage::Transposed;
+    /** iid candidate sampling; see InjectionMode. */
+    InjectionMode injection = InjectionMode::Auto;
+    /**
+     * SIMD width of the wide read path (transposed storage only);
+     * Auto resolves via BEER_SIMD, then CPUID, like the simulation
+     * engine. Reads are bit-identical for every width.
+     */
+    util::simd::Backend simdBackend = util::simd::Backend::Auto;
     /**
      * Worker threads for pauseRefresh()'s retention-error injection
      * (0 = all hardware threads). Words are sharded deterministically
@@ -91,6 +164,26 @@ class SimulatedChip : public MemoryInterface
     /** Read a dataword through the on-die ECC decoder. */
     gf2::BitVec readDataword(std::size_t word_index) override;
 
+    /**
+     * Batched fill: with transposed storage the encoded pattern is
+     * broadcast into whole lane words (one operation per plane row
+     * and lane word) instead of scattered per word.
+     */
+    void writeDatawordsBroadcast(const std::size_t *words,
+                                 std::size_t count,
+                                 const gf2::BitVec &data) override;
+
+    /**
+     * Batched read: with transposed storage, error-plane windows feed
+     * the wide decode kernel directly (no gather copy) and the
+     * post-correction datawords are reconstructed row-major.
+     * Bit-identical to sequential readDataword calls, including the
+     * transient-noise Rng stream; noise-free reads shard over the
+     * configured worker threads.
+     */
+    void readDatawords(const std::size_t *words, std::size_t count,
+                       std::vector<gf2::BitVec> &out) override;
+
     /** Byte-granularity accessors through the address map. */
     void writeByte(std::size_t byte_addr, std::uint8_t value) override;
     std::uint8_t readByte(std::size_t byte_addr) override;
@@ -113,7 +206,7 @@ class SimulatedChip : public MemoryInterface
     CellType cellTypeOfWord(std::size_t word_index) const;
 
     /** Raw stored codeword including parity bits (pre-decode view). */
-    const gf2::BitVec &storedCodeword(std::size_t word_index) const;
+    gf2::BitVec storedCodeword(std::size_t word_index) const;
 
     /** Raw error count injected by pauseRefresh() so far (validation). */
     std::uint64_t rawErrorCount() const { return rawErrors_; }
@@ -124,20 +217,41 @@ class SimulatedChip : public MemoryInterface
     }
 
   private:
-    /** Charged cells of words [begin, end) fail iid at @p ber. */
+    /** Charged cells of words [begin, end) fail iid at @p ber
+     * (legacy scalar layout). */
     std::uint64_t decayIid(std::size_t begin, std::size_t end,
                            double ber, util::Rng &rng);
-    /** Deterministic per-cell retention decay for words [begin, end). */
+    /** Deterministic per-cell retention decay for words [begin, end)
+     * (legacy scalar layout). */
     std::uint64_t decayPerCell(std::size_t begin, std::size_t end,
                                double seconds, double temp_c);
+    /** One transposed-store decay shard (dispatches on mode). */
+    std::uint64_t decayTransposed(std::size_t begin, std::size_t end,
+                                  double seconds, double temp_c,
+                                  double ber, util::Rng *rng);
+    /** Whether cell (cell_id) fails this pause (retention + VRT). */
+    bool cellFailsThisPause(std::uint64_t cell_id, double seconds,
+                            double temp_c) const;
+    /** iid injection mode after Auto resolution at @p ber. */
+    InjectionMode injectionModeFor(double ber) const;
+    /** Lazily resolved wide-read state (decoder + kernel). */
+    void prepareWideRead();
     /** Lazily created pool sized to config_.threads. */
     util::ThreadPool &pool();
 
     ChipConfig config_;
-    /** Stored codeword (value domain, not charge domain) per word. */
+    /** Legacy layout: stored codeword (value domain) per word. */
     std::vector<gf2::BitVec> cells_;
+    /** Transposed layout: bit-plane store (value domain). */
+    std::optional<TransposedCellStore> store_;
     util::Rng rng_;
     std::unique_ptr<util::ThreadPool> pool_;
+    /** Wide read path, resolved on first batched read. */
+    std::unique_ptr<ecc::BitslicedDecoder> decoder_;
+    const sim::EngineKernel *kernel_ = nullptr;
+    WideReadScratch readScratch_;
+    /** Selection-mask scratch for writeDatawordsBroadcast. */
+    std::vector<std::uint64_t> broadcastSel_;
     std::uint64_t pauseEpoch_ = 0;
     std::uint64_t rawErrors_ = 0;
 };

@@ -19,10 +19,9 @@ FaultInjectionProxy::FaultInjectionProxy(MemoryInterface &inner,
     }
 }
 
-BitVec
-FaultInjectionProxy::readDataword(std::size_t word_index)
+void
+FaultInjectionProxy::perturbRead(std::size_t word_index, BitVec &data)
 {
-    BitVec data = inner_.readDataword(word_index);
     if (config_.transientFlipRate > 0.0) {
         for (std::size_t bit = 0; bit < data.size(); ++bit) {
             if (rng_.bernoulli(config_.transientFlipRate)) {
@@ -34,7 +33,24 @@ FaultInjectionProxy::readDataword(std::size_t word_index)
     for (const StuckAtFault &fault : config_.stuckAt)
         if (fault.wordIndex == word_index)
             data.set(fault.bit, fault.value);
+}
+
+BitVec
+FaultInjectionProxy::readDataword(std::size_t word_index)
+{
+    BitVec data = inner_.readDataword(word_index);
+    perturbRead(word_index, data);
     return data;
+}
+
+void
+FaultInjectionProxy::readDatawords(const std::size_t *words,
+                                   std::size_t count,
+                                   std::vector<BitVec> &out)
+{
+    inner_.readDatawords(words, count, out);
+    for (std::size_t i = 0; i < count; ++i)
+        perturbRead(words[i], out[i]);
 }
 
 std::uint8_t

@@ -71,6 +71,23 @@ class FaultInjectionProxy : public MemoryInterface
 
     gf2::BitVec readDataword(std::size_t word_index) override;
 
+    void writeDatawordsBroadcast(const std::size_t *words,
+                                 std::size_t count,
+                                 const gf2::BitVec &data) override
+    {
+        inner_.writeDatawordsBroadcast(words, count, data);
+    }
+
+    /**
+     * Batched reads stay batched through the proxy: the wrapped
+     * backend reads all words first (its own Rng stream, in word
+     * order), then the proxy perturbs each result in word order (its
+     * own Rng stream). The two streams are independent, so the
+     * results are bit-identical to interleaved sequential reads.
+     */
+    void readDatawords(const std::size_t *words, std::size_t count,
+                       std::vector<gf2::BitVec> &out) override;
+
     void writeByte(std::size_t byte_addr, std::uint8_t value) override
     {
         inner_.writeByte(byte_addr, value);
@@ -89,6 +106,9 @@ class FaultInjectionProxy : public MemoryInterface
     std::uint64_t injectedFlips() const { return injectedFlips_; }
 
   private:
+    /** Apply transient flips and stuck-at pins to one read result. */
+    void perturbRead(std::size_t word_index, gf2::BitVec &data);
+
     MemoryInterface &inner_;
     FaultInjectionConfig config_;
     util::Rng rng_;

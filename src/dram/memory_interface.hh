@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "dram/layout.hh"
 #include "gf2/bitvec.hh"
@@ -52,6 +53,39 @@ class MemoryInterface
 
     /** Read a dataword through the on-die ECC decoder. */
     virtual gf2::BitVec readDataword(std::size_t word_index) = 0;
+
+    /**
+     * Write the same @p data to each word of @p words, in order. Must
+     * be observably identical to the writeDataword loop the default
+     * implementation is; backends with batch-friendly storage (the
+     * transposed simulated chip) override it to write whole lane
+     * words. This is the shape of every profile-measurement fill, so
+     * the batch seam sits on the measurement hot path.
+     */
+    virtual void writeDatawordsBroadcast(const std::size_t *words,
+                                         std::size_t count,
+                                         const gf2::BitVec &data)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            writeDataword(words[i], data);
+    }
+
+    /**
+     * Read each word of @p words, in order, into @p out. Must be
+     * observably identical — including any Rng stream consumption for
+     * simulated read noise — to the sequential readDataword loop the
+     * default implementation is, so batching is purely a throughput
+     * knob (the same contract as beep::WordUnderTest::testMany).
+     */
+    virtual void readDatawords(const std::size_t *words,
+                               std::size_t count,
+                               std::vector<gf2::BitVec> &out)
+    {
+        out.clear();
+        out.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            out.push_back(readDataword(words[i]));
+    }
 
     /** Byte-granularity accessors through the address map. */
     virtual void writeByte(std::size_t byte_addr, std::uint8_t value) = 0;

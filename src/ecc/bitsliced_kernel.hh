@@ -86,18 +86,26 @@ struct WideDecodeLanes
 
 /**
  * Decode and classify V::kWords * 64 words given their raw-error lane
- * buffer (@p error_lanes, n x V::kWords uint64s, position-major).
+ * buffer: row @p pos (codeword bit position) is the V::kWords uint64s
+ * at @p error_lanes + pos * row_stride. A row stride wider than
+ * V::kWords lets the kernel read lane windows straight out of a
+ * whole-chip transposed plane store (dram::TransposedCellStore) with
+ * no per-batch gather copy; the batch buffers the simulation engine
+ * fills use the dense stride V::kWords. Correction rows in @p out are
+ * always dense (stride V::kWords) regardless of the input stride.
  * @p out must have been prepare()d for (decoder.n(), V::kWords).
  * All-zero lanes cost nothing and classify as NoError.
  */
 template <typename V>
 void
-decodeWide(const BitslicedDecoder &decoder,
-           const std::uint64_t *error_lanes, WideDecodeLanes &out)
+decodeWideStrided(const BitslicedDecoder &decoder,
+                  const std::uint64_t *error_lanes,
+                  std::size_t row_stride, WideDecodeLanes &out)
 {
     constexpr std::size_t W = V::kWords;
     const std::size_t n = decoder.n();
     const std::size_t r = decoder.numParityBits();
+    BEER_ASSERT(row_stride >= W);
 
     // Clear the previous call's corrections without touching the
     // untouched (still-zero) rows.
@@ -115,7 +123,7 @@ decodeWide(const BitslicedDecoder &decoder,
     for (std::size_t row = 0; row < r; ++row) {
         V acc = V::zero();
         for (const std::uint32_t pos : row_support[row])
-            acc ^= V::load(error_lanes + (std::size_t)pos * W);
+            acc ^= V::load(error_lanes + (std::size_t)pos * row_stride);
         s[row] = acc;
         nonzero |= acc;
     }
@@ -124,7 +132,7 @@ decodeWide(const BitslicedDecoder &decoder,
     V seen_one = V::zero();
     V seen_two = V::zero();
     for (std::size_t pos = 0; pos < n; ++pos) {
-        const V e = V::load(error_lanes + pos * W);
+        const V e = V::load(error_lanes + pos * row_stride);
         seen_two |= seen_one & e;
         seen_one |= e;
     }
@@ -148,7 +156,8 @@ decodeWide(const BitslicedDecoder &decoder,
         match.store(&out.correction[(std::size_t)pos * W]);
         out.touched.push_back(pos);
         corrected_any |= match;
-        flipped_real |= match & V::load(error_lanes + (std::size_t)pos * W);
+        flipped_real |=
+            match & V::load(error_lanes + (std::size_t)pos * row_stride);
         candidates = V::andnot(match, candidates);
     }
 
@@ -173,6 +182,15 @@ decodeWide(const BitslicedDecoder &decoder,
         .store(out.outcome[(std::size_t)DecodeOutcome::SilentCorruption]);
     V::andnot(corrected_any, nonzero)
         .store(out.outcome[(std::size_t)DecodeOutcome::DetectedUncorrectable]);
+}
+
+/** decodeWideStrided over a dense (stride V::kWords) batch buffer. */
+template <typename V>
+void
+decodeWide(const BitslicedDecoder &decoder,
+           const std::uint64_t *error_lanes, WideDecodeLanes &out)
+{
+    decodeWideStrided<V>(decoder, error_lanes, V::kWords, out);
 }
 
 } // namespace beer::ecc

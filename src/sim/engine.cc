@@ -12,6 +12,11 @@ const EngineKernel &
 kernelForWidth(Backend backend)
 {
     switch (backend) {
+      case Backend::U64x2:
+        if (util::simd::cpuHasNeon())
+            if (const EngineKernel *native = engineU64x2Neon())
+                return *native;
+        return engineU64x2Generic();
       case Backend::U64x4:
         if (util::simd::cpuHasAvx2())
             if (const EngineKernel *native = engineU64x4Avx2())
@@ -39,6 +44,9 @@ widestNativeKernel()
     if (util::simd::cpuHasAvx2())
         if (const EngineKernel *native = engineU64x4Avx2())
             return *native;
+    if (util::simd::cpuHasNeon())
+        if (const EngineKernel *native = engineU64x2Neon())
+            return *native;
     return engineU64x1Generic();
 }
 
@@ -59,6 +67,14 @@ engineKernelForLanes(Backend backend, std::size_t count)
     const EngineKernel &cap = engineKernel(backend);
     if (count <= 64 && cap.words > 1)
         return engineU64x1Generic();
+    // Prefer u64x2 for tiny batches only where it runs natively
+    // (aarch64); x86 hosts keep their native u64x4 kernel instead of
+    // a portable two-word loop.
+    if (count <= 128 && cap.words > 2) {
+        const EngineKernel &narrow = kernelForWidth(Backend::U64x2);
+        if (narrow.native)
+            return narrow;
+    }
     if (count <= 256 && cap.words > 4)
         return kernelForWidth(Backend::U64x4);
     return cap;

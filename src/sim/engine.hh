@@ -63,6 +63,18 @@ struct EngineKernel
     void (*decodeBatch)(const ecc::BitslicedDecoder &decoder,
                         const std::uint64_t *error_lanes,
                         ecc::WideDecodeLanes &out);
+
+    /**
+     * Decode one lane group whose rows are @p row_stride uint64s
+     * apart (row_stride >= words): row pos lives at error_lanes +
+     * pos * row_stride. This is how the engine reads lane windows
+     * straight out of a transposed chip plane store — no per-batch
+     * gather copy. decodeBatch is the row_stride == words case.
+     */
+    void (*decodeStrided)(const ecc::BitslicedDecoder &decoder,
+                          const std::uint64_t *error_lanes,
+                          std::size_t row_stride,
+                          ecc::WideDecodeLanes &out);
 };
 
 /**
@@ -87,8 +99,10 @@ const EngineKernel &engineKernelForLanes(util::simd::Backend backend,
  * was compiled without the target ISA (non-x86 build, old compiler).
  * @{ */
 const EngineKernel &engineU64x1Generic();
+const EngineKernel &engineU64x2Generic();
 const EngineKernel &engineU64x4Generic();
 const EngineKernel &engineU64x8Generic();
+const EngineKernel *engineU64x2Neon();
 const EngineKernel *engineU64x4Avx2();
 const EngineKernel *engineU64x8Avx512();
 /** @} */

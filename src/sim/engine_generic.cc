@@ -28,6 +28,14 @@ engineU64x1Generic()
 }
 
 const EngineKernel &
+engineU64x2Generic()
+{
+    static const EngineKernel kernel = detail::makeEngineKernel<Vec<2>>(
+        "u64x2-generic", Backend::U64x2, /*native=*/false);
+    return kernel;
+}
+
+const EngineKernel &
 engineU64x4Generic()
 {
     static const EngineKernel kernel = detail::makeEngineKernel<Vec<4>>(

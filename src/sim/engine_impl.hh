@@ -19,6 +19,7 @@
 
 #include "ecc/bitsliced_kernel.hh"
 #include "sim/engine.hh"
+#include "sim/stats_reduce.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -55,6 +56,9 @@ simulateShardWide(const ecc::BitslicedDecoder &decoder,
     const std::uint64_t v = vulnerable.size();
     BEER_ASSERT(v > 0 && num_words <= UINT64_MAX / v);
     const std::uint64_t total_cells = num_words * v;
+    // Flush-time popcount reductions; resolved once per shard
+    // (BEER_POPCNT, then CPUID), identical sums on every kernel.
+    const StatsReduceKernel &reduce = statsReduceKernel();
     // Alias-table geometric: one raw Rng draw per error cell. Built
     // once per shard; identical draw sequence for every backend.
     const util::GeometricSampler gap(p);
@@ -85,40 +89,22 @@ simulateShardWide(const ecc::BitslicedDecoder &decoder,
 
     auto flush = [&]() {
         ecc::decodeWide<V>(decoder, batch.data(), lanes);
-        std::uint64_t raw = 0;
-        for (std::size_t j = 0; j < W; ++j)
-            raw += (std::uint64_t)util::popcount64(lanes.anyRaw[j]);
-        stats.wordsWithRawErrors += raw;
+        stats.wordsWithRawErrors += reduce.rowPopcount(lanes.anyRaw, W);
         // NoError is accounted arithmetically at the end; the other
         // five outcome masks are all subsets of anyRaw.
         for (std::size_t o = 1; o < 6; ++o)
-            for (std::size_t j = 0; j < W; ++j)
-                stats.outcomes[o] +=
-                    (std::uint64_t)util::popcount64(lanes.outcome[o][j]);
-        for (const std::size_t pos : vulnerable) {
-            std::uint64_t *row = &batch[pos * W];
-            std::uint64_t count = 0;
-            for (std::size_t j = 0; j < W; ++j)
-                count += (std::uint64_t)util::popcount64(row[j]);
-            stats.preCorrectionErrors[pos] += count;
-        }
-        for (const std::size_t bit : data_vulnerable) {
-            const std::uint64_t *row = &batch[bit * W];
-            const std::uint64_t *corr = &lanes.correction[bit * W];
-            std::uint64_t count = 0;
-            for (std::size_t j = 0; j < W; ++j)
-                count += (std::uint64_t)util::popcount64(row[j] ^
-                                                         corr[j]);
-            stats.postCorrectionErrors[bit] += count;
-        }
+            stats.outcomes[o] += reduce.rowPopcount(lanes.outcome[o], W);
+        for (const std::size_t pos : vulnerable)
+            stats.preCorrectionErrors[pos] +=
+                reduce.rowPopcount(&batch[pos * W], W);
+        for (const std::size_t bit : data_vulnerable)
+            stats.postCorrectionErrors[bit] += reduce.xorRowPopcount(
+                &batch[bit * W], &lanes.correction[bit * W], W);
         for (const std::uint32_t pos : lanes.touched) {
             if (pos >= k || is_data_vulnerable[pos])
                 continue; // parity row, or already counted above
-            const std::uint64_t *corr = &lanes.correction[pos * W];
-            std::uint64_t count = 0;
-            for (std::size_t j = 0; j < W; ++j)
-                count += (std::uint64_t)util::popcount64(corr[j]);
-            stats.postCorrectionErrors[pos] += count;
+            stats.postCorrectionErrors[pos] +=
+                reduce.rowPopcount(&lanes.correction[pos * W], W);
         }
         for (const std::size_t pos : vulnerable) {
             std::uint64_t *row = &batch[pos * W];
@@ -180,6 +166,7 @@ makeEngineKernel(const char *name, util::simd::Backend backend,
     kernel.native = native;
     kernel.simulateShard = &simulateShardWide<V>;
     kernel.decodeBatch = &ecc::decodeWide<V>;
+    kernel.decodeStrided = &ecc::decodeWideStrided<V>;
     return kernel;
 }
 

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * NEON instantiation of the u64x2 kernels.
+ *
+ * Advanced SIMD is baseline on aarch64, so unlike the AVX translation
+ * units this one needs no special target flags there — the guard is
+ * the architecture itself (__ARM_NEON, plus the runtime
+ * util::simd::cpuHasNeon check in dispatch, which is constant-true on
+ * aarch64 and constant-false elsewhere). On non-ARM builds the
+ * factory degrades to nullptr and dispatch falls back to the portable
+ * u64x2 kernel, keeping the width testable on every host.
+ */
+
+#include "sim/engine.hh"
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include "sim/engine_impl.hh"
+#include "util/simd_vec.hh"
+#endif
+
+namespace beer::sim
+{
+
+const EngineKernel *
+engineU64x2Neon()
+{
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+    using util::simd::NeonIsa;
+    using util::simd::Vec;
+    static const EngineKernel kernel =
+        detail::makeEngineKernel<Vec<2, NeonIsa>>(
+            "u64x2-neon", util::simd::Backend::U64x2, /*native=*/true);
+    return &kernel;
+#else
+    return nullptr;
+#endif
+}
+
+} // namespace beer::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * VPOPCNTDQ instantiation of the stats-reduction kernel.
+ *
+ * The only translation unit compiled with -mavx512vpopcntdq (scoped in
+ * CMakeLists.txt, like the engine's -mavx2/-mavx512f TUs). Dispatch
+ * hands it out only after CPUID confirms the avx512vpopcntdq bit
+ * (util::simd::cpuHasAvx512Vpopcntdq) — its own feature flag, distinct
+ * from AVX-512F. Built without compiler support, the factory degrades
+ * to nullptr and dispatch keeps the portable kernel.
+ */
+
+#include "sim/stats_reduce.hh"
+
+#if defined(__AVX512VPOPCNTDQ__) && defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace beer::sim
+{
+
+#if defined(__AVX512VPOPCNTDQ__) && defined(__AVX512F__)
+
+namespace
+{
+
+/** Horizontal add via an explicit store (no _mm512_reduce_add_epi64:
+ * its shuffle idiom trips GCC's maybe-uninitialized analysis). */
+std::uint64_t
+horizontalAdd(__m512i acc)
+{
+    std::uint64_t lanes[8];
+    _mm512_storeu_si512((void *)lanes, acc);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t lane : lanes)
+        sum += lane;
+    return sum;
+}
+
+std::uint64_t
+rowPopcountVpopcnt(const std::uint64_t *row, std::size_t words)
+{
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t j = 0;
+    for (; j + 8 <= words; j += 8) {
+        const __m512i v = _mm512_loadu_si512((const void *)(row + j));
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+    }
+    std::uint64_t sum = horizontalAdd(acc);
+    for (; j < words; ++j)
+        sum += (std::uint64_t)__builtin_popcountll(row[j]);
+    return sum;
+}
+
+std::uint64_t
+xorRowPopcountVpopcnt(const std::uint64_t *a, const std::uint64_t *b,
+                      std::size_t words)
+{
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t j = 0;
+    for (; j + 8 <= words; j += 8) {
+        const __m512i va = _mm512_loadu_si512((const void *)(a + j));
+        const __m512i vb = _mm512_loadu_si512((const void *)(b + j));
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_xor_si512(va, vb)));
+    }
+    std::uint64_t sum = horizontalAdd(acc);
+    for (; j < words; ++j)
+        sum += (std::uint64_t)__builtin_popcountll(a[j] ^ b[j]);
+    return sum;
+}
+
+} // anonymous namespace
+
+const StatsReduceKernel *
+statsReduceVpopcntdq()
+{
+    static const StatsReduceKernel kernel = {
+        "vpopcntdq", /*native=*/true, &rowPopcountVpopcnt,
+        &xorRowPopcountVpopcnt};
+    return &kernel;
+}
+
+#else
+
+const StatsReduceKernel *
+statsReduceVpopcntdq()
+{
+    return nullptr;
+}
+
+#endif // __AVX512VPOPCNTDQ__ && __AVX512F__
+
+} // namespace beer::sim

@@ -1,0 +1,68 @@
+#include "sim/stats_reduce.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/simd.hh"
+
+namespace beer::sim
+{
+
+namespace
+{
+
+std::uint64_t
+rowPopcountPortable(const std::uint64_t *row, std::size_t words)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t j = 0; j < words; ++j)
+        sum += (std::uint64_t)util::popcount64(row[j]);
+    return sum;
+}
+
+std::uint64_t
+xorRowPopcountPortable(const std::uint64_t *a, const std::uint64_t *b,
+                       std::size_t words)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t j = 0; j < words; ++j)
+        sum += (std::uint64_t)util::popcount64(a[j] ^ b[j]);
+    return sum;
+}
+
+} // anonymous namespace
+
+const StatsReduceKernel &
+statsReducePortable()
+{
+    static const StatsReduceKernel kernel = {
+        "portable", /*native=*/false, &rowPopcountPortable,
+        &xorRowPopcountPortable};
+    return kernel;
+}
+
+const StatsReduceKernel &
+statsReduceKernel()
+{
+    // Re-read the environment every call (resolution happens once per
+    // shard or read batch, never per row) so tests can force kernels
+    // with setenv() without process restarts.
+    const char *value = std::getenv("BEER_POPCNT");
+    const std::string requested = value ? value : "auto";
+    if (requested == "portable")
+        return statsReducePortable();
+    if (requested != "auto" && requested != "vpopcntdq")
+        util::fatal("BEER_POPCNT='%s' is not a popcount kernel "
+                    "(expected auto, portable, or vpopcntdq)",
+                    requested.c_str());
+    // "vpopcntdq" on a host or build without the instruction falls
+    // back to portable — identical counts, so forcing is always legal.
+    if (util::simd::cpuHasAvx512Vpopcntdq())
+        if (const StatsReduceKernel *native = statsReduceVpopcntdq())
+            return *native;
+    return statsReducePortable();
+}
+
+} // namespace beer::sim

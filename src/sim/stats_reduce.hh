@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Runtime-dispatched popcount reduction for flush-time statistics.
+ *
+ * Every flush of the simulation engine (and every wide chip read)
+ * reduces transposed lane rows to counts: popcount sums over a row of
+ * uint64 lane words, plain or XOR-combined with a correction row. On
+ * AVX-512 hosts with VPOPCNTDQ these reductions run one vector
+ * popcount per 8 lane words; everywhere else a portable scalar loop
+ * does the same arithmetic. Both produce identical sums — popcount is
+ * exact — so kernel choice is purely a speed knob, mirroring the
+ * engine's SIMD backend contract.
+ *
+ * Selection: the BEER_POPCNT environment variable ("auto", "portable",
+ * "vpopcntdq") wins, then CPUID. Forcing "vpopcntdq" on a host
+ * without the instruction falls back to the portable kernel (same
+ * counts, just slower), so CI can pin the kernel on any runner. The
+ * intrinsic implementation lives in its own translation unit
+ * (sim/stats_avx512.cc, the only TU built with -mavx512vpopcntdq),
+ * exactly like the engine's per-ISA kernels.
+ */
+
+#ifndef BEER_SIM_STATS_REDUCE_HH
+#define BEER_SIM_STATS_REDUCE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace beer::sim
+{
+
+/** Function table of one popcount-reduction implementation. */
+struct StatsReduceKernel
+{
+    /** Display name: "portable" or "vpopcntdq". */
+    const char *name;
+    /** True when backed by native vector popcount instructions. */
+    bool native;
+
+    /** Sum of popcount(row[j]) for j in [0, words). */
+    std::uint64_t (*rowPopcount)(const std::uint64_t *row,
+                                 std::size_t words);
+
+    /** Sum of popcount(a[j] ^ b[j]) for j in [0, words). */
+    std::uint64_t (*xorRowPopcount)(const std::uint64_t *a,
+                                    const std::uint64_t *b,
+                                    std::size_t words);
+};
+
+/**
+ * Kernel after full resolution: BEER_POPCNT override first (re-read
+ * per call so tests can flip it with setenv; fatal on junk values),
+ * then the VPOPCNTDQ kernel when CPUID and the build provide it, else
+ * the portable kernel.
+ */
+const StatsReduceKernel &statsReduceKernel();
+
+/** The portable scalar kernel (always available; reference counts). */
+const StatsReduceKernel &statsReducePortable();
+
+/**
+ * The VPOPCNTDQ kernel, or nullptr when this build lacks it (non-x86
+ * host, old compiler). Callers must still check CPUID before use; the
+ * dispatch in statsReduceKernel() does both.
+ */
+const StatsReduceKernel *statsReduceVpopcntdq();
+
+} // namespace beer::sim
+
+#endif // BEER_SIM_STATS_REDUCE_HH

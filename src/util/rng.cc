@@ -219,4 +219,29 @@ Rng::fork()
     return Rng(next() ^ 0xa3c59ac2ed9b81d5ULL);
 }
 
+BernoulliMask::BernoulliMask(double p)
+{
+    if (p <= 0.0) {
+        constant_ = 0;
+        return;
+    }
+    if (p >= 1.0) {
+        constant_ = ~(std::uint64_t)0;
+        return;
+    }
+    // Peel p's binary fraction by doubling; terminates because a
+    // double's fraction is finite (at most ~1075 digits for the
+    // smallest denormals).
+    double rest = p;
+    while (rest > 0.0) {
+        rest *= 2.0;
+        if (rest >= 1.0) {
+            digits_.push_back(1);
+            rest -= 1.0;
+        } else {
+            digits_.push_back(0);
+        }
+    }
+}
+
 } // namespace beer::util

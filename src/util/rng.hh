@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 namespace beer::util
 {
@@ -212,6 +213,61 @@ class GeometricSampler
     std::uint64_t threshold_[kSlots];
     /** Outcome when the threshold rejects the slot. */
     std::uint16_t alias_[kSlots];
+};
+
+/**
+ * 64 iid Bernoulli(p) trials per draw, one bit per lane.
+ *
+ * The batched fill path of the transposed chip needs whole lane
+ * masks, not per-cell trials: at high error rates, drawing each cell
+ * with the geometric skip sampler costs one Rng draw *per error*,
+ * while this sampler resolves 64 cells in an expected ~log2(64) + 2
+ * draws regardless of the rate — the crossover is measured by
+ * bench/sim_throughput.
+ *
+ * Algorithm: compare an infinite random binary fraction u against p
+ * digit by digit, all 64 lanes in parallel — one next() supplies
+ * digit i of every lane's u. A lane resolves at the first digit where
+ * u and p differ (u's digit 0, p's 1: success u < p; the reverse:
+ * failure), so each draw resolves half the unresolved lanes and the
+ * loop ends when none remain (or p's digits run out — doubles have
+ * finite expansions — after which u > p for every survivor). The
+ * sampled distribution is Bernoulli(p) exactly, the same exactness
+ * class as `rng.uniform() < p`.
+ */
+class BernoulliMask
+{
+  public:
+    /** @param p success probability; clamped to [0, 1]. */
+    explicit BernoulliMask(double p);
+
+    /** Lane mask with each bit set independently with probability p. */
+    std::uint64_t draw(Rng &rng) const
+    {
+        if (digits_.empty())
+            return constant_;
+        std::uint64_t unresolved = ~(std::uint64_t)0;
+        std::uint64_t result = 0;
+        for (const std::uint8_t digit : digits_) {
+            const std::uint64_t r = rng.next();
+            if (digit) {
+                result |= unresolved & ~r;
+                unresolved &= r;
+            } else {
+                unresolved &= ~r;
+            }
+            if (!unresolved)
+                break;
+        }
+        return result;
+    }
+
+  private:
+    /** Binary digits of p's fraction, most significant first; empty
+     * for the degenerate rates p <= 0 and p >= 1. */
+    std::vector<std::uint8_t> digits_;
+    /** Mask returned for the degenerate rates. */
+    std::uint64_t constant_ = 0;
 };
 
 } // namespace beer::util

@@ -15,6 +15,8 @@ backendName(Backend backend)
         return "auto";
       case Backend::U64x1:
         return "u64x1";
+      case Backend::U64x2:
+        return "u64x2";
       case Backend::U64x4:
         return "u64x4";
       case Backend::U64x8:
@@ -30,6 +32,8 @@ parseBackend(const std::string &text)
         return Backend::Auto;
     if (text == "u64x1")
         return Backend::U64x1;
+    if (text == "u64x2")
+        return Backend::U64x2;
     if (text == "u64x4")
         return Backend::U64x4;
     if (text == "u64x8")
@@ -43,6 +47,8 @@ backendWords(Backend backend)
     switch (backend) {
       case Backend::U64x1:
         return 1;
+      case Backend::U64x2:
+        return 2;
       case Backend::U64x4:
         return 4;
       case Backend::U64x8:
@@ -81,6 +87,30 @@ cpuHasAvx512f()
 #endif
 }
 
+bool
+cpuHasAvx512Vpopcntdq()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    static const bool has = __builtin_cpu_supports("avx512vpopcntdq");
+    return has;
+#else
+    return false;
+#endif
+}
+
+bool
+cpuHasNeon()
+{
+    // Advanced SIMD is architecturally mandatory on AArch64; 32-bit
+    // ARM hosts would need a runtime probe and just use the portable
+    // kernels instead.
+#if defined(__aarch64__)
+    return true;
+#else
+    return false;
+#endif
+}
+
 Backend
 envBackend()
 {
@@ -92,7 +122,7 @@ envBackend()
     const auto parsed = parseBackend(value);
     if (!parsed)
         fatal("BEER_SIMD='%s' is not a SIMD backend (expected auto, "
-              "u64x1, u64x4, or u64x8)",
+              "u64x1, u64x2, u64x4, or u64x8)",
               value);
     return *parsed;
 }

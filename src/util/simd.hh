@@ -7,6 +7,8 @@
  * library ships and decides which one a run uses:
  *
  *  - Backend::U64x1: one uint64 per lane mask (the PR 3 engine);
+ *  - Backend::U64x2: 128-bit groups, NEON intrinsics on aarch64
+ *    hosts, a portable 2 x uint64 fallback otherwise;
  *  - Backend::U64x4: 256-bit groups, AVX2 intrinsics when the host
  *    supports them, a portable 4 x uint64 fallback otherwise;
  *  - Backend::U64x8: 512-bit groups, AVX-512F intrinsics or a portable
@@ -37,13 +39,15 @@ enum class Backend
     Auto,
     /** 64 lanes per group, one uint64 per codeword position. */
     U64x1,
+    /** 128 lanes per group (NEON when native). */
+    U64x2,
     /** 256 lanes per group (AVX2 when native). */
     U64x4,
     /** 512 lanes per group (AVX-512F when native). */
     U64x8,
 };
 
-/** Canonical lowercase name ("auto", "u64x1", "u64x4", "u64x8"). */
+/** Canonical lowercase name ("auto", "u64x1", "u64x2", ...). */
 const char *backendName(Backend backend);
 
 /** Parse a backend name; std::nullopt on anything unrecognized. */
@@ -60,6 +64,16 @@ bool cpuHasAvx2();
 
 /** True iff the CPU executes AVX-512 Foundation instructions. */
 bool cpuHasAvx512f();
+
+/**
+ * True iff the CPU executes VPOPCNTDQ (vector popcount) instructions;
+ * a separate CPUID bit from AVX-512F, present only on Ice Lake and
+ * newer, so the stats-reduction kernel gates on it independently.
+ */
+bool cpuHasAvx512Vpopcntdq();
+
+/** True iff the CPU executes Advanced SIMD (NEON) instructions. */
+bool cpuHasNeon();
 
 /**
  * Backend requested by the BEER_SIMD environment variable, re-read on

@@ -6,13 +6,14 @@
  * operations the decode kernel needs: load/store against plain uint64
  * buffers, XOR / AND / OR, and-not, all-ones complement, and an
  * any-bit-set test. The primary template is portable C++ over a
- * uint64 array; the AVX2 (W = 4) and AVX-512F (W = 8) specializations
- * map one Vec to one ymm/zmm register.
+ * uint64 array; the NEON (W = 2), AVX2 (W = 4) and AVX-512F (W = 8)
+ * specializations map one Vec to one q/ymm/zmm register.
  *
  * ISA tags keep instantiations compiled under different target flags
  * in distinct types, so the intrinsic translation units
  * (sim/engine_avx2.cc, sim/engine_avx512.cc — the only ones built
- * with -mavx2 / -mavx512f) can never collide with the portable
+ * with -mavx2 / -mavx512f — and sim/engine_neon.cc, whose NEON support
+ * is baseline on aarch64) can never collide with the portable
  * fallbacks at link time. The intrinsic tags only exist when the
  * including TU is compiled with the matching target flag; nothing
  * else may name them.
@@ -32,6 +33,10 @@
 
 #if defined(__AVX2__) || defined(__AVX512F__)
 #include <immintrin.h>
+#endif
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
 #endif
 
 namespace beer::util::simd
@@ -115,6 +120,50 @@ struct Vec
     Vec &operator&=(Vec o) { return *this = *this & o; }
     Vec &operator|=(Vec o) { return *this = *this | o; }
 };
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+/** Tag for the NEON q-register implementation (aarch64 baseline). */
+struct NeonIsa
+{
+};
+
+template <>
+struct Vec<2, NeonIsa>
+{
+    static constexpr std::size_t kWords = 2;
+
+    uint64x2_t v;
+
+    static Vec zero() { return {vdupq_n_u64(0)}; }
+
+    static Vec load(const std::uint64_t *p) { return {vld1q_u64(p)}; }
+
+    void store(std::uint64_t *p) const { vst1q_u64(p, v); }
+
+    static Vec andnot(Vec a, Vec b)
+    {
+        // vbicq computes b & ~a with this operand order.
+        return {vbicq_u64(b.v, a.v)};
+    }
+
+    bool any() const
+    {
+        return (vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0;
+    }
+
+    friend Vec operator^(Vec a, Vec b) { return {veorq_u64(a.v, b.v)}; }
+
+    friend Vec operator&(Vec a, Vec b) { return {vandq_u64(a.v, b.v)}; }
+
+    friend Vec operator|(Vec a, Vec b) { return {vorrq_u64(a.v, b.v)}; }
+
+    Vec &operator^=(Vec o) { return *this = *this ^ o; }
+    Vec &operator&=(Vec o) { return *this = *this & o; }
+    Vec &operator|=(Vec o) { return *this = *this | o; }
+};
+
+#endif // __ARM_NEON
 
 #if defined(__AVX2__)
 

@@ -60,6 +60,66 @@ TEST(Measure, ProbabilityAndMerge)
     EXPECT_LE(a.probability(0, 1), 1.0);
 }
 
+TEST(Measure, MergeAccumulateAddsOverlappingObservations)
+{
+    // Accumulate is one experiment grown by another: overlapping
+    // patterns add both error counts and denominators, new patterns
+    // append.
+    Rng rng(19);
+    const LinearCode code = randomSecCode(8, rng);
+    const auto one = chargedPatterns(8, 1);
+    const auto two = chargedPatterns(8, 2);
+
+    auto a = measureProfileSim(code, one, 0.3, 4000, rng);
+    auto b = measureProfileSim(code, one, 0.3, 4000, rng);
+    auto extra = measureProfileSim(code, two, 0.3, 2000, rng);
+    b.merge(extra, ProfileCounts::MergeMode::Accumulate);
+
+    const auto total_before =
+        a.totalObservations() + b.totalObservations();
+    a.merge(b, ProfileCounts::MergeMode::Accumulate);
+    EXPECT_EQ(a.totalObservations(), total_before);
+    EXPECT_EQ(a.patterns.size(), one.size() + two.size());
+    for (std::size_t p = 0; p < one.size(); ++p)
+        EXPECT_EQ(a.wordsTested[p], 8000u) << "pattern " << p;
+}
+
+TEST(Measure, MergeAppendDisjointAppendsFreshPatterns)
+{
+    Rng rng(23);
+    const LinearCode code = randomSecCode(8, rng);
+    auto a = measureProfileSim(code, chargedPatterns(8, 1), 0.3, 4000,
+                               rng);
+    const auto b = measureProfileSim(code, chargedPatterns(8, 2), 0.3,
+                                     2000, rng);
+    const auto count_before = a.patterns.size();
+    a.merge(b, ProfileCounts::MergeMode::AppendDisjoint);
+    EXPECT_EQ(a.patterns.size(), count_before + b.patterns.size());
+    // Appended patterns keep their own denominators untouched.
+    EXPECT_EQ(a.wordsTested.back(), b.wordsTested.back());
+}
+
+TEST(Measure, MergeAppendDisjointRejectsOverlap)
+{
+    // Overlap under AppendDisjoint is a caller bug: the caller
+    // promised fresh patterns. Debug builds abort on it; release
+    // builds fall back to accumulating (documented contract).
+    Rng rng(29);
+    const LinearCode code = randomSecCode(8, rng);
+    const auto patterns = chargedPatterns(8, 1);
+    auto a = measureProfileSim(code, patterns, 0.3, 2000, rng);
+    const auto b = measureProfileSim(code, patterns, 0.3, 2000, rng);
+#ifndef NDEBUG
+    EXPECT_DEATH(
+        a.merge(b, ProfileCounts::MergeMode::AppendDisjoint),
+        "AppendDisjoint");
+#else
+    const auto words_before = a.wordsTested[0];
+    a.merge(b, ProfileCounts::MergeMode::AppendDisjoint);
+    EXPECT_EQ(a.wordsTested[0], words_before + b.wordsTested[0]);
+#endif
+}
+
 TEST(Measure, ChipProfileMatchesGroundTruth)
 {
     // End-to-end: measure on a simulated chip (iid mode so that each

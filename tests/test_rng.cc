@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <vector>
 
@@ -133,4 +134,58 @@ TEST(Rng, ForkProducesIndependentStream)
     for (int i = 0; i < 64; ++i)
         same += parent.next() == child.next();
     EXPECT_LT(same, 2);
+}
+
+TEST(BernoulliMask, DegenerateRatesDrawNothing)
+{
+    beer::util::Rng rng(1);
+    beer::util::Rng untouched(1);
+    const beer::util::BernoulliMask never(0.0);
+    const beer::util::BernoulliMask always(1.0);
+    EXPECT_EQ(never.draw(rng), 0u);
+    EXPECT_EQ(always.draw(rng), ~(std::uint64_t)0);
+    // Neither consumed the Rng stream.
+    EXPECT_EQ(rng.next(), untouched.next());
+}
+
+TEST(BernoulliMask, ExactPowerOfTwoRates)
+{
+    // p = 0.5 has a one-digit expansion: the mask is exactly one raw
+    // next() draw's complement-resolved bits; the mean must sit at 32
+    // of 64 lanes over many draws.
+    beer::util::Rng rng(17);
+    const beer::util::BernoulliMask half(0.5);
+    std::uint64_t ones = 0;
+    const std::size_t draws = 20000;
+    for (std::size_t i = 0; i < draws; ++i)
+        ones += (std::uint64_t)__builtin_popcountll(half.draw(rng));
+    const double total = 64.0 * draws;
+    const double sigma = std::sqrt(total * 0.25);
+    EXPECT_NEAR((double)ones, total * 0.5, 5.0 * sigma);
+}
+
+TEST(BernoulliMask, LaneBitsMatchTheRate)
+{
+    // Every lane is an independent Bernoulli(p) trial: the aggregate
+    // count and each individual lane's count must track p.
+    const double p = 0.3;
+    beer::util::Rng rng(23);
+    const beer::util::BernoulliMask mask(p);
+    const std::size_t draws = 30000;
+    std::array<std::uint64_t, 64> lane_ones{};
+    std::uint64_t ones = 0;
+    for (std::size_t i = 0; i < draws; ++i) {
+        const std::uint64_t m = mask.draw(rng);
+        ones += (std::uint64_t)__builtin_popcountll(m);
+        for (std::size_t lane = 0; lane < 64; ++lane)
+            lane_ones[lane] += (m >> lane) & 1;
+    }
+    const double total = 64.0 * draws;
+    EXPECT_NEAR((double)ones, total * p,
+                5.0 * std::sqrt(total * p * (1.0 - p)));
+    const double lane_sigma = std::sqrt(draws * p * (1.0 - p));
+    for (std::size_t lane = 0; lane < 64; ++lane)
+        EXPECT_NEAR((double)lane_ones[lane], draws * p,
+                    6.0 * lane_sigma)
+            << "lane " << lane;
 }

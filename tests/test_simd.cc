@@ -33,6 +33,7 @@
 #include "ecc/decoder.hh"
 #include "ecc/hamming.hh"
 #include "sim/engine.hh"
+#include "sim/stats_reduce.hh"
 #include "sim/word_sim.hh"
 #include "util/rng.hh"
 #include "util/simd.hh"
@@ -54,8 +55,8 @@ using util::simd::Backend;
 namespace
 {
 
-constexpr Backend kAllWidths[] = {Backend::U64x1, Backend::U64x4,
-                                  Backend::U64x8};
+constexpr Backend kAllWidths[] = {Backend::U64x1, Backend::U64x2,
+                                  Backend::U64x4, Backend::U64x8};
 
 /** Set/unset BEER_SIMD for a scope. */
 class ScopedEnvBackend
@@ -125,8 +126,8 @@ runRetention(const LinearCode &code, Backend backend,
 
 TEST(SimdBackend, NamesParseAndRoundTrip)
 {
-    for (Backend b : {Backend::Auto, Backend::U64x1, Backend::U64x4,
-                      Backend::U64x8}) {
+    for (Backend b : {Backend::Auto, Backend::U64x1, Backend::U64x2,
+                      Backend::U64x4, Backend::U64x8}) {
         const auto parsed =
             util::simd::parseBackend(util::simd::backendName(b));
         ASSERT_TRUE(parsed.has_value());
@@ -134,6 +135,7 @@ TEST(SimdBackend, NamesParseAndRoundTrip)
     }
     EXPECT_FALSE(util::simd::parseBackend("avx99").has_value());
     EXPECT_EQ(util::simd::backendLanes(Backend::U64x1), 64u);
+    EXPECT_EQ(util::simd::backendLanes(Backend::U64x2), 128u);
     EXPECT_EQ(util::simd::backendLanes(Backend::U64x4), 256u);
     EXPECT_EQ(util::simd::backendLanes(Backend::U64x8), 512u);
 }
@@ -256,7 +258,8 @@ TEST(SimdEngine, NativeAndPortableKernelsAgreeBitwise)
     const BitslicedDecoder decoder(code);
 
     const std::pair<const EngineKernel *, const EngineKernel *>
-        pairs[] = {{sim::engineU64x4Avx2(), &sim::engineU64x4Generic()},
+        pairs[] = {{sim::engineU64x2Neon(), &sim::engineU64x2Generic()},
+                   {sim::engineU64x4Avx2(), &sim::engineU64x4Generic()},
                    {sim::engineU64x8Avx512(),
                     &sim::engineU64x8Generic()}};
     for (const auto &[native, portable] : pairs) {
@@ -291,7 +294,8 @@ TEST(SimdEngine, StatsIdenticalAcrossBackends)
         const LinearCode code = randomSecCode(k, code_rng);
         const WordSimStats reference =
             runRetention(code, Backend::U64x1, 1, 83 + k);
-        for (Backend b : {Backend::U64x4, Backend::U64x8}) {
+        for (Backend b :
+             {Backend::U64x2, Backend::U64x4, Backend::U64x8}) {
             EXPECT_EQ(reference, runRetention(code, b, 1, 83 + k))
                 << "k=" << k << " backend "
                 << util::simd::backendName(b);
@@ -327,7 +331,8 @@ TEST(SimdEngine, ProfileCountsIdenticalAcrossBackends)
     };
 
     const ProfileCounts reference = run(Backend::U64x1);
-    for (Backend b : {Backend::U64x4, Backend::U64x8}) {
+    for (Backend b :
+         {Backend::U64x2, Backend::U64x4, Backend::U64x8}) {
         const ProfileCounts counts = run(b);
         EXPECT_EQ(reference.k, counts.k);
         EXPECT_EQ(reference.patterns, counts.patterns);
@@ -466,5 +471,142 @@ TEST(BeepEval, ResultsIdenticalAcrossBackends)
         EXPECT_EQ(reference.successes, other.successes) << backend;
         EXPECT_EQ(reference.totalIdentified, other.totalIdentified)
             << backend;
+    }
+}
+
+TEST(SimdEngine, StridedDecodeMatchesDenseBatch)
+{
+    // decodeStrided is how the engine reads lane windows straight out
+    // of a transposed chip plane store; on any stride it must produce
+    // exactly what decodeBatch produces on the gathered dense buffer.
+    Rng rng(113);
+    const LinearCode code = randomSecCode(16, rng);
+    const std::size_t n = code.n();
+    const BitslicedDecoder decoder(code);
+
+    for (Backend b : kAllWidths) {
+        const EngineKernel &kernel = sim::engineKernel(b);
+        const std::size_t W = kernel.words;
+        const std::size_t stride = W + 5; // padded plane rows
+
+        std::vector<std::uint64_t> planes(n * stride, 0);
+        std::vector<std::uint64_t> dense(n * W, 0);
+        Rng fill(127);
+        for (std::size_t pos = 0; pos < n; ++pos) {
+            for (std::size_t j = 0; j < stride; ++j) {
+                const std::uint64_t word = fill.next() & fill.next();
+                planes[pos * stride + j] = word;
+                if (j < W)
+                    dense[pos * W + j] = word;
+            }
+        }
+
+        WideDecodeLanes strided;
+        WideDecodeLanes batch;
+        strided.prepare(n, W);
+        batch.prepare(n, W);
+        kernel.decodeStrided(decoder, planes.data(), stride, strided);
+        kernel.decodeBatch(decoder, dense.data(), batch);
+
+        EXPECT_EQ(strided.correction, batch.correction) << kernel.name;
+        for (std::size_t j = 0; j < W; ++j) {
+            EXPECT_EQ(strided.anyRaw[j], batch.anyRaw[j])
+                << kernel.name;
+            for (std::size_t o = 0; o < 6; ++o)
+                EXPECT_EQ(strided.outcome[o][j], batch.outcome[o][j])
+                    << kernel.name << " outcome " << o;
+        }
+    }
+}
+
+namespace
+{
+
+/** Set/unset BEER_POPCNT for a scope. */
+class ScopedEnvPopcnt
+{
+  public:
+    explicit ScopedEnvPopcnt(const char *value)
+    {
+        setenv("BEER_POPCNT", value, 1);
+    }
+    ~ScopedEnvPopcnt() { unsetenv("BEER_POPCNT"); }
+};
+
+} // anonymous namespace
+
+TEST(StatsReduce, PortableKernelSumsExactly)
+{
+    const sim::StatsReduceKernel &portable = sim::statsReducePortable();
+    std::vector<std::uint64_t> a = {0, ~0ULL, 0x5555555555555555ULL};
+    std::vector<std::uint64_t> b = {~0ULL, ~0ULL, 0};
+    EXPECT_EQ(portable.rowPopcount(a.data(), a.size()), 64u + 32u);
+    EXPECT_EQ(portable.xorRowPopcount(a.data(), b.data(), a.size()),
+              64u + 0u + 32u);
+    EXPECT_EQ(portable.rowPopcount(a.data(), 0), 0u);
+}
+
+TEST(StatsReduce, KernelsAgreeOnRandomRows)
+{
+    // The VPOPCNTDQ kernel (when this build and CPU provide it) must
+    // produce the portable kernel's exact sums; popcount is exact, so
+    // kernel choice is purely a speed knob. Row lengths sweep across
+    // the 8-word vector boundary to cover the scalar tail.
+    const sim::StatsReduceKernel &portable = sim::statsReducePortable();
+    const sim::StatsReduceKernel *native = sim::statsReduceVpopcntdq();
+    const bool native_usable =
+        native && util::simd::cpuHasAvx512Vpopcntdq();
+
+    Rng rng(131);
+    for (std::size_t words = 1; words <= 40; words += 3) {
+        std::vector<std::uint64_t> a(words);
+        std::vector<std::uint64_t> b(words);
+        for (std::size_t j = 0; j < words; ++j) {
+            a[j] = rng.next();
+            b[j] = rng.next() & rng.next();
+        }
+        // Reference sums via an independent accumulation.
+        std::uint64_t plain = 0;
+        std::uint64_t xored = 0;
+        for (std::size_t j = 0; j < words; ++j) {
+            plain += (std::uint64_t)__builtin_popcountll(a[j]);
+            xored += (std::uint64_t)__builtin_popcountll(a[j] ^ b[j]);
+        }
+        EXPECT_EQ(portable.rowPopcount(a.data(), words), plain);
+        EXPECT_EQ(portable.xorRowPopcount(a.data(), b.data(), words),
+                  xored);
+        if (native_usable) {
+            EXPECT_EQ(native->rowPopcount(a.data(), words), plain);
+            EXPECT_EQ(native->xorRowPopcount(a.data(), b.data(),
+                                             words),
+                      xored);
+        }
+    }
+}
+
+TEST(StatsReduce, EnvVariableForcesKernel)
+{
+    {
+        ScopedEnvPopcnt env("portable");
+        EXPECT_STREQ(sim::statsReduceKernel().name, "portable");
+    }
+    {
+        // Forcing vpopcntdq is always legal: hosts (or builds)
+        // without the instruction keep the portable kernel, which
+        // produces identical counts.
+        ScopedEnvPopcnt env("vpopcntdq");
+        const sim::StatsReduceKernel &kernel = sim::statsReduceKernel();
+        if (util::simd::cpuHasAvx512Vpopcntdq() &&
+            sim::statsReduceVpopcntdq())
+            EXPECT_STREQ(kernel.name, "vpopcntdq");
+        else
+            EXPECT_STREQ(kernel.name, "portable");
+    }
+    // Auto never fails; junk dies loudly.
+    EXPECT_NE(sim::statsReduceKernel().name, nullptr);
+    {
+        ScopedEnvPopcnt env("sse9");
+        EXPECT_EXIT(sim::statsReduceKernel(),
+                    ::testing::ExitedWithCode(1), "BEER_POPCNT");
     }
 }
