@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Recovery-service throughput bench: quantifies what the fingerprint
+ * cache buys a fleet that keeps re-testing chips with the same on-die
+ * ECC function.
+ *
+ * Three rounds against one in-process svc::RecoveryService:
+ *
+ *  1. cold   — every profile is new: full SAT solve per job;
+ *  2. exact  — the same profiles again: cache hits, zero SAT solves;
+ *  3. near   — each profile minus its last two patterns (a sibling
+ *              chip with less measurement coverage): warm-started
+ *              solves.
+ *
+ * Emits an aligned table, or JSON with --json for the README numbers
+ * and CI trend tracking.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "beer/patterns.hh"
+#include "beer/profile.hh"
+#include "ecc/hamming.hh"
+#include "svc/service.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+using namespace beer;
+
+namespace
+{
+
+double
+submitAll(svc::RecoveryService &service,
+          const std::vector<MiscorrectionProfile> &profiles,
+          const svc::SubmitOptions &options = {})
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (const MiscorrectionProfile &profile : profiles) {
+        const svc::SubmitOutcome outcome =
+            service.submitProfile(profile, options);
+        if (!outcome.accepted)
+            util::fatal("bench submission rejected: %s",
+                        outcome.error.c_str());
+    }
+    service.drain();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("Recovery-service throughput: SAT solve vs "
+                  "fingerprint-cache hit latency");
+    cli.addOption("k", "16", "dataword length in bits");
+    cli.addOption("chips", "8", "distinct ECC functions to recover");
+    cli.addOption("threads", "0",
+                  "service worker threads (0 = hardware concurrency)");
+    cli.addOption("seed", "1", "RNG seed");
+    cli.addFlag("json", "emit JSON instead of a table");
+    cli.parse(argc, argv);
+
+    const auto k = (std::size_t)cli.getInt("k");
+    const auto chips = (std::size_t)cli.getInt("chips");
+    util::Rng rng((std::uint64_t)cli.getInt("seed"));
+
+    const auto patterns = chargedPatternUnion(k, {1, 2});
+    std::vector<MiscorrectionProfile> profiles;
+    std::vector<MiscorrectionProfile> truncated;
+    for (std::size_t i = 0; i < chips; ++i) {
+        const ecc::LinearCode code = ecc::randomSecCode(k, rng);
+        profiles.push_back(exhaustiveProfile(code, patterns));
+        MiscorrectionProfile partial = profiles.back();
+        partial.patterns.resize(partial.patterns.size() - 2);
+        truncated.push_back(std::move(partial));
+    }
+
+    svc::ServiceConfig config;
+    config.threads = (std::size_t)cli.getInt("threads");
+    svc::RecoveryService service(config);
+
+    const double cold_s = submitAll(service, profiles);
+    const std::uint64_t cold_solves = service.health().satSolves;
+
+    const double exact_s = submitAll(service, profiles);
+    const std::uint64_t exact_solves =
+        service.health().satSolves - cold_solves;
+
+    const double near_s = submitAll(service, truncated);
+    const svc::HealthReport health = service.health();
+
+    const double cold_ms = 1e3 * cold_s / (double)chips;
+    const double exact_ms = 1e3 * exact_s / (double)chips;
+    const double near_ms = 1e3 * near_s / (double)chips;
+
+    if (cli.getBool("json")) {
+        std::printf(
+            "{\n"
+            "  \"k\": %zu,\n"
+            "  \"chips\": %zu,\n"
+            "  \"patterns\": %zu,\n"
+            "  \"cold_ms_per_job\": %.3f,\n"
+            "  \"exact_hit_ms_per_job\": %.3f,\n"
+            "  \"near_hit_ms_per_job\": %.3f,\n"
+            "  \"exact_speedup\": %.1f,\n"
+            "  \"cold_sat_solves\": %llu,\n"
+            "  \"exact_sat_solves\": %llu,\n"
+            "  \"exact_hits\": %llu,\n"
+            "  \"near_hits\": %llu\n"
+            "}\n",
+            k, chips, patterns.size(), cold_ms, exact_ms, near_ms,
+            exact_ms > 0.0 ? cold_ms / exact_ms : 0.0,
+            (unsigned long long)cold_solves,
+            (unsigned long long)exact_solves,
+            (unsigned long long)health.cache.exactHits,
+            (unsigned long long)health.cache.nearHits);
+        return 0;
+    }
+
+    std::printf("recovery-service throughput: k=%zu, %zu chips, %zu "
+                "patterns/profile\n",
+                k, chips, patterns.size());
+    std::printf("  %-22s %10.3f ms/job  (%llu SAT solves)\n",
+                "cold solve", cold_ms,
+                (unsigned long long)cold_solves);
+    std::printf("  %-22s %10.3f ms/job  (%llu SAT solves, %llu "
+                "exact hits)\n",
+                "exact cache hit", exact_ms,
+                (unsigned long long)exact_solves,
+                (unsigned long long)health.cache.exactHits);
+    std::printf("  %-22s %10.3f ms/job  (%llu near hits)\n",
+                "near-match warm start", near_ms,
+                (unsigned long long)health.cache.nearHits);
+    if (exact_ms > 0.0)
+        std::printf("  exact-hit speedup: %.1fx\n",
+                    cold_ms / exact_ms);
+    return 0;
+}

@@ -10,6 +10,7 @@
 #include "dram/types.hh"
 #include "sim/word_sim.hh"
 #include "util/logging.hh"
+#include "util/signal.hh"
 #include "util/thread_pool.hh"
 
 namespace beer
@@ -148,6 +149,15 @@ measureProfile(dram::MemoryInterface &mem,
     // sequence — and any recorded trace — identical to before.
     std::vector<BitVec> reads;
     for (std::size_t p = 0; p < patterns.size(); ++p) {
+        // Honor a pending SIGINT/SIGTERM between patterns: a partial
+        // profile still thresholds into usable constraints, whereas
+        // dying mid-pattern would skew that pattern's denominator.
+        if (util::shutdownRequested()) {
+            util::warn("measurement interrupted: returning %zu of "
+                       "%zu patterns",
+                       p, patterns.size());
+            break;
+        }
         const BitVec data = datawordForPattern(patterns[p], k,
                                                dram::CellType::True);
         for (double pause : config.pausesSeconds) {

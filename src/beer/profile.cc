@@ -1,6 +1,8 @@
 #include "beer/profile.hh"
 
 #include <algorithm>
+#include <cstdarg>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -102,6 +104,7 @@ std::string
 serializeProfile(const MiscorrectionProfile &profile)
 {
     std::string out = "# BEER miscorrection profile\n";
+    out += "version " + std::to_string(kProfileFormatVersion) + "\n";
     out += "k " + std::to_string(profile.k) + "\n";
     for (const PatternProfile &entry : profile.patterns) {
         std::string charged;
@@ -115,13 +118,38 @@ serializeProfile(const MiscorrectionProfile &profile)
     return out;
 }
 
-MiscorrectionProfile
-parseProfile(std::istream &in)
+namespace
+{
+
+/** printf into a std::string (for ProfileParseStatus::error). */
+std::string
+formatError(const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    return buf;
+}
+
+} // anonymous namespace
+
+ProfileParseStatus
+tryParseProfile(std::istream &in, MiscorrectionProfile &out)
 {
     MiscorrectionProfile profile;
+    ProfileParseStatus status;
     std::string line;
     std::size_t line_no = 0;
     bool have_k = false;
+    bool have_version = false;
+
+    const auto fail = [&](std::string error) {
+        status.ok = false;
+        status.error = std::move(error);
+        return status;
+    };
 
     while (std::getline(in, line)) {
         ++line_no;
@@ -134,12 +162,30 @@ parseProfile(std::istream &in)
         if (!(ss >> first))
             continue;
 
+        // Optional "version <n>" line ahead of the k header; its
+        // absence means the legacy version-1 format.
+        if (!have_k && !have_version && first == "version") {
+            std::size_t version = 0;
+            if (!(ss >> version) || version == 0)
+                return fail(formatError(
+                    "profile line %zu: expected 'version <n>'",
+                    line_no));
+            if (version > kProfileFormatVersion)
+                return fail(formatError(
+                    "profile line %zu: unsupported format version %zu "
+                    "(this build reads versions up to %zu)",
+                    line_no, version, kProfileFormatVersion));
+            status.version = version;
+            have_version = true;
+            continue;
+        }
+
         if (!have_k) {
             std::size_t k = 0;
             if (first != "k" || !(ss >> k) || k == 0)
-                util::fatal("profile line %zu: expected header "
-                            "'k <bits>'",
-                            line_no);
+                return fail(formatError(
+                    "profile line %zu: expected header 'k <bits>'",
+                    line_no));
             profile.k = k;
             have_k = true;
             continue;
@@ -147,17 +193,17 @@ parseProfile(std::istream &in)
 
         std::string bitmap;
         if (!(ss >> bitmap))
-            util::fatal("profile line %zu: expected "
-                        "'<charged-csv> <bitmap>'",
-                        line_no);
+            return fail(formatError(
+                "profile line %zu: expected '<charged-csv> <bitmap>'",
+                line_no));
         if (bitmap.size() != profile.k)
-            util::fatal("profile line %zu: bitmap has %zu bits, "
-                        "expected %zu",
-                        line_no, bitmap.size(), profile.k);
+            return fail(formatError(
+                "profile line %zu: bitmap has %zu bits, expected %zu",
+                line_no, bitmap.size(), profile.k));
         for (char c : bitmap)
             if (c != '0' && c != '1')
-                util::fatal("profile line %zu: bitmap must be 0/1",
-                            line_no);
+                return fail(formatError(
+                    "profile line %zu: bitmap must be 0/1", line_no));
 
         PatternProfile entry;
         std::istringstream charged(first);
@@ -167,25 +213,40 @@ parseProfile(std::istream &in)
             const unsigned long bit = std::strtoul(item.c_str(), &end,
                                                    10);
             if (!end || *end != '\0' || bit >= profile.k)
-                util::fatal("profile line %zu: bad charged bit '%s'",
-                            line_no, item.c_str());
+                return fail(formatError(
+                    "profile line %zu: bad charged bit '%s'", line_no,
+                    item.c_str()));
             entry.pattern.push_back(bit);
         }
         if (entry.pattern.empty())
-            util::fatal("profile line %zu: empty pattern", line_no);
+            return fail(formatError("profile line %zu: empty pattern",
+                                    line_no));
         std::sort(entry.pattern.begin(), entry.pattern.end());
 
         entry.miscorrectable = BitVec::fromString(bitmap);
         for (std::size_t bit : entry.pattern)
             if (entry.miscorrectable.get(bit))
-                util::fatal("profile line %zu: charged bit %zu marked "
-                            "miscorrectable",
-                            line_no, bit);
+                return fail(formatError(
+                    "profile line %zu: charged bit %zu marked "
+                    "miscorrectable",
+                    line_no, bit));
         profile.patterns.push_back(std::move(entry));
     }
 
     if (!have_k)
-        util::fatal("profile: missing 'k <bits>' header");
+        return fail("profile: missing 'k <bits>' header");
+    status.ok = true;
+    out = std::move(profile);
+    return status;
+}
+
+MiscorrectionProfile
+parseProfile(std::istream &in)
+{
+    MiscorrectionProfile profile;
+    const ProfileParseStatus status = tryParseProfile(in, profile);
+    if (!status.ok)
+        util::fatal("%s", status.error.c_str());
     return profile;
 }
 

@@ -85,11 +85,41 @@ bool miscorrectionPossibleBruteForce(const ecc::LinearCode &code,
                                      std::size_t bit);
 
 /**
+ * Version written by serializeProfile(). History:
+ *  - 1: "k <bits>" header, one "<charged-csv> <bitmap>" line per
+ *       pattern (no version line — the implicit legacy format);
+ *  - 2: adds an explicit "version <n>" line before the k header, so
+ *       long-lived consumers (the recovery service) can reject or
+ *       migrate payloads deliberately instead of misparsing them.
+ */
+inline constexpr std::size_t kProfileFormatVersion = 2;
+
+/** Outcome of tryParseProfile(). */
+struct ProfileParseStatus
+{
+    bool ok = false;
+    /** Declared format version (1 when the version line is absent). */
+    std::size_t version = 1;
+    /** Line-numbered message when !ok. */
+    std::string error;
+};
+
+/**
  * Serialize a profile to the text format consumed by tools/beer_solve
- * (one header line "k <bits>", then one "<charged-csv> <bitmap>" line
- * per pattern; '#' starts a comment).
+ * (a "version <n>" line, a "k <bits>" line, then one
+ * "<charged-csv> <bitmap>" line per pattern; '#' starts a comment).
  */
 std::string serializeProfile(const MiscorrectionProfile &profile);
+
+/**
+ * Parse the tools/beer_solve text format without terminating on
+ * malformed input: the forward-compat entry point for services that
+ * must survive bad payloads. Versions newer than
+ * kProfileFormatVersion are rejected explicitly; version-less input
+ * parses as the legacy version 1.
+ */
+ProfileParseStatus tryParseProfile(std::istream &in,
+                                   MiscorrectionProfile &out);
 
 /**
  * Parse the tools/beer_solve text format; fatal on malformed input

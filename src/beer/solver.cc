@@ -356,6 +356,26 @@ IncrementalSolver::addProfile(const MiscorrectionProfile &profile)
     return added;
 }
 
+IncrementalSolver::WarmStartStats
+IncrementalSolver::warmStart(const MiscorrectionProfile &shared,
+                             std::uint64_t conflict_budget)
+{
+    WarmStartStats stats;
+    stats.patternsEncoded = addProfile(shared);
+
+    // addProfile can rebuild impl_; bind afterwards.
+    Solver &solver = impl_->solver;
+    const std::uint64_t before = solver.stats().conflicts;
+    if (conflict_budget)
+        solver.setConflictLimit(before + conflict_budget);
+    stats.presolveSat = solver.solve() == sat::SolveResult::Sat;
+    // The budget must not leak into the real solve; solve() re-arms
+    // its own limit from the config when one is set.
+    solver.setConflictLimit(0);
+    stats.conflicts = solver.stats().conflicts - before;
+    return stats;
+}
+
 BeerSolveResult
 IncrementalSolver::solve()
 {

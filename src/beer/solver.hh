@@ -126,6 +126,31 @@ class IncrementalSolver
      */
     BeerSolveResult solve();
 
+    /** Outcome of a warmStart() presolve. */
+    struct WarmStartStats
+    {
+        /** Entries of the shared subset newly encoded. */
+        std::size_t patternsEncoded = 0;
+        /** True iff the budgeted presolve reached a model. */
+        bool presolveSat = false;
+        /** Conflicts the presolve spent. */
+        std::uint64_t conflicts = 0;
+    };
+
+    /**
+     * Seed the context from a fingerprint-cache near match: encode
+     * @p shared — the subset of a new chip's profile that an earlier
+     * solved chip also exhibited, so every constraint holds for the
+     * new chip too — and run one budgeted, single-model SAT probe.
+     * Learned clauses and branching activity from the probe persist
+     * (the point of the exercise), the probe's model is discarded,
+     * and no blocking clauses are left behind, so subsequent
+     * addProfile()/solve() rounds return exactly what a cold context
+     * would. @p conflict_budget caps the probe (0 = unlimited).
+     */
+    WarmStartStats warmStart(const MiscorrectionProfile &shared,
+                             std::uint64_t conflict_budget = 20000);
+
     /** Adjust the enumeration cap for subsequent solve() calls. */
     void setMaxSolutions(std::size_t max_solutions);
 

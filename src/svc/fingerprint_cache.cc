@@ -1,0 +1,298 @@
+#include "svc/fingerprint_cache.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace beer::svc
+{
+
+namespace
+{
+
+/** Canonical "<charged-csv> <bitmap>" rendering of one entry. */
+std::string
+canonicalLine(const PatternProfile &entry)
+{
+    std::string line;
+    for (std::size_t bit : entry.pattern) {
+        if (!line.empty())
+            line += ',';
+        line += std::to_string(bit);
+    }
+    line += ' ';
+    line += entry.miscorrectable.toString();
+    return line;
+}
+
+/** Sorted canonical lines of a profile (pattern order independent). */
+std::vector<std::string>
+canonicalLines(const MiscorrectionProfile &profile)
+{
+    std::vector<std::string> lines;
+    lines.reserve(profile.patterns.size());
+    for (const PatternProfile &entry : profile.patterns)
+        lines.push_back(canonicalLine(entry));
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t hash, const std::string &text)
+{
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+hashCanonical(std::size_t k, std::size_t parity_bits,
+              const std::vector<std::string> &lines)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    hash = fnv1a(hash, "k " + std::to_string(k) + " p " +
+                           std::to_string(parity_bits));
+    for (const std::string &line : lines)
+        hash = fnv1a(hash, line + "\n");
+    return hash;
+}
+
+} // anonymous namespace
+
+FingerprintCache::FingerprintCache(FingerprintCacheConfig config)
+    : config_(std::move(config))
+{
+}
+
+std::uint64_t
+FingerprintCache::fingerprint(const MiscorrectionProfile &profile,
+                              std::size_t parity_bits)
+{
+    return hashCanonical(profile.k, parity_bits,
+                         canonicalLines(profile));
+}
+
+FingerprintCache::Hit
+FingerprintCache::lookupLocked(const MiscorrectionProfile &profile,
+                               std::size_t parity_bits)
+{
+    Hit hit;
+    const std::vector<std::string> lines = canonicalLines(profile);
+    const std::uint64_t hash =
+        hashCanonical(profile.k, parity_bits, lines);
+
+    const auto it = byHash_.find(hash);
+    if (it != byHash_.end() && it->second->k == profile.k &&
+        it->second->parityBits == parity_bits &&
+        it->second->lines == lines) {
+        entries_.splice(entries_.begin(), entries_, it->second);
+        hit.kind = Hit::Kind::Exact;
+        hit.code = it->second->code;
+        hit.overlap = 1.0;
+        ++stats_.exactHits;
+        return hit;
+    }
+
+    // Near match: best shared-line fraction over same-dimension
+    // entries. The cache is LRU-bounded, so the scan is over a small,
+    // hot working set.
+    const Entry *best = nullptr;
+    double best_overlap = 0.0;
+    std::vector<std::string> shared;
+    std::vector<std::string> best_shared;
+    for (const Entry &entry : entries_) {
+        if (entry.k != profile.k || entry.parityBits != parity_bits)
+            continue;
+        shared.clear();
+        std::set_intersection(lines.begin(), lines.end(),
+                              entry.lines.begin(), entry.lines.end(),
+                              std::back_inserter(shared));
+        const double overlap =
+            (double)shared.size() /
+            (double)std::max(lines.size(), entry.lines.size());
+        if (overlap > best_overlap) {
+            best_overlap = overlap;
+            best = &entry;
+            best_shared = shared;
+        }
+    }
+
+    if (best && best_overlap >= config_.nearMatchThreshold &&
+        !best_shared.empty()) {
+        hit.kind = Hit::Kind::Near;
+        hit.overlap = best_overlap;
+        hit.shared.k = profile.k;
+        for (const PatternProfile &entry : profile.patterns)
+            if (std::binary_search(best_shared.begin(),
+                                   best_shared.end(),
+                                   canonicalLine(entry)))
+                hit.shared.patterns.push_back(entry);
+        ++stats_.nearHits;
+        return hit;
+    }
+
+    ++stats_.misses;
+    return hit;
+}
+
+FingerprintCache::Hit
+FingerprintCache::lookup(const MiscorrectionProfile &profile,
+                         std::size_t parity_bits)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookupLocked(profile, parity_bits);
+}
+
+void
+FingerprintCache::insertLocked(Entry entry)
+{
+    const auto it = byHash_.find(entry.hash);
+    if (it != byHash_.end()) {
+        // Same fingerprint: refresh in place (idempotent re-insert).
+        *it->second = std::move(entry);
+        entries_.splice(entries_.begin(), entries_, it->second);
+        return;
+    }
+    entries_.push_front(std::move(entry));
+    byHash_.emplace(entries_.front().hash, entries_.begin());
+    ++stats_.inserts;
+    if (config_.capacity && entries_.size() > config_.capacity) {
+        byHash_.erase(entries_.back().hash);
+        entries_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+void
+FingerprintCache::insert(const MiscorrectionProfile &profile,
+                         std::size_t parity_bits,
+                         const ecc::LinearCode &code)
+{
+    std::vector<std::string> lines = canonicalLines(profile);
+    const std::uint64_t hash =
+        hashCanonical(profile.k, parity_bits, lines);
+    std::lock_guard<std::mutex> lock(mutex_);
+    insertLocked(Entry{hash, profile.k, parity_bits, std::move(lines),
+                       code});
+}
+
+std::size_t
+FingerprintCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+FingerprintCacheStats
+FingerprintCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FingerprintCacheStats stats = stats_;
+    stats.entries = entries_.size();
+    return stats;
+}
+
+bool
+FingerprintCache::flushToDisk() const
+{
+    if (config_.path.empty())
+        return false;
+    std::ofstream out(config_.path);
+    if (!out) {
+        util::warn("fingerprint cache: cannot write '%s'",
+                   config_.path.c_str());
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    out << "beer-fpcache 1\n";
+    // Oldest first, so replaying the file through insert() on load
+    // reconstructs the same recency order.
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        out << "entry " << it->k << ' ' << it->parityBits << ' '
+            << it->lines.size() << '\n';
+        for (const std::string &line : it->lines)
+            out << line << '\n';
+        const gf2::Matrix &p = it->code.pMatrix();
+        for (std::size_t r = 0; r < p.rows(); ++r)
+            out << "P " << p.row(r).toString() << '\n';
+    }
+    return out.good();
+}
+
+bool
+FingerprintCache::loadFromDisk()
+{
+    if (config_.path.empty())
+        return false;
+    std::ifstream in(config_.path);
+    if (!in)
+        return false; // fresh start
+
+    const auto corrupt = [&](const char *what) {
+        util::warn("fingerprint cache '%s': %s; ignoring rest of file",
+                   config_.path.c_str(), what);
+        return false;
+    };
+
+    std::string header;
+    std::getline(in, header);
+    if (header != "beer-fpcache 1")
+        return corrupt("unrecognized header");
+
+    std::size_t loaded = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ss(line);
+        std::string tag;
+        std::size_t k = 0;
+        std::size_t parity = 0;
+        std::size_t count = 0;
+        if (!(ss >> tag >> k >> parity >> count) || tag != "entry" ||
+            k == 0 || parity == 0)
+            return corrupt("malformed entry header");
+
+        // Reuse the profile parser for the per-pattern lines.
+        std::string text = "k " + std::to_string(k) + "\n";
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!std::getline(in, line))
+                return corrupt("truncated entry");
+            text += line + "\n";
+        }
+        std::istringstream profile_in(text);
+        MiscorrectionProfile profile;
+        if (!beer::tryParseProfile(profile_in, profile).ok)
+            return corrupt("malformed profile lines");
+
+        gf2::Matrix p(parity, k);
+        for (std::size_t r = 0; r < parity; ++r) {
+            if (!std::getline(in, line) || line.size() != k + 2 ||
+                line[0] != 'P' || line[1] != ' ')
+                return corrupt("malformed P row");
+            for (std::size_t c = 0; c < k; ++c) {
+                const char bit = line[2 + c];
+                if (bit != '0' && bit != '1')
+                    return corrupt("non-binary P row");
+                p.set(r, c, bit == '1');
+            }
+        }
+
+        std::vector<std::string> lines = canonicalLines(profile);
+        const std::uint64_t hash = hashCanonical(k, parity, lines);
+        std::lock_guard<std::mutex> lock(mutex_);
+        insertLocked(Entry{hash, k, parity, std::move(lines),
+                           ecc::LinearCode(p)});
+        ++loaded;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.loadedEntries = loaded;
+    return loaded > 0;
+}
+
+} // namespace beer::svc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 adapter over svc::RecoveryService.
+ *
+ * The adapter is a thin serialization shim: every route maps onto
+ * exactly one RecoveryService call and renders its result as JSON.
+ * All routing lives in handle(), which takes (method, target, body)
+ * and returns a response without touching any socket — tests drive
+ * the full API surface in-process through it. The socket layer
+ * (start/serve/stop) is a deliberately small single-threaded accept
+ * loop: recovery work is already parallel inside the service, so the
+ * transport only needs to shuttle small text payloads.
+ *
+ * Routes (API version kApiVersion):
+ *
+ *   GET  /health            -> 200 liveness + observability JSON
+ *   GET  /v1/stats          -> alias of /health
+ *   GET  /v1/jobs           -> 200 paginated listing (?offset=&limit=)
+ *   GET  /v1/jobs/<id>      -> 200 job snapshot | 404 unknown id
+ *   POST /v1/jobs           -> 202 {"job_id":N} | 400 bad payload
+ *                              | 429 queue full
+ *                              body: serialized profile text;
+ *                              query: ?parity=N, ?no-cache=1
+ *
+ * serve() returns when stop() is called from another thread or a
+ * process shutdown signal arrives (util::shutdownRequested()).
+ */
+
+#ifndef BEER_SVC_HTTP_HH
+#define BEER_SVC_HTTP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "svc/service.hh"
+
+namespace beer::svc
+{
+
+/** One rendered HTTP response. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+};
+
+/** Socket knobs for HttpServer. */
+struct HttpConfig
+{
+    /** Bind address; loopback by default (this is a lab tool). */
+    std::string host = "127.0.0.1";
+    /** 0 = ephemeral (read the bound port back via port()). */
+    std::uint16_t port = 0;
+};
+
+/** HTTP front end for one RecoveryService; see file comment. */
+class HttpServer
+{
+  public:
+    /** @p service must outlive the server. */
+    explicit HttpServer(RecoveryService &service, HttpConfig config = {});
+    /** Closes the sockets (does not shut the service down). */
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /**
+     * Route one request. Transport-free — this is the whole API
+     * surface; the socket loop only parses bytes into these three
+     * arguments.
+     */
+    HttpResponse handle(const std::string &method,
+                        const std::string &target,
+                        const std::string &body);
+
+    /**
+     * Bind and listen.
+     *
+     * @return false (with a warning) if the socket cannot be bound
+     */
+    bool start();
+
+    /** Port actually bound (after start(); resolves port 0). */
+    std::uint16_t port() const { return boundPort_; }
+
+    /**
+     * Accept-and-respond until stop() or a shutdown signal. Requires
+     * a successful start().
+     */
+    void serve();
+
+    /** Make serve() return; callable from any thread or handler. */
+    void stop();
+
+  private:
+    void handleConnection(int fd);
+
+    RecoveryService &service_;
+    HttpConfig config_;
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    std::uint16_t boundPort_ = 0;
+};
+
+} // namespace beer::svc
+
+#endif // BEER_SVC_HTTP_HH

@@ -1,0 +1,115 @@
+#include "svc/scheduler.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace beer::svc
+{
+
+SessionScheduler::SessionScheduler(util::ThreadPool &pool,
+                                   SchedulerConfig config)
+    : pool_(pool), config_(config)
+{
+}
+
+SessionScheduler::~SessionScheduler()
+{
+    drain();
+}
+
+JobId
+SessionScheduler::submit(std::function<void(JobId)> work)
+{
+    JobId id;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (config_.maxQueuedJobs &&
+            stats_.queued >= config_.maxQueuedJobs) {
+            ++stats_.rejected;
+            return 0;
+        }
+        id = nextId_++;
+        jobs_.emplace(id, JobState::Queued);
+        ++stats_.submitted;
+        ++stats_.queued;
+    }
+    // The pool runs tasks in FIFO submission order, so job start
+    // order follows JobId order.
+    pool_.submit([this, id, work = std::move(work)] {
+        runJob(id, work);
+    });
+    return id;
+}
+
+void
+SessionScheduler::runJob(JobId id,
+                         const std::function<void(JobId)> &work)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_[id] = JobState::Running;
+        --stats_.queued;
+        ++stats_.running;
+        stats_.peakConcurrent =
+            std::max(stats_.peakConcurrent, stats_.running);
+    }
+    bool ok = true;
+    try {
+        work(id);
+    } catch (...) {
+        ok = false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_[id] = ok ? JobState::Done : JobState::Failed;
+        --stats_.running;
+        ++(ok ? stats_.completed : stats_.failed);
+        // Notify while still holding the lock: a drain()ing thread
+        // may destroy this scheduler the moment it observes the
+        // updated counters, so the notify must complete before the
+        // waiter can re-acquire the mutex and return.
+        changed_.notify_all();
+    }
+}
+
+bool
+SessionScheduler::wait(JobId id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    changed_.wait(lock, [&] {
+        const JobState state = jobs_.at(id);
+        return state == JobState::Done || state == JobState::Failed;
+    });
+    return true;
+}
+
+void
+SessionScheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    changed_.wait(lock, [&] {
+        return stats_.queued == 0 && stats_.running == 0;
+    });
+}
+
+std::optional<JobState>
+SessionScheduler::state(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+SchedulerStats
+SessionScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace beer::svc

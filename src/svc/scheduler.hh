@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Sharded recovery-job scheduler.
+ *
+ * Bridges the service's job-oriented API onto util::ThreadPool's task
+ * queue: every submitted job becomes one pool task, so concurrent
+ * recovery sessions shard across the pool's workers while the pool's
+ * FIFO task order keeps job execution order deterministic (job i
+ * starts no later than job i+1). The queue is bounded — submissions
+ * beyond maxQueuedJobs are rejected with a zero JobId instead of
+ * building unbounded backlog, the service layer's load-shedding
+ * contract (HTTP 429).
+ *
+ * The scheduler tracks per-job state (Queued/Running/Done/Failed) and
+ * aggregate counters, including the peak number of concurrently
+ * running jobs — the observable the acceptance test uses to prove
+ * multiple sessions really make progress simultaneously.
+ */
+
+#ifndef BEER_SVC_SCHEDULER_HH
+#define BEER_SVC_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "util/thread_pool.hh"
+
+namespace beer::svc
+{
+
+/** Monotonically increasing job identity; 0 is "no job" (rejected). */
+using JobId = std::uint64_t;
+
+/** Lifecycle of a scheduled job. */
+enum class JobState
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+};
+
+/** Knobs for the scheduler. */
+struct SchedulerConfig
+{
+    /** Max jobs queued-but-not-running before submissions shed. */
+    std::size_t maxQueuedJobs = 256;
+};
+
+/** Aggregate counters (instantaneous + cumulative). */
+struct SchedulerStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    /** Jobs currently waiting for a worker. */
+    std::uint64_t queued = 0;
+    /** Jobs currently executing. */
+    std::uint64_t running = 0;
+    /** Peak of `running` over the scheduler's lifetime. */
+    std::uint64_t peakConcurrent = 0;
+};
+
+/** Job scheduler over a shared thread pool; see file comment. */
+class SessionScheduler
+{
+  public:
+    /** @p pool must outlive the scheduler. */
+    explicit SessionScheduler(util::ThreadPool &pool,
+                              SchedulerConfig config = {});
+    /** Drains: blocks until every accepted job has finished. */
+    ~SessionScheduler();
+
+    SessionScheduler(const SessionScheduler &) = delete;
+    SessionScheduler &operator=(const SessionScheduler &) = delete;
+
+    /**
+     * Schedule @p work. Returns the assigned JobId, or 0 if the
+     * bounded queue is full. @p work receives its own JobId. A
+     * throwing job is recorded Failed; the exception does not
+     * propagate (the pool worker must survive).
+     */
+    JobId submit(std::function<void(JobId)> work);
+
+    /**
+     * Block until @p id reaches Done or Failed.
+     *
+     * @return false if @p id was never issued
+     */
+    bool wait(JobId id);
+
+    /** Block until every accepted job has finished. */
+    void drain();
+
+    /** State of @p id; nullopt if never issued. */
+    std::optional<JobState> state(JobId id) const;
+
+    SchedulerStats stats() const;
+
+  private:
+    void runJob(JobId id, const std::function<void(JobId)> &work);
+
+    util::ThreadPool &pool_;
+    SchedulerConfig config_;
+    mutable std::mutex mutex_;
+    std::condition_variable changed_;
+    std::unordered_map<JobId, JobState> jobs_;
+    JobId nextId_ = 1;
+    SchedulerStats stats_;
+};
+
+} // namespace beer::svc
+
+#endif // BEER_SVC_SCHEDULER_HH

@@ -1,0 +1,370 @@
+#include "svc/service.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "beer/measure.hh"
+#include "dram/trace.hh"
+#include "ecc/hamming.hh"
+#include "util/logging.hh"
+
+namespace beer::svc
+{
+
+namespace
+{
+
+/** Largest parity-bit count a submission may request; the LinearCode
+ * syndrome table is sized 2^p, so this bounds per-job memory. */
+constexpr std::size_t kMaxParityBits = 24;
+/** Largest dataword length a submission may request. */
+constexpr std::size_t kMaxDatawordBits = 512;
+
+SubmitOutcome
+rejected(SubmitOutcome::Reject why, std::string error)
+{
+    SubmitOutcome outcome;
+    outcome.accepted = false;
+    outcome.reject = why;
+    outcome.error = std::move(error);
+    return outcome;
+}
+
+} // anonymous namespace
+
+/** Everything one job owns; stable address for its whole lifetime. */
+struct RecoveryService::JobRecord
+{
+    SubmitOptions options;
+    /** Empty when tracePath is set (derived inside the job). */
+    MiscorrectionProfile profile;
+    /** Non-empty for trace submissions. */
+    std::string tracePath;
+    std::mutex mutex;
+    JobStatus status;
+};
+
+RecoveryService::RecoveryService(ServiceConfig config)
+    : config_(std::move(config)),
+      start_(std::chrono::steady_clock::now())
+{
+    // ThreadPool counts the calling thread as an executor; async jobs
+    // only run on workers, so size the pool for `threads` workers.
+    pool_ = std::make_unique<util::ThreadPool>(
+        config_.threads == 0 ? 0 : config_.threads + 1);
+    cache_ = std::make_unique<FingerprintCache>(config_.cache);
+    cache_->loadFromDisk();
+    SchedulerConfig sched;
+    sched.maxQueuedJobs = config_.maxQueuedJobs;
+    scheduler_ = std::make_unique<SessionScheduler>(*pool_, sched);
+}
+
+RecoveryService::~RecoveryService()
+{
+    shutdown();
+}
+
+SubmitOutcome
+RecoveryService::enqueue(MiscorrectionProfile profile,
+                         const SubmitOptions &options)
+{
+    if (stopped_.load())
+        return rejected(SubmitOutcome::Reject::Overloaded,
+                        "service is shutting down");
+
+    auto record = std::make_unique<JobRecord>();
+    record->options = options;
+
+    if (profile.k == 0 || profile.patterns.empty())
+        return rejected(SubmitOutcome::Reject::BadPayload,
+                        "profile has no patterns");
+    if (profile.k > kMaxDatawordBits)
+        return rejected(SubmitOutcome::Reject::BadPayload,
+                        "dataword length exceeds service limit");
+    const std::size_t parity =
+        options.parityBits ? options.parityBits
+                           : ecc::parityBitsForDataBits(profile.k);
+    if (parity > kMaxParityBits)
+        return rejected(SubmitOutcome::Reject::BadPayload,
+                        "parity-bit count exceeds service limit");
+    record->status.k = profile.k;
+    record->status.parityBits = parity;
+    record->status.patterns = profile.patterns.size();
+    record->profile = std::move(profile);
+
+    JobRecord *ptr = record.get();
+    const JobId id = scheduler_->submit([this, ptr](JobId job_id) {
+        {
+            std::lock_guard<std::mutex> lock(ptr->mutex);
+            ptr->status.id = job_id;
+        }
+        runJob(*ptr);
+    });
+    if (id == 0)
+        return rejected(SubmitOutcome::Reject::Overloaded,
+                        "job queue is full, retry later");
+
+    {
+        std::lock_guard<std::mutex> lock(ptr->mutex);
+        ptr->status.id = id;
+    }
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        jobs_.emplace(id, std::move(record));
+    }
+    SubmitOutcome outcome;
+    outcome.accepted = true;
+    outcome.id = id;
+    return outcome;
+}
+
+SubmitOutcome
+RecoveryService::submitProfile(const MiscorrectionProfile &profile,
+                               const SubmitOptions &options)
+{
+    return enqueue(profile, options);
+}
+
+SubmitOutcome
+RecoveryService::submitPayload(const std::string &payload,
+                               const SubmitOptions &options)
+{
+    std::istringstream in(payload);
+    MiscorrectionProfile profile;
+    const ProfileParseStatus status = tryParseProfile(in, profile);
+    if (!status.ok)
+        return rejected(SubmitOutcome::Reject::BadPayload,
+                        status.error);
+    if (status.version < kProfileFormatVersion) {
+        if (config_.rejectLegacyPayloads)
+            return rejected(
+                SubmitOutcome::Reject::BadPayload,
+                "legacy version-" + std::to_string(status.version) +
+                    " payload rejected; re-serialize as version " +
+                    std::to_string(kProfileFormatVersion));
+        legacyPayloads_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return enqueue(std::move(profile), options);
+}
+
+SubmitOutcome
+RecoveryService::submitTraceFile(const std::string &path,
+                                 const SubmitOptions &options)
+{
+    if (stopped_.load())
+        return rejected(SubmitOutcome::Reject::Overloaded,
+                        "service is shutting down");
+    if (!std::ifstream(path))
+        return rejected(SubmitOutcome::Reject::BadPayload,
+                        "cannot open trace file '" + path + "'");
+
+    auto record = std::make_unique<JobRecord>();
+    record->options = options;
+    record->tracePath = path;
+
+    JobRecord *ptr = record.get();
+    const JobId id = scheduler_->submit([this, ptr](JobId job_id) {
+        {
+            std::lock_guard<std::mutex> lock(ptr->mutex);
+            ptr->status.id = job_id;
+        }
+        runJob(*ptr);
+    });
+    if (id == 0)
+        return rejected(SubmitOutcome::Reject::Overloaded,
+                        "job queue is full, retry later");
+    {
+        std::lock_guard<std::mutex> lock(ptr->mutex);
+        ptr->status.id = id;
+    }
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        jobs_.emplace(id, std::move(record));
+    }
+    SubmitOutcome outcome;
+    outcome.accepted = true;
+    outcome.id = id;
+    return outcome;
+}
+
+void
+RecoveryService::runJob(JobRecord &record)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    JobId id;
+    {
+        std::lock_guard<std::mutex> lock(record.mutex);
+        record.status.state = JobState::Running;
+        id = record.status.id;
+    }
+    if (config_.onJobStart)
+        config_.onJobStart(id);
+
+    try {
+        // Trace submissions re-measure their profile first.
+        if (!record.tracePath.empty()) {
+            dram::TraceReplayBackend trace(record.tracePath);
+            const ProfileCounts counts = replayProfileTrace(trace);
+            MiscorrectionProfile profile = counts.threshold(
+                traceMeasureConfig(trace).thresholdProbability);
+            const std::size_t parity =
+                record.options.parityBits
+                    ? record.options.parityBits
+                    : ecc::parityBitsForDataBits(profile.k);
+            std::lock_guard<std::mutex> lock(record.mutex);
+            record.status.k = profile.k;
+            record.status.parityBits = parity;
+            record.status.patterns = profile.patterns.size();
+            record.profile = std::move(profile);
+        }
+
+        const MiscorrectionProfile &profile = record.profile;
+        const std::size_t parity = record.status.parityBits;
+
+        FingerprintCache::Hit hit;
+        if (!record.options.bypassCache)
+            hit = cache_->lookup(profile, parity);
+
+        JobStatus result;
+        if (hit.kind == FingerprintCache::Hit::Kind::Exact) {
+            result.succeeded = true;
+            result.solutions = 1;
+            result.complete = true;
+            result.code = hit.code;
+            result.codeString = hit.code->toString();
+            result.cache = CacheOutcome::Exact;
+        } else {
+            IncrementalSolver solver(profile.k, parity,
+                                     config_.solver);
+            if (hit.kind == FingerprintCache::Hit::Kind::Near) {
+                solver.warmStart(hit.shared);
+                result.cache = CacheOutcome::Near;
+            }
+            solver.addProfile(profile);
+            const BeerSolveResult solve = solver.solve();
+            satSolves_.fetch_add(1, std::memory_order_relaxed);
+            result.succeeded = solve.unique();
+            result.solutions = solve.solutions.size();
+            result.complete = solve.complete;
+            if (solve.unique()) {
+                result.code = solve.solutions.front();
+                result.codeString = result.code->toString();
+                // Only answers enter the cache: a non-unique solve is
+                // a request for more measurement, not a function.
+                cache_->insert(profile, parity,
+                               solve.solutions.front());
+            }
+        }
+
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        std::lock_guard<std::mutex> lock(record.mutex);
+        record.status.succeeded = result.succeeded;
+        record.status.solutions = result.solutions;
+        record.status.complete = result.complete;
+        record.status.code = std::move(result.code);
+        record.status.codeString = std::move(result.codeString);
+        record.status.cache = result.cache;
+        record.status.seconds = seconds;
+        record.status.state = JobState::Done;
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(record.mutex);
+        record.status.error = e.what();
+        record.status.state = JobState::Failed;
+        throw; // let the scheduler count the failure
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(record.mutex);
+            record.status.error = "unknown job failure";
+            record.status.state = JobState::Failed;
+        }
+        throw;
+    }
+}
+
+std::optional<JobStatus>
+RecoveryService::job(JobId id) const
+{
+    std::lock_guard<std::mutex> jobs_lock(jobsMutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(it->second->mutex);
+    return it->second->status;
+}
+
+bool
+RecoveryService::waitForJob(JobId id)
+{
+    return scheduler_->wait(id);
+}
+
+void
+RecoveryService::drain()
+{
+    scheduler_->drain();
+}
+
+JobPage
+RecoveryService::listJobs(std::size_t offset, std::size_t limit) const
+{
+    constexpr std::size_t kDefaultLimit = 50;
+    constexpr std::size_t kMaxLimit = 1000;
+    if (limit == 0)
+        limit = kDefaultLimit;
+    limit = std::min(limit, kMaxLimit);
+
+    JobPage page;
+    page.offset = offset;
+    std::lock_guard<std::mutex> jobs_lock(jobsMutex_);
+    page.total = jobs_.size();
+    auto it = jobs_.begin();
+    std::advance(it, std::min(offset, jobs_.size()));
+    for (; it != jobs_.end() && page.jobs.size() < limit; ++it) {
+        std::lock_guard<std::mutex> lock(it->second->mutex);
+        page.jobs.push_back(it->second->status);
+    }
+    return page;
+}
+
+HealthReport
+RecoveryService::health() const
+{
+    HealthReport report;
+    report.ok = !stopped_.load();
+    report.uptimeSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    report.poolThreads = pool_->size() - 1;
+    report.poolQueuedTasks = pool_->queuedTasks();
+    report.poolActiveTasks = pool_->activeTasks();
+    report.poolCompletedTasks = pool_->completedTasks();
+    report.scheduler = scheduler_->stats();
+    report.cache = cache_->stats();
+    report.satSolves = satSolves_.load(std::memory_order_relaxed);
+    report.legacyPayloads =
+        legacyPayloads_.load(std::memory_order_relaxed);
+    return report;
+}
+
+bool
+RecoveryService::flushCache() const
+{
+    return cache_->flushToDisk();
+}
+
+void
+RecoveryService::shutdown()
+{
+    if (stopped_.exchange(true))
+        return;
+    scheduler_->drain();
+    if (!config_.cache.path.empty())
+        cache_->flushToDisk();
+}
+
+} // namespace beer::svc

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Transport-agnostic ECC recovery service core.
+ *
+ * svc::RecoveryService turns the batch BEER pipeline into a
+ * long-running, fleet-facing system: clients submit miscorrection
+ * profiles (as in-process objects, versioned text payloads, or
+ * recorded measurement traces), each submission becomes a scheduled
+ * job on the shared thread pool, and results are polled by job id.
+ * The API surface is versioned (kApiVersion) and deliberately
+ * transport-free — tests drive it fully in-process, and the HTTP/1.1
+ * adapter (svc/http.hh) is a thin serialization shim over exactly
+ * these calls:
+ *
+ *   submit*   -> job id (or a load-shed/parse rejection)
+ *   job(id)   -> poll one job
+ *   listJobs  -> paginated, deterministic (id-ordered) job listing
+ *   health    -> liveness + pool/scheduler/cache observability
+ *
+ * Every job consults the fingerprint cache first: an exact hit
+ * returns the previously solved function with zero SAT solver
+ * invocations (satSolves in HealthReport is the proof the acceptance
+ * test asserts on), a near match warm-starts the incremental solver
+ * with the shared profile subset, and unique solves are inserted for
+ * the next member of the fleet. shutdown() drains the scheduler and
+ * flushes the cache to disk; the destructor does the same.
+ */
+
+#ifndef BEER_SVC_SERVICE_HH
+#define BEER_SVC_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "beer/profile.hh"
+#include "beer/solver.hh"
+#include "svc/fingerprint_cache.hh"
+#include "svc/scheduler.hh"
+#include "util/thread_pool.hh"
+
+namespace beer::svc
+{
+
+/** Version of the request/response surface (the /v1 in URLs). */
+inline constexpr int kApiVersion = 1;
+
+/** Per-submission options. */
+struct SubmitOptions
+{
+    /** Parity-bit count (0 = minimum SEC count for the profile's k). */
+    std::size_t parityBits = 0;
+    /** Skip the cache lookup (the solve still populates it). */
+    bool bypassCache = false;
+};
+
+/** Outcome of a submit call. */
+struct SubmitOutcome
+{
+    bool accepted = false;
+    /** Valid when accepted. */
+    JobId id = 0;
+    /** Machine-readable rejection class. */
+    enum class Reject
+    {
+        None,
+        /** Payload failed to parse or declared an unusable version. */
+        BadPayload,
+        /** Bounded queue full — retry later (HTTP 429). */
+        Overloaded,
+    };
+    Reject reject = Reject::None;
+    /** Human-readable rejection detail. */
+    std::string error;
+};
+
+/** How a job's answer was obtained. */
+enum class CacheOutcome
+{
+    /** Full SAT solve, no cache involvement. */
+    None,
+    /** Returned from the cache with zero solver invocations. */
+    Exact,
+    /** SAT solve warm-started from a near-match shared subset. */
+    Near,
+};
+
+/** Poll-able snapshot of one job. */
+struct JobStatus
+{
+    JobId id = 0;
+    JobState state = JobState::Queued;
+    std::size_t k = 0;
+    std::size_t parityBits = 0;
+    std::size_t patterns = 0;
+    /** Results below are valid once state == Done. */
+    bool succeeded = false;
+    std::size_t solutions = 0;
+    /** True iff the enumeration ran to completion. */
+    bool complete = false;
+    /** Recovered H = [P | I] rendering (unique solves only). */
+    std::string codeString;
+    /** The recovered function (unique solves only). */
+    std::optional<ecc::LinearCode> code;
+    CacheOutcome cache = CacheOutcome::None;
+    /** Wall-clock seconds inside the job body. */
+    double seconds = 0.0;
+    /** Set when state == Failed. */
+    std::string error;
+};
+
+/** One page of the job listing. */
+struct JobPage
+{
+    std::vector<JobStatus> jobs;
+    std::size_t total = 0;
+    std::size_t offset = 0;
+};
+
+/** Liveness + observability snapshot. */
+struct HealthReport
+{
+    bool ok = true;
+    int apiVersion = kApiVersion;
+    double uptimeSeconds = 0.0;
+    std::size_t poolThreads = 0;
+    std::uint64_t poolQueuedTasks = 0;
+    std::uint64_t poolActiveTasks = 0;
+    std::uint64_t poolCompletedTasks = 0;
+    SchedulerStats scheduler;
+    FingerprintCacheStats cache;
+    /** Jobs answered by a SAT solve (cache hits excluded). */
+    std::uint64_t satSolves = 0;
+    /** Version-1 (legacy) payloads accepted and migrated. */
+    std::uint64_t legacyPayloads = 0;
+};
+
+/** Construction knobs for the service. */
+struct ServiceConfig
+{
+    /** Scheduler worker threads (0 = hardware concurrency). */
+    std::size_t threads = 0;
+    /** Bounded job queue; submissions beyond it are load-shed. */
+    std::size_t maxQueuedJobs = 256;
+    FingerprintCacheConfig cache;
+    /** Solver knobs applied to every job. */
+    BeerSolverConfig solver{.maxSolutions = 16};
+    /**
+     * Reject version-1 (version-less) payloads instead of migrating
+     * them, for deployments that demand explicit versioning.
+     */
+    bool rejectLegacyPayloads = false;
+    /** Test/observability hook: runs on the worker as a job starts. */
+    std::function<void(JobId)> onJobStart;
+};
+
+/** Long-running recovery service; see file comment. */
+class RecoveryService
+{
+  public:
+    /** Loads the fingerprint cache if a path is configured. */
+    explicit RecoveryService(ServiceConfig config = {});
+    /** Calls shutdown(). */
+    ~RecoveryService();
+
+    RecoveryService(const RecoveryService &) = delete;
+    RecoveryService &operator=(const RecoveryService &) = delete;
+
+    /** Submit an in-process profile. */
+    SubmitOutcome submitProfile(const MiscorrectionProfile &profile,
+                                const SubmitOptions &options = {});
+
+    /**
+     * Submit a serialized profile payload (the beer_solve text
+     * format). Future format versions are rejected as BadPayload;
+     * legacy version-1 payloads are migrated (counted in
+     * HealthReport::legacyPayloads) unless configured to reject.
+     */
+    SubmitOutcome submitPayload(const std::string &payload,
+                                const SubmitOptions &options = {});
+
+    /**
+     * Submit a recorded measurement trace (dram/trace.hh format): the
+     * profile is re-measured from the recorded reads with the
+     * threshold stored in the trace, then solved like any other
+     * submission.
+     */
+    SubmitOutcome submitTraceFile(const std::string &path,
+                                  const SubmitOptions &options = {});
+
+    /** Snapshot of one job; nullopt if the id was never issued. */
+    std::optional<JobStatus> job(JobId id) const;
+
+    /**
+     * Block until @p id finishes.
+     *
+     * @return false if the id was never issued
+     */
+    bool waitForJob(JobId id);
+
+    /** Block until every accepted job has finished. */
+    void drain();
+
+    /** Jobs in ascending-id order, windowed by @p offset/@p limit. */
+    JobPage listJobs(std::size_t offset, std::size_t limit) const;
+
+    HealthReport health() const;
+
+    /** Persist the fingerprint cache now (no-op without a path). */
+    bool flushCache() const;
+
+    /**
+     * Stop accepting work, drain in-flight jobs, flush the cache.
+     * Idempotent; later submissions are load-shed as Overloaded.
+     */
+    void shutdown();
+
+  private:
+    struct JobRecord;
+
+    SubmitOutcome enqueue(MiscorrectionProfile profile,
+                          const SubmitOptions &options);
+    void runJob(JobRecord &record);
+
+    ServiceConfig config_;
+    std::unique_ptr<util::ThreadPool> pool_;
+    std::unique_ptr<FingerprintCache> cache_;
+    std::unique_ptr<SessionScheduler> scheduler_;
+    mutable std::mutex jobsMutex_;
+    /** Ordered by id, the pagination contract. */
+    std::map<JobId, std::unique_ptr<JobRecord>> jobs_;
+    std::atomic<std::uint64_t> satSolves_{0};
+    std::atomic<std::uint64_t> legacyPayloads_{0};
+    std::atomic<bool> stopped_{false};
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace beer::svc
+
+#endif // BEER_SVC_SERVICE_HH

@@ -38,34 +38,68 @@ ThreadPool::runItems(const std::function<void(std::size_t)> &body,
 }
 
 void
+ThreadPool::runTask(std::unique_lock<std::mutex> &lock)
+{
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    queuedTasks_.fetch_sub(1, std::memory_order_relaxed);
+    activeTasks_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    task();
+    lock.lock();
+    activeTasks_.fetch_sub(1, std::memory_order_relaxed);
+    completedTasks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
 ThreadPool::workerLoop()
 {
     std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
-        const std::function<void(std::size_t)> *body;
-        std::size_t count;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock,
-                       [&] { return stop_ || generation_ != seen; });
-            if (stop_)
-                return;
+        wake_.wait(lock, [&] {
+            return stop_ || generation_ != seen || !tasks_.empty();
+        });
+        if (stop_)
+            return;
+        // parallelFor jobs first: their caller is blocked inside
+        // parallelFor, while submit()ted tasks have nobody waiting.
+        if (generation_ != seen) {
             seen = generation_;
-            body = body_;
-            count = count_;
+            const std::function<void(std::size_t)> *body = body_;
+            const std::size_t count = count_;
             ++running_;
-        }
-        // A worker that was slow to wake can observe next_ >= count
-        // here (the job already finished, possibly before this worker
-        // started); runItems then claims nothing and never touches the
-        // potentially stale body pointer.
-        runItems(*body, count);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
+            lock.unlock();
+            // A worker that was slow to wake can observe next_ >=
+            // count here (the job already finished, possibly before
+            // this worker started); runItems then claims nothing and
+            // never touches the potentially stale body pointer.
+            runItems(*body, count);
+            lock.lock();
             --running_;
+            done_.notify_all();
+            continue;
         }
-        done_.notify_all();
+        runTask(lock);
     }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        activeTasks_.fetch_add(1, std::memory_order_relaxed);
+        task();
+        activeTasks_.fetch_sub(1, std::memory_order_relaxed);
+        completedTasks_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+        queuedTasks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    wake_.notify_one();
 }
 
 void

@@ -51,7 +51,93 @@ TEST(ProfileIo, SortsChargedBits)
     EXPECT_EQ(profile.patterns[0].pattern, (TestPattern{1, 3}));
 }
 
+TEST(ProfileIo, SerializesCurrentFormatVersion)
+{
+    const auto profile = exhaustiveProfile(ecc::paperExampleCode(),
+                                           chargedPatterns(4, 1));
+    const std::string text = serializeProfile(profile);
+    EXPECT_NE(text.find("version " +
+                        std::to_string(kProfileFormatVersion)),
+              std::string::npos);
+
+    std::istringstream in(text);
+    MiscorrectionProfile parsed;
+    const ProfileParseStatus status = tryParseProfile(in, parsed);
+    ASSERT_TRUE(status.ok) << status.error;
+    EXPECT_EQ(status.version, kProfileFormatVersion);
+    EXPECT_EQ(parsed, profile);
+}
+
+TEST(ProfileIo, VersionlessInputParsesAsLegacyV1)
+{
+    std::istringstream in("k 4\n0 0111\n");
+    MiscorrectionProfile parsed;
+    const ProfileParseStatus status = tryParseProfile(in, parsed);
+    ASSERT_TRUE(status.ok) << status.error;
+    EXPECT_EQ(status.version, 1u);
+    EXPECT_EQ(parsed.k, 4u);
+}
+
+TEST(ProfileIo, ExplicitVersion1Accepted)
+{
+    std::istringstream in("version 1\nk 4\n0 0111\n");
+    MiscorrectionProfile parsed;
+    const ProfileParseStatus status = tryParseProfile(in, parsed);
+    ASSERT_TRUE(status.ok) << status.error;
+    EXPECT_EQ(status.version, 1u);
+}
+
+TEST(ProfileIo, FutureVersionRejectedWithoutTerminating)
+{
+    std::istringstream in("version 99\nk 4\n0 0111\n");
+    MiscorrectionProfile parsed;
+    const ProfileParseStatus status = tryParseProfile(in, parsed);
+    EXPECT_FALSE(status.ok);
+    EXPECT_NE(status.error.find("unsupported format version 99"),
+              std::string::npos)
+        << status.error;
+}
+
+TEST(ProfileIo, MalformedVersionLineRejected)
+{
+    std::istringstream in("version zero\nk 4\n0 0111\n");
+    MiscorrectionProfile parsed;
+    const ProfileParseStatus status = tryParseProfile(in, parsed);
+    EXPECT_FALSE(status.ok);
+    EXPECT_NE(status.error.find("version"), std::string::npos);
+}
+
+TEST(ProfileIo, TryParseReportsErrorsFatalWouldRaise)
+{
+    // Same malformed inputs as the death tests below, through the
+    // non-terminating entry point services use.
+    const char *bad[] = {
+        "0 0111\n",           // missing header
+        "k 4\n0 01110\n",     // wrong bitmap length
+        "k 4\n7 0111\n",      // charged bit out of range
+        "k 4\n0 1111\n",      // charged bit marked miscorrectable
+        "k 4\n0 01x1\n",      // non-binary bitmap
+    };
+    for (const char *text : bad) {
+        std::istringstream in(text);
+        MiscorrectionProfile parsed;
+        const ProfileParseStatus status = tryParseProfile(in, parsed);
+        EXPECT_FALSE(status.ok) << text;
+        EXPECT_FALSE(status.error.empty()) << text;
+    }
+}
+
 using ProfileIoDeath = ::testing::Test;
+
+TEST(ProfileIoDeath, FutureVersionIsFatalInBatchPath)
+{
+    EXPECT_DEATH(
+        {
+            std::istringstream in("version 99\nk 4\n0 0111\n");
+            parseProfile(in);
+        },
+        "unsupported format version");
+}
 
 TEST(ProfileIoDeath, MissingHeaderIsFatal)
 {

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the HTTP adapter. The routing/serialization layer is
+ * driven entirely in-process through HttpServer::handle() — the
+ * socket loop is a byte shuttle over the same function — plus one
+ * real-socket round trip (skipped when the sandbox forbids binding).
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "beer/patterns.hh"
+#include "beer/profile.hh"
+#include "ecc/hamming.hh"
+#include "svc/http.hh"
+#include "svc/service.hh"
+#include "util/rng.hh"
+
+using namespace beer;
+using beer::ecc::LinearCode;
+using beer::ecc::randomSecCode;
+using beer::svc::HttpResponse;
+using beer::svc::HttpServer;
+using beer::svc::RecoveryService;
+using beer::util::Rng;
+
+namespace
+{
+
+std::string
+plantedPayload(std::size_t k, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const LinearCode code = randomSecCode(k, rng);
+    return serializeProfile(
+        exhaustiveProfile(code, chargedPatternUnion(k, {1, 2})));
+}
+
+/** Pull the numeric job id out of a {"job_id":N} body. */
+std::uint64_t
+parseJobId(const std::string &body)
+{
+    const std::size_t colon = body.find(':');
+    EXPECT_NE(colon, std::string::npos) << body;
+    return std::strtoull(body.c_str() + colon + 1, nullptr, 10);
+}
+
+} // anonymous namespace
+
+TEST(SvcHttp, HealthAndStatsRoutes)
+{
+    RecoveryService service;
+    HttpServer server(service);
+
+    const HttpResponse health = server.handle("GET", "/health", "");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(health.body.find("\"api_version\":1"),
+              std::string::npos);
+
+    const HttpResponse stats = server.handle("GET", "/v1/stats", "");
+    EXPECT_EQ(stats.status, 200);
+    EXPECT_NE(stats.body.find("\"scheduler\""), std::string::npos);
+    EXPECT_NE(stats.body.find("\"cache\""), std::string::npos);
+
+    EXPECT_EQ(server.handle("POST", "/health", "").status, 405);
+}
+
+TEST(SvcHttp, SubmitPollListRoundTrip)
+{
+    RecoveryService service;
+    HttpServer server(service);
+    const std::string payload = plantedPayload(8, 51);
+
+    const HttpResponse submit =
+        server.handle("POST", "/v1/jobs", payload);
+    ASSERT_EQ(submit.status, 202) << submit.body;
+    const std::uint64_t id = parseJobId(submit.body);
+    ASSERT_NE(id, 0u);
+
+    service.drain();
+    const HttpResponse poll =
+        server.handle("GET", "/v1/jobs/" + std::to_string(id), "");
+    EXPECT_EQ(poll.status, 200);
+    EXPECT_NE(poll.body.find("\"state\":\"done\""),
+              std::string::npos);
+    EXPECT_NE(poll.body.find("\"succeeded\":true"),
+              std::string::npos);
+    EXPECT_NE(poll.body.find("\"code\":\""), std::string::npos);
+
+    const HttpResponse list =
+        server.handle("GET", "/v1/jobs?offset=0&limit=10", "");
+    EXPECT_EQ(list.status, 200);
+    EXPECT_NE(list.body.find("\"total\":1"), std::string::npos);
+}
+
+TEST(SvcHttp, QueryParametersReachTheService)
+{
+    RecoveryService service;
+    HttpServer server(service);
+    const std::string payload = plantedPayload(8, 53);
+
+    const HttpResponse first =
+        server.handle("POST", "/v1/jobs", payload);
+    ASSERT_EQ(first.status, 202);
+    service.drain();
+    ASSERT_EQ(service.health().satSolves, 1u);
+
+    // no-cache forces a fresh solve even though the profile is cached.
+    const HttpResponse second =
+        server.handle("POST", "/v1/jobs?no-cache=1", payload);
+    ASSERT_EQ(second.status, 202);
+    service.drain();
+    EXPECT_EQ(service.health().satSolves, 2u);
+    const HttpResponse poll = server.handle(
+        "GET", "/v1/jobs/" + std::to_string(parseJobId(second.body)),
+        "");
+    EXPECT_NE(poll.body.find("\"cache\":\"none\""),
+              std::string::npos);
+
+    EXPECT_EQ(
+        server.handle("POST", "/v1/jobs?parity=zebra", payload)
+            .status,
+        400);
+}
+
+TEST(SvcHttp, ErrorsMapToStatusCodes)
+{
+    RecoveryService service;
+    HttpServer server(service);
+
+    EXPECT_EQ(server.handle("GET", "/nope", "").status, 404);
+    EXPECT_EQ(server.handle("GET", "/v1/jobs/999", "").status, 404);
+    EXPECT_EQ(server.handle("GET", "/v1/jobs/abc", "").status, 400);
+    EXPECT_EQ(server.handle("DELETE", "/v1/jobs/1", "").status, 405);
+    const HttpResponse bad =
+        server.handle("POST", "/v1/jobs", "not a profile");
+    EXPECT_EQ(bad.status, 400);
+    EXPECT_NE(bad.body.find("\"error\""), std::string::npos);
+}
+
+TEST(SvcHttp, SocketRoundTrip)
+{
+    RecoveryService service;
+    HttpServer server(service);
+    if (!server.start())
+        GTEST_SKIP() << "cannot bind a loopback socket here";
+    ASSERT_NE(server.port(), 0);
+
+    std::thread serving([&] { server.serve(); });
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, (const sockaddr *)&addr, sizeof(addr)), 0)
+        << std::strerror(errno);
+
+    const std::string request =
+        "GET /health HTTP/1.1\r\nHost: localhost\r\n"
+        "Connection: close\r\n\r\n";
+    ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+              (ssize_t)request.size());
+
+    std::string response;
+    char buf[4096];
+    ssize_t got;
+    while ((got = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        response.append(buf, (std::size_t)got);
+    ::close(fd);
+
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+
+    server.stop();
+    serving.join();
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the session scheduler: jobs shard across pool workers and
+ * genuinely run concurrently (peakConcurrent), the bounded queue
+ * load-sheds instead of backlogging, execution follows submission
+ * order, and a throwing job is recorded Failed without killing its
+ * worker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "svc/scheduler.hh"
+#include "util/thread_pool.hh"
+
+using beer::svc::JobId;
+using beer::svc::JobState;
+using beer::svc::SchedulerConfig;
+using beer::svc::SessionScheduler;
+using beer::util::ThreadPool;
+
+namespace
+{
+
+/** Reusable N-party rendezvous for forcing true concurrency. */
+class Barrier
+{
+  public:
+    explicit Barrier(std::size_t parties) : parties_(parties) {}
+
+    void arriveAndWait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (++arrived_ >= parties_) {
+            cv_.notify_all();
+            return;
+        }
+        cv_.wait(lock, [&] { return arrived_ >= parties_; });
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t parties_;
+    std::size_t arrived_ = 0;
+};
+
+} // anonymous namespace
+
+TEST(SvcScheduler, JobsRunConcurrentlyAcrossWorkers)
+{
+    ThreadPool pool(3); // two workers
+    SessionScheduler scheduler(pool);
+
+    // Neither job can pass the barrier until both are running, so
+    // reaching drain() at all proves two jobs executed concurrently.
+    Barrier barrier(2);
+    const JobId a =
+        scheduler.submit([&](JobId) { barrier.arriveAndWait(); });
+    const JobId b =
+        scheduler.submit([&](JobId) { barrier.arriveAndWait(); });
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    scheduler.drain();
+
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_GE(stats.peakConcurrent, 2u);
+    EXPECT_EQ(scheduler.state(a), JobState::Done);
+    EXPECT_EQ(scheduler.state(b), JobState::Done);
+}
+
+TEST(SvcScheduler, BoundedQueueRejectsOverflow)
+{
+    ThreadPool pool(2); // one worker
+    SchedulerConfig config;
+    config.maxQueuedJobs = 2;
+    SessionScheduler scheduler(pool, config);
+
+    // Gate the only worker so later submissions stay queued.
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    bool gate_running = false;
+    const JobId gate = scheduler.submit([&](JobId) {
+        std::unique_lock<std::mutex> lock(mutex);
+        gate_running = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    ASSERT_NE(gate, 0u);
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return gate_running; });
+    }
+
+    EXPECT_NE(scheduler.submit([](JobId) {}), 0u);
+    EXPECT_NE(scheduler.submit([](JobId) {}), 0u);
+    // Queue is now at maxQueuedJobs; the next submission sheds.
+    EXPECT_EQ(scheduler.submit([](JobId) {}), 0u);
+    EXPECT_EQ(scheduler.stats().rejected, 1u);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    scheduler.drain();
+    EXPECT_EQ(scheduler.stats().completed, 3u);
+}
+
+TEST(SvcScheduler, JobsStartInSubmissionOrder)
+{
+    ThreadPool pool(2); // one worker => strictly sequential
+    SessionScheduler scheduler(pool);
+
+    std::mutex mutex;
+    std::vector<JobId> order;
+    std::vector<JobId> submitted;
+    for (int i = 0; i < 8; ++i)
+        submitted.push_back(scheduler.submit([&](JobId id) {
+            std::lock_guard<std::mutex> lock(mutex);
+            order.push_back(id);
+        }));
+    scheduler.drain();
+    EXPECT_EQ(order, submitted);
+}
+
+TEST(SvcScheduler, ThrowingJobIsRecordedFailed)
+{
+    ThreadPool pool(2);
+    SessionScheduler scheduler(pool);
+
+    const JobId bad = scheduler.submit(
+        [](JobId) { throw std::runtime_error("boom"); });
+    const JobId good = scheduler.submit([](JobId) {});
+    ASSERT_TRUE(scheduler.wait(bad));
+    ASSERT_TRUE(scheduler.wait(good));
+
+    EXPECT_EQ(scheduler.state(bad), JobState::Failed);
+    EXPECT_EQ(scheduler.state(good), JobState::Done);
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(SvcScheduler, UnknownIdsAreReported)
+{
+    ThreadPool pool(2);
+    SessionScheduler scheduler(pool);
+    EXPECT_FALSE(scheduler.wait(42));
+    EXPECT_EQ(scheduler.state(42), std::nullopt);
+    EXPECT_FALSE(scheduler.wait(0));
+}

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * End-to-end tests for svc::RecoveryService: the service must recover
+ * exactly the ECC function the batch beer_solve path recovers, answer
+ * repeat submissions from the fingerprint cache with zero SAT solver
+ * invocations, run concurrent jobs genuinely in parallel, enforce the
+ * payload versioning contract, and list jobs deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "beer/patterns.hh"
+#include "beer/profile.hh"
+#include "beer/solver.hh"
+#include "ecc/code_equiv.hh"
+#include "ecc/hamming.hh"
+#include "svc/service.hh"
+#include "util/rng.hh"
+
+using namespace beer;
+using beer::ecc::LinearCode;
+using beer::ecc::equivalent;
+using beer::ecc::randomSecCode;
+using beer::svc::CacheOutcome;
+using beer::svc::JobState;
+using beer::svc::JobStatus;
+using beer::svc::RecoveryService;
+using beer::svc::ServiceConfig;
+using beer::svc::SubmitOptions;
+using beer::svc::SubmitOutcome;
+using beer::util::Rng;
+
+namespace
+{
+
+MiscorrectionProfile
+plantedProfile(const LinearCode &code,
+               const std::vector<std::size_t> &charged)
+{
+    return exhaustiveProfile(code,
+                             chargedPatternUnion(code.k(), charged));
+}
+
+} // anonymous namespace
+
+TEST(SvcService, RecoversSameFunctionAsBatchPath)
+{
+    Rng rng(21);
+    RecoveryService service;
+    for (const std::size_t k : {8u, 16u, 32u}) {
+        const LinearCode code = randomSecCode(k, rng);
+        const std::size_t parity = code.numParityBits();
+        const MiscorrectionProfile profile =
+            plantedProfile(code, {1, 2});
+
+        // The reference answer from the batch beer_solve path.
+        const BeerSolveResult batch =
+            solveForEccFunction(profile, parity);
+        ASSERT_TRUE(batch.unique()) << "k=" << k;
+
+        const SubmitOutcome outcome = service.submitProfile(profile);
+        ASSERT_TRUE(outcome.accepted) << outcome.error;
+        ASSERT_TRUE(service.waitForJob(outcome.id));
+
+        const auto job = service.job(outcome.id);
+        ASSERT_TRUE(job.has_value());
+        EXPECT_EQ(job->state, JobState::Done);
+        EXPECT_TRUE(job->succeeded) << "k=" << k;
+        EXPECT_EQ(job->solutions, 1u);
+        EXPECT_EQ(job->k, k);
+        EXPECT_EQ(job->parityBits, parity);
+        ASSERT_TRUE(job->code.has_value());
+        EXPECT_TRUE(
+            equivalent(*job->code, batch.solutions.front()));
+        EXPECT_TRUE(equivalent(*job->code, code)) << "k=" << k;
+    }
+}
+
+TEST(SvcService, RepeatSubmissionIsExactHitWithZeroSolves)
+{
+    Rng rng(23);
+    const LinearCode code = randomSecCode(8, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+
+    RecoveryService service;
+    const SubmitOutcome first = service.submitProfile(profile);
+    ASSERT_TRUE(first.accepted);
+    ASSERT_TRUE(service.waitForJob(first.id));
+    const auto cold = service.job(first.id);
+    ASSERT_TRUE(cold && cold->succeeded);
+    EXPECT_EQ(cold->cache, CacheOutcome::None);
+    const std::uint64_t solves_after_cold = service.health().satSolves;
+    EXPECT_EQ(solves_after_cold, 1u);
+
+    const SubmitOutcome second = service.submitProfile(profile);
+    ASSERT_TRUE(second.accepted);
+    ASSERT_TRUE(service.waitForJob(second.id));
+    const auto warm = service.job(second.id);
+    ASSERT_TRUE(warm && warm->succeeded);
+    EXPECT_EQ(warm->cache, CacheOutcome::Exact);
+    ASSERT_TRUE(warm->code.has_value());
+    EXPECT_TRUE(*warm->code == *cold->code);
+
+    // The acceptance criterion: the repeat cost zero SAT solves.
+    EXPECT_EQ(service.health().satSolves, solves_after_cold);
+    EXPECT_EQ(service.health().cache.exactHits, 1u);
+}
+
+TEST(SvcService, BypassCacheSkipsLookupButStillSolves)
+{
+    Rng rng(29);
+    const LinearCode code = randomSecCode(8, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+
+    RecoveryService service;
+    SubmitOptions no_cache;
+    no_cache.bypassCache = true;
+
+    const SubmitOutcome first = service.submitProfile(profile);
+    ASSERT_TRUE(first.accepted);
+    ASSERT_TRUE(service.waitForJob(first.id));
+
+    const SubmitOutcome second =
+        service.submitProfile(profile, no_cache);
+    ASSERT_TRUE(second.accepted);
+    ASSERT_TRUE(service.waitForJob(second.id));
+    const auto job = service.job(second.id);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->cache, CacheOutcome::None);
+    EXPECT_EQ(service.health().satSolves, 2u);
+}
+
+TEST(SvcService, ConcurrentJobsProgressSimultaneously)
+{
+    Rng rng(31);
+    const LinearCode code_a = randomSecCode(8, rng);
+    const LinearCode code_b = randomSecCode(8, rng);
+
+    // Both jobs must be inside their bodies at once before either may
+    // proceed — deterministic proof of parallel progress.
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t started = 0;
+
+    ServiceConfig config;
+    config.threads = 2;
+    config.onJobStart = [&](svc::JobId) {
+        std::unique_lock<std::mutex> lock(mutex);
+        ++started;
+        cv.notify_all();
+        cv.wait(lock, [&] { return started >= 2; });
+    };
+    RecoveryService service(config);
+
+    const SubmitOutcome a =
+        service.submitProfile(plantedProfile(code_a, {1, 2}));
+    const SubmitOutcome b =
+        service.submitProfile(plantedProfile(code_b, {1, 2}));
+    ASSERT_TRUE(a.accepted);
+    ASSERT_TRUE(b.accepted);
+    service.drain();
+
+    const auto health = service.health();
+    EXPECT_GE(health.scheduler.peakConcurrent, 2u);
+    EXPECT_EQ(health.scheduler.completed, 2u);
+    EXPECT_TRUE(service.job(a.id)->succeeded);
+    EXPECT_TRUE(service.job(b.id)->succeeded);
+}
+
+TEST(SvcService, PayloadVersionContract)
+{
+    Rng rng(37);
+    const LinearCode code = randomSecCode(8, rng);
+    const std::string payload =
+        serializeProfile(plantedProfile(code, {1, 2}));
+    ASSERT_NE(payload.find("version 2"), std::string::npos);
+
+    RecoveryService service;
+
+    // Current-version payload: accepted, no migration counted.
+    const SubmitOutcome current = service.submitPayload(payload);
+    ASSERT_TRUE(current.accepted) << current.error;
+    ASSERT_TRUE(service.waitForJob(current.id));
+    EXPECT_TRUE(service.job(current.id)->succeeded);
+    EXPECT_EQ(service.health().legacyPayloads, 0u);
+
+    // Legacy (version-less v1) payload: migrated and counted.
+    std::string legacy = payload;
+    const std::size_t pos = legacy.find("version 2\n");
+    ASSERT_NE(pos, std::string::npos);
+    legacy.erase(pos, std::string("version 2\n").size());
+    const SubmitOutcome migrated = service.submitPayload(legacy);
+    ASSERT_TRUE(migrated.accepted) << migrated.error;
+    ASSERT_TRUE(service.waitForJob(migrated.id));
+    EXPECT_TRUE(service.job(migrated.id)->succeeded);
+    EXPECT_EQ(service.health().legacyPayloads, 1u);
+
+    // Future version: explicit rejection, service stays alive.
+    std::string future = payload;
+    future.replace(future.find("version 2"),
+                   std::string("version 2").size(), "version 99");
+    const SubmitOutcome rejected = service.submitPayload(future);
+    EXPECT_FALSE(rejected.accepted);
+    EXPECT_EQ(rejected.reject, SubmitOutcome::Reject::BadPayload);
+    EXPECT_NE(rejected.error.find("version"), std::string::npos);
+    EXPECT_TRUE(service.health().ok);
+}
+
+TEST(SvcService, LegacyPayloadsCanBeRejectedByPolicy)
+{
+    Rng rng(41);
+    const LinearCode code = randomSecCode(8, rng);
+    std::string legacy = serializeProfile(plantedProfile(code, {1}));
+    const std::size_t pos = legacy.find("version 2\n");
+    ASSERT_NE(pos, std::string::npos);
+    legacy.erase(pos, std::string("version 2\n").size());
+
+    ServiceConfig config;
+    config.rejectLegacyPayloads = true;
+    RecoveryService service(config);
+    const SubmitOutcome outcome = service.submitPayload(legacy);
+    EXPECT_FALSE(outcome.accepted);
+    EXPECT_EQ(outcome.reject, SubmitOutcome::Reject::BadPayload);
+    EXPECT_NE(outcome.error.find("legacy"), std::string::npos);
+}
+
+TEST(SvcService, MalformedPayloadIsRejectedNotFatal)
+{
+    RecoveryService service;
+    const SubmitOutcome outcome =
+        service.submitPayload("this is not a profile");
+    EXPECT_FALSE(outcome.accepted);
+    EXPECT_EQ(outcome.reject, SubmitOutcome::Reject::BadPayload);
+    EXPECT_FALSE(outcome.error.empty());
+
+    const SubmitOutcome empty = service.submitProfile({});
+    EXPECT_FALSE(empty.accepted);
+    EXPECT_EQ(empty.reject, SubmitOutcome::Reject::BadPayload);
+}
+
+TEST(SvcService, MissingTraceFileIsRejected)
+{
+    RecoveryService service;
+    const SubmitOutcome outcome =
+        service.submitTraceFile("/nonexistent/trace.bin");
+    EXPECT_FALSE(outcome.accepted);
+    EXPECT_EQ(outcome.reject, SubmitOutcome::Reject::BadPayload);
+}
+
+TEST(SvcService, ListJobsPaginatesDeterministically)
+{
+    Rng rng(43);
+    const LinearCode code = randomSecCode(6, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+
+    RecoveryService service;
+    std::vector<svc::JobId> ids;
+    for (int i = 0; i < 5; ++i) {
+        const SubmitOutcome outcome = service.submitProfile(profile);
+        ASSERT_TRUE(outcome.accepted);
+        ids.push_back(outcome.id);
+    }
+    service.drain();
+
+    const auto first = service.listJobs(0, 2);
+    const auto second = service.listJobs(2, 2);
+    const auto tail = service.listJobs(4, 10);
+    EXPECT_EQ(first.total, 5u);
+    ASSERT_EQ(first.jobs.size(), 2u);
+    ASSERT_EQ(second.jobs.size(), 2u);
+    ASSERT_EQ(tail.jobs.size(), 1u);
+    EXPECT_EQ(first.jobs[0].id, ids[0]);
+    EXPECT_EQ(first.jobs[1].id, ids[1]);
+    EXPECT_EQ(second.jobs[0].id, ids[2]);
+    EXPECT_EQ(second.jobs[1].id, ids[3]);
+    EXPECT_EQ(tail.jobs[0].id, ids[4]);
+    for (const JobStatus &job : tail.jobs)
+        EXPECT_EQ(job.state, JobState::Done);
+
+    const auto past_end = service.listJobs(10, 5);
+    EXPECT_EQ(past_end.total, 5u);
+    EXPECT_TRUE(past_end.jobs.empty());
+}
+
+TEST(SvcService, ShutdownShedsNewWorkButStaysQueryable)
+{
+    Rng rng(47);
+    const LinearCode code = randomSecCode(6, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+
+    RecoveryService service;
+    const SubmitOutcome before = service.submitProfile(profile);
+    ASSERT_TRUE(before.accepted);
+    service.shutdown();
+
+    const SubmitOutcome after = service.submitProfile(profile);
+    EXPECT_FALSE(after.accepted);
+    EXPECT_EQ(after.reject, SubmitOutcome::Reject::Overloaded);
+
+    // Drained on shutdown: the earlier job finished and still polls.
+    const auto job = service.job(before.id);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->state, JobState::Done);
+    EXPECT_FALSE(service.health().ok);
+}

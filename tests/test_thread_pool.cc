@@ -1,13 +1,16 @@
 /**
  * @file
  * Tests for util::ThreadPool: full coverage of the index space, reuse
- * across jobs, degenerate sizes, and concurrent mutation safety.
+ * across jobs, degenerate sizes, concurrent mutation safety, and the
+ * async task queue with its observability counters.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "util/thread_pool.hh"
@@ -62,6 +65,100 @@ TEST(ThreadPool, ZeroMeansHardwareConcurrency)
     std::atomic<std::size_t> count{0};
     pool.parallelFor(64, [&](std::size_t) { ++count; });
     EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPool, SubmitRunsTasksAndCountsThem)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.queuedTasks(), 0u);
+    EXPECT_EQ(pool.activeTasks(), 0u);
+    EXPECT_EQ(pool.completedTasks(), 0u);
+
+    constexpr std::size_t kTasks = 64;
+    std::atomic<std::size_t> ran{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    for (std::size_t i = 0; i < kTasks; ++i)
+        pool.submit([&] {
+            if (ran.fetch_add(1) + 1 == kTasks) {
+                std::lock_guard<std::mutex> lock(mutex);
+                done.notify_all();
+            }
+        });
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return ran.load() == kTasks; });
+
+    // Once the last task has run, every counter must settle: the
+    // notifying task may still be inside the pool's bookkeeping, so
+    // poll completedTasks briefly instead of asserting instantly.
+    while (pool.completedTasks() < kTasks)
+        std::this_thread::yield();
+    EXPECT_EQ(pool.completedTasks(), kTasks);
+    EXPECT_EQ(pool.queuedTasks(), 0u);
+    EXPECT_EQ(pool.activeTasks(), 0u);
+}
+
+TEST(ThreadPool, TaskCountersObserveQueuedAndActiveStates)
+{
+    // One worker (size 2 = worker + caller): gate the first task so a
+    // second submission is observably queued behind it.
+    ThreadPool pool(2);
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    bool started = false;
+
+    pool.submit([&] {
+        std::unique_lock<std::mutex> lock(mutex);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    pool.submit([] {});
+
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return started; });
+    }
+    EXPECT_EQ(pool.activeTasks(), 1u);
+    EXPECT_EQ(pool.queuedTasks(), 1u);
+    EXPECT_EQ(pool.completedTasks(), 0u);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    while (pool.completedTasks() < 2)
+        std::this_thread::yield();
+    EXPECT_EQ(pool.queuedTasks(), 0u);
+    EXPECT_EQ(pool.activeTasks(), 0u);
+}
+
+TEST(ThreadPool, SubmitRunsInlineWithoutWorkers)
+{
+    ThreadPool pool(1);
+    bool ran = false;
+    pool.submit([&] { ran = true; });
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(pool.completedTasks(), 1u);
+}
+
+TEST(ThreadPool, SubmitCoexistsWithParallelFor)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> taskRuns{0};
+    for (std::size_t i = 0; i < 16; ++i)
+        pool.submit([&] { ++taskRuns; });
+
+    // parallelFor takes priority but must not lose queued tasks.
+    std::atomic<std::size_t> sum{0};
+    pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2);
+
+    while (pool.completedTasks() < 16)
+        std::this_thread::yield();
+    EXPECT_EQ(taskRuns.load(), 16u);
 }
 
 TEST(ThreadPool, DisjointShardWritesNeedNoSynchronization)

@@ -26,6 +26,7 @@
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/signal.hh"
 
 using namespace beer;
 
@@ -52,6 +53,10 @@ main(int argc, char **argv)
                   "for every value");
     cli.addFlag("print-code", "also print H to stderr");
     cli.parse(argc, argv);
+
+    // Trace recording sweeps many pause/repeat rounds; let Ctrl-C end
+    // it at a pattern boundary with the rounds measured so far.
+    util::installShutdownHandler();
 
     const auto k = (std::size_t)cli.getInt("k");
     const auto seed = (std::uint64_t)cli.getInt("seed");

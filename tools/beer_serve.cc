@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fleet-scale BEER recovery service daemon.
+ *
+ * Runs svc::RecoveryService behind the minimal HTTP/1.1 adapter so a
+ * fleet of testing hosts can submit miscorrection profiles and poll
+ * for recovered ECC functions without linking against the library:
+ *
+ *     beer_serve --port 8117 --cache-file /var/lib/beer/fp.cache &
+ *     curl -s --data-binary @chip0.profile \
+ *         http://127.0.0.1:8117/v1/jobs          # -> {"job_id":1}
+ *     curl -s http://127.0.0.1:8117/v1/jobs/1    # poll until "done"
+ *     curl -s http://127.0.0.1:8117/health       # observability
+ *
+ * SIGINT/SIGTERM shut down gracefully: the accept loop exits, in-
+ * flight jobs drain, and the fingerprint cache is flushed to disk so
+ * the next start answers repeat profiles without a SAT solve. A
+ * second signal force-kills (util::installShutdownHandler()).
+ */
+
+#include <cstdio>
+
+#include "svc/http.hh"
+#include "svc/service.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/signal.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace beer;
+
+    util::Cli cli("Serve ECC recovery over HTTP with a fingerprint "
+                  "cache and sharded job scheduler");
+    cli.addOption("host", "127.0.0.1", "bind address");
+    cli.addOption("port", "8117", "bind port (0 = ephemeral)");
+    cli.addOption("threads", "0",
+                  "recovery worker threads (0 = hardware "
+                  "concurrency)");
+    cli.addOption("max-queued", "256",
+                  "bounded job queue; beyond it submissions get 429");
+    cli.addOption("cache-file", "",
+                  "fingerprint cache persistence path (loaded on "
+                  "start, flushed on shutdown)");
+    cli.addOption("cache-capacity", "256",
+                  "max fingerprint cache entries (LRU eviction)");
+    cli.addOption("near-threshold", "0.5",
+                  "min shared-profile fraction for a near-match "
+                  "warm start");
+    cli.addOption("max-solutions", "16",
+                  "per-job solution cap (0 = enumerate all)");
+    cli.addFlag("reject-legacy",
+                "reject version-1 (version-less) profile payloads "
+                "instead of migrating them");
+    cli.parse(argc, argv);
+
+    svc::ServiceConfig config;
+    config.threads = (std::size_t)cli.getInt("threads");
+    config.maxQueuedJobs = (std::size_t)cli.getInt("max-queued");
+    config.cache.path = cli.getString("cache-file");
+    config.cache.capacity = (std::size_t)cli.getInt("cache-capacity");
+    config.cache.nearMatchThreshold = cli.getDouble("near-threshold");
+    config.solver.maxSolutions =
+        (std::size_t)cli.getInt("max-solutions");
+    config.rejectLegacyPayloads = cli.getBool("reject-legacy");
+
+    util::installShutdownHandler();
+
+    svc::RecoveryService service(config);
+    svc::HttpConfig http;
+    http.host = cli.getString("host");
+    http.port = (std::uint16_t)cli.getInt("port");
+    svc::HttpServer server(service, http);
+    if (!server.start())
+        util::fatal("cannot bind %s:%u", http.host.c_str(),
+                    (unsigned)http.port);
+
+    const svc::FingerprintCacheStats cache = service.health().cache;
+    std::fprintf(stderr,
+                 "beer_serve: listening on %s:%u (api v%d, %zu "
+                 "cached fingerprints)\n",
+                 http.host.c_str(), (unsigned)server.port(),
+                 svc::kApiVersion, cache.entries);
+    server.serve();
+
+    std::fprintf(stderr,
+                 "beer_serve: shutting down (draining jobs, "
+                 "flushing cache)...\n");
+    service.shutdown();
+    const svc::HealthReport health = service.health();
+    std::fprintf(stderr,
+                 "beer_serve: served %llu jobs (%llu SAT solves, "
+                 "%llu exact cache hits, %llu near hits)\n",
+                 (unsigned long long)health.scheduler.completed,
+                 (unsigned long long)health.satSolves,
+                 (unsigned long long)health.cache.exactHits,
+                 (unsigned long long)health.cache.nearHits);
+    return 0;
+}
