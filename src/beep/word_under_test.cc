@@ -6,6 +6,7 @@
 #include "sim/engine.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/signal.hh"
 
 namespace beer::beep
 {
@@ -159,6 +160,20 @@ MemoryWordUnderTest::test(const BitVec &dataword)
     mem_.writeDataword(wordIndex_, dataword);
     mem_.pauseRefresh(pauseSeconds_, tempC_);
     return mem_.readDataword(wordIndex_);
+}
+
+void
+MemoryWordUnderTest::testMany(const BitVec *datawords,
+                              std::size_t count,
+                              std::vector<BitVec> &out)
+{
+    out.clear();
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (util::shutdownRequested())
+            return; // partial batch; callers see out.size() < count
+        out.push_back(test(datawords[i]));
+    }
 }
 
 } // namespace beer::beep

@@ -154,6 +154,16 @@ class MemoryWordUnderTest : public WordUnderTest
 
     gf2::BitVec test(const gf2::BitVec &dataword) override;
 
+    /**
+     * Sequential cycles (a refresh pause cannot be batched on real
+     * hardware), but responsive to util::requestShutdown() between
+     * cycles: a batch against a slow chip stops at the next cycle
+     * boundary and returns the reads finished so far (out.size() <
+     * count), matching measureProfile()'s pattern-boundary behavior.
+     */
+    void testMany(const gf2::BitVec *datawords, std::size_t count,
+                  std::vector<gf2::BitVec> &out) override;
+
   private:
     dram::MemoryInterface &mem_;
     std::size_t wordIndex_;

@@ -163,6 +163,8 @@ measureProfile(dram::MemoryInterface &mem,
         for (double pause : config.pausesSeconds) {
             for (std::size_t rep = 0; rep < config.repeatsPerPause;
                  ++rep) {
+                if (config.cancel && config.cancel())
+                    return counts;
                 mem.writeDatawordsBroadcast(words.data(), words.size(),
                                             data);
                 mem.pauseRefresh(pause, config.temperatureC);

@@ -19,6 +19,7 @@
 #define BEER_BEER_MEASURE_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <vector>
 
@@ -100,6 +101,16 @@ struct MeasureConfig
     std::size_t repeatsPerPause = 1;
     /** Threshold for ProfileCounts::threshold (relative frequency). */
     double thresholdProbability = 1e-3;
+    /**
+     * Polled before each (pattern, pause, repeat) experiment; a true
+     * return abandons the rest of the run and returns the counts
+     * accumulated so far (a partially measured pattern keeps its
+     * partial denominator). The pipelined session uses this to stop
+     * speculative measurement the moment the solve running beside it
+     * proves uniqueness — the round is discarded either way, so every
+     * further refresh pause would be pure waste. Unset = never.
+     */
+    std::function<bool()> cancel;
 
     /** Paper-like default: 2..22 minutes in 1-minute steps at 80C. */
     static MeasureConfig paperDefault();

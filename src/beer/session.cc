@@ -39,6 +39,39 @@ distinguishes(const TestPattern &pattern, const ecc::LinearCode &x,
     return false;
 }
 
+/**
+ * Order [@p begin, @p end) so patterns that distinguish more pairs of
+ * the candidate set come first (stable within equal scores). With two
+ * candidates this is the classic active-selection partition; with
+ * more it compensates for a stale candidate set — a pattern that
+ * splits several still-plausible pairs is far more likely to also
+ * split whatever pair survives the solve currently in flight.
+ */
+void
+rankPatterns(std::vector<TestPattern>::iterator begin,
+             std::vector<TestPattern>::iterator end,
+             const std::vector<ecc::LinearCode> &cands)
+{
+    if (cands.size() < 2 || begin == end)
+        return;
+    std::vector<std::pair<std::size_t, TestPattern>> ranked;
+    ranked.reserve((std::size_t)(end - begin));
+    for (auto it = begin; it != end; ++it) {
+        std::size_t score = 0;
+        for (std::size_t i = 0; i + 1 < cands.size(); ++i)
+            for (std::size_t j = i + 1; j < cands.size(); ++j)
+                if (distinguishes(*it, cands[i], cands[j]))
+                    ++score;
+        ranked.emplace_back(score, std::move(*it));
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+    for (auto &entry : ranked)
+        *begin++ = std::move(entry.second);
+}
+
 } // anonymous namespace
 
 Session::Session(dram::MemoryInterface &mem, SessionConfig config)
@@ -61,82 +94,171 @@ Session::Session(dram::MemoryInterface &mem, SessionConfig config)
     counts_.k = k;
 }
 
-bool
-Session::measureRound()
+std::size_t
+Session::chunkLimit(std::size_t available) const
 {
-    if (nextPending_ >= pending_.size())
-        return false;
+    if (!config_.adaptiveEarlyExit)
+        return available;
+    std::size_t per_round = config_.patternsPerRound;
+    if (per_round == 0)
+        per_round = std::max<std::size_t>(1, mem_.datawordBits() / 8);
+    return std::min(available, per_round);
+}
 
-    std::size_t chunk = pending_.size() - nextPending_;
-    if (config_.adaptiveEarlyExit) {
-        std::size_t per_round = config_.patternsPerRound;
-        if (per_round == 0)
-            per_round = std::max<std::size_t>(1, mem_.datawordBits() / 8);
-        chunk = std::min(chunk, per_round);
+void
+Session::rankPendingBy(const std::vector<ecc::LinearCode> &cands)
+{
+    rankPatterns(pending_.begin() + (std::ptrdiff_t)nextPending_,
+                 pending_.end(), cands);
+}
 
-        // Active pattern selection: when the last solve surfaced two
-        // candidate functions, prefer pending patterns whose
-        // ground-truth profiles differ between them. Measuring such a
-        // pattern is guaranteed to eliminate at least one of the pair
-        // (the backend's answer can match at most one), so the
-        // candidate space shrinks every round instead of waiting for
-        // the sweep order to stumble on a discriminating pattern.
-        if (solve_ && !countsDirty_ && solve_->solutions.size() >= 2) {
-            const ecc::LinearCode &x = solve_->solutions[0];
-            const ecc::LinearCode &y = solve_->solutions[1];
-            std::stable_partition(
-                pending_.begin() + (std::ptrdiff_t)nextPending_,
-                pending_.end(), [&](const TestPattern &pattern) {
-                    return distinguishes(pattern, x, y);
-                });
-        }
+void
+Session::partitionPending()
+{
+    // Active pattern selection: when a solve surfaced two candidate
+    // functions, prefer pending patterns whose ground-truth profiles
+    // differ between them. Measuring such a pattern is guaranteed to
+    // eliminate at least one of the pair (the backend's answer can
+    // match at most one), so the candidate space shrinks every round
+    // instead of waiting for the sweep order to stumble on a
+    // discriminating pattern.
+    if (config_.deferredPartition && !config_.pipelined) {
+        // Deferred-partition schedule: order the round by the pair of
+        // the solve BEFORE the most recent one — the freshest solve a
+        // pipelined session has joined when it selects the same chunk
+        // (the most recent one is still in flight there; escalation
+        // rounds included, since the pipeline measures the first
+        // 2-CHARGED chunk speculatively beside the solve that decides
+        // the escalation). Bit-exact twin of the pipelined schedule;
+        // see session.hh. Round 2 is the exception: the pipeline
+        // joins the session's first solve inline (it is the cheap,
+        // underconstrained one and nothing runs beside round 1
+        // anyway), so round 2 partitions by the fresh pair in both
+        // schedules.
+        if (!staleCands_.empty())
+            rankPendingBy(staleCands_);
+        else if (stats_.solveCalls <= 1 && solve_ && !countsDirty_ &&
+                 solve_->solutions.size() >= 2)
+            rankPendingBy(solve_->solutions);
+        return;
     }
+    if (solve_ && !countsDirty_ && solve_->solutions.size() >= 2)
+        rankPendingBy(solve_->solutions);
+}
 
-    const std::vector<TestPattern> round(
+std::vector<TestPattern>
+Session::peekChunk() const
+{
+    const std::size_t chunk = chunkLimit(pendingPatternCount());
+    return std::vector<TestPattern>(
         pending_.begin() + (std::ptrdiff_t)nextPending_,
         pending_.begin() + (std::ptrdiff_t)(nextPending_ + chunk));
-    nextPending_ += chunk;
+}
 
+ProfileCounts
+Session::measureChunk(const std::vector<TestPattern> &round,
+                      double &seconds,
+                      const std::function<bool()> &cancel)
+{
     const auto start = Clock::now();
-    const ProfileCounts observed = measureProfile(
-        mem_, round, config_.measure, config_.wordsUnderTest);
-    stats_.measureSeconds += secondsSince(start);
+    ProfileCounts observed;
+    if (cancel) {
+        MeasureConfig measure = config_.measure;
+        measure.cancel = cancel;
+        observed = measureProfile(mem_, round, measure,
+                                  config_.wordsUnderTest);
+    } else {
+        observed = measureProfile(mem_, round, config_.measure,
+                                  config_.wordsUnderTest);
+    }
+    seconds = secondsSince(start);
+    return observed;
+}
 
+std::uint64_t
+Session::experimentsFor(std::size_t patterns) const
+{
+    return (std::uint64_t)patterns *
+           config_.measure.pausesSeconds.size() *
+           config_.measure.repeatsPerPause;
+}
+
+void
+Session::commitRound(const std::vector<TestPattern> &round,
+                     const ProfileCounts &observed, double seconds)
+{
+    stats_.measureSeconds += seconds;
     // Rounds only ever measure patterns pending_ has not handed out
     // before, so overlap with the accumulated counts is a bug.
     counts_.merge(observed, ProfileCounts::MergeMode::AppendDisjoint);
     countsDirty_ = true;
     ++stats_.measureRounds;
     stats_.patternsMeasured = counts_.patterns.size();
-    stats_.patternMeasurements +=
-        (std::uint64_t)round.size() *
-        config_.measure.pausesSeconds.size() *
-        config_.measure.repeatsPerPause;
+    stats_.patternMeasurements += experimentsFor(round.size());
     stats_.wordObservations += observed.totalObservations();
 
     notify(SessionStage::Measure);
+}
+
+bool
+Session::measureRound()
+{
+    if (nextPending_ >= pending_.size())
+        return false;
+
+    if (config_.adaptiveEarlyExit)
+        partitionPending();
+    const std::vector<TestPattern> round = peekChunk();
+    nextPending_ += round.size();
+
+    double seconds = 0.0;
+    const ProfileCounts observed = measureChunk(round, seconds);
+    commitRound(round, observed, seconds);
     return true;
 }
 
-const BeerSolveResult &
-Session::solve()
+void
+Session::prepareSolve(PendingSolve &ps)
 {
     profile_ = counts_.threshold(config_.measure.thresholdProbability);
 
     // While more measurement is still available, enumeration only has
-    // to decide uniqueness: two solutions suffice.
-    std::size_t max_solutions = config_.solver.maxSolutions;
-    const bool cap = config_.adaptiveEarlyExit && moreEvidenceAvailable();
-    if (cap && (max_solutions == 0 || max_solutions > 2))
-        max_solutions = 2;
+    // to decide uniqueness: two solutions suffice. The stale-partition
+    // schedules enumerate a few more (SessionConfig::
+    // deferredCandidates) so the next round's ranking sees pairs the
+    // already-measured round has not eliminated yet.
+    ps.maxSolutions = config_.solver.maxSolutions;
+    ps.capped = config_.adaptiveEarlyExit && moreEvidenceAvailable();
+    if (ps.capped) {
+        std::size_t cap = 2;
+        if (config_.deferredPartition || config_.pipelined)
+            cap = std::max<std::size_t>(cap, config_.deferredCandidates);
+        if (ps.maxSolutions == 0 || ps.maxSolutions > cap)
+            ps.maxSolutions = cap;
+    }
+}
 
-    SolveRoundStats round;
+void
+Session::solveCore(PendingSolve &ps)
+{
+    // Runs on a pool task in pipelined mode. Exclusive ownership of
+    // incremental_ and read-only access to profile_ for the task's
+    // whole lifetime; the session thread touches neither until join.
+    ps.start = Clock::now();
     std::uint64_t clauses_before = 0;
     std::size_t rebuilds_before = 0;
     auto start = Clock::now();
     if (config_.incrementalSolve && incremental_) {
-        clauses_before = incremental_->satSolver().stats().addedClauses;
-        rebuilds_before = incremental_->rebuilds();
+        // A context prebuilt during round 1 (pipelined mode) holds
+        // only the structural clauses; counting the first solve from
+        // zero keeps its per-round clause accounting identical to a
+        // serial session, whose first solve constructs the context
+        // itself.
+        if (stats_.solveCalls > 0) {
+            clauses_before =
+                incremental_->satSolver().stats().addedClauses;
+            rebuilds_before = incremental_->rebuilds();
+        }
     } else {
         // First round, or from-scratch mode: (re)build the context.
         // Construction encodes the structural constraints.
@@ -144,33 +266,70 @@ Session::solve()
                              ecc::parityBitsForDataBits(profile_.k),
                              config_.solver);
     }
-    incremental_->setMaxSolutions(max_solutions);
-    round.patternsEncoded = incremental_->addProfile(profile_);
-    round.encodeSeconds = secondsSince(start);
+    ps.round.patternsEncoded = incremental_->addProfile(profile_);
+    ps.round.encodeSeconds = secondsSince(start);
 
     start = Clock::now();
-    solve_ = incremental_->solve();
-    round.searchSeconds = secondsSince(start);
+    ps.result = incremental_->solve(ps.maxSolutions);
+    ps.round.searchSeconds = secondsSince(start);
     // A non-monotone rebuild replaces the SAT solver, resetting its
     // counters; the round then paid for the whole re-encode.
     if (incremental_->rebuilds() != rebuilds_before)
         clauses_before = 0;
-    round.clausesAdded =
+    ps.round.clausesAdded =
         incremental_->satSolver().stats().addedClauses - clauses_before;
-    round.solutions = solve_->solutions.size();
+    ps.round.solutions = ps.result.solutions.size();
+    ps.end = Clock::now();
+}
 
-    stats_.solveEncodeSeconds += round.encodeSeconds;
-    stats_.solveSearchSeconds += round.searchSeconds;
-    stats_.solveSeconds += round.encodeSeconds + round.searchSeconds;
-    stats_.solveRounds.push_back(round);
+void
+Session::recordSolve(PendingSolve &ps)
+{
+    // The candidates being displaced become the deferred-partition
+    // set: when the next round is measured, the solve recorded here
+    // is the one running beside it in the pipelined schedule, so the
+    // displaced solve is the freshest one that schedule has joined.
+    // Cleared (not kept sticky) when the displaced solve surfaced
+    // fewer than two candidates, mirroring the pipelined arm's
+    // "rank only when the joined solve has candidates" guard.
+    if (solve_ && solve_->solutions.size() >= 2)
+        staleCands_ = solve_->solutions;
+    else
+        staleCands_.clear();
 
-    solveWasCapped_ = cap;
+    solve_ = std::move(ps.result);
+
+    stats_.solveEncodeSeconds += ps.round.encodeSeconds;
+    stats_.solveSearchSeconds += ps.round.searchSeconds;
+    stats_.solveSeconds +=
+        ps.round.encodeSeconds + ps.round.searchSeconds;
+    stats_.solveRounds.push_back(ps.round);
+
+    solveWasCapped_ = ps.capped;
     countsDirty_ = false;
     ++stats_.solveCalls;
     stats_.sat.accumulate(solve_->stats);
 
     notify(SessionStage::Solve);
+}
+
+const BeerSolveResult &
+Session::solve()
+{
+    PendingSolve ps;
+    prepareSolve(ps);
+    solveCore(ps);
+    recordSolve(ps);
     return *solve_;
+}
+
+std::vector<TestPattern>
+Session::escalationPlan() const
+{
+    auto two_charged = chargedPatterns(mem_.datawordBits(), 2);
+    if (config_.adaptiveEarlyExit)
+        std::reverse(two_charged.begin(), two_charged.end());
+    return two_charged;
 }
 
 bool
@@ -179,9 +338,7 @@ Session::escalate()
     if (escalated_)
         return false;
     escalated_ = true;
-    auto two_charged = chargedPatterns(mem_.datawordBits(), 2);
-    if (config_.adaptiveEarlyExit)
-        std::reverse(two_charged.begin(), two_charged.end());
+    const auto two_charged = escalationPlan();
     pending_.insert(pending_.end(), two_charged.begin(),
                     two_charged.end());
     ++stats_.escalations;
@@ -214,6 +371,8 @@ Session::finished() const
 RecoveryReport
 Session::run()
 {
+    if (config_.pipelined)
+        return runPipelined();
     while (true) {
         if (measureRound()) {
             // Outside adaptive mode the round covered every pending
@@ -235,6 +394,202 @@ Session::run()
             solve();
         break;
     }
+    notify(SessionStage::Done);
+    return report();
+}
+
+namespace
+{
+
+/** Seconds the two steady-clock windows overlap. */
+double
+windowOverlap(std::chrono::steady_clock::time_point a_start,
+              std::chrono::steady_clock::time_point a_end,
+              std::chrono::steady_clock::time_point b_start,
+              std::chrono::steady_clock::time_point b_end)
+{
+    const auto start = std::max(a_start, b_start);
+    const auto end = std::min(a_end, b_end);
+    if (end <= start)
+        return 0.0;
+    return std::chrono::duration<double>(end - start).count();
+}
+
+} // anonymous namespace
+
+RecoveryReport
+Session::runPipelined()
+{
+    util::ThreadPool *pool = config_.solverPool;
+    if (!pool) {
+        // Background priority: the solve task should consume only CPU
+        // time the measurement loop is not using (refresh-pause idle,
+        // join blocks) — competing with the measurement datapath for
+        // cycles would stretch its wall clock by exactly the cycles
+        // borrowed and hide nothing.
+        if (!privatePool_)
+            privatePool_ = std::make_unique<util::ThreadPool>(
+                2, /*background=*/true);
+        pool = privatePool_.get();
+    }
+
+    // The solver context's structural constraints (column validity,
+    // distinctness, symmetry breaking) depend only on the dataword
+    // geometry, never on measurements — so build the context on a
+    // worker while round 1 measures. Without this the session's first
+    // solve is its most expensive (construction dominates it) and
+    // runs fully exposed; with it, round 1's refresh pauses hide the
+    // construction and the first solve shrinks to round 1's encode
+    // and search. Pure wall-clock: the serial twin runs the identical
+    // construction inside its first solve.
+    util::ClaimableTask prebuild;
+    if (config_.incrementalSolve && !incremental_) {
+        const std::size_t k = mem_.datawordBits();
+        prebuild = util::ClaimableTask(*pool, [this, k] {
+            incremental_.emplace(k, ecc::parityBitsForDataBits(k),
+                                 config_.solver);
+        });
+    }
+
+    // Round 1 has nothing else to overlap with (no solve exists yet),
+    // and its solve joins inline too: the remaining first-solve work
+    // is cheap (the search is underconstrained and the two-solution
+    // cap is hit almost immediately), and joining it before selecting
+    // round 2 keeps that round's partition fresh — the deferred
+    // schedule would otherwise spend round 2 on an unranked pattern.
+    measureRound();
+    prebuild.join();
+    solve();
+    if (solve_->unique()) {
+        notify(SessionStage::Done);
+        return report();
+    }
+    if (pendingPatternCount() > 0) {
+        measureRound(); // round 2: fresh partition, like the twin
+    } else if (canEscalate()) {
+        // Round 1 consumed the whole plan: mirror the serial loop
+        // (escalate, then a fresh-partitioned first 2-CHARGED round)
+        // before the pipeline takes over.
+        escalate();
+        measureRound();
+    } else {
+        // Round 1 consumed the whole plan and nothing is left to try:
+        // the inline solve was launched uncapped and is final.
+        notify(SessionStage::Done);
+        return report();
+    }
+
+    while (true) {
+        // Launch this round's solve asynchronously. prepareSolve runs
+        // on this thread (it reads counts_ and the pending plan);
+        // solveCore owns incremental_/profile_ until the join.
+        PendingSolve ps;
+        prepareSolve(ps);
+        ps.task = util::ClaimableTask(*pool, [this, &ps] {
+            solveCore(ps);
+        });
+
+        // Measure the next round while the solve runs. Its chunk is
+        // selected by the deferred-partition policy: ranked by the
+        // candidates of the freshest JOINED solve — the one whose
+        // evidence the in-flight solve is consuming — because the
+        // in-flight outcome is not available yet. The serial twin
+        // (SessionConfig::deferredPartition) makes the identical
+        // choice from staleCands_, so both arms issue the identical
+        // chip-operation sequence and recover bit-identical results.
+        // When the plan is dry but an escalation is still possible,
+        // the escalation that the in-flight solve may trigger is
+        // speculated the same way: the would-be first 2-CHARGED chunk
+        // (same partition policy over the escalation plan) is
+        // measured beside the solve, committed only if the solve
+        // comes back non-unique.
+        std::vector<TestPattern> ahead;
+        ProfileCounts ahead_counts;
+        double ahead_seconds = 0.0;
+        bool ahead_escalates = false;
+        // Stop the speculative measurement early once the in-flight
+        // solve has finished AND already proved uniqueness: the round
+        // is then certain to be discarded, so its remaining refresh
+        // pauses would be pure waste. ready() synchronizes with the
+        // worker's completion, so reading ps.result after it returns
+        // true is race-free; a false return touches nothing.
+        const auto doomed = [&ps] {
+            return ps.task.ready() && ps.result.unique();
+        };
+        const auto meas_start = Clock::now();
+        if (pendingPatternCount() > 0) {
+            if (config_.adaptiveEarlyExit && solve_ &&
+                solve_->solutions.size() >= 2)
+                rankPendingBy(solve_->solutions);
+            ahead = peekChunk();
+            nextPending_ += ahead.size();
+            ahead_counts = measureChunk(ahead, ahead_seconds, doomed);
+        } else if (canEscalate()) {
+            std::vector<TestPattern> plan = escalationPlan();
+            if (config_.adaptiveEarlyExit && solve_ &&
+                solve_->solutions.size() >= 2)
+                rankPatterns(plan.begin(), plan.end(),
+                             solve_->solutions);
+            plan.resize(chunkLimit(plan.size()));
+            ahead = std::move(plan);
+            ahead_escalates = true;
+            ahead_counts = measureChunk(ahead, ahead_seconds, doomed);
+        }
+        const auto meas_end = Clock::now();
+
+        const bool ran_inline = ps.task.join();
+        recordSolve(ps);
+        if (!ran_inline && !ahead.empty()) {
+            ++stats_.speculatedRounds;
+            stats_.overlapSeconds += windowOverlap(
+                ps.start, ps.end, meas_start, meas_end);
+        }
+
+        if (solve_->unique()) {
+            // Committed evidence already pins the function; the round
+            // measured beside this solve overshot the early exit and
+            // is dropped unseen (a speculated escalation never
+            // happens at all). Its chip operations all came after
+            // every committed one, so committed evidence (and the
+            // serial twin's RNG stream) is untouched.
+            if (!ahead.empty()) {
+                ++stats_.discardedRounds;
+                // Count what the chip actually executed, not the
+                // round's plan: the doomed() cancel usually aborts
+                // the measurement partway through.
+                const std::size_t words_per_experiment =
+                    config_.wordsUnderTest.empty()
+                        ? mem_.numWords()
+                        : config_.wordsUnderTest.size();
+                std::uint64_t observations = 0;
+                for (const std::uint64_t tested :
+                     ahead_counts.wordsTested)
+                    observations += tested;
+                stats_.discardedMeasurements +=
+                    observations / words_per_experiment;
+            }
+            break;
+        }
+        if (ahead.empty()) {
+            // Plan dry, no escalation left: the solve above was
+            // launched with moreEvidenceAvailable() false, hence
+            // uncapped — exactly the serial loop's final solve.
+            break;
+        }
+        if (ahead_escalates) {
+            // The solve confirmed the escalation the measured-ahead
+            // chunk anticipated. Replaying its selection over the
+            // now-appended plan (same candidates — recordSolve()
+            // banked them in staleCands_ — same stable ranking)
+            // consumes exactly the patterns already measured.
+            escalate();
+            if (config_.adaptiveEarlyExit && !staleCands_.empty())
+                rankPendingBy(staleCands_);
+            nextPending_ += ahead.size();
+        }
+        commitRound(ahead, ahead_counts, ahead_seconds);
+    }
+
     notify(SessionStage::Done);
     return report();
 }

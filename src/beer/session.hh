@@ -38,14 +38,45 @@
  * including the per-round encode/search split) and reports through an
  * optional progress callback, so long-running recoveries are
  * observable and resumable between stages.
+ *
+ * SessionConfig::pipelined replaces the serial measure -> solve
+ * barrier with a task-graph pipeline: round r's solve runs on a
+ * util::ThreadPool task while the backend measures round r+1's
+ * patterns, and the session joins the task only when the adaptive
+ * early-exit decision actually needs the solution count. For the two
+ * sides to proceed concurrently, round r+1's chunk must be selected
+ * before solve r finishes, so active pattern selection runs one
+ * solve stale: the partition that orders the pending tail uses the
+ * freshest solve that has already JOINED (r-1), not the one in
+ * flight. That deferred-partition schedule is a property of the
+ * schedule, not of concurrency — SessionConfig::deferredPartition
+ * runs the plain serial loop under the identical policy, and because
+ * the chip sees the exact same operations in the exact same order,
+ * a pipelined session and its serial twin produce bit-identical
+ * profiles, counts, and recovered functions (the differential tests
+ * assert this). Against the default serial schedule (which partitions
+ * with the just-finished solve, one round fresher) the recovered
+ * function is still identical — both converge to the provably unique
+ * ECC function — though the pattern count may differ by a round or
+ * two. The win is the solver time hidden behind measurement latency
+ * (SessionStats::overlapSeconds): on real chips a refresh-pause
+ * round costs minutes while a capped incremental solve costs
+ * seconds-to-minutes, so hiding the solve entirely approaches a 2x
+ * end-to-end reduction; see bench/session_speedup.cc --pipeline for
+ * measured numbers. The only speculative cost is the one chunk
+ * measured ahead while the final solve proves uniqueness
+ * (SessionStats::discardedMeasurements).
  */
 
 #ifndef BEER_BEER_SESSION_HH
 #define BEER_BEER_SESSION_HH
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "beer/measure.hh"
@@ -53,6 +84,7 @@
 #include "beer/profile.hh"
 #include "beer/solver.hh"
 #include "dram/memory_interface.hh"
+#include "util/thread_pool.hh"
 
 namespace beer
 {
@@ -121,6 +153,31 @@ struct SessionStats
     std::uint64_t patternMeasurements = 0;
     /** Total word read-backs observed. */
     std::uint64_t wordObservations = 0;
+    /**
+     * Solver wall-clock hidden behind concurrent measurement
+     * (pipelined mode): the intersection of each async solve's
+     * execution window with the measure-ahead of the next round
+     * running beside it. 0 in serial mode.
+     */
+    double overlapSeconds = 0.0;
+    /** Rounds measured while a solve ran concurrently beside them. */
+    std::size_t speculatedRounds = 0;
+    /**
+     * Measured-ahead rounds never committed because the solve running
+     * beside them proved uniqueness, ending the session first. At
+     * most one per run.
+     */
+    std::size_t discardedRounds = 0;
+    /**
+     * Experiments actually performed for those never-committed
+     * rounds. Physical test time burned on overshooting the early
+     * exit — NOT part of patternMeasurements, which counts committed
+     * evidence only and so stays comparable with the serial twin.
+     * Usually well under a full round: speculative measurement aborts
+     * between experiments as soon as the solve beside it proves
+     * uniqueness.
+     */
+    std::uint64_t discardedMeasurements = 0;
     /** SAT statistics accumulated across all solve() calls. */
     sat::SolverStats sat;
 };
@@ -159,6 +216,49 @@ struct SessionConfig
      * every word (correct only for all-true-cell backends).
      */
     std::vector<std::size_t> wordsUnderTest;
+    /**
+     * Select each round's patterns with the partition pair of the
+     * last solve already joined when the previous round was measured
+     * — one solve stale — instead of the just-finished solve. This is
+     * the schedule a pipelined session necessarily follows (the fresh
+     * solve is still in flight when the next chunk starts measuring);
+     * setting it on a serial session yields the pipelined schedule's
+     * bit-exact twin for differential testing. Ignored when pipelined
+     * (implied) or without adaptive early exit (no partitioning).
+     */
+    bool deferredPartition = false;
+    /**
+     * Overlap solving with measurement: run() executes each adaptive
+     * solve on a pool task while the backend measures the next
+     * round's patterns beside it (see the file comment). The
+     * recovered function is identical to the serial path's; the
+     * measurement schedule is the deferredPartition one. The staged
+     * API (measureRound()/solve()/escalate()) stays serial either
+     * way.
+     */
+    bool pipelined = false;
+    /**
+     * Candidate functions enumerated by each capped solve under the
+     * stale-partition schedules (deferredPartition or pipelined);
+     * clamped to at least 2. The default serial schedule always stops
+     * at two — enough to decide uniqueness and rank the next round —
+     * but a stale schedule ranks round r+1 on solve r-1's candidates,
+     * some of which round r may already have eliminated, so widening
+     * the set gives the ranking pairs that are still plausible. In
+     * practice the default 2 wins: enumerating past two makes every
+     * tail solve pay the near-UNSAT proof that no further candidate
+     * exists (the expensive part of the final uniqueness check),
+     * which the refresh pauses cannot hide.
+     */
+    std::size_t deferredCandidates = 2;
+    /**
+     * Pool that runs the pipelined solve tasks (at most one in flight
+     * per session). Must outlive the session. nullptr = the session
+     * lazily creates a private two-thread pool when pipelined. The
+     * claimable-task handoff never deadlocks on a busy shared pool:
+     * if no worker picks the solve up, the join runs it inline.
+     */
+    util::ThreadPool *solverPool = nullptr;
     /** Invoked after every stage when set. */
     std::function<void(const SessionProgress &)> onProgress;
 };
@@ -236,10 +336,60 @@ class Session
     RecoveryReport report() const;
 
   private:
+    /** One solve round's inputs and outputs; in pipelined mode the
+     * core runs on a pool task while this struct carries the results
+     * (and the execution window, for overlap accounting) back to the
+     * session thread at join. */
+    struct PendingSolve
+    {
+        std::size_t maxSolutions = 0;
+        /** True iff capped to the two-solution uniqueness check. */
+        bool capped = false;
+        BeerSolveResult result;
+        SolveRoundStats round;
+        std::chrono::steady_clock::time_point start{};
+        std::chrono::steady_clock::time_point end{};
+        util::ClaimableTask task;
+    };
+
     bool canEscalate() const;
     /** True while another measurement could still refine the solve. */
     bool moreEvidenceAvailable() const;
     void notify(SessionStage stage);
+
+    /** Patterns one round may take from @p available pending ones. */
+    std::size_t chunkLimit(std::size_t available) const;
+    /** Active pattern selection over the pending tail (see .cc). */
+    void partitionPending();
+    /** Rank the pending tail: patterns distinguishing more pairs of
+     * @p cands first (stable; for two candidates this is the classic
+     * active-selection partition). */
+    void rankPendingBy(const std::vector<ecc::LinearCode> &cands);
+    /** Copy of the next chunk, without consuming it. */
+    std::vector<TestPattern> peekChunk() const;
+    /** The 2-CHARGED plan escalate() would append, in session order. */
+    std::vector<TestPattern> escalationPlan() const;
+    /** Measure @p round (no bookkeeping); wall-clock into @p seconds.
+     * A non-empty @p cancel aborts between experiments (speculative
+     * rounds stop once the solve beside them proves uniqueness). */
+    ProfileCounts measureChunk(const std::vector<TestPattern> &round,
+                               double &seconds,
+                               const std::function<bool()> &cancel = {});
+    /** Merge measured observations + stats + progress notification. */
+    void commitRound(const std::vector<TestPattern> &round,
+                     const ProfileCounts &observed, double seconds);
+    /** Experiments one pattern round costs (pauses x repeats). */
+    std::uint64_t experimentsFor(std::size_t patterns) const;
+
+    /** Threshold the counts and derive this round's enumeration cap. */
+    void prepareSolve(PendingSolve &ps);
+    /** Encode + search (thread-safe: exclusive solver ownership). */
+    void solveCore(PendingSolve &ps);
+    /** Publish a finished solve into solve_/stats_ and notify. */
+    void recordSolve(PendingSolve &ps);
+
+    /** The pipelined run() loop; see the file comment. */
+    RecoveryReport runPipelined();
 
     dram::MemoryInterface &mem_;
     SessionConfig config_;
@@ -258,6 +408,16 @@ class Session
     /** True iff counts_ changed since solve_ was produced. */
     bool countsDirty_ = false;
     bool escalated_ = false;
+    /** Lazily created when pipelined without a configured solverPool. */
+    std::unique_ptr<util::ThreadPool> privatePool_;
+    /**
+     * Candidate set of the second-most-recent solve, for the serial
+     * deferredPartition schedule: when round r+1 is measured, this
+     * holds solve r-1's candidates — exactly the freshest JOINED
+     * solve at the moment a pipelined session selects the same chunk.
+     * Empty when that solve surfaced fewer than two candidates.
+     */
+    std::vector<ecc::LinearCode> staleCands_;
     SessionStats stats_;
 };
 

@@ -312,6 +312,16 @@ IncrementalSolver::setMaxSolutions(std::size_t max_solutions)
     impl_->config.maxSolutions = max_solutions;
 }
 
+BeerSolveResult
+IncrementalSolver::solve(std::size_t max_solutions)
+{
+    const std::size_t previous = impl_->config.maxSolutions;
+    impl_->config.maxSolutions = max_solutions;
+    BeerSolveResult result = solve();
+    impl_->config.maxSolutions = previous;
+    return result;
+}
+
 void
 IncrementalSolver::rebuild()
 {

@@ -36,6 +36,15 @@
  *    sat::Solver group, so a solution blocked while checking
  *    uniqueness in round r is re-reported in round r+1 if it is still
  *    consistent with the grown profile.
+ *
+ * Threading: neither engine uses global or static mutable state, so
+ * distinct solver instances are independent, and ONE instance may be
+ * handed between threads as long as ownership is exclusive at any
+ * moment and the handoff synchronizes (mutex, task join, ...). The
+ * pipelined session (beer/session.hh) relies on this: the session
+ * thread prepares the profile delta, a pool task runs
+ * addProfile()+solve(max) exclusively, and the session only touches
+ * the context again after joining the task.
  */
 
 #ifndef BEER_BEER_SOLVER_HH
@@ -125,6 +134,15 @@ class IncrementalSolver
      * SolverStats are the delta for this call.
      */
     BeerSolveResult solve();
+
+    /**
+     * solve() with a one-call enumeration cap (0 = find all). The
+     * configured cap is restored afterwards. This is the preferred
+     * form when the solve runs on another thread: the cap travels
+     * with the call instead of requiring a separate setMaxSolutions()
+     * that would have to be sequenced across the handoff.
+     */
+    BeerSolveResult solve(std::size_t max_solutions);
 
     /** Outcome of a warmStart() presolve. */
     struct WarmStartStats

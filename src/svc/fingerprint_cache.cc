@@ -147,6 +147,20 @@ FingerprintCache::lookup(const MiscorrectionProfile &profile,
     return lookupLocked(profile, parity_bits);
 }
 
+std::vector<FingerprintCache::Hit>
+FingerprintCache::lookupMany(const std::vector<LookupRequest> &requests)
+{
+    std::vector<Hit> hits;
+    hits.reserve(requests.size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batchedPasses;
+    stats_.batchedRequests += requests.size();
+    for (const LookupRequest &request : requests)
+        hits.push_back(
+            lookupLocked(*request.profile, request.parityBits));
+    return hits;
+}
+
 void
 FingerprintCache::insertLocked(Entry entry)
 {

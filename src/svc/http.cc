@@ -124,7 +124,8 @@ jobJson(const JobStatus &job)
         << (job.succeeded ? "true" : "false")
         << ",\"solutions\":" << job.solutions << ",\"complete\":"
         << (job.complete ? "true" : "false") << ",\"cache\":\""
-        << cacheName(job.cache) << "\",\"seconds\":" << job.seconds;
+        << cacheName(job.cache) << "\",\"seconds\":" << job.seconds
+        << ",\"overlap_seconds\":" << job.overlapSeconds;
     if (!job.codeString.empty())
         out << ",\"code\":\"" << jsonEscape(job.codeString) << "\"";
     if (!job.error.empty())
@@ -152,15 +153,23 @@ healthJson(const HealthReport &health)
         << ",\"queued\":" << health.scheduler.queued
         << ",\"running\":" << health.scheduler.running
         << ",\"peak_concurrent\":" << health.scheduler.peakConcurrent
-        << "},\"cache\":{\"entries\":" << health.cache.entries
+        << ",\"queue_depth\":" << health.queueDepth
+        << ",\"jobs\":{\"queued\":" << health.jobStates.queued
+        << ",\"running\":" << health.jobStates.running
+        << ",\"done\":" << health.jobStates.done
+        << ",\"failed\":" << health.jobStates.failed
+        << "}},\"cache\":{\"entries\":" << health.cache.entries
         << ",\"exact_hits\":" << health.cache.exactHits
         << ",\"near_hits\":" << health.cache.nearHits
         << ",\"misses\":" << health.cache.misses
         << ",\"inserts\":" << health.cache.inserts
         << ",\"evictions\":" << health.cache.evictions
         << ",\"loaded\":" << health.cache.loadedEntries
+        << ",\"batched_passes\":" << health.cache.batchedPasses
+        << ",\"batched_requests\":" << health.cache.batchedRequests
         << "},\"sat_solves\":" << health.satSolves
-        << ",\"legacy_payloads\":" << health.legacyPayloads << "}";
+        << ",\"legacy_payloads\":" << health.legacyPayloads
+        << ",\"batched_lookups\":" << health.batchedLookups << "}";
     return out.str();
 }
 

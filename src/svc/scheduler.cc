@@ -112,4 +112,29 @@ SessionScheduler::stats() const
     return stats_;
 }
 
+JobStateCounts
+SessionScheduler::stateCounts() const
+{
+    JobStateCounts counts;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[id, state] : jobs_) {
+        (void)id;
+        switch (state) {
+        case JobState::Queued:
+            ++counts.queued;
+            break;
+        case JobState::Running:
+            ++counts.running;
+            break;
+        case JobState::Done:
+            ++counts.done;
+            break;
+        case JobState::Failed:
+            ++counts.failed;
+            break;
+        }
+    }
+    return counts;
+}
+
 } // namespace beer::svc

@@ -66,6 +66,17 @@ struct SchedulerStats
     std::uint64_t peakConcurrent = 0;
 };
 
+/** Jobs per lifecycle state, counted over every job ever issued —
+ * the health endpoint's load-shedding diagnostic (a full queue shows
+ * up as `queued` pinned at maxQueuedJobs). */
+struct JobStateCounts
+{
+    std::uint64_t queued = 0;
+    std::uint64_t running = 0;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+};
+
 /** Job scheduler over a shared thread pool; see file comment. */
 class SessionScheduler
 {
@@ -101,6 +112,9 @@ class SessionScheduler
     std::optional<JobState> state(JobId id) const;
 
     SchedulerStats stats() const;
+
+    /** Per-state job census under one lock acquisition. */
+    JobStateCounts stateCounts() const;
 
   private:
     void runJob(JobId id, const std::function<void(JobId)> &work);

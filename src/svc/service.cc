@@ -41,6 +41,9 @@ struct RecoveryService::JobRecord
     MiscorrectionProfile profile;
     /** Non-empty for trace submissions. */
     std::string tracePath;
+    /** Non-null for chip-endpoint session submissions. */
+    dram::MemoryInterface *sessionMem = nullptr;
+    SessionSubmitOptions sessionOptions;
     std::mutex mutex;
     JobStatus status;
 };
@@ -188,6 +191,141 @@ RecoveryService::submitTraceFile(const std::string &path,
     return outcome;
 }
 
+SubmitOutcome
+RecoveryService::submitSession(dram::MemoryInterface &mem,
+                               const SessionSubmitOptions &options)
+{
+    if (stopped_.load())
+        return rejected(SubmitOutcome::Reject::Overloaded,
+                        "service is shutting down");
+    const std::size_t k = mem.datawordBits();
+    if (k == 0 || k > kMaxDatawordBits)
+        return rejected(SubmitOutcome::Reject::BadPayload,
+                        "chip dataword length outside service limits");
+    const std::size_t parity = ecc::parityBitsForDataBits(k);
+    if (parity > kMaxParityBits)
+        return rejected(SubmitOutcome::Reject::BadPayload,
+                        "parity-bit count exceeds service limit");
+
+    auto record = std::make_unique<JobRecord>();
+    record->sessionMem = &mem;
+    record->sessionOptions = options;
+    record->status.k = k;
+    record->status.parityBits = parity;
+
+    JobRecord *ptr = record.get();
+    const JobId id = scheduler_->submit([this, ptr](JobId job_id) {
+        {
+            std::lock_guard<std::mutex> lock(ptr->mutex);
+            ptr->status.id = job_id;
+        }
+        runJob(*ptr);
+    });
+    if (id == 0)
+        return rejected(SubmitOutcome::Reject::Overloaded,
+                        "job queue is full, retry later");
+    {
+        std::lock_guard<std::mutex> lock(ptr->mutex);
+        ptr->status.id = id;
+    }
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        jobs_.emplace(id, std::move(record));
+    }
+    SubmitOutcome outcome;
+    outcome.accepted = true;
+    outcome.id = id;
+    return outcome;
+}
+
+FingerprintCache::Hit
+RecoveryService::batchedLookup(const MiscorrectionProfile &profile,
+                               std::size_t parity_bits)
+{
+    LookupWaiter waiter;
+    waiter.profile = &profile;
+    waiter.parityBits = parity_bits;
+
+    std::unique_lock<std::mutex> lock(lookupMutex_);
+    lookupQueue_.push_back(&waiter);
+    if (lookupLeaderActive_) {
+        // A leader is already serving the queue; it will carry this
+        // request in its next lookupMany() pass.
+        lookupServed_.wait(lock, [&] { return waiter.served; });
+        return std::move(waiter.hit);
+    }
+
+    lookupLeaderActive_ = true;
+    while (!lookupQueue_.empty()) {
+        std::vector<LookupWaiter *> batch(lookupQueue_.begin(),
+                                          lookupQueue_.end());
+        lookupQueue_.clear();
+        lock.unlock();
+
+        std::vector<FingerprintCache::LookupRequest> requests;
+        requests.reserve(batch.size());
+        for (const LookupWaiter *w : batch)
+            requests.push_back({w->profile, w->parityBits});
+        std::vector<FingerprintCache::Hit> hits =
+            cache_->lookupMany(requests);
+        if (batch.size() > 1)
+            batchedLookups_.fetch_add(batch.size(),
+                                      std::memory_order_relaxed);
+
+        lock.lock();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            batch[i]->hit = std::move(hits[i]);
+            batch[i]->served = true;
+        }
+        lookupServed_.notify_all();
+        // Requests that arrived while the pass ran are in the queue
+        // again; keep leading until it drains.
+    }
+    lookupLeaderActive_ = false;
+    return std::move(waiter.hit);
+}
+
+void
+RecoveryService::runSessionJob(JobRecord &record)
+{
+    SessionConfig config;
+    config.measure = record.sessionOptions.measure;
+    config.solver = config_.solver;
+    config.escalateToTwoCharged =
+        record.sessionOptions.escalateToTwoCharged;
+    config.adaptiveEarlyExit = record.sessionOptions.adaptiveEarlyExit;
+    config.wordsUnderTest = record.sessionOptions.wordsUnderTest;
+    config.pipelined = record.sessionOptions.pipelined;
+    // Solve tasks ride the service pool: while this job's worker
+    // blocks on the chip, an idle worker picks the solve up — one job,
+    // two busy cores. The claimable-task handoff keeps a saturated
+    // pool safe (the join runs the solve inline instead of waiting).
+    config.solverPool = pool_.get();
+
+    Session session(*record.sessionMem, config);
+    const RecoveryReport report = session.run();
+    // One job, one answer-producing solve path (the session's rounds
+    // share an incremental context), matching the counter's "jobs
+    // answered by SAT" meaning.
+    satSolves_.fetch_add(1, std::memory_order_relaxed);
+
+    const std::size_t parity =
+        ecc::parityBitsForDataBits(report.profile.k);
+    if (report.succeeded())
+        cache_->insert(report.profile, parity, report.recoveredCode());
+
+    std::lock_guard<std::mutex> lock(record.mutex);
+    record.status.patterns = report.profile.patterns.size();
+    record.status.succeeded = report.succeeded();
+    record.status.solutions = report.solve.solutions.size();
+    record.status.complete = report.solve.complete;
+    if (report.succeeded()) {
+        record.status.code = report.recoveredCode();
+        record.status.codeString = record.status.code->toString();
+    }
+    record.status.overlapSeconds = report.stats.overlapSeconds;
+}
+
 void
 RecoveryService::runJob(JobRecord &record)
 {
@@ -202,6 +340,17 @@ RecoveryService::runJob(JobRecord &record)
         config_.onJobStart(id);
 
     try {
+        if (record.sessionMem) {
+            runSessionJob(record);
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+            std::lock_guard<std::mutex> lock(record.mutex);
+            record.status.seconds = seconds;
+            record.status.state = JobState::Done;
+            return;
+        }
         // Trace submissions re-measure their profile first.
         if (!record.tracePath.empty()) {
             dram::TraceReplayBackend trace(record.tracePath);
@@ -224,7 +373,7 @@ RecoveryService::runJob(JobRecord &record)
 
         FingerprintCache::Hit hit;
         if (!record.options.bypassCache)
-            hit = cache_->lookup(profile, parity);
+            hit = batchedLookup(profile, parity);
 
         JobStatus result;
         if (hit.kind == FingerprintCache::Hit::Kind::Exact) {
@@ -344,10 +493,14 @@ RecoveryService::health() const
     report.poolActiveTasks = pool_->activeTasks();
     report.poolCompletedTasks = pool_->completedTasks();
     report.scheduler = scheduler_->stats();
+    report.jobStates = scheduler_->stateCounts();
+    report.queueDepth = report.scheduler.queued;
     report.cache = cache_->stats();
     report.satSolves = satSolves_.load(std::memory_order_relaxed);
     report.legacyPayloads =
         legacyPayloads_.load(std::memory_order_relaxed);
+    report.batchedLookups =
+        batchedLookups_.load(std::memory_order_relaxed);
     return report;
 }
 

@@ -41,10 +41,14 @@
 #include <vector>
 
 #include "beer/profile.hh"
+#include "beer/session.hh"
 #include "beer/solver.hh"
 #include "svc/fingerprint_cache.hh"
 #include "svc/scheduler.hh"
 #include "util/thread_pool.hh"
+
+#include <condition_variable>
+#include <deque>
 
 namespace beer::svc
 {
@@ -59,6 +63,26 @@ struct SubmitOptions
     std::size_t parityBits = 0;
     /** Skip the cache lookup (the solve still populates it). */
     bool bypassCache = false;
+};
+
+/** Options for a chip-endpoint session submission. */
+struct SessionSubmitOptions
+{
+    /** Measurement plan the session drives against the chip. */
+    MeasureConfig measure = MeasureConfig::paperDefault();
+    /**
+     * Overlap the session's SAT solves with its measurement rounds on
+     * the service pool (beer::Session pipelined mode). The job then
+     * occupies one scheduler slot for measurement while its solve
+     * tasks soak up an otherwise-idle worker; results are identical
+     * to a serial session.
+     */
+    bool pipelined = true;
+    /** Session knobs beyond the solver/measure plan. */
+    bool escalateToTwoCharged = true;
+    bool adaptiveEarlyExit = true;
+    /** Words to program and observe (empty = every word). */
+    std::vector<std::size_t> wordsUnderTest;
 };
 
 /** Outcome of a submit call. */
@@ -112,6 +136,13 @@ struct JobStatus
     CacheOutcome cache = CacheOutcome::None;
     /** Wall-clock seconds inside the job body. */
     double seconds = 0.0;
+    /**
+     * Solver seconds hidden behind concurrent measurement
+     * (SessionStats::overlapSeconds). Nonzero only for pipelined
+     * session jobs (submitSession); profile/payload/trace jobs carry
+     * no measurement to overlap with.
+     */
+    double overlapSeconds = 0.0;
     /** Set when state == Failed. */
     std::string error;
 };
@@ -135,11 +166,20 @@ struct HealthReport
     std::uint64_t poolActiveTasks = 0;
     std::uint64_t poolCompletedTasks = 0;
     SchedulerStats scheduler;
+    /** Per-state census of every job issued: Queued pinned at
+     * maxQueuedJobs plus rejected submissions rising = load shedding
+     * in progress; Failed rising = job bodies are throwing. */
+    JobStateCounts jobStates;
+    /** Jobs waiting for a worker right now (scheduler queue depth). */
+    std::uint64_t queueDepth = 0;
     FingerprintCacheStats cache;
     /** Jobs answered by a SAT solve (cache hits excluded). */
     std::uint64_t satSolves = 0;
     /** Version-1 (legacy) payloads accepted and migrated. */
     std::uint64_t legacyPayloads = 0;
+    /** Cache lookups that rode a combined (single-lock) batch pass
+     * with at least one other concurrent lookup. */
+    std::uint64_t batchedLookups = 0;
 };
 
 /** Construction knobs for the service. */
@@ -195,6 +235,19 @@ class RecoveryService
     SubmitOutcome submitTraceFile(const std::string &path,
                                   const SubmitOptions &options = {});
 
+    /**
+     * Submit a chip *endpoint*: the service runs the full adaptive
+     * measure -> solve recovery session against @p mem as one job,
+     * pipelined by default so the job keeps a measurement slot and a
+     * solver core busy simultaneously (ROADMAP fleet phase 2). The
+     * caller keeps ownership of @p mem and must keep it alive and
+     * untouched until the job finishes; the job's worker thread is
+     * the only thread driving it. A unique recovery populates the
+     * fingerprint cache exactly like a profile submission.
+     */
+    SubmitOutcome submitSession(dram::MemoryInterface &mem,
+                                const SessionSubmitOptions &options = {});
+
     /** Snapshot of one job; nullopt if the id was never issued. */
     std::optional<JobStatus> job(JobId id) const;
 
@@ -228,6 +281,18 @@ class RecoveryService
     SubmitOutcome enqueue(MiscorrectionProfile profile,
                           const SubmitOptions &options);
     void runJob(JobRecord &record);
+    void runSessionJob(JobRecord &record);
+
+    /**
+     * Cache lookup via the combining batcher: concurrent callers
+     * queue their requests and one leader serves the whole queue with
+     * a single FingerprintCache::lookupMany() pass (one lock
+     * acquisition for N lookups) while the rest wait for their slot's
+     * answer. Requests that shared a pass with another are counted in
+     * HealthReport::batchedLookups.
+     */
+    FingerprintCache::Hit batchedLookup(
+        const MiscorrectionProfile &profile, std::size_t parity_bits);
 
     ServiceConfig config_;
     std::unique_ptr<util::ThreadPool> pool_;
@@ -236,8 +301,23 @@ class RecoveryService
     mutable std::mutex jobsMutex_;
     /** Ordered by id, the pagination contract. */
     std::map<JobId, std::unique_ptr<JobRecord>> jobs_;
+
+    /** One waiting lookup in the combining batcher. */
+    struct LookupWaiter
+    {
+        const MiscorrectionProfile *profile = nullptr;
+        std::size_t parityBits = 0;
+        FingerprintCache::Hit hit;
+        bool served = false;
+    };
+    std::mutex lookupMutex_;
+    std::condition_variable lookupServed_;
+    std::deque<LookupWaiter *> lookupQueue_;
+    bool lookupLeaderActive_ = false;
+
     std::atomic<std::uint64_t> satSolves_{0};
     std::atomic<std::uint64_t> legacyPayloads_{0};
+    std::atomic<std::uint64_t> batchedLookups_{0};
     std::atomic<bool> stopped_{false};
     std::chrono::steady_clock::time_point start_;
 };

@@ -1,9 +1,34 @@
 #include "util/thread_pool.hh"
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 namespace beer::util
 {
 
-ThreadPool::ThreadPool(std::size_t num_threads)
+namespace
+{
+
+/**
+ * Drop the calling thread to idle scheduling priority: it then runs
+ * only on CPU time no normal-priority thread wants. Entering
+ * SCHED_IDLE never needs privileges (leaving it would, which is why
+ * this is applied to dedicated pool workers rather than toggled
+ * around individual tasks).
+ */
+void
+demoteToIdlePriority()
+{
+#ifdef __linux__
+    sched_param param{};
+    sched_setscheduler(0, SCHED_IDLE, &param);
+#endif
+}
+
+} // anonymous namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads, bool background)
 {
     if (num_threads == 0) {
         num_threads = std::thread::hardware_concurrency();
@@ -12,7 +37,11 @@ ThreadPool::ThreadPool(std::size_t num_threads)
     }
     workers_.reserve(num_threads - 1);
     for (std::size_t i = 1; i < num_threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, background] {
+            if (background)
+                demoteToIdlePriority();
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()
@@ -130,6 +159,84 @@ ThreadPool::parallelFor(std::size_t count,
     done_.wait(lock, [&] {
         return completed_.load() >= count_ && running_ == 0;
     });
+}
+
+struct ClaimableTask::State
+{
+    std::function<void()> fn;
+    /** Set by whichever thread wins the right to execute fn. */
+    std::atomic<bool> claimed{false};
+    std::mutex mutex;
+    std::condition_variable finished;
+    bool done = false;
+    std::exception_ptr error;
+
+    void execute()
+    {
+        try {
+            fn();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        // Notify under the lock: the joiner may release its reference
+        // the moment it observes done, leaving the worker's shared_ptr
+        // as the only owner — which is fine, but the notify must not
+        // race the waiter's re-check.
+        std::lock_guard<std::mutex> lock(mutex);
+        done = true;
+        finished.notify_all();
+    }
+};
+
+ClaimableTask::ClaimableTask(ThreadPool &pool, std::function<void()> fn)
+    : state_(std::make_shared<State>())
+{
+    state_->fn = std::move(fn);
+    std::shared_ptr<State> state = state_;
+    pool.submit([state] {
+        if (!state->claimed.exchange(true))
+            state->execute();
+    });
+}
+
+bool
+ClaimableTask::join()
+{
+    if (!state_)
+        return false;
+    const std::shared_ptr<State> state = std::move(state_);
+    bool ran_inline = false;
+    if (!state->claimed.exchange(true)) {
+        state->execute();
+        ran_inline = true;
+    } else {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->finished.wait(lock, [&] { return state->done; });
+    }
+    if (state->error)
+        std::rethrow_exception(state->error);
+    return ran_inline;
+}
+
+void
+ClaimableTask::cancel()
+{
+    if (!state_)
+        return;
+    const std::shared_ptr<State> state = std::move(state_);
+    if (!state->claimed.exchange(true))
+        return; // claimed before any worker: fn never runs
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->finished.wait(lock, [&] { return state->done; });
+}
+
+bool
+ClaimableTask::ready() const
+{
+    if (!state_)
+        return false;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->done;
 }
 
 } // namespace beer::util

@@ -18,6 +18,15 @@
  * The task queue is observable through queuedTasks() / activeTasks() /
  * completedTasks(), the counters the recovery service's health
  * endpoint reports.
+ *
+ * ClaimableTask builds joinable one-shot tasks on top of submit():
+ * whichever side reaches the work first — a pool worker or the thread
+ * calling join() — claims and executes it exactly once. Joins are
+ * therefore deadlock-free at any pool size and under any queue load:
+ * if every worker is busy, the joiner simply runs the task inline
+ * instead of waiting for a slot. The pipelined recovery session
+ * (beer/session.hh) uses this to overlap SAT solving with DRAM
+ * measurement without ever wedging on a saturated service pool.
  */
 
 #ifndef BEER_UTIL_THREAD_POOL_HH
@@ -28,7 +37,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -43,8 +54,22 @@ class ThreadPool
     /**
      * @param num_threads total threads that execute work, including
      *        the calling thread; 0 means hardware concurrency.
+     * @param background run the worker threads at idle scheduling
+     *        priority (SCHED_IDLE on Linux; no-op elsewhere), so pool
+     *        work consumes only CPU time the submitting threads are
+     *        not using. This is what the pipelined recovery session
+     *        wants from its solver pool: on a loaded or single-CPU
+     *        host the speculative solve then fills the idle time of
+     *        the measurement loop's refresh pauses instead of
+     *        time-slicing against its datapath — time-sliced solving
+     *        stretches the measurement wall clock by exactly the
+     *        cycles it borrows, hiding nothing. Whenever the
+     *        submitter genuinely blocks (refresh-pause sleep, task
+     *        join), the background worker is the only runnable thread
+     *        and proceeds at full speed, so joins never starve.
      */
-    explicit ThreadPool(std::size_t num_threads = 0);
+    explicit ThreadPool(std::size_t num_threads = 0,
+                        bool background = false);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -114,6 +139,53 @@ class ThreadPool
     std::size_t running_ = 0;
     std::uint64_t generation_ = 0;
     bool stop_ = false;
+};
+
+/**
+ * One-shot unit of work submitted to a ThreadPool that the owner can
+ * also execute itself: the function runs exactly once, on whichever
+ * thread claims it first. join() blocks until the function has
+ * finished; when no worker has claimed it yet, join() runs it inline
+ * on the calling thread, so joining can never deadlock — not on a
+ * workerless pool, not behind a full task queue.
+ */
+class ClaimableTask
+{
+  public:
+    /** Empty task; join() is a no-op until a real one is assigned. */
+    ClaimableTask() = default;
+
+    /** Hand @p fn to @p pool; a worker runs it unless join() wins. */
+    ClaimableTask(ThreadPool &pool, std::function<void()> fn);
+
+    /**
+     * Ensure fn has run and wait for it to finish, executing it on the
+     * calling thread when no worker claimed it yet. Rethrows fn's
+     * exception, if any. Idempotent; releases the task's state, so
+     * ready()/ranInline() answers must be read before a second join().
+     *
+     * @return true iff this call executed fn inline (no overlap
+     *         happened: the work ran after the join point, not before)
+     */
+    bool join();
+
+    /**
+     * Claim the task away from the pool without running it: when no
+     * worker has started fn yet, fn never runs at all; when one has,
+     * wait for it to finish (fn captures state the caller is about to
+     * invalidate). Swallows fn's exception. Releases the task's state.
+     */
+    void cancel();
+
+    /** True iff fn has finished (a join() would not block). */
+    bool ready() const;
+
+    /** True iff a task was assigned and not yet join()ed. */
+    bool active() const { return state_ != nullptr; }
+
+  private:
+    struct State;
+    std::shared_ptr<State> state_;
 };
 
 } // namespace beer::util

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <condition_variable>
 #include <mutex>
 #include <vector>
@@ -155,4 +156,49 @@ TEST(SvcScheduler, UnknownIdsAreReported)
     EXPECT_FALSE(scheduler.wait(42));
     EXPECT_EQ(scheduler.state(42), std::nullopt);
     EXPECT_FALSE(scheduler.wait(0));
+}
+
+TEST(SvcScheduler, StateCountsTrackJobLifecycles)
+{
+    ThreadPool pool(2); // one worker => strictly sequential
+    SessionScheduler scheduler(pool);
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    bool gate_running = false;
+    scheduler.submit([&](JobId) {
+        std::unique_lock<std::mutex> lock(mutex);
+        gate_running = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    scheduler.submit([](JobId) {});
+    scheduler.submit(
+        [](JobId) { throw std::runtime_error("injected"); });
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return gate_running; });
+    }
+
+    // The gate job is running and pins the single worker, so the
+    // other two must still be queued.
+    auto counts = scheduler.stateCounts();
+    EXPECT_EQ(counts.running, 1u);
+    EXPECT_EQ(counts.queued, 2u);
+    EXPECT_EQ(counts.done, 0u);
+    EXPECT_EQ(counts.failed, 0u);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    scheduler.drain();
+
+    counts = scheduler.stateCounts();
+    EXPECT_EQ(counts.running, 0u);
+    EXPECT_EQ(counts.queued, 0u);
+    EXPECT_EQ(counts.done, 2u);
+    EXPECT_EQ(counts.failed, 1u);
 }

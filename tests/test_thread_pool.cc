@@ -11,6 +11,8 @@
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hh"
@@ -171,4 +173,118 @@ TEST(ThreadPool, DisjointShardWritesNeedNoSynchronization)
                      [&](std::size_t i) { results[i] = i * i; });
     for (std::size_t i = 0; i < results.size(); ++i)
         EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ThreadPool, ClaimableTaskRunsSynchronouslyOnWorkerlessPool)
+{
+    // size()==1 pools have no workers: submit() executes inline, so
+    // the task has already run (exactly once) when the constructor
+    // returns, and join() only observes the completion.
+    ThreadPool pool(1);
+    std::atomic<int> runs{0};
+    beer::util::ClaimableTask task(pool, [&] { ++runs; });
+    EXPECT_TRUE(task.active());
+    EXPECT_TRUE(task.ready());
+    EXPECT_FALSE(task.join());
+    EXPECT_EQ(runs.load(), 1);
+    EXPECT_FALSE(task.active());
+    // Idempotent: a second join neither blocks nor re-runs.
+    EXPECT_FALSE(task.join());
+    EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPool, ClaimableTaskJoinRunsInlineWhenWorkersAreBusy)
+{
+    // Pin the only worker, then join an unclaimed task: join() must
+    // execute it on the calling thread (this is what makes pipelined
+    // sessions deadlock-free on a saturated service pool) and report
+    // the inline execution.
+    ThreadPool pool(2);
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    pool.submit([&] {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return release; });
+    });
+    std::atomic<int> runs{0};
+    beer::util::ClaimableTask task(pool, [&] { ++runs; });
+    EXPECT_TRUE(task.join());
+    EXPECT_EQ(runs.load(), 1);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    while (pool.completedTasks() < 2)
+        std::this_thread::yield();
+}
+
+TEST(ThreadPool, ClaimableTaskWorkerClaimObservableThroughReady)
+{
+    ThreadPool pool(2);
+    std::atomic<int> runs{0};
+    beer::util::ClaimableTask task(pool, [&] { ++runs; });
+    while (!task.ready())
+        std::this_thread::yield();
+    // The worker ran it; join() must not execute it again.
+    EXPECT_FALSE(task.join());
+    EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPool, ClaimableTaskJoinRethrowsTaskException)
+{
+    ThreadPool pool(1);
+    beer::util::ClaimableTask task(
+        pool, [] { throw std::runtime_error("solver exploded"); });
+    EXPECT_THROW(task.join(), std::runtime_error);
+}
+
+TEST(ThreadPool, ClaimableTaskCancelBeforeClaimSkipsExecution)
+{
+    // Queue the task behind a blocker so no worker reaches it, then
+    // cancel: the function must never run.
+    ThreadPool pool(2);
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    pool.submit([&] {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return release; });
+    });
+    std::atomic<int> runs{0};
+    beer::util::ClaimableTask task(pool, [&] { ++runs; });
+    task.cancel();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    while (pool.completedTasks() < 2)
+        std::this_thread::yield();
+    EXPECT_EQ(runs.load(), 0);
+    EXPECT_FALSE(task.active());
+}
+
+TEST(ThreadPool, DefaultClaimableTaskIsInert)
+{
+    beer::util::ClaimableTask task;
+    EXPECT_FALSE(task.active());
+    EXPECT_FALSE(task.ready());
+    EXPECT_FALSE(task.join());
+}
+
+TEST(ThreadPool, BackgroundPoolRunsAllPrimitives)
+{
+    // Idle scheduling priority (best effort; silently a no-op on
+    // non-Linux hosts) must not change any observable behavior.
+    ThreadPool pool(3, /*background=*/true);
+    std::atomic<std::size_t> sum{0};
+    pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2);
+
+    std::atomic<int> runs{0};
+    beer::util::ClaimableTask task(pool, [&] { ++runs; });
+    task.join();
+    EXPECT_EQ(runs.load(), 1);
 }
