@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Chaos recovery bench: cost and fidelity of noise-hardened recovery.
+ *
+ * For each dataword length, recovers the same simulated chip's ECC
+ * function twice — once clean, once behind a FaultInjectionProxy
+ * configured with transient + burst read noise while the session runs
+ * with quorum reads and UNSAT-core repair enabled — and reports what
+ * the hardening cost (extra reads, repair rounds, wall clock) and
+ * whether the recovered functions stayed equivalent. Any divergence
+ * exits nonzero: this is the CI gate for the chaos differential.
+ * --json emits the per-k results machine-readably for BENCH_*.json
+ * tracking across PRs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "beer/session.hh"
+#include "dram/chip.hh"
+#include "dram/fault_proxy.hh"
+#include "ecc/code_equiv.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace beer;
+using beer::dram::ChipConfig;
+using beer::dram::FaultInjectionConfig;
+using beer::dram::FaultInjectionProxy;
+using beer::dram::SimulatedChip;
+
+namespace
+{
+
+ChipConfig
+benchChipConfig(std::size_t k, std::uint64_t seed)
+{
+    ChipConfig config = dram::makeVendorConfig('A', k, seed);
+    config.map.rows = 64;
+    config.iidErrors = true;
+    return config;
+}
+
+MeasureConfig
+benchMeasure(const SimulatedChip &chip)
+{
+    MeasureConfig measure;
+    measure.pausesSeconds.clear();
+    for (double ber : {0.05, 0.15, 0.3})
+        measure.pausesSeconds.push_back(
+            chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
+    measure.repeatsPerPause = 25;
+    measure.thresholdProbability = 1e-4;
+    return measure;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("Chaos differential: clean vs noise-hardened "
+                  "recovery under injected read faults");
+    cli.addOption("k-list", "8,16,32",
+                  "dataword lengths (comma-separated)");
+    cli.addOption("seed", "4242", "chip/noise RNG seed");
+    cli.addOption("flip-rate", "1e-4",
+                  "transient per-bit read flip probability");
+    cli.addOption("burst-rate", "5e-4",
+                  "burst flip probability (first 64 of every 2048 "
+                  "reads)");
+    cli.addOption("votes", "3", "base quorum votes per experiment");
+    cli.addOption("escalated-votes", "7",
+                  "votes after a quorum disagreement");
+    cli.addOption("json", "", "write machine-readable results here");
+    cli.addFlag("csv", "emit CSV instead of an aligned table");
+    cli.parse(argc, argv);
+
+    std::vector<std::size_t> k_list;
+    {
+        const std::string text = cli.getString("k-list");
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            std::size_t next = text.find(',', pos);
+            if (next == std::string::npos)
+                next = text.size();
+            k_list.push_back((std::size_t)std::stoul(
+                text.substr(pos, next - pos)));
+            pos = next + 1;
+        }
+    }
+    const std::uint64_t seed = (std::uint64_t)cli.getInt("seed");
+    const double flip_rate = cli.getDouble("flip-rate");
+    const double burst_rate = cli.getDouble("burst-rate");
+
+    util::Table table({"k", "mode", "recovered", "equivalent",
+                       "measurements", "disagreements", "repairs",
+                       "retracted", "flips injected", "time (s)"});
+    std::ostringstream json_rows;
+    bool diverged = false;
+
+    for (std::size_t i = 0; i < k_list.size(); ++i) {
+        const std::size_t k = k_list[i];
+
+        SimulatedChip clean_chip(benchChipConfig(k, seed + k));
+        SessionConfig clean_config;
+        clean_config.measure = benchMeasure(clean_chip);
+        clean_config.wordsUnderTest = dram::trueCellWords(clean_chip);
+        auto start = std::chrono::steady_clock::now();
+        Session clean_session(clean_chip, clean_config);
+        const RecoveryReport clean = clean_session.run();
+        const double clean_seconds = seconds(start);
+
+        SimulatedChip chip(benchChipConfig(k, seed + k));
+        FaultInjectionConfig chaos;
+        chaos.transientFlipRate = flip_rate;
+        chaos.burst = {2048, 64, burst_rate};
+        chaos.seed = seed ^ k;
+        FaultInjectionProxy proxy(chip, chaos);
+
+        SessionConfig config;
+        config.measure = benchMeasure(chip);
+        config.measure.quorum.votes =
+            (std::size_t)cli.getInt("votes");
+        config.measure.quorum.escalatedVotes =
+            (std::size_t)cli.getInt("escalated-votes");
+        config.repair.enabled = true;
+        config.repair.maxAttempts = 4;
+        config.repair.remeasureVotes =
+            config.measure.quorum.escalatedVotes;
+        config.wordsUnderTest = dram::trueCellWords(chip);
+        start = std::chrono::steady_clock::now();
+        Session session(proxy, config);
+        const RecoveryReport noisy = session.run();
+        const double noisy_seconds = seconds(start);
+
+        const bool equivalent =
+            clean.succeeded() && noisy.succeeded() &&
+            ecc::equivalent(clean.recoveredCode(),
+                            noisy.recoveredCode()) &&
+            ecc::equivalent(noisy.recoveredCode(),
+                            chip.groundTruthCode());
+        if (!equivalent)
+            diverged = true;
+
+        table.addRowOf(k, "clean", clean.succeeded() ? "yes" : "NO",
+                       "-", clean.stats.patternMeasurements, 0, 0, 0,
+                       0, util::Table::sci(clean_seconds));
+        table.addRowOf(k, "chaos", noisy.succeeded() ? "yes" : "NO",
+                       equivalent ? "yes" : "NO",
+                       noisy.stats.patternMeasurements,
+                       noisy.stats.quorumDisagreements,
+                       noisy.stats.repairAttempts,
+                       noisy.stats.roundsRetracted,
+                       proxy.injectedFlips(),
+                       util::Table::sci(noisy_seconds));
+
+        json_rows << (i ? "," : "") << "\n    {\"k\": " << k
+                  << ", \"clean_recovered\": "
+                  << (clean.succeeded() ? "true" : "false")
+                  << ", \"chaos_recovered\": "
+                  << (noisy.succeeded() ? "true" : "false")
+                  << ", \"equivalent\": "
+                  << (equivalent ? "true" : "false")
+                  << ", \"clean_measurements\": "
+                  << clean.stats.patternMeasurements
+                  << ", \"chaos_measurements\": "
+                  << noisy.stats.patternMeasurements
+                  << ", \"quorum_disagreements\": "
+                  << noisy.stats.quorumDisagreements
+                  << ", \"repair_attempts\": "
+                  << noisy.stats.repairAttempts
+                  << ", \"rounds_retracted\": "
+                  << noisy.stats.roundsRetracted
+                  << ", \"patterns_remeasured\": "
+                  << noisy.stats.patternsRemeasured
+                  << ", \"injected_flips\": " << proxy.injectedFlips()
+                  << ", \"clean_seconds\": " << clean_seconds
+                  << ", \"chaos_seconds\": " << noisy_seconds << "}";
+    }
+
+    if (cli.getBool("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    const std::string json_path = cli.getString("json");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            util::fatal("cannot open JSON file '%s'",
+                        json_path.c_str());
+        out << "{\n  \"bench\": \"chaos_recovery\",\n  \"seed\": "
+            << seed << ",\n  \"flip_rate\": " << flip_rate
+            << ",\n  \"burst_rate\": " << burst_rate
+            << ",\n  \"diverged\": " << (diverged ? "true" : "false")
+            << ",\n  \"results\": [" << json_rows.str()
+            << "\n  ]\n}\n";
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+
+    if (diverged) {
+        std::fprintf(stderr,
+                     "FAIL: chaos recovery diverged from the clean "
+                     "baseline\n");
+        return 1;
+    }
+    return 0;
+}

@@ -58,6 +58,14 @@ ProfileCounts::merge(const ProfileCounts &other, MergeMode mode)
     }
     BEER_ASSERT(k == other.k);
 
+    // Pre-quorum producers leave disagreements empty; normalize to a
+    // dense zero vector so merging mixed-provenance counts is safe.
+    disagreements.resize(patterns.size(), 0);
+    const auto otherDisagreements = [&other](std::size_t p) {
+        return p < other.disagreements.size() ? other.disagreements[p]
+                                              : (std::uint64_t)0;
+    };
+
     std::unordered_map<TestPattern, std::size_t, TestPatternHash> index;
     index.reserve(patterns.size() + other.patterns.size());
     for (std::size_t p = 0; p < patterns.size(); ++p)
@@ -70,6 +78,7 @@ ProfileCounts::merge(const ProfileCounts &other, MergeMode mode)
             patterns.push_back(other.patterns[p]);
             errorCounts.push_back(other.errorCounts[p]);
             wordsTested.push_back(other.wordsTested[p]);
+            disagreements.push_back(otherDisagreements(p));
             continue;
         }
         // Overlap under AppendDisjoint is a caller bug: the caller
@@ -82,6 +91,7 @@ ProfileCounts::merge(const ProfileCounts &other, MergeMode mode)
 #endif
         const std::size_t at = it->second;
         wordsTested[at] += other.wordsTested[p];
+        disagreements[at] += otherDisagreements(p);
         for (std::size_t bit = 0; bit < k; ++bit)
             errorCounts[at][bit] += other.errorCounts[p][bit];
     }
@@ -92,6 +102,42 @@ ProfileCounts::totalObservations() const
 {
     return std::accumulate(wordsTested.begin(), wordsTested.end(),
                            (std::uint64_t)0);
+}
+
+std::uint64_t
+ProfileCounts::totalDisagreements() const
+{
+    return std::accumulate(disagreements.begin(), disagreements.end(),
+                           (std::uint64_t)0);
+}
+
+void
+ProfileCounts::removePatterns(const std::vector<TestPattern> &to_remove)
+{
+    if (to_remove.empty())
+        return;
+    std::unordered_map<TestPattern, std::size_t, TestPatternHash> gone;
+    gone.reserve(to_remove.size());
+    for (const TestPattern &pattern : to_remove)
+        gone.emplace(pattern, 0);
+
+    disagreements.resize(patterns.size(), 0);
+    std::size_t out = 0;
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+        if (gone.count(patterns[p]))
+            continue;
+        if (out != p) {
+            patterns[out] = std::move(patterns[p]);
+            errorCounts[out] = std::move(errorCounts[p]);
+            wordsTested[out] = wordsTested[p];
+            disagreements[out] = disagreements[p];
+        }
+        ++out;
+    }
+    patterns.resize(out);
+    errorCounts.resize(out);
+    wordsTested.resize(out);
+    disagreements.resize(out);
 }
 
 MeasureConfig
@@ -116,7 +162,61 @@ emptyCounts(std::size_t k, const std::vector<TestPattern> &patterns)
     counts.errorCounts.assign(patterns.size(),
                               std::vector<std::uint64_t>(k, 0));
     counts.wordsTested.assign(patterns.size(), 0);
+    counts.disagreements.assign(patterns.size(), 0);
     return counts;
+}
+
+/**
+ * Quorum voting for one experiment. @p reads holds the first vote on
+ * entry and the per-(word, bit) majority on return. Additional votes
+ * are read only here, so votes == 1 never reaches this function and
+ * the historical single-read operation sequence is preserved exactly.
+ * Returns true iff any two votes disagreed (adaptive escalation to
+ * @c escalatedVotes total reads happens in that case only).
+ */
+bool
+quorumVote(dram::MemoryInterface &mem,
+           const std::vector<std::size_t> &words,
+           const QuorumConfig &quorum, std::vector<BitVec> &reads)
+{
+    const std::size_t k = mem.datawordBits();
+    std::vector<std::vector<BitVec>> votes;
+    votes.push_back(reads);
+
+    bool disagree = false;
+    std::vector<BitVec> extra;
+    for (std::size_t v = 1; v < quorum.votes; ++v) {
+        mem.readDatawords(words.data(), words.size(), extra);
+        disagree = disagree || extra != votes.front();
+        votes.push_back(extra);
+    }
+    if (!disagree)
+        return false;
+
+    // Escalate: this experiment is noisy, so buy more votes before
+    // taking the majority. Clean experiments never pay these reads.
+    const std::size_t target = std::max(quorum.votes,
+                                        quorum.escalatedVotes);
+    while (votes.size() < target) {
+        mem.readDatawords(words.data(), words.size(), extra);
+        votes.push_back(extra);
+    }
+
+    // Per-(word, bit) majority; ties resolve to the first vote.
+    const std::size_t n = votes.size();
+    for (std::size_t w = 0; w < reads.size(); ++w) {
+        for (std::size_t bit = 0; bit < k; ++bit) {
+            std::size_t set = 0;
+            for (std::size_t v = 0; v < n; ++v)
+                if (votes[v][w].get(bit))
+                    ++set;
+            const bool majority = 2 * set == n
+                                      ? votes.front()[w].get(bit)
+                                      : 2 * set > n;
+            reads[w].set(bit, majority);
+        }
+    }
+    return true;
 }
 
 } // anonymous namespace
@@ -169,6 +269,9 @@ measureProfile(dram::MemoryInterface &mem,
                                             data);
                 mem.pauseRefresh(pause, config.temperatureC);
                 mem.readDatawords(words.data(), words.size(), reads);
+                if (config.quorum.votes > 1 &&
+                    quorumVote(mem, words, config.quorum, reads))
+                    ++counts.disagreements[p];
                 counts.wordsTested[p] += words.size();
                 for (const BitVec &read : reads) {
                     if (read == data)
@@ -313,6 +416,13 @@ recordProfileTrace(dram::MemoryInterface &mem,
                        std::to_string(config.repeatsPerPause));
     recorder.writeMeta("measure-threshold " +
                        formatTraceDouble(config.thresholdProbability));
+    // Only quorum runs carry the meta line, keeping pre-quorum traces
+    // byte-identical. Replay re-derives escalation from the recorded
+    // read data itself, so votes alone reconstructs the schedule.
+    if (config.quorum.votes > 1)
+        recorder.writeMeta(
+            "measure-quorum " + std::to_string(config.quorum.votes) +
+            "," + std::to_string(config.quorum.escalatedVotes));
 
     std::string serialized;
     for (std::size_t i = 0; i < patterns.size(); ++i) {
@@ -352,6 +462,16 @@ traceMeasureConfig(const dram::TraceReplayBackend &trace)
     if (const auto threshold = metaValue(trace, "measure-threshold"))
         config.thresholdProbability =
             parseMetaDouble(*threshold, "measure-threshold");
+    if (const auto quorum = metaValue(trace, "measure-quorum")) {
+        const std::size_t comma = quorum->find(',');
+        if (comma == std::string::npos)
+            util::fatal("trace meta: malformed measure-quorum '%s'",
+                        quorum->c_str());
+        config.quorum.votes = parseMetaSize(quorum->substr(0, comma),
+                                            "measure-quorum votes");
+        config.quorum.escalatedVotes = parseMetaSize(
+            quorum->substr(comma + 1), "measure-quorum escalation");
+    }
     return config;
 }
 

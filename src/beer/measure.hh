@@ -44,6 +44,26 @@ struct ProfileCounts
     std::vector<std::vector<std::uint64_t>> errorCounts;
     /** Words observed per pattern (denominator for probabilities). */
     std::vector<std::uint64_t> wordsTested;
+    /**
+     * disagreements[p]: experiments on pattern p where quorum votes
+     * returned differing data (transient read noise caught in the
+     * act). Empty when measured without quorum (pre-quorum producers);
+     * treat missing entries as zero.
+     */
+    std::vector<std::uint64_t> disagreements;
+
+    /** True iff quorum votes ever disagreed on this pattern. */
+    bool suspect(std::size_t pattern_idx) const
+    {
+        return pattern_idx < disagreements.size() &&
+               disagreements[pattern_idx] > 0;
+    }
+
+    /** Sum of per-pattern quorum disagreements. */
+    std::uint64_t totalDisagreements() const;
+
+    /** Drop the listed patterns (counts, denominators, disagreements). */
+    void removePatterns(const std::vector<TestPattern> &to_remove);
 
     /**
      * Apply the threshold filter: bit j is miscorrectable under
@@ -90,6 +110,30 @@ struct ProfileCounts
     std::uint64_t totalObservations() const;
 };
 
+/**
+ * Quorum-read configuration: how many times each experiment's read is
+ * repeated and cross-checked to mask transient read noise.
+ */
+struct QuorumConfig
+{
+    /**
+     * Reads per (pattern, pause, repeat) experiment. 1 disables quorum
+     * entirely — the measurement loop is the exact pre-quorum code
+     * path (same operation sequence, same traces). With votes >= 2 the
+     * word data used for counting is the per-(word, bit) majority
+     * across the votes.
+     */
+    std::size_t votes = 1;
+    /**
+     * Adaptive escalation: when any two votes disagree, the experiment
+     * re-reads up to this many total votes before taking the majority,
+     * so clean patterns pay votes reads and only noisy ones escalate.
+     * Ties (possible with an even vote count) resolve to the first
+     * vote's value. Clamped up to @c votes.
+     */
+    std::size_t escalatedVotes = 5;
+};
+
 /** Configuration of a refresh-window sweep. */
 struct MeasureConfig
 {
@@ -101,6 +145,8 @@ struct MeasureConfig
     std::size_t repeatsPerPause = 1;
     /** Threshold for ProfileCounts::threshold (relative frequency). */
     double thresholdProbability = 1e-3;
+    /** Quorum reads (votes == 1 keeps the historical single read). */
+    QuorumConfig quorum;
     /**
      * Polled before each (pattern, pause, repeat) experiment; a true
      * return abandons the rest of the run and returns the counts

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
+#include <thread>
 
 #include "ecc/hamming.hh"
 #include "util/logging.hh"
@@ -13,6 +15,10 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+/** Solution cap for the final solve after a deadline/budget stop,
+ *  when no explicit BeerSolverConfig::maxSolutions bounds it. */
+constexpr std::size_t kDegradedCandidateCap = 16;
 
 double
 secondsSince(Clock::time_point start)
@@ -74,9 +80,51 @@ rankPatterns(std::vector<TestPattern>::iterator begin,
 
 } // anonymous namespace
 
+const char *
+sessionOutcomeName(SessionOutcome outcome)
+{
+    switch (outcome) {
+    case SessionOutcome::Unique:
+        return "unique";
+    case SessionOutcome::Ambiguous:
+        return "ambiguous";
+    case SessionOutcome::Unsatisfiable:
+        return "unsatisfiable";
+    case SessionOutcome::DeadlineExceeded:
+        return "deadline_exceeded";
+    case SessionOutcome::BudgetExhausted:
+        return "budget_exhausted";
+    }
+    return "unknown";
+}
+
+std::string
+SessionDiagnosis::toJson() const
+{
+    // detail strings are fixed ASCII literals chosen in diagnose();
+    // nothing needs escaping.
+    std::ostringstream out;
+    out << "{\"outcome\":\"" << sessionOutcomeName(outcome)
+        << "\",\"detail\":\"" << detail
+        << "\",\"candidates\":" << candidates
+        << ",\"suspect_patterns\":" << suspectPatterns.size()
+        << ",\"repair_attempts\":" << repairAttempts
+        << ",\"rounds_retracted\":" << roundsRetracted
+        << ",\"patterns_remeasured\":" << patternsRemeasured
+        << ",\"quorum_disagreements\":" << quorumDisagreements
+        << ",\"elapsed_seconds\":" << elapsedSeconds << "}";
+    return out.str();
+}
+
 Session::Session(dram::MemoryInterface &mem, SessionConfig config)
     : mem_(mem), config_(std::move(config))
 {
+    // Repair retracts per-round clause groups, which exist only in
+    // the persistent context's retractable encoding.
+    if (config_.repair.enabled) {
+        config_.incrementalSolve = true;
+        config_.solver.retractableProfile = true;
+    }
     const std::size_t k = mem_.datawordBits();
     BEER_ASSERT(k > 0);
     pending_ = chargedPatterns(k, 1);
@@ -162,9 +210,19 @@ Session::measureChunk(const std::vector<TestPattern> &round,
 {
     const auto start = Clock::now();
     ProfileCounts observed;
-    if (cancel) {
+    std::function<bool()> stop = cancel;
+    if (config_.deadlineSeconds > 0.0) {
+        // The deadline cuts into a round, between experiments: a
+        // round costs many refresh pauses, so stopping only at round
+        // boundaries could overshoot by minutes — or never return on
+        // a stalling chip.
+        stop = [this, cancel] {
+            return deadlineExceeded() || (cancel && cancel());
+        };
+    }
+    if (stop) {
         MeasureConfig measure = config_.measure;
-        measure.cancel = cancel;
+        measure.cancel = std::move(stop);
         observed = measureProfile(mem_, round, measure,
                                   config_.wordsUnderTest);
     } else {
@@ -173,6 +231,32 @@ Session::measureChunk(const std::vector<TestPattern> &round,
     }
     seconds = secondsSince(start);
     return observed;
+}
+
+bool
+Session::deadlineExceeded() const
+{
+    return config_.deadlineSeconds > 0.0 &&
+           secondsSince(start_) >= config_.deadlineSeconds;
+}
+
+bool
+Session::budgetExhausted() const
+{
+    return config_.measurementBudget != 0 &&
+           stats_.patternMeasurements >= config_.measurementBudget;
+}
+
+bool
+Session::checkDegraded()
+{
+    if (stopReason_)
+        return true;
+    if (deadlineExceeded())
+        stopReason_ = SessionOutcome::DeadlineExceeded;
+    else if (budgetExhausted())
+        stopReason_ = SessionOutcome::BudgetExhausted;
+    return stopReason_.has_value();
 }
 
 std::uint64_t
@@ -196,6 +280,7 @@ Session::commitRound(const std::vector<TestPattern> &round,
     stats_.patternsMeasured = counts_.patterns.size();
     stats_.patternMeasurements += experimentsFor(round.size());
     stats_.wordObservations += observed.totalObservations();
+    stats_.quorumDisagreements += observed.totalDisagreements();
 
     notify(SessionStage::Measure);
 }
@@ -228,13 +313,22 @@ Session::prepareSolve(PendingSolve &ps)
     // deferredCandidates) so the next round's ranking sees pairs the
     // already-measured round has not eliminated yet.
     ps.maxSolutions = config_.solver.maxSolutions;
-    ps.capped = config_.adaptiveEarlyExit && moreEvidenceAvailable();
+    ps.capped = config_.adaptiveEarlyExit && moreEvidenceAvailable() &&
+                !stopReason_;
     if (ps.capped) {
         std::size_t cap = 2;
         if (config_.deferredPartition || config_.pipelined)
             cap = std::max<std::size_t>(cap, config_.deferredCandidates);
         if (ps.maxSolutions == 0 || ps.maxSolutions > cap)
             ps.maxSolutions = cap;
+    } else if (stopReason_ && ps.maxSolutions == 0) {
+        // A degraded stop (deadline/budget) will not measure again;
+        // its final solve reports a ranked candidate set. That set
+        // must stay bounded: the evidence committed when a tiny
+        // budget trips may admit astronomically many functions, and
+        // "enumerate them all" would turn a deadline stop into an
+        // unbounded solve.
+        ps.maxSolutions = kDegradedCandidateCap;
     }
 }
 
@@ -323,6 +417,221 @@ Session::solve()
     return *solve_;
 }
 
+bool
+Session::repairNeeded() const
+{
+    return config_.repair.enabled && solve_ && solve_->complete &&
+           solve_->solutions.empty() && incremental_ &&
+           incremental_->roundCount() > 0;
+}
+
+std::vector<std::size_t>
+Session::localizeCorruptRounds()
+{
+    IncrementalSolver &inc = *incremental_;
+    const std::size_t n = inc.roundCount();
+
+    // Probe order encodes suspicion: rounds whose patterns the quorum
+    // flagged as noisy first, then newest first — transient noise is
+    // far more likely to have hit the round that just broke the solve
+    // than evidence many earlier solves already digested.
+    const auto round_suspect = [&](std::size_t r) {
+        for (const TestPattern &pattern : inc.roundPatterns(r))
+            for (std::size_t i = 0; i < counts_.patterns.size(); ++i)
+                if (counts_.patterns[i] == pattern &&
+                    counts_.suspect(i))
+                    return true;
+        return false;
+    };
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::size_t pass = 0; pass < 2; ++pass)
+        for (std::size_t i = n; i-- > 0;) {
+            if (inc.roundDropped(i))
+                continue;
+            if (round_suspect(i) == (pass == 0))
+                order.push_back(i);
+        }
+
+    // Grow the suspended set until the remaining constraints are
+    // satisfiable: the contradiction lives inside what was suspended.
+    const std::uint64_t budget = config_.repair.probeConflictLimit;
+    std::vector<std::size_t> suspended;
+    bool sat = false;
+    for (std::size_t r : order) {
+        inc.suspendRound(r);
+        suspended.push_back(r);
+        if (inc.probe(budget) == sat::SolveResult::Sat) {
+            sat = true;
+            break;
+        }
+    }
+    if (!sat) {
+        // Possible only when budgeted probes ran out of conflicts
+        // (structural constraints alone are satisfiable, so with the
+        // whole profile suspended an unbounded probe returns Sat).
+        for (std::size_t r : suspended)
+            inc.resumeRound(r);
+        return {};
+    }
+
+    // Minimize: resume each suspended round and keep it suspended
+    // only if the contradiction comes back with it enforced.
+    std::vector<std::size_t> needed;
+    for (std::size_t r : suspended) {
+        inc.resumeRound(r);
+        if (inc.probe(budget) != sat::SolveResult::Sat) {
+            inc.suspendRound(r);
+            needed.push_back(r);
+        }
+    }
+    // needed can only end up empty if a budgeted probe flip-flopped
+    // between Unknown and Sat; treat that as localization failure
+    // (everything is resumed at this point).
+    return needed;
+}
+
+bool
+Session::attemptRepair()
+{
+    for (std::size_t attempt = 0;
+         attempt < config_.repair.maxAttempts; ++attempt) {
+        if (checkDegraded())
+            return false;
+        ++stats_.repairAttempts;
+
+        const std::vector<std::size_t> bad = localizeCorruptRounds();
+        if (bad.empty())
+            return false;
+
+        std::vector<TestPattern> patterns;
+        for (std::size_t r : bad) {
+            const auto round_patterns = incremental_->roundPatterns(r);
+            patterns.insert(patterns.end(), round_patterns.begin(),
+                            round_patterns.end());
+            incremental_->dropRound(r);
+        }
+        stats_.roundsRetracted += bad.size();
+
+        // Forget the poisoned observations so the re-measurement
+        // commits as a fresh, disjoint round.
+        counts_.removePatterns(patterns);
+        countsDirty_ = true;
+
+        if (config_.repair.backoffBaseSeconds > 0.0) {
+            // Wait out the noise burst that poisoned the round before
+            // burning refresh-pause time on re-measuring through it.
+            const double delay = config_.repair.backoffBaseSeconds *
+                                 (double)(1ULL << attempt);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay));
+        }
+
+        // Re-measure the retracted patterns at escalated quorum: this
+        // evidence was bad once, so every repeat read gets voted.
+        const MeasureConfig saved = config_.measure;
+        config_.measure.quorum.votes =
+            std::max({saved.quorum.votes, saved.quorum.escalatedVotes,
+                      config_.repair.remeasureVotes});
+        config_.measure.quorum.escalatedVotes =
+            config_.measure.quorum.votes;
+        double seconds = 0.0;
+        const ProfileCounts observed = measureChunk(patterns, seconds);
+        config_.measure = saved;
+        stats_.patternsRemeasured += patterns.size();
+        commitRound(patterns, observed, seconds);
+
+        solve();
+        if (!repairNeeded())
+            return true;
+    }
+    return false;
+}
+
+void
+Session::rankCandidatesByEvidence(
+    std::vector<ecc::LinearCode> &cands) const
+{
+    if (cands.size() < 2)
+        return;
+    // Every candidate satisfies the *thresholded* profile by
+    // construction, so rank by the raw counts instead: sub-threshold
+    // residue (noise leftovers, partially measured patterns) still
+    // separates candidates the binary profile cannot.
+    const auto mismatches = [this](const ecc::LinearCode &code) {
+        std::size_t score = 0;
+        for (std::size_t p = 0; p < counts_.patterns.size(); ++p) {
+            const TestPattern &pattern = counts_.patterns[p];
+            for (std::size_t bit = 0; bit < counts_.k; ++bit) {
+                if (patternContains(pattern, bit))
+                    continue;
+                const bool observed = counts_.errorCounts[p][bit] > 0;
+                if (miscorrectionPossible(code, pattern, bit) !=
+                    observed)
+                    ++score;
+            }
+        }
+        return score;
+    };
+    std::vector<std::pair<std::size_t, ecc::LinearCode>> ranked;
+    ranked.reserve(cands.size());
+    for (ecc::LinearCode &code : cands)
+        ranked.emplace_back(mismatches(code), std::move(code));
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    cands.clear();
+    for (auto &entry : ranked)
+        cands.push_back(std::move(entry.second));
+}
+
+SessionDiagnosis
+Session::diagnose() const
+{
+    SessionDiagnosis d;
+    d.candidates = solve_ ? solve_->solutions.size() : 0;
+    d.repairAttempts = stats_.repairAttempts;
+    d.roundsRetracted = stats_.roundsRetracted;
+    d.patternsRemeasured = stats_.patternsRemeasured;
+    d.quorumDisagreements = stats_.quorumDisagreements;
+    d.elapsedSeconds = secondsSince(start_);
+    for (std::size_t i = 0; i < counts_.patterns.size(); ++i)
+        if (counts_.suspect(i))
+            d.suspectPatterns.push_back(counts_.patterns[i]);
+
+    if (solve_ && solve_->unique() && !countsDirty_) {
+        d.outcome = SessionOutcome::Unique;
+        d.detail = "recovered a provably unique ECC function";
+        return d;
+    }
+    if (stopReason_) {
+        d.outcome = *stopReason_;
+        d.detail = *stopReason_ == SessionOutcome::DeadlineExceeded
+                       ? "session deadline expired before the evidence "
+                         "pinned a unique function"
+                       : "measurement budget exhausted before the "
+                         "evidence pinned a unique function";
+        return d;
+    }
+    if (solve_ && solve_->complete && solve_->solutions.empty()) {
+        d.outcome = SessionOutcome::Unsatisfiable;
+        d.detail =
+            stats_.repairAttempts > 0
+                ? "no ECC function is consistent with the evidence; "
+                  "UNSAT repair could not isolate a repairable round "
+                  "set (persistent corruption, e.g. stuck-at faults)"
+                : "no ECC function is consistent with the evidence "
+                  "(corrupted measurements; enable "
+                  "SessionConfig::repair)";
+        return d;
+    }
+    d.outcome = SessionOutcome::Ambiguous;
+    d.detail = "multiple candidate functions remain, ranked by "
+               "agreement with the raw counts";
+    return d;
+}
+
 std::vector<TestPattern>
 Session::escalationPlan() const
 {
@@ -374,10 +683,14 @@ Session::run()
     if (config_.pipelined)
         return runPipelined();
     while (true) {
+        if (checkDegraded())
+            break;
         if (measureRound()) {
             // Outside adaptive mode the round covered every pending
             // pattern; either way, decide on the evidence so far.
             solve();
+            if (repairNeeded() && !attemptRepair())
+                break;
             if (solve_->unique())
                 break;
             continue;
@@ -390,10 +703,21 @@ Session::run()
             escalate();
             continue;
         }
-        if (!solve_ || countsDirty_ || solveWasCapped_)
+        if (!solve_ || countsDirty_ || solveWasCapped_) {
             solve();
+            if (repairNeeded())
+                attemptRepair();
+        }
         break;
     }
+    // Graceful degradation: a deadline/budget stop still reports the
+    // ranked candidate set the committed evidence admits (prepareSolve
+    // lifts the uniqueness cap once stopReason_ is latched). The
+    // deadline bounds measurement — the dominant, refresh-pause cost —
+    // not this one last solve.
+    if (stopReason_ && (countsDirty_ || solveWasCapped_) &&
+        !counts_.patterns.empty())
+        solve();
     notify(SessionStage::Done);
     return report();
 }
@@ -460,6 +784,10 @@ Session::runPipelined()
     measureRound();
     prebuild.join();
     solve();
+    if (repairNeeded() && !attemptRepair()) {
+        notify(SessionStage::Done);
+        return report();
+    }
     if (solve_->unique()) {
         notify(SessionStage::Done);
         return report();
@@ -480,6 +808,8 @@ Session::runPipelined()
     }
 
     while (true) {
+        if (checkDegraded())
+            break;
         // Launch this round's solve asynchronously. prepareSolve runs
         // on this thread (it reads counts_ and the pending plan);
         // solveCore owns incremental_/profile_ until the join.
@@ -545,6 +875,14 @@ Session::runPipelined()
                 ps.start, ps.end, meas_start, meas_end);
         }
 
+        // An UNSAT solve means corrupted evidence; repair runs
+        // serially here (the solve task is joined, so this thread
+        // owns the context again). On failure the measured-ahead
+        // round is abandoned with the session — committing evidence
+        // into a profile already proven contradictory helps nobody.
+        if (repairNeeded() && !attemptRepair())
+            break;
+
         if (solve_->unique()) {
             // Committed evidence already pins the function; the round
             // measured beside this solve overshot the early exit and
@@ -590,6 +928,10 @@ Session::runPipelined()
         commitRound(ahead, ahead_counts, ahead_seconds);
     }
 
+    // Same graceful-degradation final solve as the serial loop.
+    if (stopReason_ && (countsDirty_ || solveWasCapped_) &&
+        !counts_.patterns.empty())
+        solve();
     notify(SessionStage::Done);
     return report();
 }
@@ -602,8 +944,14 @@ Session::report() const
     report.profile = profile_;
     if (solve_)
         report.solve = *solve_;
+    // An ambiguous ending still hands callers a best guess: order the
+    // surviving candidates by raw-count agreement so front() is the
+    // likeliest function (the provably-unique case is unaffected).
+    if (report.solve.solutions.size() > 1)
+        rankCandidatesByEvidence(report.solve.solutions);
     report.usedTwoCharged = escalated_;
     report.stats = stats_;
+    report.diagnosis = diagnose();
     return report;
 }
 

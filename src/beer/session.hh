@@ -76,6 +76,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -180,6 +181,50 @@ struct SessionStats
     std::uint64_t discardedMeasurements = 0;
     /** SAT statistics accumulated across all solve() calls. */
     sat::SolverStats sat;
+    /** UNSAT-repair loop iterations run (SessionConfig::repair). */
+    std::size_t repairAttempts = 0;
+    /** Measurement rounds retracted as corrupted by the repair loop. */
+    std::size_t roundsRetracted = 0;
+    /** Patterns re-measured at escalated quorum by the repair loop. */
+    std::size_t patternsRemeasured = 0;
+    /** Quorum vote disagreements observed across all rounds. */
+    std::uint64_t quorumDisagreements = 0;
+};
+
+/**
+ * UNSAT-core repair of noise-poisoned measurement rounds.
+ *
+ * When a solve proves the accumulated profile unsatisfiable — no ECC
+ * function exists, so some round recorded corrupted evidence — run()
+ * localizes a minimal set of measurement rounds the contradiction
+ * depends on by suspending the incremental solver's retractable
+ * per-round clause groups in suspicion order (quorum-flagged rounds
+ * first, then newest first) and probing satisfiability after each,
+ * then minimizing the suspended set. The localized rounds are
+ * permanently retracted, their patterns re-measured at escalated
+ * quorum (with optional exponential backoff to wait out noise
+ * bursts), and the solve resumes on the repaired evidence — all
+ * bounded by @c maxAttempts. Enabling repair forces
+ * SessionConfig::incrementalSolve and
+ * BeerSolverConfig::retractableProfile, whose grouped encoding the
+ * localization requires.
+ */
+struct SessionRepairConfig
+{
+    bool enabled = false;
+    /** Retract / re-measure / re-solve iterations before giving up. */
+    std::size_t maxAttempts = 3;
+    /** Quorum votes used when re-measuring retracted patterns (the
+     *  evidence was bad once, so every repeat read is voted); clamped
+     *  up to the session's configured quorum. */
+    std::size_t remeasureVotes = 5;
+    /** Sleep backoffBaseSeconds * 2^attempt before each re-measure
+     *  (0 disables). On real chips this waits out the transient noise
+     *  burst that poisoned the round in the first place. */
+    double backoffBaseSeconds = 0.0;
+    /** SAT conflict cap per localization probe (0 = unlimited). A
+     *  probe that exhausts it counts as "still contradictory". */
+    std::uint64_t probeConflictLimit = 0;
 };
 
 /** Knobs for a recovery session. */
@@ -259,8 +304,71 @@ struct SessionConfig
      * if no worker picks the solve up, the join runs it inline.
      */
     util::ThreadPool *solverPool = nullptr;
+    /** UNSAT-core repair of corrupted rounds; see SessionRepairConfig. */
+    SessionRepairConfig repair;
+    /**
+     * Wall-clock budget for run(), seconds (0 = none). Checked
+     * between rounds AND between experiments inside a round (refresh
+     * pauses dominate round cost, so waiting for the round boundary
+     * could overshoot by many pause durations — or hang forever on a
+     * stalling chip). On expiry the session stops measuring and
+     * reports a DeadlineExceeded diagnosis with the ranked candidate
+     * set the committed evidence admits.
+     */
+    double deadlineSeconds = 0.0;
+    /**
+     * Cap on (pattern, pause, repeat) experiments issued (0 = none),
+     * repair re-measurement included; checked at round granularity.
+     * On exhaustion the session degrades exactly like the deadline
+     * does, with a BudgetExhausted diagnosis.
+     */
+    std::uint64_t measurementBudget = 0;
     /** Invoked after every stage when set. */
     std::function<void(const SessionProgress &)> onProgress;
+};
+
+/** Terminal classification of a recovery session. */
+enum class SessionOutcome
+{
+    /** Exactly one ECC function is consistent with the evidence. */
+    Unique,
+    /** Multiple candidates remain (plan or evidence exhausted). */
+    Ambiguous,
+    /** No function is consistent with the evidence and repair could
+     *  not fix it (persistent corruption, e.g. stuck-at faults). */
+    Unsatisfiable,
+    /** SessionConfig::deadlineSeconds expired first. */
+    DeadlineExceeded,
+    /** SessionConfig::measurementBudget ran out first. */
+    BudgetExhausted,
+};
+
+/** Stable lower_snake name for logs and JSON (e.g. "unique"). */
+const char *sessionOutcomeName(SessionOutcome outcome);
+
+/**
+ * Machine-readable post-mortem attached to every RecoveryReport: how
+ * the session ended and why, plus the noise/repair accounting fleet
+ * tooling needs to decide what to do next (retry the chip, accept the
+ * best-ranked candidate, quarantine) without parsing logs.
+ */
+struct SessionDiagnosis
+{
+    SessionOutcome outcome = SessionOutcome::Ambiguous;
+    /** One-line human-readable explanation. */
+    std::string detail;
+    /** Candidate functions in the final solve (0 if none ran). */
+    std::size_t candidates = 0;
+    /** Patterns whose quorum votes disagreed at least once. */
+    std::vector<TestPattern> suspectPatterns;
+    std::size_t repairAttempts = 0;
+    std::size_t roundsRetracted = 0;
+    std::size_t patternsRemeasured = 0;
+    std::uint64_t quorumDisagreements = 0;
+    /** Session wall-clock at report time, seconds. */
+    double elapsedSeconds = 0.0;
+    /** Single-line JSON object (stable keys). */
+    std::string toJson() const;
 };
 
 /** Everything a recovery produced, for reporting and validation. */
@@ -268,7 +376,15 @@ struct RecoveryReport
 {
     ProfileCounts counts;
     MiscorrectionProfile profile;
+    /**
+     * The final solve. When the session ends ambiguous the surviving
+     * candidates are ranked by agreement with the raw observation
+     * counts (best first), so front() is the best guess even without
+     * a uniqueness proof.
+     */
     BeerSolveResult solve;
+    /** Post-mortem: outcome classification + repair accounting. */
+    SessionDiagnosis diagnosis;
     /** True iff the 2-CHARGED escalation ran. */
     bool usedTwoCharged = false;
     /** Per-stage accounting (measurement effort, solver cost). */
@@ -381,6 +497,27 @@ class Session
     /** Experiments one pattern round costs (pauses x repeats). */
     std::uint64_t experimentsFor(std::size_t patterns) const;
 
+    bool deadlineExceeded() const;
+    bool budgetExhausted() const;
+    /** Latch stopReason_ on deadline/budget expiry; true = stop now. */
+    bool checkDegraded();
+    /** True iff the last solve proved the profile unsatisfiable and
+     *  the retractable-round machinery is armed to act on it. */
+    bool repairNeeded() const;
+    /** The UNSAT-core repair loop (see SessionRepairConfig); true iff
+     *  the profile is satisfiable again. */
+    bool attemptRepair();
+    /** Minimal set of profile rounds the contradiction depends on,
+     *  found by suspend+probe in suspicion order then minimized;
+     *  empty if localization failed (every returned round is left
+     *  suspended for the caller to drop). */
+    std::vector<std::size_t> localizeCorruptRounds();
+    /** Order @p cands by agreement with the raw counts, best first. */
+    void rankCandidatesByEvidence(
+        std::vector<ecc::LinearCode> &cands) const;
+    /** Classify how the session ended; see SessionDiagnosis. */
+    SessionDiagnosis diagnose() const;
+
     /** Threshold the counts and derive this round's enumeration cap. */
     void prepareSolve(PendingSolve &ps);
     /** Encode + search (thread-safe: exclusive solver ownership). */
@@ -418,6 +555,11 @@ class Session
      * Empty when that solve surfaced fewer than two candidates.
      */
     std::vector<ecc::LinearCode> staleCands_;
+    /** Session construction time (deadline + elapsed accounting). */
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+    /** Degraded-stop reason, latched once triggered. */
+    std::optional<SessionOutcome> stopReason_;
     SessionStats stats_;
 };
 

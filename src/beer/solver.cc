@@ -235,9 +235,26 @@ struct IncrementalSolver::Impl
     Solver solver;
     Encoder enc;
     PVars vars;
-    /** Encoded entries in arrival order (rebuild replays these). */
+    /**
+     * Encoded entries in arrival order (rebuild replays these). Slots
+     * are stable: dropRound() tombstones entries (entryDropped) rather
+     * than erasing them, so round slot lists stay valid.
+     */
     std::vector<PatternProfile> entries;
+    std::vector<bool> entryDropped;
     std::map<TestPattern, std::size_t> entryIndex;
+
+    /** One retractable clause group per addProfile() batch. */
+    struct Round
+    {
+        sat::GroupId group = sat::kGroupNone;
+        std::vector<std::size_t> slots;
+        bool suspended = false;
+        bool dropped = false;
+    };
+    /** Populated only when config.retractableProfile. */
+    std::vector<Round> rounds;
+
     /** Group holding the current round's blocking clauses. */
     sat::GroupId blockGroup = sat::kGroupNone;
     std::size_t rebuilds = 0;
@@ -257,7 +274,10 @@ struct IncrementalSolver::Impl
     {
         entryIndex.emplace(entry.pattern, entries.size());
         entries.push_back(entry);
+        entryDropped.push_back(false);
         encodePatternEntry(enc, vars, entry);
+        if (!rounds.empty() && enc.group() != sat::kGroupNone)
+            rounds.back().slots.push_back(entries.size() - 1);
     }
 };
 
@@ -291,7 +311,7 @@ IncrementalSolver::parityBits() const
 std::size_t
 IncrementalSolver::encodedPatterns() const
 {
-    return impl_->entries.size();
+    return impl_->entryIndex.size();
 }
 
 std::size_t
@@ -326,12 +346,43 @@ void
 IncrementalSolver::rebuild()
 {
     auto entries = std::move(impl_->entries);
+    auto dropped = std::move(impl_->entryDropped);
+    auto rounds = std::move(impl_->rounds);
     const std::size_t rebuilds = impl_->rebuilds + 1;
     auto fresh =
         std::make_unique<Impl>(impl_->k, impl_->p, impl_->config);
     fresh->rebuilds = rebuilds;
-    for (const PatternProfile &entry : entries)
-        fresh->encodeEntry(entry);
+    if (rounds.empty()) {
+        for (const PatternProfile &entry : entries)
+            fresh->encodeEntry(entry);
+    } else {
+        // Retractable mode: replay round by round so round indices,
+        // entry slots, suspension, and drop state all survive the
+        // rebuild. Tombstoned slots are carried over un-encoded.
+        fresh->entries = std::move(entries);
+        fresh->entryDropped = std::move(dropped);
+        for (const Impl::Round &round : rounds) {
+            Impl::Round nr;
+            nr.slots = round.slots;
+            nr.suspended = round.suspended;
+            nr.dropped = round.dropped;
+            if (!round.dropped) {
+                nr.group = fresh->solver.newGroup();
+                fresh->enc.setGroup(nr.group);
+                for (std::size_t slot : nr.slots) {
+                    if (fresh->entryDropped[slot])
+                        continue;
+                    const PatternProfile &entry = fresh->entries[slot];
+                    fresh->entryIndex.emplace(entry.pattern, slot);
+                    encodePatternEntry(fresh->enc, fresh->vars, entry);
+                }
+                fresh->enc.setGroup(sat::kGroupNone);
+                if (nr.suspended)
+                    fresh->solver.suspendGroup(nr.group);
+            }
+            fresh->rounds.push_back(std::move(nr));
+        }
+    }
     impl_ = std::move(fresh);
 }
 
@@ -357,13 +408,123 @@ IncrementalSolver::addProfile(const MiscorrectionProfile &profile)
         rebuild();
 
     std::size_t added = 0;
+    bool opened = false;
     for (const PatternProfile &entry : profile.patterns) {
         if (impl_->entryIndex.count(entry.pattern))
             continue;
+        if (impl_->config.retractableProfile && !opened) {
+            // First new pattern of this batch opens the round lazily,
+            // so duplicate-only calls do not burn round slots.
+            Impl::Round round;
+            round.group = impl_->solver.newGroup();
+            impl_->rounds.push_back(round);
+            impl_->enc.setGroup(round.group);
+            opened = true;
+        }
         impl_->encodeEntry(entry);
         ++added;
     }
+    if (opened)
+        impl_->enc.setGroup(sat::kGroupNone);
     return added;
+}
+
+std::size_t
+IncrementalSolver::roundCount() const
+{
+    return impl_->rounds.size();
+}
+
+std::vector<TestPattern>
+IncrementalSolver::roundPatterns(std::size_t round) const
+{
+    BEER_ASSERT(round < impl_->rounds.size());
+    std::vector<TestPattern> out;
+    const Impl::Round &r = impl_->rounds[round];
+    if (r.dropped)
+        return out;
+    out.reserve(r.slots.size());
+    for (std::size_t slot : r.slots)
+        if (!impl_->entryDropped[slot])
+            out.push_back(impl_->entries[slot].pattern);
+    return out;
+}
+
+bool
+IncrementalSolver::roundDropped(std::size_t round) const
+{
+    BEER_ASSERT(round < impl_->rounds.size());
+    return impl_->rounds[round].dropped;
+}
+
+bool
+IncrementalSolver::roundSuspended(std::size_t round) const
+{
+    BEER_ASSERT(round < impl_->rounds.size());
+    const Impl::Round &r = impl_->rounds[round];
+    return !r.dropped && r.suspended;
+}
+
+void
+IncrementalSolver::suspendRound(std::size_t round)
+{
+    BEER_ASSERT(round < impl_->rounds.size());
+    Impl::Round &r = impl_->rounds[round];
+    BEER_ASSERT(!r.dropped);
+    if (r.suspended)
+        return;
+    impl_->solver.suspendGroup(r.group);
+    r.suspended = true;
+}
+
+void
+IncrementalSolver::resumeRound(std::size_t round)
+{
+    BEER_ASSERT(round < impl_->rounds.size());
+    Impl::Round &r = impl_->rounds[round];
+    BEER_ASSERT(!r.dropped);
+    if (!r.suspended)
+        return;
+    impl_->solver.resumeGroup(r.group);
+    r.suspended = false;
+}
+
+void
+IncrementalSolver::dropRound(std::size_t round)
+{
+    BEER_ASSERT(round < impl_->rounds.size());
+    Impl::Round &r = impl_->rounds[round];
+    if (r.dropped)
+        return;
+    r.dropped = true;
+    impl_->solver.releaseGroup(r.group);
+    r.group = sat::kGroupNone;
+    for (std::size_t slot : r.slots) {
+        if (impl_->entryDropped[slot])
+            continue;
+        impl_->entryDropped[slot] = true;
+        impl_->entryIndex.erase(impl_->entries[slot].pattern);
+    }
+}
+
+sat::SolveResult
+IncrementalSolver::probe(std::uint64_t conflict_budget)
+{
+    Impl &im = *impl_;
+    Solver &solver = im.solver;
+    // Blocking clauses reflect a previous enumeration, not the
+    // constraint set under test: retract them or a suspended-round
+    // probe could report Unsat for a satisfiable set.
+    if (im.blockGroup != sat::kGroupNone) {
+        solver.releaseGroup(im.blockGroup);
+        im.blockGroup = sat::kGroupNone;
+    }
+    const std::uint64_t before = solver.stats().conflicts;
+    if (conflict_budget)
+        solver.setConflictLimit(before + conflict_budget);
+    const sat::SolveResult result = solver.solve();
+    solver.setConflictLimit(0);
+    return result;
 }
 
 IncrementalSolver::WarmStartStats

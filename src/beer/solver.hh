@@ -74,6 +74,17 @@ struct BeerSolverConfig
     std::size_t maxSolutions = 0;
     /** SAT conflict budget per solve() call; 0 = unlimited. */
     std::uint64_t conflictLimit = 0;
+    /**
+     * Encode each addProfile() batch into its own retractable clause
+     * group (a "round") instead of asserting it permanently. Rounds
+     * can then be suspended, probed, and dropped — the machinery the
+     * session's UNSAT-core repair uses to localize and retract
+     * measurement rounds poisoned by read noise. Off by default: the
+     * grouped encoding disables cross-round structural-hash gate
+     * sharing and adds one guard literal per profile clause, so clean
+     * pipelines keep the permanent encoding.
+     */
+    bool retractableProfile = false;
 };
 
 /** Outcome of a BEER solve. */
@@ -171,6 +182,54 @@ class IncrementalSolver
 
     /** Adjust the enumeration cap for subsequent solve() calls. */
     void setMaxSolutions(std::size_t max_solutions);
+
+    // ---- retractable profile rounds (config.retractableProfile) --------
+    //
+    // Each addProfile() call that encodes at least one new pattern
+    // opens a new *round*; round indices are stable for the lifetime
+    // of the context (rebuilds preserve them, dropped rounds keep
+    // their slot). The UNSAT-core repair loop in beer::Session uses
+    // probe() + suspendRound() to find which rounds a contradiction
+    // depends on, then dropRound() to retract them for good.
+
+    /** Rounds opened so far (including dropped ones). 0 unless
+     *  config.retractableProfile. */
+    std::size_t roundCount() const;
+
+    /** Patterns of round @p round still encoded (empty if dropped). */
+    std::vector<TestPattern> roundPatterns(std::size_t round) const;
+
+    /** True iff dropRound(@p round) has been called. */
+    bool roundDropped(std::size_t round) const;
+
+    /** True iff the round is currently suspended. */
+    bool roundSuspended(std::size_t round) const;
+
+    /**
+     * Temporarily disable the round's constraints for subsequent
+     * probe()/solve() calls. Reversible via resumeRound().
+     */
+    void suspendRound(std::size_t round);
+    void resumeRound(std::size_t round);
+
+    /**
+     * Permanently retract the round: its clauses are released and its
+     * patterns forgotten, so a later addProfile() carrying re-measured
+     * evidence for those patterns encodes them afresh (into a new
+     * round) instead of being skipped as duplicates.
+     */
+    void dropRound(std::size_t round);
+
+    /**
+     * Plain satisfiability check of the currently enforced constraint
+     * set (suspended rounds excluded) — no enumeration, no blocking
+     * clauses. Any blocking clauses left by a previous solve() are
+     * retracted first so they cannot mask satisfiability.
+     *
+     * @param conflict_budget per-call conflict cap (0 = unlimited);
+     *        Unknown is returned when it is exhausted.
+     */
+    sat::SolveResult probe(std::uint64_t conflict_budget = 0);
 
     /** Patterns whose constraints are currently encoded. */
     std::size_t encodedPatterns() const;

@@ -1,5 +1,9 @@
 #include "dram/fault_proxy.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "util/logging.hh"
 
 namespace beer::dram
@@ -17,22 +21,65 @@ FaultInjectionProxy::FaultInjectionProxy(MemoryInterface &inner,
         BEER_ASSERT(fault.wordIndex < inner_.numWords());
         BEER_ASSERT(fault.bit < inner_.datawordBits());
     }
+    for (const FaultWindow &window : config_.windows)
+        BEER_ASSERT(window.startReadOp <= window.endReadOp);
+    for (const PatternCorruption &fault : config_.patternFaults)
+        BEER_ASSERT(fault.bit < inner_.datawordBits());
+    patternFaultHits_.assign(config_.patternFaults.size(), 0);
+}
+
+double
+FaultInjectionProxy::effectiveFlipRate(std::uint64_t op) const
+{
+    double rate = config_.transientFlipRate;
+    for (const FaultWindow &window : config_.windows)
+        if (op >= window.startReadOp && op < window.endReadOp)
+            rate = std::max(rate, window.flipRate);
+    const BurstFaults &burst = config_.burst;
+    if (burst.period && op % burst.period < burst.length)
+        rate = std::max(rate, burst.flipRate);
+    return rate;
 }
 
 void
 FaultInjectionProxy::perturbRead(std::size_t word_index, BitVec &data)
 {
-    if (config_.transientFlipRate > 0.0) {
+    const std::uint64_t op = readOps_++;
+    if (config_.stallEveryReads &&
+        (op + 1) % config_.stallEveryReads == 0) {
+        ++stallsInjected_;
+        if (config_.stallSeconds > 0.0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                config_.stallSeconds));
+    }
+    const double rate = effectiveFlipRate(op);
+    if (rate > 0.0) {
         for (std::size_t bit = 0; bit < data.size(); ++bit) {
-            if (rng_.bernoulli(config_.transientFlipRate)) {
+            if (rng_.bernoulli(rate)) {
                 data.flip(bit);
                 ++injectedFlips_;
             }
         }
     }
-    for (const StuckAtFault &fault : config_.stuckAt)
-        if (fault.wordIndex == word_index)
-            data.set(fault.bit, fault.value);
+    for (std::size_t i = 0; i < config_.patternFaults.size(); ++i) {
+        const PatternCorruption &fault = config_.patternFaults[i];
+        if (lastBroadcast_ != fault.triggerData)
+            continue;
+        if (fault.maxHits && patternFaultHits_[i] >= fault.maxHits)
+            continue;
+        if (fault.flipRate < 1.0 && !rng_.bernoulli(fault.flipRate))
+            continue;
+        data.flip(fault.bit);
+        ++patternFaultHits_[i];
+        ++patternHits_;
+        ++injectedFlips_;
+    }
+    for (const StuckAtFault &fault : config_.stuckAt) {
+        if (fault.wordIndex != word_index)
+            continue;
+        data.set(fault.bit, fault.value);
+        ++stuckAtHits_;
+    }
 }
 
 BitVec
@@ -65,6 +112,9 @@ FaultInjectionProxy::readByte(std::size_t byte_addr)
             }
         }
     }
+    // Stuck-at pins apply to byte reads aliasing a pinned data bit
+    // too: the fault models a broken post-correction data line, which
+    // the byte access path reads through just the same.
     const AddressMap::WordSlot slot =
         inner_.addressMap().slotOfByte(byte_addr);
     for (const StuckAtFault &fault : config_.stuckAt) {
@@ -78,6 +128,7 @@ FaultInjectionProxy::readByte(std::size_t byte_addr)
             value |= (std::uint8_t)(1u << in_byte);
         else
             value &= (std::uint8_t)~(1u << in_byte);
+        ++stuckAtHits_;
     }
     return value;
 }

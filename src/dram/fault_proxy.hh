@@ -1,18 +1,25 @@
 /**
  * @file
- * Fault-injection decorator over any memory backend.
+ * Fault-injection / chaos decorator over any memory backend.
  *
  * Wraps a MemoryInterface and perturbs what the wrapped backend
  * returns, for scenario-diversity studies (paper Sections 5.2 and
- * 7.1.5): extra transient read errors — post-correction bit flips on
- * every read, modeling particle strikes / bus noise beyond what the
- * backend itself simulates — and stuck-at faults that pin individual
- * post-correction data bits of chosen words to a fixed value. Because
- * it decorates the abstract interface, it composes with every backend:
- * a SimulatedChip, a TraceReplayBackend, or another proxy.
+ * 7.1.5) and for the chaos test suite that proves the recovery stack
+ * survives noisy measurement: extra transient read errors —
+ * post-correction bit flips on every read, modeling particle strikes /
+ * bus noise beyond what the backend itself simulates — stuck-at faults
+ * that pin individual post-correction data bits of chosen words to a
+ * fixed value, time-varying noise (flip-rate windows keyed to the
+ * read-operation count, periodic bursts), per-pattern corruption
+ * triggered by the last broadcast-written dataword, and injected read
+ * stalls. Because it decorates the abstract interface, it composes
+ * with every backend: a SimulatedChip, a TraceReplayBackend, or
+ * another proxy.
  *
  * Writes and refresh pauses pass through untouched; only read paths
- * (readDataword/readByte) are perturbed.
+ * (readDataword/readByte) are perturbed. With every chaos knob at its
+ * default the proxy is transparent: reads pass through bit-identical
+ * and no Rng draws are consumed.
  */
 
 #ifndef BEER_DRAM_FAULT_PROXY_HH
@@ -37,6 +44,43 @@ struct StuckAtFault
     bool value = false;
 };
 
+/**
+ * A flip-rate override active for a half-open range of per-word read
+ * operations [startReadOp, endReadOp) — transient noise that comes and
+ * goes, e.g. one poisoned measurement round.
+ */
+struct FaultWindow
+{
+    std::uint64_t startReadOp = 0;
+    std::uint64_t endReadOp = 0;
+    double flipRate = 0.0;
+};
+
+/** Periodic burst noise: the first @c length of every @c period read
+ *  ops flip at @c flipRate (0 period disables). */
+struct BurstFaults
+{
+    std::uint64_t period = 0;
+    std::uint64_t length = 0;
+    double flipRate = 0.0;
+};
+
+/**
+ * Corruption keyed to the test pattern being measured: while the last
+ * writeDatawordsBroadcast() data equals @c triggerData, each word read
+ * flips @c bit with probability @c flipRate. Deterministic (rate 1)
+ * triggers fabricate a consistently wrong profile entry — the
+ * poisoned-round scenario BEER's UNSAT repair must localize.
+ */
+struct PatternCorruption
+{
+    gf2::BitVec triggerData;
+    std::size_t bit = 0;
+    double flipRate = 1.0;
+    /** Stop corrupting after this many flipped reads (0 = never). */
+    std::uint64_t maxHits = 0;
+};
+
 /** Knobs for FaultInjectionProxy. */
 struct FaultInjectionConfig
 {
@@ -45,6 +89,18 @@ struct FaultInjectionConfig
     /** Bits pinned on read. */
     std::vector<StuckAtFault> stuckAt;
     std::uint64_t seed = 99;
+
+    // ---- chaos extensions (all inert by default) ----------------------
+    /** Flip-rate overrides over read-op ranges (max wins vs base). */
+    std::vector<FaultWindow> windows;
+    /** Periodic burst noise. */
+    BurstFaults burst;
+    /** Pattern-triggered corruption. */
+    std::vector<PatternCorruption> patternFaults;
+    /** Sleep on every Nth per-word read op (0 disables). */
+    std::uint64_t stallEveryReads = 0;
+    /** Stall duration, seconds. */
+    double stallSeconds = 0.0;
 };
 
 /** Decorator injecting extra read faults; see file comment. */
@@ -75,6 +131,7 @@ class FaultInjectionProxy : public MemoryInterface
                                  std::size_t count,
                                  const gf2::BitVec &data) override
     {
+        lastBroadcast_ = data;
         inner_.writeDatawordsBroadcast(words, count, data);
     }
 
@@ -102,17 +159,44 @@ class FaultInjectionProxy : public MemoryInterface
         inner_.pauseRefresh(seconds, temp_c);
     }
 
-    /** Transient flips injected so far (diagnostics). */
+    /** Transient flips injected so far (diagnostics). Counted
+     *  identically on the scalar and batched read paths: the batched
+     *  path perturbs each word in order with the same Rng stream. */
     std::uint64_t injectedFlips() const { return injectedFlips_; }
+
+    /** Stuck-at pins applied to dataword/byte reads so far. Each
+     *  (read, matching fault) application counts once, whether or not
+     *  the pin changed the read-back value. */
+    std::uint64_t stuckAtHits() const { return stuckAtHits_; }
+
+    /** Per-word read operations observed (dataword paths; batched
+     *  reads count each word). Windows and bursts key off this. */
+    std::uint64_t readOps() const { return readOps_; }
+
+    /** Read stalls injected so far. */
+    std::uint64_t stallsInjected() const { return stallsInjected_; }
+
+    /** Pattern-corruption flips injected so far. */
+    std::uint64_t patternHits() const { return patternHits_; }
 
   private:
     /** Apply transient flips and stuck-at pins to one read result. */
     void perturbRead(std::size_t word_index, gf2::BitVec &data);
 
+    /** Flip rate in force for read op @p op (max of base/window/burst). */
+    double effectiveFlipRate(std::uint64_t op) const;
+
     MemoryInterface &inner_;
     FaultInjectionConfig config_;
     util::Rng rng_;
+    gf2::BitVec lastBroadcast_;
     std::uint64_t injectedFlips_ = 0;
+    std::uint64_t stuckAtHits_ = 0;
+    std::uint64_t readOps_ = 0;
+    std::uint64_t stallsInjected_ = 0;
+    std::uint64_t patternHits_ = 0;
+    /** Per-patternFaults[i] flips, for maxHits expiry. */
+    std::vector<std::uint64_t> patternFaultHits_;
 };
 
 } // namespace beer::dram

@@ -9,7 +9,7 @@ Encoder::Encoder(Solver &solver)
     : solver_(solver)
 {
     trueLit_ = mkLit(solver_.newVar());
-    solver_.addClause(trueLit_);
+    emit(trueLit_);  // permanent by construction
 }
 
 Lit
@@ -17,6 +17,39 @@ Encoder::fresh()
 {
     ++auxVars_;
     return mkLit(solver_.newVar());
+}
+
+void
+Encoder::emit(std::vector<Lit> lits)
+{
+    if (group_ == kGroupNone)
+        solver_.addClause(std::move(lits));
+    else
+        solver_.addClause(std::move(lits), group_);
+}
+
+void
+Encoder::emit(Lit a)
+{
+    emit(std::vector<Lit>{a});
+}
+
+void
+Encoder::emit(Lit a, Lit b)
+{
+    emit(std::vector<Lit>{a, b});
+}
+
+void
+Encoder::emit(Lit a, Lit b, Lit c)
+{
+    emit(std::vector<Lit>{a, b, c});
+}
+
+void
+Encoder::emit(Lit a, Lit b, Lit c, Lit d)
+{
+    emit(std::vector<Lit>{a, b, c, d});
 }
 
 std::uint64_t
@@ -49,10 +82,14 @@ Encoder::mkAnd(Lit a, Lit b)
         return cached->second;
     }
     const Lit y = fresh();
-    solver_.addClause(~y, a);
-    solver_.addClause(~y, b);
-    solver_.addClause(~a, ~b, y);
-    andCache_.emplace(key, y);
+    emit(~y, a);
+    emit(~y, b);
+    emit(~a, ~b, y);
+    // Gates defined inside a retractable group must not be cached: the
+    // defining clauses vanish with the group, and a later reuse of the
+    // output literal would reference an unconstrained variable.
+    if (group_ == kGroupNone)
+        andCache_.emplace(key, y);
     return y;
 }
 
@@ -69,14 +106,14 @@ Encoder::mkAnd(const std::vector<Lit> &lits)
     big.reserve(lits.size() + 1);
     for (Lit l : lits) {
         if (l == constFalse()) {
-            solver_.addClause(~y);
+            emit(~y);
             return y;
         }
-        solver_.addClause(~y, l);
+        emit(~y, l);
         big.push_back(~l);
     }
     big.push_back(y);
-    solver_.addClause(std::move(big));
+    emit(std::move(big));
     return y;
 }
 
@@ -130,11 +167,12 @@ Encoder::mkXor(Lit a, Lit b)
         return flip ? ~cached->second : cached->second;
     }
     const Lit y = fresh();
-    solver_.addClause(~y, a, b);
-    solver_.addClause(~y, ~a, ~b);
-    solver_.addClause(y, ~a, b);
-    solver_.addClause(y, a, ~b);
-    xorCache_.emplace(key, y);
+    emit(~y, a, b);
+    emit(~y, ~a, ~b);
+    emit(y, ~a, b);
+    emit(y, a, ~b);
+    if (group_ == kGroupNone)
+        xorCache_.emplace(key, y);
     return flip ? ~y : y;
 }
 
@@ -163,36 +201,36 @@ Encoder::mkIte(Lit cond, Lit t, Lit f)
     if (t == f)
         return t;
     const Lit y = fresh();
-    solver_.addClause(~cond, ~t, y);
-    solver_.addClause(~cond, t, ~y);
-    solver_.addClause(cond, ~f, y);
-    solver_.addClause(cond, f, ~y);
+    emit(~cond, ~t, y);
+    emit(~cond, t, ~y);
+    emit(cond, ~f, y);
+    emit(cond, f, ~y);
     return y;
 }
 
 void
 Encoder::require(const std::vector<Lit> &lits)
 {
-    solver_.addClause(lits);
+    emit(lits);
 }
 
 void
 Encoder::require(Lit a)
 {
-    solver_.addClause(a);
+    emit(a);
 }
 
 void
 Encoder::requireImplies(Lit a, Lit b)
 {
-    solver_.addClause(~a, b);
+    emit(~a, b);
 }
 
 void
 Encoder::requireEqual(Lit a, Lit b)
 {
-    solver_.addClause(~a, b);
-    solver_.addClause(a, ~b);
+    emit(~a, b);
+    emit(a, ~b);
 }
 
 void
@@ -207,7 +245,7 @@ Encoder::requireAtMostOne(const std::vector<Lit> &lits)
 {
     for (std::size_t i = 0; i < lits.size(); ++i)
         for (std::size_t j = i + 1; j < lits.size(); ++j)
-            solver_.addClause(~lits[i], ~lits[j]);
+            emit(~lits[i], ~lits[j]);
 }
 
 void
@@ -230,13 +268,13 @@ Encoder::requireLexLeq(const std::vector<Lit> &a,
     Lit prefix_eq = constTrue();
     for (std::size_t i = 0; i < a.size(); ++i) {
         // prefix_eq -> (a_i -> b_i)
-        solver_.addClause(~prefix_eq, ~a[i], b[i]);
+        emit(~prefix_eq, ~a[i], b[i]);
         if (i + 1 == a.size())
             break;
         const Lit next = fresh();
         // (prefix_eq & a_i & b_i) -> next ; (prefix_eq & !a_i & !b_i) -> next
-        solver_.addClause(~prefix_eq, ~a[i], ~b[i], next);
-        solver_.addClause(~prefix_eq, a[i], b[i], next);
+        emit(~prefix_eq, ~a[i], ~b[i], next);
+        emit(~prefix_eq, a[i], b[i], next);
         prefix_eq = next;
     }
 }

@@ -13,6 +13,16 @@
  * of emitting a duplicate gate. A long-lived encoder shared across
  * incremental solve rounds (beer::IncrementalSolver) therefore pays
  * for each distinct subcircuit once.
+ *
+ * Clause-group routing: setGroup() redirects every emitted clause —
+ * gate definitions and top-level constraints alike — into a solver
+ * clause group, making whole encoded subformulas retractable. While a
+ * group is active, freshly built gates are NOT inserted into the
+ * structural-hash cache: their defining clauses are only enforced
+ * while the group is live, so caching them would let a later round
+ * reuse an output literal whose definition has been retracted. Cache
+ * lookups remain safe in grouped mode because only permanently
+ * defined (ungrouped) gates ever enter the cache.
  */
 
 #ifndef BEER_SAT_ENCODER_HH
@@ -82,6 +92,15 @@ class Encoder
     void requireLexLeq(const std::vector<Lit> &a,
                        const std::vector<Lit> &b);
 
+    /**
+     * Route subsequently emitted clauses into @p group
+     * (kGroupNone restores permanent, ungrouped emission).
+     */
+    void setGroup(GroupId group) { group_ = group; }
+
+    /** Group currently receiving emitted clauses (kGroupNone if none). */
+    GroupId group() const { return group_; }
+
     /** Number of auxiliary variables introduced so far. */
     std::size_t numAuxVars() const { return auxVars_; }
 
@@ -91,8 +110,16 @@ class Encoder
   private:
     static std::uint64_t pairKey(Lit a, Lit b);
 
+    /** Emit a clause, honoring the active clause group. */
+    void emit(std::vector<Lit> lits);
+    void emit(Lit a);
+    void emit(Lit a, Lit b);
+    void emit(Lit a, Lit b, Lit c);
+    void emit(Lit a, Lit b, Lit c, Lit d);
+
     Solver &solver_;
     Lit trueLit_;
+    GroupId group_ = kGroupNone;
     std::size_t auxVars_ = 0;
     /** Structural hash: canonical input pair -> gate output literal. */
     std::unordered_map<std::uint64_t, Lit> andCache_;

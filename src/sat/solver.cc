@@ -214,6 +214,29 @@ Solver::retireGroup(GroupId group)
 }
 
 void
+Solver::suspendGroup(GroupId group)
+{
+    BEER_ASSERT(group < groups_.size());
+    BEER_ASSERT(!groups_[group].retired);
+    groups_[group].suspended = true;
+}
+
+void
+Solver::resumeGroup(GroupId group)
+{
+    BEER_ASSERT(group < groups_.size());
+    BEER_ASSERT(!groups_[group].retired);
+    groups_[group].suspended = false;
+}
+
+bool
+Solver::groupSuspended(GroupId group) const
+{
+    BEER_ASSERT(group < groups_.size());
+    return !groups_[group].retired && groups_[group].suspended;
+}
+
+void
 Solver::releaseGroup(GroupId group)
 {
     retireGroup(group);
@@ -749,10 +772,14 @@ Solver::solve(const std::vector<Lit> &assumptions)
     // Live groups are enforced by assuming their activation literals;
     // they come first so group-conditional learned clauses assert at
     // the lowest decision levels.
+    // Suspended groups get the *negated* activation assumed so their
+    // clauses are definitively void for this call (rather than leaving
+    // the guard free for the search to set either way).
     assumptions_.clear();
     for (const Group &g : groups_)
         if (!g.retired)
-            assumptions_.push_back(g.activation);
+            assumptions_.push_back(g.suspended ? ~g.activation
+                                               : g.activation);
     assumptions_.insert(assumptions_.end(), assumptions.begin(),
                         assumptions.end());
     backtrack(0);

@@ -117,6 +117,22 @@ class Solver
     bool groupLive(GroupId group) const;
 
     /**
+     * Temporarily disable @p group: until resumeGroup(), solve()
+     * assumes the activation literal *false*, so the group's clauses
+     * are void for those calls. Unlike retireGroup() this is fully
+     * reversible — no root unit is added. Used by the UNSAT-core
+     * probe in beer::IncrementalSolver to test which measurement
+     * rounds a contradiction depends on.
+     */
+    void suspendGroup(GroupId group);
+
+    /** Re-enable a group disabled by suspendGroup(). Idempotent. */
+    void resumeGroup(GroupId group);
+
+    /** True iff @p group is currently suspended (and not retired). */
+    bool groupSuspended(GroupId group) const;
+
+    /**
      * Snapshot of the problem clauses (root-level units included,
      * learned clauses excluded). Group clauses appear with their guard
      * literal. Used for DIMACS export.
@@ -247,6 +263,7 @@ class Solver
     {
         Lit activation;
         bool retired = false;
+        bool suspended = false;
     };
     std::vector<Group> groups_;
     std::uint64_t wastedWords_ = 0;

@@ -95,6 +95,8 @@ stateName(JobState state)
         return "done";
     case JobState::Failed:
         return "failed";
+    case JobState::Quarantined:
+        return "quarantined";
     }
     return "unknown";
 }
@@ -125,11 +127,16 @@ jobJson(const JobStatus &job)
         << ",\"solutions\":" << job.solutions << ",\"complete\":"
         << (job.complete ? "true" : "false") << ",\"cache\":\""
         << cacheName(job.cache) << "\",\"seconds\":" << job.seconds
-        << ",\"overlap_seconds\":" << job.overlapSeconds;
+        << ",\"overlap_seconds\":" << job.overlapSeconds
+        << ",\"error_code\":\"" << jobErrorCodeName(job.errorCode)
+        << "\",\"attempts\":" << job.attempts;
     if (!job.codeString.empty())
         out << ",\"code\":\"" << jsonEscape(job.codeString) << "\"";
     if (!job.error.empty())
         out << ",\"error\":\"" << jsonEscape(job.error) << "\"";
+    // diagnosisJson is already a JSON object; embed it raw.
+    if (!job.diagnosisJson.empty())
+        out << ",\"diagnosis\":" << job.diagnosisJson;
     out << "}";
     return out.str();
 }
@@ -154,10 +161,15 @@ healthJson(const HealthReport &health)
         << ",\"running\":" << health.scheduler.running
         << ",\"peak_concurrent\":" << health.scheduler.peakConcurrent
         << ",\"queue_depth\":" << health.queueDepth
+        << ",\"retries\":" << health.retries
+        << ",\"quarantined\":" << health.quarantined
+        << ",\"expired\":" << health.expiredJobs
+        << ",\"journal_replays\":" << health.journalReplays
         << ",\"jobs\":{\"queued\":" << health.jobStates.queued
         << ",\"running\":" << health.jobStates.running
         << ",\"done\":" << health.jobStates.done
         << ",\"failed\":" << health.jobStates.failed
+        << ",\"quarantined\":" << health.jobStates.quarantined
         << "}},\"cache\":{\"entries\":" << health.cache.entries
         << ",\"exact_hits\":" << health.cache.exactHits
         << ",\"near_hits\":" << health.cache.nearHits

@@ -11,15 +11,26 @@
  * building unbounded backlog, the service layer's load-shedding
  * contract (HTTP 429).
  *
- * The scheduler tracks per-job state (Queued/Running/Done/Failed) and
- * aggregate counters, including the peak number of concurrently
- * running jobs — the observable the acceptance test uses to prove
- * multiple sessions really make progress simultaneously.
+ * The scheduler tracks per-job state (Queued/Running/Done/Failed/
+ * Quarantined) and aggregate counters, including the peak number of
+ * concurrently running jobs — the observable the acceptance test uses
+ * to prove multiple sessions really make progress simultaneously.
+ *
+ * Jobs carry an optional resilience policy (JobPolicy): a throwing
+ * attempt is retried automatically with exponential backoff up to
+ * maxRetries, after which the job is *quarantined* — a terminal state
+ * distinct from Failed that marks "this chip keeps failing, stop
+ * feeding it work" for fleet tooling. A start deadline bounds how
+ * stale a queued job may get: jobs picked up (or retried) past their
+ * deadline fail without running. Journal replay after a crash re-
+ * submits jobs under their original ids (the forced-id submit form),
+ * so poll URLs and dedup keys survive a restart.
  */
 
 #ifndef BEER_SVC_SCHEDULER_HH
 #define BEER_SVC_SCHEDULER_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -42,6 +53,29 @@ enum class JobState
     Running,
     Done,
     Failed,
+    /** Terminal: failed every attempt of a retry policy. The fleet
+     *  reads this as "stop submitting this chip until a human looks". */
+    Quarantined,
+};
+
+/** Per-job resilience policy (all off by default). */
+struct JobPolicy
+{
+    /** Automatic re-runs after a throwing attempt (0 = fail fast).
+     *  A job that exhausts its retries is Quarantined, not Failed. */
+    std::size_t maxRetries = 0;
+    /** Sleep backoffBaseSeconds * 2^(attempt-1) before retry attempt
+     *  N (0 disables). The sleep runs on the worker, trading one pool
+     *  slot for not hammering a noisy chip back-to-back. */
+    double backoffBaseSeconds = 0.0;
+    /**
+     * Seconds after submission by which the job must *start* (0 =
+     * none). A job dequeued — or considered for retry — past this is
+     * failed without running: the scheduler cannot preempt a running
+     * body, so in-flight timeout enforcement belongs to the body
+     * (e.g. SessionConfig::deadlineSeconds).
+     */
+    double deadlineSeconds = 0.0;
 };
 
 /** Knobs for the scheduler. */
@@ -49,6 +83,13 @@ struct SchedulerConfig
 {
     /** Max jobs queued-but-not-running before submissions shed. */
     std::size_t maxQueuedJobs = 256;
+    /**
+     * Invoked (without scheduler locks held) whenever a job reaches a
+     * terminal state — Done, Failed, or Quarantined, once per job.
+     * Retried attempts are not terminal. The service layer journals
+     * completions through this.
+     */
+    std::function<void(JobId, JobState)> onTerminal;
 };
 
 /** Aggregate counters (instantaneous + cumulative). */
@@ -64,6 +105,12 @@ struct SchedulerStats
     std::uint64_t running = 0;
     /** Peak of `running` over the scheduler's lifetime. */
     std::uint64_t peakConcurrent = 0;
+    /** Attempts re-queued by a retry policy. */
+    std::uint64_t retries = 0;
+    /** Jobs that exhausted their retries (terminal Quarantined). */
+    std::uint64_t quarantined = 0;
+    /** Jobs failed unrun because their start deadline had passed. */
+    std::uint64_t expired = 0;
 };
 
 /** Jobs per lifecycle state, counted over every job ever issued —
@@ -75,6 +122,7 @@ struct JobStateCounts
     std::uint64_t running = 0;
     std::uint64_t done = 0;
     std::uint64_t failed = 0;
+    std::uint64_t quarantined = 0;
 };
 
 /** Job scheduler over a shared thread pool; see file comment. */
@@ -91,15 +139,23 @@ class SessionScheduler
     SessionScheduler &operator=(const SessionScheduler &) = delete;
 
     /**
-     * Schedule @p work. Returns the assigned JobId, or 0 if the
-     * bounded queue is full. @p work receives its own JobId. A
-     * throwing job is recorded Failed; the exception does not
-     * propagate (the pool worker must survive).
+     * Schedule @p work under @p policy. Returns the assigned JobId,
+     * or 0 if the bounded queue is full. @p work receives its own
+     * JobId. A throwing job is retried per the policy, then recorded
+     * Failed (no policy) or Quarantined (retries exhausted); the
+     * exception never propagates (the pool worker must survive).
+     *
+     * @p force_id reuses a specific id (journal replay after a crash:
+     * resumed jobs keep the ids clients are polling). Forced ids must
+     * not collide with live ones; the id counter advances past them
+     * so later organic submissions cannot collide either.
      */
-    JobId submit(std::function<void(JobId)> work);
+    JobId submit(std::function<void(JobId)> work,
+                 JobPolicy policy = {}, JobId force_id = 0);
 
     /**
-     * Block until @p id reaches Done or Failed.
+     * Block until @p id reaches a terminal state (Done, Failed, or
+     * Quarantined).
      *
      * @return false if @p id was never issued
      */
@@ -111,19 +167,33 @@ class SessionScheduler
     /** State of @p id; nullopt if never issued. */
     std::optional<JobState> state(JobId id) const;
 
+    /** Attempts started for @p id so far (0 if unknown/not started). */
+    std::size_t attempts(JobId id) const;
+
     SchedulerStats stats() const;
 
     /** Per-state job census under one lock acquisition. */
     JobStateCounts stateCounts() const;
 
   private:
+    struct Job
+    {
+        JobState state = JobState::Queued;
+        JobPolicy policy;
+        std::size_t attempts = 0;
+        std::chrono::steady_clock::time_point submitted;
+    };
+
     void runJob(JobId id, const std::function<void(JobId)> &work);
+    /** Terminal transition + notify; returns the hook to invoke. */
+    void finishJob(std::unique_lock<std::mutex> &lock, Job &job,
+                   JobId id, JobState state);
 
     util::ThreadPool &pool_;
     SchedulerConfig config_;
     mutable std::mutex mutex_;
     std::condition_variable changed_;
-    std::unordered_map<JobId, JobState> jobs_;
+    std::unordered_map<JobId, Job> jobs_;
     JobId nextId_ = 1;
     SchedulerStats stats_;
 };

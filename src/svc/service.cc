@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "beer/measure.hh"
@@ -31,7 +32,63 @@ rejected(SubmitOutcome::Reject why, std::string error)
     return outcome;
 }
 
+/** One journal field may span the rest of its line; newlines and
+ * backslashes inside it are escaped so records stay one-per-line. */
+std::string
+escapeJournalField(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+unescapeJournalField(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+            ++i;
+            out += text[i] == 'n' ? '\n' : text[i];
+        } else {
+            out += text[i];
+        }
+    }
+    return out;
+}
+
 } // anonymous namespace
+
+const char *
+jobErrorCodeName(JobErrorCode code)
+{
+    switch (code) {
+    case JobErrorCode::None:
+        return "none";
+    case JobErrorCode::BadInput:
+        return "bad_input";
+    case JobErrorCode::MeasurementFailed:
+        return "measurement_failed";
+    case JobErrorCode::Unsatisfiable:
+        return "unsatisfiable";
+    case JobErrorCode::Ambiguous:
+        return "ambiguous";
+    case JobErrorCode::Timeout:
+        return "timeout";
+    case JobErrorCode::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
 
 /** Everything one job owns; stable address for its whole lifetime. */
 struct RecoveryService::JobRecord
@@ -60,7 +117,14 @@ RecoveryService::RecoveryService(ServiceConfig config)
     cache_->loadFromDisk();
     SchedulerConfig sched;
     sched.maxQueuedJobs = config_.maxQueuedJobs;
+    if (!config_.journalPath.empty())
+        sched.onTerminal = [this](JobId id, JobState state) {
+            journalAppend((state == JobState::Done ? "done "
+                                                   : "failed ") +
+                          std::to_string(id));
+        };
     scheduler_ = std::make_unique<SessionScheduler>(*pool_, sched);
+    replayJournal();
 }
 
 RecoveryService::~RecoveryService()
@@ -69,8 +133,70 @@ RecoveryService::~RecoveryService()
 }
 
 SubmitOutcome
+RecoveryService::scheduleRecord(std::unique_ptr<JobRecord> record,
+                                JobId force_id, bool journal)
+{
+    // Build the journal record before scheduling: once the scheduler
+    // accepts, the job may start (and even finish) on a worker at any
+    // moment, so the only fields safe to read afterwards are behind
+    // the record mutex. Replay tolerates a `done` line that beat its
+    // `submit` line to the file.
+    std::string submit_line;
+    if (journal && !config_.journalPath.empty() &&
+        !record->sessionMem) {
+        submit_line = !record->tracePath.empty()
+                          ? "trace " + std::to_string(
+                                record->options.parityBits) +
+                                " " +
+                                std::to_string(
+                                    record->options.bypassCache) +
+                                " " +
+                                escapeJournalField(record->tracePath)
+                          : "profile " + std::to_string(
+                                record->options.parityBits) +
+                                " " +
+                                std::to_string(
+                                    record->options.bypassCache) +
+                                " " +
+                                escapeJournalField(
+                                    serializeProfile(record->profile));
+    }
+
+    JobRecord *ptr = record.get();
+    const JobId id = scheduler_->submit(
+        [this, ptr](JobId job_id) {
+            {
+                std::lock_guard<std::mutex> lock(ptr->mutex);
+                ptr->status.id = job_id;
+            }
+            runJob(*ptr);
+        },
+        config_.jobPolicy, force_id);
+    if (id == 0)
+        return rejected(SubmitOutcome::Reject::Overloaded,
+                        "job queue is full, retry later");
+
+    if (!submit_line.empty())
+        journalAppend("submit " + std::to_string(id) + " " +
+                      submit_line);
+    {
+        std::lock_guard<std::mutex> lock(ptr->mutex);
+        ptr->status.id = id;
+    }
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        jobs_.emplace(id, std::move(record));
+    }
+    SubmitOutcome outcome;
+    outcome.accepted = true;
+    outcome.id = id;
+    return outcome;
+}
+
+SubmitOutcome
 RecoveryService::enqueue(MiscorrectionProfile profile,
-                         const SubmitOptions &options)
+                         const SubmitOptions &options, JobId force_id,
+                         bool journal)
 {
     if (stopped_.load())
         return rejected(SubmitOutcome::Reject::Overloaded,
@@ -96,30 +222,7 @@ RecoveryService::enqueue(MiscorrectionProfile profile,
     record->status.patterns = profile.patterns.size();
     record->profile = std::move(profile);
 
-    JobRecord *ptr = record.get();
-    const JobId id = scheduler_->submit([this, ptr](JobId job_id) {
-        {
-            std::lock_guard<std::mutex> lock(ptr->mutex);
-            ptr->status.id = job_id;
-        }
-        runJob(*ptr);
-    });
-    if (id == 0)
-        return rejected(SubmitOutcome::Reject::Overloaded,
-                        "job queue is full, retry later");
-
-    {
-        std::lock_guard<std::mutex> lock(ptr->mutex);
-        ptr->status.id = id;
-    }
-    {
-        std::lock_guard<std::mutex> lock(jobsMutex_);
-        jobs_.emplace(id, std::move(record));
-    }
-    SubmitOutcome outcome;
-    outcome.accepted = true;
-    outcome.id = id;
-    return outcome;
+    return scheduleRecord(std::move(record), force_id, journal);
 }
 
 SubmitOutcome
@@ -166,29 +269,7 @@ RecoveryService::submitTraceFile(const std::string &path,
     record->options = options;
     record->tracePath = path;
 
-    JobRecord *ptr = record.get();
-    const JobId id = scheduler_->submit([this, ptr](JobId job_id) {
-        {
-            std::lock_guard<std::mutex> lock(ptr->mutex);
-            ptr->status.id = job_id;
-        }
-        runJob(*ptr);
-    });
-    if (id == 0)
-        return rejected(SubmitOutcome::Reject::Overloaded,
-                        "job queue is full, retry later");
-    {
-        std::lock_guard<std::mutex> lock(ptr->mutex);
-        ptr->status.id = id;
-    }
-    {
-        std::lock_guard<std::mutex> lock(jobsMutex_);
-        jobs_.emplace(id, std::move(record));
-    }
-    SubmitOutcome outcome;
-    outcome.accepted = true;
-    outcome.id = id;
-    return outcome;
+    return scheduleRecord(std::move(record), 0, true);
 }
 
 SubmitOutcome
@@ -213,29 +294,119 @@ RecoveryService::submitSession(dram::MemoryInterface &mem,
     record->status.k = k;
     record->status.parityBits = parity;
 
-    JobRecord *ptr = record.get();
-    const JobId id = scheduler_->submit([this, ptr](JobId job_id) {
-        {
-            std::lock_guard<std::mutex> lock(ptr->mutex);
-            ptr->status.id = job_id;
+    return scheduleRecord(std::move(record), 0, true);
+}
+
+void
+RecoveryService::journalAppend(const std::string &line)
+{
+    if (config_.journalPath.empty())
+        return;
+    std::lock_guard<std::mutex> lock(journalMutex_);
+    // Open-per-append: no buffered state to lose on a kill -9, and
+    // the journal stays writable after transient filesystem errors.
+    std::ofstream out(config_.journalPath,
+                      std::ios::app | std::ios::binary);
+    if (!out) {
+        util::warn("svc: cannot append to journal '%s'",
+                      config_.journalPath.c_str());
+        return;
+    }
+    out << line << '\n';
+    out.flush();
+}
+
+void
+RecoveryService::replayJournal()
+{
+    if (config_.journalPath.empty())
+        return;
+    std::ifstream in(config_.journalPath);
+    if (!in)
+        return; // first boot over this path: nothing to replay
+
+    struct PendingSubmit
+    {
+        std::string kind;
+        std::size_t parityBits = 0;
+        bool bypassCache = false;
+        std::string payload;
+    };
+    // Ordered so survivors replay in original submission order. A
+    // fast job's `done` record can legitimately precede its `submit`
+    // record (the job ran to completion between the scheduler accept
+    // and the submit append), so terminal ids are collected separately
+    // instead of erased in line order.
+    std::map<JobId, PendingSubmit> pending;
+    std::set<JobId> finished;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string verb;
+        JobId id = 0;
+        fields >> verb >> id;
+        if (id == 0)
+            continue; // torn tail line from a crash mid-write
+        if (verb == "done" || verb == "failed") {
+            finished.insert(id);
+            continue;
         }
-        runJob(*ptr);
-    });
-    if (id == 0)
-        return rejected(SubmitOutcome::Reject::Overloaded,
-                        "job queue is full, retry later");
-    {
-        std::lock_guard<std::mutex> lock(ptr->mutex);
-        ptr->status.id = id;
+        if (verb != "submit")
+            continue;
+        PendingSubmit ps;
+        int bypass = 0;
+        fields >> ps.kind >> ps.parityBits >> bypass;
+        if (!fields)
+            continue;
+        ps.bypassCache = bypass != 0;
+        std::getline(fields, ps.payload);
+        if (!ps.payload.empty() && ps.payload.front() == ' ')
+            ps.payload.erase(0, 1);
+        pending[id] = std::move(ps);
     }
-    {
-        std::lock_guard<std::mutex> lock(jobsMutex_);
-        jobs_.emplace(id, std::move(record));
+
+    for (auto &[id, ps] : pending) {
+        if (finished.count(id))
+            continue;
+        SubmitOptions options;
+        options.parityBits = ps.parityBits;
+        options.bypassCache = ps.bypassCache;
+        SubmitOutcome outcome;
+        if (ps.kind == "profile") {
+            std::istringstream text(unescapeJournalField(ps.payload));
+            MiscorrectionProfile profile;
+            if (!tryParseProfile(text, profile).ok) {
+                util::warn("svc: journal job %llu: unreadable "
+                              "profile record, dropped",
+                              (unsigned long long)id);
+                continue;
+            }
+            outcome = enqueue(std::move(profile), options, id,
+                              /*journal=*/false);
+        } else if (ps.kind == "trace") {
+            const std::string path = unescapeJournalField(ps.payload);
+            if (!std::ifstream(path)) {
+                util::warn("svc: journal job %llu: trace file "
+                              "'%s' is gone, dropped",
+                              (unsigned long long)id, path.c_str());
+                continue;
+            }
+            auto record = std::make_unique<JobRecord>();
+            record->options = options;
+            record->tracePath = path;
+            outcome = scheduleRecord(std::move(record), id,
+                                     /*journal=*/false);
+        } else {
+            continue;
+        }
+        if (outcome.accepted)
+            journalReplays_.fetch_add(1, std::memory_order_relaxed);
+        else
+            util::warn("svc: journal job %llu: replay rejected "
+                          "(%s)",
+                          (unsigned long long)id,
+                          outcome.error.c_str());
     }
-    SubmitOutcome outcome;
-    outcome.accepted = true;
-    outcome.id = id;
-    return outcome;
 }
 
 FingerprintCache::Hit
@@ -296,6 +467,9 @@ RecoveryService::runSessionJob(JobRecord &record)
     config.adaptiveEarlyExit = record.sessionOptions.adaptiveEarlyExit;
     config.wordsUnderTest = record.sessionOptions.wordsUnderTest;
     config.pipelined = record.sessionOptions.pipelined;
+    config.repair = record.sessionOptions.repair;
+    config.deadlineSeconds = record.sessionOptions.deadlineSeconds;
+    config.measurementBudget = record.sessionOptions.measurementBudget;
     // Solve tasks ride the service pool: while this job's worker
     // blocks on the chip, an idle worker picks the solve up — one job,
     // two busy cores. The claimable-task handoff keeps a saturated
@@ -314,6 +488,25 @@ RecoveryService::runSessionJob(JobRecord &record)
     if (report.succeeded())
         cache_->insert(report.profile, parity, report.recoveredCode());
 
+    // Graceful degradation is a *completed* job with a diagnosis: the
+    // state stays Done, the taxonomy code says why the answer is not
+    // a unique function.
+    JobErrorCode code = JobErrorCode::None;
+    switch (report.diagnosis.outcome) {
+    case SessionOutcome::Unique:
+        break;
+    case SessionOutcome::Ambiguous:
+        code = JobErrorCode::Ambiguous;
+        break;
+    case SessionOutcome::Unsatisfiable:
+        code = JobErrorCode::Unsatisfiable;
+        break;
+    case SessionOutcome::DeadlineExceeded:
+    case SessionOutcome::BudgetExhausted:
+        code = JobErrorCode::Timeout;
+        break;
+    }
+
     std::lock_guard<std::mutex> lock(record.mutex);
     record.status.patterns = report.profile.patterns.size();
     record.status.succeeded = report.succeeded();
@@ -324,6 +517,8 @@ RecoveryService::runSessionJob(JobRecord &record)
         record.status.codeString = record.status.code->toString();
     }
     record.status.overlapSeconds = report.stats.overlapSeconds;
+    record.status.errorCode = code;
+    record.status.diagnosisJson = report.diagnosis.toJson();
 }
 
 void
@@ -333,15 +528,28 @@ RecoveryService::runJob(JobRecord &record)
     JobId id;
     {
         std::lock_guard<std::mutex> lock(record.mutex);
+        // A retried attempt starts clean: the previous attempt's
+        // failure is history, not state.
         record.status.state = JobState::Running;
+        record.status.error.clear();
+        record.status.errorCode = JobErrorCode::None;
         id = record.status.id;
     }
-    if (config_.onJobStart)
-        config_.onJobStart(id);
 
     try {
+        // Inside the try so a throwing test hook is classified and
+        // retried like any other job-body failure.
+        if (config_.onJobStart)
+            config_.onJobStart(id);
         if (record.sessionMem) {
-            runSessionJob(record);
+            try {
+                runSessionJob(record);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(record.mutex);
+                record.status.errorCode =
+                    JobErrorCode::MeasurementFailed;
+                throw;
+            }
             const double seconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - wall_start)
@@ -351,21 +559,28 @@ RecoveryService::runJob(JobRecord &record)
             record.status.state = JobState::Done;
             return;
         }
-        // Trace submissions re-measure their profile first.
+        // Trace submissions re-measure their profile first. A throw
+        // here means the recorded trace itself was unusable.
         if (!record.tracePath.empty()) {
-            dram::TraceReplayBackend trace(record.tracePath);
-            const ProfileCounts counts = replayProfileTrace(trace);
-            MiscorrectionProfile profile = counts.threshold(
-                traceMeasureConfig(trace).thresholdProbability);
-            const std::size_t parity =
-                record.options.parityBits
-                    ? record.options.parityBits
-                    : ecc::parityBitsForDataBits(profile.k);
-            std::lock_guard<std::mutex> lock(record.mutex);
-            record.status.k = profile.k;
-            record.status.parityBits = parity;
-            record.status.patterns = profile.patterns.size();
-            record.profile = std::move(profile);
+            try {
+                dram::TraceReplayBackend trace(record.tracePath);
+                const ProfileCounts counts = replayProfileTrace(trace);
+                MiscorrectionProfile profile = counts.threshold(
+                    traceMeasureConfig(trace).thresholdProbability);
+                const std::size_t parity =
+                    record.options.parityBits
+                        ? record.options.parityBits
+                        : ecc::parityBitsForDataBits(profile.k);
+                std::lock_guard<std::mutex> lock(record.mutex);
+                record.status.k = profile.k;
+                record.status.parityBits = parity;
+                record.status.patterns = profile.patterns.size();
+                record.profile = std::move(profile);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(record.mutex);
+                record.status.errorCode = JobErrorCode::BadInput;
+                throw;
+            }
         }
 
         const MiscorrectionProfile &profile = record.profile;
@@ -406,6 +621,14 @@ RecoveryService::runJob(JobRecord &record)
             }
         }
 
+        // Taxonomy for completed-but-answerless solves, mirroring the
+        // session diagnosis mapping.
+        if (!result.succeeded)
+            result.errorCode = (result.complete &&
+                                result.solutions == 0)
+                                   ? JobErrorCode::Unsatisfiable
+                                   : JobErrorCode::Ambiguous;
+
         const double seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - wall_start)
@@ -418,16 +641,21 @@ RecoveryService::runJob(JobRecord &record)
         record.status.codeString = std::move(result.codeString);
         record.status.cache = result.cache;
         record.status.seconds = seconds;
+        record.status.errorCode = result.errorCode;
         record.status.state = JobState::Done;
     } catch (const std::exception &e) {
         std::lock_guard<std::mutex> lock(record.mutex);
         record.status.error = e.what();
+        if (record.status.errorCode == JobErrorCode::None)
+            record.status.errorCode = JobErrorCode::Internal;
         record.status.state = JobState::Failed;
-        throw; // let the scheduler count the failure
+        throw; // let the scheduler count (and maybe retry) the failure
     } catch (...) {
         {
             std::lock_guard<std::mutex> lock(record.mutex);
             record.status.error = "unknown job failure";
+            if (record.status.errorCode == JobErrorCode::None)
+                record.status.errorCode = JobErrorCode::Internal;
             record.status.state = JobState::Failed;
         }
         throw;
@@ -441,8 +669,18 @@ RecoveryService::job(JobId id) const
     const auto it = jobs_.find(id);
     if (it == jobs_.end())
         return std::nullopt;
-    std::lock_guard<std::mutex> lock(it->second->mutex);
-    return it->second->status;
+    JobStatus status;
+    {
+        std::lock_guard<std::mutex> lock(it->second->mutex);
+        status = it->second->status;
+    }
+    // The scheduler owns the lifecycle — it alone knows about retry
+    // re-queues and quarantine — so its state and attempt count
+    // overlay the record's last-written snapshot.
+    if (const auto state = scheduler_->state(id))
+        status.state = *state;
+    status.attempts = scheduler_->attempts(id);
+    return status;
 }
 
 bool
@@ -473,8 +711,15 @@ RecoveryService::listJobs(std::size_t offset, std::size_t limit) const
     auto it = jobs_.begin();
     std::advance(it, std::min(offset, jobs_.size()));
     for (; it != jobs_.end() && page.jobs.size() < limit; ++it) {
-        std::lock_guard<std::mutex> lock(it->second->mutex);
-        page.jobs.push_back(it->second->status);
+        JobStatus status;
+        {
+            std::lock_guard<std::mutex> lock(it->second->mutex);
+            status = it->second->status;
+        }
+        if (const auto state = scheduler_->state(it->first))
+            status.state = *state;
+        status.attempts = scheduler_->attempts(it->first);
+        page.jobs.push_back(std::move(status));
     }
     return page;
 }
@@ -501,6 +746,11 @@ RecoveryService::health() const
         legacyPayloads_.load(std::memory_order_relaxed);
     report.batchedLookups =
         batchedLookups_.load(std::memory_order_relaxed);
+    report.retries = report.scheduler.retries;
+    report.quarantined = report.scheduler.quarantined;
+    report.expiredJobs = report.scheduler.expired;
+    report.journalReplays =
+        journalReplays_.load(std::memory_order_relaxed);
     return report;
 }
 

@@ -68,8 +68,15 @@ struct SubmitOptions
 /** Options for a chip-endpoint session submission. */
 struct SessionSubmitOptions
 {
-    /** Measurement plan the session drives against the chip. */
+    /** Measurement plan the session drives against the chip
+     *  (including quorum reads, MeasureConfig::quorum). */
     MeasureConfig measure = MeasureConfig::paperDefault();
+    /** UNSAT-core repair of noise-poisoned rounds. */
+    SessionRepairConfig repair;
+    /** Per-session wall-clock deadline, seconds (0 = none). */
+    double deadlineSeconds = 0.0;
+    /** Per-session experiment budget (0 = none). */
+    std::uint64_t measurementBudget = 0;
     /**
      * Overlap the session's SAT solves with its measurement rounds on
      * the service pool (beer::Session pipelined mode). The job then
@@ -116,6 +123,34 @@ enum class CacheOutcome
     Near,
 };
 
+/**
+ * Structured failure/degradation taxonomy for jobs. Orthogonal to
+ * JobState: a Done session job can still carry Unsatisfiable or
+ * Timeout when it completed by degrading gracefully instead of
+ * recovering a unique function, and a Failed job says *why* without
+ * string matching.
+ */
+enum class JobErrorCode
+{
+    None,
+    /** The submission's own data was unusable (bad trace, bad k). */
+    BadInput,
+    /** The chip/backend measurement path threw. */
+    MeasurementFailed,
+    /** No ECC function is consistent with the evidence (corruption
+     *  that quorum + repair could not mask). */
+    Unsatisfiable,
+    /** Multiple candidate functions remain (need more evidence). */
+    Ambiguous,
+    /** A deadline or measurement budget expired first. */
+    Timeout,
+    /** Anything else that threw out of the job body. */
+    Internal,
+};
+
+/** Stable lower_snake name for JSON/logs (e.g. "bad_input"). */
+const char *jobErrorCodeName(JobErrorCode code);
+
 /** Poll-able snapshot of one job. */
 struct JobStatus
 {
@@ -145,6 +180,12 @@ struct JobStatus
     double overlapSeconds = 0.0;
     /** Set when state == Failed. */
     std::string error;
+    /** Structured failure/degradation class; see JobErrorCode. */
+    JobErrorCode errorCode = JobErrorCode::None;
+    /** Attempts started (> 1 only under a retry policy). */
+    std::size_t attempts = 0;
+    /** SessionDiagnosis::toJson() for session jobs, else empty. */
+    std::string diagnosisJson;
 };
 
 /** One page of the job listing. */
@@ -180,6 +221,14 @@ struct HealthReport
     /** Cache lookups that rode a combined (single-lock) batch pass
      * with at least one other concurrent lookup. */
     std::uint64_t batchedLookups = 0;
+    /** Job attempts re-queued by the retry policy. */
+    std::uint64_t retries = 0;
+    /** Jobs quarantined after exhausting their retries. */
+    std::uint64_t quarantined = 0;
+    /** Jobs failed unrun because their start deadline passed. */
+    std::uint64_t expiredJobs = 0;
+    /** Unfinished journaled jobs re-submitted at startup. */
+    std::uint64_t journalReplays = 0;
 };
 
 /** Construction knobs for the service. */
@@ -197,6 +246,21 @@ struct ServiceConfig
      * them, for deployments that demand explicit versioning.
      */
     bool rejectLegacyPayloads = false;
+    /** Resilience policy applied to every job (retries/backoff/start
+     *  deadline); see JobPolicy. */
+    JobPolicy jobPolicy;
+    /**
+     * Append-only job journal path (empty = no journal). Every
+     * profile/payload/trace submission appends a `submit` record
+     * (flushed before the submit call returns) and every terminal
+     * job a `done`/`failed` record, so a service constructed over the
+     * same path after a crash re-submits the unfinished jobs under
+     * their original ids (HealthReport::journalReplays) — queued work
+     * survives restarts without duplicate side effects. Session
+     * (chip-endpoint) jobs are not journaled: a live chip pointer
+     * cannot be re-created from disk.
+     */
+    std::string journalPath;
     /** Test/observability hook: runs on the worker as a job starts. */
     std::function<void(JobId)> onJobStart;
 };
@@ -279,9 +343,21 @@ class RecoveryService
     struct JobRecord;
 
     SubmitOutcome enqueue(MiscorrectionProfile profile,
-                          const SubmitOptions &options);
+                          const SubmitOptions &options,
+                          JobId force_id = 0, bool journal = true);
+    /** Register + schedule a prepared record (shared submit tail).
+     *  @p force_id reuses a journaled id; @p journal appends the
+     *  submit record (off when replaying — the line already exists). */
+    SubmitOutcome scheduleRecord(std::unique_ptr<JobRecord> record,
+                                 JobId force_id, bool journal);
     void runJob(JobRecord &record);
     void runSessionJob(JobRecord &record);
+
+    /** Append one line to the journal and flush it (no-op without a
+     *  configured path). */
+    void journalAppend(const std::string &line);
+    /** Re-submit unfinished jobs recorded in the journal. */
+    void replayJournal();
 
     /**
      * Cache lookup via the combining batcher: concurrent callers
@@ -318,7 +394,9 @@ class RecoveryService
     std::atomic<std::uint64_t> satSolves_{0};
     std::atomic<std::uint64_t> legacyPayloads_{0};
     std::atomic<std::uint64_t> batchedLookups_{0};
+    std::atomic<std::uint64_t> journalReplays_{0};
     std::atomic<bool> stopped_{false};
+    std::mutex journalMutex_;
     std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Chaos tests for noise-hardened recovery: the quorum-read measurement
+ * path, the session's UNSAT-core repair loop, and the graceful
+ * degradation diagnosis must survive a FaultInjectionProxy configured
+ * as an adversarial backend — and the whole stack must stay
+ * bit-identical to the clean path when every chaos knob is at its
+ * default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "beer/beer.hh"
+#include "beer/session.hh"
+#include "dram/chip.hh"
+#include "dram/fault_proxy.hh"
+#include "ecc/code_equiv.hh"
+#include "ecc/hamming.hh"
+
+using namespace beer;
+using beer::dram::ChipConfig;
+using beer::dram::FaultInjectionConfig;
+using beer::dram::FaultInjectionProxy;
+using beer::dram::makeVendorConfig;
+using beer::dram::SimulatedChip;
+
+namespace
+{
+
+ChipConfig
+testChipConfig(char vendor, std::size_t k, std::uint64_t seed)
+{
+    ChipConfig config = makeVendorConfig(vendor, k, seed);
+    config.map.rows = 64;
+    config.iidErrors = true;
+    return config;
+}
+
+MeasureConfig
+fastMeasure(const SimulatedChip &chip)
+{
+    MeasureConfig measure;
+    measure.pausesSeconds.clear();
+    for (double ber : {0.05, 0.15, 0.3})
+        measure.pausesSeconds.push_back(
+            chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
+    measure.repeatsPerPause = 25;
+    measure.thresholdProbability = 1e-4;
+    return measure;
+}
+
+/** The exhaustive (ground-truth) profile of @p code over 1-CHARGED
+ *  patterns — what an ideal noise-free measurement converges to. */
+MiscorrectionProfile
+exhaustiveProfile(const ecc::LinearCode &code, std::size_t k)
+{
+    MiscorrectionProfile profile;
+    profile.k = k;
+    // {1,2}-CHARGED: the union the paper proves unique for shortened
+    // codes (1-CHARGED alone is ambiguous at k=8).
+    for (const TestPattern &pattern : chargedPatternUnion(k, {1, 2})) {
+        PatternProfile entry;
+        entry.pattern = pattern;
+        entry.miscorrectable = gf2::BitVec(k);
+        for (std::size_t bit = 0; bit < k; ++bit) {
+            if (patternContains(pattern, bit))
+                continue;
+            if (miscorrectionPossible(code, pattern, bit))
+                entry.miscorrectable.set(bit, true);
+        }
+        profile.patterns.push_back(std::move(entry));
+    }
+    return profile;
+}
+
+} // anonymous namespace
+
+// With every chaos knob at its default the proxy must be a perfect
+// pass-through: the full adaptive session recovers the identical
+// function with the identical schedule, and no fault counter moves.
+TEST(Chaos, DefaultProxyIsTransparentToSessions)
+{
+    SimulatedChip bare(testChipConfig('A', 16, 7001));
+    SessionConfig config;
+    config.measure = fastMeasure(bare);
+    config.wordsUnderTest = dram::trueCellWords(bare);
+    Session bare_session(bare, config);
+    const RecoveryReport clean = bare_session.run();
+    ASSERT_TRUE(clean.succeeded());
+
+    SimulatedChip chip(testChipConfig('A', 16, 7001));
+    FaultInjectionProxy proxy(chip, FaultInjectionConfig{});
+    config.wordsUnderTest = dram::trueCellWords(chip);
+    Session proxied_session(proxy, config);
+    const RecoveryReport proxied = proxied_session.run();
+
+    ASSERT_TRUE(proxied.succeeded());
+    EXPECT_EQ(clean.counts.patterns, proxied.counts.patterns);
+    EXPECT_EQ(clean.counts.errorCounts, proxied.counts.errorCounts);
+    EXPECT_EQ(clean.profile, proxied.profile);
+    EXPECT_TRUE(ecc::equivalent(clean.recoveredCode(),
+                                proxied.recoveredCode()));
+    EXPECT_EQ(clean.stats.patternMeasurements,
+              proxied.stats.patternMeasurements);
+    EXPECT_EQ(proxy.injectedFlips(), 0u);
+    EXPECT_EQ(proxy.stuckAtHits(), 0u);
+    EXPECT_EQ(proxy.patternHits(), 0u);
+    EXPECT_EQ(proxy.stallsInjected(), 0u);
+    EXPECT_EQ(proxied.stats.quorumDisagreements, 0u);
+    EXPECT_EQ(proxied.diagnosis.outcome, SessionOutcome::Unique);
+}
+
+// Batched reads through the proxy must perturb identically to the
+// scalar path: same read-back data, same injected-flip count.
+TEST(Chaos, BatchedReadsMatchScalarFlipForFlip)
+{
+    FaultInjectionConfig chaos;
+    chaos.transientFlipRate = 0.05;
+    chaos.stuckAt.push_back({3, 2, true});
+    chaos.seed = 42;
+
+    SimulatedChip chip_a(testChipConfig('B', 8, 7002));
+    SimulatedChip chip_b(testChipConfig('B', 8, 7002));
+    FaultInjectionProxy scalar(chip_a, chaos);
+    FaultInjectionProxy batched(chip_b, chaos);
+
+    const std::vector<std::size_t> words = {0, 1, 2, 3, 4, 5, 6, 7};
+    for (int round = 0; round < 10; ++round) {
+        std::vector<gf2::BitVec> batch;
+        batched.readDatawords(words.data(), words.size(), batch);
+        for (std::size_t i = 0; i < words.size(); ++i)
+            EXPECT_EQ(scalar.readDataword(words[i]), batch[i])
+                << "round " << round << " word " << i;
+    }
+    EXPECT_EQ(scalar.injectedFlips(), batched.injectedFlips());
+    EXPECT_EQ(scalar.stuckAtHits(), batched.stuckAtHits());
+    EXPECT_GT(batched.injectedFlips(), 0u);
+    EXPECT_GT(batched.stuckAtHits(), 0u);
+    EXPECT_EQ(scalar.readOps(), batched.readOps());
+}
+
+// The acceptance differential: under transient + burst noise, quorum
+// reads plus UNSAT-core repair must still recover the ground-truth
+// function a clean session recovers, for k in {8, 16, 32}.
+TEST(Chaos, DifferentialRecoveryUnderNoise)
+{
+    for (std::size_t k : {8u, 16u, 32u}) {
+        SimulatedChip clean_chip(testChipConfig('A', k, 7100 + k));
+        SessionConfig clean_config;
+        clean_config.measure = fastMeasure(clean_chip);
+        clean_config.wordsUnderTest = dram::trueCellWords(clean_chip);
+        Session clean_session(clean_chip, clean_config);
+        const RecoveryReport clean = clean_session.run();
+        ASSERT_TRUE(clean.succeeded()) << "k=" << k;
+
+        SimulatedChip chip(testChipConfig('A', k, 7100 + k));
+        FaultInjectionConfig chaos;
+        chaos.transientFlipRate = 1e-4;
+        chaos.burst = {2048, 64, 5e-4};
+        chaos.seed = 4242 + k;
+        FaultInjectionProxy proxy(chip, chaos);
+
+        SessionConfig config;
+        config.measure = fastMeasure(chip);
+        config.measure.quorum.votes = 3;
+        config.measure.quorum.escalatedVotes = 7;
+        config.repair.enabled = true;
+        config.repair.maxAttempts = 4;
+        config.repair.remeasureVotes = 7;
+        config.wordsUnderTest = dram::trueCellWords(chip);
+        Session session(proxy, config);
+        const RecoveryReport noisy = session.run();
+
+        ASSERT_TRUE(noisy.succeeded()) << "k=" << k;
+        EXPECT_TRUE(ecc::equivalent(noisy.recoveredCode(),
+                                    chip.groundTruthCode()))
+            << "k=" << k;
+        EXPECT_TRUE(ecc::equivalent(noisy.recoveredCode(),
+                                    clean.recoveredCode()))
+            << "k=" << k;
+        EXPECT_EQ(noisy.diagnosis.outcome, SessionOutcome::Unique)
+            << "k=" << k;
+    }
+}
+
+// Quorum voting masks transient read noise the single-read path would
+// swallow into the profile, and flags the disagreements it saw.
+TEST(Chaos, QuorumVotesOutTransientNoise)
+{
+    SimulatedChip clean_chip(testChipConfig('C', 8, 7200));
+    MeasureConfig measure = fastMeasure(clean_chip);
+    const auto words = dram::trueCellWords(clean_chip);
+    const auto patterns = chargedPatterns(8, 1);
+    const ProfileCounts clean =
+        measureProfile(clean_chip, patterns, measure, words);
+
+    SimulatedChip chip(testChipConfig('C', 8, 7200));
+    FaultInjectionConfig chaos;
+    chaos.transientFlipRate = 1e-3;
+    chaos.seed = 11;
+    FaultInjectionProxy proxy(chip, chaos);
+    measure.quorum.votes = 5;
+    measure.quorum.escalatedVotes = 9;
+    const ProfileCounts quorum =
+        measureProfile(proxy, patterns, measure, words);
+
+    // The noise really fired, the quorum really saw it...
+    EXPECT_GT(proxy.injectedFlips(), 0u);
+    EXPECT_GT(quorum.totalDisagreements(), 0u);
+    // ...and the thresholded profile still matches the clean chip's.
+    EXPECT_EQ(clean.threshold(measure.thresholdProbability),
+              quorum.threshold(measure.thresholdProbability));
+}
+
+// One poisoned measurement round — a pattern-triggered deterministic
+// corruption that expires before the repair re-measures — must be
+// localized by the UNSAT-core probe, retracted, re-measured, and the
+// session must still converge on the ground-truth function.
+TEST(Chaos, RepairRetractsPoisonedRound)
+{
+    const std::size_t k = 16;
+    SimulatedChip chip(testChipConfig('A', k, 7300));
+    const auto words = dram::trueCellWords(chip);
+
+    // Find a (pattern, bit) where the secret code can never
+    // miscorrect; rate-1 corruption there is a hard contradiction.
+    const ecc::LinearCode &secret = chip.groundTruthCode();
+    TestPattern poisoned;
+    std::size_t bad_bit = k;
+    for (const TestPattern &pattern : chargedPatterns(k, 1)) {
+        for (std::size_t bit = 0; bit < k && bad_bit == k; ++bit) {
+            if (patternContains(pattern, bit))
+                continue;
+            if (!miscorrectionPossible(secret, pattern, bit)) {
+                poisoned = pattern;
+                bad_bit = bit;
+            }
+        }
+        if (bad_bit != k)
+            break;
+    }
+    ASSERT_NE(bad_bit, k) << "no contradiction site in this code";
+
+    MeasureConfig measure = fastMeasure(chip);
+    dram::PatternCorruption corruption;
+    corruption.triggerData = datawordForPattern(poisoned, k,
+                                                dram::CellType::True);
+    corruption.bit = bad_bit;
+    corruption.flipRate = 1.0;
+    // Enough hits to poison the pattern's first full measurement
+    // (words x pauses x repeats reads), then the fault goes away — the
+    // transient-burst scenario repair exists for.
+    corruption.maxHits = words.size() *
+                         measure.pausesSeconds.size() *
+                         measure.repeatsPerPause;
+
+    FaultInjectionConfig chaos;
+    chaos.patternFaults.push_back(corruption);
+    FaultInjectionProxy proxy(chip, chaos);
+
+    SessionConfig config;
+    config.measure = measure;
+    config.repair.enabled = true;
+    config.repair.remeasureVotes = 5;
+    config.wordsUnderTest = words;
+    Session session(proxy, config);
+    const RecoveryReport report = session.run();
+
+    EXPECT_GT(proxy.patternHits(), 0u);
+    ASSERT_TRUE(report.succeeded());
+    EXPECT_TRUE(ecc::equivalent(report.recoveredCode(),
+                                chip.groundTruthCode()));
+    EXPECT_GE(report.stats.repairAttempts, 1u);
+    EXPECT_GE(report.stats.roundsRetracted, 1u);
+    EXPECT_GT(report.stats.patternsRemeasured, 0u);
+    EXPECT_EQ(report.diagnosis.outcome, SessionOutcome::Unique);
+}
+
+// A persistent stuck-at fault contradicts every re-measurement, so
+// repair must exhaust its attempts and the session must degrade
+// gracefully into an Unsatisfiable diagnosis instead of throwing or
+// claiming an answer.
+TEST(Chaos, PersistentStuckAtDiagnosedUnsatisfiable)
+{
+    const std::size_t k = 16;
+    SimulatedChip chip(testChipConfig('B', k, 7400));
+    const auto words = dram::trueCellWords(chip);
+
+    FaultInjectionConfig chaos;
+    // Pin one data bit of several words high: patterns that discharge
+    // that bit read a miscorrection no SEC function can explain.
+    for (std::size_t i = 0; i < 4 && i < words.size(); ++i)
+        chaos.stuckAt.push_back({words[i], 5, true});
+    FaultInjectionProxy proxy(chip, chaos);
+
+    SessionConfig config;
+    config.measure = fastMeasure(chip);
+    config.repair.enabled = true;
+    config.repair.maxAttempts = 2;
+    config.wordsUnderTest = words;
+    Session session(proxy, config);
+    const RecoveryReport report = session.run();
+
+    EXPECT_GT(proxy.stuckAtHits(), 0u);
+    EXPECT_FALSE(report.succeeded());
+    EXPECT_EQ(report.diagnosis.outcome, SessionOutcome::Unsatisfiable);
+    EXPECT_FALSE(report.diagnosis.detail.empty());
+    EXPECT_EQ(report.diagnosis.repairAttempts, 2u);
+    // The machine-readable form carries the same verdict.
+    EXPECT_NE(report.diagnosis.toJson().find("\"unsatisfiable\""),
+              std::string::npos);
+}
+
+// Injected read stalls against a session deadline: the session must
+// stop on time and say why, not hang or crash.
+TEST(Chaos, DeadlineExceededUnderReadStalls)
+{
+    SimulatedChip chip(testChipConfig('A', 16, 7500));
+    FaultInjectionConfig chaos;
+    chaos.stallEveryReads = 16;
+    chaos.stallSeconds = 0.01;
+    FaultInjectionProxy proxy(chip, chaos);
+
+    SessionConfig config;
+    config.measure = fastMeasure(chip);
+    config.deadlineSeconds = 0.05;
+    config.wordsUnderTest = dram::trueCellWords(chip);
+    Session session(proxy, config);
+    const RecoveryReport report = session.run();
+
+    EXPECT_GT(proxy.stallsInjected(), 0u);
+    EXPECT_EQ(report.diagnosis.outcome,
+              SessionOutcome::DeadlineExceeded);
+    EXPECT_FALSE(report.diagnosis.detail.empty());
+    EXPECT_GT(report.diagnosis.elapsedSeconds, 0.0);
+}
+
+// A measurement budget bounds the experiment count the same way.
+TEST(Chaos, MeasurementBudgetExhaustionDiagnosed)
+{
+    SimulatedChip chip(testChipConfig('A', 16, 7600));
+    SessionConfig config;
+    config.measure = fastMeasure(chip);
+    config.measurementBudget = 2;
+    config.wordsUnderTest = dram::trueCellWords(chip);
+    Session session(chip, config);
+    const RecoveryReport report = session.run();
+
+    EXPECT_EQ(report.diagnosis.outcome,
+              SessionOutcome::BudgetExhausted);
+    EXPECT_FALSE(report.diagnosis.detail.empty());
+}
+
+// Seed-pinned contract: a self-contradictory profile has zero
+// consistent ECC functions, the enumeration proves it (complete with
+// an empty solution list), and it does not throw.
+TEST(Diagnosis, ContradictoryProfileHasZeroSolutions)
+{
+    const std::size_t k = 8;
+    const ecc::LinearCode code = ecc::canonicalSecCode(k);
+    MiscorrectionProfile profile = exhaustiveProfile(code, k);
+
+    // Sanity: the honest profile identifies the function.
+    const BeerSolveResult honest = solveForEccFunction(profile);
+    ASSERT_TRUE(honest.unique());
+
+    // Claim a miscorrection at a position the code can never produce.
+    bool poisoned = false;
+    for (PatternProfile &entry : profile.patterns) {
+        for (std::size_t bit = 0; bit < k && !poisoned; ++bit) {
+            if (patternContains(entry.pattern, bit) ||
+                entry.miscorrectable.get(bit))
+                continue;
+            entry.miscorrectable.set(bit, true);
+            poisoned = true;
+        }
+        if (poisoned)
+            break;
+    }
+    ASSERT_TRUE(poisoned);
+
+    const BeerSolveResult contradicted = solveForEccFunction(profile);
+    EXPECT_TRUE(contradicted.complete);
+    EXPECT_TRUE(contradicted.solutions.empty());
+}

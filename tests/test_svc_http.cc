@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -184,4 +185,44 @@ TEST(SvcHttp, SocketRoundTrip)
 
     server.stop();
     serving.join();
+}
+
+TEST(SvcHttp, TaxonomyAndResilienceFieldsSurface)
+{
+    svc::ServiceConfig config;
+    config.jobPolicy.maxRetries = 1;
+    config.onJobStart = [](svc::JobId) {
+        throw std::runtime_error("injected");
+    };
+    RecoveryService service(config);
+    HttpServer server(service);
+
+    const HttpResponse submit =
+        server.handle("POST", "/v1/jobs", plantedPayload(8, 57));
+    ASSERT_EQ(submit.status, 202) << submit.body;
+    const std::uint64_t id = parseJobId(submit.body);
+    ASSERT_TRUE(service.waitForJob(id));
+
+    // The poll carries the quarantine state, the taxonomy code, the
+    // attempt count, and the raw failure string.
+    const HttpResponse poll =
+        server.handle("GET", "/v1/jobs/" + std::to_string(id), "");
+    EXPECT_EQ(poll.status, 200);
+    EXPECT_NE(poll.body.find("\"state\":\"quarantined\""),
+              std::string::npos)
+        << poll.body;
+    EXPECT_NE(poll.body.find("\"error_code\":\"internal\""),
+              std::string::npos);
+    EXPECT_NE(poll.body.find("\"attempts\":2"), std::string::npos);
+    EXPECT_NE(poll.body.find("\"error\":\"injected\""),
+              std::string::npos);
+
+    // Health exposes the retry/quarantine/journal counters.
+    const HttpResponse health = server.handle("GET", "/health", "");
+    EXPECT_NE(health.body.find("\"retries\":1"), std::string::npos);
+    EXPECT_NE(health.body.find("\"quarantined\":1"),
+              std::string::npos);
+    EXPECT_NE(health.body.find("\"journal_replays\":0"),
+              std::string::npos);
+    EXPECT_NE(health.body.find("\"expired\":0"), std::string::npos);
 }

@@ -9,9 +9,13 @@
 
 #include <gtest/gtest.h>
 
-#include <stdexcept>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "svc/scheduler.hh"
@@ -201,4 +205,153 @@ TEST(SvcScheduler, StateCountsTrackJobLifecycles)
     EXPECT_EQ(counts.queued, 0u);
     EXPECT_EQ(counts.done, 2u);
     EXPECT_EQ(counts.failed, 1u);
+}
+
+TEST(SvcScheduler, RetryPolicyRerunsThrowingJobs)
+{
+    ThreadPool pool(2);
+    SessionScheduler scheduler(pool);
+
+    beer::svc::JobPolicy policy;
+    policy.maxRetries = 3;
+
+    std::atomic<int> runs{0};
+    const JobId flaky = scheduler.submit(
+        [&](JobId) {
+            // Fail twice, then succeed: the classic transient fault.
+            if (runs.fetch_add(1) < 2)
+                throw std::runtime_error("transient");
+        },
+        policy);
+    ASSERT_TRUE(scheduler.wait(flaky));
+
+    EXPECT_EQ(scheduler.state(flaky), JobState::Done);
+    EXPECT_EQ(runs.load(), 3);
+    EXPECT_EQ(scheduler.attempts(flaky), 3u);
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.retries, 2u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.quarantined, 0u);
+}
+
+TEST(SvcScheduler, ExhaustedRetriesQuarantine)
+{
+    ThreadPool pool(2);
+    SessionScheduler scheduler(pool);
+
+    beer::svc::JobPolicy policy;
+    policy.maxRetries = 2;
+
+    std::atomic<int> runs{0};
+    const JobId doomed = scheduler.submit(
+        [&](JobId) {
+            ++runs;
+            throw std::runtime_error("persistent");
+        },
+        policy);
+    ASSERT_TRUE(scheduler.wait(doomed));
+
+    // 1 original attempt + 2 retries, then terminal Quarantined (not
+    // Failed: the policy was spent, fleet tooling should flag it).
+    EXPECT_EQ(runs.load(), 3);
+    EXPECT_EQ(scheduler.state(doomed), JobState::Quarantined);
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.retries, 2u);
+    EXPECT_EQ(stats.quarantined, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(scheduler.stateCounts().quarantined, 1u);
+}
+
+TEST(SvcScheduler, StartDeadlineFailsStaleJobsUnrun)
+{
+    ThreadPool pool(2); // one worker
+    SessionScheduler scheduler(pool);
+
+    // Pin the worker long enough for the queued job's start deadline
+    // to expire.
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    bool gate_running = false;
+    scheduler.submit([&](JobId) {
+        std::unique_lock<std::mutex> lock(mutex);
+        gate_running = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return gate_running; });
+    }
+
+    beer::svc::JobPolicy policy;
+    policy.deadlineSeconds = 0.05;
+    std::atomic<bool> ran{false};
+    const JobId stale =
+        scheduler.submit([&](JobId) { ran = true; }, policy);
+    ASSERT_NE(stale, 0u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    ASSERT_TRUE(scheduler.wait(stale));
+
+    EXPECT_FALSE(ran.load());
+    EXPECT_EQ(scheduler.state(stale), JobState::Failed);
+    EXPECT_EQ(scheduler.stats().expired, 1u);
+}
+
+TEST(SvcScheduler, ForcedIdsReplayWithoutCollisions)
+{
+    ThreadPool pool(2);
+    SessionScheduler scheduler(pool);
+
+    // Journal replay resubmits under original ids; organic ids must
+    // continue past the forced ones.
+    const JobId forced =
+        scheduler.submit([](JobId) {}, {}, /*force_id=*/7);
+    EXPECT_EQ(forced, 7u);
+    const JobId organic = scheduler.submit([](JobId) {});
+    EXPECT_GT(organic, 7u);
+    scheduler.drain();
+    EXPECT_EQ(scheduler.state(7), JobState::Done);
+    EXPECT_EQ(scheduler.state(organic), JobState::Done);
+}
+
+TEST(SvcScheduler, TerminalHookFiresOncePerJob)
+{
+    std::mutex mutex;
+    std::vector<std::pair<JobId, JobState>> terminals;
+    SchedulerConfig config;
+    config.onTerminal = [&](JobId id, JobState state) {
+        std::lock_guard<std::mutex> lock(mutex);
+        terminals.emplace_back(id, state);
+    };
+
+    ThreadPool pool(2);
+    SessionScheduler scheduler(pool, config);
+    beer::svc::JobPolicy policy;
+    policy.maxRetries = 1;
+
+    std::atomic<int> runs{0};
+    const JobId retried = scheduler.submit(
+        [&](JobId) {
+            if (runs.fetch_add(1) < 1)
+                throw std::runtime_error("once");
+        },
+        policy);
+    const JobId plain = scheduler.submit([](JobId) {});
+    scheduler.drain();
+
+    // Retried attempts are not terminal: exactly one hook call per
+    // job, carrying the final state.
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(terminals.size(), 2u);
+    for (const auto &[id, state] : terminals) {
+        EXPECT_TRUE(id == retried || id == plain);
+        EXPECT_EQ(state, JobState::Done);
+    }
 }

@@ -9,6 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
 #include <condition_variable>
 #include <mutex>
 #include <sstream>
@@ -307,4 +312,218 @@ TEST(SvcService, ShutdownShedsNewWorkButStaysQueryable)
     ASSERT_TRUE(job.has_value());
     EXPECT_EQ(job->state, JobState::Done);
     EXPECT_FALSE(service.health().ok);
+}
+
+namespace
+{
+
+/** Temp journal path unique to the current test. */
+std::string
+tempJournalPath()
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "journal_" + info->name() + ".log";
+}
+
+/** The journal's line escaping (see service.cc). */
+std::string
+journalEscape(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+TEST(SvcService, RetryPolicyRecoversFlakyJobs)
+{
+    Rng rng(53);
+    const LinearCode code = randomSecCode(8, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+
+    ServiceConfig config;
+    config.jobPolicy.maxRetries = 2;
+    std::atomic<int> starts{0};
+    config.onJobStart = [&](svc::JobId) {
+        // Fail the first two attempts: the transient-fault scenario
+        // retries exist for.
+        if (starts.fetch_add(1) < 2)
+            throw std::runtime_error("injected transient");
+    };
+    RecoveryService service(config);
+
+    const SubmitOutcome outcome = service.submitProfile(profile);
+    ASSERT_TRUE(outcome.accepted);
+    ASSERT_TRUE(service.waitForJob(outcome.id));
+
+    const auto job = service.job(outcome.id);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->state, JobState::Done);
+    EXPECT_TRUE(job->succeeded);
+    EXPECT_EQ(job->attempts, 3u);
+    // The winning attempt wiped the earlier attempts' failure state.
+    EXPECT_TRUE(job->error.empty());
+    EXPECT_EQ(job->errorCode, svc::JobErrorCode::None);
+    EXPECT_EQ(service.health().retries, 2u);
+    EXPECT_EQ(service.health().quarantined, 0u);
+}
+
+TEST(SvcService, PersistentFailureQuarantinesWithTaxonomy)
+{
+    Rng rng(59);
+    const LinearCode code = randomSecCode(8, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+
+    ServiceConfig config;
+    config.jobPolicy.maxRetries = 1;
+    config.onJobStart = [](svc::JobId) {
+        throw std::runtime_error("injected persistent");
+    };
+    RecoveryService service(config);
+
+    const SubmitOutcome outcome = service.submitProfile(profile);
+    ASSERT_TRUE(outcome.accepted);
+    ASSERT_TRUE(service.waitForJob(outcome.id));
+
+    const auto job = service.job(outcome.id);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->state, JobState::Quarantined);
+    EXPECT_EQ(job->attempts, 2u);
+    EXPECT_EQ(job->error, "injected persistent");
+    EXPECT_EQ(job->errorCode, svc::JobErrorCode::Internal);
+    const auto health = service.health();
+    EXPECT_EQ(health.retries, 1u);
+    EXPECT_EQ(health.quarantined, 1u);
+    EXPECT_EQ(health.jobStates.quarantined, 1u);
+}
+
+TEST(SvcService, SolveOutcomesCarryTaxonomyCodes)
+{
+    Rng rng(61);
+    const LinearCode code = randomSecCode(8, rng);
+    RecoveryService service;
+
+    // A 1-CHARGED-only profile of a shortened code is ambiguous.
+    const SubmitOutcome ambiguous =
+        service.submitProfile(plantedProfile(code, {1}));
+    ASSERT_TRUE(ambiguous.accepted);
+
+    // A profile claiming a miscorrection the code space cannot
+    // produce anywhere is unsatisfiable.
+    MiscorrectionProfile contradictory = plantedProfile(code, {1, 2});
+    for (PatternProfile &entry : contradictory.patterns)
+        for (std::size_t bit = 0; bit < contradictory.k; ++bit)
+            if (!patternContains(entry.pattern, bit))
+                entry.miscorrectable.set(bit, true);
+    const SubmitOutcome unsat =
+        service.submitProfile(contradictory);
+    ASSERT_TRUE(unsat.accepted);
+    service.drain();
+
+    const auto ambiguous_job = service.job(ambiguous.id);
+    ASSERT_TRUE(ambiguous_job.has_value());
+    EXPECT_EQ(ambiguous_job->state, JobState::Done);
+    EXPECT_FALSE(ambiguous_job->succeeded);
+    EXPECT_EQ(ambiguous_job->errorCode,
+              svc::JobErrorCode::Ambiguous);
+
+    const auto unsat_job = service.job(unsat.id);
+    ASSERT_TRUE(unsat_job.has_value());
+    EXPECT_EQ(unsat_job->state, JobState::Done);
+    EXPECT_FALSE(unsat_job->succeeded);
+    EXPECT_EQ(unsat_job->solutions, 0u);
+    EXPECT_EQ(unsat_job->errorCode,
+              svc::JobErrorCode::Unsatisfiable);
+}
+
+TEST(SvcService, JournalRecordsJobLifecycle)
+{
+    Rng rng(67);
+    const LinearCode code = randomSecCode(8, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+    const std::string path = tempJournalPath();
+    std::remove(path.c_str());
+
+    svc::JobId id = 0;
+    {
+        ServiceConfig config;
+        config.journalPath = path;
+        RecoveryService service(config);
+        const SubmitOutcome outcome = service.submitProfile(profile);
+        ASSERT_TRUE(outcome.accepted);
+        id = outcome.id;
+        service.shutdown();
+    }
+
+    // One submit record, one done record, nothing unfinished: a
+    // restart over the same journal replays nothing.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::size_t submits = 0;
+    std::size_t dones = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("submit " + std::to_string(id) + " ", 0) == 0)
+            ++submits;
+        if (line == "done " + std::to_string(id))
+            ++dones;
+    }
+    EXPECT_EQ(submits, 1u);
+    EXPECT_EQ(dones, 1u);
+
+    ServiceConfig config;
+    config.journalPath = path;
+    RecoveryService service(config);
+    EXPECT_EQ(service.health().journalReplays, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SvcService, JournalReplayResumesUnfinishedJobs)
+{
+    Rng rng(71);
+    const LinearCode code = randomSecCode(8, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+    const std::string path = tempJournalPath();
+
+    // Hand-craft a crashed service's journal: job 3 finished, job 5
+    // was still queued when the process died.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        const std::string payload =
+            journalEscape(serializeProfile(profile));
+        out << "submit 3 profile 0 0 " << payload << "\n";
+        out << "done 3\n";
+        out << "submit 5 profile 0 0 " << payload << "\n";
+    }
+
+    ServiceConfig config;
+    config.journalPath = path;
+    RecoveryService service(config);
+
+    // Only the unfinished job replays, under its original id.
+    EXPECT_EQ(service.health().journalReplays, 1u);
+    ASSERT_TRUE(service.waitForJob(5));
+    const auto job = service.job(5);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->state, JobState::Done);
+    EXPECT_TRUE(job->succeeded);
+    ASSERT_TRUE(job->code.has_value());
+    EXPECT_TRUE(equivalent(*job->code, code));
+    // The finished job did not replay...
+    EXPECT_FALSE(service.job(3).has_value());
+    // ...and organic ids continue past the journaled ones.
+    const SubmitOutcome organic = service.submitProfile(profile);
+    ASSERT_TRUE(organic.accepted);
+    EXPECT_GT(organic.id, 5u);
+    service.drain();
+    std::remove(path.c_str());
 }

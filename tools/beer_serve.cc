@@ -18,7 +18,9 @@
  * second signal force-kills (util::installShutdownHandler()).
  */
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "svc/http.hh"
 #include "svc/service.hh"
@@ -53,6 +55,20 @@ main(int argc, char **argv)
     cli.addFlag("reject-legacy",
                 "reject version-1 (version-less) profile payloads "
                 "instead of migrating them");
+    cli.addOption("journal-file", "",
+                  "append-only job journal; unfinished jobs are "
+                  "re-submitted under their original ids on restart");
+    cli.addOption("retries", "0",
+                  "automatic retries for a failed job (exhausting "
+                  "them quarantines the job)");
+    cli.addOption("retry-backoff", "0",
+                  "exponential backoff base between retries, seconds");
+    cli.addOption("job-deadline", "0",
+                  "seconds a queued job may wait before it is failed "
+                  "unrun (0 = forever)");
+    cli.addOption("job-start-delay", "0",
+                  "test hook: sleep this many seconds at each job "
+                  "start (exercises queue deadlines and kill tests)");
     cli.parse(argc, argv);
 
     svc::ServiceConfig config;
@@ -64,6 +80,17 @@ main(int argc, char **argv)
     config.solver.maxSolutions =
         (std::size_t)cli.getInt("max-solutions");
     config.rejectLegacyPayloads = cli.getBool("reject-legacy");
+    config.journalPath = cli.getString("journal-file");
+    config.jobPolicy.maxRetries = (std::size_t)cli.getInt("retries");
+    config.jobPolicy.backoffBaseSeconds =
+        cli.getDouble("retry-backoff");
+    config.jobPolicy.deadlineSeconds = cli.getDouble("job-deadline");
+    const double start_delay = cli.getDouble("job-start-delay");
+    if (start_delay > 0.0)
+        config.onJobStart = [start_delay](svc::JobId) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(start_delay));
+        };
 
     util::installShutdownHandler();
 
@@ -91,10 +118,24 @@ main(int argc, char **argv)
     const svc::HealthReport health = service.health();
     std::fprintf(stderr,
                  "beer_serve: served %llu jobs (%llu SAT solves, "
-                 "%llu exact cache hits, %llu near hits)\n",
+                 "%llu exact cache hits, %llu near hits, %llu "
+                 "retries, %llu quarantined, %llu journal replays)\n",
                  (unsigned long long)health.scheduler.completed,
                  (unsigned long long)health.satSolves,
                  (unsigned long long)health.cache.exactHits,
-                 (unsigned long long)health.cache.nearHits);
+                 (unsigned long long)health.cache.nearHits,
+                 (unsigned long long)health.retries,
+                 (unsigned long long)health.quarantined,
+                 (unsigned long long)health.journalReplays);
+    // A drain that leaves failed or quarantined jobs behind is not a
+    // clean exit: surface it to init systems and CI wrappers.
+    const std::uint64_t unwell =
+        health.jobStates.failed + health.jobStates.quarantined;
+    if (unwell) {
+        std::fprintf(stderr,
+                     "beer_serve: %llu job(s) failed or quarantined\n",
+                     (unsigned long long)unwell);
+        return 1;
+    }
     return 0;
 }
