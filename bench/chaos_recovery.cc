@@ -11,6 +11,16 @@
  * exits nonzero: this is the CI gate for the chaos differential.
  * --json emits the per-k results machine-readably for BENCH_*.json
  * tracking across PRs.
+ *
+ * --quorum-policy selects the vote policy for the chaos arm: `fixed`
+ * (every experiment reads `votes` times), `adaptive` (the EWMA
+ * disagreement estimator decides when to escalate), or `both` (the
+ * default — each chip is recovered under BOTH policies against the
+ * identical injected-fault schedule). With both arms, the bench also
+ * gates vote spend: if the adaptive policy spends MORE quorum reads
+ * than the fixed one while both recover the ground-truth function,
+ * the exit code is nonzero — adaptivity must never cost accuracy OR
+ * efficiency at these noise rates.
  */
 
 #include <chrono>
@@ -85,6 +95,9 @@ main(int argc, char **argv)
     cli.addOption("votes", "3", "base quorum votes per experiment");
     cli.addOption("escalated-votes", "7",
                   "votes after a quorum disagreement");
+    cli.addOption("quorum-policy", "both",
+                  "chaos-arm vote policy: fixed, adaptive, or both "
+                  "(both also gates adaptive vote spend <= fixed)");
     cli.addOption("json", "", "write machine-readable results here");
     cli.addFlag("csv", "emit CSV instead of an aligned table");
     cli.parse(argc, argv);
@@ -105,12 +118,27 @@ main(int argc, char **argv)
     const std::uint64_t seed = (std::uint64_t)cli.getInt("seed");
     const double flip_rate = cli.getDouble("flip-rate");
     const double burst_rate = cli.getDouble("burst-rate");
+    const std::string policy = cli.getString("quorum-policy");
+    if (policy != "fixed" && policy != "adaptive" && policy != "both")
+        util::fatal("--quorum-policy must be fixed, adaptive or both");
+    const bool run_fixed = policy != "adaptive";
+    const bool run_adaptive = policy != "fixed";
 
     util::Table table({"k", "mode", "recovered", "equivalent",
                        "measurements", "disagreements", "repairs",
-                       "retracted", "flips injected", "time (s)"});
+                       "retracted", "votes spent", "flips injected",
+                       "time (s)"});
     std::ostringstream json_rows;
     bool diverged = false;
+    bool overspent = false;
+
+    struct ChaosArm
+    {
+        RecoveryReport report;
+        double seconds = 0.0;
+        std::uint64_t flips = 0;
+        bool equivalent = false;
+    };
 
     for (std::size_t i = 0; i < k_list.size(); ++i) {
         const std::size_t k = k_list[i];
@@ -124,72 +152,126 @@ main(int argc, char **argv)
         const RecoveryReport clean = clean_session.run();
         const double clean_seconds = seconds(start);
 
-        SimulatedChip chip(benchChipConfig(k, seed + k));
-        FaultInjectionConfig chaos;
-        chaos.transientFlipRate = flip_rate;
-        chaos.burst = {2048, 64, burst_rate};
-        chaos.seed = seed ^ k;
-        FaultInjectionProxy proxy(chip, chaos);
+        // Each arm gets a fresh chip + proxy with the SAME seeds, so
+        // both policies fight the identical fault schedule: the vote
+        // spend comparison is apples-to-apples.
+        const auto run_chaos = [&](bool adaptive) {
+            SimulatedChip chip(benchChipConfig(k, seed + k));
+            FaultInjectionConfig chaos;
+            chaos.transientFlipRate = flip_rate;
+            chaos.burst = {2048, 64, burst_rate};
+            chaos.seed = seed ^ k;
+            FaultInjectionProxy proxy(chip, chaos);
 
-        SessionConfig config;
-        config.measure = benchMeasure(chip);
-        config.measure.quorum.votes =
-            (std::size_t)cli.getInt("votes");
-        config.measure.quorum.escalatedVotes =
-            (std::size_t)cli.getInt("escalated-votes");
-        config.repair.enabled = true;
-        config.repair.maxAttempts = 4;
-        config.repair.remeasureVotes =
-            config.measure.quorum.escalatedVotes;
-        config.wordsUnderTest = dram::trueCellWords(chip);
-        start = std::chrono::steady_clock::now();
-        Session session(proxy, config);
-        const RecoveryReport noisy = session.run();
-        const double noisy_seconds = seconds(start);
-
-        const bool equivalent =
-            clean.succeeded() && noisy.succeeded() &&
-            ecc::equivalent(clean.recoveredCode(),
-                            noisy.recoveredCode()) &&
-            ecc::equivalent(noisy.recoveredCode(),
-                            chip.groundTruthCode());
-        if (!equivalent)
-            diverged = true;
+            SessionConfig config;
+            config.measure = benchMeasure(chip);
+            config.measure.quorum.votes =
+                (std::size_t)cli.getInt("votes");
+            config.measure.quorum.escalatedVotes =
+                (std::size_t)cli.getInt("escalated-votes");
+            config.measure.quorum.adaptive = adaptive;
+            config.repair.enabled = true;
+            config.repair.maxAttempts = 4;
+            config.repair.remeasureVotes =
+                config.measure.quorum.escalatedVotes;
+            config.wordsUnderTest = dram::trueCellWords(chip);
+            const auto arm_start = std::chrono::steady_clock::now();
+            Session session(proxy, config);
+            ChaosArm arm;
+            arm.report = session.run();
+            arm.seconds = seconds(arm_start);
+            arm.flips = proxy.injectedFlips();
+            arm.equivalent =
+                clean.succeeded() && arm.report.succeeded() &&
+                ecc::equivalent(clean.recoveredCode(),
+                                arm.report.recoveredCode()) &&
+                ecc::equivalent(arm.report.recoveredCode(),
+                                chip.groundTruthCode());
+            if (!arm.equivalent)
+                diverged = true;
+            return arm;
+        };
 
         table.addRowOf(k, "clean", clean.succeeded() ? "yes" : "NO",
                        "-", clean.stats.patternMeasurements, 0, 0, 0,
-                       0, util::Table::sci(clean_seconds));
-        table.addRowOf(k, "chaos", noisy.succeeded() ? "yes" : "NO",
-                       equivalent ? "yes" : "NO",
-                       noisy.stats.patternMeasurements,
-                       noisy.stats.quorumDisagreements,
-                       noisy.stats.repairAttempts,
-                       noisy.stats.roundsRetracted,
-                       proxy.injectedFlips(),
-                       util::Table::sci(noisy_seconds));
+                       clean.stats.quorumVotesSpent, 0,
+                       util::Table::sci(clean_seconds));
 
+        ChaosArm fixed;
+        ChaosArm adaptive;
+        if (run_fixed) {
+            fixed = run_chaos(/*adaptive=*/false);
+            table.addRowOf(k, "chaos-fixed",
+                           fixed.report.succeeded() ? "yes" : "NO",
+                           fixed.equivalent ? "yes" : "NO",
+                           fixed.report.stats.patternMeasurements,
+                           fixed.report.stats.quorumDisagreements,
+                           fixed.report.stats.repairAttempts,
+                           fixed.report.stats.roundsRetracted,
+                           fixed.report.stats.quorumVotesSpent,
+                           fixed.flips,
+                           util::Table::sci(fixed.seconds));
+        }
+        if (run_adaptive) {
+            adaptive = run_chaos(/*adaptive=*/true);
+            table.addRowOf(k, "chaos-adaptive",
+                           adaptive.report.succeeded() ? "yes" : "NO",
+                           adaptive.equivalent ? "yes" : "NO",
+                           adaptive.report.stats.patternMeasurements,
+                           adaptive.report.stats.quorumDisagreements,
+                           adaptive.report.stats.repairAttempts,
+                           adaptive.report.stats.roundsRetracted,
+                           adaptive.report.stats.quorumVotesSpent,
+                           adaptive.flips,
+                           util::Table::sci(adaptive.seconds));
+        }
+        // The adaptive-quorum contract at these noise rates: equal
+        // accuracy, never more reads. Only gate when both recovered
+        // the truth — an inequivalent arm already failed harder.
+        if (run_fixed && run_adaptive && fixed.equivalent &&
+            adaptive.equivalent &&
+            adaptive.report.stats.quorumVotesSpent >
+                fixed.report.stats.quorumVotesSpent)
+            overspent = true;
+
+        // chaos_* keeps its historical meaning (the fixed-policy arm)
+        // for BENCH continuity; adaptive_* fields sit alongside.
+        const ChaosArm &primary = run_fixed ? fixed : adaptive;
         json_rows << (i ? "," : "") << "\n    {\"k\": " << k
                   << ", \"clean_recovered\": "
                   << (clean.succeeded() ? "true" : "false")
                   << ", \"chaos_recovered\": "
-                  << (noisy.succeeded() ? "true" : "false")
+                  << (primary.report.succeeded() ? "true" : "false")
                   << ", \"equivalent\": "
-                  << (equivalent ? "true" : "false")
+                  << (primary.equivalent ? "true" : "false")
                   << ", \"clean_measurements\": "
                   << clean.stats.patternMeasurements
                   << ", \"chaos_measurements\": "
-                  << noisy.stats.patternMeasurements
+                  << primary.report.stats.patternMeasurements
                   << ", \"quorum_disagreements\": "
-                  << noisy.stats.quorumDisagreements
+                  << primary.report.stats.quorumDisagreements
                   << ", \"repair_attempts\": "
-                  << noisy.stats.repairAttempts
+                  << primary.report.stats.repairAttempts
                   << ", \"rounds_retracted\": "
-                  << noisy.stats.roundsRetracted
+                  << primary.report.stats.roundsRetracted
                   << ", \"patterns_remeasured\": "
-                  << noisy.stats.patternsRemeasured
-                  << ", \"injected_flips\": " << proxy.injectedFlips()
+                  << primary.report.stats.patternsRemeasured
+                  << ", \"injected_flips\": " << primary.flips
                   << ", \"clean_seconds\": " << clean_seconds
-                  << ", \"chaos_seconds\": " << noisy_seconds << "}";
+                  << ", \"chaos_seconds\": " << primary.seconds;
+        if (run_fixed)
+            json_rows << ", \"fixed_votes_spent\": "
+                      << fixed.report.stats.quorumVotesSpent
+                      << ", \"fixed_equivalent\": "
+                      << (fixed.equivalent ? "true" : "false");
+        if (run_adaptive)
+            json_rows << ", \"adaptive_votes_spent\": "
+                      << adaptive.report.stats.quorumVotesSpent
+                      << ", \"adaptive_equivalent\": "
+                      << (adaptive.equivalent ? "true" : "false")
+                      << ", \"adaptive_escalations\": "
+                      << adaptive.report.stats.quorumEscalations;
+        json_rows << "}";
     }
 
     if (cli.getBool("csv"))
@@ -206,7 +288,10 @@ main(int argc, char **argv)
         out << "{\n  \"bench\": \"chaos_recovery\",\n  \"seed\": "
             << seed << ",\n  \"flip_rate\": " << flip_rate
             << ",\n  \"burst_rate\": " << burst_rate
+            << ",\n  \"quorum_policy\": \"" << policy << "\""
             << ",\n  \"diverged\": " << (diverged ? "true" : "false")
+            << ",\n  \"adaptive_overspent\": "
+            << (overspent ? "true" : "false")
             << ",\n  \"results\": [" << json_rows.str()
             << "\n  ]\n}\n";
         std::fprintf(stderr, "wrote %s\n", json_path.c_str());
@@ -216,6 +301,12 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: chaos recovery diverged from the clean "
                      "baseline\n");
+        return 1;
+    }
+    if (overspent) {
+        std::fprintf(stderr,
+                     "FAIL: adaptive quorum spent more votes than the "
+                     "fixed policy at equal accuracy\n");
         return 1;
     }
     return 0;

@@ -1,5 +1,6 @@
 #include "beer/measure.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <numeric>
 #include <optional>
@@ -27,6 +28,7 @@ ProfileCounts::threshold(double min_probability) const
     for (std::size_t p = 0; p < patterns.size(); ++p) {
         PatternProfile entry;
         entry.pattern = patterns[p];
+        entry.suspect = suspect(p);
         entry.miscorrectable = BitVec(k);
         for (std::size_t bit = 0; bit < k; ++bit) {
             if (patternContains(patterns[p], bit))
@@ -58,12 +60,18 @@ ProfileCounts::merge(const ProfileCounts &other, MergeMode mode)
     }
     BEER_ASSERT(k == other.k);
 
-    // Pre-quorum producers leave disagreements empty; normalize to a
-    // dense zero vector so merging mixed-provenance counts is safe.
+    // Pre-quorum producers leave disagreements/votesSpent empty;
+    // normalize to dense zero vectors so merging mixed-provenance
+    // counts is safe.
     disagreements.resize(patterns.size(), 0);
+    votesSpent.resize(patterns.size(), 0);
     const auto otherDisagreements = [&other](std::size_t p) {
         return p < other.disagreements.size() ? other.disagreements[p]
                                               : (std::uint64_t)0;
+    };
+    const auto otherVotesSpent = [&other](std::size_t p) {
+        return p < other.votesSpent.size() ? other.votesSpent[p]
+                                           : (std::uint64_t)0;
     };
 
     std::unordered_map<TestPattern, std::size_t, TestPatternHash> index;
@@ -79,6 +87,7 @@ ProfileCounts::merge(const ProfileCounts &other, MergeMode mode)
             errorCounts.push_back(other.errorCounts[p]);
             wordsTested.push_back(other.wordsTested[p]);
             disagreements.push_back(otherDisagreements(p));
+            votesSpent.push_back(otherVotesSpent(p));
             continue;
         }
         // Overlap under AppendDisjoint is a caller bug: the caller
@@ -92,6 +101,7 @@ ProfileCounts::merge(const ProfileCounts &other, MergeMode mode)
         const std::size_t at = it->second;
         wordsTested[at] += other.wordsTested[p];
         disagreements[at] += otherDisagreements(p);
+        votesSpent[at] += otherVotesSpent(p);
         for (std::size_t bit = 0; bit < k; ++bit)
             errorCounts[at][bit] += other.errorCounts[p][bit];
     }
@@ -111,6 +121,13 @@ ProfileCounts::totalDisagreements() const
                            (std::uint64_t)0);
 }
 
+std::uint64_t
+ProfileCounts::totalVotesSpent() const
+{
+    return std::accumulate(votesSpent.begin(), votesSpent.end(),
+                           (std::uint64_t)0);
+}
+
 void
 ProfileCounts::removePatterns(const std::vector<TestPattern> &to_remove)
 {
@@ -122,6 +139,7 @@ ProfileCounts::removePatterns(const std::vector<TestPattern> &to_remove)
         gone.emplace(pattern, 0);
 
     disagreements.resize(patterns.size(), 0);
+    votesSpent.resize(patterns.size(), 0);
     std::size_t out = 0;
     for (std::size_t p = 0; p < patterns.size(); ++p) {
         if (gone.count(patterns[p]))
@@ -131,6 +149,7 @@ ProfileCounts::removePatterns(const std::vector<TestPattern> &to_remove)
             errorCounts[out] = std::move(errorCounts[p]);
             wordsTested[out] = wordsTested[p];
             disagreements[out] = disagreements[p];
+            votesSpent[out] = votesSpent[p];
         }
         ++out;
     }
@@ -138,6 +157,7 @@ ProfileCounts::removePatterns(const std::vector<TestPattern> &to_remove)
     errorCounts.resize(out);
     wordsTested.resize(out);
     disagreements.resize(out);
+    votesSpent.resize(out);
 }
 
 MeasureConfig
@@ -163,44 +183,90 @@ emptyCounts(std::size_t k, const std::vector<TestPattern> &patterns)
                               std::vector<std::uint64_t>(k, 0));
     counts.wordsTested.assign(patterns.size(), 0);
     counts.disagreements.assign(patterns.size(), 0);
+    counts.votesSpent.assign(patterns.size(), 0);
     return counts;
 }
 
+/** One experiment's quorum verdict (see quorumVote). */
+struct QuorumOutcome
+{
+    /** Any two votes returned differing data. */
+    bool disagreed = false;
+    /** Dataword read sweeps this experiment spent in total. */
+    std::size_t reads = 1;
+    /** The experiment escalated to the full vote count. */
+    bool escalated = false;
+};
+
 /**
  * Quorum voting for one experiment. @p reads holds the first vote on
- * entry and the per-(word, bit) majority on return. Additional votes
- * are read only here, so votes == 1 never reaches this function and
- * the historical single-read operation sequence is preserved exactly.
- * Returns true iff any two votes disagreed (adaptive escalation to
- * @c escalatedVotes total reads happens in that case only).
+ * entry and the per-(word, bit) majority on return; additional votes
+ * are read only here, so disabled quorum never reaches this function
+ * and the historical single-read operation sequence is preserved
+ * exactly.
+ *
+ * Fixed policy (quorum.adaptive == false): quorum.votes base reads,
+ * any disagreement escalates straight to @c escalatedVotes.
+ *
+ * Adaptive policy: max(2, votes) base reads; on disagreement the
+ * pattern's own smoothed disagreement rate — (@p prior_disagreements
+ * + 1) / (@p prior_experiments + 1), counting this experiment — is
+ * compared against @p estimate + quorum.escalateMargin. Only patterns
+ * above the margin pay the full escalation; the rest settle for a
+ * quorum.confirmVotes majority (enough to outvote one transient
+ * flip). Zero-noise runs never disagree, so the first vote's data is
+ * used unchanged and the counts stay bit-identical to votes == 1.
  */
-bool
+QuorumOutcome
 quorumVote(dram::MemoryInterface &mem,
            const std::vector<std::size_t> &words,
-           const QuorumConfig &quorum, std::vector<BitVec> &reads)
+           const QuorumConfig &quorum, std::vector<BitVec> &reads,
+           double estimate, std::uint64_t prior_disagreements,
+           std::uint64_t prior_experiments)
 {
     const std::size_t k = mem.datawordBits();
+    const std::size_t base =
+        quorum.adaptive ? std::max<std::size_t>(2, quorum.votes)
+                        : quorum.votes;
     std::vector<std::vector<BitVec>> votes;
     votes.push_back(reads);
 
-    bool disagree = false;
+    QuorumOutcome outcome;
     std::vector<BitVec> extra;
-    for (std::size_t v = 1; v < quorum.votes; ++v) {
+    for (std::size_t v = 1; v < base; ++v) {
         mem.readDatawords(words.data(), words.size(), extra);
-        disagree = disagree || extra != votes.front();
+        outcome.disagreed = outcome.disagreed || extra != votes.front();
         votes.push_back(extra);
     }
-    if (!disagree)
-        return false;
+    outcome.reads = votes.size();
+    if (!outcome.disagreed)
+        return outcome;
 
-    // Escalate: this experiment is noisy, so buy more votes before
-    // taking the majority. Clean experiments never pay these reads.
-    const std::size_t target = std::max(quorum.votes,
-                                        quorum.escalatedVotes);
+    // Buy more votes before taking the majority; clean experiments
+    // never pay these reads. Under the adaptive policy the full
+    // escalation is reserved for patterns disagreeing measurably more
+    // often than the session as a whole.
+    std::size_t target;
+    if (!quorum.adaptive) {
+        target = std::max(base, quorum.escalatedVotes);
+        outcome.escalated = true;
+    } else {
+        const double observed =
+            (double)(prior_disagreements + 1) /
+            (double)(prior_experiments + 1);
+        if (observed > estimate + quorum.escalateMargin) {
+            target = std::max({base, quorum.confirmVotes,
+                               quorum.escalatedVotes});
+            outcome.escalated = true;
+        } else {
+            target = std::max(base, quorum.confirmVotes);
+        }
+    }
     while (votes.size() < target) {
         mem.readDatawords(words.data(), words.size(), extra);
         votes.push_back(extra);
     }
+    outcome.reads = votes.size();
 
     // Per-(word, bit) majority; ties resolve to the first vote.
     const std::size_t n = votes.size();
@@ -216,7 +282,7 @@ quorumVote(dram::MemoryInterface &mem,
             reads[w].set(bit, majority);
         }
     }
-    return true;
+    return outcome;
 }
 
 } // anonymous namespace
@@ -229,6 +295,19 @@ measureProfile(dram::MemoryInterface &mem,
 {
     const std::size_t k = mem.datawordBits();
     ProfileCounts counts = emptyCounts(k, patterns);
+
+    // The adaptive schedule depends only on the estimator's seed
+    // state and the observed read data: work on a local copy and
+    // write it back on return, so a recorded run and its trace replay
+    // (which reconstructs the seed from the trace meta) make the same
+    // escalation decisions read for read.
+    const bool use_quorum =
+        config.quorum.votes > 1 || config.quorum.adaptive;
+    QuorumEstimator estimator;
+    if (config.estimator)
+        estimator = *config.estimator;
+    else
+        estimator.rate = config.quorum.initialEstimate;
 
     // The paper's methodology tests true-cell regions (Section 5.1.3).
     // The caller supplies that subset — from discoverCellTypes() on
@@ -247,6 +326,11 @@ measureProfile(dram::MemoryInterface &mem,
     // the wide kernel, sharded over the chip's worker threads);
     // everywhere else the default per-word loops keep the operation
     // sequence — and any recorded trace — identical to before.
+    const auto writeBackEstimator = [&] {
+        if (config.estimator)
+            *config.estimator = estimator;
+    };
+
     std::vector<BitVec> reads;
     for (std::size_t p = 0; p < patterns.size(); ++p) {
         // Honor a pending SIGINT/SIGTERM between patterns: a partial
@@ -260,18 +344,39 @@ measureProfile(dram::MemoryInterface &mem,
         }
         const BitVec data = datawordForPattern(patterns[p], k,
                                                dram::CellType::True);
+        std::uint64_t experiments = 0;
         for (double pause : config.pausesSeconds) {
             for (std::size_t rep = 0; rep < config.repeatsPerPause;
                  ++rep) {
-                if (config.cancel && config.cancel())
+                if (config.cancel && config.cancel()) {
+                    writeBackEstimator();
                     return counts;
+                }
                 mem.writeDatawordsBroadcast(words.data(), words.size(),
                                             data);
                 mem.pauseRefresh(pause, config.temperatureC);
                 mem.readDatawords(words.data(), words.size(), reads);
-                if (config.quorum.votes > 1 &&
-                    quorumVote(mem, words, config.quorum, reads))
-                    ++counts.disagreements[p];
+                if (use_quorum) {
+                    const QuorumOutcome outcome = quorumVote(
+                        mem, words, config.quorum, reads,
+                        estimator.rate, counts.disagreements[p],
+                        experiments);
+                    if (outcome.disagreed)
+                        ++counts.disagreements[p];
+                    counts.votesSpent[p] += outcome.reads;
+                    estimator.votesSpent += outcome.reads;
+                    if (config.quorum.adaptive)
+                        estimator.observe(outcome.disagreed,
+                                          config.quorum.ewmaAlpha);
+                    if (outcome.escalated)
+                        ++estimator.escalations;
+                    else if (outcome.disagreed)
+                        ++estimator.confirmations;
+                } else {
+                    ++counts.votesSpent[p];
+                    ++estimator.votesSpent;
+                }
+                ++experiments;
                 counts.wordsTested[p] += words.size();
                 for (const BitVec &read : reads) {
                     if (read == data)
@@ -283,6 +388,7 @@ measureProfile(dram::MemoryInterface &mem,
             }
         }
     }
+    writeBackEstimator();
     return counts;
 }
 
@@ -418,11 +524,25 @@ recordProfileTrace(dram::MemoryInterface &mem,
                        formatTraceDouble(config.thresholdProbability));
     // Only quorum runs carry the meta line, keeping pre-quorum traces
     // byte-identical. Replay re-derives escalation from the recorded
-    // read data itself, so votes alone reconstructs the schedule.
-    if (config.quorum.votes > 1)
-        recorder.writeMeta(
+    // read data itself, so the knobs alone reconstruct the schedule;
+    // adaptive runs additionally persist the estimator seed (the only
+    // other input to their escalation decisions).
+    if (config.quorum.votes > 1 || config.quorum.adaptive) {
+        std::string meta =
             "measure-quorum " + std::to_string(config.quorum.votes) +
-            "," + std::to_string(config.quorum.escalatedVotes));
+            "," + std::to_string(config.quorum.escalatedVotes);
+        if (config.quorum.adaptive) {
+            const double seed_rate =
+                config.estimator ? config.estimator->rate
+                                 : config.quorum.initialEstimate;
+            meta += ",adaptive," +
+                    formatTraceDouble(config.quorum.ewmaAlpha) + "," +
+                    formatTraceDouble(config.quorum.escalateMargin) +
+                    "," + std::to_string(config.quorum.confirmVotes) +
+                    "," + formatTraceDouble(seed_rate);
+        }
+        recorder.writeMeta(meta);
+    }
 
     std::string serialized;
     for (std::size_t i = 0; i < patterns.size(); ++i) {
@@ -463,14 +583,35 @@ traceMeasureConfig(const dram::TraceReplayBackend &trace)
         config.thresholdProbability =
             parseMetaDouble(*threshold, "measure-threshold");
     if (const auto quorum = metaValue(trace, "measure-quorum")) {
-        const std::size_t comma = quorum->find(',');
-        if (comma == std::string::npos)
+        std::vector<std::string> fields;
+        std::size_t pos = 0;
+        while (pos <= quorum->size()) {
+            std::size_t next = quorum->find(',', pos);
+            if (next == std::string::npos)
+                next = quorum->size();
+            fields.push_back(quorum->substr(pos, next - pos));
+            pos = next + 1;
+        }
+        if (fields.size() < 2 ||
+            (fields.size() > 2 &&
+             (fields.size() != 7 || fields[2] != "adaptive")))
             util::fatal("trace meta: malformed measure-quorum '%s'",
                         quorum->c_str());
-        config.quorum.votes = parseMetaSize(quorum->substr(0, comma),
-                                            "measure-quorum votes");
-        config.quorum.escalatedVotes = parseMetaSize(
-            quorum->substr(comma + 1), "measure-quorum escalation");
+        config.quorum.votes =
+            parseMetaSize(fields[0], "measure-quorum votes");
+        config.quorum.escalatedVotes =
+            parseMetaSize(fields[1], "measure-quorum escalation");
+        if (fields.size() == 7) {
+            config.quorum.adaptive = true;
+            config.quorum.ewmaAlpha =
+                parseMetaDouble(fields[3], "measure-quorum alpha");
+            config.quorum.escalateMargin =
+                parseMetaDouble(fields[4], "measure-quorum margin");
+            config.quorum.confirmVotes = parseMetaSize(
+                fields[5], "measure-quorum confirm votes");
+            config.quorum.initialEstimate = parseMetaDouble(
+                fields[6], "measure-quorum seed estimate");
+        }
     }
     return config;
 }

@@ -51,6 +51,15 @@ struct ProfileCounts
      * treat missing entries as zero.
      */
     std::vector<std::uint64_t> disagreements;
+    /**
+     * votesSpent[p]: dataword read sweeps spent on pattern p across
+     * all its experiments (1 per experiment without quorum, the base
+     * vote count plus any confirm/escalation reads with it). The
+     * adaptive-vs-fixed vote-spend comparison in bench/chaos_recovery
+     * sums these. Empty for producers that predate the counter; treat
+     * missing entries as zero.
+     */
+    std::vector<std::uint64_t> votesSpent;
 
     /** True iff quorum votes ever disagreed on this pattern. */
     bool suspect(std::size_t pattern_idx) const
@@ -61,6 +70,9 @@ struct ProfileCounts
 
     /** Sum of per-pattern quorum disagreements. */
     std::uint64_t totalDisagreements() const;
+
+    /** Sum of per-pattern read sweeps (vote spend). */
+    std::uint64_t totalVotesSpent() const;
 
     /** Drop the listed patterns (counts, denominators, disagreements). */
     void removePatterns(const std::vector<TestPattern> &to_remove);
@@ -132,6 +144,68 @@ struct QuorumConfig
      * vote's value. Clamped up to @c votes.
      */
     std::size_t escalatedVotes = 5;
+    /**
+     * Adaptive policy: instead of escalating every disagreeing
+     * experiment straight to @c escalatedVotes, track a running
+     * (EWMA) per-session disagreement-rate estimate and spend the
+     * full escalation only on patterns whose own observed rate
+     * exceeds that estimate by @c escalateMargin; other disagreeing
+     * experiments settle for the cheaper @c confirmVotes majority.
+     * The base read count is max(2, votes) — under zero noise the
+     * two votes agree, the first vote's data is used unchanged, and
+     * the thresholded profile is bit-identical to votes == 1.
+     */
+    bool adaptive = false;
+    /** EWMA smoothing factor for the disagreement-rate estimate. */
+    double ewmaAlpha = 0.2;
+    /**
+     * A pattern escalates to @c escalatedVotes only when its own
+     * smoothed disagreement rate exceeds the running estimate by
+     * this much (absolute rate margin).
+     */
+    double escalateMargin = 0.05;
+    /**
+     * Votes bought for a disagreeing experiment that stays below the
+     * escalation margin: enough for a strict majority over a single
+     * transient flip without paying the full escalation.
+     */
+    std::size_t confirmVotes = 3;
+    /**
+     * Seed for the disagreement-rate estimate when no estimator is
+     * injected through MeasureConfig (trace replay reconstructs the
+     * recording run's seed from the trace meta so the adaptive
+     * schedule replays bit-identically).
+     */
+    double initialEstimate = 0.0;
+};
+
+/**
+ * Running disagreement-rate estimator shared across measurement calls
+ * (a beer::Session owns one for its whole multi-round run). Injected
+ * via MeasureConfig::estimator; measureProfile() copies it in, updates
+ * the copy as experiments complete, and writes it back on return, so
+ * the adaptive schedule of one call depends only on the seed state and
+ * the observed read data — the property trace replay relies on.
+ */
+struct QuorumEstimator
+{
+    /** EWMA of the per-experiment disagreement indicator. */
+    double rate = 0.0;
+    /** Experiments folded into the estimate. */
+    std::uint64_t samples = 0;
+    /** Total dataword read sweeps spent by quorum measurement. */
+    std::uint64_t votesSpent = 0;
+    /** Experiments that escalated to the full vote count. */
+    std::uint64_t escalations = 0;
+    /** Disagreeing experiments settled at the confirm tier. */
+    std::uint64_t confirmations = 0;
+
+    /** Fold one experiment's disagreement outcome into the EWMA. */
+    void observe(bool disagreed, double alpha)
+    {
+        rate = (1.0 - alpha) * rate + (disagreed ? alpha : 0.0);
+        ++samples;
+    }
 };
 
 /** Configuration of a refresh-window sweep. */
@@ -147,6 +221,12 @@ struct MeasureConfig
     double thresholdProbability = 1e-3;
     /** Quorum reads (votes == 1 keeps the historical single read). */
     QuorumConfig quorum;
+    /**
+     * Optional adaptive-quorum estimator carried across calls (see
+     * QuorumEstimator). Null runs the call self-contained, seeded
+     * from quorum.initialEstimate. Ignored unless quorum.adaptive.
+     */
+    QuorumEstimator *estimator = nullptr;
     /**
      * Polled before each (pattern, pause, repeat) experiment; a true
      * return abandons the rest of the run and returns the counts

@@ -103,8 +103,18 @@ exhaustiveProfile(const ecc::LinearCode &code,
 std::string
 serializeProfile(const MiscorrectionProfile &profile)
 {
+    // Suspect markers bump the declared version so strict old readers
+    // fail deliberately; marker-free profiles keep emitting version 2
+    // byte-identically.
+    bool any_suspect = false;
+    for (const PatternProfile &entry : profile.patterns)
+        any_suspect = any_suspect || entry.suspect;
+
     std::string out = "# BEER miscorrection profile\n";
-    out += "version " + std::to_string(kProfileFormatVersion) + "\n";
+    out += "version " +
+           std::to_string(any_suspect ? kProfileFormatVersionMax
+                                      : kProfileFormatVersion) +
+           "\n";
     out += "k " + std::to_string(profile.k) + "\n";
     for (const PatternProfile &entry : profile.patterns) {
         std::string charged;
@@ -113,7 +123,10 @@ serializeProfile(const MiscorrectionProfile &profile)
                 charged += ',';
             charged += std::to_string(bit);
         }
-        out += charged + " " + entry.miscorrectable.toString() + "\n";
+        out += charged + " " + entry.miscorrectable.toString();
+        if (entry.suspect)
+            out += " ?";
+        out += "\n";
     }
     return out;
 }
@@ -170,11 +183,11 @@ tryParseProfile(std::istream &in, MiscorrectionProfile &out)
                 return fail(formatError(
                     "profile line %zu: expected 'version <n>'",
                     line_no));
-            if (version > kProfileFormatVersion)
+            if (version > kProfileFormatVersionMax)
                 return fail(formatError(
                     "profile line %zu: unsupported format version %zu "
                     "(this build reads versions up to %zu)",
-                    line_no, version, kProfileFormatVersion));
+                    line_no, version, kProfileFormatVersionMax));
             status.version = version;
             have_version = true;
             continue;
@@ -230,6 +243,22 @@ tryParseProfile(std::istream &in, MiscorrectionProfile &out)
                     "profile line %zu: charged bit %zu marked "
                     "miscorrectable",
                     line_no, bit));
+        // Optional version-3 suspect marker; anything else trailing
+        // is malformed (older parsers silently ignored trailing
+        // tokens, which is exactly how payload corruption hides).
+        std::string marker;
+        if (ss >> marker) {
+            if (marker != "?")
+                return fail(formatError(
+                    "profile line %zu: unexpected trailing token '%s'",
+                    line_no, marker.c_str()));
+            entry.suspect = true;
+            std::string extra;
+            if (ss >> extra)
+                return fail(formatError(
+                    "profile line %zu: unexpected trailing token '%s'",
+                    line_no, extra.c_str()));
+        }
         profile.patterns.push_back(std::move(entry));
     }
 

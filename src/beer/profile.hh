@@ -43,8 +43,23 @@ struct PatternProfile
      * clear; they are ambiguous and carry no information.
      */
     gf2::BitVec miscorrectable;
+    /**
+     * Measurement-quality metadata: quorum votes disagreed at least
+     * once while this pattern was measured (ProfileCounts::suspect),
+     * so its row may carry noise residue even after majority voting.
+     * The repair-aware fingerprint cache excludes suspect rows from a
+     * chip's canonical fingerprint so a repaired chip still matches
+     * its clean sibling. Not part of equality — two profiles with the
+     * same evidence are the same profile regardless of how noisy the
+     * runs that produced them were.
+     */
+    bool suspect = false;
 
-    bool operator==(const PatternProfile &other) const = default;
+    bool operator==(const PatternProfile &other) const
+    {
+        return pattern == other.pattern &&
+               miscorrectable == other.miscorrectable;
+    }
 };
 
 /** The full miscorrection profile over a set of test patterns. */
@@ -85,14 +100,24 @@ bool miscorrectionPossibleBruteForce(const ecc::LinearCode &code,
                                      std::size_t bit);
 
 /**
- * Version written by serializeProfile(). History:
+ * Version written by serializeProfile() for suspect-free profiles.
+ * History:
  *  - 1: "k <bits>" header, one "<charged-csv> <bitmap>" line per
  *       pattern (no version line — the implicit legacy format);
  *  - 2: adds an explicit "version <n>" line before the k header, so
  *       long-lived consumers (the recovery service) can reject or
- *       migrate payloads deliberately instead of misparsing them.
+ *       migrate payloads deliberately instead of misparsing them;
+ *  - 3: pattern lines may carry a trailing " ?" suspect marker
+ *       (quorum disagreement metadata; see PatternProfile::suspect).
+ *       Emitted only when some pattern is suspect, so profiles
+ *       without the metadata stay byte-identical to version 2 and
+ *       old consumers keep parsing them.
  */
 inline constexpr std::size_t kProfileFormatVersion = 2;
+
+/** Newest version tryParseProfile() accepts (the suspect-marker
+ *  extension). */
+inline constexpr std::size_t kProfileFormatVersionMax = 3;
 
 /** Outcome of tryParseProfile(). */
 struct ProfileParseStatus
@@ -115,8 +140,8 @@ std::string serializeProfile(const MiscorrectionProfile &profile);
  * Parse the tools/beer_solve text format without terminating on
  * malformed input: the forward-compat entry point for services that
  * must survive bad payloads. Versions newer than
- * kProfileFormatVersion are rejected explicitly; version-less input
- * parses as the legacy version 1.
+ * kProfileFormatVersionMax are rejected explicitly; version-less
+ * input parses as the legacy version 1.
  */
 ProfileParseStatus tryParseProfile(std::istream &in,
                                    MiscorrectionProfile &out);

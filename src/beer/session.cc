@@ -209,7 +209,6 @@ Session::measureChunk(const std::vector<TestPattern> &round,
                       const std::function<bool()> &cancel)
 {
     const auto start = Clock::now();
-    ProfileCounts observed;
     std::function<bool()> stop = cancel;
     if (config_.deadlineSeconds > 0.0) {
         // The deadline cuts into a round, between experiments: a
@@ -220,15 +219,15 @@ Session::measureChunk(const std::vector<TestPattern> &round,
             return deadlineExceeded() || (cancel && cancel());
         };
     }
-    if (stop) {
-        MeasureConfig measure = config_.measure;
-        measure.cancel = std::move(stop);
-        observed = measureProfile(mem_, round, measure,
-                                  config_.wordsUnderTest);
-    } else {
-        observed = measureProfile(mem_, round, config_.measure,
-                                  config_.wordsUnderTest);
-    }
+    // Always measure through a config copy: the session's estimator is
+    // injected per call (and written back by measureProfile), so every
+    // round — speculative and repair re-measurement included — feeds
+    // the same running disagreement estimate.
+    MeasureConfig measure = config_.measure;
+    measure.cancel = std::move(stop);
+    measure.estimator = &quorumEstimator_;
+    const ProfileCounts observed = measureProfile(
+        mem_, round, measure, config_.wordsUnderTest);
     seconds = secondsSince(start);
     return observed;
 }
@@ -281,6 +280,8 @@ Session::commitRound(const std::vector<TestPattern> &round,
     stats_.patternMeasurements += experimentsFor(round.size());
     stats_.wordObservations += observed.totalObservations();
     stats_.quorumDisagreements += observed.totalDisagreements();
+    stats_.quorumVotesSpent += observed.totalVotesSpent();
+    stats_.quorumEscalations = quorumEstimator_.escalations;
 
     notify(SessionStage::Measure);
 }
@@ -415,6 +416,19 @@ Session::solve()
     solveCore(ps);
     recordSolve(ps);
     return *solve_;
+}
+
+void
+Session::warmStart(const MiscorrectionProfile &shared)
+{
+    if (!config_.incrementalSolve || shared.patterns.empty())
+        return;
+    if (!incremental_) {
+        const std::size_t k = mem_.datawordBits();
+        incremental_.emplace(k, ecc::parityBitsForDataBits(k),
+                             config_.solver);
+    }
+    incremental_->warmStart(shared);
 }
 
 bool

@@ -189,6 +189,15 @@ struct SessionStats
     std::size_t patternsRemeasured = 0;
     /** Quorum vote disagreements observed across all rounds. */
     std::uint64_t quorumDisagreements = 0;
+    /**
+     * Dataword read sweeps spent by committed measurement rounds —
+     * the adaptive-vs-fixed quorum comparison's cost metric (1 per
+     * experiment without quorum).
+     */
+    std::uint64_t quorumVotesSpent = 0;
+    /** Experiments escalated to the full quorum vote count
+     *  (speculative, later-discarded rounds included). */
+    std::uint64_t quorumEscalations = 0;
 };
 
 /**
@@ -435,6 +444,17 @@ class Session
     /** Drive measure/solve/escalate to completion and report. */
     RecoveryReport run();
 
+    /**
+     * Seed the session's solver context from a fingerprint-cache near
+     * match before any measurement: @p shared is the profile subset a
+     * previously solved sibling chip also exhibited (see
+     * IncrementalSolver::warmStart). Call before run(); no-op when
+     * @p shared is empty or incremental solving is off. The repaired
+     * sibling of a cached chip re-enters recovery through this hook
+     * instead of cold-solving.
+     */
+    void warmStart(const MiscorrectionProfile &shared);
+
     /** True iff solved unique, or nothing is left to measure or try. */
     bool finished() const;
 
@@ -560,6 +580,13 @@ class Session
         std::chrono::steady_clock::now();
     /** Degraded-stop reason, latched once triggered. */
     std::optional<SessionOutcome> stopReason_;
+    /**
+     * Adaptive-quorum disagreement-rate estimator carried across every
+     * measurement this session issues (speculative rounds and repair
+     * re-measurement included) — escalation decisions late in a run
+     * lean on the noise level the whole run observed.
+     */
+    QuorumEstimator quorumEstimator_;
     SessionStats stats_;
 };
 

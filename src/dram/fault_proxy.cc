@@ -45,6 +45,11 @@ void
 FaultInjectionProxy::perturbRead(std::size_t word_index, BitVec &data)
 {
     const std::uint64_t op = readOps_++;
+    if (config_.throwEveryReads &&
+        (op + 1) % config_.throwEveryReads == 0) {
+        ++throwsInjected_;
+        throw InjectedReadFailure();
+    }
     if (config_.stallEveryReads &&
         (op + 1) % config_.stallEveryReads == 0) {
         ++stallsInjected_;

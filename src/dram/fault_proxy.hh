@@ -26,6 +26,7 @@
 #define BEER_DRAM_FAULT_PROXY_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "dram/memory_interface.hh"
@@ -101,6 +102,24 @@ struct FaultInjectionConfig
     std::uint64_t stallEveryReads = 0;
     /** Stall duration, seconds. */
     double stallSeconds = 0.0;
+    /**
+     * Infrastructure failure (not data noise): every Nth per-word
+     * read op THROWS instead of returning data — a flaky measurement
+     * bus / dropped RPC to the test head (0 disables). The service
+     * classifies the throw as MeasurementFailed and the scheduler's
+     * retry/quarantine policy decides what happens next; the chaos
+     * suite uses this to drive that path deterministically.
+     */
+    std::uint64_t throwEveryReads = 0;
+};
+
+/** Thrown by the proxy's injected read failures. */
+struct InjectedReadFailure : std::runtime_error
+{
+    InjectedReadFailure()
+        : std::runtime_error("injected read failure (chaos proxy)")
+    {
+    }
 };
 
 /** Decorator injecting extra read faults; see file comment. */
@@ -179,6 +198,9 @@ class FaultInjectionProxy : public MemoryInterface
     /** Pattern-corruption flips injected so far. */
     std::uint64_t patternHits() const { return patternHits_; }
 
+    /** Injected read-failure throws so far. */
+    std::uint64_t throwsInjected() const { return throwsInjected_; }
+
   private:
     /** Apply transient flips and stuck-at pins to one read result. */
     void perturbRead(std::size_t word_index, gf2::BitVec &data);
@@ -195,6 +217,7 @@ class FaultInjectionProxy : public MemoryInterface
     std::uint64_t readOps_ = 0;
     std::uint64_t stallsInjected_ = 0;
     std::uint64_t patternHits_ = 0;
+    std::uint64_t throwsInjected_ = 0;
     /** Per-patternFaults[i] flips, for maxHits expiry. */
     std::vector<std::uint64_t> patternFaultHits_;
 };

@@ -1,7 +1,6 @@
 #include "svc/fingerprint_cache.hh"
 
 #include <algorithm>
-#include <fstream>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -27,16 +26,35 @@ canonicalLine(const PatternProfile &entry)
     return line;
 }
 
-/** Sorted canonical lines of a profile (pattern order independent). */
+/**
+ * Sorted canonical lines of a profile (pattern order independent).
+ * With @p skip_suspect, rows flagged by quorum disagreement are left
+ * out — the "surviving rounds" view a repaired chip is fingerprinted
+ * on, so it can still match the entry its clean sibling cached.
+ */
 std::vector<std::string>
-canonicalLines(const MiscorrectionProfile &profile)
+canonicalLines(const MiscorrectionProfile &profile,
+               bool skip_suspect = false)
 {
     std::vector<std::string> lines;
     lines.reserve(profile.patterns.size());
-    for (const PatternProfile &entry : profile.patterns)
+    for (const PatternProfile &entry : profile.patterns) {
+        if (skip_suspect && entry.suspect)
+            continue;
         lines.push_back(canonicalLine(entry));
+    }
     std::sort(lines.begin(), lines.end());
     return lines;
+}
+
+/** Whether any row carries the quorum-disagreement suspect mark. */
+bool
+anySuspect(const MiscorrectionProfile &profile)
+{
+    for (const PatternProfile &entry : profile.patterns)
+        if (entry.suspect)
+            return true;
+    return false;
 }
 
 std::uint64_t
@@ -100,8 +118,23 @@ FingerprintCache::lookupLocked(const MiscorrectionProfile &profile,
     // Near match: best shared-line fraction over same-dimension
     // entries. The cache is LRU-bounded, so the scan is over a small,
     // hot working set.
+    //
+    // Repair-aware view: when the query carries suspect rows (quorum
+    // disagreed during their measurement — the signature of a chip
+    // that needed repair), the overlap is ALSO scored against only
+    // the clean rows, with the clean-row count as denominator. A
+    // repaired chip whose suspect rows retained noise residue then
+    // still scores ~1.0 against its clean sibling's entry instead of
+    // being dragged under the threshold by rows everyone agrees are
+    // untrustworthy. Sound, because the shared subset fed to
+    // warmStart() is still the query chip's own (clean) evidence.
+    const bool suspects = anySuspect(profile);
+    const std::vector<std::string> clean_lines =
+        suspects ? canonicalLines(profile, /*skip_suspect=*/true)
+                 : lines;
     const Entry *best = nullptr;
     double best_overlap = 0.0;
+    bool best_repair_aware = false;
     std::vector<std::string> shared;
     std::vector<std::string> best_shared;
     for (const Entry &entry : entries_) {
@@ -111,12 +144,37 @@ FingerprintCache::lookupLocked(const MiscorrectionProfile &profile,
         std::set_intersection(lines.begin(), lines.end(),
                               entry.lines.begin(), entry.lines.end(),
                               std::back_inserter(shared));
-        const double overlap =
+        double overlap =
             (double)shared.size() /
             (double)std::max(lines.size(), entry.lines.size());
+        bool repair_aware = false;
+        if (suspects && !clean_lines.empty()) {
+            shared.clear();
+            std::set_intersection(clean_lines.begin(),
+                                  clean_lines.end(),
+                                  entry.lines.begin(),
+                                  entry.lines.end(),
+                                  std::back_inserter(shared));
+            const double clean_overlap =
+                (double)shared.size() / (double)clean_lines.size();
+            if (clean_overlap > overlap) {
+                overlap = clean_overlap;
+                repair_aware = true;
+            }
+        }
         if (overlap > best_overlap) {
             best_overlap = overlap;
             best = &entry;
+            best_repair_aware = repair_aware;
+            if (!repair_aware) {
+                // `shared` currently holds the clean intersection
+                // when suspects exist; recompute the full one.
+                shared.clear();
+                std::set_intersection(lines.begin(), lines.end(),
+                                      entry.lines.begin(),
+                                      entry.lines.end(),
+                                      std::back_inserter(shared));
+            }
             best_shared = shared;
         }
     }
@@ -126,12 +184,17 @@ FingerprintCache::lookupLocked(const MiscorrectionProfile &profile,
         hit.kind = Hit::Kind::Near;
         hit.overlap = best_overlap;
         hit.shared.k = profile.k;
-        for (const PatternProfile &entry : profile.patterns)
+        for (const PatternProfile &entry : profile.patterns) {
+            if (best_repair_aware && entry.suspect)
+                continue;
             if (std::binary_search(best_shared.begin(),
                                    best_shared.end(),
                                    canonicalLine(entry)))
                 hit.shared.patterns.push_back(entry);
+        }
         ++stats_.nearHits;
+        if (best_repair_aware)
+            ++stats_.repairAwareHits;
         return hit;
     }
 
@@ -215,26 +278,32 @@ FingerprintCache::flushToDisk() const
 {
     if (config_.path.empty())
         return false;
-    std::ofstream out(config_.path);
-    if (!out) {
+    std::string content = "beer-fpcache 1\n";
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Oldest first, so replaying the file through insert() on load
+        // reconstructs the same recency order.
+        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+            content += "entry " + std::to_string(it->k) + ' ' +
+                       std::to_string(it->parityBits) + ' ' +
+                       std::to_string(it->lines.size()) + '\n';
+            for (const std::string &line : it->lines)
+                content += line + '\n';
+            const gf2::Matrix &p = it->code.pMatrix();
+            for (std::size_t r = 0; r < p.rows(); ++r)
+                content += "P " + p.row(r).toString() + '\n';
+        }
+    }
+    // Atomic replace through the I/O seam: an injected fault (or a
+    // crash) leaves either the previous complete snapshot or the new
+    // one, never a truncated cache a later boot would reject.
+    FileIo &io = config_.io ? *config_.io : FileIo::system();
+    if (!writeFileAtomic(io, config_.path, content)) {
         util::warn("fingerprint cache: cannot write '%s'",
                    config_.path.c_str());
         return false;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    out << "beer-fpcache 1\n";
-    // Oldest first, so replaying the file through insert() on load
-    // reconstructs the same recency order.
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-        out << "entry " << it->k << ' ' << it->parityBits << ' '
-            << it->lines.size() << '\n';
-        for (const std::string &line : it->lines)
-            out << line << '\n';
-        const gf2::Matrix &p = it->code.pMatrix();
-        for (std::size_t r = 0; r < p.rows(); ++r)
-            out << "P " << p.row(r).toString() << '\n';
-    }
-    return out.good();
+    return true;
 }
 
 bool
@@ -242,9 +311,11 @@ FingerprintCache::loadFromDisk()
 {
     if (config_.path.empty())
         return false;
-    std::ifstream in(config_.path);
-    if (!in)
+    FileIo &io = config_.io ? *config_.io : FileIo::system();
+    std::string content;
+    if (!readFileAll(io, config_.path, content))
         return false; // fresh start
+    std::istringstream in(content);
 
     const auto corrupt = [&](const char *what) {
         util::warn("fingerprint cache '%s': %s; ignoring rest of file",

@@ -37,6 +37,7 @@
 
 #include "beer/profile.hh"
 #include "ecc/linear_code.hh"
+#include "svc/io.hh"
 
 namespace beer::svc
 {
@@ -53,6 +54,8 @@ struct FingerprintCacheConfig
      * for a near match. 1.0 effectively disables near matching.
      */
     double nearMatchThreshold = 0.5;
+    /** I/O seam for load/flush; nullptr uses FileIo::system(). */
+    FileIo *io = nullptr;
 };
 
 /** Counters the health endpoint reports. */
@@ -71,6 +74,13 @@ struct FingerprintCacheStats
     /** Individual lookups those passes carried; exceeding
      * batchedPasses proves requests actually combined. */
     std::uint64_t batchedRequests = 0;
+    /**
+     * Near hits won through the repair-aware view: the query carried
+     * suspect (quorum-disagreed) rows and matching on its clean rows
+     * alone beat the plain overlap — a repaired chip warm-starting
+     * from its clean sibling's entry instead of cold-solving.
+     */
+    std::uint64_t repairAwareHits = 0;
 };
 
 /** LRU cache of profile fingerprint -> solved ECC function. */

@@ -179,6 +179,16 @@ healthJson(const HealthReport &health)
         << ",\"loaded\":" << health.cache.loadedEntries
         << ",\"batched_passes\":" << health.cache.batchedPasses
         << ",\"batched_requests\":" << health.cache.batchedRequests
+        << ",\"repair_aware_hits\":" << health.cache.repairAwareHits
+        << "},\"journal\":{\"bytes\":" << health.journal.bytes
+        << ",\"records\":" << health.journal.records
+        << ",\"live_records\":" << health.journal.liveRecords
+        << ",\"compactions\":" << health.journal.compactions
+        << ",\"crc_skipped\":" << health.journal.crcSkipped
+        << ",\"torn_tail\":" << health.journal.tornTail
+        << ",\"append_failures\":" << health.journal.appendFailures
+        << "},\"quorum\":{\"votes_spent\":" << health.quorumVotesSpent
+        << ",\"escalations\":" << health.quorumEscalations
         << "},\"sat_solves\":" << health.satSolves
         << ",\"legacy_payloads\":" << health.legacyPayloads
         << ",\"batched_lookups\":" << health.batchedLookups << "}";
@@ -235,7 +245,8 @@ parseSizeT(const std::string &text, std::size_t &out)
 } // anonymous namespace
 
 HttpServer::HttpServer(RecoveryService &service, HttpConfig config)
-    : service_(service), config_(std::move(config))
+    : service_(service), config_(std::move(config)),
+      io_(config_.socketIo ? *config_.socketIo : SocketIo::system())
 {
 }
 
@@ -401,7 +412,11 @@ HttpServer::serve()
             return;
         if (!(fds[0].revents & POLLIN))
             continue;
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        // An accept that fails (ECONNABORTED during an accept storm,
+        // EINTR, fd exhaustion) must never take the server down: the
+        // loop just polls again. This is the behavior the chaos
+        // accept-storm test pins.
+        const int fd = io_.accept(listenFd_, nullptr, nullptr);
         if (fd < 0)
             continue;
         handleConnection(fd);
@@ -425,11 +440,11 @@ HttpServer::handleConnection(int fd)
     // Read headers first; they tell us how much body to expect.
     while (header_end == std::string::npos &&
            request.size() < kMaxRequestBytes) {
-        const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+        const ssize_t got = io_.recv(fd, buf, sizeof(buf), 0);
         if (got <= 0) {
             if (got < 0 && errno == EINTR)
                 continue;
-            ::close(fd);
+            io_.close(fd);
             return;
         }
         request.append(buf, (std::size_t)got);
@@ -470,7 +485,7 @@ HttpServer::handleConnection(int fd)
         } else {
             const std::size_t body_start = header_end + 4;
             while (request.size() < body_start + content_length) {
-                const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+                const ssize_t got = io_.recv(fd, buf, sizeof(buf), 0);
                 if (got <= 0) {
                     if (got < 0 && errno == EINTR)
                         continue;
@@ -499,8 +514,11 @@ HttpServer::handleConnection(int fd)
     const std::string bytes = out.str();
     std::size_t sent = 0;
     while (sent < bytes.size()) {
+        // Short sends loop; EINTR retries; a reset mid-response
+        // abandons THIS client only (its job, if any, is already
+        // accepted and journaled — the connection is not the work).
         const ssize_t put =
-            ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+            io_.send(fd, bytes.data() + sent, bytes.size() - sent, 0);
         if (put <= 0) {
             if (put < 0 && errno == EINTR)
                 continue;
@@ -508,7 +526,7 @@ HttpServer::handleConnection(int fd)
         }
         sent += (std::size_t)put;
     }
-    ::close(fd);
+    io_.close(fd);
 }
 
 } // namespace beer::svc

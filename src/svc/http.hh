@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <string>
 
+#include "svc/io.hh"
 #include "svc/service.hh"
 
 namespace beer::svc
@@ -52,6 +53,13 @@ struct HttpConfig
     std::string host = "127.0.0.1";
     /** 0 = ephemeral (read the bound port back via port()). */
     std::uint16_t port = 0;
+    /**
+     * Connection I/O seam (accept/recv/send/close); nullptr = raw
+     * POSIX. Chaos tests inject accept storms, mid-response resets,
+     * EINTR and short sends through this to prove the accept loop
+     * and response writer survive infrastructure faults.
+     */
+    SocketIo *socketIo = nullptr;
 };
 
 /** HTTP front end for one RecoveryService; see file comment. */
@@ -99,6 +107,7 @@ class HttpServer
 
     RecoveryService &service_;
     HttpConfig config_;
+    SocketIo &io_;
     int listenFd_ = -1;
     int stopPipe_[2] = {-1, -1};
     std::uint16_t boundPort_ = 0;

@@ -1,0 +1,331 @@
+#include "svc/io.hh"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace beer::svc
+{
+
+// ---- FileIo ----------------------------------------------------------
+
+int
+FileIo::open(const char *path, int flags, unsigned mode)
+{
+    return ::open(path, flags, (mode_t)mode);
+}
+
+ssize_t
+FileIo::read(int fd, void *buf, std::size_t len)
+{
+    return ::read(fd, buf, len);
+}
+
+ssize_t
+FileIo::write(int fd, const void *buf, std::size_t len)
+{
+    return ::write(fd, buf, len);
+}
+
+int
+FileIo::fsync(int fd)
+{
+    return ::fsync(fd);
+}
+
+int
+FileIo::close(int fd)
+{
+    return ::close(fd);
+}
+
+int
+FileIo::rename(const char *from, const char *to)
+{
+    return ::rename(from, to);
+}
+
+int
+FileIo::unlink(const char *path)
+{
+    return ::unlink(path);
+}
+
+FileIo &
+FileIo::system()
+{
+    static FileIo instance;
+    return instance;
+}
+
+// ---- SocketIo --------------------------------------------------------
+
+int
+SocketIo::accept(int fd, struct sockaddr *addr, socklen_t *addrlen)
+{
+    return ::accept(fd, addr, addrlen);
+}
+
+ssize_t
+SocketIo::recv(int fd, void *buf, std::size_t len, int flags)
+{
+    return ::recv(fd, buf, len, flags);
+}
+
+ssize_t
+SocketIo::send(int fd, const void *buf, std::size_t len, int flags)
+{
+    return ::send(fd, buf, len, flags);
+}
+
+int
+SocketIo::close(int fd)
+{
+    return ::close(fd);
+}
+
+SocketIo &
+SocketIo::system()
+{
+    static SocketIo instance;
+    return instance;
+}
+
+// ---- helpers ---------------------------------------------------------
+
+bool
+writeFully(FileIo &io, int fd, const void *buf, std::size_t len)
+{
+    const char *at = (const char *)buf;
+    while (len > 0) {
+        const ssize_t n = io.write(fd, at, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        at += n;
+        len -= (std::size_t)n;
+    }
+    return true;
+}
+
+bool
+readFileAll(FileIo &io, const std::string &path, std::string &out)
+{
+    const int fd = io.open(path.c_str(), O_RDONLY, 0);
+    if (fd < 0)
+        return false;
+    out.clear();
+    char buf[1 << 16];
+    while (true) {
+        const ssize_t n = io.read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            io.close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        out.append(buf, (std::size_t)n);
+    }
+    io.close(fd);
+    return true;
+}
+
+bool
+writeFileAtomic(FileIo &io, const std::string &path,
+                const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        io.open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    // Failure before the rename leaves the target untouched; remove
+    // the partial temp so retries start clean.
+    if (!writeFully(io, fd, content.data(), content.size()) ||
+        io.fsync(fd) != 0) {
+        io.close(fd);
+        io.unlink(tmp.c_str());
+        return false;
+    }
+    if (io.close(fd) != 0) {
+        io.unlink(tmp.c_str());
+        return false;
+    }
+    if (io.rename(tmp.c_str(), path.c_str()) != 0) {
+        io.unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+// ---- chaos -----------------------------------------------------------
+
+namespace
+{
+
+/** splitmix64 step: one atomic fetch_add, then a stateless mix — a
+ *  deterministic per-call stream that stays race-free when chaos
+ *  wraps fds touched from several threads. */
+double
+splitmixUniform(std::atomic<std::uint64_t> &state)
+{
+    std::uint64_t z =
+        state.fetch_add(0x9e3779b97f4a7c15ULL) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return (double)(z >> 11) / (double)(1ULL << 53);
+}
+
+} // anonymous namespace
+
+ChaosFileIo::ChaosFileIo(ChaosFileConfig config, FileIo &base)
+    : config_(config), base_(base), rngState_(config.seed)
+{
+}
+
+double
+ChaosFileIo::draw()
+{
+    return splitmixUniform(rngState_);
+}
+
+int
+ChaosFileIo::open(const char *path, int flags, unsigned mode)
+{
+    return base_.open(path, flags, mode);
+}
+
+ssize_t
+ChaosFileIo::read(int fd, void *buf, std::size_t len)
+{
+    if (config_.eintrRate > 0.0 && draw() < config_.eintrRate) {
+        ++eintrFaults_;
+        errno = EINTR;
+        return -1;
+    }
+    return base_.read(fd, buf, len);
+}
+
+ssize_t
+ChaosFileIo::write(int fd, const void *buf, std::size_t len)
+{
+    if (config_.eintrRate > 0.0 && draw() < config_.eintrRate) {
+        ++eintrFaults_;
+        errno = EINTR;
+        return -1;
+    }
+    const std::uint64_t n = ++writes_;
+    if (config_.enospcWindow > 0 && n > config_.enospcAfterWrites &&
+        n <= config_.enospcAfterWrites + config_.enospcWindow) {
+        ++enospcFaults_;
+        errno = ENOSPC;
+        return -1;
+    }
+    if (config_.tornEveryWrites > 0 && len > 1 &&
+        n % config_.tornEveryWrites == 0) {
+        // A torn write LIES: half the bytes land but the caller is
+        // told everything did, as a crash between page flushes would.
+        ++tornWrites_;
+        const ssize_t written = base_.write(fd, buf, len / 2);
+        return written < 0 ? written : (ssize_t)len;
+    }
+    if (config_.shortWriteRate > 0.0 && len > 1 &&
+        draw() < config_.shortWriteRate) {
+        ++shortWrites_;
+        return base_.write(fd, buf, len / 2);
+    }
+    return base_.write(fd, buf, len);
+}
+
+int
+ChaosFileIo::fsync(int fd)
+{
+    return base_.fsync(fd);
+}
+
+int
+ChaosFileIo::close(int fd)
+{
+    return base_.close(fd);
+}
+
+int
+ChaosFileIo::rename(const char *from, const char *to)
+{
+    return base_.rename(from, to);
+}
+
+int
+ChaosFileIo::unlink(const char *path)
+{
+    return base_.unlink(path);
+}
+
+ChaosSocketIo::ChaosSocketIo(ChaosSocketConfig config, SocketIo &base)
+    : config_(config), base_(base), rngState_(config.seed)
+{
+}
+
+double
+ChaosSocketIo::draw()
+{
+    return splitmixUniform(rngState_);
+}
+
+int
+ChaosSocketIo::accept(int fd, struct sockaddr *addr, socklen_t *addrlen)
+{
+    if (acceptFaults_.load() < config_.acceptFailures) {
+        ++acceptFaults_;
+        errno = ECONNABORTED;
+        return -1;
+    }
+    return base_.accept(fd, addr, addrlen);
+}
+
+ssize_t
+ChaosSocketIo::recv(int fd, void *buf, std::size_t len, int flags)
+{
+    if (config_.eintrRate > 0.0 && draw() < config_.eintrRate) {
+        ++eintrFaults_;
+        errno = EINTR;
+        return -1;
+    }
+    return base_.recv(fd, buf, len, flags);
+}
+
+ssize_t
+ChaosSocketIo::send(int fd, const void *buf, std::size_t len, int flags)
+{
+    if (config_.eintrRate > 0.0 && draw() < config_.eintrRate) {
+        ++eintrFaults_;
+        errno = EINTR;
+        return -1;
+    }
+    const std::uint64_t n = ++sends_;
+    if (config_.resetEverySends > 0 &&
+        n % config_.resetEverySends == 0) {
+        ++resets_;
+        errno = ECONNRESET;
+        return -1;
+    }
+    if (config_.shortSendRate > 0.0 && len > 1 &&
+        draw() < config_.shortSendRate) {
+        ++shortSends_;
+        return base_.send(fd, buf, len / 2, flags);
+    }
+    return base_.send(fd, buf, len, flags);
+}
+
+int
+ChaosSocketIo::close(int fd)
+{
+    return base_.close(fd);
+}
+
+} // namespace beer::svc

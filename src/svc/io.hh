@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Fault-injectable I/O seams for the recovery service.
+ *
+ * Everything the service persists or transports — the job journal fd,
+ * the fingerprint cache file, the HTTP accept/recv/send paths — goes
+ * through two small virtual seams, FileIo and SocketIo, whose default
+ * implementations are the raw POSIX calls. The chaos implementations
+ * (ChaosFileIo / ChaosSocketIo) decorate a base seam with the failure
+ * modes real infrastructure produces — short writes, EINTR, an ENOSPC
+ * window, torn final records, mid-response connection resets, accept
+ * storms — deterministically from a seed, so the differential chaos
+ * tests (and the CI service-chaos smoke) can prove the service loses
+ * and duplicates no jobs under injected faults, not just clean runs.
+ *
+ * The seams deliberately mirror POSIX: callers keep their errno-based
+ * error handling, and the chaos layer injects faults by returning
+ * exactly what the kernel would (-1 + errno, short counts), so code
+ * paths hardened against the chaos layer are hardened against the
+ * real thing.
+ */
+
+#ifndef BEER_SVC_IO_HH
+#define BEER_SVC_IO_HH
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace beer::svc
+{
+
+/** File-descriptor I/O seam; the default methods are the raw POSIX
+ *  calls (EINTR handling stays with the caller, as with the kernel). */
+class FileIo
+{
+  public:
+    virtual ~FileIo() = default;
+
+    virtual int open(const char *path, int flags, unsigned mode);
+    virtual ssize_t read(int fd, void *buf, std::size_t len);
+    virtual ssize_t write(int fd, const void *buf, std::size_t len);
+    virtual int fsync(int fd);
+    virtual int close(int fd);
+    virtual int rename(const char *from, const char *to);
+    virtual int unlink(const char *path);
+
+    /** Process-wide pass-through instance. */
+    static FileIo &system();
+};
+
+/** Socket I/O seam for the HTTP adapter; defaults are raw POSIX. */
+class SocketIo
+{
+  public:
+    virtual ~SocketIo() = default;
+
+    virtual int accept(int fd, struct sockaddr *addr,
+                       socklen_t *addrlen);
+    virtual ssize_t recv(int fd, void *buf, std::size_t len, int flags);
+    virtual ssize_t send(int fd, const void *buf, std::size_t len,
+                         int flags);
+    virtual int close(int fd);
+
+    /** Process-wide pass-through instance. */
+    static SocketIo &system();
+};
+
+// ---- helpers over the seam -------------------------------------------
+
+/**
+ * Write all of @p len bytes, retrying EINTR and short writes through
+ * @p io. Returns false (errno preserved) on any other error; partial
+ * progress may have reached the fd — exactly the torn-record case the
+ * journal's CRC framing exists to absorb.
+ */
+bool writeFully(FileIo &io, int fd, const void *buf, std::size_t len);
+
+/**
+ * Read the whole file at @p path into @p out through @p io, retrying
+ * EINTR. False if the file cannot be opened or a read fails.
+ */
+bool readFileAll(FileIo &io, const std::string &path, std::string &out);
+
+/**
+ * Atomically replace @p path with @p content: write to "<path>.tmp",
+ * fsync, rename over @p path. A crash or injected fault anywhere in
+ * the sequence leaves either the old complete file or the new one,
+ * never a truncated mix — the contract cache persistence and journal
+ * compaction rely on.
+ */
+bool writeFileAtomic(FileIo &io, const std::string &path,
+                     const std::string &content);
+
+// ---- chaos implementations -------------------------------------------
+
+/** Failure plan for ChaosFileIo. All injection is deterministic in
+ *  (seed, call sequence), so tests replay identical fault schedules. */
+struct ChaosFileConfig
+{
+    std::uint64_t seed = 1;
+    /** Probability a write is truncated to roughly half its bytes
+     *  (a short write; the caller's retry loop sees real progress). */
+    double shortWriteRate = 0.0;
+    /** Probability a read/write fails once with EINTR first. */
+    double eintrRate = 0.0;
+    /**
+     * ENOSPC window: writes number [enospcAfterWrites,
+     * enospcAfterWrites + enospcWindow) fail with ENOSPC (0 window
+     * disables). Models a disk filling up and then being cleaned.
+     */
+    std::uint64_t enospcAfterWrites = 0;
+    std::uint64_t enospcWindow = 0;
+    /**
+     * Every Nth write (1-based) is torn: only the first half of the
+     * buffer reaches the fd and the call still reports full success,
+     * as a crash mid-write would leave it (0 disables). Unlike a
+     * short write the caller cannot see this happen — replay-time
+     * CRC framing is the only defense, which is the point.
+     */
+    std::uint64_t tornEveryWrites = 0;
+};
+
+/** FileIo decorator injecting the ChaosFileConfig failure plan. */
+class ChaosFileIo : public FileIo
+{
+  public:
+    explicit ChaosFileIo(ChaosFileConfig config,
+                         FileIo &base = FileIo::system());
+
+    int open(const char *path, int flags, unsigned mode) override;
+    ssize_t read(int fd, void *buf, std::size_t len) override;
+    ssize_t write(int fd, const void *buf, std::size_t len) override;
+    int fsync(int fd) override;
+    int close(int fd) override;
+    int rename(const char *from, const char *to) override;
+    int unlink(const char *path) override;
+
+    std::uint64_t writes() const { return writes_.load(); }
+    std::uint64_t shortWrites() const { return shortWrites_.load(); }
+    std::uint64_t tornWrites() const { return tornWrites_.load(); }
+    std::uint64_t eintrFaults() const { return eintrFaults_.load(); }
+    std::uint64_t enospcFaults() const { return enospcFaults_.load(); }
+
+  private:
+    /** Deterministic per-call uniform draw (thread-safe). */
+    double draw();
+
+    ChaosFileConfig config_;
+    FileIo &base_;
+    std::atomic<std::uint64_t> rngState_;
+    std::atomic<std::uint64_t> writes_{0};
+    std::atomic<std::uint64_t> shortWrites_{0};
+    std::atomic<std::uint64_t> tornWrites_{0};
+    std::atomic<std::uint64_t> eintrFaults_{0};
+    std::atomic<std::uint64_t> enospcFaults_{0};
+};
+
+/** Failure plan for ChaosSocketIo. */
+struct ChaosSocketConfig
+{
+    std::uint64_t seed = 1;
+    /**
+     * Accept storm: the first N accept() calls fail with ECONNABORTED
+     * (a flood of connections dying in the backlog). The server's
+     * accept loop must keep serving afterwards.
+     */
+    std::uint64_t acceptFailures = 0;
+    /** Every Nth send (1-based) fails with ECONNRESET after half the
+     *  bytes of the preceding sends went out — a client vanishing
+     *  mid-response (0 disables). */
+    std::uint64_t resetEverySends = 0;
+    /** Probability a recv/send fails once with EINTR first. */
+    double eintrRate = 0.0;
+    /** Probability a send is short (half the bytes accepted). */
+    double shortSendRate = 0.0;
+};
+
+/** SocketIo decorator injecting the ChaosSocketConfig failure plan. */
+class ChaosSocketIo : public SocketIo
+{
+  public:
+    explicit ChaosSocketIo(ChaosSocketConfig config,
+                           SocketIo &base = SocketIo::system());
+
+    int accept(int fd, struct sockaddr *addr,
+               socklen_t *addrlen) override;
+    ssize_t recv(int fd, void *buf, std::size_t len, int flags) override;
+    ssize_t send(int fd, const void *buf, std::size_t len,
+                 int flags) override;
+    int close(int fd) override;
+
+    std::uint64_t acceptFaults() const { return acceptFaults_.load(); }
+    std::uint64_t resets() const { return resets_.load(); }
+    std::uint64_t eintrFaults() const { return eintrFaults_.load(); }
+    std::uint64_t shortSends() const { return shortSends_.load(); }
+
+  private:
+    double draw();
+
+    ChaosSocketConfig config_;
+    SocketIo &base_;
+    std::atomic<std::uint64_t> rngState_;
+    std::atomic<std::uint64_t> sends_{0};
+    std::atomic<std::uint64_t> acceptFaults_{0};
+    std::atomic<std::uint64_t> resets_{0};
+    std::atomic<std::uint64_t> eintrFaults_{0};
+    std::atomic<std::uint64_t> shortSends_{0};
+};
+
+} // namespace beer::svc
+
+#endif // BEER_SVC_IO_HH

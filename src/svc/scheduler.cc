@@ -32,6 +32,13 @@ SessionScheduler::~SessionScheduler()
 }
 
 JobId
+SessionScheduler::allocateId()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nextId_++;
+}
+
+JobId
 SessionScheduler::submit(std::function<void(JobId)> work,
                          JobPolicy policy, JobId force_id)
 {

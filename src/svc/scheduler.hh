@@ -154,6 +154,16 @@ class SessionScheduler
                  JobPolicy policy = {}, JobId force_id = 0);
 
     /**
+     * Reserve the next JobId without scheduling anything; pass it to
+     * submit() as @p force_id afterwards. This is the journal-before-
+     * schedule ordering: the service journals `submit <id>` durably
+     * BEFORE the scheduler can start the job, so a crash between the
+     * two replays the job instead of losing it, and the id in the
+     * journal is the id clients poll.
+     */
+    JobId allocateId();
+
+    /**
      * Block until @p id reaches a terminal state (Done, Failed, or
      * Quarantined).
      *

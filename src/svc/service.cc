@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <fstream>
-#include <set>
 #include <sstream>
 
 #include "beer/measure.hh"
@@ -113,15 +112,22 @@ RecoveryService::RecoveryService(ServiceConfig config)
     // only run on workers, so size the pool for `threads` workers.
     pool_ = std::make_unique<util::ThreadPool>(
         config_.threads == 0 ? 0 : config_.threads + 1);
+    // The configured I/O seam covers every file the service persists:
+    // the journal and the fingerprint-cache snapshot.
+    if (!config_.cache.io)
+        config_.cache.io = config_.fileIo;
     cache_ = std::make_unique<FingerprintCache>(config_.cache);
     cache_->loadFromDisk();
+    JournalConfig journal;
+    journal.path = config_.journalPath;
+    journal.maxBytes = config_.journalMaxBytes;
+    journal.io = config_.fileIo;
+    journal_ = std::make_unique<JobJournal>(journal);
     SchedulerConfig sched;
     sched.maxQueuedJobs = config_.maxQueuedJobs;
-    if (!config_.journalPath.empty())
+    if (journal_->enabled())
         sched.onTerminal = [this](JobId id, JobState state) {
-            journalAppend((state == JobState::Done ? "done "
-                                                   : "failed ") +
-                          std::to_string(id));
+            journal_->appendTerminal(id, state == JobState::Done);
         };
     scheduler_ = std::make_unique<SessionScheduler>(*pool_, sched);
     replayJournal();
@@ -136,14 +142,14 @@ SubmitOutcome
 RecoveryService::scheduleRecord(std::unique_ptr<JobRecord> record,
                                 JobId force_id, bool journal)
 {
-    // Build the journal record before scheduling: once the scheduler
-    // accepts, the job may start (and even finish) on a worker at any
-    // moment, so the only fields safe to read afterwards are behind
-    // the record mutex. Replay tolerates a `done` line that beat its
-    // `submit` line to the file.
+    // Journal-before-schedule: the submit record must be durable
+    // BEFORE the scheduler can start (or finish) the job, so a crash
+    // at any point replays the job instead of losing it. The id is
+    // allocated up front for the record; a journal append that fails
+    // (ENOSPC and friends) rejects the submission — the service never
+    // accepts work it could not make durable.
     std::string submit_line;
-    if (journal && !config_.journalPath.empty() &&
-        !record->sessionMem) {
+    if (journal && journal_->enabled() && !record->sessionMem) {
         submit_line = !record->tracePath.empty()
                           ? "trace " + std::to_string(
                                 record->options.parityBits) +
@@ -162,6 +168,18 @@ RecoveryService::scheduleRecord(std::unique_ptr<JobRecord> record,
                                     serializeProfile(record->profile));
     }
 
+    JobId reserved = force_id;
+    bool journaled = false;
+    if (!submit_line.empty()) {
+        if (reserved == 0)
+            reserved = scheduler_->allocateId();
+        if (!journal_->appendSubmit(reserved, submit_line))
+            return rejected(SubmitOutcome::Reject::Overloaded,
+                            "cannot journal submission (disk "
+                            "failure?), retry later");
+        journaled = true;
+    }
+
     JobRecord *ptr = record.get();
     const JobId id = scheduler_->submit(
         [this, ptr](JobId job_id) {
@@ -171,14 +189,15 @@ RecoveryService::scheduleRecord(std::unique_ptr<JobRecord> record,
             }
             runJob(*ptr);
         },
-        config_.jobPolicy, force_id);
-    if (id == 0)
+        config_.jobPolicy, reserved);
+    if (id == 0) {
+        // The submit record is already durable; retire it so replay
+        // does not resurrect a job the client was told is rejected.
+        if (journaled)
+            journal_->appendTerminal(reserved, /*done=*/false);
         return rejected(SubmitOutcome::Reject::Overloaded,
                         "job queue is full, retry later");
-
-    if (!submit_line.empty())
-        journalAppend("submit " + std::to_string(id) + " " +
-                      submit_line);
+    }
     {
         std::lock_guard<std::mutex> lock(ptr->mutex);
         ptr->status.id = id;
@@ -298,105 +317,61 @@ RecoveryService::submitSession(dram::MemoryInterface &mem,
 }
 
 void
-RecoveryService::journalAppend(const std::string &line)
-{
-    if (config_.journalPath.empty())
-        return;
-    std::lock_guard<std::mutex> lock(journalMutex_);
-    // Open-per-append: no buffered state to lose on a kill -9, and
-    // the journal stays writable after transient filesystem errors.
-    std::ofstream out(config_.journalPath,
-                      std::ios::app | std::ios::binary);
-    if (!out) {
-        util::warn("svc: cannot append to journal '%s'",
-                      config_.journalPath.c_str());
-        return;
-    }
-    out << line << '\n';
-    out.flush();
-}
-
-void
 RecoveryService::replayJournal()
 {
-    if (config_.journalPath.empty())
-        return;
-    std::ifstream in(config_.journalPath);
-    if (!in)
-        return; // first boot over this path: nothing to replay
-
-    struct PendingSubmit
-    {
+    // The journal already tolerated a torn tail, skipped corrupt
+    // records, deduplicated by id, and dropped finished jobs; what
+    // comes back is exactly the unfinished submissions, in original
+    // submission order. A record the service itself cannot use (an
+    // unreadable profile, a trace file that is gone) is retired with
+    // a terminal record so it does not replay forever.
+    for (const ReplayedJob &job : journal_->replay()) {
+        std::istringstream fields(job.payload);
         std::string kind;
-        std::size_t parityBits = 0;
-        bool bypassCache = false;
-        std::string payload;
-    };
-    // Ordered so survivors replay in original submission order. A
-    // fast job's `done` record can legitimately precede its `submit`
-    // record (the job ran to completion between the scheduler accept
-    // and the submit append), so terminal ids are collected separately
-    // instead of erased in line order.
-    std::map<JobId, PendingSubmit> pending;
-    std::set<JobId> finished;
-    std::string line;
-    while (std::getline(in, line)) {
-        std::istringstream fields(line);
-        std::string verb;
-        JobId id = 0;
-        fields >> verb >> id;
-        if (id == 0)
-            continue; // torn tail line from a crash mid-write
-        if (verb == "done" || verb == "failed") {
-            finished.insert(id);
+        std::size_t parity_bits = 0;
+        int bypass = 0;
+        fields >> kind >> parity_bits >> bypass;
+        if (!fields) {
+            journal_->appendTerminal(job.id, /*done=*/false);
             continue;
         }
-        if (verb != "submit")
-            continue;
-        PendingSubmit ps;
-        int bypass = 0;
-        fields >> ps.kind >> ps.parityBits >> bypass;
-        if (!fields)
-            continue;
-        ps.bypassCache = bypass != 0;
-        std::getline(fields, ps.payload);
-        if (!ps.payload.empty() && ps.payload.front() == ' ')
-            ps.payload.erase(0, 1);
-        pending[id] = std::move(ps);
-    }
+        std::string payload;
+        std::getline(fields, payload);
+        if (!payload.empty() && payload.front() == ' ')
+            payload.erase(0, 1);
 
-    for (auto &[id, ps] : pending) {
-        if (finished.count(id))
-            continue;
         SubmitOptions options;
-        options.parityBits = ps.parityBits;
-        options.bypassCache = ps.bypassCache;
+        options.parityBits = parity_bits;
+        options.bypassCache = bypass != 0;
         SubmitOutcome outcome;
-        if (ps.kind == "profile") {
-            std::istringstream text(unescapeJournalField(ps.payload));
+        if (kind == "profile") {
+            std::istringstream text(unescapeJournalField(payload));
             MiscorrectionProfile profile;
             if (!tryParseProfile(text, profile).ok) {
                 util::warn("svc: journal job %llu: unreadable "
                               "profile record, dropped",
-                              (unsigned long long)id);
+                              (unsigned long long)job.id);
+                journal_->appendTerminal(job.id, /*done=*/false);
                 continue;
             }
-            outcome = enqueue(std::move(profile), options, id,
+            outcome = enqueue(std::move(profile), options, job.id,
                               /*journal=*/false);
-        } else if (ps.kind == "trace") {
-            const std::string path = unescapeJournalField(ps.payload);
+        } else if (kind == "trace") {
+            const std::string path = unescapeJournalField(payload);
             if (!std::ifstream(path)) {
                 util::warn("svc: journal job %llu: trace file "
                               "'%s' is gone, dropped",
-                              (unsigned long long)id, path.c_str());
+                              (unsigned long long)job.id, path.c_str());
+                journal_->appendTerminal(job.id, /*done=*/false);
                 continue;
             }
             auto record = std::make_unique<JobRecord>();
             record->options = options;
             record->tracePath = path;
-            outcome = scheduleRecord(std::move(record), id,
+            outcome = scheduleRecord(std::move(record), job.id,
                                      /*journal=*/false);
         } else {
+            journal_->appendTerminal(job.id, /*done=*/false);
             continue;
         }
         if (outcome.accepted)
@@ -404,7 +379,7 @@ RecoveryService::replayJournal()
         else
             util::warn("svc: journal job %llu: replay rejected "
                           "(%s)",
-                          (unsigned long long)id,
+                          (unsigned long long)job.id,
                           outcome.error.c_str());
     }
 }
@@ -482,6 +457,10 @@ RecoveryService::runSessionJob(JobRecord &record)
     // share an incremental context), matching the counter's "jobs
     // answered by SAT" meaning.
     satSolves_.fetch_add(1, std::memory_order_relaxed);
+    quorumVotesSpent_.fetch_add(report.stats.quorumVotesSpent,
+                                std::memory_order_relaxed);
+    quorumEscalations_.fetch_add(report.stats.quorumEscalations,
+                                 std::memory_order_relaxed);
 
     const std::size_t parity =
         ecc::parityBitsForDataBits(report.profile.k);
@@ -751,6 +730,11 @@ RecoveryService::health() const
     report.expiredJobs = report.scheduler.expired;
     report.journalReplays =
         journalReplays_.load(std::memory_order_relaxed);
+    report.journal = journal_->stats();
+    report.quorumVotesSpent =
+        quorumVotesSpent_.load(std::memory_order_relaxed);
+    report.quorumEscalations =
+        quorumEscalations_.load(std::memory_order_relaxed);
     return report;
 }
 
@@ -763,9 +747,18 @@ RecoveryService::flushCache() const
 void
 RecoveryService::shutdown()
 {
+    // The exchange makes the whole drain-fsync-flush sequence run
+    // exactly once, however many of shutdown()/the destructor/a
+    // signal handler race here: later callers see `true` and return
+    // before touching the journal or the cache.
     if (stopped_.exchange(true))
         return;
     scheduler_->drain();
+    // Graceful drain is the one moment durability is pinned: appends
+    // are open-per-call (the OS flushes them eventually; a kill -9
+    // loses at most what replay re-derives), but a *clean* shutdown
+    // fsyncs so the journal survives even power loss right after.
+    journal_->sync();
     if (!config_.cache.path.empty())
         cache_->flushToDisk();
 }

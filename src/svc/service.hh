@@ -44,6 +44,8 @@
 #include "beer/session.hh"
 #include "beer/solver.hh"
 #include "svc/fingerprint_cache.hh"
+#include "svc/io.hh"
+#include "svc/journal.hh"
 #include "svc/scheduler.hh"
 #include "util/thread_pool.hh"
 
@@ -229,6 +231,12 @@ struct HealthReport
     std::uint64_t expiredJobs = 0;
     /** Unfinished journaled jobs re-submitted at startup. */
     std::uint64_t journalReplays = 0;
+    /** Journal size/compaction/corruption counters. */
+    JournalStats journal;
+    /** Quorum reads spent by session jobs (adaptive or fixed). */
+    std::uint64_t quorumVotesSpent = 0;
+    /** Quorum escalations to the full vote tier by session jobs. */
+    std::uint64_t quorumEscalations = 0;
 };
 
 /** Construction knobs for the service. */
@@ -261,6 +269,19 @@ struct ServiceConfig
      * cannot be re-created from disk.
      */
     std::string journalPath;
+    /**
+     * Journal size bound: compact (atomically rewrite keeping only
+     * unfinished submit records) when the file exceeds this (0 =
+     * never compact online; see JournalConfig::maxBytes).
+     */
+    std::size_t journalMaxBytes = 256 * 1024;
+    /**
+     * I/O seam for the journal and the fingerprint-cache file
+     * (nullptr = raw POSIX). The chaos tests inject ENOSPC windows,
+     * short writes and torn records through this to prove the
+     * exactly-once job contract differentially.
+     */
+    FileIo *fileIo = nullptr;
     /** Test/observability hook: runs on the worker as a job starts. */
     std::function<void(JobId)> onJobStart;
 };
@@ -353,9 +374,6 @@ class RecoveryService
     void runJob(JobRecord &record);
     void runSessionJob(JobRecord &record);
 
-    /** Append one line to the journal and flush it (no-op without a
-     *  configured path). */
-    void journalAppend(const std::string &line);
     /** Re-submit unfinished jobs recorded in the journal. */
     void replayJournal();
 
@@ -395,8 +413,10 @@ class RecoveryService
     std::atomic<std::uint64_t> legacyPayloads_{0};
     std::atomic<std::uint64_t> batchedLookups_{0};
     std::atomic<std::uint64_t> journalReplays_{0};
+    std::atomic<std::uint64_t> quorumVotesSpent_{0};
+    std::atomic<std::uint64_t> quorumEscalations_{0};
     std::atomic<bool> stopped_{false};
-    std::mutex journalMutex_;
+    std::unique_ptr<JobJournal> journal_;
     std::chrono::steady_clock::time_point start_;
 };
 

@@ -185,6 +185,58 @@ TEST(Chaos, DifferentialRecoveryUnderNoise)
     }
 }
 
+// The adaptive quorum's value proposition: against the identical
+// injected-fault schedule it recovers the same ground-truth function
+// the fixed policy does, while spending fewer dataword read sweeps —
+// clean patterns stop paying the full vote count.
+TEST(Chaos, AdaptiveQuorumCheaperThanFixedAtEqualAccuracy)
+{
+    const std::size_t k = 16;
+    SimulatedChip clean_chip(testChipConfig('A', k, 7150));
+    SessionConfig clean_config;
+    clean_config.measure = fastMeasure(clean_chip);
+    clean_config.wordsUnderTest = dram::trueCellWords(clean_chip);
+    Session clean_session(clean_chip, clean_config);
+    const RecoveryReport clean = clean_session.run();
+    ASSERT_TRUE(clean.succeeded());
+
+    const auto run_arm = [&](bool adaptive) {
+        SimulatedChip chip(testChipConfig('A', k, 7150));
+        FaultInjectionConfig chaos;
+        chaos.transientFlipRate = 1e-4;
+        chaos.burst = {2048, 64, 5e-4};
+        chaos.seed = 9000;
+        FaultInjectionProxy proxy(chip, chaos);
+
+        SessionConfig config;
+        config.measure = fastMeasure(chip);
+        config.measure.quorum.votes = 3;
+        config.measure.quorum.escalatedVotes = 7;
+        config.measure.quorum.adaptive = adaptive;
+        config.repair.enabled = true;
+        config.repair.maxAttempts = 4;
+        config.repair.remeasureVotes = 7;
+        config.wordsUnderTest = dram::trueCellWords(chip);
+        Session session(proxy, config);
+        const RecoveryReport report = session.run();
+        EXPECT_TRUE(report.succeeded());
+        EXPECT_TRUE(ecc::equivalent(report.recoveredCode(),
+                                    chip.groundTruthCode()));
+        EXPECT_TRUE(ecc::equivalent(report.recoveredCode(),
+                                    clean.recoveredCode()));
+        return report;
+    };
+
+    const RecoveryReport fixed = run_arm(/*adaptive=*/false);
+    const RecoveryReport adaptive = run_arm(/*adaptive=*/true);
+    EXPECT_GT(fixed.stats.quorumVotesSpent, 0u);
+    EXPECT_LT(adaptive.stats.quorumVotesSpent,
+              fixed.stats.quorumVotesSpent);
+    // The noise was strong enough that some patterns escalated — the
+    // savings come from selectivity, not from never escalating.
+    EXPECT_GT(adaptive.stats.quorumEscalations, 0u);
+}
+
 // Quorum voting masks transient read noise the single-read path would
 // swallow into the profile, and flags the disagreements it saw.
 TEST(Chaos, QuorumVotesOutTransientNoise)

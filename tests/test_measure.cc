@@ -8,9 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "beer/measure.hh"
 #include "beer/profile.hh"
 #include "dram/chip.hh"
+#include "dram/fault_proxy.hh"
+#include "dram/trace.hh"
 #include "ecc/hamming.hh"
 #include "util/rng.hh"
 
@@ -173,6 +177,95 @@ TEST(Measure, ThresholdFiltersTransientNoise)
         exhaustiveProfile(chip.groundTruthCode(), patterns);
     EXPECT_EQ(filtered, expected);
     EXPECT_NE(unfiltered, expected);
+}
+
+TEST(Measure, AdaptiveQuorumBitIdenticalToSingleVoteUnderZeroNoise)
+{
+    // The adaptive policy's backward-compatibility contract: on a
+    // noise-free chip its votes always agree, the first vote's data is
+    // used unchanged, and every observable measurement output matches
+    // the historical single-read path bit for bit.
+    ChipConfig config = makeVendorConfig('A', 8, 31);
+    config.map.rows = 64;
+    config.iidErrors = true;
+
+    const auto measure_for = [](const Chip &chip) {
+        MeasureConfig mc;
+        for (double ber : {0.1, 0.2, 0.3})
+            mc.pausesSeconds.push_back(
+                chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
+        mc.repeatsPerPause = 20;
+        return mc;
+    };
+    const auto patterns = chargedPatterns(8, 1);
+
+    Chip single_chip(config);
+    MeasureConfig single = measure_for(single_chip);
+    const auto legacy =
+        measureProfileOnChip(single_chip, patterns, single);
+
+    Chip adaptive_chip(config);
+    MeasureConfig adaptive = measure_for(adaptive_chip);
+    adaptive.quorum.votes = 1;
+    adaptive.quorum.adaptive = true;
+    QuorumEstimator estimator;
+    adaptive.estimator = &estimator;
+    const auto quorum =
+        measureProfileOnChip(adaptive_chip, patterns, adaptive);
+
+    EXPECT_EQ(legacy.errorCounts, quorum.errorCounts);
+    EXPECT_EQ(legacy.wordsTested, quorum.wordsTested);
+    EXPECT_EQ(legacy.threshold(1e-4), quorum.threshold(1e-4));
+    EXPECT_EQ(quorum.totalDisagreements(), 0u);
+    // The estimator really ran (base cost is 2 reads per experiment)
+    // and never saw a disagreement.
+    EXPECT_GT(estimator.samples, 0u);
+    EXPECT_DOUBLE_EQ(estimator.rate, 0.0);
+    EXPECT_EQ(estimator.escalations, 0u);
+    EXPECT_EQ(quorum.totalVotesSpent(), 2 * estimator.samples);
+}
+
+TEST(Measure, AdaptiveQuorumTraceReplayRoundTrips)
+{
+    // An adaptive-quorum measurement under real read noise must replay
+    // bit-identically from its own trace: the escalation schedule is a
+    // pure function of the trace meta (which seeds the estimator) and
+    // the recorded reads.
+    ChipConfig config = makeVendorConfig('B', 8, 37);
+    config.map.rows = 64;
+    config.iidErrors = true;
+    Chip chip(config);
+    dram::FaultInjectionConfig chaos;
+    chaos.transientFlipRate = 2e-3;
+    chaos.seed = 71;
+    dram::FaultInjectionProxy proxy(chip, chaos);
+
+    MeasureConfig mc;
+    for (double ber : {0.1, 0.3})
+        mc.pausesSeconds.push_back(
+            chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
+    mc.repeatsPerPause = 15;
+    mc.quorum.votes = 3;
+    mc.quorum.escalatedVotes = 7;
+    mc.quorum.adaptive = true;
+    mc.quorum.initialEstimate = 0.01;
+
+    const auto patterns = chargedPatterns(8, 1);
+    const auto words = dram::trueCellWords(chip);
+    std::ostringstream recorded;
+    const ProfileCounts live =
+        recordProfileTrace(proxy, patterns, mc, words, recorded);
+    ASSERT_GT(live.totalDisagreements(), 0u)
+        << "noise too weak to exercise the adaptive path";
+
+    std::istringstream stored(recorded.str());
+    dram::TraceReplayBackend trace(stored);
+    const ProfileCounts replayed = replayProfileTrace(trace);
+    EXPECT_TRUE(trace.atEnd());
+    EXPECT_EQ(live.errorCounts, replayed.errorCounts);
+    EXPECT_EQ(live.wordsTested, replayed.wordsTested);
+    EXPECT_EQ(live.disagreements, replayed.disagreements);
+    EXPECT_EQ(live.votesSpent, replayed.votesSpent);
 }
 
 TEST(Measure, PaperDefaultConfigShape)

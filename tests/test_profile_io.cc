@@ -127,6 +127,86 @@ TEST(ProfileIo, TryParseReportsErrorsFatalWouldRaise)
     }
 }
 
+TEST(ProfileIo, SuspectMarkerRoundTripsAsVersion3)
+{
+    MiscorrectionProfile profile;
+    profile.k = 4;
+    PatternProfile flagged;
+    flagged.pattern = {0};
+    flagged.miscorrectable = gf2::BitVec(4);
+    flagged.miscorrectable.set(2, true);
+    flagged.suspect = true;
+    PatternProfile clean;
+    clean.pattern = {1, 2};
+    clean.miscorrectable = gf2::BitVec(4);
+    profile.patterns.push_back(flagged);
+    profile.patterns.push_back(clean);
+
+    // A profile carrying suspect metadata declares the bumped version
+    // so strict old readers fail loudly instead of dropping the " ?".
+    const std::string text = serializeProfile(profile);
+    EXPECT_NE(text.find("version 3"), std::string::npos) << text;
+    EXPECT_NE(text.find(" ?"), std::string::npos) << text;
+
+    std::istringstream in(text);
+    MiscorrectionProfile parsed;
+    const ProfileParseStatus status = tryParseProfile(in, parsed);
+    ASSERT_TRUE(status.ok) << status.error;
+    EXPECT_EQ(status.version, 3u);
+    EXPECT_EQ(parsed, profile);
+    ASSERT_EQ(parsed.patterns.size(), 2u);
+    EXPECT_TRUE(parsed.patterns[0].suspect);
+    EXPECT_FALSE(parsed.patterns[1].suspect);
+}
+
+TEST(ProfileIo, SuspectFreeProfileKeepsVersion2)
+{
+    // Marker-free profiles must keep emitting the established version
+    // so every existing reader still accepts them byte-for-byte.
+    const auto profile = exhaustiveProfile(ecc::paperExampleCode(),
+                                           chargedPatterns(4, 1));
+    const std::string text = serializeProfile(profile);
+    EXPECT_NE(text.find("version 2"), std::string::npos) << text;
+    EXPECT_EQ(text.find(" ?"), std::string::npos) << text;
+}
+
+TEST(ProfileIo, SuspectExcludedFromEquality)
+{
+    // suspect is measurement metadata, not profile content: two
+    // profiles differing only in markers compare equal (the cache and
+    // the solver treat them as the same evidence).
+    MiscorrectionProfile a;
+    a.k = 4;
+    PatternProfile entry;
+    entry.pattern = {0};
+    entry.miscorrectable = gf2::BitVec(4);
+    a.patterns.push_back(entry);
+    MiscorrectionProfile b = a;
+    b.patterns[0].suspect = true;
+    EXPECT_EQ(a, b);
+}
+
+TEST(ProfileIo, TrailingGarbageTokenRejected)
+{
+    // Older parsers silently ignored trailing tokens — exactly how
+    // payload corruption hides. Anything but the "?" marker is an
+    // explicit parse error now.
+    const char *bad[] = {
+        "k 4\n0 0111 x\n",
+        "version 3\nk 4\n0 0111 garbage\n",
+        "version 3\nk 4\n0 0111 ? extra\n",
+    };
+    for (const char *text : bad) {
+        std::istringstream in(text);
+        MiscorrectionProfile parsed;
+        const ProfileParseStatus status = tryParseProfile(in, parsed);
+        EXPECT_FALSE(status.ok) << text;
+        EXPECT_NE(status.error.find("trailing token"),
+                  std::string::npos)
+            << status.error;
+    }
+}
+
 using ProfileIoDeath = ::testing::Test;
 
 TEST(ProfileIoDeath, FutureVersionIsFatalInBatchPath)

@@ -152,6 +152,60 @@ TEST(SvcFingerprintCache, NearMatchWarmStartConvergesToColdSolve)
     EXPECT_TRUE(equivalent(result.solutions.front(), code));
 }
 
+TEST(SvcFingerprintCache, RepairAwareNearMatchIgnoresSuspectRows)
+{
+    // A repaired chip's suspect rows (quorum disagreement, noise
+    // residue) differ from its clean sibling's cached entry; scoring
+    // on the surviving clean rows must still find the sibling.
+    Rng rng(17);
+    const LinearCode code = randomSecCode(8, rng);
+    const std::size_t parity = code.numParityBits();
+    const MiscorrectionProfile full = plantedProfile(code, {1, 2});
+    ASSERT_GE(full.patterns.size(), 12u);
+
+    FingerprintCacheConfig config;
+    config.nearMatchThreshold = 0.9;
+    FingerprintCache cache(config);
+    cache.insert(full, parity, code);
+
+    // Corrupt a sixth of the rows so the plain overlap falls below
+    // the threshold...
+    MiscorrectionProfile corrupted = full;
+    const std::size_t tainted = full.patterns.size() / 6;
+    for (std::size_t i = 0; i < tainted; ++i) {
+        PatternProfile &entry = corrupted.patterns[i];
+        for (std::size_t bit = 0; bit < corrupted.k; ++bit) {
+            if (!patternContains(entry.pattern, bit)) {
+                entry.miscorrectable.flip(bit);
+                break;
+            }
+        }
+    }
+    // ...and confirm that, unflagged, the query really misses.
+    EXPECT_EQ(cache.lookup(corrupted, parity).kind,
+              FingerprintCache::Hit::Kind::Miss);
+    EXPECT_EQ(cache.stats().repairAwareHits, 0u);
+
+    // Flagged as suspect, the clean-row view scores ~1.0.
+    for (std::size_t i = 0; i < tainted; ++i)
+        corrupted.patterns[i].suspect = true;
+    const auto hit = cache.lookup(corrupted, parity);
+    ASSERT_EQ(hit.kind, FingerprintCache::Hit::Kind::Near);
+    EXPECT_GT(hit.overlap, 0.99);
+    EXPECT_EQ(cache.stats().repairAwareHits, 1u);
+
+    // The warm-start subset is the query's own clean evidence: every
+    // suspect row is excluded, every shared row is the query's.
+    EXPECT_EQ(hit.shared.patterns.size(),
+              full.patterns.size() - tainted);
+    for (const PatternProfile &entry : hit.shared.patterns) {
+        EXPECT_FALSE(entry.suspect);
+        EXPECT_NE(std::find(corrupted.patterns.begin(),
+                            corrupted.patterns.end(), entry),
+                  corrupted.patterns.end());
+    }
+}
+
 TEST(SvcFingerprintCache, LruEvictsLeastRecentlyUsed)
 {
     Rng rng(11);

@@ -187,6 +187,91 @@ TEST(SvcHttp, SocketRoundTrip)
     serving.join();
 }
 
+TEST(SvcHttp, HealthExposesJournalQuorumAndRepairAwareCounters)
+{
+    RecoveryService service;
+    HttpServer server(service);
+
+    // The fault-tolerance observability surface: journal byte/record/
+    // compaction counters, adaptive-quorum vote totals, and the
+    // repair-aware cache-hit counter, in both /health and /v1/stats.
+    for (const char *route : {"/health", "/v1/stats"}) {
+        const HttpResponse response =
+            server.handle("GET", route, "");
+        EXPECT_EQ(response.status, 200);
+        for (const char *key :
+             {"\"journal\":{", "\"bytes\":", "\"records\":",
+              "\"compactions\":", "\"crc_skipped\":",
+              "\"torn_tail\":", "\"append_failures\":",
+              "\"quorum\":{", "\"votes_spent\":", "\"escalations\":",
+              "\"repair_aware_hits\":"})
+            EXPECT_NE(response.body.find(key), std::string::npos)
+                << route << " missing " << key;
+    }
+}
+
+TEST(SvcHttp, SurvivesAcceptStormAndMidResponseResets)
+{
+    RecoveryService service;
+    svc::ChaosSocketConfig chaos;
+    chaos.seed = 7;
+    chaos.acceptFailures = 2;  // storm: first accepts die in backlog
+    chaos.resetEverySends = 3; // every 3rd response loses its client
+    svc::ChaosSocketIo chaos_io(chaos);
+
+    svc::HttpConfig http;
+    http.socketIo = &chaos_io;
+    HttpServer server(service, http);
+    if (!server.start())
+        GTEST_SKIP() << "cannot bind a loopback socket here";
+    std::thread serving([&] { server.serve(); });
+
+    const auto fetch_health = [&]() -> std::string {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(server.port());
+        EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr),
+                  1);
+        if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) !=
+            0) {
+            ::close(fd);
+            return "";
+        }
+        const std::string request =
+            "GET /health HTTP/1.1\r\nHost: localhost\r\n"
+            "Connection: close\r\n\r\n";
+        (void)!::send(fd, request.data(), request.size(), 0);
+        std::string response;
+        char buf[4096];
+        ssize_t got;
+        while ((got = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+            response.append(buf, (std::size_t)got);
+        ::close(fd);
+        return response;
+    };
+
+    std::size_t successes = 0;
+    for (int i = 0; i < 9; ++i)
+        if (fetch_health().find("HTTP/1.1 200 OK") !=
+            std::string::npos)
+            ++successes;
+
+    // The chaos really fired: the storm ate accepts and some clients
+    // lost their response mid-flight — yet most requests served fine.
+    EXPECT_EQ(chaos_io.acceptFaults(), 2u);
+    EXPECT_GT(chaos_io.resets(), 0u);
+    EXPECT_GE(successes, 5u);
+    EXPECT_LT(successes, 9u);
+
+    // And the server is still fully alive afterwards.
+    EXPECT_NE(fetch_health().find("\"ok\":true"), std::string::npos);
+
+    server.stop();
+    serving.join();
+}
+
 TEST(SvcHttp, TaxonomyAndResilienceFieldsSurface)
 {
     svc::ServiceConfig config;

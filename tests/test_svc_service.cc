@@ -342,6 +342,16 @@ journalEscape(const std::string &text)
     return out;
 }
 
+/** Frame a journal record exactly as svc::JobJournal does. */
+std::string
+journalFrame(const std::string &payload)
+{
+    char crc_hex[9];
+    std::snprintf(crc_hex, sizeof crc_hex, "%08x",
+                  beer::svc::crc32(payload.data(), payload.size()));
+    return std::string(crc_hex) + " " + payload + "\n";
+}
+
 } // anonymous namespace
 
 TEST(SvcService, RetryPolicyRecoversFlakyJobs)
@@ -465,16 +475,20 @@ TEST(SvcService, JournalRecordsJobLifecycle)
     }
 
     // One submit record, one done record, nothing unfinished: a
-    // restart over the same journal replays nothing.
+    // restart over the same journal replays nothing. Every line is
+    // CRC-framed, so the verb starts at offset 9 (8 hex + space).
     std::ifstream in(path);
     ASSERT_TRUE(in.good());
     std::size_t submits = 0;
     std::size_t dones = 0;
     std::string line;
     while (std::getline(in, line)) {
-        if (line.rfind("submit " + std::to_string(id) + " ", 0) == 0)
+        ASSERT_GE(line.size(), 9u) << line;
+        const std::string payload = line.substr(9);
+        if (payload.rfind("submit " + std::to_string(id) + " ", 0) ==
+            0)
             ++submits;
-        if (line == "done " + std::to_string(id))
+        if (payload == "done " + std::to_string(id))
             ++dones;
     }
     EXPECT_EQ(submits, 1u);
@@ -484,6 +498,136 @@ TEST(SvcService, JournalRecordsJobLifecycle)
     config.journalPath = path;
     RecoveryService service(config);
     EXPECT_EQ(service.health().journalReplays, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SvcService, ChaosFileIoLosesAndDuplicatesNoJobs)
+{
+    // Differential: a service journaling through recoverable file
+    // chaos (EINTR + short writes) must end in exactly the state a
+    // clean-I/O service would — every accepted job Done, every
+    // lifecycle durable, a restart replaying nothing.
+    Rng rng(73);
+    const LinearCode code = randomSecCode(8, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+    const std::string path = tempJournalPath();
+    std::remove(path.c_str());
+
+    svc::ChaosFileConfig chaos;
+    chaos.seed = 1234;
+    chaos.shortWriteRate = 0.3;
+    chaos.eintrRate = 0.3;
+    svc::ChaosFileIo chaos_io(chaos);
+
+    std::vector<svc::JobId> accepted;
+    {
+        ServiceConfig config;
+        config.journalPath = path;
+        config.fileIo = &chaos_io;
+        RecoveryService service(config);
+        for (int i = 0; i < 8; ++i) {
+            const SubmitOutcome outcome =
+                service.submitProfile(profile);
+            ASSERT_TRUE(outcome.accepted) << outcome.error;
+            accepted.push_back(outcome.id);
+        }
+        service.drain();
+        for (const svc::JobId id : accepted) {
+            const auto job = service.job(id);
+            ASSERT_TRUE(job.has_value());
+            EXPECT_EQ(job->state, JobState::Done) << "job " << id;
+            EXPECT_TRUE(job->succeeded) << "job " << id;
+        }
+        const auto health = service.health();
+        EXPECT_EQ(health.journal.appendFailures, 0u);
+        EXPECT_GT(health.journal.records, 0u);
+        service.shutdown();
+    }
+    // The chaos really fired — this was not a clean run in disguise.
+    EXPECT_GT(chaos_io.shortWrites() + chaos_io.eintrFaults(), 0u);
+
+    // Restart over the same journal with clean I/O: nothing replays
+    // (no duplicates), nothing is missing (no losses).
+    ServiceConfig config;
+    config.journalPath = path;
+    RecoveryService service(config);
+    EXPECT_EQ(service.health().journalReplays, 0u);
+    EXPECT_EQ(service.health().journal.tornTail, 0u);
+    EXPECT_EQ(service.health().journal.crcSkipped, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SvcService, EnospcWindowRejectsSubmissionsInsteadOfLosingThem)
+{
+    // When the disk fills, un-journalable submissions must be refused
+    // up front (the client knows and can retry) — never accepted into
+    // a state a crash would silently lose.
+    Rng rng(79);
+    const LinearCode code = randomSecCode(8, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+    const std::string path = tempJournalPath();
+    std::remove(path.c_str());
+
+    svc::ChaosFileConfig chaos;
+    chaos.seed = 2;
+    chaos.enospcAfterWrites = 1;   // first append lands...
+    chaos.enospcWindow = 1000000;  // ...then the disk stays full
+    svc::ChaosFileIo chaos_io(chaos);
+
+    ServiceConfig config;
+    config.journalPath = path;
+    config.fileIo = &chaos_io;
+    RecoveryService service(config);
+
+    const SubmitOutcome first = service.submitProfile(profile);
+    ASSERT_TRUE(first.accepted) << first.error;
+
+    const SubmitOutcome second = service.submitProfile(profile);
+    EXPECT_FALSE(second.accepted);
+    EXPECT_EQ(second.reject, SubmitOutcome::Reject::Overloaded);
+    EXPECT_NE(second.error.find("journal"), std::string::npos)
+        << second.error;
+    EXPECT_GT(chaos_io.enospcFaults(), 0u);
+
+    // The accepted job still runs to completion, and the failure is
+    // visible on the health surface.
+    service.drain();
+    EXPECT_TRUE(service.job(first.id)->succeeded);
+    EXPECT_GT(service.health().journal.appendFailures, 0u);
+    service.shutdown();
+    std::remove(path.c_str());
+}
+
+TEST(SvcService, TornTerminalRecordReplaysJobInsteadOfLosingIt)
+{
+    // A crash can tear the done-record off the end of the journal.
+    // The job's terminal state is then unproven, so a restart must
+    // re-run it (at-least-once execution) rather than drop it — the
+    // no-lost-jobs half of the crash contract.
+    Rng rng(83);
+    const LinearCode code = randomSecCode(8, rng);
+    const MiscorrectionProfile profile = plantedProfile(code, {1, 2});
+    const std::string path = tempJournalPath();
+
+    {
+        std::ofstream out(path, std::ios::trunc);
+        const std::string payload =
+            journalEscape(serializeProfile(profile));
+        out << journalFrame("submit 4 profile 0 0 " + payload);
+        const std::string done = journalFrame("done 4");
+        out << done.substr(0, done.size() / 2); // torn mid-append
+    }
+
+    ServiceConfig config;
+    config.journalPath = path;
+    RecoveryService service(config);
+    EXPECT_EQ(service.health().journalReplays, 1u);
+    EXPECT_EQ(service.health().journal.tornTail, 1u);
+    ASSERT_TRUE(service.waitForJob(4));
+    const auto job = service.job(4);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_TRUE(job->succeeded);
+    service.drain();
     std::remove(path.c_str());
 }
 
@@ -500,9 +644,9 @@ TEST(SvcService, JournalReplayResumesUnfinishedJobs)
         std::ofstream out(path, std::ios::trunc);
         const std::string payload =
             journalEscape(serializeProfile(profile));
-        out << "submit 3 profile 0 0 " << payload << "\n";
-        out << "done 3\n";
-        out << "submit 5 profile 0 0 " << payload << "\n";
+        out << journalFrame("submit 3 profile 0 0 " + payload);
+        out << journalFrame("done 3");
+        out << journalFrame("submit 5 profile 0 0 " + payload);
     }
 
     ServiceConfig config;

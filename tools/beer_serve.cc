@@ -20,7 +20,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
+
+#include "svc/io.hh"
 
 #include "svc/http.hh"
 #include "svc/service.hh"
@@ -69,6 +72,27 @@ main(int argc, char **argv)
     cli.addOption("job-start-delay", "0",
                   "test hook: sleep this many seconds at each job "
                   "start (exercises queue deadlines and kill tests)");
+    cli.addOption("journal-max-bytes", "262144",
+                  "compact the journal (atomic rewrite keeping only "
+                  "unfinished jobs) past this size (0 = never)");
+    cli.addOption("chaos-seed", "0",
+                  "enable deterministic file/socket fault injection "
+                  "with this seed (0 = no chaos)");
+    cli.addOption("chaos-enospc-after", "0",
+                  "chaos: journal/cache writes start failing with "
+                  "ENOSPC after this many writes");
+    cli.addOption("chaos-enospc-window", "0",
+                  "chaos: how many writes the ENOSPC outage lasts");
+    cli.addOption("chaos-torn-every", "0",
+                  "chaos: every Nth file write is torn (half the "
+                  "bytes land, full success reported)");
+    cli.addOption("chaos-short-write-rate", "0",
+                  "chaos: probability a file write is short");
+    cli.addOption("chaos-accept-failures", "0",
+                  "chaos: fail the first N accepts with ECONNABORTED "
+                  "(accept storm)");
+    cli.addOption("chaos-reset-every", "0",
+                  "chaos: every Nth HTTP send fails with ECONNRESET");
     cli.parse(argc, argv);
 
     svc::ServiceConfig config;
@@ -91,6 +115,40 @@ main(int argc, char **argv)
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(start_delay));
         };
+    config.journalMaxBytes =
+        (std::size_t)cli.getInt("journal-max-bytes");
+
+    // Chaos injection: the service runs against deliberately faulty
+    // file and socket I/O, exercising the same seams the differential
+    // tests use — CI's service-chaos smoke drives a real daemon this
+    // way and asserts no job is lost or duplicated.
+    std::unique_ptr<svc::ChaosFileIo> chaos_file;
+    std::unique_ptr<svc::ChaosSocketIo> chaos_socket;
+    const std::uint64_t chaos_seed =
+        (std::uint64_t)cli.getInt("chaos-seed");
+    if (chaos_seed != 0) {
+        svc::ChaosFileConfig file_chaos;
+        file_chaos.seed = chaos_seed;
+        file_chaos.enospcAfterWrites =
+            (std::uint64_t)cli.getInt("chaos-enospc-after");
+        file_chaos.enospcWindow =
+            (std::uint64_t)cli.getInt("chaos-enospc-window");
+        file_chaos.tornEveryWrites =
+            (std::uint64_t)cli.getInt("chaos-torn-every");
+        file_chaos.shortWriteRate =
+            cli.getDouble("chaos-short-write-rate");
+        chaos_file = std::make_unique<svc::ChaosFileIo>(file_chaos);
+        config.fileIo = chaos_file.get();
+
+        svc::ChaosSocketConfig socket_chaos;
+        socket_chaos.seed = chaos_seed + 1;
+        socket_chaos.acceptFailures =
+            (std::uint64_t)cli.getInt("chaos-accept-failures");
+        socket_chaos.resetEverySends =
+            (std::uint64_t)cli.getInt("chaos-reset-every");
+        chaos_socket =
+            std::make_unique<svc::ChaosSocketIo>(socket_chaos);
+    }
 
     util::installShutdownHandler();
 
@@ -98,6 +156,7 @@ main(int argc, char **argv)
     svc::HttpConfig http;
     http.host = cli.getString("host");
     http.port = (std::uint16_t)cli.getInt("port");
+    http.socketIo = chaos_socket.get();
     svc::HttpServer server(service, http);
     if (!server.start())
         util::fatal("cannot bind %s:%u", http.host.c_str(),
@@ -113,28 +172,39 @@ main(int argc, char **argv)
 
     std::fprintf(stderr,
                  "beer_serve: shutting down (draining jobs, "
-                 "flushing cache)...\n");
+                 "syncing journal, flushing cache)...\n");
+    // shutdown() drains, fsyncs the journal and flushes the cache
+    // exactly once (its stopped-flag exchange guards re-entry); the
+    // service destructor's own shutdown() call then no-ops, so there
+    // is no double flush to race a second SIGTERM against.
     service.shutdown();
     const svc::HealthReport health = service.health();
     std::fprintf(stderr,
                  "beer_serve: served %llu jobs (%llu SAT solves, "
                  "%llu exact cache hits, %llu near hits, %llu "
-                 "retries, %llu quarantined, %llu journal replays)\n",
+                 "retries, %llu quarantined, %llu journal replays, "
+                 "%llu journal compactions)\n",
                  (unsigned long long)health.scheduler.completed,
                  (unsigned long long)health.satSolves,
                  (unsigned long long)health.cache.exactHits,
                  (unsigned long long)health.cache.nearHits,
                  (unsigned long long)health.retries,
                  (unsigned long long)health.quarantined,
-                 (unsigned long long)health.journalReplays);
-    // A drain that leaves failed or quarantined jobs behind is not a
-    // clean exit: surface it to init systems and CI wrappers.
-    const std::uint64_t unwell =
-        health.jobStates.failed + health.jobStates.quarantined;
-    if (unwell) {
+                 (unsigned long long)health.journalReplays,
+                 (unsigned long long)health.journal.compactions);
+    // A drain that leaves unwell jobs behind is not a clean exit;
+    // quarantined (a chip repeatedly failing — needs a human) is
+    // distinguished from plain failures so init systems and CI
+    // wrappers can route the two differently.
+    if (health.jobStates.quarantined) {
         std::fprintf(stderr,
-                     "beer_serve: %llu job(s) failed or quarantined\n",
-                     (unsigned long long)unwell);
+                     "beer_serve: %llu job(s) quarantined\n",
+                     (unsigned long long)health.jobStates.quarantined);
+        return 2;
+    }
+    if (health.jobStates.failed) {
+        std::fprintf(stderr, "beer_serve: %llu job(s) failed\n",
+                     (unsigned long long)health.jobStates.failed);
         return 1;
     }
     return 0;
