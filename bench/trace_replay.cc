@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Trace replay bench: size and speed of the v2 columnar trace format.
+ *
+ * For each dataword length, records the same simulated measurement in
+ * both trace formats (v1 text via lossless conversion from the v2
+ * recording, so both files hold the identical operation stream), then
+ * replays each through the measurement loop and compares against the
+ * live run:
+ *
+ *   - bytes per recorded operation, v1 vs v2, and the size reduction;
+ *   - replay throughput (operations per second), v1 vs v2 vs the live
+ *     simulated measurement;
+ *   - profile-count identity across live / v1 replay / v2 replay — any
+ *     divergence exits nonzero.
+ *
+ * This is the CI gate for the v2 format: --min-size-reduction and
+ * --min-replay-speedup set floors on the v2/v1 size ratio and the v2
+ * replay speedup over v1, and --json emits the per-k results
+ * machine-readably for BENCH_*.json tracking across PRs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "beer/measure.hh"
+#include "dram/chip.hh"
+#include "dram/trace.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+using namespace beer;
+using beer::dram::ChipConfig;
+using beer::dram::SimulatedChip;
+
+namespace
+{
+
+ChipConfig
+benchChipConfig(std::size_t k, std::uint64_t seed)
+{
+    ChipConfig config = dram::makeVendorConfig('A', k, seed);
+    config.map.rows = 64;
+    config.iidErrors = true;
+    return config;
+}
+
+MeasureConfig
+benchMeasure(const SimulatedChip &chip, std::size_t repeats)
+{
+    MeasureConfig measure;
+    measure.pausesSeconds.clear();
+    for (double ber : {0.05, 0.15, 0.3})
+        measure.pausesSeconds.push_back(
+            chip.retentionModel().pauseForBitErrorRate(ber, 80.0));
+    measure.repeatsPerPause = repeats;
+    measure.thresholdProbability = 1e-4;
+    return measure;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Exact comparison of two replayed profile-count sets. */
+bool
+sameCounts(const ProfileCounts &a, const ProfileCounts &b)
+{
+    return a.k == b.k && a.patterns == b.patterns &&
+           a.errorCounts == b.errorCounts &&
+           a.wordsTested == b.wordsTested &&
+           a.disagreements == b.disagreements &&
+           a.votesSpent == b.votesSpent;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli("Trace format bench: v1 vs v2 size and replay "
+                  "throughput, with profile-count identity gates");
+    cli.addOption("k-list", "8,16,32",
+                  "dataword lengths (comma-separated)");
+    cli.addOption("seed", "4242", "chip RNG seed");
+    cli.addOption("repeats", "25", "repeats per refresh pause");
+    cli.addOption("threads", "0",
+                  "worker threads for v2 planar replay counting "
+                  "(0 = all hardware threads, 1 = serial); counts are "
+                  "identical for every value");
+    cli.addOption("min-size-reduction", "10",
+                  "fail unless v1_bytes/v2_bytes >= this for every k");
+    cli.addOption("min-replay-speedup", "2",
+                  "fail unless v2 replay is this many times faster "
+                  "than v1 replay for every k");
+    cli.addOption("json", "", "write machine-readable results here");
+    cli.addFlag("keep-traces", "leave the trace files on disk");
+    cli.addFlag("csv", "emit CSV instead of an aligned table");
+    cli.parse(argc, argv);
+
+    std::vector<std::size_t> k_list;
+    {
+        const std::string text = cli.getString("k-list");
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            std::size_t next = text.find(',', pos);
+            if (next == std::string::npos)
+                next = text.size();
+            k_list.push_back((std::size_t)std::stoul(
+                text.substr(pos, next - pos)));
+            pos = next + 1;
+        }
+    }
+    const std::uint64_t seed = (std::uint64_t)cli.getInt("seed");
+    const auto repeats = (std::size_t)cli.getInt("repeats");
+    const auto threads = (std::size_t)cli.getInt("threads");
+    const double min_size_reduction =
+        cli.getDouble("min-size-reduction");
+    const double min_replay_speedup =
+        cli.getDouble("min-replay-speedup");
+
+    std::optional<util::ThreadPool> pool;
+    if (threads != 1)
+        pool.emplace(threads);
+
+    util::Table table({"k", "ops", "v1 bytes", "v2 bytes", "B/op v1",
+                       "B/op v2", "size x", "live (s)", "v1 replay (s)",
+                       "v2 replay (s)", "replay x", "identical"});
+    std::ostringstream json_rows;
+    bool diverged = false;
+    bool too_large = false;
+    bool too_slow = false;
+
+    for (std::size_t i = 0; i < k_list.size(); ++i) {
+        const std::size_t k = k_list[i];
+
+        const auto tmp = std::filesystem::temp_directory_path();
+        const std::string v2_path =
+            (tmp / ("beer_bench_k" + std::to_string(k) + ".trace2"))
+                .string();
+        const std::string v1_path =
+            (tmp / ("beer_bench_k" + std::to_string(k) + ".trace"))
+                .string();
+
+        // Live arm: the plain simulated measurement, no recording.
+        // A fresh chip with the same config is deterministic, so the
+        // recorded arm below observes the identical error schedule.
+        SimulatedChip live_chip(benchChipConfig(k, seed + k));
+        const auto patterns = chargedPatterns(k, 1);
+        const MeasureConfig measure = benchMeasure(live_chip, repeats);
+        const auto words = dram::trueCellWords(live_chip);
+        auto start = std::chrono::steady_clock::now();
+        const ProfileCounts live =
+            measureProfile(live_chip, patterns, measure, words);
+        const double live_seconds = seconds(start);
+
+        // Record once in v2, then convert losslessly to v1 so both
+        // files carry the identical operation stream.
+        SimulatedChip chip(benchChipConfig(k, seed + k));
+        {
+            std::ofstream out(v2_path,
+                              std::ios::binary | std::ios::trunc);
+            if (!out)
+                util::fatal("cannot open '%s'", v2_path.c_str());
+            recordProfileTrace(chip, patterns, measure, words, out,
+                               {dram::TraceFormat::V2, true});
+        }
+        dram::convertTraceFile(v2_path, v1_path,
+                               {dram::TraceFormat::V1, true});
+        const auto v1_bytes = std::filesystem::file_size(v1_path);
+        const auto v2_bytes = std::filesystem::file_size(v2_path);
+
+        // Replay arms. v1 replays element-by-element through the
+        // scalar seams; v2 mmaps and serves whole bit-plane frames to
+        // the planar counting kernel, sharded over the pool.
+        start = std::chrono::steady_clock::now();
+        dram::TraceReplayBackend v1_trace(v1_path);
+        const ProfileCounts from_v1 = replayProfileTrace(v1_trace);
+        const double v1_seconds = seconds(start);
+
+        start = std::chrono::steady_clock::now();
+        dram::TraceReplayBackend v2_trace(v2_path);
+        const ProfileCounts from_v2 =
+            replayProfileTrace(v2_trace, pool ? &*pool : nullptr);
+        const double v2_seconds = seconds(start);
+
+        const std::size_t ops = v2_trace.totalOps();
+        const bool identical =
+            sameCounts(live, from_v1) && sameCounts(from_v1, from_v2);
+        if (!identical)
+            diverged = true;
+
+        const double size_reduction =
+            v2_bytes ? (double)v1_bytes / (double)v2_bytes : 0.0;
+        const double replay_speedup =
+            v2_seconds > 0.0 ? v1_seconds / v2_seconds : 0.0;
+        if (size_reduction < min_size_reduction)
+            too_large = true;
+        if (replay_speedup < min_replay_speedup)
+            too_slow = true;
+
+        table.addRowOf(k, ops, v1_bytes, v2_bytes,
+                       util::Table::sci((double)v1_bytes / (double)ops),
+                       util::Table::sci((double)v2_bytes / (double)ops),
+                       util::Table::sci(size_reduction),
+                       util::Table::sci(live_seconds),
+                       util::Table::sci(v1_seconds),
+                       util::Table::sci(v2_seconds),
+                       util::Table::sci(replay_speedup),
+                       identical ? "yes" : "NO");
+
+        json_rows << (i ? "," : "") << "\n    {\"k\": " << k
+                  << ", \"ops\": " << ops
+                  << ", \"v1_bytes\": " << v1_bytes
+                  << ", \"v2_bytes\": " << v2_bytes
+                  << ", \"size_reduction\": " << size_reduction
+                  << ", \"live_seconds\": " << live_seconds
+                  << ", \"v1_replay_seconds\": " << v1_seconds
+                  << ", \"v2_replay_seconds\": " << v2_seconds
+                  << ", \"replay_speedup\": " << replay_speedup
+                  << ", \"v1_ops_per_second\": "
+                  << (v1_seconds > 0.0 ? (double)ops / v1_seconds : 0.0)
+                  << ", \"v2_ops_per_second\": "
+                  << (v2_seconds > 0.0 ? (double)ops / v2_seconds : 0.0)
+                  << ", \"live_ops_per_second\": "
+                  << (live_seconds > 0.0 ? (double)ops / live_seconds
+                                         : 0.0)
+                  << ", \"identical\": "
+                  << (identical ? "true" : "false") << "}";
+
+        if (!cli.getBool("keep-traces")) {
+            std::remove(v1_path.c_str());
+            std::remove(v2_path.c_str());
+        }
+    }
+
+    if (cli.getBool("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    const std::string json_path = cli.getString("json");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            util::fatal("cannot open JSON file '%s'",
+                        json_path.c_str());
+        out << "{\n  \"bench\": \"trace_replay\",\n  \"seed\": " << seed
+            << ",\n  \"threads\": " << threads
+            << ",\n  \"min_size_reduction\": " << min_size_reduction
+            << ",\n  \"min_replay_speedup\": " << min_replay_speedup
+            << ",\n  \"diverged\": " << (diverged ? "true" : "false")
+            << ",\n  \"size_gate_failed\": "
+            << (too_large ? "true" : "false")
+            << ",\n  \"speed_gate_failed\": "
+            << (too_slow ? "true" : "false")
+            << ",\n  \"results\": [" << json_rows.str()
+            << "\n  ]\n}\n";
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+
+    if (diverged) {
+        std::fprintf(stderr,
+                     "FAIL: replayed profile counts diverged from the "
+                     "live measurement\n");
+        return 1;
+    }
+    if (too_large) {
+        std::fprintf(stderr,
+                     "FAIL: v2 size reduction below %.1fx\n",
+                     min_size_reduction);
+        return 1;
+    }
+    if (too_slow) {
+        std::fprintf(stderr,
+                     "FAIL: v2 replay speedup over v1 below %.1fx\n",
+                     min_replay_speedup);
+        return 1;
+    }
+    return 0;
+}

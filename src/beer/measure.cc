@@ -187,6 +187,45 @@ emptyCounts(std::size_t k, const std::vector<TestPattern> &patterns)
     return counts;
 }
 
+/**
+ * Count per-bit mismatches of one planar read batch against the
+ * written dataword, adding into @p error_counts. Plane pos mismatches
+ * where its lane bits differ from data[pos], so the count is a
+ * popcount of row XOR fill — identical arithmetic to the scalar
+ * per-read loop, just 64 words at a time. Planes are independent and
+ * the adds are integer, so sharding over @p pool is bit-identical at
+ * any thread count.
+ */
+void
+countMismatchesPlanar(const dram::PlanarReadBatch &batch,
+                      const BitVec &data, std::size_t k,
+                      std::vector<std::uint64_t> &error_counts,
+                      util::ThreadPool *pool)
+{
+    const std::size_t lanes = batch.laneWords;
+    const std::uint64_t tail =
+        batch.count % 64 == 0
+            ? ~std::uint64_t{0}
+            : (~std::uint64_t{0} >> (64 - batch.count % 64));
+    const auto countPlane = [&](std::size_t pos) {
+        const std::uint64_t *row = batch.row(pos);
+        const bool expected = data.get(pos);
+        std::uint64_t mismatches = 0;
+        for (std::size_t lw = 0; lw < lanes; ++lw) {
+            std::uint64_t v = row[lw];
+            if (expected)
+                v ^= lw + 1 == lanes ? tail : ~std::uint64_t{0};
+            mismatches += (std::uint64_t)__builtin_popcountll(v);
+        }
+        error_counts[pos] += mismatches;
+    };
+    if (pool)
+        pool->parallelFor(k, countPlane);
+    else
+        for (std::size_t pos = 0; pos < k; ++pos)
+            countPlane(pos);
+}
+
 /** One experiment's quorum verdict (see quorumVote). */
 struct QuorumOutcome
 {
@@ -355,6 +394,27 @@ measureProfile(dram::MemoryInterface &mem,
                 mem.writeDatawordsBroadcast(words.data(), words.size(),
                                             data);
                 mem.pauseRefresh(pause, config.temperatureC);
+                // Planar fast path (single-vote only; quorum majority
+                // logic wants materialized datawords): backends whose
+                // read results already live in bit-plane layout (v2
+                // trace replay) hand the frame over zero-copy and the
+                // mismatch counting runs plane-parallel. Bookkeeping
+                // is identical to the scalar branch below, and the
+                // counting arithmetic is the same adds in a different
+                // order-free grouping, so counts are bit-identical.
+                dram::PlanarReadBatch planar;
+                if (!use_quorum &&
+                    mem.readDatawordsPlanar(words.data(), words.size(),
+                                            planar)) {
+                    ++counts.votesSpent[p];
+                    ++estimator.votesSpent;
+                    ++experiments;
+                    counts.wordsTested[p] += words.size();
+                    countMismatchesPlanar(planar, data, k,
+                                          counts.errorCounts[p],
+                                          config.pool);
+                    continue;
+                }
                 mem.readDatawords(words.data(), words.size(), reads);
                 if (use_quorum) {
                     const QuorumOutcome outcome = quorumVote(
@@ -508,7 +568,21 @@ recordProfileTrace(dram::MemoryInterface &mem,
                    const std::vector<std::size_t> &words_under_test,
                    std::ostream &out)
 {
-    dram::TraceRecorder recorder(mem, out);
+    return recordProfileTrace(mem, patterns, config, words_under_test,
+                              out,
+                              dram::TraceWriteOptions{
+                                  dram::TraceFormat::V1, true});
+}
+
+ProfileCounts
+recordProfileTrace(dram::MemoryInterface &mem,
+                   const std::vector<TestPattern> &patterns,
+                   const MeasureConfig &config,
+                   const std::vector<std::size_t> &words_under_test,
+                   std::ostream &out,
+                   const dram::TraceWriteOptions &trace_options)
+{
+    dram::TraceRecorder recorder(mem, out, trace_options);
 
     std::string pauses;
     for (std::size_t i = 0; i < config.pausesSeconds.size(); ++i) {
@@ -617,9 +691,11 @@ traceMeasureConfig(const dram::TraceReplayBackend &trace)
 }
 
 ProfileCounts
-replayProfileTrace(dram::TraceReplayBackend &trace)
+replayProfileTrace(dram::TraceReplayBackend &trace,
+                   util::ThreadPool *pool)
 {
-    const MeasureConfig config = traceMeasureConfig(trace);
+    MeasureConfig config = traceMeasureConfig(trace);
+    config.pool = pool;
 
     const auto serialized = metaValue(trace, "patterns");
     if (!serialized)
@@ -649,8 +725,7 @@ replayProfileTrace(dram::TraceReplayBackend &trace)
         }
     }
 
-    ProfileCounts counts =
-        measureProfile(trace, patterns, config, words);
+    ProfileCounts counts = measureProfile(trace, patterns, config, words);
     if (!trace.atEnd())
         util::warn("trace replay finished with %zu unconsumed "
                    "operations",

@@ -32,6 +32,11 @@
 #include "sim/word_sim.hh"
 #include "util/rng.hh"
 
+namespace beer::util
+{
+class ThreadPool;
+}
+
 namespace beer
 {
 
@@ -237,6 +242,16 @@ struct MeasureConfig
      * further refresh pause would be pure waste. Unset = never.
      */
     std::function<bool()> cancel;
+    /**
+     * Optional worker pool for the planar counting fast path: when the
+     * backend serves reads as bit-plane frames (readDatawordsPlanar —
+     * trace replay v2), the per-plane mismatch popcounts are sharded
+     * across this pool. Counting is integer adds per independent
+     * plane, so results are bit-identical at any thread count. Null
+     * counts on the calling thread. Must not be a pool this call is
+     * already running inside of (parallelFor is not reentrant).
+     */
+    util::ThreadPool *pool = nullptr;
 
     /** Paper-like default: 2..22 minutes in 1-minute steps at 80C. */
     static MeasureConfig paperDefault();
@@ -271,8 +286,18 @@ ProfileCounts measureProfileOnChip(dram::Chip &chip,
 /**
  * Run measureProfile() while recording every backend operation (plus
  * "meta" lines describing the measurement plan) to @p out in the
- * dram/trace.hh format, so the run can be replayed offline.
+ * requested dram/trace.hh format (v2 streams must be opened binary),
+ * so the run can be replayed offline.
  */
+ProfileCounts
+recordProfileTrace(dram::MemoryInterface &mem,
+                   const std::vector<TestPattern> &patterns,
+                   const MeasureConfig &config,
+                   const std::vector<std::size_t> &words_under_test,
+                   std::ostream &out,
+                   const dram::TraceWriteOptions &trace_options);
+
+/** Back-compat overload recording in the historical v1 text format. */
 ProfileCounts
 recordProfileTrace(dram::MemoryInterface &mem,
                    const std::vector<TestPattern> &patterns,
@@ -284,9 +309,15 @@ recordProfileTrace(dram::MemoryInterface &mem,
  * Re-run a measurement recorded by recordProfileTrace() against the
  * trace itself: the measurement plan is reconstructed from the trace's
  * meta lines and the observations come from the recorded reads. The
- * result is bit-identical to what the recording run measured.
+ * result is bit-identical to what the recording run measured,
+ * whichever format the trace is stored in.
+ *
+ * @p pool optionally shards the planar counting fast path (v2 traces)
+ * across worker threads; see MeasureConfig::pool. Results stay
+ * bit-identical at any thread count.
  */
-ProfileCounts replayProfileTrace(dram::TraceReplayBackend &trace);
+ProfileCounts replayProfileTrace(dram::TraceReplayBackend &trace,
+                                 util::ThreadPool *pool = nullptr);
 
 /**
  * The measurement configuration stored in a recorded trace's meta

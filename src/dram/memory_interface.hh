@@ -32,6 +32,33 @@
 namespace beer::dram
 {
 
+/**
+ * Zero-copy view of one batched read's results in bit-plane (SoA)
+ * layout — the same transposed layout dram::TransposedCellStore and
+ * the wide decode kernels use. Row @p pos is the laneWords uint64s at
+ * rows + pos * rowStride; bit t of the row (bit t%64 of lane word
+ * t/64) is bit @p pos of the t-th dataword in the batch. Bits at or
+ * beyond @p count in the last lane word are zero. The view aliases
+ * backend-owned storage and is valid only until the next operation on
+ * the backend.
+ */
+struct PlanarReadBatch
+{
+    const std::uint64_t *rows = nullptr;
+    /** uint64s between consecutive rows (>= laneWords). */
+    std::size_t rowStride = 0;
+    /** uint64s holding lane bits per row: ceil(count / 64). */
+    std::size_t laneWords = 0;
+    /** Datawords in the batch. */
+    std::size_t count = 0;
+
+    /** Row @p pos (dataword bit position). */
+    const std::uint64_t *row(std::size_t pos) const
+    {
+        return rows + pos * rowStride;
+    }
+};
+
 /** Abstract DRAM-with-on-die-ECC backend; see file comment. */
 class MemoryInterface
 {
@@ -85,6 +112,29 @@ class MemoryInterface
         out.reserve(count);
         for (std::size_t i = 0; i < count; ++i)
             out.push_back(readDataword(words[i]));
+    }
+
+    /**
+     * Read each word of @p words through the decoder and expose the
+     * results as a bit-plane view (k rows) instead of materialized
+     * BitVecs, for callers whose downstream math is plane-parallel
+     * (the measurement loop's per-bit mismatch counting). Must be
+     * observably identical to readDatawords — same post-correction
+     * data, same side effects, same Rng consumption — differing only
+     * in the result container. Backends whose storage is already
+     * columnar (trace replay v2) return true and a view that stays
+     * valid until the next operation; the default declines, and the
+     * caller falls back to readDatawords. A false return must have no
+     * side effects.
+     */
+    virtual bool readDatawordsPlanar(const std::size_t *words,
+                                     std::size_t count,
+                                     PlanarReadBatch &out)
+    {
+        (void)words;
+        (void)count;
+        (void)out;
+        return false;
     }
 
     /** Byte-granularity accessors through the address map. */

@@ -1,18 +1,20 @@
 /**
  * @file
- * Operation-trace recording and replay backends.
+ * Operation-trace recording and replay backends, formats v1 and v2.
  *
  * The paper's released tooling applies BEER to measurements collected
  * on real chips offline. These classes provide the equivalent seam for
  * this codebase: TraceRecorder wraps any MemoryInterface and logs every
- * operation (with read results) to a text stream, and
- * TraceReplayBackend implements MemoryInterface from such a log, so an
- * analysis can re-run bit-for-bit against externally collected data
- * with no chip (or simulator) present.
+ * operation (with read results) to a stream, and TraceReplayBackend
+ * implements MemoryInterface from such a log, so an analysis can re-run
+ * bit-for-bit against externally collected data with no chip (or
+ * simulator) present.
  *
- * Trace format, one operation per line ('#' starts a comment; "meta"
- * lines carry analysis-level annotations and are kept but not
- * interpreted here):
+ * Two on-disk formats are supported; TraceReplayBackend sniffs them
+ * automatically and convertTraceFile() translates losslessly between
+ * them (v1 -> v2 -> v1 is byte-identical for recorder-produced files).
+ *
+ * ## Format v1 — text, one line per word op
  *
  *     beertrace 1
  *     geom <bytesPerWord> <wordsPerRegion> <bytesPerRow> <rows>
@@ -24,17 +26,76 @@
  *     f <value>                                # fill
  *     p <seconds> <temp-c>                     # pauseRefresh
  *
- * Replay is strict: each interface call must match the next recorded
- * operation (kind and operands); divergence is a fatal error naming the
- * trace line. This guarantees that a replayed analysis observed exactly
- * the recorded data.
+ * '#' starts a comment; "meta" lines carry analysis-level annotations
+ * and are kept but not interpreted here. Batched interface calls
+ * (writeDatawordsBroadcast / readDatawords) are decomposed into their
+ * per-word lines, so v1 files stay readable by pre-batch tooling — at
+ * ~(k + 10) bytes per word op.
+ *
+ * ## Format v2 — binary, columnar, one record per batched op
+ *
+ * Little-endian throughout; every record is 8-byte aligned so mmap'd
+ * payloads can be read as uint64 arrays in place.
+ *
+ *     header (32 bytes):
+ *       char[8]  magic "BEERTRC2"
+ *       u32      bytesPerWord, wordsPerRegion, bytesPerRow, rows
+ *       u32      k (dataword bits)
+ *       u32      reserved (0)
+ *     records, each:
+ *       u32 kind, u32 payloadBytes, payload, zero pad to 8 bytes
+ *
+ *     kind  payload
+ *     ----  -------------------------------------------------------
+ *     1     meta: UTF-8 annotation text
+ *     2     word set: u64 count, count x u64 word indices. Sets are
+ *           deduplicated; later records reference them by ordinal
+ *           (0-based, in file order).
+ *     3     writeDatawordsBroadcast: u64 wordSetId,
+ *           ceil(k/64) x u64 dataword bits
+ *     4     readDatawords batch: u64 wordSetId, u32 encoding,
+ *           u32 crc32 (over the raw frame bytes), then the frame:
+ *             encoding 0 (raw): k rows x ceil(count/64) u64 lane
+ *               words — bit t of row pos = bit pos of the t-th
+ *               dataword read. This is the bit-plane (SoA) layout of
+ *               dram::TransposedCellStore, so replay hands whole rows
+ *               to the plane-parallel counting kernels untransposed.
+ *             encoding 1 (sparse): ceil(k/64) x u64 per-row majority
+ *               bits, u64 exceptionCount, then exceptionCount x
+ *               (u64 frameIndex, u64 laneWord) overrides of the
+ *               majority-filled raw frame. Chosen per frame when
+ *               smaller (errors are sparse, so most rows are a
+ *               constant fill).
+ *     5/6   writeDataword / readDataword: u64 word, dataword bits
+ *     7/8   writeByte / readByte: u64 byteAddr, u64 value
+ *     9     fill: u64 value
+ *     10    pause: f64 seconds, f64 tempC
+ *
+ * A batched measurement records ~k/8 bytes per read word (one bit per
+ * cell) and amortizes word lists to nothing, >= 10x smaller than v1;
+ * sparse frames shrink further. Frame CRCs are verified at open, so a
+ * truncated or bit-flipped trace is rejected before any replay runs.
+ *
+ * ## Replay strictness
+ *
+ * Replay is strict at word granularity: every interface call must
+ * match the recorded operation stream element for element (kind, word
+ * index, and payload), and divergence is a fatal error naming both the
+ * requested and the recorded operation. Batch boundaries are NOT part
+ * of the contract — a v2 batch record of 100 words replays equally
+ * under one readDatawords(100) call or 100 readDataword calls, exactly
+ * as the equivalent 100 v1 lines always did — so scalar and batched
+ * analyses replay the same trace bit-identically.
  */
 
 #ifndef BEER_DRAM_TRACE_HH
 #define BEER_DRAM_TRACE_HH
 
 #include <cstdint>
+#include <deque>
 #include <istream>
+#include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -47,11 +108,45 @@ namespace beer::dram
 /** Round-trip-exact ("%.17g") rendering of a trace double operand. */
 std::string formatTraceDouble(double value);
 
-/** One recorded MemoryInterface operation. */
-struct TraceOp
+/** On-disk trace format; see file comment. */
+enum class TraceFormat
+{
+    V1 = 1,
+    V2 = 2,
+};
+
+/** "v1" / "v2". */
+const char *traceFormatName(TraceFormat format);
+
+/** Parse "v1"/"v2" (std::nullopt on anything else). */
+std::optional<TraceFormat> parseTraceFormat(const std::string &text);
+
+/** Knobs for writing a trace. */
+struct TraceWriteOptions
+{
+    TraceFormat format = TraceFormat::V2;
+    /**
+     * v2 only: store each read frame sparse (majority fill +
+     * exceptions) when that is smaller than the raw bit planes. Raw
+     * frames replay zero-copy from the mmap; sparse frames are
+     * decoded once at open.
+     */
+    bool compressFrames = true;
+};
+
+/**
+ * One parsed trace record at batch granularity. Scalar ops are their
+ * own records; a batched op is one record of count elements. Batch
+ * pointers alias storage owned by the TraceReplayBackend that parsed
+ * the record (or the mmap'd file).
+ */
+struct TraceRecord
 {
     enum class Kind
     {
+        Meta,
+        WriteBroadcast,
+        ReadBatch,
         WriteWord,
         ReadWord,
         WriteByte,
@@ -61,29 +156,113 @@ struct TraceOp
     };
 
     Kind kind;
-    /** Word index (WriteWord/ReadWord) or byte address (byte ops). */
+    /**
+     * Source position for diagnostics: the (first) 1-based text line
+     * in v1, the 1-based record ordinal in v2.
+     */
+    std::size_t line = 0;
+
+    /** Word index (word ops) or byte address (byte ops). */
     std::size_t index = 0;
-    /** Dataword payload (WriteWord) or result (ReadWord). */
-    gf2::BitVec data;
     /** Byte payload (WriteByte/Fill) or result (ReadByte). */
     std::uint8_t byte = 0;
     /** pauseRefresh() operands. */
     double seconds = 0.0;
     double tempC = 0.0;
+    /** Dataword payload: WriteWord/ReadWord data, WriteBroadcast fill. */
+    gf2::BitVec data;
 
-    /** 1-based line number in the source trace (replay diagnostics). */
-    std::size_t line = 0;
+    /** Batch word list (count entries), in recorded order. */
+    const std::uint64_t *words = nullptr;
+    std::size_t count = 0;
+    /** ReadBatch bit-plane frame: k rows x laneWords uint64s. */
+    const std::uint64_t *frame = nullptr;
+    std::size_t laneWords = 0;
+
+    /** Meta: index into TraceReplayBackend::metaLines(). */
+    std::size_t metaIndex = 0;
+
+    /** Interface operations this record stands for (0 for Meta). */
+    std::size_t elements() const
+    {
+        switch (kind) {
+        case Kind::Meta:
+            return 0;
+        case Kind::WriteBroadcast:
+        case Kind::ReadBatch:
+            return count;
+        default:
+            return 1;
+        }
+    }
 };
 
 /**
- * Decorator that forwards every operation to @p inner and appends it to
- * the trace stream. The header (version, geometry, k) is written at
- * construction; the stream must outlive the recorder.
+ * Serializer shared by TraceRecorder and convertTraceFile(): receives
+ * operations at batch granularity and emits them in either format
+ * (expanding batches to per-word lines for v1). The header is written
+ * at construction. For v2 the stream must be binary-clean (open files
+ * with std::ios::binary).
+ */
+class TraceWriter
+{
+  public:
+    TraceWriter(std::ostream &out, const AddressMap &map, std::size_t k,
+                const TraceWriteOptions &options);
+
+    TraceFormat format() const { return options_.format; }
+
+    void meta(const std::string &text);
+    void writeWord(std::size_t word, const gf2::BitVec &data);
+    void readWord(std::size_t word, const gf2::BitVec &data);
+    void writeBroadcast(const std::size_t *words, std::size_t count,
+                        const gf2::BitVec &data);
+    /** Batched read results as materialized datawords. */
+    void readBatch(const std::size_t *words, std::size_t count,
+                   const gf2::BitVec *results);
+    /** Batched read results already in bit-plane layout (no transpose). */
+    void readBatchPlanar(const std::size_t *words, std::size_t count,
+                         const PlanarReadBatch &view);
+    void writeByte(std::size_t byte_addr, std::uint8_t value);
+    void readByte(std::size_t byte_addr, std::uint8_t value);
+    void fill(std::uint8_t value);
+    void pause(double seconds, double temp_c);
+
+  private:
+    /** v2: id of the deduplicated word set, emitting it if new. */
+    std::uint64_t wordSetId(const std::size_t *words,
+                            std::size_t count);
+    /** v2: emit one record (header, payload, alignment pad). */
+    void emitRecord(std::uint32_t kind, const void *payload,
+                    std::size_t payload_bytes);
+    void emitWordPayload(std::uint32_t kind, std::uint64_t index,
+                         const gf2::BitVec &data);
+    void emitReadFrame(std::uint64_t set_id, const std::uint64_t *rows,
+                       std::size_t row_stride, std::size_t lane_words,
+                       std::size_t count);
+
+    std::ostream &out_;
+    std::size_t k_;
+    TraceWriteOptions options_;
+    std::map<std::vector<std::uint64_t>, std::uint64_t> wordSets_;
+    std::vector<std::uint8_t> scratch_;
+};
+
+/**
+ * Decorator that forwards every operation to @p inner and appends it
+ * to the trace stream. The header (version, geometry, k) is written at
+ * construction; the stream must outlive the recorder. Batched calls
+ * stay batched on the inner backend (so a transposed chip keeps its
+ * wide path) and are recorded at batch granularity in v2, or expanded
+ * to the compatible per-word lines in v1.
  */
 class TraceRecorder : public MemoryInterface
 {
   public:
+    /** Record in the default (v1) format — byte-compatible history. */
     TraceRecorder(MemoryInterface &inner, std::ostream &out);
+    TraceRecorder(MemoryInterface &inner, std::ostream &out,
+                  const TraceWriteOptions &options);
 
     /** Append an uninterpreted "meta <text>" annotation line. */
     void writeMeta(const std::string &text);
@@ -93,6 +272,14 @@ class TraceRecorder : public MemoryInterface
     void writeDataword(std::size_t word_index,
                        const gf2::BitVec &data) override;
     gf2::BitVec readDataword(std::size_t word_index) override;
+    void writeDatawordsBroadcast(const std::size_t *words,
+                                 std::size_t count,
+                                 const gf2::BitVec &data) override;
+    void readDatawords(const std::size_t *words, std::size_t count,
+                       std::vector<gf2::BitVec> &out) override;
+    bool readDatawordsPlanar(const std::size_t *words,
+                             std::size_t count,
+                             PlanarReadBatch &out) override;
     void writeByte(std::size_t byte_addr, std::uint8_t value) override;
     std::uint8_t readByte(std::size_t byte_addr) override;
     void fill(std::uint8_t value) override;
@@ -100,28 +287,54 @@ class TraceRecorder : public MemoryInterface
 
   private:
     MemoryInterface &inner_;
-    std::ostream &out_;
+    TraceWriter writer_;
 };
 
 /**
  * MemoryInterface backend that replays a recorded trace; see file
- * comment. Strict by construction: any operation that does not match
- * the recorded sequence is fatal.
+ * comment. The format is sniffed from the leading bytes: v2 files are
+ * mmap'd (raw read frames replay zero-copy out of the page cache),
+ * v1 text is parsed into the same record-granular representation.
+ * Strict by construction: any operation that does not match the
+ * recorded element sequence is fatal, with a message naming both the
+ * requested and the recorded operation.
  */
 class TraceReplayBackend : public MemoryInterface
 {
   public:
-    /** Parse a trace from @p in (e.g. an open std::ifstream). */
+    /** Parse a trace from @p in (e.g. an open binary std::ifstream). */
     explicit TraceReplayBackend(std::istream &in);
 
-    /** Parse a trace file; fatal if the file cannot be opened. */
+    /** Parse (v1) or mmap (v2) a trace file; fatal if unreadable. */
     explicit TraceReplayBackend(const std::string &path);
+
+    ~TraceReplayBackend() override;
+    TraceReplayBackend(const TraceReplayBackend &) = delete;
+    TraceReplayBackend &operator=(const TraceReplayBackend &) = delete;
+
+    /** The on-disk format this trace was stored in. */
+    TraceFormat format() const { return format_; }
 
     const AddressMap &addressMap() const override { return map_; }
     std::size_t datawordBits() const override { return k_; }
     void writeDataword(std::size_t word_index,
                        const gf2::BitVec &data) override;
     gf2::BitVec readDataword(std::size_t word_index) override;
+    void writeDatawordsBroadcast(const std::size_t *words,
+                                 std::size_t count,
+                                 const gf2::BitVec &data) override;
+    void readDatawords(const std::size_t *words, std::size_t count,
+                       std::vector<gf2::BitVec> &out) override;
+    /**
+     * Zero-copy batched read: succeeds when the requested batch is
+     * exactly the next recorded read batch, returning the recorded
+     * bit-plane frame directly (raw v2 frames straight from the mmap).
+     * Any other alignment declines with no side effects and the
+     * caller's readDatawords fallback replays element by element.
+     */
+    bool readDatawordsPlanar(const std::size_t *words,
+                             std::size_t count,
+                             PlanarReadBatch &out) override;
     void writeByte(std::size_t byte_addr, std::uint8_t value) override;
     std::uint8_t readByte(std::size_t byte_addr) override;
     void fill(std::uint8_t value) override;
@@ -130,21 +343,76 @@ class TraceReplayBackend : public MemoryInterface
     /** Uninterpreted "meta" annotation lines, in file order. */
     const std::vector<std::string> &metaLines() const { return meta_; }
 
-    std::size_t totalOps() const { return ops_.size(); }
-    std::size_t remainingOps() const { return ops_.size() - cursor_; }
-    bool atEnd() const { return cursor_ == ops_.size(); }
+    /** Word-granular operation counts (batches count their elements). */
+    std::size_t totalOps() const { return totalElements_; }
+    std::size_t remainingOps() const
+    {
+        return totalElements_ - consumedElements_;
+    }
+    bool atEnd() const { return consumedElements_ == totalElements_; }
+
+    /**
+     * The parsed record stream at batch granularity, metas included,
+     * in file order — the input convertTraceFile() re-serializes.
+     */
+    const std::vector<TraceRecord> &records() const { return stream_; }
 
   private:
-    void parse(std::istream &in);
-    /** Consume the next op; fatal if kind does not match. */
-    const TraceOp &expect(TraceOp::Kind kind, const char *what);
+    void parseText(std::istream &in);
+    void parseBinary(const std::uint8_t *data, std::size_t len);
+    void loadStream(std::istream &in);
+
+    /** Current non-meta record, advancing past metas; fatal at end. */
+    const TraceRecord &current(const char *requested);
+    /** Consume one element of the current record. */
+    void consumeElement();
+    /** Consume the current record whole (batch fast paths). */
+    void consumeRecord();
+    [[noreturn]] void diverge(const std::string &requested,
+                              const TraceRecord &rec);
 
     AddressMap map_;
     std::size_t k_ = 0;
-    std::vector<TraceOp> ops_;
+    TraceFormat format_ = TraceFormat::V1;
+    std::vector<TraceRecord> stream_;
     std::vector<std::string> meta_;
-    std::size_t cursor_ = 0;
+    /** Backing store for word lists / frames not aliasing the mmap. */
+    std::deque<std::vector<std::uint64_t>> owned_;
+    /** v2 bytes sourced from an istream (8-byte aligned). */
+    std::vector<std::uint64_t> buffer_;
+    void *mapBase_ = nullptr;
+    std::size_t mapLen_ = 0;
+
+    std::size_t totalElements_ = 0;
+    std::size_t consumedElements_ = 0;
+    /** Cursor: record index and element offset within it. */
+    std::size_t rec_ = 0;
+    std::size_t elem_ = 0;
 };
+
+/** Sniff a trace file's format; std::nullopt if it is neither. */
+std::optional<TraceFormat> tryTraceFileFormat(const std::string &path);
+
+/** What convertTraceFile() did. */
+struct TraceConvertStats
+{
+    TraceFormat from;
+    TraceFormat to;
+    /** Word-granular operations converted. */
+    std::size_t ops = 0;
+    std::uintmax_t bytesIn = 0;
+    std::uintmax_t bytesOut = 0;
+};
+
+/**
+ * Re-serialize @p in_path as @p options.format at @p out_path. The
+ * element streams are identical, so both files replay bit-identically;
+ * converting a recorder-produced v1 file to v2 and back reproduces the
+ * v1 bytes exactly.
+ */
+TraceConvertStats convertTraceFile(const std::string &in_path,
+                                   const std::string &out_path,
+                                   const TraceWriteOptions &options);
 
 } // namespace beer::dram
 

@@ -13,26 +13,6 @@
 namespace beer::svc
 {
 
-std::uint32_t
-crc32(const void *data, std::size_t len)
-{
-    static const std::array<std::uint32_t, 256> table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    std::uint32_t crc = 0xFFFFFFFFu;
-    const auto *at = static_cast<const unsigned char *>(data);
-    for (std::size_t i = 0; i < len; ++i)
-        crc = table[(crc ^ at[i]) & 0xFFu] ^ (crc >> 8);
-    return crc ^ 0xFFFFFFFFu;
-}
-
 namespace
 {
 

@@ -47,12 +47,17 @@
 
 #include "svc/io.hh"
 #include "svc/scheduler.hh"
+#include "util/checksum.hh"
 
 namespace beer::svc
 {
 
-/** CRC-32 (IEEE 802.3, reflected) over @p len bytes of @p data. */
-std::uint32_t crc32(const void *data, std::size_t len);
+/** CRC-32 over @p len bytes of @p data (shared util::crc32). */
+inline std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    return util::crc32(data, len);
+}
 
 /** Knobs for JobJournal. */
 struct JournalConfig

@@ -283,6 +283,18 @@ RecoveryService::submitTraceFile(const std::string &path,
     if (!std::ifstream(path))
         return rejected(SubmitOutcome::Reject::BadPayload,
                         "cannot open trace file '" + path + "'");
+    // Sniff the trace format up front: unrecognized files are a
+    // submission error, not a worker crash later, and the per-format
+    // counters tell a fleet operator how far the v2 migration is.
+    const auto format = dram::tryTraceFileFormat(path);
+    if (!format)
+        return rejected(SubmitOutcome::Reject::BadPayload,
+                        "'" + path +
+                            "' is neither a v1 nor a v2 trace");
+    if (*format == dram::TraceFormat::V1)
+        traceV1Jobs_.fetch_add(1, std::memory_order_relaxed);
+    else
+        traceV2Jobs_.fetch_add(1, std::memory_order_relaxed);
 
     auto record = std::make_unique<JobRecord>();
     record->options = options;
@@ -723,6 +735,8 @@ RecoveryService::health() const
     report.satSolves = satSolves_.load(std::memory_order_relaxed);
     report.legacyPayloads =
         legacyPayloads_.load(std::memory_order_relaxed);
+    report.traceV1Jobs = traceV1Jobs_.load(std::memory_order_relaxed);
+    report.traceV2Jobs = traceV2Jobs_.load(std::memory_order_relaxed);
     report.batchedLookups =
         batchedLookups_.load(std::memory_order_relaxed);
     report.retries = report.scheduler.retries;

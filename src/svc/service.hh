@@ -220,6 +220,9 @@ struct HealthReport
     std::uint64_t satSolves = 0;
     /** Version-1 (legacy) payloads accepted and migrated. */
     std::uint64_t legacyPayloads = 0;
+    /** Trace jobs accepted per on-disk format (v2-migration gauge). */
+    std::uint64_t traceV1Jobs = 0;
+    std::uint64_t traceV2Jobs = 0;
     /** Cache lookups that rode a combined (single-lock) batch pass
      * with at least one other concurrent lookup. */
     std::uint64_t batchedLookups = 0;
@@ -411,6 +414,8 @@ class RecoveryService
 
     std::atomic<std::uint64_t> satSolves_{0};
     std::atomic<std::uint64_t> legacyPayloads_{0};
+    std::atomic<std::uint64_t> traceV1Jobs_{0};
+    std::atomic<std::uint64_t> traceV2Jobs_{0};
     std::atomic<std::uint64_t> batchedLookups_{0};
     std::atomic<std::uint64_t> journalReplays_{0};
     std::atomic<std::uint64_t> quorumVotesSpent_{0};

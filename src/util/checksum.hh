@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Checksums shared by the on-disk formats (service job journal, trace
+ * format v2 frames). One implementation so every "did these bytes
+ * survive the disk?" check in the codebase means the same thing.
+ */
+
+#ifndef BEER_UTIL_CHECKSUM_HH
+#define BEER_UTIL_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace beer::util
+{
+
+/** CRC-32 (IEEE 802.3, reflected) over @p len bytes of @p data. */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+} // namespace beer::util
+
+#endif // BEER_UTIL_CHECKSUM_HH

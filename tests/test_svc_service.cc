@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -19,9 +20,12 @@
 #include <sstream>
 #include <string>
 
+#include "beer/measure.hh"
 #include "beer/patterns.hh"
 #include "beer/profile.hh"
 #include "beer/solver.hh"
+#include "dram/chip.hh"
+#include "dram/trace.hh"
 #include "ecc/code_equiv.hh"
 #include "ecc/hamming.hh"
 #include "svc/service.hh"
@@ -255,6 +259,71 @@ TEST(SvcService, MissingTraceFileIsRejected)
         service.submitTraceFile("/nonexistent/trace.bin");
     EXPECT_FALSE(outcome.accepted);
     EXPECT_EQ(outcome.reject, SubmitOutcome::Reject::BadPayload);
+}
+
+TEST(SvcService, AcceptsBothTraceFormatsAndCountsThem)
+{
+    // The same measurement recorded in v1 and v2: both submissions
+    // must run to the same recovered function, and the health report
+    // must expose the per-format acceptance counters (the fleet's
+    // v2-migration gauge). A non-trace file is rejected at submission
+    // time, not by a crashing worker.
+    dram::ChipConfig config = dram::makeVendorConfig('A', 8, 71);
+    config.map.rows = 32;
+    config.iidErrors = true;
+
+    MeasureConfig measure;
+    {
+        dram::SimulatedChip probe(config);
+        for (double ber : {0.1, 0.3})
+            measure.pausesSeconds.push_back(
+                probe.retentionModel().pauseForBitErrorRate(ber,
+                                                            80.0));
+    }
+    measure.repeatsPerPause = 10;
+
+    const auto tmp = std::filesystem::temp_directory_path();
+    const std::string v1_path = (tmp / "beer_svc.trace").string();
+    const std::string v2_path = v1_path + "2";
+    for (const auto format :
+         {dram::TraceFormat::V1, dram::TraceFormat::V2}) {
+        dram::SimulatedChip chip(config);
+        std::ofstream out(format == dram::TraceFormat::V1 ? v1_path
+                                                          : v2_path,
+                          std::ios::binary | std::ios::trunc);
+        recordProfileTrace(chip, chargedPatterns(8, 1), measure,
+                           dram::trueCellWords(chip), out,
+                           {format, true});
+    }
+
+    RecoveryService service;
+    const SubmitOutcome v1 = service.submitTraceFile(v1_path);
+    ASSERT_TRUE(v1.accepted) << v1.error;
+    const SubmitOutcome v2 = service.submitTraceFile(v2_path);
+    ASSERT_TRUE(v2.accepted) << v2.error;
+    ASSERT_TRUE(service.waitForJob(v1.id));
+    ASSERT_TRUE(service.waitForJob(v2.id));
+    EXPECT_TRUE(service.job(v1.id)->succeeded);
+    EXPECT_TRUE(service.job(v2.id)->succeeded);
+    EXPECT_EQ(service.job(v1.id)->codeString,
+              service.job(v2.id)->codeString);
+
+    const auto health = service.health();
+    EXPECT_EQ(health.traceV1Jobs, 1u);
+    EXPECT_EQ(health.traceV2Jobs, 1u);
+
+    {
+        std::ofstream out(v1_path, std::ios::trunc);
+        out << "not a trace of either format\n";
+    }
+    const SubmitOutcome bad = service.submitTraceFile(v1_path);
+    EXPECT_FALSE(bad.accepted);
+    EXPECT_EQ(bad.reject, SubmitOutcome::Reject::BadPayload);
+    EXPECT_NE(bad.error.find("neither"), std::string::npos);
+    EXPECT_TRUE(service.health().ok);
+
+    std::remove(v1_path.c_str());
+    std::remove(v2_path.c_str());
 }
 
 TEST(SvcService, ListJobsPaginatesDeterministically)

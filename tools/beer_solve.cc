@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "beer/measure.hh"
 #include "beer/profile.hh"
@@ -36,6 +37,7 @@
 #include "sat/dimacs.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 using namespace beer;
 
@@ -90,6 +92,13 @@ main(int argc, char **argv)
     cli.addOption("trace", "",
                   "measure from a recorded operation trace instead of "
                   "reading a profile file");
+    cli.addOption("trace-format", "auto",
+                  "expected --trace format: auto (sniff), v1, or v2 "
+                  "(mismatch is an error)");
+    cli.addOption("replay-threads", "1",
+                  "worker threads for v2 planar replay counting (0 = "
+                  "all hardware threads); counts are identical for "
+                  "every value");
     cli.addOption("threshold", "-1",
                   "threshold probability for --trace counts "
                   "(-1 = the threshold recorded in the trace)");
@@ -112,7 +121,26 @@ main(int argc, char **argv)
     const std::string trace_path = cli.getString("trace");
     if (!trace_path.empty()) {
         dram::TraceReplayBackend trace(trace_path);
-        const ProfileCounts counts = replayProfileTrace(trace);
+        const std::string expect = cli.getString("trace-format");
+        if (expect != "auto") {
+            const auto format = dram::parseTraceFormat(expect);
+            if (!format)
+                util::fatal("--trace-format must be auto, v1, or v2, "
+                            "not '%s'",
+                            expect.c_str());
+            if (trace.format() != *format)
+                util::fatal("'%s' is a %s trace, not %s",
+                            trace_path.c_str(),
+                            dram::traceFormatName(trace.format()),
+                            dram::traceFormatName(*format));
+        }
+        std::optional<util::ThreadPool> pool;
+        const auto replay_threads =
+            (std::size_t)cli.getInt("replay-threads");
+        if (replay_threads != 1)
+            pool.emplace(replay_threads);
+        const ProfileCounts counts =
+            replayProfileTrace(trace, pool ? &*pool : nullptr);
         double threshold = cli.getDouble("threshold");
         if (threshold < 0.0)
             threshold =
